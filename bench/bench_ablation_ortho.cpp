@@ -1,0 +1,53 @@
+// Ablation — orthogonalization scheme inside the power iteration
+// (DESIGN.md design-choice study). The paper fixes CholQR with one full
+// re-orthogonalization (§6) and names TSQR and mixed precision as future
+// hardening (§11); this bench quantifies what that choice buys: accuracy
+// of the final approximation, wall time, and how often the Cholesky
+// breaks down and falls back.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/test_matrices.hpp"
+#include "ortho/ortho.hpp"
+
+using namespace randla;
+
+int main() {
+  bench::print_header("Ablation A", "power-iteration orthogonalization scheme");
+  const index_t m = bench::scaled(2500, 600);
+  const index_t n = bench::scaled(400, 150);
+  const index_t k = 40, p = 10;
+
+  // The exponent matrix stresses orthogonalization: after q iterations
+  // the sampled matrix's condition number grows like κ^(2q+1).
+  auto tm = data::exponent_matrix<double>(m, n);
+
+  std::printf("exponent %lldx%lld, k=%lld, p=%lld\n\n", (long long)m,
+              (long long)n, (long long)k, (long long)p);
+  std::printf("%-9s %3s %12s %10s %10s\n", "scheme", "q", "error", "time(s)",
+              "fallbacks");
+  for (ortho::Scheme s :
+       {ortho::Scheme::CholQR, ortho::Scheme::CholQR2, ortho::Scheme::CGS,
+        ortho::Scheme::MGS, ortho::Scheme::HHQR, ortho::Scheme::TSQR}) {
+    for (index_t q : {1, 3}) {
+      rsvd::FixedRankOptions opts;
+      opts.k = k;
+      opts.p = p;
+      opts.q = q;
+      opts.power_ortho = s;
+      bench::WallTimer t;
+      auto res = rsvd::fixed_rank(tm.a.view(), opts);
+      const double dt = t.seconds();
+      std::printf("%-9s %3lld %12.3e %10.4f %10d\n", ortho::scheme_name(s),
+                  (long long)q, rsvd::approximation_error(tm.a.view(), res),
+                  dt, res.cholqr_fallbacks);
+    }
+  }
+  std::printf(
+      "\nReading: all schemes deliver the same error order (the power\n"
+      "iteration re-orthogonalizes every pass); CholQR/CholQR2 are the\n"
+      "cheapest BLAS-3 options, which is why the paper settles on CholQR\n"
+      "with one full reorthogonalization. Fallbacks > 0 indicate Gram\n"
+      "breakdowns rescued by HHQR (paper section 4).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation — QRCP variant (DESIGN.md design-choice study): column-wise
+// geqp2 vs blocked QP3 vs tournament-pivoting CAQP3 (§11's planned
+// comparator). Measures truncated residual quality, wall time, panel
+// counts and norm recomputes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/test_matrices.hpp"
+#include "la/householder.hpp"
+#include "qrcp/caqp3.hpp"
+
+using namespace randla;
+
+namespace {
+
+struct Row {
+  double seconds = 0;
+  double resid = 0;
+  qrcp::QrcpStats stats;
+};
+
+Row run_variant(ConstMatrixView<double> a0, index_t k, int variant) {
+  const index_t m = a0.rows();
+  const index_t n = a0.cols();
+  auto a = Matrix<double>::copy_of(a0);
+  Permutation jpvt;
+  std::vector<double> tau;
+  Row out;
+  bench::WallTimer t;
+  switch (variant) {
+    case 0:
+      qrcp::geqp2<double>(a.view(), jpvt, tau, k, &out.stats);
+      break;
+    case 1:
+      qrcp::geqp3<double>(a.view(), jpvt, tau, k, &out.stats);
+      break;
+    default:
+      qrcp::caqp3<double>(a.view(), jpvt, tau, k, &out.stats);
+      break;
+  }
+  out.seconds = t.seconds();
+
+  Matrix<double> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+  lapack::orgqr<double>(a.view(), tau, k);
+  Matrix<double> resid(m, n);
+  apply_column_permutation<double>(a0, jpvt, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(a.block(0, 0, m, k)),
+                     ConstMatrixView<double>(r.view()), 1.0, resid.view());
+  out.resid = norm_fro<double>(resid.view()) / norm_fro<double>(a0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation B", "QRCP variant: geqp2 vs QP3 vs CAQP3");
+  const index_t m = bench::scaled(3000, 800);
+  const index_t n = bench::scaled(600, 200);
+  const index_t k = 64;
+  auto tm = data::exponent_matrix<double>(m, n);
+
+  std::printf("exponent %lldx%lld truncated at k=%lld\n\n", (long long)m,
+              (long long)n, (long long)k);
+  std::printf("%-8s %10s %12s %8s %12s\n", "variant", "time(s)",
+              "|resid|/|A|", "panels", "recomputes");
+  const char* names[3] = {"geqp2", "geqp3", "caqp3"};
+  double resid[3];
+  for (int v = 0; v < 3; ++v) {
+    auto row = run_variant(tm.a.view(), k, v);
+    resid[v] = row.resid;
+    std::printf("%-8s %10.4f %12.3e %8lld %12lld\n", names[v], row.seconds,
+                row.resid, (long long)row.stats.panels,
+                (long long)row.stats.norm_recomputes);
+  }
+  std::printf(
+      "\nReading: all three variants reveal the numerical rank equally\n"
+      "well (residuals within ~%.1fx of each other). geqp3 replaces\n"
+      "geqp2's full-trailing BLAS-2 updates with one GEMM per panel;\n"
+      "caqp3 additionally removes the per-column pivot synchronization\n"
+      "(one tournament per panel) — the property that matters on\n"
+      "communication-bound hardware, not on this single-core host.\n",
+      std::max({resid[0], resid[1], resid[2]}) /
+          std::max(1e-300, std::min({resid[0], resid[1], resid[2]})));
+  return 0;
+}

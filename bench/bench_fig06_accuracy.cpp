@@ -1,0 +1,59 @@
+// Figure 6 — approximation error ‖AP − QR‖/‖A‖: deterministic QP3 vs
+// random sampling with q = 0, 1, 2 power iterations, on the three test
+// matrices. The paper's headline: q = 0 already matches QP3's order of
+// magnitude; iterations close the remaining gap; hapmap errors are large
+// for every method (its spectrum barely decays past k).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/test_matrices.hpp"
+
+using namespace randla;
+
+namespace {
+
+void run_row(const char* name, ConstMatrixView<double> a, index_t k,
+             index_t p, const char* paper_row) {
+  const double e_qp3 = bench::qp3_error(a, k);
+  double e_rs[3];
+  for (index_t q = 0; q <= 2; ++q) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = p;
+    opts.q = q;
+    auto res = rsvd::fixed_rank(a, opts);
+    e_rs[q] = rsvd::approximation_error(a, res);
+  }
+  std::printf("%-10s %10.2e %10.2e %10.2e %10.2e  | %s\n", name, e_qp3,
+              e_rs[0], e_rs[1], e_rs[2], paper_row);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6", "approximation error: QP3 vs random sampling");
+  const index_t m = bench::scaled(3000);
+  const index_t n = bench::scaled(300, 120);
+  const index_t k = 50, p = 10;
+
+  std::printf("%-10s %10s %10s %10s %10s  | paper (QP3, q=0, q=1, q=2)\n",
+              "matrix", "QP3", "RS q=0", "RS q=1", "RS q=2");
+
+  auto power = data::power_matrix<double>(m, n);
+  run_row("power", power.a.view(), k, p,
+          "4.47e-05 9.08e-05 4.59e-05 4.45e-05");
+
+  auto expm = data::exponent_matrix<double>(m, n);
+  run_row("exponent", expm.a.view(), k, p,
+          "2.69e-05 5.18e-05 2.69e-05 2.69e-05");
+
+  auto hm = data::hapmap_synthetic<double>(m, n);
+  run_row("hapmap", hm.a.view(), k, p,
+          "5.99e-01 9.86e-01 8.74e-01 8.18e-01");
+
+  std::printf(
+      "\nShape checks: RS q=0 within ~2x of QP3's order of magnitude on\n"
+      "power/exponent; q>=1 matches QP3; hapmap errors O(1) for all\n"
+      "methods (slow spectral decay past k).\n");
+  return 0;
+}

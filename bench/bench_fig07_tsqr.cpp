@@ -1,0 +1,82 @@
+// Figure 7 — performance of QP3 and tall-skinny QR schemes (CholQR,
+// CGS, HHQR, MGS, QP3) at n = 64 over an m sweep. Reported both as
+// measured Gflop/s of our CPU kernels (scaled m) and as the modeled
+// K40c Gflop/s at the paper's m values.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "model/perfmodel.hpp"
+#include "ortho/ortho.hpp"
+#include "rng/gaussian.hpp"
+
+using namespace randla;
+
+namespace {
+
+double measure_scheme(ortho::Scheme s, index_t m, index_t n) {
+  const Matrix<double> a0 = rng::gaussian_matrix<double>(m, n, 7);
+  Matrix<double> a = Matrix<double>::copy_of(a0.view());
+  bench::WallTimer t;
+  ortho::orthonormalize_columns<double>(s, a.view());
+  const double dt = t.seconds();
+  return ortho::scheme_flops(s, m, n) / dt * 1e-9;
+}
+
+double measure_qp3(index_t m, index_t n) {
+  const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 8);
+  const double dt = bench::time_qp3(a.view(), n);
+  return flops::qp3_truncated(m, n, n) / dt * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 7", "QP3 and tall-skinny QR performance (n=64)");
+  const index_t n = 64;
+  const model::DeviceSpec spec;
+
+  std::printf("MEASURED (CPU, Gflop/s)\n");
+  std::printf("%8s %8s %8s %8s %8s %8s\n", "m", "CholQR", "CGS", "HHQR", "MGS",
+              "QP3");
+  for (index_t m : {2500, 5000, 10000, 20000}) {
+    const index_t ms = bench::scaled(m, 256);
+    std::printf("%8lld %8.2f %8.2f %8.2f %8.2f %8.2f\n", (long long)ms,
+                measure_scheme(ortho::Scheme::CholQR, ms, n),
+                measure_scheme(ortho::Scheme::CGS, ms, n),
+                measure_scheme(ortho::Scheme::HHQR, ms, n),
+                measure_scheme(ortho::Scheme::MGS, ms, n), measure_qp3(ms, n));
+  }
+
+  std::printf("\nMODELED (K40c, Gflop/s, paper dims)\n");
+  std::printf("%8s %8s %8s %8s %8s %8s\n", "m", "CholQR", "CGS", "HHQR", "MGS",
+              "QP3");
+  double sum_chol_hh = 0, max_chol_hh = 0, sum_hh_qp3 = 0;
+  int count = 0;
+  for (index_t m : {2500, 10000, 25000, 50000}) {
+    double g[5];
+    const ortho::Scheme schemes[4] = {ortho::Scheme::CholQR,
+                                      ortho::Scheme::CGS, ortho::Scheme::HHQR,
+                                      ortho::Scheme::MGS};
+    for (int i = 0; i < 4; ++i)
+      g[i] = ortho::scheme_flops(schemes[i], m, n) /
+             model::ortho_seconds(spec, schemes[i], m, n) * 1e-9;
+    g[4] = flops::qp3_truncated(m, n, n) / model::qp3_seconds(spec, m, n, n) *
+           1e-9;
+    std::printf("%8lld %8.1f %8.1f %8.1f %8.1f %8.1f\n", (long long)m, g[0],
+                g[1], g[2], g[3], g[4]);
+    const double chol_hh = model::ortho_seconds(spec, ortho::Scheme::HHQR, m, n) /
+                           model::ortho_seconds(spec, ortho::Scheme::CholQR, m, n);
+    sum_chol_hh += chol_hh;
+    max_chol_hh = std::max(max_chol_hh, chol_hh);
+    sum_hh_qp3 += model::qp3_seconds(spec, m, n, n) /
+                  model::ortho_seconds(spec, ortho::Scheme::HHQR, m, n);
+    count++;
+  }
+  std::printf(
+      "\nmodeled speedups: CholQR/HHQR max %.1fx avg %.1fx (paper: 33.2x / "
+      "30.5x)\n"
+      "                  HHQR/QP3 avg %.1fx (paper: ~5x)\n",
+      max_chol_hh, sum_chol_hh / count, sum_hh_qp3 / count);
+  return 0;
+}

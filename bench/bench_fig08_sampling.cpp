@@ -1,0 +1,73 @@
+// Figure 8 — pruned Gaussian (GEMM) vs full FFT sampling vs GEMV, for
+// row sampling B = Ω·A (a) and column sampling B = Ω·Aᵀ (b), over the
+// subspace-size sweep ℓ = 32..512. The paper's crossovers: FFT becomes
+// faster than GEMM at ℓ > 192 (rows) and ℓ > 128 (columns).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fft/fft.hpp"
+#include "model/perfmodel.hpp"
+#include "rng/gaussian.hpp"
+
+using namespace randla;
+
+int main() {
+  bench::print_header("Figure 8",
+                      "pruned Gaussian vs full FFT sampling (row & column)");
+  const model::DeviceSpec spec;
+
+  // -------- measured, scaled dims (FFT pad wants powers of two).
+  const index_t m = bench::scaled(8192, 1024);
+  const index_t n = bench::scaled(512, 128);
+  const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 11);
+
+  std::printf("MEASURED (CPU, %lldx%lld A, seconds)\n", (long long)m,
+              (long long)n);
+  std::printf("%6s %12s %12s %12s\n", "l", "GEMM(row)", "FFT(row)",
+              "GEMM Gflop/s");
+  for (index_t l : {32, 64, 128, 256}) {
+    const Matrix<double> omega = rng::gaussian_matrix<double>(l, m, 12);
+    Matrix<double> b(l, n);
+    bench::WallTimer tg;
+    blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, omega.view(), a.view(),
+                       0.0, b.view());
+    const double t_gemm = tg.seconds();
+    bench::WallTimer tf;
+    auto bf = fft::fft_sample_rows<double>(a.view(), l, 13);
+    const double t_fft = tf.seconds();
+    std::printf("%6lld %12.4f %12.4f %12.2f\n", (long long)l, t_gemm, t_fft,
+                flops::gemm(l, n, m) / t_gemm * 1e-9);
+  }
+
+  // GEMV reference point (the kernel CGS/HHQR/QP3 are built on).
+  {
+    std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+    bench::WallTimer t;
+    blas::gemv<double>(Op::NoTrans, 1.0, a.view(), x.data(), 1, 0.0, y.data(),
+                       1);
+    std::printf("GEMV reference: %.2f Gflop/s\n",
+                flops::gemv(m, n) / t.seconds() * 1e-9);
+  }
+
+  // -------- modeled at the paper's dims: 50,000×2,500.
+  const index_t pm = 50000, pn = 2500;
+  std::printf("\nMODELED (K40c, 50,000x2,500, Gflop/s of the pruned-GEMM "
+              "flop count)\n");
+  std::printf("%6s %12s %12s %14s %s\n", "l", "GEMM", "FFT(effective)",
+              "faster", "(paper: FFT wins l>192 rows / l>128 cols)");
+  const double t_fft_row = model::fft_sample_seconds(spec, pm, pn);
+  const double t_fft_col = model::fft_sample_seconds(spec, pn, pm);
+  for (index_t l : {32, 64, 128, 192, 256, 384, 512}) {
+    const double fl = flops::gemm(l, pn, pm);
+    const double t_gemm = model::gemm_seconds(spec, l, pn, pm);
+    std::printf("%6lld %12.1f %12.1f %10s/row %9s/col\n", (long long)l,
+                fl / t_gemm * 1e-9, fl / t_fft_row * 1e-9,
+                t_gemm < t_fft_row ? "GEMM" : "FFT",
+                model::gemm_seconds(spec, l, pm, pn) < t_fft_col ? "GEMM"
+                                                                 : "FFT");
+  }
+  std::printf("modeled GEMV: %.1f Gflop/s (paper Fig. 8: well below GEMM)\n",
+              flops::gemv(pm, pn) / model::gemv_seconds(spec, pm, pn) * 1e-9);
+  return 0;
+}

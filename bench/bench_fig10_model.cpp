@@ -1,0 +1,32 @@
+// Figure 10 — estimated Gflop/s of random sampling (q = 0, 1) and
+// truncated QP3, from the Section 5 performance model at the paper's
+// dimensions (n = 2,500, ℓ = 64, m sweep). The paper's anchor points:
+// RS ≈ 676 Gflop/s (q=1), ≈ 489 (q=0), QP3 < 29; expected speedups
+// 23.8/3.6 ≈ 6.7 (q=1) and 17.1/1.2 ≈ 14.3 (q=0).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/perfmodel.hpp"
+
+using namespace randla;
+
+int main() {
+  bench::print_header("Figure 10", "modeled Gflop/s of random sampling vs QP3");
+  const model::DeviceSpec spec;
+  const index_t n = 2500, l = 64;
+
+  std::printf("%8s %12s %12s %10s %14s %14s\n", "m", "RS q=1", "RS q=0",
+              "QP3", "speedup(q=1)", "speedup(q=0)");
+  for (index_t m : {2500, 5000, 10000, 20000, 30000, 40000, 50000}) {
+    const auto rs1 = model::estimate_random_sampling(spec, m, n, l, 1);
+    const auto rs0 = model::estimate_random_sampling(spec, m, n, l, 0);
+    const auto qp3 = model::estimate_qp3(spec, m, n, l);
+    std::printf("%8lld %12.1f %12.1f %10.1f %13.1fx %13.1fx\n", (long long)m,
+                rs1.gflops(), rs0.gflops(), qp3.gflops(),
+                qp3.seconds / rs1.total(), qp3.seconds / rs0.total());
+  }
+  std::printf(
+      "\npaper anchors at m=50,000: RS(q=1) 676, RS(q=0) 489, QP3 <29 "
+      "Gflop/s;\nexpected speedups 6.7x (q=1) and 14.3x (q=0)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12 — random sampling vs QP3 time over the column sweep
+// (m fixed, n = 500..5,000, (ℓ; p; q) = (64; 10; 1)). Shape to
+// reproduce: QP3 time grows much faster in n than random sampling.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "model/perfmodel.hpp"
+#include "rng/gaussian.hpp"
+
+using namespace randla;
+
+int main() {
+  bench::print_header("Figure 12", "time vs number of columns n (m fixed)");
+  const index_t k = 54, p = 10, q = 1, l = k + p;
+  const index_t m = bench::scaled(8000, 1000);
+
+  std::printf("MEASURED (CPU, m=%lld, seconds)\n", (long long)m);
+  bench::rs_breakdown_header();
+  std::vector<double> ns_list, rs_t, qp3_t;
+  for (index_t n : {500, 1000, 2000, 3000}) {
+    const index_t nn = bench::scaled(n, 128);
+    const Matrix<double> a = rng::gaussian_matrix<double>(m, nn, 32);
+    char label[32];
+    std::snprintf(label, sizeof label, "n=%lld", (long long)nn);
+    const double t_rs = bench::rs_breakdown_row(a.view(), k, p, q, label);
+    const double t_qp3 = bench::time_qp3(a.view(), k);
+    std::printf(" %9.4f %7.1fx\n", t_qp3, t_qp3 / t_rs);
+    ns_list.push_back(double(nn));
+    rs_t.push_back(t_rs);
+    qp3_t.push_back(t_qp3);
+  }
+  const double qp3_growth = qp3_t.back() / qp3_t.front();
+  const double rs_growth = rs_t.back() / rs_t.front();
+  std::printf("growth over the n sweep: QP3 %.1fx vs RS %.1fx (QP3 grows "
+              "faster — paper's claim)\n",
+              qp3_growth, rs_growth);
+
+  std::printf(
+      "NOTE: measured speedup < 1 is expected here: on one CPU core the\n"
+      "BLAS-2 kernels QP3 leans on run at nearly GEMM speed and there is\n"
+      "no per-pivot synchronization cost, so RS's extra flops are not\n"
+      "repaid. The MODELED table below carries the paper comparison.\n");
+  const model::DeviceSpec spec;
+  std::printf("\nMODELED (K40c, m=50,000, seconds)\n");
+  std::printf("%8s %10s %10s %10s\n", "n", "RS q=1", "QP3", "speedup");
+  for (index_t n : {500, 1000, 2500, 5000}) {
+    const auto rs1 = model::estimate_random_sampling(spec, 50000, n, l, 1);
+    const auto qp3 = model::estimate_qp3(spec, 50000, n, k);
+    std::printf("%8lld %10.4f %10.4f %9.1fx\n", (long long)n, rs1.total(),
+                qp3.seconds, qp3.seconds / rs1.total());
+  }
+  return 0;
+}

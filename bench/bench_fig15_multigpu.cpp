@@ -1,0 +1,114 @@
+// Figure 15 — strong parallel scaling over (simulated) Kepler GPUs at
+// (m; n) = (150,000; 2,500), (ℓ; p; q) = (64; 10; 1). Paper anchors:
+// GEMM speedups 2.8× / 5.1× on 2 / 3 GPUs (superlinear — taller chunks
+// run the GEMM less efficiently), overall speedups 2.4× / 3.8×, and
+// inter-GPU communication at 1.6% / 4.3% of total.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "la/flops.hpp"
+#include "model/perfmodel.hpp"
+#include "rng/gaussian.hpp"
+#include "sim/multi_gpu.hpp"
+
+using namespace randla;
+
+namespace {
+
+// Pure-model multi-device estimate at the paper's dimensions, mirroring
+// MultiDeviceContext::fixed_rank's charging rules without executing.
+rsvd::PhaseTimes modeled_multi(const model::DeviceSpec& spec, index_t m,
+                               index_t n, index_t l, index_t k, index_t q,
+                               int ng) {
+  rsvd::PhaseTimes t;
+  const index_t c = m / ng;  // rows per device
+  const double ln = double(l) * double(n);
+  const double ll = double(l) * double(l);
+
+  t.prng += model::prng_seconds(spec, l, c);
+  t.sampling += model::gemm_seconds(spec, l, n, c);
+  t.comms += ng * model::transfer_seconds(spec, ln);  // gather B(i)
+
+  for (index_t it = 0; it < q; ++it) {
+    // Host QR of B (CholQR2 flop volume) + broadcast.
+    t.orth_iter += model::host_seconds(
+        spec, ortho::scheme_flops(ortho::Scheme::CholQR2, n, l));
+    t.comms += ng * model::transfer_seconds(spec, ln);
+    // C(i) = B·A(i)ᵀ.
+    t.gemm_iter += model::gemm_seconds(spec, l, c, n);
+    // Multi-device CholQR of C (Figure 4).
+    t.orth_iter += model::gemm_seconds(spec, l, l, c);  // Gram blocks
+    t.comms += ng * model::transfer_seconds(spec, ll);
+    t.orth_iter += model::host_seconds(spec, flops::potrf(l));
+    t.comms += ng * model::transfer_seconds(spec, ll);
+    t.orth_iter +=
+        flops::trsm(c, l) / (model::gemm_gflops(spec, l, c) * 1e9);
+    // B(i) = C(i)·A(i) + gather.
+    t.gemm_iter += model::gemm_seconds(spec, l, n, c);
+    t.comms += ng * model::transfer_seconds(spec, ln);
+  }
+
+  // Step 2 on device 0.
+  t.comms += model::transfer_seconds(spec, ln);
+  t.qrcp += model::qp3_seconds(spec, l, n, k);
+
+  // Step 3: multi-device CholQR of A·P₁:k.
+  t.qr += double(c) * double(k) * 8.0 / (spec.mem_bw_gbps * 1e9);  // gather
+  t.qr += model::gemm_seconds(spec, k, k, c);
+  t.comms += 2.0 * ng * model::transfer_seconds(spec, double(k) * double(k));
+  t.qr += model::host_seconds(spec, flops::potrf(k));
+  t.qr += flops::trsm(c, k) / (model::gemm_gflops(spec, k, c) * 1e9);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 15", "strong scaling over multiple devices");
+  const model::DeviceSpec spec;
+  const index_t k = 54, p = 10, l = k + p, q = 1;
+
+  // -------- real runs on the simulated runtime, scaled dims. The
+  // modeled clocks come from the actual shard sizes.
+  const index_t m = bench::scaled(15000, 2000);
+  const index_t n = bench::scaled(500, 128);
+  const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 41);
+  std::printf("SIMULATED RUNTIME (real kernels at %lldx%lld, modeled device "
+              "clocks)\n",
+              (long long)m, (long long)n);
+  std::printf("%6s %10s %10s %10s %10s %10s\n", "ng", "modeled", "speedup",
+              "comms", "comms%", "wall(s)");
+  double t1 = 0;
+  for (int ng = 1; ng <= 3; ++ng) {
+    sim::MultiDeviceContext ctx(ng);
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = p;
+    opts.q = q;
+    bench::WallTimer wt;
+    auto r = ctx.fixed_rank(a.view(), opts);
+    if (ng == 1) t1 = r.modeled_total;
+    std::printf("%6d %10.5f %9.2fx %10.5f %9.1f%% %10.3f\n", ng,
+                r.modeled_total, t1 / r.modeled_total, r.modeled.comms,
+                100.0 * r.modeled.comms / r.modeled_total, wt.seconds());
+  }
+
+  // -------- pure model at the paper's dims.
+  std::printf("\nMODELED (K40c, 150,000x2,500; paper: speedups 2.4x/3.8x, "
+              "comms 1.6%%/4.3%%, GEMM speedups 2.8x/5.1x)\n");
+  std::printf("%6s %10s %10s %10s %10s %12s\n", "ng", "total", "speedup",
+              "comms%", "gemm(s)", "gemm speedup");
+  double total1 = 0, gemm1 = 0;
+  for (int ng = 1; ng <= 3; ++ng) {
+    auto t = modeled_multi(spec, 150000, 2500, l, k, q, ng);
+    const double gemm_t = t.sampling + t.gemm_iter;
+    if (ng == 1) {
+      total1 = t.total();
+      gemm1 = gemm_t;
+    }
+    std::printf("%6d %10.4f %9.2fx %9.1f%% %10.4f %11.2fx\n", ng, t.total(),
+                total1 / t.total(), 100.0 * t.comms / t.total(), gemm_t,
+                gemm1 / gemm_t);
+  }
+  return 0;
+}

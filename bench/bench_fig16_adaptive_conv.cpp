@@ -1,0 +1,49 @@
+// Figure 16 — convergence of the adaptive-ℓ error estimate ε̃ against
+// the selected sampling size, for static increments ℓ_inc ∈ {8,16,32,64}
+// on the exponent matrix with q = 0, plus the actual error (the paper's
+// dashed line, 1–2 orders below the estimates).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/test_matrices.hpp"
+#include "rsvd/adaptive.hpp"
+
+using namespace randla;
+
+int main() {
+  bench::print_header("Figure 16",
+                      "adaptive scheme: error estimate vs sampling size");
+  const index_t m = bench::scaled(4000, 1000);
+  const index_t n = bench::scaled(500, 200);
+  auto tm = data::exponent_matrix<double>(m, n);
+  const double eps = 1e-10;
+
+  std::printf("exponent %lldx%lld, q=0, eps=%.0e (relative)\n\n", (long long)m,
+              (long long)n, eps);
+  for (index_t linc : {8, 16, 32, 64}) {
+    rsvd::AdaptiveOptions o;
+    o.epsilon = eps;
+    o.relative = true;
+    o.l_init = 8;
+    o.l_inc = linc;
+    auto res = rsvd::adaptive_sample(tm.a.view(), o);
+    std::printf("l_inc=%-3lld converged=%s steps=%zu final l=%lld\n",
+                (long long)linc, res.converged ? "yes" : "no",
+                res.trace.size(), (long long)res.basis.rows());
+    std::printf("  l:    ");
+    for (const auto& s : res.trace) std::printf("%8lld", (long long)s.l);
+    std::printf("\n  eps~: ");
+    for (const auto& s : res.trace) std::printf("%8.1e", s.err_est);
+    std::printf("\n");
+    const double actual = rsvd::projection_error(tm.a.view(), res.basis.view());
+    std::printf("  actual error at final l: %.2e (estimate is pessimistic "
+                "by ~%.0fx)\n\n",
+                actual,
+                actual > 0 ? res.trace.back().err_est / actual : 0.0);
+  }
+  std::printf(
+      "Shape checks (paper): smaller l_inc gives slightly worse (larger)\n"
+      "estimates at equal l; larger l_inc overshoots the needed subspace;\n"
+      "the actual error sits 1-2 orders below the estimates.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 17 — adaptive-ℓ convergence against elapsed time, static
+// ℓ_inc ∈ {8,16,32,64} vs the interpolation-adapted ℓ_inc. Shape to
+// reproduce: small static increments converge slowly (poor GEMM
+// efficiency at tiny panel widths — Fig. 18), large ones overshoot;
+// the adaptive ℓ_inc tracks the best of both.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/test_matrices.hpp"
+#include "model/perfmodel.hpp"
+#include "rsvd/adaptive.hpp"
+
+using namespace randla;
+
+namespace {
+
+// Modeled K40c seconds for one adaptive run's sampling work: the
+// measured single-core times do not show the small-panel GEMM penalty
+// (Fig. 18), so convert each step's increment into modeled time.
+double modeled_trace_seconds(const std::vector<rsvd::AdaptiveStep>& trace,
+                             index_t m, index_t n) {
+  const model::DeviceSpec spec;
+  double t = 0;
+  for (const auto& s : trace) {
+    t += model::prng_seconds(spec, s.l_inc, m);
+    t += model::gemm_seconds(spec, s.l_inc, n, m);       // probe sample
+    t += 2.0 * model::gemm_seconds(spec, s.l_inc, n, s.l);  // estimate
+  }
+  return t;
+}
+
+void run(const char* label, rsvd::IncMode mode, index_t linc,
+         ConstMatrixView<double> a, double eps) {
+  rsvd::AdaptiveOptions o;
+  o.epsilon = eps;
+  o.relative = true;
+  o.l_init = linc;
+  o.l_inc = linc;
+  o.mode = mode;
+  auto res = rsvd::adaptive_sample(a, o);
+  std::printf("%-22s steps=%2zu final l=%3lld wall=%7.4fs modeled=%8.5fs %s\n",
+              label, res.trace.size(), (long long)res.basis.rows(),
+              res.trace.empty() ? 0.0 : res.trace.back().seconds,
+              modeled_trace_seconds(res.trace, a.rows(), a.cols()),
+              res.converged ? "" : "(hit cap)");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 17", "adaptive scheme: estimate vs time");
+  const index_t m = bench::scaled(4000, 1000);
+  const index_t n = bench::scaled(500, 200);
+  auto tm = data::exponent_matrix<double>(m, n);
+  const double eps = 1e-10;
+  std::printf("exponent %lldx%lld, q=0, eps=%.0e (relative)\n\n", (long long)m,
+              (long long)n, eps);
+
+  for (index_t linc : {8, 16, 32, 64}) {
+    char lbl[40];
+    std::snprintf(lbl, sizeof lbl, "static  l_inc=%lld", (long long)linc);
+    run(lbl, rsvd::IncMode::Static, linc, tm.a.view(), eps);
+    std::snprintf(lbl, sizeof lbl, "adaptive (init %lld)", (long long)linc);
+    run(lbl, rsvd::IncMode::Interpolated, linc, tm.a.view(), eps);
+  }
+  std::printf(
+      "\nShape checks (paper): in modeled time, l_inc=8 converges slowest\n"
+      "despite selecting the smallest subspace (GEMM inefficiency at small\n"
+      "panels); the interpolated l_inc reaches the tolerance in fewer,\n"
+      "larger steps without the worst overshoot.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the kernels underneath every
+// figure: GEMM (sampling), CholQR / HHQR (orthogonalization), truncated
+// QP3 (the baseline), FFT (the alternative sampler), and the Philox
+// Gaussian generator (PRNG phase).
+#include <benchmark/benchmark.h>
+
+#include "fft/fft.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "ortho/ortho.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rng/gaussian.hpp"
+#include "rsvd/rsvd.hpp"
+
+namespace {
+
+using namespace randla;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t l = state.range(0);
+  const index_t m = 2000, n = 500;
+  const Matrix<double> a = rng::gaussian_matrix<double>(l, m, 1);
+  const Matrix<double> b = rng::gaussian_matrix<double>(m, n, 2);
+  Matrix<double> c(l, n);
+  for (auto _ : state) {
+    blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(), b.view(), 0.0,
+                       c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      flops::gemm(l, n, m) * double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CholQrTall(benchmark::State& state) {
+  const index_t m = state.range(0), n = 64;
+  const Matrix<double> a0 = rng::gaussian_matrix<double>(m, n, 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<double> a = Matrix<double>::copy_of(a0.view());
+    state.ResumeTiming();
+    ortho::orthonormalize_columns<double>(ortho::Scheme::CholQR, a.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_CholQrTall)->Arg(2000)->Arg(8000);
+
+void BM_HhqrTall(benchmark::State& state) {
+  const index_t m = state.range(0), n = 64;
+  const Matrix<double> a0 = rng::gaussian_matrix<double>(m, n, 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<double> a = Matrix<double>::copy_of(a0.view());
+    state.ResumeTiming();
+    ortho::orthonormalize_columns<double>(ortho::Scheme::HHQR, a.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_HhqrTall)->Arg(2000)->Arg(8000);
+
+void BM_Qp3Truncated(benchmark::State& state) {
+  const index_t m = 1500, n = 300, k = state.range(0);
+  const Matrix<double> a0 = rng::gaussian_matrix<double>(m, n, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix<double> a = Matrix<double>::copy_of(a0.view());
+    Permutation jpvt;
+    std::vector<double> tau;
+    state.ResumeTiming();
+    qrcp::geqp3<double>(a.view(), jpvt, tau, k);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Qp3Truncated)->Arg(16)->Arg(64);
+
+void BM_FftSampleRows(benchmark::State& state) {
+  const index_t m = 2048, n = 200, l = state.range(0);
+  const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 6);
+  for (auto _ : state) {
+    auto b = fft::fft_sample_rows<double>(a.view(), l, 7);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_FftSampleRows)->Arg(32)->Arg(128);
+
+void BM_GaussianFill(benchmark::State& state) {
+  Matrix<double> omega(64, state.range(0));
+  for (auto _ : state) {
+    rng::fill_gaussian(omega.view(), 9);
+    benchmark::DoNotOptimize(omega.data());
+  }
+  state.counters["elems/s"] = benchmark::Counter(
+      double(omega.rows() * omega.cols()) * double(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GaussianFill)->Arg(2000)->Arg(8000);
+
+void BM_FixedRankEndToEnd(benchmark::State& state) {
+  const index_t m = 2000, n = 300;
+  const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 10);
+  rsvd::FixedRankOptions opts;
+  opts.k = 20;
+  opts.p = 10;
+  opts.q = state.range(0);
+  for (auto _ : state) {
+    auto res = rsvd::fixed_rank(a.view(), opts);
+    benchmark::DoNotOptimize(res.q.data());
+  }
+}
+BENCHMARK(BM_FixedRankEndToEnd)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// bench_util.hpp — shared helpers for the figure-reproduction benches.
+//
+// Every bench prints two kinds of numbers:
+//  * MEASURED — real wall-clock of our CPU kernels at scaled-down
+//    dimensions (this container has one core; absolute values are not
+//    comparable to a K40c, but the *shape* — linear trends, who wins,
+//    crossovers — is);
+//  * MODELED — the calibrated K40c model evaluated at the paper's
+//    original dimensions (directly comparable to the published figures).
+//
+// RANDLA_BENCH_SCALE (default 1.0) scales the measured problem sizes;
+// set it below 1 for a quick smoke run or above 1 on a beefier machine.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "la/blas2.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+#include "la/permutation.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rsvd/rsvd.hpp"
+
+namespace randla::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("RANDLA_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// Scale a dimension, keeping it at least `floor`.
+inline index_t scaled(index_t dim, index_t floor = 32) {
+  const double v = double(dim) * bench_scale();
+  return std::max(floor, static_cast<index_t>(v));
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(measured = this machine's CPU at scaled dims; modeled = \n");
+  std::printf(" calibrated K40c model at the paper's dims; see DESIGN.md)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Truncated QP3 of a copy of A: returns wall seconds, and the factors
+/// via out-params if requested.
+inline double time_qp3(ConstMatrixView<double> a, index_t k,
+                       Permutation* perm_out = nullptr,
+                       qrcp::QrcpStats* stats_out = nullptr) {
+  Matrix<double> work = Matrix<double>::copy_of(a);
+  Permutation perm;
+  std::vector<double> tau;
+  qrcp::QrcpStats stats;
+  WallTimer t;
+  qrcp::geqp3<double>(work.view(), perm, tau, k, &stats);
+  const double dt = t.seconds();
+  if (perm_out) *perm_out = perm;
+  if (stats_out) *stats_out = stats;
+  return dt;
+}
+
+/// ‖A·P − Q·R‖₂/‖A‖₂ for a truncated QP3 run (Fig. 6 reference errors).
+inline double qp3_error(ConstMatrixView<double> a, index_t k) {
+  Matrix<double> work = Matrix<double>::copy_of(a);
+  Permutation perm;
+  std::vector<double> tau;
+  qrcp::geqp3<double>(work.view(), perm, tau, k);
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  Matrix<double> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = work(i, j);
+  lapack::orgqr<double>(work.view(), tau, k);
+  Matrix<double> resid(m, n);
+  apply_column_permutation<double>(a, perm, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(work.block(0, 0, m, k)),
+                     ConstMatrixView<double>(r.view()), 1.0, resid.view());
+  const double na = norm_fro<double>(a);
+  return norm_fro<double>(ConstMatrixView<double>(resid.view())) / na;
+}
+
+/// Run fixed-rank RS on A and print a Figure-11-style breakdown row:
+/// PRNG | Sampling | GEMM(iter) | Orth(iter) | QRCP | QR | total.
+/// Returns the total seconds.
+inline double rs_breakdown_row(ConstMatrixView<double> a, index_t k,
+                               index_t p, index_t q, const char* label) {
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = p;
+  opts.q = q;
+  auto res = rsvd::fixed_rank(a, opts);
+  const auto& ph = res.phases;
+  std::printf("%8s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %9.4f", label, ph.prng,
+              ph.sampling, ph.gemm_iter, ph.orth_iter, ph.qrcp, ph.qr,
+              ph.total());
+  return ph.total();
+}
+
+inline void rs_breakdown_header() {
+  std::printf("%8s %8s %8s %8s %8s %8s %8s %9s %9s %8s\n", "", "PRNG", "Sampl",
+              "GEMMit", "Orthit", "QRCP", "QR", "RStotal", "QP3", "speedup");
+}
+
+}  // namespace randla::bench

@@ -1,0 +1,137 @@
+// population_clustering — the paper's motivating application (§6): a
+// low-rank approximation of a genotype matrix reveals population
+// structure. We generate a Balding–Nichols SNP matrix (the HapMap
+// stand-in, see DESIGN.md), compute a rank-k basis by random sampling,
+// project the individuals onto it, cluster with k-means, and score the
+// clusters against the known population labels.
+//
+// Build & run:  ./examples/population_clustering [snps individuals]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "data/test_matrices.hpp"
+#include "la/blas1.hpp"
+#include "la/blas3.hpp"
+#include "rng/philox.hpp"
+#include "rsvd/rsvd.hpp"
+
+using namespace randla;
+
+namespace {
+
+// Plain k-means on the columns of `pts` (dim × count), deterministic
+// seeding, a handful of Lloyd iterations.
+std::vector<index_t> kmeans_columns(ConstMatrixView<double> pts, index_t kc,
+                                    std::uint64_t seed) {
+  const index_t dim = pts.rows();
+  const index_t count = pts.cols();
+  Matrix<double> centers(dim, kc);
+  rng::Philox4x32 g(seed);
+  for (index_t c = 0; c < kc; ++c) {
+    const index_t pick = static_cast<index_t>(g.next_u64() %
+                                              static_cast<std::uint64_t>(count));
+    centers.view().col(c).copy_from(pts.col(pick));
+  }
+  std::vector<index_t> assign(static_cast<std::size_t>(count), 0);
+  for (int iter = 0; iter < 25; ++iter) {
+    bool changed = false;
+    for (index_t j = 0; j < count; ++j) {
+      double best = 1e300;
+      index_t best_c = 0;
+      for (index_t c = 0; c < kc; ++c) {
+        double d = 0;
+        for (index_t i = 0; i < dim; ++i) {
+          const double diff = pts(i, j) - centers(i, c);
+          d += diff * diff;
+        }
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assign[static_cast<std::size_t>(j)] != best_c) changed = true;
+      assign[static_cast<std::size_t>(j)] = best_c;
+    }
+    if (!changed) break;
+    centers.view().set_zero();
+    std::vector<index_t> sizes(static_cast<std::size_t>(kc), 0);
+    for (index_t j = 0; j < count; ++j) {
+      const index_t c = assign[static_cast<std::size_t>(j)];
+      sizes[static_cast<std::size_t>(c)]++;
+      for (index_t i = 0; i < dim; ++i) centers(i, c) += pts(i, j);
+    }
+    for (index_t c = 0; c < kc; ++c) {
+      if (sizes[static_cast<std::size_t>(c)] > 0)
+        blas::scal<double>(dim, 1.0 / double(sizes[static_cast<std::size_t>(c)]),
+                           centers.view().col_ptr(c), 1);
+    }
+  }
+  return assign;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t m = argc > 1 ? std::atoll(argv[1]) : 3000;  // SNPs
+  const index_t n = argc > 2 ? std::atoll(argv[2]) : 240;   // individuals
+  const index_t npop = 4;  // CEU / GIH / JPT / YRI in the paper
+  const index_t k = 10;
+
+  std::printf("generating %lld SNPs x %lld individuals, %lld populations "
+              "(Balding-Nichols)...\n",
+              (long long)m, (long long)n, (long long)npop);
+  data::HapmapParams params;
+  params.n_populations = npop;
+  auto tm = data::hapmap_synthetic<double>(m, n, params);
+  const auto truth = data::hapmap_population_labels(n, npop);
+
+  // Center each SNP (row) — standard practice before genotype PCA.
+  for (index_t i = 0; i < m; ++i) {
+    double mean = 0;
+    for (index_t j = 0; j < n; ++j) mean += tm.a(i, j);
+    mean /= double(n);
+    for (index_t j = 0; j < n; ++j) tm.a(i, j) -= mean;
+  }
+
+  // Rank-k approximation: AP ~= QR. The rows of R are the individuals'
+  // coordinates in the top-k subspace (columns permuted by P).
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 10;
+  opts.q = 1;
+  auto res = rsvd::fixed_rank(tm.a.view(), opts);
+  std::printf("rank-%lld basis computed in %.3f s (error %.3f)\n",
+              (long long)k, res.phases.total(),
+              rsvd::approximation_error(tm.a.view(), res));
+
+  // Undo the column permutation so column j of R corresponds to
+  // individual j again.
+  Matrix<double> coords(k, n);
+  const auto inv = inverse_permutation(res.perm);
+  for (index_t j = 0; j < n; ++j)
+    coords.view().col(j).copy_from(
+        res.r.view().col(inv[static_cast<std::size_t>(j)]));
+
+  const auto assign = kmeans_columns(coords.view(), npop, 12345);
+
+  // Cluster purity: majority-truth-label share per cluster.
+  index_t correct = 0;
+  for (index_t c = 0; c < npop; ++c) {
+    std::vector<index_t> hist(static_cast<std::size_t>(npop), 0);
+    for (index_t j = 0; j < n; ++j)
+      if (assign[static_cast<std::size_t>(j)] == c)
+        hist[static_cast<std::size_t>(truth[static_cast<std::size_t>(j)])]++;
+    correct += *std::max_element(hist.begin(), hist.end());
+  }
+  const double purity = double(correct) / double(n);
+  std::printf("k-means on the top-%lld coordinates: cluster purity %.1f%% "
+              "(%lld/%lld individuals)\n",
+              (long long)k, 100.0 * purity, (long long)correct, (long long)n);
+  std::printf("%s\n", purity > 0.9
+                          ? "=> population structure fully recovered from the "
+                            "low-rank factors."
+                          : "=> partial recovery; increase SNP count or Fst.");
+  return purity > 0.5 ? 0 : 1;
+}

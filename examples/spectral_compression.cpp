@@ -1,0 +1,74 @@
+// spectral_compression — compress a smooth 2D field with the truncated
+// SVD built on random sampling. Smooth kernels have rapidly decaying
+// spectra (the "power"-matrix regime of Table 1), so a handful of
+// singular triplets reproduce the field to high accuracy at a fraction
+// of the storage.
+//
+// Build & run:  ./examples/spectral_compression [grid]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rsvd/truncated_svd.hpp"
+
+using namespace randla;
+
+namespace {
+
+// A sum of Gaussian bumps sampled on a grid — an exponentially decaying
+// spectrum, like a blurred image or a smooth physical field.
+Matrix<double> smooth_field(index_t rows, index_t cols) {
+  Matrix<double> f(rows, cols);
+  const struct {
+    double cx, cy, w, amp;
+  } bumps[] = {{0.2, 0.3, 0.05, 1.0},
+               {0.7, 0.6, 0.10, -0.8},
+               {0.5, 0.15, 0.02, 0.6},
+               {0.85, 0.85, 0.15, 0.9},
+               {0.1, 0.8, 0.07, -0.5}};
+  for (index_t j = 0; j < cols; ++j) {
+    const double y = double(j) / double(cols - 1);
+    for (index_t i = 0; i < rows; ++i) {
+      const double x = double(i) / double(rows - 1);
+      double v = 0;
+      for (const auto& b : bumps) {
+        const double dx = x - b.cx;
+        const double dy = y - b.cy;
+        v += b.amp * std::exp(-(dx * dx + dy * dy) / (2 * b.w * b.w));
+      }
+      f(i, j) = v;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t g = argc > 1 ? std::atoll(argv[1]) : 600;
+  const index_t m = g, n = g / 2;
+  std::printf("smooth %lld x %lld field (sum of Gaussian bumps)\n\n",
+              (long long)m, (long long)n);
+  const Matrix<double> field = smooth_field(m, n);
+  const double full_storage = double(m) * double(n);
+
+  std::printf("%6s %12s %14s %12s\n", "k", "rel. error", "storage(vs A)",
+              "sigma_k/sigma_0");
+  for (index_t k : {2, 5, 10, 20, 40}) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = 8;
+    opts.q = 1;
+    auto res = rsvd::truncated_svd(field.view(), opts);
+    const double err = rsvd::svd_approximation_error(field.view(), res);
+    const double storage = double(k) * double(m + n + 1) / full_storage;
+    std::printf("%6lld %12.3e %13.2f%% %12.3e\n", (long long)k, err,
+                100.0 * storage,
+                res.sigma[static_cast<std::size_t>(k - 1)] / res.sigma[0]);
+  }
+  std::printf(
+      "\nA few dozen singular triplets reproduce the field to near machine precision at a\n"
+      "few percent of the dense storage — the regime where random\n"
+      "sampling's single pass over A (plus q=1 refinement) shines.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "data/distributions.hpp"
+
+#include <cmath>
+
+namespace randla::data {
+
+double RandomSource::gamma(double shape) {
+  // Marsaglia & Tsang (2000). For shape < 1, draw Gamma(shape + 1) and
+  // scale by U^(1/shape).
+  if (shape < 1.0) {
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double RandomSource::beta(double a, double b) {
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+}  // namespace randla::data

@@ -1,0 +1,41 @@
+// distributions.hpp — scalar distributions for the synthetic data
+// generators (Gamma/Beta for the Balding–Nichols SNP model, Binomial for
+// genotypes).
+#pragma once
+
+#include <cstdint>
+
+#include "rng/gaussian.hpp"
+#include "rng/philox.hpp"
+
+namespace randla::data {
+
+/// Random scalar source bundling a uniform and a Gaussian stream.
+class RandomSource {
+ public:
+  explicit RandomSource(std::uint64_t seed, std::uint64_t stream = 0)
+      : uni_(seed, stream * 2 + 1), gauss_(seed, stream * 2) {}
+
+  double uniform() { return uni_.next_uniform(); }
+  double gaussian() { return gauss_.next(); }
+
+  /// Gamma(shape, 1) via Marsaglia–Tsang squeeze (shape boosting for
+  /// shape < 1).
+  double gamma(double shape);
+
+  /// Beta(a, b) via the ratio of two Gammas.
+  double beta(double a, double b);
+
+  /// Binomial(n, p) by direct Bernoulli summation (n is tiny here: 2).
+  int binomial(int n, double p) {
+    int k = 0;
+    for (int i = 0; i < n; ++i) k += (uniform() < p);
+    return k;
+  }
+
+ private:
+  rng::Philox4x32 uni_;
+  rng::GaussianStream gauss_;
+};
+
+}  // namespace randla::data

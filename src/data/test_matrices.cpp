@@ -1,0 +1,135 @@
+#include "data/test_matrices.hpp"
+
+#include <cmath>
+
+#include "data/distributions.hpp"
+#include "la/blas3.hpp"
+#include "la/householder.hpp"
+#include "rng/gaussian.hpp"
+
+namespace randla::data {
+
+namespace {
+
+// Orthonormal m×r factor, Haar-ish: thin-QR of a Gaussian matrix.
+template <class Real>
+Matrix<Real> random_orthonormal(index_t m, index_t r, std::uint64_t seed) {
+  Matrix<Real> g = rng::gaussian_matrix<Real>(m, r, seed);
+  Matrix<Real> rfac(r, r);
+  lapack::qr_explicit(g.view(), rfac.view());
+  return g;
+}
+
+}  // namespace
+
+template <class Real>
+TestMatrix<Real> synthetic_svd(index_t m, index_t n,
+                               const std::function<Real(index_t)>& sigma_of,
+                               std::uint64_t seed, std::string name) {
+  const index_t r = std::min(m, n);
+  TestMatrix<Real> out;
+  out.name = std::move(name);
+  out.sigma.resize(static_cast<std::size_t>(r));
+  for (index_t i = 0; i < r; ++i)
+    out.sigma[static_cast<std::size_t>(i)] = sigma_of(i);
+
+  Matrix<Real> x = random_orthonormal<Real>(m, r, seed);
+  Matrix<Real> y = random_orthonormal<Real>(n, r, seed + 17);
+
+  // A = X·diag(σ)·Yᵀ: scale X columns then one GEMM.
+  for (index_t j = 0; j < r; ++j) {
+    Real* c = x.view().col_ptr(j);
+    const Real s = out.sigma[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < m; ++i) c[i] *= s;
+  }
+  out.a.resize(m, n);
+  blas::gemm(Op::NoTrans, Op::Trans, Real(1), ConstMatrixView<Real>(x.view()),
+             ConstMatrixView<Real>(y.view()), Real(0), out.a.view());
+  return out;
+}
+
+template <class Real>
+TestMatrix<Real> power_matrix(index_t m, index_t n, std::uint64_t seed) {
+  return synthetic_svd<Real>(
+      m, n,
+      [](index_t i) {
+        const Real base = Real(i + 1);
+        return Real(1) / (base * base * base);
+      },
+      seed, "power");
+}
+
+template <class Real>
+TestMatrix<Real> exponent_matrix(index_t m, index_t n, std::uint64_t seed) {
+  return synthetic_svd<Real>(
+      m, n,
+      [](index_t i) { return std::pow(Real(10), -Real(i) / Real(10)); }, seed,
+      "exponent");
+}
+
+template <class Real>
+TestMatrix<Real> hapmap_synthetic(index_t m, index_t n,
+                                  const HapmapParams& params,
+                                  std::uint64_t seed) {
+  TestMatrix<Real> out;
+  out.name = "hapmap";
+  out.a.resize(m, n);
+
+  const index_t npop = params.n_populations;
+  const auto labels = hapmap_population_labels(n, npop);
+
+  // Per-SNP generation (row i uses its own substream so the matrix is
+  // reproducible under any row partitioning).
+  std::vector<double> pop_freq(static_cast<std::size_t>(npop));
+  const double bn = (1.0 - params.fst) / params.fst;
+  for (index_t i = 0; i < m; ++i) {
+    RandomSource rs(seed, static_cast<std::uint64_t>(i));
+    const double anc =
+        params.maf_min + (params.maf_max - params.maf_min) * rs.uniform();
+    for (index_t k = 0; k < npop; ++k) {
+      // Balding–Nichols: p_ik ~ Beta(p·(1−F)/F, (1−p)·(1−F)/F).
+      double f = rs.beta(anc * bn, (1.0 - anc) * bn);
+      // Clamp away from 0/1 so no SNP is degenerate.
+      f = std::min(0.99, std::max(0.01, f));
+      pop_freq[static_cast<std::size_t>(k)] = f;
+    }
+    for (index_t j = 0; j < n; ++j) {
+      const double f =
+          pop_freq[static_cast<std::size_t>(labels[static_cast<std::size_t>(j)])];
+      out.a(i, j) = static_cast<Real>(rs.binomial(2, f));
+    }
+  }
+  return out;  // spectrum unknown by construction; out.sigma stays empty
+}
+
+std::vector<index_t> hapmap_population_labels(index_t n, index_t n_populations) {
+  std::vector<index_t> labels(static_cast<std::size_t>(n));
+  // Even contiguous split; the remainder goes to the leading populations.
+  const index_t base = n / n_populations;
+  const index_t extra = n % n_populations;
+  index_t j = 0;
+  for (index_t k = 0; k < n_populations; ++k) {
+    const index_t count = base + (k < extra ? 1 : 0);
+    for (index_t c = 0; c < count; ++c) labels[static_cast<std::size_t>(j++)] = k;
+  }
+  return labels;
+}
+
+#define RANDLA_INSTANTIATE_DATA(Real)                                         \
+  template struct TestMatrix<Real>;                                           \
+  template TestMatrix<Real> synthetic_svd<Real>(                              \
+      index_t, index_t, const std::function<Real(index_t)>&, std::uint64_t,   \
+      std::string);                                                           \
+  template TestMatrix<Real> power_matrix<Real>(index_t, index_t,              \
+                                               std::uint64_t);                \
+  template TestMatrix<Real> exponent_matrix<Real>(index_t, index_t,           \
+                                                  std::uint64_t);             \
+  template TestMatrix<Real> hapmap_synthetic<Real>(                           \
+      index_t, index_t, const HapmapParams&, std::uint64_t);
+
+RANDLA_INSTANTIATE_DATA(float)
+RANDLA_INSTANTIATE_DATA(double)
+
+#undef RANDLA_INSTANTIATE_DATA
+
+}  // namespace randla::data

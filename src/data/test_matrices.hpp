@@ -1,0 +1,63 @@
+// test_matrices.hpp — the evaluation matrices of the paper's Table 1.
+//
+// power:    A = XΣYᵀ with σ_i = (i+1)⁻³
+// exponent: A = XΣYᵀ with σ_i = 10^(−i/10)
+// hapmap:   genotype matrix; here a Balding–Nichols synthetic stand-in
+//           (see DESIGN.md — the real HapMap bulk release is not
+//           available offline) tuned to the paper's regime: a handful of
+//           population-structure directions on top of a slowly decaying
+//           noise floor (κ(A) ≈ 20, large σ_{k+1}/σ₁).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace randla::data {
+
+/// A test matrix with its known (or oracle-computed) spectrum.
+template <class Real>
+struct TestMatrix {
+  std::string name;
+  Matrix<Real> a;
+  std::vector<Real> sigma;  ///< designed singular values (empty if unknown)
+};
+
+/// A = X·diag(σ)·Yᵀ with orthonormal X (m×r) and Y (n×r), r = min(m, n),
+/// X/Y from Householder QR of Gaussian matrices (Haar-distributed).
+template <class Real>
+TestMatrix<Real> synthetic_svd(index_t m, index_t n,
+                               const std::function<Real(index_t)>& sigma_of,
+                               std::uint64_t seed, std::string name);
+
+/// Table 1 "power" matrix: σ_i = (i+1)⁻³ (0-based i).
+template <class Real>
+TestMatrix<Real> power_matrix(index_t m, index_t n, std::uint64_t seed = 1);
+
+/// Table 1 "exponent" matrix: σ_i = 10^(−i/10).
+template <class Real>
+TestMatrix<Real> exponent_matrix(index_t m, index_t n, std::uint64_t seed = 2);
+
+/// Parameters of the Balding–Nichols synthetic genotype generator.
+struct HapmapParams {
+  index_t n_populations = 4;  ///< paper: CEU, GIH, JPT, YRI
+  double fst = 0.1;           ///< population differentiation
+  double maf_min = 0.05;      ///< ancestral allele-frequency range
+  double maf_max = 0.95;
+};
+
+/// m SNPs (rows) × n individuals (columns), entries in {0, 1, 2}.
+/// Individuals are split evenly across populations in column order.
+template <class Real>
+TestMatrix<Real> hapmap_synthetic(index_t m, index_t n,
+                                  const HapmapParams& params = {},
+                                  std::uint64_t seed = 3);
+
+/// Population label (0-based) of each column of a hapmap_synthetic
+/// matrix — ground truth for the clustering example.
+std::vector<index_t> hapmap_population_labels(index_t n, index_t n_populations);
+
+}  // namespace randla::data

@@ -1,0 +1,156 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/gaussian.hpp"
+#include "rng/philox.hpp"
+
+namespace randla::fft {
+
+index_t next_pow2(index_t n) {
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::complex<double>* data, index_t n, bool inverse) {
+  if (n <= 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft_inplace: length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (index_t i = 1, j = 0; i < n; ++i) {
+    index_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson–Lanczos butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (index_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / double(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (index_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (index_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / double(n);
+    for (index_t i = 0; i < n; ++i) data[i] *= inv_n;
+  }
+}
+
+void dht_inplace(double* data, index_t n) {
+  thread_local std::vector<std::complex<double>> work;
+  work.assign(static_cast<std::size_t>(n), {0.0, 0.0});
+  for (index_t i = 0; i < n; ++i) work[static_cast<std::size_t>(i)] = data[i];
+  fft_inplace(work.data(), n, false);
+  const double scale = 1.0 / std::sqrt(double(n));
+  for (index_t i = 0; i < n; ++i) {
+    const auto& w = work[static_cast<std::size_t>(i)];
+    data[i] = scale * (w.real() - w.imag());
+  }
+}
+
+DhtPlan::DhtPlan(index_t n) : n_(n) {
+  if (n <= 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("DhtPlan: length must be a power of two");
+  work_.resize(static_cast<std::size_t>(n));
+}
+
+void DhtPlan::transform_padded(const double* x, index_t len, double* y) {
+  assert(len <= n_);
+  for (index_t i = 0; i < len; ++i)
+    work_[static_cast<std::size_t>(i)] = {x[i], 0.0};
+  for (index_t i = len; i < n_; ++i) work_[static_cast<std::size_t>(i)] = {0.0, 0.0};
+  fft_inplace(work_.data(), n_, false);
+  const double scale = 1.0 / std::sqrt(double(n_));
+  for (index_t i = 0; i < n_; ++i) {
+    const auto& w = work_[static_cast<std::size_t>(i)];
+    y[i] = scale * (w.real() - w.imag());
+  }
+}
+
+FftSampler make_fft_sampler(index_t dim, index_t l, std::uint64_t seed) {
+  FftSampler s;
+  s.padded = next_pow2(dim);
+  if (l > s.padded)
+    throw std::invalid_argument("make_fft_sampler: l exceeds padded length");
+  s.signs.resize(static_cast<std::size_t>(dim));
+  rng::Philox4x32 g(seed, 0xD5u);
+  for (auto& v : s.signs) v = (g.next_u32() & 1u) ? 1.0 : -1.0;
+  s.selected = rng::sample_without_replacement(s.padded, l, seed ^ 0x5E1Eu);
+  return s;
+}
+
+template <class Real>
+Matrix<Real> fft_sample_rows(ConstMatrixView<Real> a, index_t l,
+                             std::uint64_t seed) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const FftSampler s = make_fft_sampler(m, l, seed);
+  // √(p/ℓ) rescaling keeps E[‖Ωx‖²] = ‖x‖², so downstream error
+  // estimates are on the same scale as Gaussian sampling.
+  const double rescale = std::sqrt(double(s.padded) / double(l));
+
+  DhtPlan plan(s.padded);
+  std::vector<double> in(static_cast<std::size_t>(m));
+  std::vector<double> out(static_cast<std::size_t>(s.padded));
+  Matrix<Real> b(l, n);
+  for (index_t j = 0; j < n; ++j) {
+    const Real* col = a.col_ptr(j);
+    for (index_t i = 0; i < m; ++i)
+      in[static_cast<std::size_t>(i)] =
+          s.signs[static_cast<std::size_t>(i)] * double(col[i]);
+    plan.transform_padded(in.data(), m, out.data());
+    for (index_t i = 0; i < l; ++i)
+      b(i, j) = static_cast<Real>(
+          rescale * out[static_cast<std::size_t>(s.selected[static_cast<std::size_t>(i)])]);
+  }
+  return b;
+}
+
+template <class Real>
+Matrix<Real> fft_sample_cols(ConstMatrixView<Real> a, index_t l,
+                             std::uint64_t seed) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const FftSampler s = make_fft_sampler(n, l, seed);
+  const double rescale = std::sqrt(double(s.padded) / double(l));
+
+  DhtPlan plan(s.padded);
+  std::vector<double> in(static_cast<std::size_t>(n));
+  std::vector<double> out(static_cast<std::size_t>(s.padded));
+  Matrix<Real> b(l, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j)
+      in[static_cast<std::size_t>(j)] =
+          s.signs[static_cast<std::size_t>(j)] * double(a(i, j));
+    plan.transform_padded(in.data(), n, out.data());
+    for (index_t r = 0; r < l; ++r)
+      b(r, i) = static_cast<Real>(
+          rescale * out[static_cast<std::size_t>(s.selected[static_cast<std::size_t>(r)])]);
+  }
+  return b;
+}
+
+template Matrix<float> fft_sample_rows<float>(ConstMatrixView<float>, index_t,
+                                              std::uint64_t);
+template Matrix<double> fft_sample_rows<double>(ConstMatrixView<double>,
+                                                index_t, std::uint64_t);
+template Matrix<float> fft_sample_cols<float>(ConstMatrixView<float>, index_t,
+                                              std::uint64_t);
+template Matrix<double> fft_sample_cols<double>(ConstMatrixView<double>,
+                                                index_t, std::uint64_t);
+
+}  // namespace randla::fft

@@ -1,0 +1,70 @@
+// fft.hpp — radix-2 FFT and the FFT-based sampling operator.
+//
+// Stands in for cuFFT. The paper's "full FFT sampling" computes the full
+// transform of (a sign-flipped copy of) A along the sampled dimension,
+// padded to the next power of two, then keeps ℓ randomly selected rows.
+// We use the Hartley variant (DHT = Re(F) − Im(F), orthogonal up to
+// scaling) so the sampled matrix stays real while keeping the same
+// O(mn·log m) flop class and access pattern as a complex FFT.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace randla::fft {
+
+/// Smallest power of two ≥ n (the paper pads A the same way for cuFFT).
+index_t next_pow2(index_t n);
+
+/// In-place iterative radix-2 complex FFT; n must be a power of two.
+/// `inverse` applies the conjugate transform scaled by 1/n.
+void fft_inplace(std::complex<double>* data, index_t n, bool inverse = false);
+
+/// Real-input discrete Hartley transform of length n (power of two),
+/// computed via one complex FFT: H(x)_k = Re(F_k) − Im(F_k). Scaled by
+/// 1/√n so the transform matrix is orthogonal.
+void dht_inplace(double* data, index_t n);
+
+/// Plan-style helper owning the scratch buffer for repeated column
+/// transforms of the same length.
+class DhtPlan {
+ public:
+  explicit DhtPlan(index_t n);
+  index_t length() const { return n_; }
+  /// y = DHT of x zero-padded from `len` to the plan length.
+  void transform_padded(const double* x, index_t len, double* y);
+
+ private:
+  index_t n_;
+  std::vector<std::complex<double>> work_;
+};
+
+/// Configuration of the randomized FFT (SRFT-style) sampling operator
+/// Ω = S·H·D: D random ±1 signs, H the orthogonal DHT (full transform of
+/// the padded dimension), S selection of ℓ random rows.
+struct FftSampler {
+  index_t padded = 0;              ///< power-of-two transform length
+  std::vector<double> signs;       ///< D: one sign per input row
+  std::vector<index_t> selected;   ///< S: ℓ selected transform rows
+};
+
+/// Build the sampling operator for inputs of length `dim`, sampling `l`
+/// rows, seeded deterministically.
+FftSampler make_fft_sampler(index_t dim, index_t l, std::uint64_t seed);
+
+/// Row sampling of the paper's Fig. 8(a): B = Ω·A (ℓ×n), transforming
+/// every column of A (length m, padded) and keeping the selected rows.
+template <class Real>
+Matrix<Real> fft_sample_rows(ConstMatrixView<Real> a, index_t l,
+                             std::uint64_t seed);
+
+/// Column sampling of Fig. 8(b): B = Ω·Aᵀ (ℓ×m), transforming every row
+/// of A (length n, padded) and keeping the selected entries.
+template <class Real>
+Matrix<Real> fft_sample_cols(ConstMatrixView<Real> a, index_t l,
+                             std::uint64_t seed);
+
+}  // namespace randla::fft

@@ -1,0 +1,117 @@
+#include "la/blas1.hpp"
+
+#include <cmath>
+
+namespace randla::blas {
+
+template <class Real>
+Real dot(index_t n, const Real* x, index_t incx, const Real* y, index_t incy) {
+  Real s = 0;
+  if (incx == 1 && incy == 1) {
+    // Four-way unrolled accumulation; separate partials help the
+    // optimizer vectorize without -ffast-math.
+    Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    index_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      s0 += x[i] * y[i];
+      s1 += x[i + 1] * y[i + 1];
+      s2 += x[i + 2] * y[i + 2];
+      s3 += x[i + 3] * y[i + 3];
+    }
+    for (; i < n; ++i) s0 += x[i] * y[i];
+    s = (s0 + s1) + (s2 + s3);
+  } else {
+    for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  }
+  return s;
+}
+
+template <class Real>
+Real nrm2(index_t n, const Real* x, index_t incx) {
+  // Scaled sum of squares, LAPACK dlassq-style, to avoid overflow and
+  // underflow for extreme entries.
+  Real scale = 0;
+  Real ssq = 1;
+  for (index_t i = 0; i < n; ++i) {
+    const Real v = x[i * incx];
+    if (v == Real(0)) continue;
+    const Real a = std::abs(v);
+    if (scale < a) {
+      const Real r = scale / a;
+      ssq = Real(1) + ssq * r * r;
+      scale = a;
+    } else {
+      const Real r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+template <class Real>
+void axpy(index_t n, Real a, const Real* x, index_t incx, Real* y, index_t incy) {
+  if (a == Real(0)) return;
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] += a * x[i * incx];
+  }
+}
+
+template <class Real>
+void scal(index_t n, Real a, Real* x, index_t incx) {
+  if (incx == 1) {
+    for (index_t i = 0; i < n; ++i) x[i] *= a;
+  } else {
+    for (index_t i = 0; i < n; ++i) x[i * incx] *= a;
+  }
+}
+
+template <class Real>
+index_t iamax(index_t n, const Real* x, index_t incx) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  Real bv = std::abs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const Real v = std::abs(x[i * incx]);
+    if (v > bv) {
+      bv = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+template <class Real>
+void swap(index_t n, Real* x, index_t incx, Real* y, index_t incy) {
+  for (index_t i = 0; i < n; ++i) {
+    const Real t = x[i * incx];
+    x[i * incx] = y[i * incy];
+    y[i * incy] = t;
+  }
+}
+
+template <class Real>
+void copy(index_t n, const Real* x, index_t incx, Real* y, index_t incy) {
+  if (incx == 1 && incy == 1) {
+    for (index_t i = 0; i < n; ++i) y[i] = x[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+  }
+}
+
+#define RANDLA_INSTANTIATE_BLAS1(Real)                                          \
+  template Real dot<Real>(index_t, const Real*, index_t, const Real*, index_t); \
+  template Real nrm2<Real>(index_t, const Real*, index_t);                      \
+  template void axpy<Real>(index_t, Real, const Real*, index_t, Real*, index_t);\
+  template void scal<Real>(index_t, Real, Real*, index_t);                      \
+  template index_t iamax<Real>(index_t, const Real*, index_t);                  \
+  template void swap<Real>(index_t, Real*, index_t, Real*, index_t);            \
+  template void copy<Real>(index_t, const Real*, index_t, Real*, index_t);
+
+RANDLA_INSTANTIATE_BLAS1(float)
+RANDLA_INSTANTIATE_BLAS1(double)
+
+#undef RANDLA_INSTANTIATE_BLAS1
+
+}  // namespace randla::blas

@@ -1,0 +1,55 @@
+// blas1.hpp — vector-vector kernels (BLAS-1).
+//
+// These are the kernels the paper identifies as communication-bound: MGS
+// spends most of its flops here, and QP3's norm downdating is built on
+// them. Vectors are passed as (n, ptr, stride) to allow row vectors of a
+// column-major matrix.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace randla::blas {
+
+/// dot = xᵀy.
+template <class Real>
+Real dot(index_t n, const Real* x, index_t incx, const Real* y, index_t incy);
+
+/// Euclidean norm with overflow-safe scaling (as in LAPACK dnrm2).
+template <class Real>
+Real nrm2(index_t n, const Real* x, index_t incx);
+
+/// y ← a·x + y.
+template <class Real>
+void axpy(index_t n, Real a, const Real* x, index_t incx, Real* y, index_t incy);
+
+/// x ← a·x.
+template <class Real>
+void scal(index_t n, Real a, Real* x, index_t incx);
+
+/// Index of the element with the largest |x_i| (0-based; -1 if n == 0).
+template <class Real>
+index_t iamax(index_t n, const Real* x, index_t incx);
+
+/// Swap two vectors.
+template <class Real>
+void swap(index_t n, Real* x, index_t incx, Real* y, index_t incy);
+
+/// y ← x.
+template <class Real>
+void copy(index_t n, const Real* x, index_t incx, Real* y, index_t incy);
+
+// ---- Column-vector conveniences over views (stride-1 fast paths) ----
+
+template <class Real>
+Real dot(ConstMatrixView<Real> x, ConstMatrixView<Real> y) {
+  assert(x.cols() == 1 && y.cols() == 1 && x.rows() == y.rows());
+  return dot(x.rows(), x.data(), 1, y.data(), 1);
+}
+
+template <class Real>
+Real nrm2(ConstMatrixView<Real> x) {
+  assert(x.cols() == 1);
+  return nrm2(x.rows(), x.data(), 1);
+}
+
+}  // namespace randla::blas

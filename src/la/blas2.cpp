@@ -1,0 +1,103 @@
+#include "la/blas2.hpp"
+
+#include "la/blas1.hpp"
+
+namespace randla::blas {
+
+template <class Real>
+void gemv(Op op, Real alpha, ConstMatrixView<Real> a, const Real* x, index_t incx,
+          Real beta, Real* y, index_t incy) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t ylen = (op == Op::NoTrans) ? m : n;
+
+  if (beta == Real(0)) {
+    for (index_t i = 0; i < ylen; ++i) y[i * incy] = Real(0);
+  } else if (beta != Real(1)) {
+    scal(ylen, beta, y, incy);
+  }
+  if (alpha == Real(0) || m == 0 || n == 0) return;
+
+  if (op == Op::NoTrans) {
+    // y += alpha * A x: accumulate column-wise (unit-stride columns).
+    for (index_t j = 0; j < n; ++j) {
+      const Real xj = alpha * x[j * incx];
+      if (xj == Real(0)) continue;
+      axpy(m, xj, a.col_ptr(j), index_t{1}, y, incy);
+    }
+  } else {
+    // y += alpha * Aᵀ x: one dot product per column.
+    for (index_t j = 0; j < n; ++j) {
+      y[j * incy] += alpha * dot(m, a.col_ptr(j), index_t{1}, x, incx);
+    }
+  }
+}
+
+template <class Real>
+void ger(Real alpha, const Real* x, index_t incx, const Real* y, index_t incy,
+         MatrixView<Real> a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (alpha == Real(0)) return;
+  for (index_t j = 0; j < n; ++j) {
+    const Real yj = alpha * y[j * incy];
+    if (yj == Real(0)) continue;
+    axpy(m, yj, x, incx, a.col_ptr(j), index_t{1});
+  }
+}
+
+template <class Real>
+void trsv(Uplo uplo, Op op, Diag diag, ConstMatrixView<Real> t, Real* x,
+          index_t incx) {
+  const index_t n = t.rows();
+  assert(t.cols() == n);
+  const bool unit = diag == Diag::Unit;
+
+  // The four (uplo, op) cases reduce to forward or backward substitution.
+  const bool forward = (uplo == Uplo::Lower) == (op == Op::NoTrans);
+
+  if (op == Op::NoTrans) {
+    if (forward) {
+      for (index_t i = 0; i < n; ++i) {
+        Real s = x[i * incx];
+        for (index_t j = 0; j < i; ++j) s -= t(i, j) * x[j * incx];
+        x[i * incx] = unit ? s : s / t(i, i);
+      }
+    } else {
+      for (index_t i = n - 1; i >= 0; --i) {
+        Real s = x[i * incx];
+        for (index_t j = i + 1; j < n; ++j) s -= t(i, j) * x[j * incx];
+        x[i * incx] = unit ? s : s / t(i, i);
+      }
+    }
+  } else {
+    if (forward) {
+      for (index_t i = 0; i < n; ++i) {
+        Real s = x[i * incx];
+        for (index_t j = 0; j < i; ++j) s -= t(j, i) * x[j * incx];
+        x[i * incx] = unit ? s : s / t(i, i);
+      }
+    } else {
+      for (index_t i = n - 1; i >= 0; --i) {
+        Real s = x[i * incx];
+        for (index_t j = i + 1; j < n; ++j) s -= t(j, i) * x[j * incx];
+        x[i * incx] = unit ? s : s / t(i, i);
+      }
+    }
+  }
+}
+
+#define RANDLA_INSTANTIATE_BLAS2(Real)                                         \
+  template void gemv<Real>(Op, Real, ConstMatrixView<Real>, const Real*,       \
+                           index_t, Real, Real*, index_t);                     \
+  template void ger<Real>(Real, const Real*, index_t, const Real*, index_t,    \
+                          MatrixView<Real>);                                   \
+  template void trsv<Real>(Uplo, Op, Diag, ConstMatrixView<Real>, Real*,       \
+                           index_t);
+
+RANDLA_INSTANTIATE_BLAS2(float)
+RANDLA_INSTANTIATE_BLAS2(double)
+
+#undef RANDLA_INSTANTIATE_BLAS2
+
+}  // namespace randla::blas

@@ -1,0 +1,40 @@
+// blas2.hpp — matrix-vector kernels (BLAS-2).
+//
+// GEMV is the workhorse of CGS, HHQR and QP3 panel factorization; the
+// paper's Figure 8 contrasts its memory-bound throughput against GEMM.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace randla::blas {
+
+/// y ← α·op(A)·x + β·y. x and y are stride-`incx`/`incy` vectors of the
+/// appropriate lengths (op(A) is rows×cols after the transpose).
+template <class Real>
+void gemv(Op op, Real alpha, ConstMatrixView<Real> a, const Real* x, index_t incx,
+          Real beta, Real* y, index_t incy);
+
+/// View-based convenience: x, y are column views.
+template <class Real>
+void gemv(Op op, Real alpha, ConstMatrixView<Real> a, ConstMatrixView<Real> x,
+          Real beta, MatrixView<Real> y) {
+  assert(x.cols() == 1 && y.cols() == 1);
+  const index_t need_x = (op == Op::NoTrans) ? a.cols() : a.rows();
+  const index_t need_y = (op == Op::NoTrans) ? a.rows() : a.cols();
+  assert(x.rows() == need_x && y.rows() == need_y);
+  (void)need_x;
+  (void)need_y;
+  gemv(op, alpha, a, x.data(), index_t{1}, beta, y.data(), index_t{1});
+}
+
+/// Rank-1 update A ← A + α·x·yᵀ.
+template <class Real>
+void ger(Real alpha, const Real* x, index_t incx, const Real* y, index_t incy,
+         MatrixView<Real> a);
+
+/// Triangular solve with a single right-hand side: x ← op(T)⁻¹·x.
+template <class Real>
+void trsv(Uplo uplo, Op op, Diag diag, ConstMatrixView<Real> t, Real* x,
+          index_t incx);
+
+}  // namespace randla::blas

@@ -1,0 +1,404 @@
+#include "la/blas3.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/parallel.hpp"
+
+namespace randla::blas {
+
+namespace {
+
+// Cache-blocking parameters (GotoBLAS naming): a KC×NC panel of B lives
+// in L2/L3, an MC×KC panel of A in L1/L2, and the microkernel keeps an
+// MR×NR tile of C in registers.
+constexpr index_t kMC = 128;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 1024;
+constexpr index_t kMR = 4;
+constexpr index_t kNR = 8;
+
+// Element accessor that folds the transpose flag into indexing.
+template <class Real>
+inline Real at(ConstMatrixView<Real> m, Op op, index_t i, index_t j) {
+  return op == Op::NoTrans ? m(i, j) : m(j, i);
+}
+
+// Pack an mc×kc block of op(A) (top-left at (i0, k0) of op(A)) into
+// row-panels of height kMR: panel p holds rows [p*MR, p*MR+MR), stored as
+// kc groups of MR contiguous elements.
+template <class Real>
+void pack_a(ConstMatrixView<Real> a, Op opa, index_t i0, index_t k0, index_t mc,
+            index_t kc, Real* dst) {
+  for (index_t p = 0; p < mc; p += kMR) {
+    const index_t pr = std::min(kMR, mc - p);
+    for (index_t k = 0; k < kc; ++k) {
+      for (index_t r = 0; r < pr; ++r) *dst++ = at(a, opa, i0 + p + r, k0 + k);
+      for (index_t r = pr; r < kMR; ++r) *dst++ = Real(0);
+    }
+  }
+}
+
+// Pack a kc×nc block of op(B) (top-left at (k0, j0) of op(B)) into
+// column-panels of width kNR: panel q holds columns [q*NR, q*NR+NR),
+// stored as kc groups of NR contiguous elements.
+template <class Real>
+void pack_b(ConstMatrixView<Real> b, Op opb, index_t k0, index_t j0, index_t kc,
+            index_t nc, Real* dst) {
+  for (index_t q = 0; q < nc; q += kNR) {
+    const index_t qc = std::min(kNR, nc - q);
+    for (index_t k = 0; k < kc; ++k) {
+      for (index_t c = 0; c < qc; ++c) *dst++ = at(b, opb, k0 + k, j0 + q + c);
+      for (index_t c = qc; c < kNR; ++c) *dst++ = Real(0);
+    }
+  }
+}
+
+// MR×NR register-tile microkernel: acc += Ap·Bp over kc terms, where Ap is
+// an MR-row packed panel and Bp an NR-column packed panel.
+template <class Real>
+inline void micro_kernel(index_t kc, const Real* __restrict__ ap,
+                         const Real* __restrict__ bp, Real* __restrict__ acc) {
+  Real c[kMR * kNR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const Real* a = ap + k * kMR;
+    const Real* b = bp + k * kNR;
+    for (index_t r = 0; r < kMR; ++r) {
+      const Real ar = a[r];
+      Real* crow = c + r * kNR;
+      for (index_t cc = 0; cc < kNR; ++cc) crow[cc] += ar * b[cc];
+    }
+  }
+  for (index_t i = 0; i < kMR * kNR; ++i) acc[i] = c[i];
+}
+
+template <class Real>
+void scale_matrix(MatrixView<Real> c, Real beta) {
+  if (beta == Real(1)) return;
+  for (index_t j = 0; j < c.cols(); ++j) {
+    Real* p = c.col_ptr(j);
+    if (beta == Real(0)) {
+      for (index_t i = 0; i < c.rows(); ++i) p[i] = Real(0);
+    } else {
+      for (index_t i = 0; i < c.rows(); ++i) p[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+template <class Real>
+void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
+                 ConstMatrixView<Real> b, Real beta, MatrixView<Real> c);
+
+}  // namespace
+
+template <class Real>
+void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
+          ConstMatrixView<Real> b, Real beta, MatrixView<Real> c) {
+  const index_t n = c.cols();
+  // Column ranges of C are independent: split them across the BLAS
+  // worker threads (the shared-memory CPU half of the paper's platform).
+  // thread_local packing buffers make gemm_serial concurrency-safe.
+  if (blas_num_threads() > 1 && n >= 2 * kNC) {
+    parallel_ranges(n, kNC, [&](index_t j0, index_t j1) {
+      auto b_slice = (opb == Op::NoTrans) ? b.block(0, j0, b.rows(), j1 - j0)
+                                          : b.block(j0, 0, j1 - j0, b.cols());
+      gemm_serial(opa, opb, alpha, a, b_slice, beta,
+                  c.block(0, j0, c.rows(), j1 - j0));
+    });
+    return;
+  }
+  gemm_serial(opa, opb, alpha, a, b, beta, c);
+}
+
+namespace {
+
+template <class Real>
+void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
+                 ConstMatrixView<Real> b, Real beta, MatrixView<Real> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = (opa == Op::NoTrans) ? a.cols() : a.rows();
+  assert(((opa == Op::NoTrans) ? a.rows() : a.cols()) == m);
+  assert(((opb == Op::NoTrans) ? b.rows() : b.cols()) == k);
+  assert(((opb == Op::NoTrans) ? b.cols() : b.rows()) == n);
+
+  scale_matrix(c, beta);
+  if (alpha == Real(0) || m == 0 || n == 0 || k == 0) return;
+
+  thread_local std::vector<Real> a_pack;
+  thread_local std::vector<Real> b_pack;
+  a_pack.resize(static_cast<std::size_t>(kMC) * kKC + kMR * kKC);
+  b_pack.resize(static_cast<std::size_t>(kKC) * kNC + kNR * kKC);
+
+  Real acc[kMR * kNR];
+
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      pack_b(b, opb, pc, jc, kc, nc, b_pack.data());
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mc = std::min(kMC, m - ic);
+        pack_a(a, opa, ic, pc, mc, kc, a_pack.data());
+        // Macro-kernel: sweep MR×NR tiles of the mc×nc block of C.
+        for (index_t q = 0; q < nc; q += kNR) {
+          const index_t qc = std::min(kNR, nc - q);
+          const Real* bp = b_pack.data() + (q / kNR) * kc * kNR;
+          for (index_t p = 0; p < mc; p += kMR) {
+            const index_t pr = std::min(kMR, mc - p);
+            const Real* ap = a_pack.data() + (p / kMR) * kc * kMR;
+            micro_kernel(kc, ap, bp, acc);
+            for (index_t cc = 0; cc < qc; ++cc) {
+              Real* ccol = c.col_ptr(jc + q + cc) + ic + p;
+              for (index_t r = 0; r < pr; ++r) ccol[r] += alpha * acc[r * kNR + cc];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class Real>
+void syrk(Uplo uplo, Op op, Real alpha, ConstMatrixView<Real> a, Real beta,
+          MatrixView<Real> c) {
+  const index_t n = c.rows();
+  assert(c.cols() == n);
+  const index_t k = (op == Op::NoTrans) ? a.cols() : a.rows();
+  assert(((op == Op::NoTrans) ? a.rows() : a.cols()) == n);
+  (void)k;
+
+  // Blocked over the triangle: diagonal blocks are computed densely with
+  // gemm into a scratch tile (cheap relative to the off-diagonal volume),
+  // off-diagonal blocks call gemm directly.
+  constexpr index_t nb = 96;
+  thread_local Matrix<Real> diag_tile;
+  for (index_t i = 0; i < n; i += nb) {
+    const index_t ib = std::min(nb, n - i);
+    // Diagonal block.
+    diag_tile.resize(ib, ib);
+    auto ai = (op == Op::NoTrans) ? a.rows_range(i, i + ib)
+                                  : a.cols_range(i, i + ib);
+    gemm(op, transpose(op), alpha, ai, ai, Real(0), diag_tile.view());
+    auto cii = c.block(i, i, ib, ib);
+    for (index_t jj = 0; jj < ib; ++jj) {
+      const index_t lo = (uplo == Uplo::Upper) ? 0 : jj;
+      const index_t hi = (uplo == Uplo::Upper) ? jj + 1 : ib;
+      for (index_t ii = lo; ii < hi; ++ii)
+        cii(ii, jj) = beta * (beta == Real(0) ? Real(0) : cii(ii, jj)) +
+                      diag_tile(ii, jj);
+    }
+    // Off-diagonal blocks of this block-row/column.
+    for (index_t j = i + ib; j < n; j += nb) {
+      const index_t jb = std::min(nb, n - j);
+      auto aj = (op == Op::NoTrans) ? a.rows_range(j, j + jb)
+                                    : a.cols_range(j, j + jb);
+      if (uplo == Uplo::Upper) {
+        gemm(op, transpose(op), alpha, ai, aj, beta, c.block(i, j, ib, jb));
+      } else {
+        gemm(op, transpose(op), alpha, aj, ai, beta, c.block(j, i, jb, ib));
+      }
+    }
+  }
+}
+
+template <class Real>
+void symmetrize(Uplo stored, MatrixView<Real> c) {
+  const index_t n = c.rows();
+  assert(c.cols() == n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      if (stored == Uplo::Upper)
+        c(j, i) = c(i, j);
+      else
+        c(i, j) = c(j, i);
+    }
+  }
+}
+
+template <class Real>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+          ConstMatrixView<Real> t, MatrixView<Real> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  assert(t.rows() == t.cols());
+  assert(t.rows() == (side == Side::Left ? m : n));
+
+  if (alpha != Real(1)) scale_matrix(b, alpha);
+  if (m == 0 || n == 0) return;
+
+  constexpr index_t nb = 64;
+  const index_t dim = t.rows();
+
+  // Effective orientation: is op(T) lower-triangular?
+  const bool eff_lower = (uplo == Uplo::Lower) == (op == Op::NoTrans);
+
+  if (side == Side::Left) {
+    // Solve op(T)·X = B, blocked forward (eff_lower) or backward.
+    if (eff_lower) {
+      for (index_t i = 0; i < dim; i += nb) {
+        const index_t ib = std::min(nb, dim - i);
+        // Update B_i -= op(T)_{i,0:i} · X_{0:i}.
+        if (i > 0) {
+          auto tio = (op == Op::NoTrans) ? t.block(i, 0, ib, i)
+                                         : t.block(0, i, i, ib);
+          gemm(op, Op::NoTrans, Real(-1), tio,
+               ConstMatrixView<Real>(b.block(0, 0, i, n)), Real(1),
+               b.block(i, 0, ib, n));
+        }
+        // Unblocked solve on the diagonal block, column by column of B.
+        auto tii = t.block(i, i, ib, ib);
+        for (index_t j = 0; j < n; ++j)
+          trsv(uplo, op, diag, tii, b.col_ptr(j) + i, index_t{1});
+      }
+    } else {
+      for (index_t i = ((dim - 1) / nb) * nb; i >= 0; i -= nb) {
+        const index_t ib = std::min(nb, dim - i);
+        const index_t rest = dim - (i + ib);
+        if (rest > 0) {
+          auto tir = (op == Op::NoTrans) ? t.block(i, i + ib, ib, rest)
+                                         : t.block(i + ib, i, rest, ib);
+          gemm(op, Op::NoTrans, Real(-1), tir,
+               ConstMatrixView<Real>(b.block(i + ib, 0, rest, n)), Real(1),
+               b.block(i, 0, ib, n));
+        }
+        auto tii = t.block(i, i, ib, ib);
+        for (index_t j = 0; j < n; ++j)
+          trsv(uplo, op, diag, tii, b.col_ptr(j) + i, index_t{1});
+        if (i == 0) break;
+      }
+    }
+  } else {
+    // Solve X·op(T) = B  ⇔  op(T)ᵀ·Xᵀ = Bᵀ. op(T)ᵀ is lower iff op(T) is
+    // upper, so the sweep direction flips relative to the Left case.
+    if (!eff_lower) {
+      // op(T) upper: forward over columns of B.
+      for (index_t j = 0; j < dim; j += nb) {
+        const index_t jb = std::min(nb, dim - j);
+        if (j > 0) {
+          auto toj = (op == Op::NoTrans) ? t.block(0, j, j, jb)
+                                         : t.block(j, 0, jb, j);
+          gemm(Op::NoTrans, op, Real(-1),
+               ConstMatrixView<Real>(b.block(0, 0, m, j)), toj, Real(1),
+               b.block(0, j, m, jb));
+        }
+        auto tjj = t.block(j, j, jb, jb);
+        // Row-wise trsv on Bᵀ: solve op(T_jj)ᵀ x = row for each row of B.
+        for (index_t i = 0; i < m; ++i)
+          trsv(uplo, transpose(op), diag, tjj, b.data() + i + j * b.ld(),
+               b.ld());
+      }
+    } else {
+      for (index_t j = ((dim - 1) / nb) * nb; j >= 0; j -= nb) {
+        const index_t jb = std::min(nb, dim - j);
+        const index_t rest = dim - (j + jb);
+        if (rest > 0) {
+          auto tjr = (op == Op::NoTrans) ? t.block(j + jb, j, rest, jb)
+                                         : t.block(j, j + jb, jb, rest);
+          gemm(Op::NoTrans, op, Real(-1),
+               ConstMatrixView<Real>(b.block(0, j + jb, m, rest)), tjr, Real(1),
+               b.block(0, j, m, jb));
+        }
+        auto tjj = t.block(j, j, jb, jb);
+        for (index_t i = 0; i < m; ++i)
+          trsv(uplo, transpose(op), diag, tjj, b.data() + i + j * b.ld(),
+               b.ld());
+        if (j == 0) break;
+      }
+    }
+  }
+}
+
+template <class Real>
+void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+          ConstMatrixView<Real> t, MatrixView<Real> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  assert(t.rows() == t.cols());
+  assert(t.rows() == (side == Side::Left ? m : n));
+  if (m == 0 || n == 0) return;
+
+  const bool eff_lower = (uplo == Uplo::Lower) == (op == Op::NoTrans);
+
+  // Unblocked in-place triangular multiply; the triangular factors in
+  // this library are ℓ×ℓ (small), so an O(dim²·n) two-level loop with
+  // axpy/dot inner kernels is adequate.
+  if (side == Side::Left) {
+    if (!eff_lower) {
+      // op(T) upper: compute rows top-down (row i uses rows ≥ i).
+      for (index_t j = 0; j < n; ++j) {
+        Real* bj = b.col_ptr(j);
+        for (index_t i = 0; i < m; ++i) {
+          Real s = diag == Diag::Unit ? bj[i]
+                                      : (op == Op::NoTrans ? t(i, i) : t(i, i)) * bj[i];
+          for (index_t kk = i + 1; kk < m; ++kk)
+            s += (op == Op::NoTrans ? t(i, kk) : t(kk, i)) * bj[kk];
+          bj[i] = alpha * s;
+        }
+      }
+    } else {
+      // op(T) lower: compute rows bottom-up (row i uses rows ≤ i).
+      for (index_t j = 0; j < n; ++j) {
+        Real* bj = b.col_ptr(j);
+        for (index_t i = m - 1; i >= 0; --i) {
+          Real s = diag == Diag::Unit ? bj[i] : (op == Op::NoTrans ? t(i, i) : t(i, i)) * bj[i];
+          for (index_t kk = 0; kk < i; ++kk)
+            s += (op == Op::NoTrans ? t(i, kk) : t(kk, i)) * bj[kk];
+          bj[i] = alpha * s;
+        }
+      }
+    }
+  } else {
+    // B ← α·B·op(T).
+    if (!eff_lower) {
+      // op(T) upper: column j of the result uses columns ≤ j; go right-to-left.
+      for (index_t j = n - 1; j >= 0; --j) {
+        Real* bj = b.col_ptr(j);
+        const Real tjj = diag == Diag::Unit ? Real(1) : t(j, j);
+        scal(m, alpha * tjj, bj, index_t{1});
+        for (index_t kk = 0; kk < j; ++kk) {
+          const Real tkj = op == Op::NoTrans ? t(kk, j) : t(j, kk);
+          if (tkj != Real(0)) axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
+        }
+        if (j == 0) break;
+      }
+    } else {
+      // op(T) lower: column j uses columns ≥ j; go left-to-right.
+      for (index_t j = 0; j < n; ++j) {
+        Real* bj = b.col_ptr(j);
+        const Real tjj = diag == Diag::Unit ? Real(1) : t(j, j);
+        scal(m, alpha * tjj, bj, index_t{1});
+        for (index_t kk = j + 1; kk < n; ++kk) {
+          const Real tkj = op == Op::NoTrans ? t(kk, j) : t(j, kk);
+          if (tkj != Real(0)) axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
+        }
+      }
+    }
+  }
+}
+
+#define RANDLA_INSTANTIATE_BLAS3(Real)                                         \
+  template void gemm<Real>(Op, Op, Real, ConstMatrixView<Real>,                \
+                           ConstMatrixView<Real>, Real, MatrixView<Real>);     \
+  template void syrk<Real>(Uplo, Op, Real, ConstMatrixView<Real>, Real,        \
+                           MatrixView<Real>);                                  \
+  template void symmetrize<Real>(Uplo, MatrixView<Real>);                      \
+  template void trsm<Real>(Side, Uplo, Op, Diag, Real, ConstMatrixView<Real>,  \
+                           MatrixView<Real>);                                  \
+  template void trmm<Real>(Side, Uplo, Op, Diag, Real, ConstMatrixView<Real>,  \
+                           MatrixView<Real>);
+
+RANDLA_INSTANTIATE_BLAS3(float)
+RANDLA_INSTANTIATE_BLAS3(double)
+
+#undef RANDLA_INSTANTIATE_BLAS3
+
+}  // namespace randla::blas

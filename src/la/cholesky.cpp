@@ -1,0 +1,100 @@
+#include "la/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas3.hpp"
+
+namespace randla::lapack {
+
+namespace {
+
+// Unblocked right-looking Cholesky on a small diagonal block.
+template <class Real>
+index_t potrf_unblocked(Uplo uplo, MatrixView<Real> a) {
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    Real d = a(j, j);
+    for (index_t k = 0; k < j; ++k) {
+      const Real v = (uplo == Uplo::Upper) ? a(k, j) : a(j, k);
+      d -= v * v;
+    }
+    if (!(d > Real(0))) return j + 1;  // catches NaN as well
+    const Real r = std::sqrt(d);
+    a(j, j) = r;
+    if (uplo == Uplo::Upper) {
+      for (index_t i = j + 1; i < n; ++i) {
+        Real s = a(j, i);
+        for (index_t k = 0; k < j; ++k) s -= a(k, j) * a(k, i);
+        a(j, i) = s / r;
+      }
+    } else {
+      for (index_t i = j + 1; i < n; ++i) {
+        Real s = a(i, j);
+        for (index_t k = 0; k < j; ++k) s -= a(j, k) * a(i, k);
+        a(i, j) = s / r;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+template <class Real>
+index_t potrf(Uplo uplo, MatrixView<Real> a) {
+  const index_t n = a.rows();
+  assert(a.cols() == n);
+  constexpr index_t nb = 64;
+
+  if (n <= nb) return potrf_unblocked(uplo, a);
+
+  for (index_t j = 0; j < n; j += nb) {
+    const index_t jb = std::min(nb, n - j);
+    // Update and factor the diagonal block.
+    if (j > 0) {
+      if (uplo == Uplo::Upper) {
+        blas::syrk(Uplo::Upper, Op::Trans, Real(-1),
+                   ConstMatrixView<Real>(a.block(0, j, j, jb)), Real(1),
+                   a.block(j, j, jb, jb));
+      } else {
+        blas::syrk(Uplo::Lower, Op::NoTrans, Real(-1),
+                   ConstMatrixView<Real>(a.block(j, 0, jb, j)), Real(1),
+                   a.block(j, j, jb, jb));
+      }
+    }
+    const index_t info = potrf_unblocked(uplo, a.block(j, j, jb, jb));
+    if (info != 0) return j + info;
+
+    const index_t rest = n - (j + jb);
+    if (rest == 0) continue;
+    if (uplo == Uplo::Upper) {
+      // A(j:j+jb, j+jb:) ← R(j,j)⁻ᵀ (A(j:j+jb, j+jb:) − A(0:j,j:j+jb)ᵀ A(0:j,j+jb:))
+      if (j > 0) {
+        blas::gemm(Op::Trans, Op::NoTrans, Real(-1),
+                   ConstMatrixView<Real>(a.block(0, j, j, jb)),
+                   ConstMatrixView<Real>(a.block(0, j + jb, j, rest)), Real(1),
+                   a.block(j, j + jb, jb, rest));
+      }
+      blas::trsm(Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit, Real(1),
+                 ConstMatrixView<Real>(a.block(j, j, jb, jb)),
+                 a.block(j, j + jb, jb, rest));
+    } else {
+      if (j > 0) {
+        blas::gemm(Op::NoTrans, Op::Trans, Real(-1),
+                   ConstMatrixView<Real>(a.block(j + jb, 0, rest, j)),
+                   ConstMatrixView<Real>(a.block(j, 0, jb, j)), Real(1),
+                   a.block(j + jb, j, rest, jb));
+      }
+      blas::trsm(Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit, Real(1),
+                 ConstMatrixView<Real>(a.block(j, j, jb, jb)),
+                 a.block(j + jb, j, rest, jb));
+    }
+  }
+  return 0;
+}
+
+template index_t potrf<float>(Uplo, MatrixView<float>);
+template index_t potrf<double>(Uplo, MatrixView<double>);
+
+}  // namespace randla::lapack

@@ -1,0 +1,22 @@
+// cholesky.hpp — blocked Cholesky factorization (LAPACK potrf analogue).
+//
+// CholQR (the paper's orthogonalization of choice) forms the Gram matrix
+// G = BBᵀ and Cholesky-factors it; this is the step that can fail for
+// ill-conditioned B, which the library surfaces via the return code so
+// callers can fall back to Householder QR (paper §4).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace randla::lapack {
+
+/// In-place Cholesky of the `uplo` triangle of the symmetric positive
+/// definite matrix A: A = RᵀR (Upper) or A = LLᵀ (Lower). The opposite
+/// triangle is left untouched.
+///
+/// Returns 0 on success, or the 1-based index of the first non-positive
+/// pivot (LAPACK info convention) if A is not numerically SPD.
+template <class Real>
+index_t potrf(Uplo uplo, MatrixView<Real> a);
+
+}  // namespace randla::lapack

@@ -1,0 +1,68 @@
+// flops.hpp — standard flop counts for the kernels in this library.
+//
+// Used by the benches to convert measured/modeled times into Gflop/s, and
+// by randla::model to evaluate the Figure 5 cost table.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace randla::flops {
+
+/// C(m×n) += A(m×k)·B(k×n): 2mnk.
+inline double gemm(index_t m, index_t n, index_t k) {
+  return 2.0 * double(m) * double(n) * double(k);
+}
+
+/// y(m) += A(m×n)·x(n): 2mn.
+inline double gemv(index_t m, index_t n) { return 2.0 * double(m) * double(n); }
+
+/// Rank-k symmetric update of an n×n triangle: n(n+1)k ≈ n²k.
+inline double syrk(index_t n, index_t k) {
+  return double(n) * double(n + 1) * double(k);
+}
+
+/// Cholesky of n×n: n³/3.
+inline double potrf(index_t n) {
+  return double(n) * double(n) * double(n) / 3.0;
+}
+
+/// Triangular solve, n×n triangle against m right-hand sides: m·n².
+inline double trsm(index_t m, index_t n) {
+  return double(m) * double(n) * double(n);
+}
+
+/// Householder QR of m×n (m ≥ n): 2mn² − 2n³/3.
+inline double geqrf(index_t m, index_t n) {
+  return 2.0 * double(m) * double(n) * double(n) -
+         2.0 * double(n) * double(n) * double(n) / 3.0;
+}
+
+/// Explicit Q generation (orgqr m×n from n reflectors): ≈ 2mn² − 2n³/3.
+inline double orgqr(index_t m, index_t n) { return geqrf(m, n); }
+
+/// CholQR of m×n (m ≥ n): syrk + potrf + trsm ≈ 2mn² + n³/3.
+inline double cholqr(index_t m, index_t n) {
+  return syrk(n, m) + potrf(n) + trsm(m, n);
+}
+
+/// Gram–Schmidt (CGS or MGS) of m×n: 2mn².
+inline double gram_schmidt(index_t m, index_t n) {
+  return 2.0 * double(m) * double(n) * double(n);
+}
+
+/// Truncated QP3: k steps of Householder QR with pivoting on m×n:
+/// ≈ 4mnk − 2(m+n)k² + 4k³/3 (LAPACK working note count, truncated).
+inline double qp3_truncated(index_t m, index_t n, index_t k) {
+  return 4.0 * double(m) * double(n) * double(k) -
+         2.0 * (double(m) + double(n)) * double(k) * double(k) +
+         4.0 * double(k) * double(k) * double(k) / 3.0;
+}
+
+/// Complex radix-2 FFT of length N: 5·N·log2(N) (standard convention).
+inline double fft(index_t n) {
+  double lg = 0;
+  for (index_t v = 1; v < n; v *= 2) lg += 1.0;
+  return 5.0 * double(n) * lg;
+}
+
+}  // namespace randla::flops

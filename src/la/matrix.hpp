@@ -1,0 +1,275 @@
+// matrix.hpp — owning dense matrix and non-owning strided views.
+//
+// All of randla uses column-major storage with an explicit leading
+// dimension (ld), mirroring BLAS/LAPACK conventions. Views make panel /
+// trailing-submatrix algorithms (blocked QR, QP3, CholQR) zero-copy.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace randla {
+
+using index_t = std::int64_t;
+
+/// Transpose flag for BLAS-style kernels.
+enum class Op : std::uint8_t { NoTrans, Trans };
+
+inline Op transpose(Op op) { return op == Op::NoTrans ? Op::Trans : Op::NoTrans; }
+
+/// Triangle selector for symmetric / triangular kernels.
+enum class Uplo : std::uint8_t { Upper, Lower };
+
+/// Side selector for trsm/trmm/ormqr.
+enum class Side : std::uint8_t { Left, Right };
+
+/// Unit-diagonal flag for triangular kernels.
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+template <class Real>
+class ConstMatrixView;
+
+/// Non-owning mutable view of a column-major matrix block.
+///
+/// A view is (rows, cols, ld, data): element (i, j) lives at
+/// data[i + j*ld]. Views never allocate and never free.
+template <class Real>
+class MatrixView {
+  static_assert(std::is_floating_point_v<Real>);
+
+ public:
+  MatrixView() = default;
+  MatrixView(index_t rows, index_t cols, Real* data, index_t ld)
+      : rows_(rows), cols_(cols), ld_(ld), data_(data) {
+    assert(rows >= 0 && cols >= 0 && ld >= (rows > 0 ? rows : 1));
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  Real* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  index_t size() const { return rows_ * cols_; }
+
+  Real& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Pointer to the top of column j.
+  Real* col_ptr(index_t j) const {
+    assert(j >= 0 && j < cols_);
+    return data_ + j * ld_;
+  }
+
+  /// Sub-block view, rows [i, i+r), columns [j, j+c).
+  MatrixView block(index_t i, index_t j, index_t r, index_t c) const {
+    assert(i >= 0 && j >= 0 && r >= 0 && c >= 0);
+    assert(i + r <= rows_ && j + c <= cols_);
+    return MatrixView(r, c, data_ + i + j * ld_, ld_);
+  }
+
+  /// Single-column view (rows × 1).
+  MatrixView col(index_t j) const { return block(0, j, rows_, 1); }
+
+  /// Columns [j0, j1) as a view.
+  MatrixView cols_range(index_t j0, index_t j1) const {
+    return block(0, j0, rows_, j1 - j0);
+  }
+
+  /// Rows [i0, i1) as a view.
+  MatrixView rows_range(index_t i0, index_t i1) const {
+    return block(i0, 0, i1 - i0, cols_);
+  }
+
+  void fill(Real v) const {
+    for (index_t j = 0; j < cols_; ++j) {
+      Real* c = col_ptr(j);
+      for (index_t i = 0; i < rows_; ++i) c[i] = v;
+    }
+  }
+
+  void set_zero() const { fill(Real(0)); }
+
+  /// Identity on the leading min(rows, cols) diagonal, zero elsewhere.
+  void set_identity() const {
+    set_zero();
+    const index_t k = rows_ < cols_ ? rows_ : cols_;
+    for (index_t i = 0; i < k; ++i) (*this)(i, i) = Real(1);
+  }
+
+  /// Copy from a same-shaped source view.
+  void copy_from(ConstMatrixView<Real> src) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+  Real* data_ = nullptr;
+};
+
+/// Non-owning read-only view; see MatrixView.
+template <class Real>
+class ConstMatrixView {
+  static_assert(std::is_floating_point_v<Real>);
+
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(index_t rows, index_t cols, const Real* data, index_t ld)
+      : rows_(rows), cols_(cols), ld_(ld), data_(data) {
+    assert(rows >= 0 && cols >= 0 && ld >= (rows > 0 ? rows : 1));
+  }
+  // Implicit mutable→const conversion, as with pointers.
+  ConstMatrixView(MatrixView<Real> v)  // NOLINT(google-explicit-constructor)
+      : rows_(v.rows()), cols_(v.cols()), ld_(v.ld()), data_(v.data()) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  const Real* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  index_t size() const { return rows_ * cols_; }
+
+  const Real& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  const Real* col_ptr(index_t j) const {
+    assert(j >= 0 && j < cols_);
+    return data_ + j * ld_;
+  }
+
+  ConstMatrixView block(index_t i, index_t j, index_t r, index_t c) const {
+    assert(i >= 0 && j >= 0 && r >= 0 && c >= 0);
+    assert(i + r <= rows_ && j + c <= cols_);
+    return ConstMatrixView(r, c, data_ + i + j * ld_, ld_);
+  }
+
+  ConstMatrixView col(index_t j) const { return block(0, j, rows_, 1); }
+
+  ConstMatrixView cols_range(index_t j0, index_t j1) const {
+    return block(0, j0, rows_, j1 - j0);
+  }
+
+  ConstMatrixView rows_range(index_t i0, index_t i1) const {
+    return block(i0, 0, i1 - i0, cols_);
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+  const Real* data_ = nullptr;
+};
+
+template <class Real>
+void MatrixView<Real>::copy_from(ConstMatrixView<Real> src) const {
+  assert(src.rows() == rows_ && src.cols() == cols_);
+  for (index_t j = 0; j < cols_; ++j) {
+    std::memcpy(col_ptr(j), src.col_ptr(j),
+                static_cast<std::size_t>(rows_) * sizeof(Real));
+  }
+}
+
+/// Owning column-major dense matrix (ld == rows).
+template <class Real>
+class Matrix {
+  static_assert(std::is_floating_point_v<Real>);
+
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dims");
+    storage_.assign(
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), Real(0));
+  }
+
+  /// Row-major initializer list, for small literal matrices in tests:
+  /// Matrix<double> A(2, 2, {1, 2, 3, 4}) is [[1,2],[3,4]].
+  Matrix(index_t rows, index_t cols, std::initializer_list<Real> row_major)
+      : Matrix(rows, cols) {
+    if (static_cast<index_t>(row_major.size()) != rows * cols)
+      throw std::invalid_argument("Matrix: initializer size mismatch");
+    auto it = row_major.begin();
+    for (index_t i = 0; i < rows; ++i)
+      for (index_t j = 0; j < cols; ++j) (*this)(i, j) = *it++;
+  }
+
+  static Matrix identity(index_t n) {
+    Matrix I(n, n);
+    I.view().set_identity();
+    return I;
+  }
+
+  /// Deep copy of any view (materializes with ld == rows).
+  static Matrix copy_of(ConstMatrixView<Real> src) {
+    Matrix out(src.rows(), src.cols());
+    out.view().copy_from(src);
+    return out;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_ > 0 ? rows_ : 1; }
+  Real* data() { return storage_.data(); }
+  const Real* data() const { return storage_.data(); }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Real& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * ld())];
+  }
+  const Real& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * ld())];
+  }
+
+  MatrixView<Real> view() {
+    return MatrixView<Real>(rows_, cols_, storage_.data(), ld());
+  }
+  ConstMatrixView<Real> view() const {
+    return ConstMatrixView<Real>(rows_, cols_, storage_.data(), ld());
+  }
+  ConstMatrixView<Real> const_view() const { return view(); }
+
+  MatrixView<Real> block(index_t i, index_t j, index_t r, index_t c) {
+    return view().block(i, j, r, c);
+  }
+  ConstMatrixView<Real> block(index_t i, index_t j, index_t r, index_t c) const {
+    return view().block(i, j, r, c);
+  }
+  MatrixView<Real> col(index_t j) { return view().col(j); }
+  ConstMatrixView<Real> col(index_t j) const { return view().col(j); }
+
+  /// Reshape in place to (rows, cols), zero-filled. Invalidates views.
+  void resize(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    storage_.assign(
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), Real(0));
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Real> storage_;
+};
+
+/// Materialized transpose (convenience for tests and small factors).
+template <class Real>
+Matrix<Real> transposed(ConstMatrixView<Real> a) {
+  Matrix<Real> t(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  return t;
+}
+
+}  // namespace randla

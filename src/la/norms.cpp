@@ -1,0 +1,90 @@
+#include "la/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+
+namespace randla {
+
+template <class Real>
+Real norm_fro(ConstMatrixView<Real> a) {
+  Real scale = 0;
+  Real ssq = 1;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const Real* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const Real v = c[i];
+      if (v == Real(0)) continue;
+      const Real av = std::abs(v);
+      if (scale < av) {
+        const Real r = scale / av;
+        ssq = Real(1) + ssq * r * r;
+        scale = av;
+      } else {
+        const Real r = av / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+template <class Real>
+Real norm_max(ConstMatrixView<Real> a) {
+  Real best = 0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const Real* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(c[i]));
+  }
+  return best;
+}
+
+template <class Real>
+Real norm2_est(ConstMatrixView<Real> a, Real tol, index_t max_iter) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m == 0 || n == 0) return Real(0);
+
+  // Power iteration on AᵀA with a deterministic quasi-random start so the
+  // estimate is reproducible. x has length n.
+  std::vector<Real> x(static_cast<std::size_t>(n));
+  std::vector<Real> y(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] =
+        Real(0.5) + std::cos(Real(0.7) * Real(i + 1));
+  Real nx = blas::nrm2(n, x.data(), index_t{1});
+  blas::scal(n, Real(1) / nx, x.data(), index_t{1});
+
+  Real sigma = 0;
+  for (index_t it = 0; it < max_iter; ++it) {
+    blas::gemv(Op::NoTrans, Real(1), a, x.data(), index_t{1}, Real(0), y.data(),
+               index_t{1});
+    const Real ny = blas::nrm2(m, y.data(), index_t{1});
+    if (ny == Real(0)) return Real(0);
+    blas::gemv(Op::Trans, Real(1), a, y.data(), index_t{1}, Real(0), x.data(),
+               index_t{1});
+    nx = blas::nrm2(n, x.data(), index_t{1});
+    const Real new_sigma = nx / ny;  // ‖AᵀAx‖/‖Ax‖ → σ₁
+    blas::scal(n, Real(1) / nx, x.data(), index_t{1});
+    if (it > 0 && std::abs(new_sigma - sigma) <= tol * new_sigma) {
+      return new_sigma;
+    }
+    sigma = new_sigma;
+  }
+  return sigma;
+}
+
+#define RANDLA_INSTANTIATE_NORMS(Real)                          \
+  template Real norm_fro<Real>(ConstMatrixView<Real>);          \
+  template Real norm_max<Real>(ConstMatrixView<Real>);          \
+  template Real norm2_est<Real>(ConstMatrixView<Real>, Real, index_t);
+
+RANDLA_INSTANTIATE_NORMS(float)
+RANDLA_INSTANTIATE_NORMS(double)
+
+#undef RANDLA_INSTANTIATE_NORMS
+
+}  // namespace randla

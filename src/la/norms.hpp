@@ -1,0 +1,23 @@
+// norms.hpp — matrix norms and error measures used throughout the
+// evaluation (approximation error ‖AP − QR‖/‖A‖, adaptive ε̃, ...).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace randla {
+
+/// Frobenius norm, overflow-safe.
+template <class Real>
+Real norm_fro(ConstMatrixView<Real> a);
+
+/// Largest absolute entry.
+template <class Real>
+Real norm_max(ConstMatrixView<Real> a);
+
+/// Spectral norm estimate via power iteration on AᵀA (relative tolerance
+/// `tol`, at most `max_iter` iterations). Deterministic start vector.
+template <class Real>
+Real norm2_est(ConstMatrixView<Real> a, Real tol = Real(1e-6),
+               index_t max_iter = 100);
+
+}  // namespace randla

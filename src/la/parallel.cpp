@@ -1,0 +1,41 @@
+#include "la/parallel.hpp"
+
+namespace randla {
+
+namespace {
+
+std::atomic<index_t> g_threads{
+    static_cast<index_t>(std::max(1u, std::thread::hardware_concurrency()))};
+
+}  // namespace
+
+index_t blas_num_threads() { return g_threads.load(std::memory_order_relaxed); }
+
+void set_blas_num_threads(index_t n) {
+  g_threads.store(std::max<index_t>(1, n), std::memory_order_relaxed);
+}
+
+void parallel_ranges(index_t total, index_t grain,
+                     const std::function<void(index_t, index_t)>& fn) {
+  if (total <= 0) return;
+  const index_t max_threads = blas_num_threads();
+  const index_t chunks =
+      std::max<index_t>(1, std::min(max_threads, total / std::max<index_t>(1, grain)));
+  if (chunks <= 1) {
+    fn(0, total);
+    return;
+  }
+  const index_t per = (total + chunks - 1) / chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(chunks - 1));
+  for (index_t c = 1; c < chunks; ++c) {
+    const index_t b = c * per;
+    const index_t e = std::min(total, b + per);
+    if (b >= e) break;
+    workers.emplace_back([&fn, b, e] { fn(b, e); });
+  }
+  fn(0, std::min(total, per));  // this thread takes the first chunk
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace randla

@@ -1,0 +1,32 @@
+// parallel.hpp — minimal fork-join helper for the shared-memory CPU
+// side of the paper's platform (two eight-core Xeons in §6).
+//
+// The BLAS-3 kernels split their output into independent column ranges
+// and run each on its own thread; thread_local packing buffers keep the
+// workers isolated. The global thread count defaults to the hardware
+// concurrency and can be pinned (e.g. to 1 for bitwise-reproducible
+// timing runs).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace randla {
+
+/// Global worker-count knob for the BLAS-3 kernels (1 = serial).
+index_t blas_num_threads();
+void set_blas_num_threads(index_t n);
+
+/// Run fn(begin, end) over [0, total) split into at most
+/// blas_num_threads() contiguous chunks of at least `grain` items.
+/// Serial when one chunk suffices. fn must be safe to run concurrently
+/// on disjoint ranges.
+void parallel_ranges(index_t total, index_t grain,
+                     const std::function<void(index_t, index_t)>& fn);
+
+}  // namespace randla

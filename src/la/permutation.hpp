@@ -1,0 +1,62 @@
+// permutation.hpp — column permutations for pivoted factorizations.
+//
+// QRCP produces AP ≈ QR; we represent P as the column-index map
+// perm[j] = original column placed at position j, matching LAPACK's
+// jpvt (0-based here).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace randla {
+
+using Permutation = std::vector<index_t>;
+
+inline Permutation identity_permutation(index_t n) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return p;
+}
+
+/// out = A·P, i.e. out column j is A column perm[j].
+template <class Real>
+void apply_column_permutation(ConstMatrixView<Real> a, const Permutation& perm,
+                              MatrixView<Real> out) {
+  assert(out.rows() == a.rows());
+  assert(out.cols() == static_cast<index_t>(perm.size()));
+  for (index_t j = 0; j < out.cols(); ++j)
+    out.col(j).copy_from(a.col(perm[static_cast<std::size_t>(j)]));
+}
+
+/// Materialize A·P for the leading k columns only (the AP₁:k of Step 3).
+template <class Real>
+Matrix<Real> permuted_leading_columns(ConstMatrixView<Real> a,
+                                      const Permutation& perm, index_t k) {
+  Matrix<Real> out(a.rows(), k);
+  for (index_t j = 0; j < k; ++j)
+    out.view().col(j).copy_from(a.col(perm[static_cast<std::size_t>(j)]));
+  return out;
+}
+
+/// Inverse permutation: inv[perm[j]] = j.
+inline Permutation inverse_permutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t j = 0; j < perm.size(); ++j)
+    inv[static_cast<std::size_t>(perm[j])] = static_cast<index_t>(j);
+  return inv;
+}
+
+/// Validity check: perm must be a bijection on [0, n).
+inline bool is_valid_permutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t v : perm) {
+    if (v < 0 || v >= static_cast<index_t>(perm.size())) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace randla

@@ -1,0 +1,135 @@
+#include "la/svd_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "la/blas1.hpp"
+
+namespace randla::lapack {
+
+namespace {
+
+// One-sided Jacobi on W (m×n, m ≥ n): rotate column pairs until all are
+// numerically orthogonal; then σ_j = ‖W_j‖, U_j = W_j/σ_j, V accumulates
+// the rotations.
+template <class Real>
+SvdResult<Real> svd_tall(ConstMatrixView<Real> a, Real tol, index_t max_sweeps) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  SvdResult<Real> out;
+  out.u = Matrix<Real>::copy_of(a);
+  out.v = Matrix<Real>::identity(n);
+  out.sigma.assign(static_cast<std::size_t>(n), Real(0));
+
+  if (tol <= Real(0)) {
+    tol = Real(16) * std::numeric_limits<Real>::epsilon();
+  }
+
+  auto w = out.u.view();
+  auto v = out.v.view();
+
+  for (index_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        Real* wp = w.col_ptr(p);
+        Real* wq = w.col_ptr(q);
+        const Real app = blas::dot(m, wp, index_t{1}, wp, index_t{1});
+        const Real aqq = blas::dot(m, wq, index_t{1}, wq, index_t{1});
+        const Real apq = blas::dot(m, wp, index_t{1}, wq, index_t{1});
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq)) continue;
+        rotated = true;
+
+        // Two-by-two symmetric Schur decomposition (Golub & Van Loan).
+        const Real zeta = (aqq - app) / (Real(2) * apq);
+        const Real t = (zeta >= Real(0) ? Real(1) : Real(-1)) /
+                       (std::abs(zeta) + std::sqrt(Real(1) + zeta * zeta));
+        const Real c = Real(1) / std::sqrt(Real(1) + t * t);
+        const Real s = c * t;
+
+        // Rotate columns p, q of W and of V.
+        for (index_t i = 0; i < m; ++i) {
+          const Real x = wp[i];
+          const Real y = wq[i];
+          wp[i] = c * x - s * y;
+          wq[i] = s * x + c * y;
+        }
+        Real* vp = v.col_ptr(p);
+        Real* vq = v.col_ptr(q);
+        for (index_t i = 0; i < n; ++i) {
+          const Real x = vp[i];
+          const Real y = vq[i];
+          vp[i] = c * x - s * y;
+          vq[i] = s * x + c * y;
+        }
+      }
+    }
+    out.sweeps = sweep + 1;
+    if (!rotated) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Extract singular values and normalize U.
+  for (index_t j = 0; j < n; ++j) {
+    const Real nrm = blas::nrm2(m, w.col_ptr(j), index_t{1});
+    out.sigma[static_cast<std::size_t>(j)] = nrm;
+    if (nrm > Real(0)) blas::scal(m, Real(1) / nrm, w.col_ptr(j), index_t{1});
+  }
+
+  // Sort descending by σ, permuting U and V columns accordingly.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t i, index_t j) {
+    return out.sigma[static_cast<std::size_t>(i)] >
+           out.sigma[static_cast<std::size_t>(j)];
+  });
+  Matrix<Real> u_sorted(m, n);
+  Matrix<Real> v_sorted(n, n);
+  std::vector<Real> s_sorted(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<std::size_t>(j)];
+    u_sorted.view().col(j).copy_from(out.u.view().col(src));
+    v_sorted.view().col(j).copy_from(out.v.view().col(src));
+    s_sorted[static_cast<std::size_t>(j)] =
+        out.sigma[static_cast<std::size_t>(src)];
+  }
+  out.u = std::move(u_sorted);
+  out.v = std::move(v_sorted);
+  out.sigma = std::move(s_sorted);
+  return out;
+}
+
+}  // namespace
+
+template <class Real>
+SvdResult<Real> svd_jacobi(ConstMatrixView<Real> a, Real tol,
+                           index_t max_sweeps) {
+  if (a.rows() >= a.cols()) return svd_tall(a, tol, max_sweeps);
+  // Wide matrix: factor Aᵀ = UΣVᵀ, so A = VΣUᵀ.
+  Matrix<Real> at = transposed(a);
+  SvdResult<Real> r = svd_tall(ConstMatrixView<Real>(at.view()), tol, max_sweeps);
+  std::swap(r.u, r.v);
+  return r;
+}
+
+template <class Real>
+std::vector<Real> singular_values(ConstMatrixView<Real> a) {
+  return svd_jacobi(a).sigma;
+}
+
+#define RANDLA_INSTANTIATE_SVD(Real)                                         \
+  template struct SvdResult<Real>;                                           \
+  template SvdResult<Real> svd_jacobi<Real>(ConstMatrixView<Real>, Real,     \
+                                            index_t);                        \
+  template std::vector<Real> singular_values<Real>(ConstMatrixView<Real>);
+
+RANDLA_INSTANTIATE_SVD(float)
+RANDLA_INSTANTIATE_SVD(double)
+
+#undef RANDLA_INSTANTIATE_SVD
+
+}  // namespace randla::lapack

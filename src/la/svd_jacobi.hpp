@@ -1,0 +1,34 @@
+// svd_jacobi.hpp — one-sided Jacobi SVD.
+//
+// Used as the verification oracle: true singular values give σ_{k+1}
+// for checking the Halko et al. error bound, and test-matrix generators
+// are validated against the spectra they claim to produce. One-sided
+// Jacobi is slow (O(mn²) per sweep) but accurate to full precision,
+// which is exactly what an oracle needs.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace randla::lapack {
+
+template <class Real>
+struct SvdResult {
+  Matrix<Real> u;                 ///< m×r left singular vectors
+  std::vector<Real> sigma;        ///< r singular values, descending
+  Matrix<Real> v;                 ///< n×r right singular vectors
+  index_t sweeps = 0;             ///< Jacobi sweeps used
+  bool converged = false;
+};
+
+/// Full thin SVD A = U·diag(σ)·Vᵀ with r = min(m, n).
+template <class Real>
+SvdResult<Real> svd_jacobi(ConstMatrixView<Real> a, Real tol = Real(0),
+                           index_t max_sweeps = 60);
+
+/// Singular values only (descending).
+template <class Real>
+std::vector<Real> singular_values(ConstMatrixView<Real> a);
+
+}  // namespace randla::lapack

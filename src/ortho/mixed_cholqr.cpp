@@ -1,0 +1,101 @@
+#include "ortho/mixed_cholqr.hpp"
+
+#include <stdexcept>
+
+#include "la/blas3.hpp"
+#include "la/cholesky.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+
+namespace randla::ortho {
+
+namespace {
+
+// Promote a float view into a double matrix.
+Matrix<double> widen(ConstMatrixView<float> a) {
+  Matrix<double> out(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const float* src = a.col_ptr(j);
+    double* dst = out.view().col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) dst[i] = double(src[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+OrthoReport cholqr_mixed_columns(MatrixView<float> a, MatrixView<float> r) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m < n)
+    throw std::invalid_argument("cholqr_mixed_columns: matrix must be tall");
+  if (!r.empty() && (r.rows() != n || r.cols() != n))
+    throw std::invalid_argument("cholqr_mixed_columns: R must be n×n");
+
+  OrthoReport rep;
+  rep.flops = flops::cholqr(m, n);
+
+  // Gram in double: G = AᵀA with every product and sum in fp64.
+  Matrix<double> ad = widen(ConstMatrixView<float>(a));
+  Matrix<double> g(n, n);
+  blas::syrk(Uplo::Upper, Op::Trans, 1.0, ConstMatrixView<double>(ad.view()),
+             0.0, g.view());
+  if (lapack::potrf(Uplo::Upper, g.view()) != 0) {
+    rep.cholesky_failed = true;
+    rep.fallback_used = true;
+    Matrix<float> rr(n, n);
+    lapack::qr_explicit(a, rr.view());
+    if (!r.empty()) r.copy_from(ConstMatrixView<float>(rr.view()));
+    return rep;
+  }
+  // Solve in double against the widened A, then narrow the result —
+  // keeping the κ²-sensitive steps entirely in fp64.
+  blas::trsm(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit, 1.0,
+             ConstMatrixView<double>(g.view()), ad.view());
+  for (index_t j = 0; j < n; ++j) {
+    const double* src = ad.view().col_ptr(j);
+    float* dst = a.col_ptr(j);
+    for (index_t i = 0; i < m; ++i) dst[i] = float(src[i]);
+  }
+  if (!r.empty()) {
+    r.set_zero();
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= j; ++i) r(i, j) = float(g(i, j));
+  }
+  return rep;
+}
+
+OrthoReport cholqr_mixed_rows(MatrixView<float> b) {
+  const index_t l = b.rows();
+  const index_t n = b.cols();
+  if (l > n)
+    throw std::invalid_argument("cholqr_mixed_rows: matrix must be short-wide");
+
+  OrthoReport rep;
+  rep.flops = flops::cholqr(n, l);
+
+  Matrix<double> bd = widen(ConstMatrixView<float>(b));
+  Matrix<double> g(l, l);
+  blas::syrk(Uplo::Lower, Op::NoTrans, 1.0, ConstMatrixView<double>(bd.view()),
+             0.0, g.view());
+  if (lapack::potrf(Uplo::Lower, g.view()) != 0) {
+    rep.cholesky_failed = true;
+    rep.fallback_used = true;
+    Matrix<float> bt = transposed(ConstMatrixView<float>(b));
+    Matrix<float> rr(l, l);
+    lapack::qr_explicit(bt.view(), rr.view());
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < l; ++i) b(i, j) = bt(j, i);
+    return rep;
+  }
+  blas::trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 1.0,
+             ConstMatrixView<double>(g.view()), bd.view());
+  for (index_t j = 0; j < n; ++j) {
+    const double* src = bd.view().col_ptr(j);
+    float* dst = b.col_ptr(j);
+    for (index_t i = 0; i < l; ++i) dst[i] = float(src[i]);
+  }
+  return rep;
+}
+
+}  // namespace randla::ortho

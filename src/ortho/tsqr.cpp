@@ -1,0 +1,110 @@
+#include "ortho/tsqr.hpp"
+
+#include <algorithm>
+
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+
+namespace randla::ortho {
+
+namespace {
+
+// Recursive TSQR: orthonormalize the columns of `a` in place, writing
+// the n×n triangular factor into `r`. Splits rows until a leaf fits
+// `leaf_rows`, then combines pairwise.
+template <class Real>
+void tsqr_rec(MatrixView<Real> a, MatrixView<Real> r, index_t leaf_rows) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m <= leaf_rows || m < 2 * n) {
+    lapack::qr_explicit(a, r);
+    return;
+  }
+  // Split at a row multiple of the leaf size when possible so the tree
+  // stays balanced.
+  const index_t half = m / 2;
+  auto top = a.rows_range(0, half);
+  auto bot = a.rows_range(half, m);
+
+  Matrix<Real> r1(n, n);
+  Matrix<Real> r2(n, n);
+  tsqr_rec(top, r1.view(), leaf_rows);
+  tsqr_rec(bot, r2.view(), leaf_rows);
+
+  // Combine: QR of the stacked (2n×n) triangles.
+  Matrix<Real> stacked(2 * n, n);
+  stacked.view().rows_range(0, n).copy_from(ConstMatrixView<Real>(r1.view()));
+  stacked.view().rows_range(n, 2 * n).copy_from(
+      ConstMatrixView<Real>(r2.view()));
+  lapack::qr_explicit(stacked.view(), r);
+
+  // Propagate the combine factor into the explicit Q blocks:
+  // Q_top ← Q_top·Qc(0:n, :), Q_bot ← Q_bot·Qc(n:2n, :).
+  Matrix<Real> tmp_top = Matrix<Real>::copy_of(ConstMatrixView<Real>(top));
+  blas::gemm(Op::NoTrans, Op::NoTrans, Real(1),
+             ConstMatrixView<Real>(tmp_top.view()),
+             ConstMatrixView<Real>(stacked.view().rows_range(0, n)), Real(0),
+             top);
+  Matrix<Real> tmp_bot = Matrix<Real>::copy_of(ConstMatrixView<Real>(bot));
+  blas::gemm(Op::NoTrans, Op::NoTrans, Real(1),
+             ConstMatrixView<Real>(tmp_bot.view()),
+             ConstMatrixView<Real>(stacked.view().rows_range(n, 2 * n)),
+             Real(0), bot);
+}
+
+}  // namespace
+
+template <class Real>
+OrthoReport tsqr(MatrixView<Real> a, MatrixView<Real> r, index_t leaf_rows) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m < n)
+    throw std::invalid_argument("tsqr: matrix must be tall (use tsqr_rows)");
+  if (!r.empty() && (r.rows() != n || r.cols() != n))
+    throw std::invalid_argument("tsqr: R must be n×n");
+
+  if (leaf_rows <= 0) {
+    // Default: leaves of ~8n rows, at least 2n, giving a shallow tree
+    // with BLAS-3-sized leaf factorizations.
+    leaf_rows = std::max<index_t>(2 * n, std::min<index_t>(8 * n, m));
+  }
+  leaf_rows = std::max<index_t>(leaf_rows, 2 * n);
+
+  OrthoReport rep;
+  // Leaf QRs (≈ m/leaf · geqrf(leaf, n)) + combines; charge the standard
+  // 4mn² Householder volume plus the tree's 2n×n combine factors.
+  rep.flops = flops::geqrf(m, n) + flops::orgqr(m, n);
+  if (r.empty()) {
+    Matrix<Real> rr(n, n);
+    tsqr_rec(a, rr.view(), leaf_rows);
+  } else {
+    tsqr_rec(a, r, leaf_rows);
+  }
+  return rep;
+}
+
+template <class Real>
+OrthoReport tsqr_rows(MatrixView<Real> b, index_t leaf_rows) {
+  const index_t l = b.rows();
+  const index_t n = b.cols();
+  if (l > n)
+    throw std::invalid_argument("tsqr_rows: matrix must be short-wide");
+  Matrix<Real> bt = transposed(ConstMatrixView<Real>(b));
+  OrthoReport rep = tsqr(bt.view(), MatrixView<Real>{}, leaf_rows);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < l; ++i) b(i, j) = bt(j, i);
+  return rep;
+}
+
+#define RANDLA_INSTANTIATE_TSQR(Real)                                     \
+  template OrthoReport tsqr<Real>(MatrixView<Real>, MatrixView<Real>,     \
+                                  index_t);                               \
+  template OrthoReport tsqr_rows<Real>(MatrixView<Real>, index_t);
+
+RANDLA_INSTANTIATE_TSQR(float)
+RANDLA_INSTANTIATE_TSQR(double)
+
+#undef RANDLA_INSTANTIATE_TSQR
+
+}  // namespace randla::ortho

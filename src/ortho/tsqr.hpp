@@ -1,0 +1,31 @@
+// tsqr.hpp — communication-avoiding tall-skinny QR (Demmel, Grigori,
+// Hoemmen, Langou [5]), the orthogonalization the paper names as current
+// research for hardening random sampling (§4, §11).
+//
+// The row blocks are factored independently and their R factors combined
+// pairwise up a binary reduction tree — one reduction instead of the
+// CholQR Gram-reduce or the ℓ synchronizations of Householder QR, and
+// unconditionally stable (no Gram matrix squaring of the condition
+// number).
+#pragma once
+
+#include "la/matrix.hpp"
+#include "ortho/ortho.hpp"
+
+namespace randla::ortho {
+
+/// Orthonormalize the columns of tall-skinny `a` (m ≥ n) in place via a
+/// binary TSQR reduction tree. If `r` is non-empty (n×n) it receives the
+/// triangular factor with A_in = Q·R up to the usual sign freedom.
+/// `leaf_rows` bounds the leaf block height (0 = choose automatically,
+/// at least 2n rows per leaf).
+template <class Real>
+OrthoReport tsqr(MatrixView<Real> a, MatrixView<Real> r = {},
+                 index_t leaf_rows = 0);
+
+/// Row variant for the short-wide sampled matrices (LQ adaptation, like
+/// ortho::orthonormalize_rows): factors the transpose through the tree.
+template <class Real>
+OrthoReport tsqr_rows(MatrixView<Real> b, index_t leaf_rows = 0);
+
+}  // namespace randla::ortho

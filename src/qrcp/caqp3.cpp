@@ -1,0 +1,146 @@
+#include "qrcp/caqp3.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "la/blas1.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+
+namespace randla::qrcp {
+
+namespace {
+
+// One tournament game: run a local truncated QRCP on the trailing rows
+// of the candidate columns and return the (globally indexed) winners in
+// pivot order.
+template <class Real>
+std::vector<index_t> play_game(ConstMatrixView<Real> a, index_t row0,
+                               const std::vector<index_t>& candidates,
+                               index_t b, QrcpStats& stats) {
+  const index_t m = a.rows();
+  const index_t nc = static_cast<index_t>(candidates.size());
+  const index_t winners = std::min(b, nc);
+
+  // Gather the candidate columns (trailing rows only).
+  Matrix<Real> local(m - row0, nc);
+  for (index_t j = 0; j < nc; ++j)
+    local.view().col(j).copy_from(
+        a.block(row0, candidates[static_cast<std::size_t>(j)], m - row0, 1));
+
+  Permutation lp;
+  std::vector<Real> ltau;
+  geqp2(local.view(), lp, ltau, winners, nullptr);
+  stats.flops_blas2 += 4.0 * double(m - row0) * double(nc) * double(winners);
+
+  std::vector<index_t> out(static_cast<std::size_t>(winners));
+  for (index_t j = 0; j < winners; ++j)
+    out[static_cast<std::size_t>(j)] =
+        candidates[static_cast<std::size_t>(lp[static_cast<std::size_t>(j)])];
+  return out;
+}
+
+}  // namespace
+
+template <class Real>
+index_t caqp3(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats, index_t block_size,
+              index_t group_size) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min({kmax, m, n});
+  tau.assign(static_cast<std::size_t>(k), Real(0));
+  jpvt = identity_permutation(n);
+  if (group_size <= 0) group_size = 2 * block_size;
+  QrcpStats local_stats;
+
+  Matrix<Real> t_factor(block_size, block_size);
+
+  index_t j0 = 0;
+  while (j0 < k) {
+    const index_t b = std::min(block_size, k - j0);
+
+    // ---- Tournament: elect b pivot columns from the trailing set with
+    // a single reduction tree (no per-column synchronization).
+    std::vector<index_t> alive;
+    alive.reserve(static_cast<std::size_t>(n - j0));
+    for (index_t c = j0; c < n; ++c) alive.push_back(c);
+    while (static_cast<index_t>(alive.size()) > b) {
+      std::vector<index_t> next;
+      for (std::size_t g = 0; g < alive.size();
+           g += static_cast<std::size_t>(group_size)) {
+        const std::size_t end =
+            std::min(alive.size(), g + static_cast<std::size_t>(group_size));
+        std::vector<index_t> group(alive.begin() + static_cast<std::ptrdiff_t>(g),
+                                   alive.begin() + static_cast<std::ptrdiff_t>(end));
+        auto winners = play_game(ConstMatrixView<Real>(a), j0, group, b,
+                                 local_stats);
+        next.insert(next.end(), winners.begin(), winners.end());
+      }
+      if (next.size() >= alive.size()) break;  // cannot shrink further
+      alive = std::move(next);
+    }
+    // Final ordering game if more than one group fed the last round.
+    if (static_cast<index_t>(alive.size()) > b)
+      alive = play_game(ConstMatrixView<Real>(a), j0, alive, b, local_stats);
+
+    // ---- Swap the winners to the panel positions, in pivot order.
+    // (Process in order; if a winner was displaced by an earlier swap of
+    // this panel, follow it.)
+    for (index_t j = 0; j < static_cast<index_t>(alive.size()); ++j) {
+      index_t src = alive[static_cast<std::size_t>(j)];
+      // An earlier swap this panel may have moved the column at `src`.
+      for (index_t jj = 0; jj < j; ++jj) {
+        if (alive[static_cast<std::size_t>(jj)] == src) {
+          // already placed — cannot happen (winners are distinct)
+          break;
+        }
+      }
+      const index_t dst = j0 + j;
+      if (src == dst) continue;
+      // If src < dst it was swapped away earlier; find where it went.
+      // Track via jpvt values: search the trailing region for the column
+      // whose current position holds the original winner.
+      blas::swap(m, a.col_ptr(dst), index_t{1}, a.col_ptr(src), index_t{1});
+      std::swap(jpvt[static_cast<std::size_t>(dst)],
+                jpvt[static_cast<std::size_t>(src)]);
+      // Any later winner that pointed at `dst` now lives at `src`.
+      for (index_t jj = j + 1; jj < static_cast<index_t>(alive.size()); ++jj)
+        if (alive[static_cast<std::size_t>(jj)] == dst)
+          alive[static_cast<std::size_t>(jj)] = src;
+    }
+
+    // ---- Unpivoted blocked Householder step on the selected panel.
+    auto panel = a.block(j0, j0, m - j0, b);
+    std::vector<Real> panel_tau;
+    lapack::geqrf(panel, panel_tau);
+    for (index_t j = 0; j < b; ++j)
+      tau[static_cast<std::size_t>(j0 + j)] = panel_tau[static_cast<std::size_t>(j)];
+    local_stats.flops_blas2 += flops::geqrf(m - j0, b);
+
+    const index_t rest = n - (j0 + b);
+    if (rest > 0) {
+      auto tb = t_factor.block(0, 0, b, b);
+      lapack::larft(ConstMatrixView<Real>(panel), panel_tau.data(), tb);
+      lapack::larfb_left(Op::Trans, ConstMatrixView<Real>(panel),
+                         ConstMatrixView<Real>(tb),
+                         a.block(j0, j0 + b, m - j0, rest));
+      local_stats.flops_blas3 += flops::gemm(m - j0, rest, b) * 2.0;
+    }
+    local_stats.panels++;
+    local_stats.columns_factored = j0 + b;
+    j0 += b;
+  }
+  if (stats) *stats = local_stats;
+  return k;
+}
+
+template index_t caqp3<float>(MatrixView<float>, Permutation&,
+                              std::vector<float>&, index_t, QrcpStats*,
+                              index_t, index_t);
+template index_t caqp3<double>(MatrixView<double>, Permutation&,
+                               std::vector<double>&, index_t, QrcpStats*,
+                               index_t, index_t);
+
+}  // namespace randla::qrcp

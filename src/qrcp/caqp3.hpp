@@ -1,0 +1,29 @@
+// caqp3.hpp — communication-avoiding rank-revealing QRCP with tournament
+// pivoting (Demmel, Grigori, Gu, Xiang [4]).
+//
+// QP3 needs one global synchronization per column to pick a pivot — the
+// cost the paper's whole argument hangs on. Tournament pivoting replaces
+// the ℓ per-column reductions of a panel with a single reduction tree:
+// every group of candidate columns elects `b` local winners by a local
+// QRCP, winners play off pairwise up the tree, and the final b columns
+// are factored with an *unpivoted* blocked Householder step. Paper §11
+// names this algorithm (and its Fig. 5 lists its asymptotic costs) as
+// the planned deterministic comparator.
+#pragma once
+
+#include "qrcp/qrcp.hpp"
+
+namespace randla::qrcp {
+
+/// Truncated tournament-pivoting QRCP. Same output convention as
+/// geqp2/geqp3: factors the leading `kmax` columns of `a` in place
+/// (R upper, Householder vectors below), `jpvt[j]` = original index of
+/// the column at position j, `tau` the reflector scalars.
+/// `block_size` is the panel width b; `group_size` the tournament group
+/// width (0 ⇒ 2b). Returns the number of columns factored.
+template <class Real>
+index_t caqp3(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats = nullptr,
+              index_t block_size = 32, index_t group_size = 0);
+
+}  // namespace randla::qrcp

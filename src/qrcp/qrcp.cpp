@@ -1,0 +1,294 @@
+#include "qrcp/qrcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+
+namespace randla::qrcp {
+
+namespace {
+
+// LAPACK's dlaqp2/dlaqps downdating tolerance: when the downdated norm
+// estimate has lost half the digits relative to the last exact value,
+// recompute it.
+template <class Real>
+Real downdate_tolerance() {
+  return std::sqrt(std::numeric_limits<Real>::epsilon());
+}
+
+// Swap columns j1 and j2 of A plus all pivot bookkeeping.
+template <class Real>
+void swap_columns(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& vn1,
+                  std::vector<Real>& vn2, index_t j1, index_t j2) {
+  if (j1 == j2) return;
+  blas::swap(a.rows(), a.col_ptr(j1), index_t{1}, a.col_ptr(j2), index_t{1});
+  std::swap(jpvt[static_cast<std::size_t>(j1)], jpvt[static_cast<std::size_t>(j2)]);
+  std::swap(vn1[static_cast<std::size_t>(j1)], vn1[static_cast<std::size_t>(j2)]);
+  std::swap(vn2[static_cast<std::size_t>(j1)], vn2[static_cast<std::size_t>(j2)]);
+}
+
+// Downdate the partial norm of column c after step j produced row entry
+// r_jc. Returns true if the norm had to be recomputed from scratch
+// (rows j+1:m of column c).
+template <class Real>
+bool downdate_norm(ConstMatrixView<Real> a, index_t j, index_t c,
+                   std::vector<Real>& vn1, std::vector<Real>& vn2, Real r_jc) {
+  Real& n1 = vn1[static_cast<std::size_t>(c)];
+  Real& n2 = vn2[static_cast<std::size_t>(c)];
+  if (n1 == Real(0)) return false;
+  Real temp = std::abs(r_jc) / n1;
+  temp = std::max(Real(0), (Real(1) + temp) * (Real(1) - temp));
+  const Real ratio = n1 / n2;
+  const Real temp2 = temp * ratio * ratio;
+  if (temp2 <= downdate_tolerance<Real>()) {
+    // Cancellation: recompute exactly (BLAS-1 — the overhead the paper
+    // warns about when triggered frequently).
+    const index_t m = a.rows();
+    n1 = (j + 1 < m) ? blas::nrm2(m - j - 1, a.col_ptr(c) + j + 1, index_t{1})
+                     : Real(0);
+    n2 = n1;
+    return true;
+  }
+  n1 *= std::sqrt(temp);
+  return false;
+}
+
+template <class Real>
+void init_pivot_state(ConstMatrixView<Real> a, Permutation& jpvt,
+                      std::vector<Real>& vn1, std::vector<Real>& vn2) {
+  const index_t n = a.cols();
+  jpvt = identity_permutation(n);
+  vn1.resize(static_cast<std::size_t>(n));
+  vn2.resize(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    vn1[static_cast<std::size_t>(j)] =
+        blas::nrm2(a.rows(), a.col_ptr(j), index_t{1});
+    vn2[static_cast<std::size_t>(j)] = vn1[static_cast<std::size_t>(j)];
+  }
+}
+
+template <class Real>
+index_t argmax_norm(const std::vector<Real>& vn1, index_t from, index_t to) {
+  index_t best = from;
+  for (index_t c = from + 1; c < to; ++c)
+    if (vn1[static_cast<std::size_t>(c)] > vn1[static_cast<std::size_t>(best)])
+      best = c;
+  return best;
+}
+
+}  // namespace
+
+template <class Real>
+index_t geqp2(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min({kmax, m, n});
+  tau.assign(static_cast<std::size_t>(k), Real(0));
+
+  std::vector<Real> vn1, vn2;
+  init_pivot_state(ConstMatrixView<Real>(a), jpvt, vn1, vn2);
+  QrcpStats local;
+
+  for (index_t j = 0; j < k; ++j) {
+    // Pivot: column with the largest partial norm among j..n.
+    swap_columns(a, jpvt, vn1, vn2, j, argmax_norm(vn1, j, n));
+
+    // Householder reflector on the pivot column.
+    Real& ajj = a(j, j);
+    tau[static_cast<std::size_t>(j)] =
+        lapack::larfg(m - j, ajj, a.col_ptr(j) + j + 1, index_t{1});
+
+    // Apply to the whole trailing matrix (BLAS-2: one gemv + one ger).
+    if (j + 1 < n && tau[static_cast<std::size_t>(j)] != Real(0)) {
+      const Real saved = ajj;
+      ajj = Real(1);
+      lapack::larf(Side::Left, m - j, a.col_ptr(j) + j, index_t{1},
+                   tau[static_cast<std::size_t>(j)],
+                   a.block(j, j + 1, m - j, n - j - 1));
+      ajj = saved;
+      local.flops_blas2 += 4.0 * double(m - j) * double(n - j - 1);
+    }
+
+    // Downdate the partial norms of the trailing columns.
+    for (index_t c = j + 1; c < n; ++c)
+      local.norm_recomputes +=
+          downdate_norm(ConstMatrixView<Real>(a), j, c, vn1, vn2, a(j, c));
+    local.columns_factored = j + 1;
+  }
+  if (stats) *stats = local;
+  return k;
+}
+
+template <class Real>
+index_t geqp3(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats, index_t block_size) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min({kmax, m, n});
+  tau.assign(static_cast<std::size_t>(k), Real(0));
+
+  std::vector<Real> vn1, vn2;
+  init_pivot_state(ConstMatrixView<Real>(a), jpvt, vn1, vn2);
+  QrcpStats local;
+
+  // Auxiliary vector for the F update.
+  std::vector<Real> vtv;
+
+  index_t j0 = 0;  // first column of the current panel
+  while (j0 < k) {
+    const index_t nb = std::min(block_size, k - j0);
+    const index_t ncols = n - j0;  // trailing width including panel
+    // F accumulates τ·(trailing-columnsᵀ·v) rows; F is ncols×nb.
+    Matrix<Real> f(ncols, nb);
+    index_t jb = 0;        // columns factored in this panel
+    bool abort_panel = false;
+
+    for (index_t jj = 0; jj < nb && !abort_panel; ++jj) {
+      const index_t j = j0 + jj;  // global column index
+
+      // Pivot selection over the not-yet-factored columns. A swap also
+      // permutes the corresponding rows of F.
+      const index_t piv = argmax_norm(vn1, j, n);
+      if (piv != j) {
+        swap_columns(a, jpvt, vn1, vn2, j, piv);
+        blas::swap(jj, f.data() + (j - j0), f.ld(), f.data() + (piv - j0),
+                   f.ld());
+      }
+
+      // Bring the pivot column up to date w.r.t. the panel's previous
+      // reflectors. Rows j0..j were already refreshed by the per-step
+      // row updates, so only rows j:m need the gemv:
+      // a_j(j:m) −= V(j:m, 0:jj)·F(j−j0, 0:jj)ᵀ.
+      if (jj > 0) {
+        blas::gemv(Op::NoTrans, Real(-1),
+                   ConstMatrixView<Real>(a.block(j, j0, m - j, jj)),
+                   f.data() + (j - j0), f.ld(), Real(1), a.col_ptr(j) + j,
+                   index_t{1});
+        local.flops_blas2 += 2.0 * double(m - j) * double(jj);
+      }
+
+      // Reflector for the updated pivot column.
+      Real& ajj = a(j, j);
+      tau[static_cast<std::size_t>(j)] =
+          lapack::larfg(m - j, ajj, a.col_ptr(j) + j + 1, index_t{1});
+      const Real tj = tau[static_cast<std::size_t>(j)];
+      const Real saved = ajj;
+      ajj = Real(1);
+
+      // F(jj+1:ncols, jj) = τ_j · A(j:m, j+1:n)ᵀ · v_j — the gemv that
+      // keeps half of QP3's flops in BLAS-2.
+      if (j + 1 < n) {
+        blas::gemv(Op::Trans, tj,
+                   ConstMatrixView<Real>(a.block(j, j + 1, m - j, n - j - 1)),
+                   a.col_ptr(j) + j, index_t{1}, Real(0),
+                   f.view().col_ptr(jj) + (j - j0) + 1, index_t{1});
+        local.flops_blas2 += 2.0 * double(m - j) * double(n - j - 1);
+      }
+      f(j - j0, jj) = Real(0);
+
+      // Correct F for the interaction with previous reflectors:
+      // F(:, jj) −= τ_j · F(:, 0:jj) · (V(:, 0:jj)ᵀ · v_j).
+      if (jj > 0) {
+        vtv.assign(static_cast<std::size_t>(jj), Real(0));
+        blas::gemv(Op::Trans, -tj,
+                   ConstMatrixView<Real>(a.block(j, j0, m - j, jj)),
+                   a.col_ptr(j) + j, index_t{1}, Real(0), vtv.data(),
+                   index_t{1});
+        blas::gemv(Op::NoTrans, Real(1),
+                   ConstMatrixView<Real>(f.block(0, 0, ncols, jj)), vtv.data(),
+                   index_t{1}, Real(1), f.view().col_ptr(jj), index_t{1});
+      }
+
+      // Update row j of the trailing matrix so the downdating sees the
+      // true R entries: A(j, j+1:n) −= V(j, 0:jj+1)·F(j+1-col rows)ᵀ.
+      if (j + 1 < n) {
+        blas::gemv(Op::NoTrans, Real(-1),
+                   ConstMatrixView<Real>(f.block(j - j0 + 1, 0, n - j - 1,
+                                                 jj + 1)),
+                   a.data() + j + j0 * a.ld(), a.ld(), Real(1),
+                   a.data() + j + (j + 1) * a.ld(), a.ld());
+      }
+      ajj = saved;
+
+      // Downdate partial norms; a recompute aborts the panel (LAPACK
+      // dlaqps behaviour) so the trailing matrix is refreshed first.
+      for (index_t c = j + 1; c < n; ++c) {
+        if (downdate_norm(ConstMatrixView<Real>(a), j, c, vn1, vn2, a(j, c))) {
+          local.norm_recomputes++;
+          abort_panel = true;
+        }
+      }
+      jb = jj + 1;
+      local.columns_factored = j + 1;
+    }
+
+    // BLAS-3 trailing update with the jb reflectors of this panel.
+    // Rows j0..j0+jb of the trailing columns were completed by the
+    // per-step row updates; the block below them takes one GEMM:
+    // A(j0+jb:m, j0+jb:n) −= V(j0+jb:m, 0:jb)·F(jb:ncols, 0:jb)ᵀ.
+    const index_t rest = n - (j0 + jb);
+    if (rest > 0 && m > j0 + jb) {
+      blas::gemm(Op::NoTrans, Op::Trans, Real(-1),
+                 ConstMatrixView<Real>(a.block(j0 + jb, j0, m - j0 - jb, jb)),
+                 ConstMatrixView<Real>(f.block(jb, 0, rest, jb)), Real(1),
+                 a.block(j0 + jb, j0 + jb, m - j0 - jb, rest));
+      local.flops_blas3 += flops::gemm(m - j0 - jb, rest, jb);
+    }
+    local.panels++;
+    j0 += jb;
+  }
+  if (stats) *stats = local;
+  return k;
+}
+
+template <class Real>
+QrcpFactors<Real> qrcp_truncated(ConstMatrixView<Real> b, index_t k,
+                                 index_t block_size) {
+  const index_t l = b.rows();
+  const index_t n = b.cols();
+  if (k > std::min(l, n))
+    throw std::invalid_argument("qrcp_truncated: k exceeds min(rows, cols)");
+
+  QrcpFactors<Real> out;
+  Matrix<Real> work = Matrix<Real>::copy_of(b);
+  std::vector<Real> tau;
+  geqp3(work.view(), out.perm, tau, k, &out.stats, block_size);
+
+  // R̂₁ (k×k upper) and R̂₂ (k×(n−k)).
+  out.r1.resize(k, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i <= j; ++i) out.r1(i, j) = work(i, j);
+  out.r2.resize(k, n - k);
+  for (index_t j = k; j < n; ++j)
+    for (index_t i = 0; i < k; ++i) out.r2(i, j - k) = work(i, j);
+
+  // Explicit Q̂ (ℓ×k).
+  lapack::orgqr(work.view(), tau, k);
+  out.q.resize(l, k);
+  out.q.view().copy_from(work.block(0, 0, l, k));
+  return out;
+}
+
+#define RANDLA_INSTANTIATE_QRCP(Real)                                         \
+  template index_t geqp2<Real>(MatrixView<Real>, Permutation&,                \
+                               std::vector<Real>&, index_t, QrcpStats*);      \
+  template index_t geqp3<Real>(MatrixView<Real>, Permutation&,                \
+                               std::vector<Real>&, index_t, QrcpStats*,       \
+                               index_t);                                      \
+  template struct QrcpFactors<Real>;                                          \
+  template QrcpFactors<Real> qrcp_truncated<Real>(ConstMatrixView<Real>,      \
+                                                  index_t, index_t);
+
+RANDLA_INSTANTIATE_QRCP(float)
+RANDLA_INSTANTIATE_QRCP(double)
+
+#undef RANDLA_INSTANTIATE_QRCP
+
+}  // namespace randla::qrcp

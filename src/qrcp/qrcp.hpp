@@ -1,0 +1,68 @@
+// qrcp.hpp — QR factorization with column pivoting (paper §2).
+//
+// Two variants mirroring the paper's discussion:
+//  * geqp2 — the column-based algorithm: pivot on the largest downdated
+//    norm, apply each reflector to the whole trailing matrix with BLAS-2
+//    operations.
+//  * geqp3 — the block algorithm of Quintana-Ortí, Sun & Bischof
+//    (LAPACK's QP3): panels accumulate reflector coefficients in F so
+//    the trailing matrix is updated once per panel with GEMM. Half the
+//    flops (the F gemv per step) remain BLAS-2 — the bottleneck the
+//    paper measures — and downdated column norms are recomputed when
+//    round-off makes them untrustworthy, terminating panels early.
+//
+// Both are truncated: factoring stops after `kmax` columns, giving the
+// rank-k approximation A·P ≈ Q·R of equation (1).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/permutation.hpp"
+
+namespace randla::qrcp {
+
+/// Diagnostics of a QP3 run.
+struct QrcpStats {
+  index_t columns_factored = 0;
+  index_t norm_recomputes = 0;   ///< columns whose norm was recomputed
+  index_t panels = 0;            ///< trailing updates performed
+  double flops_blas2 = 0;        ///< flops spent in gemv-class work
+  double flops_blas3 = 0;        ///< flops spent in gemm-class work
+};
+
+/// Column-based truncated QRCP (BLAS-2). On exit the leading kmax
+/// columns of `a` hold R (upper part) and the Householder vectors
+/// (below the diagonal); `jpvt[j]` is the original index of the column
+/// now at position j; `tau` holds the kmax reflector scalars.
+/// Returns the number of columns factored (== kmax unless the matrix
+/// runs out of columns/rows first).
+template <class Real>
+index_t geqp2(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats = nullptr);
+
+/// Blocked truncated QP3 (BLAS-3 trailing updates, norm downdating with
+/// the LAPACK recompute trigger). Same output convention as geqp2.
+template <class Real>
+index_t geqp3(MatrixView<Real> a, Permutation& jpvt, std::vector<Real>& tau,
+              index_t kmax, QrcpStats* stats = nullptr,
+              index_t block_size = 32);
+
+/// Factors extracted from a truncated QRCP of B (ℓ×n):
+/// B·P ≈ Q̂·[R̂₁ R̂₂] with R̂₁ (k×k, invertible triangle) and R̂₂ (k×(n−k)).
+template <class Real>
+struct QrcpFactors {
+  Matrix<Real> q;        ///< ℓ×k explicit orthonormal factor
+  Matrix<Real> r1;       ///< k×k upper triangular
+  Matrix<Real> r2;       ///< k×(n−k)
+  Permutation perm;      ///< column permutation, length n
+  QrcpStats stats;
+};
+
+/// Convenience driver used by random sampling Step 2: truncated QP3 of a
+/// copy of `b`, returning explicit factors.
+template <class Real>
+QrcpFactors<Real> qrcp_truncated(ConstMatrixView<Real> b, index_t k,
+                                 index_t block_size = 32);
+
+}  // namespace randla::qrcp

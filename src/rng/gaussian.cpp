@@ -1,0 +1,34 @@
+#include "rng/gaussian.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace randla::rng {
+
+std::vector<index_t> sample_without_replacement(index_t n, index_t count,
+                                                std::uint64_t seed) {
+  if (count > n) throw std::invalid_argument("sample_without_replacement: count > n");
+  std::vector<index_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), index_t{0});
+  Philox4x32 g(seed, 0xF15Eu);
+  // Partial Fisher–Yates: after `count` swaps the prefix is the sample.
+  for (index_t i = 0; i < count; ++i) {
+    // Rejection sampling for an unbiased index in [i, n).
+    const std::uint64_t range = static_cast<std::uint64_t>(n - i);
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t r;
+    do {
+      r = g.next_u64();
+    } while (r >= limit);
+    const index_t j = i + static_cast<index_t>(r % range);
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+std::vector<index_t> random_permutation(index_t n, std::uint64_t seed) {
+  return sample_without_replacement(n, n, seed);
+}
+
+}  // namespace randla::rng

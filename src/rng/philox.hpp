@@ -1,0 +1,112 @@
+// philox.hpp — Philox4x32-10 counter-based PRNG.
+//
+// Stands in for cuRAND: counter-based generation is exactly how cuRAND's
+// Philox engine produces independent streams on a GPU, and it gives us
+// the property the multi-device runtime needs — Ω is a pure function of
+// (seed, stream, counter), so an ℓ×m Gaussian sampling matrix is bitwise
+// identical no matter how many simulated devices generate their slices.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace randla::rng {
+
+/// Philox4x32-10 (Salmon et al., SC'11). Produces 4×32 random bits per
+/// `block()` call from a 128-bit counter and 64-bit key.
+class Philox4x32 {
+ public:
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  Philox4x32() = default;
+  /// `seed` selects the key; `stream` partitions independent substreams
+  /// (the high 64 bits of the counter).
+  explicit Philox4x32(std::uint64_t seed, std::uint64_t stream = 0)
+      : key_{static_cast<std::uint32_t>(seed),
+             static_cast<std::uint32_t>(seed >> 32)},
+        counter_{0, 0, static_cast<std::uint32_t>(stream),
+                 static_cast<std::uint32_t>(stream >> 32)} {}
+
+  /// Jump directly to 128-bit position `index` within the stream
+  /// (each index yields one 4-word block). Enables random access.
+  void seek(std::uint64_t index) {
+    counter_[0] = static_cast<std::uint32_t>(index);
+    counter_[1] = static_cast<std::uint32_t>(index >> 32);
+    buffered_ = 0;
+  }
+
+  /// Next 32 random bits.
+  std::uint32_t next_u32() {
+    if (buffered_ == 0) {
+      block_ = round10(counter_, key_);
+      advance();
+      buffered_ = 4;
+    }
+    return block_[4 - buffered_--];
+  }
+
+  /// Next 64 random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t lo = next_u32();
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | lo;
+  }
+
+  /// Uniform double in (0, 1) with 53 random bits, never exactly 0
+  /// (safe for log() in Box–Muller).
+  double next_uniform() {
+    const std::uint64_t bits = next_u64() >> 11;  // 53 bits
+    return (static_cast<double>(bits) + 0.5) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Stateless evaluation: the `index`-th 4-word block of (seed, stream).
+  static Counter at(std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t index) {
+    Key key{static_cast<std::uint32_t>(seed),
+            static_cast<std::uint32_t>(seed >> 32)};
+    Counter ctr{static_cast<std::uint32_t>(index),
+                static_cast<std::uint32_t>(index >> 32),
+                static_cast<std::uint32_t>(stream),
+                static_cast<std::uint32_t>(stream >> 32)};
+    return round10(ctr, key);
+  }
+
+ private:
+  static constexpr std::uint32_t kM0 = 0xD2511F53u;
+  static constexpr std::uint32_t kM1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kW0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  static void single_round(Counter& c, const Key& k) {
+    const std::uint64_t p0 = static_cast<std::uint64_t>(kM0) * c[0];
+    const std::uint64_t p1 = static_cast<std::uint64_t>(kM1) * c[2];
+    const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+    const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+    c = Counter{hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+  }
+
+  static Counter round10(Counter c, Key k) {
+    for (int r = 0; r < 10; ++r) {
+      single_round(c, k);
+      if (r < 9) {
+        k[0] += kW0;
+        k[1] += kW1;
+      }
+    }
+    return c;
+  }
+
+  void advance() {
+    if (++counter_[0] == 0) ++counter_[1];
+  }
+
+  Key key_{0, 0};
+  Counter counter_{0, 0, 0, 0};
+  Counter block_{};
+  int buffered_ = 0;
+};
+
+}  // namespace randla::rng

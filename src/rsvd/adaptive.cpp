@@ -1,0 +1,215 @@
+#include "rsvd/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <chrono>
+#include <cmath>
+
+#include "la/blas1.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/norms.hpp"
+#include "rng/gaussian.hpp"
+
+namespace randla::rsvd {
+
+namespace {
+
+// ε̃ = ‖P − P·B₁:ℓᵀ·B₁:ℓ‖₂ for the probe block P (non-destructive).
+// The probe residual is tiny (ℓ_inc×n), so the spectral norm estimate is
+// cheap relative to the sampling GEMMs.
+double probe_error_estimate(ConstMatrixView<double> probe,
+                            ConstMatrixView<double> basis, PhaseFlops& flops) {
+  const index_t li = probe.rows();
+  const index_t n = probe.cols();
+  const index_t l = basis.rows();
+  Matrix<double> resid = Matrix<double>::copy_of(probe);
+  if (l > 0) {
+    Matrix<double> coeff(li, l);
+    blas::gemm(Op::NoTrans, Op::Trans, 1.0, probe, basis, 0.0, coeff.view());
+    blas::gemm(Op::NoTrans, Op::NoTrans, -1.0,
+               ConstMatrixView<double>(coeff.view()), basis, 1.0,
+               resid.view());
+    flops.orth_iter += 2.0 * flops::gemm(li, n, l);
+  }
+  return norm2_est(ConstMatrixView<double>(resid.view()), 1e-6, index_t{100});
+}
+
+// Next ℓ_inc by linear interpolation of log ε̃ against ℓ (paper §10's
+// "simple linear interpolation of the previous two steps").
+index_t interpolated_inc(const std::vector<AdaptiveStep>& trace,
+                         double target_eps, const AdaptiveOptions& opts) {
+  const std::size_t t = trace.size();
+  if (t < 2) return opts.l_inc;
+  const auto& s1 = trace[t - 2];
+  const auto& s2 = trace[t - 1];
+  if (!(s2.err_est > 0) || !(s1.err_est > 0) || s2.err_est >= s1.err_est ||
+      s2.l <= s1.l) {
+    return opts.l_inc;  // not converging monotonically; stay static
+  }
+  const double slope = (std::log(s2.err_est) - std::log(s1.err_est)) /
+                       double(s2.l - s1.l);
+  const double l_star =
+      double(s2.l) + (std::log(target_eps) - std::log(s2.err_est)) / slope;
+  const double raw = std::ceil(l_star - double(s2.l));
+  const double clamped =
+      std::min(double(opts.inc_max), std::max(double(opts.inc_min), raw));
+  return static_cast<index_t>(clamped);
+}
+
+}  // namespace
+
+AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
+                               const AdaptiveOptions& opts) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m == 0 || n == 0)
+    throw std::invalid_argument("adaptive_sample: empty matrix");
+  if (opts.epsilon <= 0)
+    throw std::invalid_argument("adaptive_sample: epsilon must be positive");
+  if (opts.l_init <= 0 || opts.l_inc <= 0)
+    throw std::invalid_argument("adaptive_sample: l_init/l_inc must be positive");
+  const index_t l_cap =
+      (opts.l_max > 0) ? std::min(opts.l_max, std::min(m, n))
+                       : std::min(m, n);
+
+  AdaptiveResult res;
+  const auto t_start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t_start)
+        .count();
+  };
+
+  double target = opts.epsilon;
+  if (opts.relative) target *= norm2_est(a, 1e-6, index_t{200});
+
+  // Storage with headroom for one over-full probe block.
+  Matrix<double> b(l_cap + opts.inc_max, n);
+  Matrix<double> c(l_cap + opts.inc_max, m);
+
+  index_t l = 0;
+  index_t linc = std::min(opts.l_init, l_cap);
+  std::uint64_t round = 0;
+
+  // Initial sample B₀:ℓinc = Ω·A (Fig. 3 lines 2–3).
+  {
+    Matrix<double> omega;
+    {
+      PhaseTimer t(res.phases.prng);
+      omega = rng::gaussian_matrix<double>(linc, m, opts.seed + round);
+      res.flops.prng += double(linc) * double(m);
+    }
+    PhaseTimer t(res.phases.sampling);
+    blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
+               ConstMatrixView<double>(omega.view()), a, 0.0,
+               b.block(0, 0, linc, n));
+    res.flops.sampling += flops::gemm(linc, n, m);
+  }
+
+  for (;;) {
+    // ---- Expand: refine rows [l, l+linc) and fold them into the basis.
+    const index_t k = l + linc;
+    power_iteration(a, b.view(), c.view(), l, k, opts.q, opts.power_ortho,
+                    &res.phases, &res.flops, &res.cholqr_fallbacks);
+    {
+      // Fig. 3 line 8 (also covers q = 0, where POWER did nothing).
+      // Interleave BOrth and QR twice: when the fresh block is nearly
+      // contained in span(B₁:ℓ) — exactly what happens after a large
+      // interpolated jump near the numerical rank — the first QR
+      // normalizes tiny residual rows, amplifying their remaining
+      // components along the old basis by 1/‖residual‖; the second
+      // BOrth+QR pass removes them ("twice is enough").
+      PhaseTimer t(res.phases.orth_iter);
+      auto prev = ConstMatrixView<double>(b.block(0, 0, l, n));
+      auto fresh = b.block(l, 0, linc, n);
+      for (int pass = 0; pass < 2; ++pass) {
+        ortho::block_orth_rows(prev, fresh, /*passes=*/1);
+        auto rep = ortho::orthonormalize_rows(opts.power_ortho, fresh);
+        if (rep.fallback_used) res.cholqr_fallbacks++;
+        res.flops.orth_iter +=
+            4.0 * double(n) * double(l) * double(linc) + rep.flops;
+      }
+    }
+    l = k;
+
+    // ---- Choose the next increment (Fig. 3 line 11).
+    linc = (opts.mode == IncMode::Interpolated)
+               ? interpolated_inc(res.trace, target, opts)
+               : opts.l_inc;
+    const index_t inc_used = l - (res.trace.empty() ? 0 : res.trace.back().l);
+    // Never let basis + probe exceed the cap (the basis must stay a
+    // row-orthonormalizable ℓ ≤ min(m, n) block).
+    linc = std::min(linc, l_cap - l);
+
+    if (linc <= 0) {
+      // Capacity exhausted. If the basis saturates the full row space
+      // of A (ℓ = min(m, n)) the projection is exact, so the target is
+      // met by construction; a user-imposed ℓ_max short of that is a
+      // genuine non-convergence.
+      const bool saturated = (l >= std::min(m, n));
+      res.trace.push_back({l, inc_used,
+                           saturated ? 0.0
+                                     : (res.trace.empty()
+                                            ? 0.0
+                                            : res.trace.back().err_est),
+                           elapsed()});
+      res.converged = saturated;
+      break;
+    }
+
+    // ---- Fresh probe block B_{ℓ+1:k} = Ω_new·A (lines 12–13).
+    ++round;
+    {
+      Matrix<double> omega;
+      {
+        PhaseTimer t(res.phases.prng);
+        omega = rng::gaussian_matrix<double>(linc, m, opts.seed + round);
+        res.flops.prng += double(linc) * double(m);
+      }
+      PhaseTimer t(res.phases.sampling);
+      blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
+                 ConstMatrixView<double>(omega.view()), a, 0.0,
+                 b.block(l, 0, linc, n));
+      res.flops.sampling += flops::gemm(linc, n, m);
+    }
+
+    // ---- Error estimate from the probe (lines 14–15).
+    double est;
+    {
+      PhaseTimer t(res.phases.orth_iter);
+      est = probe_error_estimate(
+          ConstMatrixView<double>(b.block(l, 0, linc, n)),
+          ConstMatrixView<double>(b.block(0, 0, l, n)), res.flops);
+    }
+    res.trace.push_back({l, inc_used, est, elapsed()});
+
+    if (est <= target) {
+      res.converged = true;
+      break;
+    }
+    if (l >= l_cap) break;
+  }
+
+  res.basis.resize(l, n);
+  res.basis.view().copy_from(ConstMatrixView<double>(b.block(0, 0, l, n)));
+  return res;
+}
+
+FixedRankResult fixed_accuracy(ConstMatrixView<double> a,
+                               const AdaptiveOptions& opts) {
+  AdaptiveResult ad = adaptive_sample(a, opts);
+  const index_t k = ad.basis.rows();
+  FixedRankResult res =
+      finish_from_sample(a, ConstMatrixView<double>(ad.basis.view()), k);
+  // Merge the adaptive phase accounting into the final result.
+  res.phases += ad.phases;
+  res.flops.prng += ad.flops.prng;
+  res.flops.sampling += ad.flops.sampling;
+  res.flops.gemm_iter += ad.flops.gemm_iter;
+  res.flops.orth_iter += ad.flops.orth_iter;
+  res.cholqr_fallbacks += ad.cholqr_fallbacks;
+  return res;
+}
+
+}  // namespace randla::rsvd

@@ -1,0 +1,70 @@
+// adaptive.hpp — the adaptive-ℓ scheme for the fixed-accuracy problem
+// (paper Figure 3 and §10).
+//
+// The sampled subspace is grown by ℓ_inc rows per step; after each
+// expansion a fresh probe block B_{ℓ+1:k} = Ω_new·A estimates the
+// remaining error ε̃ ≈ ‖A − A·B₁:ℓᵀ·B₁:ℓ‖, and iteration stops once
+// ε̃ ≤ ε. The probe block is reused as the next expansion (it is the
+// "new set of basis vectors" fed to POWER), so no sampling work is
+// wasted. ℓ_inc is either static or adapted by linear interpolation of
+// the last two (ℓ, log ε̃) points — the adaptive variant of Figure 17.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "ortho/ortho.hpp"
+#include "rsvd/phases.hpp"
+#include "rsvd/rsvd.hpp"
+
+namespace randla::rsvd {
+
+enum class IncMode : std::uint8_t {
+  Static,        ///< ℓ_inc fixed (Fig. 16 lines)
+  Interpolated,  ///< linear interpolation of log ε̃ (Fig. 17 "adapt.")
+};
+
+struct AdaptiveOptions {
+  double epsilon = 1e-12;  ///< target error estimate (relative to ‖A‖ if
+                           ///< `relative` is true)
+  bool relative = false;
+  index_t l_init = 8;
+  index_t l_inc = 8;
+  IncMode mode = IncMode::Static;
+  index_t l_max = 0;       ///< hard cap on ℓ (0 = min(m, n))
+  index_t q = 0;           ///< power iterations per expansion
+  ortho::Scheme power_ortho = ortho::Scheme::CholQR2;
+  std::uint64_t seed = 20151115;
+  index_t inc_min = 4;     ///< clamp for interpolated ℓ_inc
+  index_t inc_max = 128;
+};
+
+/// One convergence-trace entry (one repeat-loop iteration of Fig. 3).
+struct AdaptiveStep {
+  index_t l = 0;          ///< basis size after this expansion
+  index_t l_inc = 0;      ///< increment used to reach it
+  double err_est = 0;     ///< ε̃ from the probe block
+  double seconds = 0;     ///< cumulative wall-clock at this point
+};
+
+struct AdaptiveResult {
+  Matrix<double> basis;   ///< final ℓ×n row-orthonormal basis B₁:ℓ
+  std::vector<AdaptiveStep> trace;
+  bool converged = false;
+  PhaseTimes phases;
+  PhaseFlops flops;
+  int cholqr_fallbacks = 0;
+};
+
+/// Figure 3: grow a row-orthonormal sampled basis until the probabilistic
+/// error estimate drops below opts.epsilon.
+AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
+                               const AdaptiveOptions& opts);
+
+/// Convenience: adaptive sampling followed by Steps 2–3 on the final
+/// basis (rank = final ℓ), solving the fixed-accuracy problem end to end.
+FixedRankResult fixed_accuracy(ConstMatrixView<double> a,
+                               const AdaptiveOptions& opts);
+
+}  // namespace randla::rsvd

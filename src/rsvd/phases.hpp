@@ -1,0 +1,67 @@
+// phases.hpp — per-phase instrumentation matching the paper's Figure 11
+// legend: PRNG, Sampling, GEMM (iter), Orth (iter), QRCP, QR, Comms.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace randla::rsvd {
+
+/// Accumulated wall-clock seconds and flops per algorithm phase.
+struct PhaseTimes {
+  double prng = 0;        ///< Ω generation
+  double sampling = 0;    ///< B = Ω·A (initial sample)
+  double gemm_iter = 0;   ///< matrix multiplies inside power iterations
+  double orth_iter = 0;   ///< orthogonalization inside power iterations
+  double qrcp = 0;        ///< Step 2 truncated QP3 of B
+  double qr = 0;          ///< Step 3 QR of A·P₁:k + R assembly
+  double comms = 0;       ///< host↔device traffic (multi-device runs)
+
+  double total() const {
+    return prng + sampling + gemm_iter + orth_iter + qrcp + qr + comms;
+  }
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    prng += o.prng;
+    sampling += o.sampling;
+    gemm_iter += o.gemm_iter;
+    orth_iter += o.orth_iter;
+    qrcp += o.qrcp;
+    qr += o.qr;
+    comms += o.comms;
+    return *this;
+  }
+};
+
+/// Same breakdown, counting flops (feeds the performance model).
+struct PhaseFlops {
+  double prng = 0;
+  double sampling = 0;
+  double gemm_iter = 0;
+  double orth_iter = 0;
+  double qrcp = 0;
+  double qr = 0;
+
+  double total() const {
+    return prng + sampling + gemm_iter + orth_iter + qrcp + qr;
+  }
+};
+
+/// Scope timer adding elapsed seconds to a PhaseTimes field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    slot_ += std::chrono::duration<double>(end - start_).count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace randla::rsvd

@@ -1,0 +1,81 @@
+// rsvd.hpp — random sampling for low-rank approximation (paper §3–4).
+//
+// Fixed-rank problem (Figure 2): compute AP ≈ Q·R of rank k for a
+// user-chosen k, via
+//   Step 1  B = Ω·A (Gaussian GEMM or FFT sampling), ℓ = k + p rows,
+//           refined by q power iterations with re-orthogonalization;
+//   Step 2  truncated QP3 of the small ℓ×n matrix B;
+//   Step 3  QR of A·P₁:k and assembly R = R̄·(I_k  R̂₁:k⁻¹·R̂ₖ₊₁:n).
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+#include "la/permutation.hpp"
+#include "ortho/ortho.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rsvd/phases.hpp"
+
+namespace randla::rsvd {
+
+enum class SamplingKind : std::uint8_t {
+  Gaussian,  ///< pruned Gaussian sampling: Ω from PRNG, B = Ω·A (GEMM)
+  FFT,       ///< full FFT sampling: transform + random row selection
+};
+
+const char* sampling_name(SamplingKind s);
+
+struct FixedRankOptions {
+  index_t k = 50;       ///< target rank
+  index_t p = 10;       ///< oversampling (ℓ = k + p)
+  index_t q = 1;        ///< power iterations
+  SamplingKind sampling = SamplingKind::Gaussian;
+  /// Orthogonalization inside the power iteration. The paper's stable
+  /// setting is CholQR with one full re-orthogonalization (§6).
+  ortho::Scheme power_ortho = ortho::Scheme::CholQR2;
+  index_t qrcp_block = 32;
+  std::uint64_t seed = 20151115;
+};
+
+struct FixedRankResult {
+  Matrix<double> q;      ///< m×k, orthonormal columns
+  Matrix<double> r;      ///< k×n
+  Permutation perm;      ///< AP ≈ QR, perm[j] = original column index
+  index_t l = 0;         ///< sampling dimension used
+
+  PhaseTimes phases;     ///< Figure 11 breakdown
+  PhaseFlops flops;      ///< same breakdown in flops
+  qrcp::QrcpStats qrcp_stats;
+  int cholqr_fallbacks = 0;  ///< power-iteration orthogonalization rescues
+};
+
+/// Figure 2(b): full fixed-rank random sampling driver.
+FixedRankResult fixed_rank(ConstMatrixView<double> a,
+                           const FixedRankOptions& opts);
+
+/// Figure 2(a) POWER: refine rows [j0, j1) of the ℓ×n sampled matrix
+/// `b` with q power iterations against A, keeping them orthogonal to
+/// rows [0, j0). `c` (ℓ×m) holds the co-sampled matrix and must have the
+/// same row capacity as `b`. Phases/flops are accumulated if non-null.
+void power_iteration(ConstMatrixView<double> a, MatrixView<double> b,
+                     MatrixView<double> c, index_t j0, index_t j1, index_t q,
+                     ortho::Scheme scheme, PhaseTimes* phases = nullptr,
+                     PhaseFlops* flops = nullptr, int* fallbacks = nullptr);
+
+/// Steps 2–3 of Figure 2(b) applied to an already-computed sampled
+/// matrix B (ℓ×n): truncated QP3 of B, then QR of A·P₁:k and the
+/// triangular assembly of R.
+FixedRankResult finish_from_sample(ConstMatrixView<double> a,
+                                   ConstMatrixView<double> b, index_t k,
+                                   index_t qrcp_block = 32);
+
+/// ‖A·P − Q·R‖₂ / ‖A‖₂ — the Figure 6 error measure (spectral norms via
+/// power iteration estimates).
+double approximation_error(ConstMatrixView<double> a,
+                           const FixedRankResult& res);
+
+/// Same measure for a row-orthonormal basis B (ℓ×n):
+/// ‖A − A·Bᵀ·B‖₂ / ‖A‖₂ (used by the adaptive scheme's "actual error").
+double projection_error(ConstMatrixView<double> a, ConstMatrixView<double> b);
+
+}  // namespace randla::rsvd

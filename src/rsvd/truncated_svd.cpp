@@ -1,0 +1,66 @@
+#include "rsvd/truncated_svd.hpp"
+
+#include "la/blas3.hpp"
+#include "la/norms.hpp"
+#include "la/svd_jacobi.hpp"
+
+namespace randla::rsvd {
+
+TruncatedSvdResult truncated_svd(ConstMatrixView<double> a,
+                                 const FixedRankOptions& opts) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+
+  FixedRankResult fr = fixed_rank(a, opts);
+  const index_t k = fr.q.cols();
+
+  TruncatedSvdResult out;
+  out.l = fr.l;
+  out.phases = fr.phases;
+  out.cholqr_fallbacks = fr.cholqr_fallbacks;
+
+  PhaseTimer t(out.phases.qr);
+
+  // Undo the column permutation of R so that A ≈ Q·R′ with R′ in the
+  // original column order: R′(:, perm[j]) = R(:, j).
+  Matrix<double> r_unperm(k, n);
+  for (index_t j = 0; j < n; ++j)
+    r_unperm.view()
+        .col(fr.perm[static_cast<std::size_t>(j)])
+        .copy_from(fr.r.view().col(j));
+
+  // Small SVD of the k×n factor: R′ = U_r·diag(σ)·Vᵀ.
+  auto small = lapack::svd_jacobi<double>(r_unperm.view());
+  out.sigma = std::move(small.sigma);
+  out.sigma.resize(static_cast<std::size_t>(k));
+  out.v = std::move(small.v);  // n×k
+
+  // U = Q·U_r.
+  out.u.resize(m, k);
+  blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
+             ConstMatrixView<double>(fr.q.view()),
+             ConstMatrixView<double>(small.u.block(0, 0, k, k)), 0.0,
+             out.u.view());
+  return out;
+}
+
+double svd_approximation_error(ConstMatrixView<double> a,
+                               const TruncatedSvdResult& res) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = res.u.cols();
+  // E = A − (U·diag(σ))·Vᵀ.
+  Matrix<double> us = Matrix<double>::copy_of(res.u.view());
+  for (index_t j = 0; j < k; ++j) {
+    double* c = us.view().col_ptr(j);
+    for (index_t i = 0; i < m; ++i) c[i] *= res.sigma[static_cast<std::size_t>(j)];
+  }
+  Matrix<double> e = Matrix<double>::copy_of(a);
+  blas::gemm(Op::NoTrans, Op::Trans, -1.0, ConstMatrixView<double>(us.view()),
+             ConstMatrixView<double>(res.v.view()), 1.0, e.view());
+  (void)n;
+  const double na = norm_fro(a);
+  return na > 0 ? norm_fro(ConstMatrixView<double>(e.view())) / na : 0.0;
+}
+
+}  // namespace randla::rsvd

@@ -1,0 +1,34 @@
+// truncated_svd.hpp — rank-k SVD from the random sampling factorization.
+//
+// The paper delivers AP ≈ QR (equation (1)); most downstream users of a
+// randomized low-rank toolkit (PCA, LSA, the population-clustering
+// application of §6) want the SVD form A ≈ U·diag(σ)·Vᵀ. It costs one
+// small dense SVD of the k×n factor R plus one m×k GEMM on top of
+// Figure 2 — the classic finish of Halko et al. [9, Alg. 5.1].
+#pragma once
+
+#include <vector>
+
+#include "rsvd/rsvd.hpp"
+
+namespace randla::rsvd {
+
+struct TruncatedSvdResult {
+  Matrix<double> u;           ///< m×k, orthonormal columns
+  std::vector<double> sigma;  ///< k singular value estimates, descending
+  Matrix<double> v;           ///< n×k, orthonormal columns
+  index_t l = 0;              ///< sampling dimension used
+  PhaseTimes phases;          ///< Figure-2 phases + the SVD finish in `qr`
+  int cholqr_fallbacks = 0;
+};
+
+/// Rank-k truncated SVD via random sampling: runs fixed_rank(a, opts)
+/// and converts AP ≈ QR into A ≈ U·diag(σ)·Vᵀ.
+TruncatedSvdResult truncated_svd(ConstMatrixView<double> a,
+                                 const FixedRankOptions& opts);
+
+/// ‖A − U·diag(σ)·Vᵀ‖_F / ‖A‖_F.
+double svd_approximation_error(ConstMatrixView<double> a,
+                               const TruncatedSvdResult& res);
+
+}  // namespace randla::rsvd

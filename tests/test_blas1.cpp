@@ -1,0 +1,126 @@
+// Unit tests for BLAS-1 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "la/blas1.hpp"
+
+namespace randla::blas {
+namespace {
+
+TEST(Blas1, DotBasic) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot<double>(3, x.data(), 1, y.data(), 1), 32.0);
+}
+
+TEST(Blas1, DotEmpty) {
+  EXPECT_EQ(dot<double>(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(Blas1, DotStrided) {
+  std::vector<double> x = {1, 99, 2, 99, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot<double>(3, x.data(), 2, y.data(), 1), 32.0);
+}
+
+TEST(Blas1, DotLongUnrolledTail) {
+  // Exercise the 4-way unrolled path plus remainder handling.
+  std::vector<double> x(1027, 1.0);
+  std::vector<double> y(1027, 2.0);
+  EXPECT_DOUBLE_EQ(dot<double>(1027, x.data(), 1, y.data(), 1), 2054.0);
+}
+
+TEST(Blas1, Nrm2Basic) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(nrm2<double>(2, x.data(), 1), 5.0);
+}
+
+TEST(Blas1, Nrm2AvoidsOverflow) {
+  const double big = 1e300;
+  std::vector<double> x = {big, big};
+  EXPECT_NEAR(nrm2<double>(2, x.data(), 1), big * std::sqrt(2.0), big * 1e-14);
+}
+
+TEST(Blas1, Nrm2AvoidsUnderflow) {
+  const double tiny = 1e-300;
+  std::vector<double> x = {tiny, tiny};
+  EXPECT_NEAR(nrm2<double>(2, x.data(), 1), tiny * std::sqrt(2.0),
+              tiny * 1e-14);
+}
+
+TEST(Blas1, Nrm2ZeroVector) {
+  std::vector<double> x = {0, 0, 0};
+  EXPECT_EQ(nrm2<double>(3, x.data(), 1), 0.0);
+}
+
+TEST(Blas1, AxpyBasic) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy<double>(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+  EXPECT_DOUBLE_EQ(y[2], 36);
+}
+
+TEST(Blas1, AxpyAlphaZeroIsNoop) {
+  std::vector<double> x = {std::numeric_limits<double>::quiet_NaN()};
+  std::vector<double> y = {7.0};
+  axpy<double>(1, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+}
+
+TEST(Blas1, ScalBasic) {
+  std::vector<double> x = {1, -2, 3};
+  scal<double>(3, -2.0, x.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], -2);
+  EXPECT_DOUBLE_EQ(x[1], 4);
+  EXPECT_DOUBLE_EQ(x[2], -6);
+}
+
+TEST(Blas1, ScalStrided) {
+  std::vector<double> x = {1, 99, 2};
+  scal<double>(2, 3.0, x.data(), 2);
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(x[1], 99);
+  EXPECT_DOUBLE_EQ(x[2], 6);
+}
+
+TEST(Blas1, IamaxBasic) {
+  std::vector<double> x = {1, -7, 3};
+  EXPECT_EQ(iamax<double>(3, x.data(), 1), 1);
+}
+
+TEST(Blas1, IamaxEmptyReturnsMinusOne) {
+  EXPECT_EQ(iamax<double>(0, nullptr, 1), -1);
+}
+
+TEST(Blas1, IamaxFirstOfTies) {
+  std::vector<double> x = {2, -2, 2};
+  EXPECT_EQ(iamax<double>(3, x.data(), 1), 0);
+}
+
+TEST(Blas1, SwapBasic) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  swap<double>(2, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(y[1], 2);
+}
+
+TEST(Blas1, CopyBasic) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y(3, 0.0);
+  copy<double>(3, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Blas1, FloatInstantiation) {
+  std::vector<float> x = {3.f, 4.f};
+  EXPECT_FLOAT_EQ(nrm2<float>(2, x.data(), 1), 5.f);
+}
+
+}  // namespace
+}  // namespace randla::blas

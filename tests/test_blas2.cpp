@@ -1,0 +1,147 @@
+// Unit tests for BLAS-2 kernels (gemv, ger, trsv).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "la/blas2.hpp"
+#include "test_util.hpp"
+
+namespace randla::blas {
+namespace {
+
+using testing::random_matrix;
+
+TEST(Gemv, NoTransBasic) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {0, 0};
+  gemv<double>(Op::NoTrans, 1.0, a.view(), x.data(), 1, 0.0, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(Gemv, TransBasic) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 1};
+  std::vector<double> y = {0, 0, 0};
+  gemv<double>(Op::Trans, 1.0, a.view(), x.data(), 1, 0.0, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 5);
+  EXPECT_DOUBLE_EQ(y[1], 7);
+  EXPECT_DOUBLE_EQ(y[2], 9);
+}
+
+TEST(Gemv, AlphaBeta) {
+  Matrix<double> a(2, 2, {1, 0, 0, 1});
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {10, 10};
+  gemv<double>(Op::NoTrans, 2.0, a.view(), x.data(), 1, 0.5, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 7);   // 0.5*10 + 2*1
+  EXPECT_DOUBLE_EQ(y[1], 9);   // 0.5*10 + 2*2
+}
+
+TEST(Gemv, BetaZeroOverwritesGarbage) {
+  Matrix<double> a(2, 2, {1, 0, 0, 1});
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {std::numeric_limits<double>::quiet_NaN(), 0};
+  gemv<double>(Op::NoTrans, 1.0, a.view(), x.data(), 1, 0.0, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1);
+}
+
+TEST(Gemv, AgainstReferenceRandom) {
+  auto a = random_matrix<double>(17, 13, 42);
+  std::vector<double> x(13), y(17, 0.0), yref(17, 0.0);
+  for (int i = 0; i < 13; ++i) x[i] = 0.1 * i - 0.5;
+  gemv<double>(Op::NoTrans, 1.3, a.view(), x.data(), 1, 0.0, y.data(), 1);
+  for (index_t i = 0; i < 17; ++i) {
+    double s = 0;
+    for (index_t j = 0; j < 13; ++j) s += a(i, j) * x[j];
+    yref[i] = 1.3 * s;
+  }
+  for (index_t i = 0; i < 17; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(Gemv, ViewOverloadShapes) {
+  auto a = random_matrix<double>(5, 3, 7);
+  Matrix<double> x(3, 1), y(5, 1);
+  x.view().fill(1.0);
+  gemv<double>(Op::NoTrans, 1.0, a.view(), x.view(), 0.0, y.view());
+  double s = a(0, 0) + a(0, 1) + a(0, 2);
+  EXPECT_NEAR(y(0, 0), s, 1e-12);
+}
+
+TEST(Ger, RankOneUpdate) {
+  Matrix<double> a(2, 2);
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  ger<double>(1.0, x.data(), 1, y.data(), 1, a.view());
+  EXPECT_DOUBLE_EQ(a(0, 0), 3);
+  EXPECT_DOUBLE_EQ(a(1, 0), 6);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+}
+
+TEST(Ger, AlphaZeroNoop) {
+  Matrix<double> a(2, 2, {1, 2, 3, 4});
+  std::vector<double> x = {1, 1};
+  ger<double>(0.0, x.data(), 1, x.data(), 1, a.view());
+  EXPECT_DOUBLE_EQ(a(0, 1), 2);
+}
+
+// trsv: all four (uplo, op) orientations verified by round-trip
+// T·x or Tᵀ·x then solve.
+class TrsvRoundTrip : public ::testing::TestWithParam<std::tuple<Uplo, Op, Diag>> {};
+
+TEST_P(TrsvRoundTrip, SolveInvertsMultiply) {
+  auto [uplo, op, diag] = GetParam();
+  const index_t n = 12;
+  Matrix<double> t(n, n);
+  // Well-conditioned triangular matrix.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_tri = (uplo == Uplo::Upper) ? (i <= j) : (i >= j);
+      if (!in_tri) continue;
+      if (i == j)
+        t(i, j) = 4.0 + 0.1 * double(i);
+      else
+        t(i, j) = 0.3 / double(1 + std::abs(double(i - j)));
+    }
+  }
+  std::vector<double> x(n), b(n);
+  for (index_t i = 0; i < n; ++i) x[i] = std::sin(double(i) + 1.0);
+
+  // b = op(T)·x computed densely, honoring unit diag.
+  for (index_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (index_t j = 0; j < n; ++j) {
+      double v = (op == Op::NoTrans) ? t(i, j) : t(j, i);
+      const bool in_tri_eff = (op == Op::NoTrans)
+          ? ((uplo == Uplo::Upper) ? (i <= j) : (i >= j))
+          : ((uplo == Uplo::Upper) ? (j <= i) : (j >= i));
+      if (!in_tri_eff) v = 0;
+      if (i == j && diag == Diag::Unit) v = 1.0;
+      s += v * x[j];
+    }
+    b[i] = s;
+  }
+  trsv<double>(uplo, op, diag, t.view(), b.data(), 1);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrientations, TrsvRoundTrip,
+    ::testing::Combine(::testing::Values(Uplo::Upper, Uplo::Lower),
+                       ::testing::Values(Op::NoTrans, Op::Trans),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Trsv, StridedVector) {
+  Matrix<double> t(2, 2, {2, 1, 0, 4});
+  // Solve T x = b with x embedded at stride 2.
+  std::vector<double> b = {6, -1, 8};  // logical b = (6, 8)
+  trsv<double>(Uplo::Upper, Op::NoTrans, Diag::NonUnit, t.view(), b.data(), 2);
+  EXPECT_DOUBLE_EQ(b[2], 2.0);           // x1 = 8/4
+  EXPECT_DOUBLE_EQ(b[0], (6.0 - 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(b[1], -1.0);          // untouched
+}
+
+}  // namespace
+}  // namespace randla::blas

@@ -1,0 +1,106 @@
+// Unit tests for blocked Cholesky (potrf).
+#include <gtest/gtest.h>
+
+#include "la/blas3.hpp"
+#include "la/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace randla::lapack {
+namespace {
+
+using testing::random_matrix;
+using testing::rel_diff;
+
+// Build an SPD matrix G = AᵀA + δI.
+Matrix<double> spd_matrix(index_t n, std::uint64_t seed, double delta = 0.1) {
+  auto a = random_matrix<double>(n + 5, n, seed);
+  Matrix<double> g(n, n);
+  blas::syrk<double>(Uplo::Upper, Op::Trans, 1.0, a.view(), 0.0, g.view());
+  blas::symmetrize<double>(Uplo::Upper, g.view());
+  for (index_t i = 0; i < n; ++i) g(i, i) += delta;
+  return g;
+}
+
+class PotrfSizes : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(PotrfSizes, UpperReconstructs) {
+  const index_t n = GetParam();
+  auto g = spd_matrix(n, 21);
+  auto r = Matrix<double>::copy_of(g.view());
+  ASSERT_EQ(potrf<double>(Uplo::Upper, r.view()), 0);
+  // Zero the strictly-lower part (potrf leaves it untouched).
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) r(i, j) = 0.0;
+  Matrix<double> rec(n, n);
+  blas::gemm<double>(Op::Trans, Op::NoTrans, 1.0, r.view(), r.view(), 0.0,
+                     rec.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), g.view()), 1e-12);
+}
+
+TEST_P(PotrfSizes, LowerReconstructs) {
+  const index_t n = GetParam();
+  auto g = spd_matrix(n, 22);
+  auto l = Matrix<double>::copy_of(g.view());
+  ASSERT_EQ(potrf<double>(Uplo::Lower, l.view()), 0);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  Matrix<double> rec(n, n);
+  blas::gemm<double>(Op::NoTrans, Op::Trans, 1.0, l.view(), l.view(), 0.0,
+                     rec.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), g.view()), 1e-12);
+}
+
+// Sizes straddle the unblocked threshold (64) and block boundaries.
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfSizes,
+                         ::testing::Values<index_t>(1, 2, 7, 63, 64, 65, 100,
+                                                    129, 200));
+
+TEST(Potrf, DiagonalIsPositive) {
+  auto g = spd_matrix(50, 23);
+  ASSERT_EQ(potrf<double>(Uplo::Upper, g.view()), 0);
+  for (index_t i = 0; i < 50; ++i) EXPECT_GT(g(i, i), 0.0);
+}
+
+TEST(Potrf, IndefiniteMatrixReportsPivot) {
+  Matrix<double> g(3, 3, {1, 0, 0, 0, -1, 0, 0, 0, 1});
+  EXPECT_EQ(potrf<double>(Uplo::Upper, g.view()), 2);
+}
+
+TEST(Potrf, SingularGramMatrixFails) {
+  // Rank-1 Gram matrix: CholQR failure mode for rank-deficient B.
+  Matrix<double> g(3, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) g(i, j) = double((i + 1) * (j + 1));
+  EXPECT_NE(potrf<double>(Uplo::Upper, g.view()), 0);
+}
+
+TEST(Potrf, NanInputFailsCleanly) {
+  Matrix<double> g(2, 2, {1, 0, 0, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_NE(potrf<double>(Uplo::Upper, g.view()), 0);
+}
+
+TEST(Potrf, BlockedMatchesUnblocked) {
+  // n = 129 takes the blocked path; compare against a small-block
+  // reconstruction computed on an identical copy via the n ≤ 64 path
+  // applied to leading principal submatrix consistency.
+  auto g = spd_matrix(129, 24);
+  auto r_full = Matrix<double>::copy_of(g.view());
+  ASSERT_EQ(potrf<double>(Uplo::Upper, r_full.view()), 0);
+  // Leading 60×60 factor must equal factor of leading 60×60 block.
+  auto g60 = Matrix<double>::copy_of(g.block(0, 0, 60, 60));
+  ASSERT_EQ(potrf<double>(Uplo::Upper, g60.view()), 0);
+  for (index_t j = 0; j < 60; ++j)
+    for (index_t i = 0; i <= j; ++i)
+      EXPECT_NEAR(r_full(i, j), g60(i, j), 1e-10);
+}
+
+TEST(Potrf, IdentityFactorsToIdentity) {
+  auto g = Matrix<double>::identity(10);
+  ASSERT_EQ(potrf<double>(Uplo::Upper, g.view()), 0);
+  for (index_t j = 0; j < 10; ++j)
+    for (index_t i = 0; i <= j; ++i)
+      EXPECT_DOUBLE_EQ(g(i, j), i == j ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace randla::lapack

@@ -1,0 +1,182 @@
+// Unit tests for the Table-1 test-matrix generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/distributions.hpp"
+#include "data/test_matrices.hpp"
+#include "la/svd_jacobi.hpp"
+#include "test_util.hpp"
+
+namespace randla::data {
+namespace {
+
+TEST(Distributions, GammaMeanVariance) {
+  RandomSource rs(5);
+  const double shape = 3.0;
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rs.gamma(shape);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, shape, 0.05);   // E = k·θ = 3
+  EXPECT_NEAR(var, shape, 0.15);    // Var = k·θ² = 3
+}
+
+TEST(Distributions, GammaSmallShape) {
+  RandomSource rs(6);
+  const double shape = 0.4;
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rs.gamma(shape);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, shape, 0.02);
+}
+
+TEST(Distributions, BetaMoments) {
+  RandomSource rs(7);
+  const double a = 2.0, b = 5.0;
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rs.beta(a, b);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, a / (a + b), 0.01);
+  EXPECT_NEAR(var, a * b / ((a + b) * (a + b) * (a + b + 1)), 0.005);
+}
+
+TEST(Distributions, BinomialRange) {
+  RandomSource rs(8);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    const int k = rs.binomial(2, 0.5);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, 2);
+    counts[k]++;
+  }
+  // P(0) = P(2) = 0.25, P(1) = 0.5.
+  EXPECT_NEAR(counts[1] / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(counts[0] / 10000.0, 0.25, 0.03);
+}
+
+TEST(PowerMatrix, SpectrumMatchesDesign) {
+  const index_t m = 80, n = 40;
+  auto tm = power_matrix<double>(m, n);
+  ASSERT_EQ(tm.a.rows(), m);
+  ASSERT_EQ(tm.a.cols(), n);
+  ASSERT_EQ(tm.sigma.size(), static_cast<std::size_t>(n));
+  EXPECT_DOUBLE_EQ(tm.sigma[0], 1.0);
+  EXPECT_DOUBLE_EQ(tm.sigma[1], 1.0 / 8.0);
+
+  const auto s = lapack::singular_values<double>(tm.a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(s[static_cast<std::size_t>(i)],
+                tm.sigma[static_cast<std::size_t>(i)], 1e-10)
+        << "sigma_" << i;
+}
+
+TEST(ExponentMatrix, SpectrumMatchesDesign) {
+  const index_t m = 60, n = 30;
+  auto tm = exponent_matrix<double>(m, n);
+  EXPECT_DOUBLE_EQ(tm.sigma[0], 1.0);
+  EXPECT_NEAR(tm.sigma[10], 0.1, 1e-12);
+  const auto s = lapack::singular_values<double>(tm.a.view());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(s[static_cast<std::size_t>(i)],
+                tm.sigma[static_cast<std::size_t>(i)], 1e-10);
+}
+
+TEST(ExponentMatrix, Table1ConditionNumber) {
+  // Table 1 reports σ_{k+1} = 1.3e−5 and κ = 7.9e4 for k = 50; those
+  // values correspond to 10^(−4.9), i.e. our 0-based sigma[49] (the
+  // paper indexes σ from 1). κ(A) in the table is σ₀/σ_{k+1}.
+  auto tm = exponent_matrix<double>(60, 60);
+  EXPECT_NEAR(tm.sigma[49], 1.26e-5, 0.05e-5);
+  EXPECT_NEAR(tm.sigma[0] / tm.sigma[49], 7.9e4, 0.2e4);
+}
+
+TEST(PowerMatrix, Table1SigmaKPlus1) {
+  // Table 1: σ_{k+1} = 8e−6 and κ = 1.3e5 for k = 50 — matches
+  // 50⁻³ = 8e−6 at our 0-based index 49.
+  auto tm = power_matrix<double>(60, 60);
+  EXPECT_NEAR(tm.sigma[49], 8e-6, 0.1e-6);
+  EXPECT_NEAR(tm.sigma[0] / tm.sigma[49], 1.25e5, 0.05e5);
+}
+
+TEST(SyntheticSvd, DeterministicAcrossCalls) {
+  auto a1 = power_matrix<double>(30, 20, 42);
+  auto a2 = power_matrix<double>(30, 20, 42);
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = 0; i < 30; ++i) EXPECT_EQ(a1.a(i, j), a2.a(i, j));
+}
+
+TEST(SyntheticSvd, WideMatrixSupported) {
+  auto tm = power_matrix<double>(15, 45);
+  EXPECT_EQ(tm.a.rows(), 15);
+  EXPECT_EQ(tm.a.cols(), 45);
+  EXPECT_EQ(tm.sigma.size(), 15u);
+}
+
+TEST(Hapmap, EntriesAreGenotypes) {
+  auto tm = hapmap_synthetic<double>(200, 40);
+  for (index_t j = 0; j < 40; ++j)
+    for (index_t i = 0; i < 200; ++i) {
+      const double v = tm.a(i, j);
+      EXPECT_TRUE(v == 0.0 || v == 1.0 || v == 2.0)
+          << "entry (" << i << "," << j << ") = " << v;
+    }
+}
+
+TEST(Hapmap, PopulationLabelsEvenSplit) {
+  auto labels = hapmap_population_labels(10, 4);
+  // 10 = 3 + 3 + 2 + 2.
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[2], 0);
+  EXPECT_EQ(labels[3], 1);
+  EXPECT_EQ(labels[9], 3);
+}
+
+TEST(Hapmap, PopulationStructureDominatesSpectrum) {
+  // The top singular directions must separate populations: the gap
+  // σ_npop/σ_{npop+1} should be visible, and κ over the top ~50 values
+  // small (paper reports κ ≈ 20 for its hapmap matrix).
+  const index_t m = 400, n = 60;
+  HapmapParams p;
+  p.n_populations = 4;
+  auto tm = hapmap_synthetic<double>(m, n, p, 11);
+  const auto s = lapack::singular_values<double>(tm.a.view());
+  // Large residual spectrum: σ_{51}/σ₁ is O(few %), not tiny — the
+  // regime where every rank-50 approximation has large error (Fig. 6).
+  EXPECT_GT(s[51] / s[0], 0.005);
+  // Condition number over the useful range stays modest.
+  EXPECT_LT(s[0] / s[51], 200.0);
+}
+
+TEST(Hapmap, DeterministicAndSeedSensitive) {
+  auto a = hapmap_synthetic<double>(50, 20, {}, 3);
+  auto b = hapmap_synthetic<double>(50, 20, {}, 3);
+  auto c = hapmap_synthetic<double>(50, 20, {}, 4);
+  int diff = 0;
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(a.a(i, j), b.a(i, j));
+      diff += (a.a(i, j) != c.a(i, j));
+    }
+  EXPECT_GT(diff, 100);
+}
+
+}  // namespace
+}  // namespace randla::data

@@ -1,0 +1,187 @@
+// Unit tests for the FFT / DHT kernels and the FFT sampling operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <set>
+
+#include "fft/fft.hpp"
+#include "la/blas1.hpp"
+#include "la/norms.hpp"
+#include "test_util.hpp"
+
+namespace randla::fft {
+namespace {
+
+using testing::random_matrix;
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_EQ(next_pow2(1024), 1024);
+  EXPECT_EQ(next_pow2(1025), 2048);
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const index_t n = 16;
+  std::vector<std::complex<double>> x(n);
+  for (index_t i = 0; i < n; ++i)
+    x[i] = {std::sin(0.3 * double(i)), std::cos(1.1 * double(i))};
+  auto y = x;
+  fft_inplace(y.data(), n);
+  for (index_t k = 0; k < n; ++k) {
+    std::complex<double> ref(0, 0);
+    for (index_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * double(k) * double(j) / double(n);
+      ref += x[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(y[k] - ref), 0.0, 1e-11) << "bin " << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  const index_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  for (index_t i = 0; i < n; ++i) x[i] = {double(i % 7) - 3.0, double(i % 5)};
+  auto y = x;
+  fft_inplace(y.data(), n, false);
+  fft_inplace(y.data(), n, true);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const index_t n = 128;
+  std::vector<std::complex<double>> x(n);
+  for (index_t i = 0; i < n; ++i) x[i] = {std::cos(double(i)), 0.0};
+  double ein = 0;
+  for (auto& v : x) ein += std::norm(v);
+  fft_inplace(x.data(), n);
+  double eout = 0;
+  for (auto& v : x) eout += std::norm(v);
+  EXPECT_NEAR(eout, ein * double(n), 1e-9 * eout);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  const index_t n = 32;
+  std::vector<std::complex<double>> x(n, {0, 0});
+  x[0] = {1, 0};
+  fft_inplace(x.data(), n);
+  for (index_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), 1.0, 1e-12);
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> x(6);
+  EXPECT_THROW(fft_inplace(x.data(), 6), std::invalid_argument);
+}
+
+TEST(Dht, IsInvolutionUpToIdentity) {
+  // The orthonormal DHT is its own inverse: H(H(x)) = x.
+  const index_t n = 64;
+  std::vector<double> x(n), y(n);
+  for (index_t i = 0; i < n; ++i) x[i] = std::sin(0.4 * double(i)) + 0.1;
+  y = x;
+  dht_inplace(y.data(), n);
+  dht_inplace(y.data(), n);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Dht, PreservesNorm) {
+  const index_t n = 256;
+  std::vector<double> x(n);
+  for (index_t i = 0; i < n; ++i) x[i] = double((i * 37) % 11) - 5.0;
+  double nin = 0;
+  for (double v : x) nin += v * v;
+  dht_inplace(x.data(), n);
+  double nout = 0;
+  for (double v : x) nout += v * v;
+  EXPECT_NEAR(nout, nin, 1e-9 * nin);
+}
+
+TEST(DhtPlan, PaddedMatchesManualZeroPad) {
+  const index_t len = 10, padded = 16;
+  std::vector<double> x(len);
+  for (index_t i = 0; i < len; ++i) x[i] = double(i + 1);
+  DhtPlan plan(padded);
+  std::vector<double> y(padded);
+  plan.transform_padded(x.data(), len, y.data());
+
+  std::vector<double> manual(padded, 0.0);
+  for (index_t i = 0; i < len; ++i) manual[i] = x[i];
+  dht_inplace(manual.data(), padded);
+  for (index_t i = 0; i < padded; ++i) EXPECT_NEAR(y[i], manual[i], 1e-12);
+}
+
+TEST(DhtPlan, NonPowerOfTwoThrows) { EXPECT_THROW(DhtPlan(12), std::invalid_argument); }
+
+TEST(FftSampler, StructureIsValid) {
+  auto s = make_fft_sampler(100, 16, 7);
+  EXPECT_EQ(s.padded, 128);
+  EXPECT_EQ(s.signs.size(), 100u);
+  EXPECT_EQ(s.selected.size(), 16u);
+  std::set<index_t> sel(s.selected.begin(), s.selected.end());
+  EXPECT_EQ(sel.size(), 16u);
+  for (index_t v : sel) EXPECT_LT(v, 128);
+  for (double v : s.signs) EXPECT_TRUE(v == 1.0 || v == -1.0);
+}
+
+TEST(FftSampler, TooManyRowsThrows) {
+  EXPECT_THROW(make_fft_sampler(4, 10, 1), std::invalid_argument);
+}
+
+TEST(FftSampleRows, ShapeAndDeterminism) {
+  auto a = random_matrix<double>(50, 12, 71);
+  auto b1 = fft_sample_rows<double>(a.view(), 8, 5);
+  auto b2 = fft_sample_rows<double>(a.view(), 8, 5);
+  EXPECT_EQ(b1.rows(), 8);
+  EXPECT_EQ(b1.cols(), 12);
+  for (index_t j = 0; j < 12; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(b1(i, j), b2(i, j));
+}
+
+TEST(FftSampleRows, LinearInA) {
+  auto a = random_matrix<double>(30, 6, 72);
+  auto b = fft_sample_rows<double>(a.view(), 5, 9);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 30; ++i) a(i, j) *= 3.0;
+  auto b3 = fft_sample_rows<double>(a.view(), 5, 9);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 5; ++i) EXPECT_NEAR(b3(i, j), 3.0 * b(i, j), 1e-10);
+}
+
+TEST(FftSampleRows, ApproxPreservesColumnGeometry) {
+  // With ℓ comfortably above the intrinsic dimension, ‖ΩAx‖ ≈ ‖Ax‖ in
+  // expectation; here we check column norms are preserved within a loose
+  // multiplicative band (JL-style), averaged over columns.
+  const index_t m = 512, n = 10, l = 128;
+  auto a = random_matrix<double>(m, n, 73);
+  auto b = fft_sample_rows<double>(a.view(), l, 11);
+  double ratio_sum = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const double na = blas::nrm2(m, a.view().col_ptr(j), index_t{1});
+    const double nb = blas::nrm2(l, b.view().col_ptr(j), index_t{1});
+    ratio_sum += nb / na;
+  }
+  const double mean_ratio = ratio_sum / double(n);
+  EXPECT_GT(mean_ratio, 0.7);
+  EXPECT_LT(mean_ratio, 1.3);
+}
+
+TEST(FftSampleCols, MatchesRowSamplingOfTranspose) {
+  auto a = random_matrix<double>(20, 35, 74);
+  auto at = transposed<double>(a.view());
+  auto b_cols = fft_sample_cols<double>(a.view(), 6, 13);
+  auto b_rows = fft_sample_rows<double>(at.view(), 6, 13);
+  ASSERT_EQ(b_cols.rows(), b_rows.rows());
+  ASSERT_EQ(b_cols.cols(), b_rows.cols());
+  for (index_t j = 0; j < b_cols.cols(); ++j)
+    for (index_t i = 0; i < b_cols.rows(); ++i)
+      EXPECT_NEAR(b_cols(i, j), b_rows(i, j), 1e-12);
+}
+
+}  // namespace
+}  // namespace randla::fft

@@ -1,0 +1,234 @@
+// Integration tests: whole-pipeline scenarios crossing module
+// boundaries — the Table-1 matrices through fixed-rank and adaptive
+// drivers, scheme/sampling option combinations, the simulated
+// multi-device runtime against the reference path, and end-to-end
+// invariants (orthogonality, permutation validity, error ordering
+// against the SVD oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/test_matrices.hpp"
+#include "la/blas3.hpp"
+#include "la/parallel.hpp"
+#include "la/svd_jacobi.hpp"
+#include "rsvd/adaptive.hpp"
+#include "rsvd/rsvd.hpp"
+#include "sim/multi_gpu.hpp"
+#include "test_util.hpp"
+
+namespace randla {
+namespace {
+
+using testing::ortho_defect;
+
+// Frobenius-optimal rank-k error from a spectrum.
+double optimal_fro_error(const std::vector<double>& sigma, index_t k) {
+  double tail = 0, total = 0;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    total += sigma[i] * sigma[i];
+    if (static_cast<index_t>(i) >= k) tail += sigma[i] * sigma[i];
+  }
+  return std::sqrt(tail / total);
+}
+
+struct Scenario {
+  const char* name;
+  data::TestMatrix<double> (*make)(index_t, index_t);
+};
+
+data::TestMatrix<double> make_power(index_t m, index_t n) {
+  return data::power_matrix<double>(m, n, 1);
+}
+data::TestMatrix<double> make_exponent(index_t m, index_t n) {
+  return data::exponent_matrix<double>(m, n, 2);
+}
+
+class PipelineOnMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineOnMatrix, FixedRankWithinOptimalBand) {
+  const Scenario scenarios[2] = {{"power", make_power},
+                                 {"exponent", make_exponent}};
+  const auto& sc = scenarios[GetParam()];
+  const index_t m = 400, n = 150, k = 25;
+  auto tm = sc.make(m, n);
+  const double opt = optimal_fro_error(tm.sigma, k);
+
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 10;
+  opts.q = 1;
+  auto res = rsvd::fixed_rank(tm.a.view(), opts);
+  const double err = rsvd::approximation_error(tm.a.view(), res);
+
+  EXPECT_GE(err, opt * 0.999) << sc.name << ": beat the optimum?!";
+  EXPECT_LE(err, 8.0 * opt + 1e-14) << sc.name;
+  EXPECT_LT(ortho_defect<double>(res.q.view()), 1e-11);
+  EXPECT_TRUE(is_valid_permutation(res.perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, PipelineOnMatrix, ::testing::Values(0, 1));
+
+TEST(Pipeline, HapmapEndToEnd) {
+  // The paper's real-data case: entries in {0,1,2}, slow decay past k,
+  // every method leaves O(1) relative error (Fig. 6's hapmap row).
+  const index_t m = 800, n = 120, k = 50;
+  auto tm = data::hapmap_synthetic<double>(m, n);
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 10;
+  opts.q = 0;
+  auto res = rsvd::fixed_rank(tm.a.view(), opts);
+  const double err = rsvd::approximation_error(tm.a.view(), res);
+  EXPECT_GT(err, 0.05);  // slow spectrum: far from tiny
+  EXPECT_LT(err, 1.0);   // but the top-k structure is captured
+}
+
+TEST(Pipeline, EveryOrthoSchemeCompletesTheDriver) {
+  const index_t m = 300, n = 100, k = 15;
+  auto tm = data::exponent_matrix<double>(m, n, 3);
+  const double opt = optimal_fro_error(tm.sigma, k);  // ≈ 0.05 at k = 15
+  for (ortho::Scheme s :
+       {ortho::Scheme::CholQR, ortho::Scheme::CholQR2, ortho::Scheme::CGS,
+        ortho::Scheme::MGS, ortho::Scheme::HHQR, ortho::Scheme::TSQR}) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = 8;
+    opts.q = 2;
+    opts.power_ortho = s;
+    auto res = rsvd::fixed_rank(tm.a.view(), opts);
+    const double err = rsvd::approximation_error(tm.a.view(), res);
+    EXPECT_LT(err, 3.0 * opt) << ortho::scheme_name(s);
+    EXPECT_LT(ortho_defect<double>(res.q.view()), 1e-10)
+        << ortho::scheme_name(s);
+  }
+}
+
+TEST(Pipeline, FftAndGaussianAgreeOnSubspaceQuality) {
+  const index_t m = 512, n = 128, k = 20;
+  auto tm = data::power_matrix<double>(m, n, 4);
+  const double opt = optimal_fro_error(tm.sigma, k);
+  for (auto kind : {rsvd::SamplingKind::Gaussian, rsvd::SamplingKind::FFT}) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = 10;
+    opts.q = 0;
+    opts.sampling = kind;
+    auto res = rsvd::fixed_rank(tm.a.view(), opts);
+    EXPECT_LT(rsvd::approximation_error(tm.a.view(), res), 20.0 * opt)
+        << rsvd::sampling_name(kind);
+  }
+}
+
+TEST(Pipeline, AdaptiveThenFinishMatchesDirectFixedRank) {
+  // Solving the fixed-accuracy problem and then truncating should give
+  // an error no worse than the tolerance, and the factors must satisfy
+  // the same invariants as the fixed-rank path.
+  const index_t m = 350, n = 120;
+  auto tm = data::exponent_matrix<double>(m, n, 5);
+  rsvd::AdaptiveOptions aopts;
+  aopts.epsilon = 1e-6;
+  aopts.relative = true;
+  aopts.l_init = 8;
+  aopts.l_inc = 16;
+  auto res = rsvd::fixed_accuracy(tm.a.view(), aopts);
+  EXPECT_LT(rsvd::approximation_error(tm.a.view(), res), 1e-4);
+  EXPECT_LT(ortho_defect<double>(res.q.view()), 1e-10);
+  EXPECT_TRUE(is_valid_permutation(res.perm));
+}
+
+TEST(Pipeline, MultiDeviceMatchesReferenceOnTable1Matrix) {
+  const index_t m = 240, n = 90, k = 12;
+  auto tm = data::power_matrix<double>(m, n, 6);
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 6;
+  opts.q = 1;
+  auto ref = rsvd::fixed_rank(tm.a.view(), opts);
+  sim::MultiDeviceContext ctx(3);
+  auto multi = ctx.fixed_rank(tm.a.view(), opts);
+  EXPECT_EQ(ref.perm, multi.result.perm);
+  EXPECT_LT(testing::rel_diff<double>(multi.result.q.view(), ref.q.view()),
+            1e-8);
+}
+
+TEST(Pipeline, RankSweepErrorsDecreaseMonotonically) {
+  // Property: larger target rank never (materially) increases the
+  // error on a decaying spectrum.
+  const index_t m = 300, n = 120;
+  auto tm = data::exponent_matrix<double>(m, n, 7);
+  double prev = 1e300;
+  for (index_t k : {5, 10, 20, 40, 80}) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = 10;
+    opts.q = 1;
+    auto res = rsvd::fixed_rank(tm.a.view(), opts);
+    const double err = rsvd::approximation_error(tm.a.view(), res);
+    EXPECT_LT(err, prev * 1.5) << "k=" << k;
+    prev = err;
+  }
+}
+
+TEST(Pipeline, QrcpBlockSizeDoesNotChangeResultQuality) {
+  const index_t m = 260, n = 90, k = 16;
+  auto tm = data::exponent_matrix<double>(m, n, 8);
+  double errs[3];
+  int i = 0;
+  for (index_t nb : {1, 8, 64}) {
+    rsvd::FixedRankOptions opts;
+    opts.k = k;
+    opts.p = 8;
+    opts.q = 1;
+    opts.qrcp_block = nb;
+    auto res = rsvd::fixed_rank(tm.a.view(), opts);
+    errs[i++] = rsvd::approximation_error(tm.a.view(), res);
+  }
+  EXPECT_NEAR(errs[0], errs[2], 0.5 * errs[0]);
+  EXPECT_NEAR(errs[1], errs[2], 0.5 * errs[1]);
+}
+
+TEST(Pipeline, ErrorConsistentWithSvdOracleTruncation) {
+  // ‖AP − QR‖F from the pipeline must sit between the oracle optimum
+  // and a small multiple of it — a cross-check of data generator,
+  // sampler, QRCP, QR and error measure at once.
+  const index_t m = 200, n = 80, k = 10;
+  auto a = testing::random_matrix<double>(m, n, 9);
+  const auto sv = lapack::singular_values<double>(a.view());
+  double tail = 0, total = 0;
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    total += sv[i] * sv[i];
+    if (static_cast<index_t>(i) >= k) tail += sv[i] * sv[i];
+  }
+  const double opt = std::sqrt(tail / total);
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 10;
+  opts.q = 2;
+  auto res = rsvd::fixed_rank(a.view(), opts);
+  const double err = rsvd::approximation_error(a.view(), res);
+  EXPECT_GE(err, opt * 0.999);
+  EXPECT_LE(err, 1.6 * opt);  // flat spectrum: RS with q=2 is near-optimal
+}
+
+TEST(Pipeline, ReproducibleAcrossThreadCounts) {
+  // The BLAS thread knob must not change results beyond fp reordering
+  // (gemm slices columns deterministically, so it is exactly equal).
+  const index_t m = 300, n = 2200, k = 8;  // wide: engages threaded gemm
+  auto a = testing::random_matrix<double>(m, n, 10);
+  rsvd::FixedRankOptions opts;
+  opts.k = k;
+  opts.p = 4;
+  opts.q = 1;
+  const index_t saved = blas_num_threads();
+  set_blas_num_threads(1);
+  auto r1 = rsvd::fixed_rank(a.view(), opts);
+  set_blas_num_threads(4);
+  auto r4 = rsvd::fixed_rank(a.view(), opts);
+  set_blas_num_threads(saved);
+  EXPECT_EQ(r1.perm, r4.perm);
+  EXPECT_LT(testing::rel_diff<double>(r4.q.view(), r1.q.view()), 1e-13);
+}
+
+}  // namespace
+}  // namespace randla

@@ -1,0 +1,165 @@
+// Unit tests for Matrix / MatrixView storage, views, and block slicing.
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+#include "la/permutation.hpp"
+
+namespace randla {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<double> a;
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix<double> a(3, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+}
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(a(0, 0), 1);
+  EXPECT_EQ(a(0, 2), 3);
+  EXPECT_EQ(a(1, 0), 4);
+  EXPECT_EQ(a(1, 2), 6);
+}
+
+TEST(Matrix, InitializerListSizeMismatchThrows) {
+  EXPECT_THROW(Matrix<double>(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> a(3, 2, {1, 4, 2, 5, 3, 6});
+  // storage: col 0 = (1,2,3), col 1 = (4,5,6)
+  const double* d = a.data();
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[3], 4);
+}
+
+TEST(Matrix, Identity) {
+  auto eye = Matrix<double>::identity(4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixView, BlockAliasesParentStorage) {
+  Matrix<double> a(4, 4);
+  auto blk = a.block(1, 1, 2, 2);
+  blk(0, 0) = 7.0;
+  EXPECT_EQ(a(1, 1), 7.0);
+  EXPECT_EQ(blk.ld(), 4);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix<double> a(6, 6);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 6; ++i) a(i, j) = double(10 * i + j);
+  auto outer = a.block(1, 1, 4, 4);
+  auto inner = outer.block(1, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), a(2, 2));
+  EXPECT_EQ(inner(1, 1), a(3, 3));
+}
+
+TEST(MatrixView, ColAndRanges) {
+  Matrix<double> a(3, 5);
+  a(0, 2) = 1.5;
+  EXPECT_EQ(a.view().col(2)(0, 0), 1.5);
+  auto cr = a.view().cols_range(2, 4);
+  EXPECT_EQ(cr.cols(), 2);
+  EXPECT_EQ(cr(0, 0), 1.5);
+  auto rr = a.view().rows_range(1, 3);
+  EXPECT_EQ(rr.rows(), 2);
+}
+
+TEST(MatrixView, FillAndIdentity) {
+  Matrix<double> a(3, 3);
+  a.view().fill(2.5);
+  EXPECT_EQ(a(2, 1), 2.5);
+  a.view().set_identity();
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(0, 1), 0.0);
+}
+
+TEST(MatrixView, CopyFromRespectsStride) {
+  Matrix<double> big(5, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 5; ++i) big(i, j) = double(i + 10 * j);
+  Matrix<double> dst(2, 2);
+  dst.view().copy_from(big.block(1, 2, 2, 2));
+  EXPECT_EQ(dst(0, 0), big(1, 2));
+  EXPECT_EQ(dst(1, 1), big(2, 3));
+}
+
+TEST(Matrix, CopyOfMaterializesView) {
+  Matrix<double> a(4, 4);
+  a(2, 2) = 3.0;
+  auto b = Matrix<double>::copy_of(a.block(1, 1, 3, 3));
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b(1, 1), 3.0);
+  EXPECT_EQ(b.ld(), 3);  // compacted
+}
+
+TEST(Matrix, TransposedMaterializes) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  auto t = transposed<double>(a.view());
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 0), 3);
+  EXPECT_EQ(t(0, 1), 4);
+}
+
+TEST(Matrix, ResizeZeroFills) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 5;
+  a.resize(3, 3);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a(0, 0), 0.0);
+}
+
+TEST(Matrix, NegativeDimensionsThrow) {
+  EXPECT_THROW(Matrix<double>(-1, 2), std::invalid_argument);
+}
+
+TEST(Permutation, IdentityAndValidity) {
+  auto p = identity_permutation(5);
+  EXPECT_TRUE(is_valid_permutation(p));
+  EXPECT_EQ(p[3], 3);
+  p[0] = 3;  // duplicate
+  EXPECT_FALSE(is_valid_permutation(p));
+}
+
+TEST(Permutation, ApplyColumnPermutation) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  Permutation p = {2, 0, 1};
+  Matrix<double> out(2, 3);
+  apply_column_permutation<double>(a.view(), p, out.view());
+  EXPECT_EQ(out(0, 0), 3);
+  EXPECT_EQ(out(0, 1), 1);
+  EXPECT_EQ(out(0, 2), 2);
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  Permutation p = {2, 0, 3, 1};
+  auto inv = inverse_permutation(p);
+  for (std::size_t j = 0; j < p.size(); ++j)
+    EXPECT_EQ(inv[static_cast<std::size_t>(p[j])], static_cast<index_t>(j));
+}
+
+TEST(Permutation, PermutedLeadingColumns) {
+  Matrix<double> a(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  Permutation p = {3, 1, 0, 2};
+  auto lead = permuted_leading_columns<double>(a.view(), p, 2);
+  EXPECT_EQ(lead.cols(), 2);
+  EXPECT_EQ(lead(0, 0), 4);
+  EXPECT_EQ(lead(1, 0), 8);
+  EXPECT_EQ(lead(0, 1), 2);
+}
+
+}  // namespace
+}  // namespace randla

@@ -1,0 +1,171 @@
+// Tests for the calibrated K40c performance model: the Figure 18 table,
+// the §8/§9 throughput relationships, and the Figure 10 whole-algorithm
+// estimates.
+#include <gtest/gtest.h>
+
+#include "la/flops.hpp"
+#include "model/perfmodel.hpp"
+
+namespace randla::model {
+namespace {
+
+const DeviceSpec kSpec{};
+
+TEST(GemmCurve, MatchesFig18CalibrationPoints) {
+  EXPECT_NEAR(gemm_gflops(kSpec, 8, 10000), 123.3, 1.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 16, 10000), 247.0, 1.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 32, 10000), 489.5, 1.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 48, 10000), 597.8, 1.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 64, 10000), 778.5, 1.0);
+}
+
+TEST(GemmCurve, SaturatesNearPaperPeak) {
+  // §8: "about 1,200 Gflop/s" for large sampling sizes.
+  EXPECT_NEAR(gemm_gflops(kSpec, 512, 10000), 1200.0, 5.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 4096, 10000), 1200.0, 5.0);
+  EXPECT_LE(gemm_gflops(kSpec, 4096, 10000), kSpec.peak_dp_gflops);
+}
+
+TEST(GemmCurve, TallAspectPenaltyMatchesSection9) {
+  // §9: chunk heights 150k/75k/50k → 440/630/760 Gflop/s at ℓ = 64.
+  EXPECT_NEAR(gemm_gflops(kSpec, 64, 150000), 440.0, 40.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 64, 75000), 630.0, 60.0);
+  EXPECT_NEAR(gemm_gflops(kSpec, 64, 50000), 778.0, 40.0);
+}
+
+TEST(GemmCurve, MonotoneInPanelWidth) {
+  double prev = 0;
+  for (index_t l : {1, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512}) {
+    const double g = gemm_gflops(kSpec, l, 10000);
+    EXPECT_GE(g, prev) << "l=" << l;
+    prev = g;
+  }
+}
+
+TEST(Seconds, GemmScalesLinearlyInVolume) {
+  const double t1 = gemm_seconds(kSpec, 64, 1000, 10000);
+  const double t2 = gemm_seconds(kSpec, 64, 2000, 10000);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(Seconds, EmptyOpsCostNothing) {
+  EXPECT_EQ(gemm_seconds(kSpec, 0, 10, 10), 0.0);
+  EXPECT_EQ(gemv_seconds(kSpec, 0, 5), 0.0);
+}
+
+TEST(Seconds, GemvSlowerPerFlopThanGemm) {
+  // Fig. 8: GEMV ≈ 45 Gflop/s vs GEMM ≈ 780 at ℓ = 64.
+  const double gemm_rate =
+      randla::flops::gemm(64, 2500, 50000) / gemm_seconds(kSpec, 64, 2500, 50000);
+  const double gemv_rate =
+      randla::flops::gemv(50000, 2500) / gemv_seconds(kSpec, 50000, 2500);
+  EXPECT_GT(gemm_rate, 5.0 * gemv_rate);
+}
+
+TEST(Seconds, FftVsGemmCrossover) {
+  // Fig. 8(a): pruned Gaussian GEMM beats full FFT for small ℓ, and the
+  // full FFT wins for ℓ > ~192 (its cost is ℓ-independent).
+  const index_t m = 50000, n = 2500;
+  const double t_fft = fft_sample_seconds(kSpec, m, n);
+  const double t_gemm_64 = gemm_seconds(kSpec, 64, n, m);
+  const double t_gemm_512 = gemm_seconds(kSpec, 512, n, m);
+  EXPECT_LT(t_gemm_64, t_fft);    // small ℓ: GEMM wins
+  EXPECT_GT(t_gemm_512, t_fft);   // large ℓ: FFT wins
+}
+
+TEST(Seconds, OrthoSchemeOrderingMatchesFig7) {
+  // CholQR ≫ CGS > HHQR > MGS on tall-skinny panels, QP3 slowest.
+  const index_t m = 50000, n = 64;
+  const double t_cholqr = ortho_seconds(kSpec, ortho::Scheme::CholQR, m, n);
+  const double t_cgs = ortho_seconds(kSpec, ortho::Scheme::CGS, m, n);
+  const double t_hhqr = ortho_seconds(kSpec, ortho::Scheme::HHQR, m, n);
+  const double t_mgs = ortho_seconds(kSpec, ortho::Scheme::MGS, m, n);
+  const double t_qp3 = qp3_seconds(kSpec, m, n, n);
+  EXPECT_LT(t_cholqr, t_cgs);
+  EXPECT_LT(t_cgs, t_hhqr);
+  EXPECT_LT(t_hhqr, t_mgs);
+  EXPECT_LT(t_hhqr, t_qp3);
+}
+
+TEST(Seconds, Fig7SpeedupFactorsRoughlyHold) {
+  // §8: HHQR ≈ 5× QP3; CholQR up to ≈ 33× HHQR (averages 30.5).
+  const index_t m = 50000, n = 64;
+  const double t_hhqr = ortho_seconds(kSpec, ortho::Scheme::HHQR, m, n);
+  const double t_qp3 = qp3_seconds(kSpec, m, n, n);
+  const double t_cholqr = ortho_seconds(kSpec, ortho::Scheme::CholQR, m, n);
+  EXPECT_NEAR(t_qp3 / t_hhqr, 5.0, 3.0);
+  EXPECT_GT(t_hhqr / t_cholqr, 10.0);
+  EXPECT_LT(t_hhqr / t_cholqr, 80.0);
+}
+
+TEST(Seconds, CholQr2CostsTwiceCholQr) {
+  const double t1 = ortho_seconds(kSpec, ortho::Scheme::CholQR, 10000, 64);
+  const double t2 = ortho_seconds(kSpec, ortho::Scheme::CholQR2, 10000, 64);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+TEST(Transfer, PcieBandwidthDominatesLargeMessages) {
+  // 12 GB/s: 12e9/8 words per second.
+  const double t = transfer_seconds(kSpec, 12e9 / 8.0);
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(Fig10, RandomSamplingBeatsQp3InGflops) {
+  // Paper: RS reaches ≈676 Gflop/s (q=1) and ≈489 (q=0); QP3 < 29.
+  const index_t m = 50000, n = 2500, l = 64;
+  auto rs1 = estimate_random_sampling(kSpec, m, n, l, 1);
+  auto rs0 = estimate_random_sampling(kSpec, m, n, l, 0);
+  auto qp3 = estimate_qp3(kSpec, m, n, l);
+  EXPECT_LT(qp3.gflops(), 29.0);
+  EXPECT_NEAR(rs1.gflops(), 676.0, 120.0);
+  EXPECT_NEAR(rs0.gflops(), 489.0, 120.0);
+}
+
+TEST(Fig10, SpeedupFactorsMatchSection8Estimates) {
+  // §8: expected speedups 23.8/3.6 ≈ 6.7 (q=1) and 17.1/1.2 ≈ 14.3 (q=0).
+  const index_t m = 50000, n = 2500, l = 64;
+  auto rs1 = estimate_random_sampling(kSpec, m, n, l, 1);
+  auto rs0 = estimate_random_sampling(kSpec, m, n, l, 0);
+  auto qp3 = estimate_qp3(kSpec, m, n, l);
+  const double speedup_q1 = qp3.seconds / rs1.total();
+  const double speedup_q0 = qp3.seconds / rs0.total();
+  EXPECT_NEAR(speedup_q1, 6.7, 3.5);
+  EXPECT_NEAR(speedup_q0, 14.3, 7.0);
+  EXPECT_GT(speedup_q0, speedup_q1);  // fewer iterations ⇒ bigger win
+}
+
+TEST(Fig10, EstimateScalesLinearlyInM) {
+  const auto e1 = estimate_random_sampling(kSpec, 25000, 2500, 64, 1);
+  const auto e2 = estimate_random_sampling(kSpec, 50000, 2500, 64, 1);
+  EXPECT_GT(e2.total(), 1.5 * e1.total());
+  EXPECT_LT(e2.total(), 3.0 * e1.total());
+}
+
+TEST(Fig10, PhaseBreakdownDominatedByStepOne) {
+  // §9: for large m about 78% of RS time is Step 1 (sampling + power
+  // iteration), and the GEMMs are ~75% of the total.
+  const auto e = estimate_random_sampling(kSpec, 50000, 2500, 64, 1);
+  const double step1 = e.prng + e.sampling + e.gemm_iter + e.orth_iter;
+  EXPECT_GT(step1 / e.total(), 0.55);
+  const double gemm_share = (e.sampling + e.gemm_iter) / e.total();
+  EXPECT_GT(gemm_share, 0.5);
+  EXPECT_LT(gemm_share, 0.95);
+}
+
+TEST(Qp3Model, TimeGrowsWithEachDimension) {
+  const double base = qp3_seconds(kSpec, 10000, 2500, 64);
+  EXPECT_GT(qp3_seconds(kSpec, 20000, 2500, 64), base);
+  EXPECT_GT(qp3_seconds(kSpec, 10000, 5000, 64), base);
+  EXPECT_GT(qp3_seconds(kSpec, 10000, 2500, 128), base);
+  EXPECT_EQ(qp3_seconds(kSpec, 10000, 2500, 0), 0.0);
+}
+
+TEST(PrngModel, BandwidthBound) {
+  // 64×50000 doubles at 10 B/element over 288 GB/s ≈ 0.11 ms.
+  const double t = prng_seconds(kSpec, 64, 50000);
+  EXPECT_GT(t, 0.05e-3);
+  EXPECT_LT(t, 0.5e-3);
+}
+
+}  // namespace
+}  // namespace randla::model

@@ -1,0 +1,70 @@
+// Unit tests for matrix norms and the spectral-norm estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/norms.hpp"
+#include "la/svd_jacobi.hpp"
+#include "test_util.hpp"
+
+namespace randla {
+namespace {
+
+using testing::random_matrix;
+
+TEST(NormFro, KnownValue) {
+  Matrix<double> a(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(norm_fro<double>(a.view()), 5.0);
+}
+
+TEST(NormFro, EmptyMatrixIsZero) {
+  Matrix<double> a(0, 0);
+  EXPECT_EQ(norm_fro<double>(a.view()), 0.0);
+}
+
+TEST(NormFro, OverflowSafe) {
+  Matrix<double> a(1, 2, {1e300, 1e300});
+  EXPECT_NEAR(norm_fro<double>(a.view()), 1e300 * std::sqrt(2.0), 1e290);
+}
+
+TEST(NormMax, PicksLargestAbs) {
+  Matrix<double> a(2, 3, {1, -9, 2, 3, 4, -5});
+  EXPECT_DOUBLE_EQ(norm_max<double>(a.view()), 9.0);
+}
+
+TEST(Norm2Est, MatchesSvdOracle) {
+  auto a = random_matrix<double>(40, 25, 61);
+  const double est = norm2_est<double>(a.view(), 1e-10, 500);
+  const auto s = lapack::singular_values<double>(a.view());
+  EXPECT_NEAR(est, s[0], 1e-6 * s[0]);
+}
+
+TEST(Norm2Est, DiagonalMatrix) {
+  Matrix<double> a(5, 5);
+  for (index_t i = 0; i < 5; ++i) a(i, i) = double(i + 1);
+  EXPECT_NEAR(norm2_est<double>(a.view(), 1e-12, 1000), 5.0, 1e-8);
+}
+
+TEST(Norm2Est, ZeroMatrix) {
+  Matrix<double> a(4, 4);
+  EXPECT_EQ(norm2_est<double>(a.view()), 0.0);
+}
+
+TEST(Norm2Est, RankOne) {
+  // σ₁ of x·yᵀ is ‖x‖·‖y‖.
+  Matrix<double> a(3, 2);
+  const double x[3] = {1, 2, 2};
+  const double y[2] = {3, 4};
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 3; ++i) a(i, j) = x[i] * y[j];
+  EXPECT_NEAR(norm2_est<double>(a.view(), 1e-12, 1000), 15.0, 1e-9);
+}
+
+TEST(NormFro, DominatesSpectralNorm) {
+  auto a = random_matrix<double>(20, 20, 62);
+  EXPECT_GE(norm_fro<double>(a.view()) * (1 + 1e-12),
+            norm2_est<double>(a.view(), 1e-8, 500));
+}
+
+}  // namespace
+}  // namespace randla

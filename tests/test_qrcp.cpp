@@ -1,0 +1,247 @@
+// Unit tests for QRCP (geqp2 column-based, geqp3 blocked QP3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas3.hpp"
+#include "la/householder.hpp"
+#include "la/svd_jacobi.hpp"
+#include "qrcp/qrcp.hpp"
+#include "test_util.hpp"
+
+namespace randla::qrcp {
+namespace {
+
+using testing::ortho_defect;
+using testing::random_low_rank;
+using testing::random_matrix;
+using testing::rel_diff;
+
+// Reconstruction check: factor a copy of A truncated at k; verify
+// Q·R == (A·P)(:, 0:k) exactly (k = min dims ⇒ full factorization).
+template <class Real>
+void check_full_factorization(ConstMatrixView<Real> a0,
+                              bool blocked, index_t block_size = 32) {
+  const index_t m = a0.rows();
+  const index_t n = a0.cols();
+  const index_t k = std::min(m, n);
+  auto a = Matrix<Real>::copy_of(a0);
+  Permutation jpvt;
+  std::vector<Real> tau;
+  QrcpStats stats;
+  const index_t done = blocked
+                           ? geqp3<Real>(a.view(), jpvt, tau, k, &stats, block_size)
+                           : geqp2<Real>(a.view(), jpvt, tau, k, &stats);
+  ASSERT_EQ(done, k);
+  ASSERT_TRUE(is_valid_permutation(jpvt));
+
+  // R (k×n upper trapezoid).
+  Matrix<Real> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+  // Q explicit.
+  lapack::orgqr(a.view(), tau, k);
+  auto q = a.block(0, 0, m, k);
+  EXPECT_LT(ortho_defect<Real>(ConstMatrixView<Real>(q)), 1e-12);
+
+  Matrix<Real> rec(m, n);
+  blas::gemm(Op::NoTrans, Op::NoTrans, Real(1), ConstMatrixView<Real>(q),
+             ConstMatrixView<Real>(r.view()), Real(0), rec.view());
+  Matrix<Real> ap(m, n);
+  apply_column_permutation<Real>(a0, jpvt, ap.view());
+  EXPECT_LT(rel_diff<Real>(rec.view(), ap.view()), 1e-12);
+
+  // Pivoting invariant: |R| diagonal is non-increasing.
+  for (index_t i = 1; i < k; ++i)
+    EXPECT_LE(std::abs(r(i, i)), std::abs(r(i - 1, i - 1)) * (1 + 1e-10));
+}
+
+TEST(Geqp2, FullFactorizationTall) {
+  auto a = random_matrix<double>(40, 25, 101);
+  check_full_factorization<double>(a.view(), false);
+}
+
+TEST(Geqp2, FullFactorizationWide) {
+  auto a = random_matrix<double>(15, 45, 102);
+  check_full_factorization<double>(a.view(), false);
+}
+
+TEST(Geqp3, FullFactorizationTall) {
+  auto a = random_matrix<double>(40, 25, 103);
+  check_full_factorization<double>(a.view(), true);
+}
+
+TEST(Geqp3, FullFactorizationWide) {
+  auto a = random_matrix<double>(15, 45, 104);
+  check_full_factorization<double>(a.view(), true);
+}
+
+TEST(Geqp3, MultiPanelLarge) {
+  auto a = random_matrix<double>(150, 100, 105);
+  check_full_factorization<double>(a.view(), true, 32);
+}
+
+TEST(Geqp3, BlockSizeOne) {
+  auto a = random_matrix<double>(30, 20, 106);
+  check_full_factorization<double>(a.view(), true, 1);
+}
+
+TEST(Geqp3, BlockSizeLargerThanK) {
+  auto a = random_matrix<double>(30, 20, 107);
+  check_full_factorization<double>(a.view(), true, 64);
+}
+
+TEST(Geqp3, MatchesGeqp2Pivots) {
+  // Same pivot sequence and (up to sign) same R diagonal as the
+  // reference column algorithm on a well-separated matrix.
+  const index_t m = 60, n = 30, k = 12;
+  auto base = random_matrix<double>(m, n, 108);
+  // Impose distinct column scales so the pivot order is unambiguous.
+  for (index_t j = 0; j < n; ++j) {
+    const double s = std::pow(1.35, double((j * 7) % n));
+    for (index_t i = 0; i < m; ++i) base(i, j) *= s;
+  }
+  auto a2 = Matrix<double>::copy_of(base.view());
+  auto a3 = Matrix<double>::copy_of(base.view());
+  Permutation p2, p3;
+  std::vector<double> t2, t3;
+  geqp2<double>(a2.view(), p2, t2, k);
+  geqp3<double>(a3.view(), p3, t3, k);
+  for (index_t j = 0; j < k; ++j) {
+    EXPECT_EQ(p2[static_cast<std::size_t>(j)], p3[static_cast<std::size_t>(j)])
+        << "pivot " << j;
+    EXPECT_NEAR(std::abs(a2(j, j)), std::abs(a3(j, j)), 1e-9)
+        << "R diagonal " << j;
+  }
+}
+
+TEST(Geqp3, TruncationStopsEarly) {
+  auto a = random_matrix<double>(50, 40, 109);
+  Permutation jpvt;
+  std::vector<double> tau;
+  QrcpStats stats;
+  const index_t done = geqp3<double>(a.view(), jpvt, tau, 10, &stats);
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(stats.columns_factored, 10);
+  EXPECT_EQ(tau.size(), 10u);
+}
+
+TEST(Geqp3, RankRevealsLowRankMatrix) {
+  // Rank-r matrix: |R(r, r)| must drop by many orders of magnitude.
+  const index_t m = 60, n = 40, rank = 6;
+  auto a = random_low_rank<double>(m, n, rank, 110);
+  Permutation jpvt;
+  std::vector<double> tau;
+  geqp3<double>(a.view(), jpvt, tau, 20);
+  EXPECT_LT(std::abs(a(rank, rank)), 1e-9 * std::abs(a(0, 0)));
+  EXPECT_GT(std::abs(a(rank - 1, rank - 1)), 1e-6 * std::abs(a(0, 0)));
+}
+
+TEST(Geqp2, RankRevealsLowRankMatrix) {
+  const index_t m = 50, n = 30, rank = 4;
+  auto a = random_low_rank<double>(m, n, rank, 111);
+  Permutation jpvt;
+  std::vector<double> tau;
+  geqp2<double>(a.view(), jpvt, tau, 10);
+  EXPECT_LT(std::abs(a(rank, rank)), 1e-9 * std::abs(a(0, 0)));
+}
+
+TEST(Geqp3, TruncatedErrorNearSigmaKPlus1) {
+  // ‖A·P − Q·R₁:k‖₂ is within a modest factor of σ_{k+1} (QRCP is not
+  // guaranteed rank-revealing but behaves so in practice — paper §2).
+  const index_t m = 50, n = 35, k = 8;
+  auto a0 = random_matrix<double>(m, n, 112);
+  auto sv = lapack::singular_values<double>(a0.view());
+
+  auto a = Matrix<double>::copy_of(a0.view());
+  Permutation jpvt;
+  std::vector<double> tau;
+  geqp3<double>(a.view(), jpvt, tau, k);
+  Matrix<double> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+  lapack::orgqr(a.view(), tau, k);
+  Matrix<double> rec(m, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0,
+                     ConstMatrixView<double>(a.block(0, 0, m, k)), r.view(),
+                     0.0, rec.view());
+  Matrix<double> ap(m, n);
+  apply_column_permutation<double>(a0.view(), jpvt, ap.view());
+  Matrix<double> err(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) err(i, j) = ap(i, j) - rec(i, j);
+  const double e = norm2_est<double>(err.view(), 1e-8, 500);
+  EXPECT_LE(e, 10.0 * sv[static_cast<std::size_t>(k)]);
+  EXPECT_GE(e, 0.1 * sv[static_cast<std::size_t>(k)]);
+}
+
+TEST(Geqp3, StatsTrackBlasSplit) {
+  auto a = random_matrix<double>(200, 120, 113);
+  Permutation jpvt;
+  std::vector<double> tau;
+  QrcpStats stats;
+  geqp3<double>(a.view(), jpvt, tau, 64, &stats, 32);
+  EXPECT_GT(stats.flops_blas2, 0.0);
+  EXPECT_GT(stats.flops_blas3, 0.0);
+  EXPECT_GE(stats.panels, 2);
+  // The BLAS-2 share should be roughly half of the total (paper §2:
+  // "QP3 still performs about half of its flops using BLAS-2").
+  const double share =
+      stats.flops_blas2 / (stats.flops_blas2 + stats.flops_blas3);
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.9);
+}
+
+TEST(QrcpTruncated, FactorsHaveDocumentedShapes) {
+  const index_t l = 20, n = 50, k = 8;
+  auto b = random_matrix<double>(l, n, 114);
+  auto f = qrcp_truncated<double>(b.view(), k);
+  EXPECT_EQ(f.q.rows(), l);
+  EXPECT_EQ(f.q.cols(), k);
+  EXPECT_EQ(f.r1.rows(), k);
+  EXPECT_EQ(f.r1.cols(), k);
+  EXPECT_EQ(f.r2.rows(), k);
+  EXPECT_EQ(f.r2.cols(), n - k);
+  EXPECT_TRUE(is_valid_permutation(f.perm));
+  EXPECT_LT(ortho_defect<double>(f.q.view()), 1e-12);
+  // R̂₁ invertible upper triangle.
+  for (index_t i = 0; i < k; ++i) EXPECT_GT(std::abs(f.r1(i, i)), 1e-12);
+}
+
+TEST(QrcpTruncated, ReconstructsLeadingBlock) {
+  const index_t l = 16, n = 40, k = 16;  // k = l ⇒ exact
+  auto b = random_matrix<double>(l, n, 115);
+  auto f = qrcp_truncated<double>(b.view(), k);
+  // Q·[R₁ R₂] must equal B·P.
+  Matrix<double> r(k, n);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < k; ++i) r(i, j) = f.r1(i, j);
+  for (index_t j = k; j < n; ++j)
+    for (index_t i = 0; i < k; ++i) r(i, j) = f.r2(i, j - k);
+  Matrix<double> rec(l, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, f.q.view(), r.view(), 0.0,
+                     rec.view());
+  Matrix<double> bp(l, n);
+  apply_column_permutation<double>(b.view(), f.perm, bp.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), bp.view()), 1e-12);
+}
+
+TEST(QrcpTruncated, KTooLargeThrows) {
+  Matrix<double> b(5, 10);
+  EXPECT_THROW(qrcp_truncated<double>(b.view(), 6), std::invalid_argument);
+}
+
+TEST(Geqp3, GradedMatrixTriggersRecompute) {
+  // Steeply graded columns are the classic downdating stress case; the
+  // run must stay accurate regardless of whether recomputes trigger.
+  const index_t m = 80, n = 60;
+  auto a0 = random_matrix<double>(m, n, 116);
+  for (index_t j = 0; j < n; ++j) {
+    const double s = std::pow(10.0, -double(j) / 4.0);
+    for (index_t i = 0; i < m; ++i) a0(i, j) *= s;
+  }
+  check_full_factorization<double>(a0.view(), true);
+}
+
+}  // namespace
+}  // namespace randla::qrcp

@@ -1,0 +1,163 @@
+// Unit tests for the Philox PRNG and Gaussian / selection generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rng/gaussian.hpp"
+#include "rng/philox.hpp"
+
+namespace randla::rng {
+namespace {
+
+TEST(Philox, Deterministic) {
+  Philox4x32 a(123, 0), b(123, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Philox, SeedsDiffer) {
+  Philox4x32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Philox, StreamsDiffer) {
+  Philox4x32 a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Philox, SeekIsRandomAccess) {
+  Philox4x32 seq(42, 3);
+  std::vector<std::uint32_t> first(40);
+  for (auto& v : first) v = seq.next_u32();
+  // Block 5 starts at word 20 (4 words per block).
+  Philox4x32 jump(42, 3);
+  jump.seek(5);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(jump.next_u32(), first[20 + i]);
+}
+
+TEST(Philox, StatelessAtMatchesStreaming) {
+  Philox4x32 s(99, 5);
+  auto b0 = Philox4x32::at(99, 5, 0);
+  EXPECT_EQ(s.next_u32(), b0[0]);
+  EXPECT_EQ(s.next_u32(), b0[1]);
+}
+
+TEST(Philox, UniformInUnitInterval) {
+  Philox4x32 g(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.next_uniform();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Philox, UniformMeanAndVariance) {
+  Philox4x32 g(17);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = g.next_uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Gaussian, MomentsMatchStandardNormal) {
+  GaussianStream g(23);
+  const int n = 200000;
+  double m1 = 0, m2 = 0, m3 = 0, m4 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.next();
+    m1 += x;
+    m2 += x * x;
+    m3 += x * x * x;
+    m4 += x * x * x * x;
+  }
+  m1 /= n;
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+  EXPECT_NEAR(m3, 0.0, 0.06);
+  EXPECT_NEAR(m4, 3.0, 0.15);
+}
+
+TEST(Gaussian, FillIsDeterministic) {
+  auto a = gaussian_matrix<double>(10, 10, 7);
+  auto b = gaussian_matrix<double>(10, 10, 7);
+  for (index_t j = 0; j < 10; ++j)
+    for (index_t i = 0; i < 10; ++i) EXPECT_EQ(a(i, j), b(i, j));
+}
+
+TEST(Gaussian, ColumnPartitioningIsConsistent) {
+  // Generating columns [0, 10) in one shot must equal generating
+  // [0, 4) and [4, 10) separately with matching offsets — the invariant
+  // the simulated multi-device runtime relies on.
+  auto whole = gaussian_matrix<double>(8, 10, 99);
+  Matrix<double> left(8, 4), right(8, 6);
+  fill_gaussian(left.view(), 99, 0);
+  fill_gaussian(right.view(), 99, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(left(i, j), whole(i, j));
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(right(i, j), whole(i, j + 4));
+}
+
+TEST(Signs, OnlyPlusMinusOne) {
+  Matrix<double> a(50, 3);
+  fill_signs(a.view(), 5);
+  int plus = 0;
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 50; ++i) {
+      EXPECT_TRUE(a(i, j) == 1.0 || a(i, j) == -1.0);
+      plus += a(i, j) > 0;
+    }
+  EXPECT_GT(plus, 30);   // not all one sign
+  EXPECT_LT(plus, 120);
+}
+
+TEST(Sampling, WithoutReplacementIsDistinctAndInRange) {
+  auto idx = sample_without_replacement(100, 30, 3);
+  std::set<index_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 30u);
+  EXPECT_GE(*s.begin(), 0);
+  EXPECT_LT(*s.rbegin(), 100);
+}
+
+TEST(Sampling, FullSampleIsPermutation) {
+  auto idx = random_permutation(50, 9);
+  std::set<index_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(Sampling, CountGreaterThanNThrows) {
+  EXPECT_THROW(sample_without_replacement(5, 6, 1), std::invalid_argument);
+}
+
+TEST(Sampling, RoughlyUniform) {
+  // Each index should appear in a 10-of-100 sample about 1/10 of the time.
+  std::vector<int> hits(100, 0);
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    for (index_t v : sample_without_replacement(100, 10, 1000 + t)) {
+      hits[static_cast<std::size_t>(v)]++;
+    }
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, trials / 10 / 3);
+    EXPECT_LT(h, trials / 10 * 3);
+  }
+}
+
+}  // namespace
+}  // namespace randla::rng

@@ -1,0 +1,213 @@
+// Robustness / failure-injection tests: invalid options, degenerate
+// matrices (zero, rank-1, constant-column, huge/tiny scales, NaN
+// poison), and the library's contract of failing loudly or recovering
+// via documented fallbacks rather than returning garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "la/blas3.hpp"
+#include "ortho/ortho.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rsvd/adaptive.hpp"
+#include "rsvd/rsvd.hpp"
+#include "test_util.hpp"
+
+namespace randla {
+namespace {
+
+using testing::ortho_defect;
+using testing::random_matrix;
+
+// ------------------------------------------------- options validation
+
+TEST(Validation, FixedRankRejectsBadOptions) {
+  auto a = random_matrix<double>(40, 30, 601);
+  rsvd::FixedRankOptions o;
+  o.k = 0;
+  EXPECT_THROW(rsvd::fixed_rank(a.view(), o), std::invalid_argument);
+  o.k = 5;
+  o.p = -1;
+  EXPECT_THROW(rsvd::fixed_rank(a.view(), o), std::invalid_argument);
+  o.p = 2;
+  o.q = -1;
+  EXPECT_THROW(rsvd::fixed_rank(a.view(), o), std::invalid_argument);
+  o.q = 0;
+  o.k = 40;  // k + p > min(m, n)
+  EXPECT_THROW(rsvd::fixed_rank(a.view(), o), std::invalid_argument);
+}
+
+TEST(Validation, AdaptiveRejectsBadOptions) {
+  auto a = random_matrix<double>(30, 20, 602);
+  rsvd::AdaptiveOptions o;
+  o.epsilon = 0;
+  EXPECT_THROW(rsvd::adaptive_sample(a.view(), o), std::invalid_argument);
+  o.epsilon = 1e-6;
+  o.l_init = 0;
+  EXPECT_THROW(rsvd::adaptive_sample(a.view(), o), std::invalid_argument);
+  o.l_init = 8;
+  o.l_inc = 0;
+  EXPECT_THROW(rsvd::adaptive_sample(a.view(), o), std::invalid_argument);
+  Matrix<double> empty(0, 0);
+  o.l_inc = 8;
+  EXPECT_THROW(rsvd::adaptive_sample(empty.view(), o), std::invalid_argument);
+}
+
+TEST(Validation, FinishFromSampleRejectsOversizedK) {
+  auto a = random_matrix<double>(30, 20, 603);
+  auto b = random_matrix<double>(8, 20, 604);
+  EXPECT_THROW(rsvd::finish_from_sample(a.view(), b.view(), 9),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ degenerate matrices
+
+TEST(Degenerate, ZeroMatrixFixedRank) {
+  // A = 0: the sampled matrix is zero, QRCP produces zero reflectors,
+  // Step 3's CholQR of zero columns must take the fallback; the result
+  // has to represent the (exact) zero approximation without NaNs.
+  Matrix<double> a(50, 30);
+  rsvd::FixedRankOptions o;
+  o.k = 4;
+  o.p = 4;
+  o.q = 0;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  for (index_t j = 0; j < res.r.cols(); ++j)
+    for (index_t i = 0; i < res.r.rows(); ++i)
+      EXPECT_TRUE(std::isfinite(res.r(i, j)));
+  for (index_t j = 0; j < res.q.cols(); ++j)
+    for (index_t i = 0; i < res.q.rows(); ++i)
+      EXPECT_TRUE(std::isfinite(res.q(i, j)));
+  // The reconstruction Q·R must be (near) zero.
+  Matrix<double> rec(50, 30);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, res.q.view(), res.r.view(),
+                     0.0, rec.view());
+  EXPECT_LT(norm_fro<double>(rec.view()), 1e-12);
+}
+
+TEST(Degenerate, RankOneMatrix) {
+  const index_t m = 60, n = 40;
+  Matrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      a(i, j) = std::sin(double(i)) * std::cos(double(j));
+  rsvd::FixedRankOptions o;
+  o.k = 3;
+  o.p = 4;
+  o.q = 1;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  // Rank 1 ≤ k = 3: exact up to round-off, even though the sampled
+  // matrix is heavily rank-deficient (CholQR fallback path).
+  EXPECT_LT(rsvd::approximation_error(a.view(), res), 1e-10);
+}
+
+TEST(Degenerate, ConstantMatrix) {
+  Matrix<double> a(40, 25);
+  a.view().fill(3.5);
+  rsvd::FixedRankOptions o;
+  o.k = 2;
+  o.p = 3;
+  o.q = 0;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  EXPECT_LT(rsvd::approximation_error(a.view(), res), 1e-12);
+}
+
+TEST(Degenerate, ExtremeScales) {
+  // Entries at 1e±150: the overflow-safe norms and scaled Householder
+  // must keep everything finite.
+  for (double scale : {1e150, 1e-150}) {
+    auto a = random_matrix<double>(50, 25, 605);
+    for (index_t j = 0; j < 25; ++j)
+      for (index_t i = 0; i < 50; ++i) a(i, j) *= scale;
+    rsvd::FixedRankOptions o;
+    o.k = 5;
+    o.p = 5;
+    o.q = 1;
+    auto res = rsvd::fixed_rank(a.view(), o);
+    const double err = rsvd::approximation_error(a.view(), res);
+    EXPECT_TRUE(std::isfinite(err)) << "scale " << scale;
+    EXPECT_LT(err, 1.0) << "scale " << scale;
+  }
+}
+
+TEST(Degenerate, SquareTinyMatrix) {
+  auto a = random_matrix<double>(6, 6, 606);
+  rsvd::FixedRankOptions o;
+  o.k = 2;
+  o.p = 2;
+  o.q = 1;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  EXPECT_EQ(res.q.cols(), 2);
+  EXPECT_LT(ortho_defect<double>(res.q.view()), 1e-12);
+}
+
+// -------------------------------------------------------- NaN poison
+
+TEST(NanPoison, Qp3DoesNotLoopForever) {
+  // A NaN column norm must not break pivot selection into an infinite
+  // loop; the factorization completes (with garbage in the poisoned
+  // column, which is acceptable — LAPACK behaves the same).
+  auto a = random_matrix<double>(30, 20, 607);
+  a(5, 7) = std::numeric_limits<double>::quiet_NaN();
+  Permutation jpvt;
+  std::vector<double> tau;
+  const index_t done = qrcp::geqp3<double>(a.view(), jpvt, tau, 10);
+  EXPECT_EQ(done, 10);
+  EXPECT_TRUE(is_valid_permutation(jpvt));
+}
+
+TEST(NanPoison, CholQrFallsBackOnNanGram) {
+  auto a = random_matrix<double>(40, 8, 608);
+  a(3, 2) = std::numeric_limits<double>::quiet_NaN();
+  auto rep = ortho::orthonormalize_columns<double>(ortho::Scheme::CholQR,
+                                                   a.view());
+  // The NaN makes the Gram Cholesky fail; the report must say so
+  // rather than silently returning NaN-filled "orthonormal" columns.
+  EXPECT_TRUE(rep.cholesky_failed);
+}
+
+// ------------------------------------------------- misc edge behavior
+
+TEST(Edges, KEqualsMinDimension) {
+  // k = min(m, n) with p = 0: full-rank "approximation" must be exact.
+  auto a = random_matrix<double>(30, 12, 609);
+  rsvd::FixedRankOptions o;
+  o.k = 12;
+  o.p = 0;
+  o.q = 1;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  EXPECT_LT(rsvd::approximation_error(a.view(), res), 1e-10);
+}
+
+TEST(Edges, SingleColumnMatrix) {
+  auto a = random_matrix<double>(40, 1, 610);
+  rsvd::FixedRankOptions o;
+  o.k = 1;
+  o.p = 0;
+  o.q = 0;
+  auto res = rsvd::fixed_rank(a.view(), o);
+  EXPECT_LT(rsvd::approximation_error(a.view(), res), 1e-12);
+}
+
+TEST(Edges, AdaptiveOnTinyMatrixSaturates) {
+  auto a = random_matrix<double>(12, 6, 611);
+  rsvd::AdaptiveOptions o;
+  o.epsilon = 1e-30;  // unreachable: must saturate at l = 6 and be exact
+  o.l_init = 2;
+  o.l_inc = 2;
+  auto res = rsvd::adaptive_sample(a.view(), o);
+  EXPECT_TRUE(res.converged);  // saturation ⇒ exact projection
+  EXPECT_EQ(res.basis.rows(), 6);
+  EXPECT_LT(rsvd::projection_error(a.view(), res.basis.view()), 1e-12);
+}
+
+TEST(Edges, Qp3KmaxLargerThanDimsClamps) {
+  auto a = random_matrix<double>(10, 7, 612);
+  Permutation jpvt;
+  std::vector<double> tau;
+  EXPECT_EQ(qrcp::geqp3<double>(a.view(), jpvt, tau, 100), 7);
+}
+
+}  // namespace
+}  // namespace randla

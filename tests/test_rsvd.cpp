@@ -1,0 +1,286 @@
+// Tests for the fixed-rank random sampling algorithm (Figure 2):
+// accuracy vs the σ_{k+1} oracle, power-iteration refinement, sampling
+// kinds, factor structure, and instrumentation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/test_matrices.hpp"
+#include "la/blas3.hpp"
+#include "la/householder.hpp"
+#include "la/svd_jacobi.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rsvd/rsvd.hpp"
+#include "test_util.hpp"
+
+namespace randla::rsvd {
+namespace {
+
+using testing::ortho_defect;
+using testing::random_matrix;
+using testing::rel_diff;
+
+FixedRankOptions make_opts(index_t k, index_t p, index_t q,
+                           SamplingKind s = SamplingKind::Gaussian) {
+  FixedRankOptions o;
+  o.k = k;
+  o.p = p;
+  o.q = q;
+  o.sampling = s;
+  return o;
+}
+
+TEST(FixedRank, FactorShapesAndOrthogonality) {
+  const index_t m = 120, n = 60, k = 10;
+  auto a = random_matrix<double>(m, n, 201);
+  auto res = fixed_rank(a.view(), make_opts(k, 5, 1));
+  EXPECT_EQ(res.q.rows(), m);
+  EXPECT_EQ(res.q.cols(), k);
+  EXPECT_EQ(res.r.rows(), k);
+  EXPECT_EQ(res.r.cols(), n);
+  EXPECT_EQ(res.l, k + 5);
+  EXPECT_TRUE(is_valid_permutation(res.perm));
+  EXPECT_LT(ortho_defect<double>(res.q.view()), 1e-12);
+}
+
+TEST(FixedRank, ExactOnLowRankMatrix) {
+  // If rank(A) ≤ k the approximation must be exact to round-off.
+  const index_t m = 80, n = 50, rank = 6;
+  auto a = testing::random_low_rank<double>(m, n, rank, 202);
+  auto res = fixed_rank(a.view(), make_opts(rank, 4, 0));
+  EXPECT_LT(approximation_error(a.view(), res), 1e-11);
+}
+
+TEST(FixedRank, ErrorNearSigmaKPlus1PowerMatrix) {
+  // Halko et al.: E‖A − QQᵀA‖ ≤ (1 + c)·σ_{k+1}. With p = 10 the
+  // constant is small; require within 15× like the paper's Fig. 6
+  // observations (q = 0 within one order of magnitude of σ_{k+1}).
+  const index_t m = 300, n = 120, k = 20;
+  auto tm = data::power_matrix<double>(m, n, 7);
+  const double sigma_kp1 = tm.sigma[static_cast<std::size_t>(k)];
+  auto res = fixed_rank(tm.a.view(), make_opts(k, 10, 0));
+  const double err = approximation_error(tm.a.view(), res);
+  EXPECT_LT(err, 15.0 * sigma_kp1 / tm.sigma[0]);
+  EXPECT_GT(err, 0.01 * sigma_kp1 / tm.sigma[0]);
+}
+
+TEST(FixedRank, PowerIterationImprovesSlowDecay) {
+  // Fig. 6 row "exponent": q = 1 pulls the error down to ≈ QP3 level.
+  const index_t m = 250, n = 100, k = 15;
+  auto tm = data::exponent_matrix<double>(m, n, 8);
+  const double e0 =
+      approximation_error(tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 0)));
+  const double e1 =
+      approximation_error(tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 1)));
+  const double e2 =
+      approximation_error(tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 2)));
+  EXPECT_LE(e1, e0 * 1.05);
+  EXPECT_LE(e2, e1 * 1.05);
+  // q = 2 should essentially reach σ_{k+1}.
+  EXPECT_LT(e2, 3.0 * tm.sigma[static_cast<std::size_t>(k)] / tm.sigma[0]);
+}
+
+TEST(FixedRank, OversamplingImprovesAccuracy) {
+  // §7: without oversampling the error norm was about an order of
+  // magnitude greater.
+  const index_t m = 300, n = 100, k = 12;
+  auto tm = data::exponent_matrix<double>(m, n, 9);
+  double worst_p0 = 0, worst_p10 = 0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    auto o0 = make_opts(k, 0, 0);
+    o0.seed = 1000 + s;
+    auto o10 = make_opts(k, 10, 0);
+    o10.seed = 1000 + s;
+    worst_p0 = std::max(worst_p0,
+                        approximation_error(tm.a.view(), fixed_rank(tm.a.view(), o0)));
+    worst_p10 = std::max(
+        worst_p10, approximation_error(tm.a.view(), fixed_rank(tm.a.view(), o10)));
+  }
+  EXPECT_LT(worst_p10, worst_p0);
+}
+
+TEST(FixedRank, MatchesQp3ErrorOrderOfMagnitude) {
+  // The headline Fig. 6 claim: q = 0 random sampling errors are the
+  // same order of magnitude as deterministic QP3.
+  const index_t m = 200, n = 80, k = 12;
+  auto tm = data::power_matrix<double>(m, n, 10);
+
+  // QP3 reference error.
+  auto a = Matrix<double>::copy_of(tm.a.view());
+  Permutation jpvt;
+  std::vector<double> tau;
+  qrcp::geqp3<double>(a.view(), jpvt, tau, k);
+  Matrix<double> r(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+  lapack::orgqr<double>(a.view(), tau, k);
+  Matrix<double> rec(m, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0,
+                     ConstMatrixView<double>(a.block(0, 0, m, k)), r.view(),
+                     0.0, rec.view());
+  Matrix<double> ap(m, n);
+  apply_column_permutation<double>(tm.a.view(), jpvt, ap.view());
+  Matrix<double> e(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) e(i, j) = ap(i, j) - rec(i, j);
+  const double qp3_err =
+      norm_fro<double>(e.view()) / norm_fro<double>(tm.a.view());
+
+  const double rs_err =
+      approximation_error(tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 0)));
+  EXPECT_LT(rs_err, 20.0 * qp3_err);
+  EXPECT_GT(rs_err, 0.05 * qp3_err);
+}
+
+TEST(FixedRank, FftSamplingComparableToGaussian) {
+  // §7: FFT sampling gave approximation errors of the same order.
+  const index_t m = 256, n = 90, k = 12;
+  auto tm = data::exponent_matrix<double>(m, n, 11);
+  const double eg = approximation_error(
+      tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 0, SamplingKind::Gaussian)));
+  const double ef = approximation_error(
+      tm.a.view(), fixed_rank(tm.a.view(), make_opts(k, 10, 0, SamplingKind::FFT)));
+  EXPECT_LT(ef, 20.0 * eg);
+  EXPECT_GT(ef, 0.05 * eg);
+}
+
+TEST(FixedRank, DeterministicForFixedSeed) {
+  const index_t m = 60, n = 40, k = 8;
+  auto a = random_matrix<double>(m, n, 203);
+  auto r1 = fixed_rank(a.view(), make_opts(k, 4, 1));
+  auto r2 = fixed_rank(a.view(), make_opts(k, 4, 1));
+  EXPECT_EQ(r1.perm, r2.perm);
+  EXPECT_LT(rel_diff<double>(r1.q.view(), r2.q.view()), 1e-15);
+  EXPECT_LT(rel_diff<double>(r1.r.view(), r2.r.view()), 1e-15);
+}
+
+TEST(FixedRank, SeedChangesSample) {
+  const index_t m = 60, n = 40, k = 8;
+  auto a = random_matrix<double>(m, n, 204);
+  auto o1 = make_opts(k, 4, 0);
+  auto o2 = make_opts(k, 4, 0);
+  o2.seed = o1.seed + 1;
+  auto r1 = fixed_rank(a.view(), o1);
+  auto r2 = fixed_rank(a.view(), o2);
+  EXPECT_GT(rel_diff<double>(r1.q.view(), r2.q.view()), 1e-8);
+}
+
+TEST(FixedRank, PhaseInstrumentationPopulated) {
+  const index_t m = 150, n = 80, k = 10;
+  auto a = random_matrix<double>(m, n, 205);
+  auto res = fixed_rank(a.view(), make_opts(k, 6, 2));
+  EXPECT_GT(res.phases.prng, 0.0);
+  EXPECT_GT(res.phases.sampling, 0.0);
+  EXPECT_GT(res.phases.gemm_iter, 0.0);
+  EXPECT_GT(res.phases.orth_iter, 0.0);
+  EXPECT_GT(res.phases.qrcp, 0.0);
+  EXPECT_GT(res.phases.qr, 0.0);
+  EXPECT_EQ(res.phases.comms, 0.0);  // single "device"
+  // Flop accounting: q = 2 gemm-iter flops = 2·q·(2·l·m·n).
+  const index_t l = k + 6;
+  EXPECT_NEAR(res.flops.gemm_iter, 2.0 * 2.0 * (2.0 * double(l) * m * n),
+              1e-6 * res.flops.gemm_iter);
+  EXPECT_NEAR(res.flops.sampling, 2.0 * double(l) * m * n, 1.0);
+}
+
+TEST(FixedRank, InvalidParametersThrow) {
+  auto a = random_matrix<double>(20, 10, 206);
+  EXPECT_THROW(fixed_rank(a.view(), make_opts(8, 5, 0)),
+               std::invalid_argument);  // k + p > min(m, n)
+}
+
+TEST(FixedRank, Q0NoIterationPhasesStayZero) {
+  auto a = random_matrix<double>(50, 30, 207);
+  auto res = fixed_rank(a.view(), make_opts(6, 4, 0));
+  EXPECT_EQ(res.phases.gemm_iter, 0.0);
+  EXPECT_EQ(res.phases.orth_iter, 0.0);
+  EXPECT_EQ(res.flops.gemm_iter, 0.0);
+}
+
+TEST(PowerIteration, MakesRowsOrthonormalAndConvergent) {
+  // After a few iterations the sampled basis should capture the dominant
+  // subspace: projection error → σ_{l+1}.
+  const index_t m = 200, n = 80, l = 10;
+  auto tm = data::exponent_matrix<double>(m, n, 12);
+  Matrix<double> omega = rng::gaussian_matrix<double>(l, m, 5);
+  Matrix<double> b(l, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, omega.view(),
+                     tm.a.view(), 0.0, b.view());
+  Matrix<double> c(l, m);
+  power_iteration(tm.a.view(), b.view(), c.view(), 0, l, 3,
+                  ortho::Scheme::CholQR2);
+  // POWER deliberately ends on the multiply B := C·A (Fig. 2a line 12),
+  // so B is not orthonormal on exit; C, whose last touch was the QR on
+  // line 10, is.
+  Matrix<double> g(l, l);
+  blas::gemm<double>(Op::NoTrans, Op::Trans, 1.0, c.view(), c.view(), 0.0,
+                     g.view());
+  for (index_t i = 0; i < l; ++i) EXPECT_NEAR(g(i, i), 1.0, 1e-10);
+  // Row space of B captures the dominant subspace: orthonormalize and
+  // check the projection error is close to optimal.
+  ortho::orthonormalize_rows<double>(ortho::Scheme::CholQR2, b.view());
+  const double err = projection_error(tm.a.view(), b.view());
+  EXPECT_LT(err, 5.0 * tm.sigma[static_cast<std::size_t>(l)] / tm.sigma[0]);
+}
+
+TEST(FinishFromSample, EquivalentToFixedRankTail) {
+  // Running Steps 2–3 on the sample produced by Step 1 must give the
+  // same factors as the integrated driver.
+  const index_t m = 90, n = 50, k = 8, p = 4;
+  auto a = random_matrix<double>(m, n, 208);
+  const index_t l = k + p;
+  Matrix<double> omega = rng::gaussian_matrix<double>(l, m, 20151115);
+  Matrix<double> b(l, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, omega.view(), a.view(),
+                     0.0, b.view());
+  auto manual = finish_from_sample(a.view(), b.view(), k);
+  auto integrated = fixed_rank(a.view(), make_opts(k, p, 0));
+  EXPECT_EQ(manual.perm, integrated.perm);
+  EXPECT_LT(rel_diff<double>(manual.r.view(), integrated.r.view()), 1e-13);
+}
+
+TEST(ProjectionError, ZeroForCompleteBasis) {
+  const index_t m = 40, n = 12;
+  auto a = random_matrix<double>(m, n, 209);
+  // Complete row basis: n×n identity.
+  auto eye = Matrix<double>::identity(n);
+  EXPECT_LT(projection_error(a.view(), eye.view()), 1e-12);
+}
+
+TEST(ApproximationError, MatchesManualResidual) {
+  const index_t m = 70, n = 40, k = 9;
+  auto a = random_matrix<double>(m, n, 210);
+  auto res = fixed_rank(a.view(), make_opts(k, 5, 1));
+  // Manual: ‖AP − QR‖₂/‖A‖₂.
+  Matrix<double> ap(m, n);
+  apply_column_permutation<double>(a.view(), res.perm, ap.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0, res.q.view(),
+                     res.r.view(), 1.0, ap.view());
+  const double manual =
+      norm_fro<double>(ap.view()) / norm_fro<double>(a.view());
+  EXPECT_NEAR(approximation_error(a.view(), res), manual, 1e-9 * manual);
+}
+
+// Property sweep: the Halko error bound holds across (k, q) combinations
+// on a matrix with known spectrum.
+class RsvdSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(RsvdSweep, ErrorWithinBoundOfOracle) {
+  auto [k, q] = GetParam();
+  const index_t m = 220, n = 90;
+  auto tm = data::power_matrix<double>(m, n, 13);
+  auto res = fixed_rank(tm.a.view(), make_opts(k, 10, q));
+  const double err = approximation_error(tm.a.view(), res);
+  const double opt = tm.sigma[static_cast<std::size_t>(k)] / tm.sigma[0];
+  // (1 + c)^{1/(2q+1)}·σ_{k+1}: generous deterministic-check factor.
+  EXPECT_LT(err, 30.0 * opt) << "k=" << k << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KQGrid, RsvdSweep,
+    ::testing::Combine(::testing::Values<index_t>(5, 15, 30),
+                       ::testing::Values<index_t>(0, 1, 2)));
+
+}  // namespace
+}  // namespace randla::rsvd

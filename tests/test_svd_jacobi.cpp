@@ -1,0 +1,114 @@
+// Unit tests for the one-sided Jacobi SVD oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas3.hpp"
+#include "la/householder.hpp"
+#include "la/svd_jacobi.hpp"
+#include "test_util.hpp"
+
+namespace randla::lapack {
+namespace {
+
+using testing::ortho_defect;
+using testing::random_low_rank;
+using testing::random_matrix;
+using testing::rel_diff;
+
+TEST(SvdJacobi, DiagonalMatrix) {
+  Matrix<double> a(4, 4);
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 4;
+  a(3, 3) = 2;
+  auto r = svd_jacobi<double>(a.view());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma[0], 4, 1e-13);
+  EXPECT_NEAR(r.sigma[1], 3, 1e-13);
+  EXPECT_NEAR(r.sigma[2], 2, 1e-13);
+  EXPECT_NEAR(r.sigma[3], 1, 1e-13);
+}
+
+TEST(SvdJacobi, KnownTwoByTwo) {
+  // A = [[1, 0], [0, 0]]: σ = (1, 0).
+  Matrix<double> a(2, 2, {1, 0, 0, 0});
+  auto s = singular_values<double>(a.view());
+  EXPECT_NEAR(s[0], 1.0, 1e-14);
+  EXPECT_NEAR(s[1], 0.0, 1e-14);
+}
+
+TEST(SvdJacobi, ReconstructsTall) {
+  const index_t m = 40, n = 12;
+  auto a = random_matrix<double>(m, n, 51);
+  auto r = svd_jacobi<double>(a.view());
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(ortho_defect<double>(r.u.view()), 1e-12);
+  EXPECT_LT(ortho_defect<double>(r.v.view()), 1e-12);
+  // Reconstruct U·diag(σ)·Vᵀ.
+  Matrix<double> us(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) us(i, j) = r.u(i, j) * r.sigma[j];
+  Matrix<double> rec(m, n);
+  blas::gemm<double>(Op::NoTrans, Op::Trans, 1.0, us.view(), r.v.view(), 0.0,
+                     rec.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), a.view()), 1e-12);
+}
+
+TEST(SvdJacobi, WideMatrixViaTranspose) {
+  const index_t m = 8, n = 30;
+  auto a = random_matrix<double>(m, n, 52);
+  auto r = svd_jacobi<double>(a.view());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.u.rows(), m);
+  EXPECT_EQ(r.v.rows(), n);
+  Matrix<double> us(m, m);
+  for (index_t j = 0; j < m; ++j)
+    for (index_t i = 0; i < m; ++i) us(i, j) = r.u(i, j) * r.sigma[j];
+  Matrix<double> rec(m, n);
+  blas::gemm<double>(Op::NoTrans, Op::Trans, 1.0, us.view(), r.v.view(), 0.0,
+                     rec.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), a.view()), 1e-12);
+}
+
+TEST(SvdJacobi, SingularValuesDescending) {
+  auto a = random_matrix<double>(25, 25, 53);
+  auto s = singular_values<double>(a.view());
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i - 1], s[i]);
+}
+
+TEST(SvdJacobi, DetectsNumericalRank) {
+  const index_t m = 30, n = 20, rank = 5;
+  auto a = random_low_rank<double>(m, n, rank, 54);
+  auto s = singular_values<double>(a.view());
+  EXPECT_GT(s[rank - 1], 1e-8 * s[0]);
+  for (index_t i = rank; i < n; ++i) EXPECT_LT(s[i], 1e-10 * s[0]);
+}
+
+TEST(SvdJacobi, OrthogonalInputGivesUnitSigmas) {
+  // QR of a random matrix gives orthonormal Q; all σ must be 1.
+  auto a = random_matrix<double>(30, 10, 55);
+  Matrix<double> r(10, 10);
+  qr_explicit<double>(a.view(), r.view());
+  auto s = singular_values<double>(ConstMatrixView<double>(a.view()));
+  for (double v : s) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(SvdJacobi, ZeroMatrix) {
+  Matrix<double> a(5, 3);
+  auto r = svd_jacobi<double>(a.view());
+  for (double v : r.sigma) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SvdJacobi, ScalingLinearity) {
+  auto a = random_matrix<double>(15, 10, 56);
+  auto s1 = singular_values<double>(a.view());
+  for (index_t j = 0; j < 10; ++j)
+    for (index_t i = 0; i < 15; ++i) a(i, j) *= 2.5;
+  auto s2 = singular_values<double>(a.view());
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_NEAR(s2[i], 2.5 * s1[i], 1e-10 * s1[0]);
+}
+
+}  // namespace
+}  // namespace randla::lapack

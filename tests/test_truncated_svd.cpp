@@ -1,0 +1,124 @@
+// Tests for the truncated-SVD finish (Halko et al. Alg. 5.1 on top of
+// the paper's Figure-2 factorization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/test_matrices.hpp"
+#include "la/blas3.hpp"
+#include "la/svd_jacobi.hpp"
+#include "rsvd/truncated_svd.hpp"
+#include "test_util.hpp"
+
+namespace randla::rsvd {
+namespace {
+
+using testing::ortho_defect;
+using testing::random_matrix;
+
+FixedRankOptions make_opts(index_t k, index_t p, index_t q) {
+  FixedRankOptions o;
+  o.k = k;
+  o.p = p;
+  o.q = q;
+  return o;
+}
+
+TEST(TruncatedSvd, ShapesAndOrthogonality) {
+  const index_t m = 150, n = 70, k = 12;
+  auto a = random_matrix<double>(m, n, 501);
+  auto res = truncated_svd(a.view(), make_opts(k, 6, 1));
+  EXPECT_EQ(res.u.rows(), m);
+  EXPECT_EQ(res.u.cols(), k);
+  EXPECT_EQ(res.v.rows(), n);
+  EXPECT_EQ(res.v.cols(), k);
+  ASSERT_EQ(res.sigma.size(), static_cast<std::size_t>(k));
+  EXPECT_LT(ortho_defect<double>(res.u.view()), 1e-11);
+  EXPECT_LT(ortho_defect<double>(res.v.view()), 1e-11);
+}
+
+TEST(TruncatedSvd, SigmasDescendingAndPositive) {
+  auto a = random_matrix<double>(100, 60, 502);
+  auto res = truncated_svd(a.view(), make_opts(10, 6, 1));
+  for (std::size_t i = 0; i < res.sigma.size(); ++i) {
+    EXPECT_GT(res.sigma[i], 0.0);
+    if (i > 0) EXPECT_LE(res.sigma[i], res.sigma[i - 1] * (1 + 1e-12));
+  }
+}
+
+TEST(TruncatedSvd, SigmasMatchOracleWithPowerIterations) {
+  // With q = 2 the leading singular value estimates should be within a
+  // percent of the true ones on a decaying spectrum.
+  const index_t m = 300, n = 120, k = 15;
+  auto tm = data::exponent_matrix<double>(m, n, 51);
+  auto res = truncated_svd(tm.a.view(), make_opts(k, 10, 2));
+  for (index_t i = 0; i < k; ++i) {
+    const double truth = tm.sigma[static_cast<std::size_t>(i)];
+    // Estimates near the truncation edge are biased a few percent low
+    // (they cannot capture the full invariant subspace); leading values
+    // are tight.
+    const double tol = (i < k - 5) ? 0.02 * truth : 0.10 * truth;
+    EXPECT_NEAR(res.sigma[static_cast<std::size_t>(i)], truth, tol)
+        << "sigma_" << i;
+    EXPECT_LE(res.sigma[static_cast<std::size_t>(i)], truth * (1 + 1e-10))
+        << "estimates must not exceed the true values (interlacing)";
+  }
+}
+
+TEST(TruncatedSvd, ReconstructionErrorNearOptimal) {
+  const index_t m = 250, n = 100, k = 20;
+  auto tm = data::exponent_matrix<double>(m, n, 52);
+  auto res = truncated_svd(tm.a.view(), make_opts(k, 10, 1));
+  double tail = 0, total = 0;
+  for (std::size_t i = 0; i < tm.sigma.size(); ++i) {
+    total += tm.sigma[i] * tm.sigma[i];
+    if (static_cast<index_t>(i) >= k) tail += tm.sigma[i] * tm.sigma[i];
+  }
+  const double opt = std::sqrt(tail / total);
+  const double err = svd_approximation_error(tm.a.view(), res);
+  EXPECT_GE(err, opt * 0.999);
+  EXPECT_LE(err, 3.0 * opt);
+}
+
+TEST(TruncatedSvd, ExactOnLowRank) {
+  const index_t m = 90, n = 50, rank = 5;
+  auto a = testing::random_low_rank<double>(m, n, rank, 503);
+  auto res = truncated_svd(a.view(), make_opts(rank, 5, 0));
+  EXPECT_LT(svd_approximation_error(a.view(), res), 1e-11);
+  // Trailing sigma are genuine (non-padded) values of the rank-5 matrix.
+  EXPECT_GT(res.sigma[static_cast<std::size_t>(rank - 1)],
+            1e-8 * res.sigma[0]);
+}
+
+TEST(TruncatedSvd, MatchesFixedRankError) {
+  // The SVD form is algebraically the same approximation as AP ≈ QR, so
+  // the two error measures must agree to rounding.
+  const index_t m = 120, n = 60, k = 10;
+  auto a = random_matrix<double>(m, n, 504);
+  auto opts = make_opts(k, 8, 1);
+  auto fr = fixed_rank(a.view(), opts);
+  auto ts = truncated_svd(a.view(), opts);
+  EXPECT_NEAR(svd_approximation_error(a.view(), ts),
+              approximation_error(a.view(), fr), 1e-10);
+}
+
+TEST(TruncatedSvd, SingularVectorsDiagonalizeA) {
+  // UᵀAV must be approximately diag(σ) in its leading block.
+  const index_t m = 200, n = 80, k = 8;
+  auto tm = data::exponent_matrix<double>(m, n, 53);
+  auto res = truncated_svd(tm.a.view(), make_opts(k, 10, 2));
+  Matrix<double> av(m, k);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, tm.a.view(),
+                     res.v.view(), 0.0, av.view());
+  Matrix<double> core(k, k);
+  blas::gemm<double>(Op::Trans, Op::NoTrans, 1.0, res.u.view(), av.view(),
+                     0.0, core.view());
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < k; ++i) {
+      const double want = (i == j) ? res.sigma[static_cast<std::size_t>(j)] : 0.0;
+      EXPECT_NEAR(core(i, j), want, 2e-2 * res.sigma[0]) << i << "," << j;
+    }
+}
+
+}  // namespace
+}  // namespace randla::rsvd
