@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qrcp.dir/bench_ablation_qrcp.cpp.o"
+  "CMakeFiles/bench_ablation_qrcp.dir/bench_ablation_qrcp.cpp.o.d"
+  "bench_ablation_qrcp"
+  "bench_ablation_qrcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qrcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

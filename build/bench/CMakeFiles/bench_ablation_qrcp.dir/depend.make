@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_qrcp.
+# This may be replaced when dependencies are built.

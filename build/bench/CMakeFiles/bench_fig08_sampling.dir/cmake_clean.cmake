@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_sampling.dir/bench_fig08_sampling.cpp.o"
+  "CMakeFiles/bench_fig08_sampling.dir/bench_fig08_sampling.cpp.o.d"
+  "bench_fig08_sampling"
+  "bench_fig08_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_shortwide.dir/bench_fig09_shortwide.cpp.o"
+  "CMakeFiles/bench_fig09_shortwide.dir/bench_fig09_shortwide.cpp.o.d"
+  "bench_fig09_shortwide"
+  "bench_fig09_shortwide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_shortwide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

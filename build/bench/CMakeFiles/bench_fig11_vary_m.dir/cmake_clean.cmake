@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vary_m.dir/bench_fig11_vary_m.cpp.o"
+  "CMakeFiles/bench_fig11_vary_m.dir/bench_fig11_vary_m.cpp.o.d"
+  "bench_fig11_vary_m"
+  "bench_fig11_vary_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vary_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vary_l.dir/bench_fig13_vary_l.cpp.o"
+  "CMakeFiles/bench_fig13_vary_l.dir/bench_fig13_vary_l.cpp.o.d"
+  "bench_fig13_vary_l"
+  "bench_fig13_vary_l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vary_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_vary_l.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vary_q.dir/bench_fig14_vary_q.cpp.o"
+  "CMakeFiles/bench_fig14_vary_q.dir/bench_fig14_vary_q.cpp.o.d"
+  "bench_fig14_vary_q"
+  "bench_fig14_vary_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vary_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

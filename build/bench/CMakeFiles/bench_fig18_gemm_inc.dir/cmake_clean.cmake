@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_gemm_inc.dir/bench_fig18_gemm_inc.cpp.o"
+  "CMakeFiles/bench_fig18_gemm_inc.dir/bench_fig18_gemm_inc.cpp.o.d"
+  "bench_fig18_gemm_inc"
+  "bench_fig18_gemm_inc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_gemm_inc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tolerance.dir/adaptive_tolerance.cpp.o"
+  "CMakeFiles/adaptive_tolerance.dir/adaptive_tolerance.cpp.o.d"
+  "adaptive_tolerance"
+  "adaptive_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_clustering.dir/population_clustering.cpp.o"
+  "CMakeFiles/population_clustering.dir/population_clustering.cpp.o.d"
+  "population_clustering"
+  "population_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_compression.dir/spectral_compression.cpp.o"
+  "CMakeFiles/spectral_compression.dir/spectral_compression.cpp.o.d"
+  "spectral_compression"
+  "spectral_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/distributions.cpp" "src/CMakeFiles/randla.dir/data/distributions.cpp.o" "gcc" "src/CMakeFiles/randla.dir/data/distributions.cpp.o.d"
+  "/root/repo/src/data/test_matrices.cpp" "src/CMakeFiles/randla.dir/data/test_matrices.cpp.o" "gcc" "src/CMakeFiles/randla.dir/data/test_matrices.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/randla.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/randla.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/la/blas1.cpp" "src/CMakeFiles/randla.dir/la/blas1.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/blas1.cpp.o.d"
+  "/root/repo/src/la/blas2.cpp" "src/CMakeFiles/randla.dir/la/blas2.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/blas2.cpp.o.d"
+  "/root/repo/src/la/blas3.cpp" "src/CMakeFiles/randla.dir/la/blas3.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/blas3.cpp.o.d"
+  "/root/repo/src/la/cholesky.cpp" "src/CMakeFiles/randla.dir/la/cholesky.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/cholesky.cpp.o.d"
+  "/root/repo/src/la/householder.cpp" "src/CMakeFiles/randla.dir/la/householder.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/householder.cpp.o.d"
+  "/root/repo/src/la/norms.cpp" "src/CMakeFiles/randla.dir/la/norms.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/norms.cpp.o.d"
+  "/root/repo/src/la/parallel.cpp" "src/CMakeFiles/randla.dir/la/parallel.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/parallel.cpp.o.d"
+  "/root/repo/src/la/svd_jacobi.cpp" "src/CMakeFiles/randla.dir/la/svd_jacobi.cpp.o" "gcc" "src/CMakeFiles/randla.dir/la/svd_jacobi.cpp.o.d"
+  "/root/repo/src/model/perfmodel.cpp" "src/CMakeFiles/randla.dir/model/perfmodel.cpp.o" "gcc" "src/CMakeFiles/randla.dir/model/perfmodel.cpp.o.d"
+  "/root/repo/src/ortho/mixed_cholqr.cpp" "src/CMakeFiles/randla.dir/ortho/mixed_cholqr.cpp.o" "gcc" "src/CMakeFiles/randla.dir/ortho/mixed_cholqr.cpp.o.d"
+  "/root/repo/src/ortho/ortho.cpp" "src/CMakeFiles/randla.dir/ortho/ortho.cpp.o" "gcc" "src/CMakeFiles/randla.dir/ortho/ortho.cpp.o.d"
+  "/root/repo/src/ortho/tsqr.cpp" "src/CMakeFiles/randla.dir/ortho/tsqr.cpp.o" "gcc" "src/CMakeFiles/randla.dir/ortho/tsqr.cpp.o.d"
+  "/root/repo/src/qrcp/caqp3.cpp" "src/CMakeFiles/randla.dir/qrcp/caqp3.cpp.o" "gcc" "src/CMakeFiles/randla.dir/qrcp/caqp3.cpp.o.d"
+  "/root/repo/src/qrcp/qrcp.cpp" "src/CMakeFiles/randla.dir/qrcp/qrcp.cpp.o" "gcc" "src/CMakeFiles/randla.dir/qrcp/qrcp.cpp.o.d"
+  "/root/repo/src/rng/gaussian.cpp" "src/CMakeFiles/randla.dir/rng/gaussian.cpp.o" "gcc" "src/CMakeFiles/randla.dir/rng/gaussian.cpp.o.d"
+  "/root/repo/src/rsvd/adaptive.cpp" "src/CMakeFiles/randla.dir/rsvd/adaptive.cpp.o" "gcc" "src/CMakeFiles/randla.dir/rsvd/adaptive.cpp.o.d"
+  "/root/repo/src/rsvd/rsvd.cpp" "src/CMakeFiles/randla.dir/rsvd/rsvd.cpp.o" "gcc" "src/CMakeFiles/randla.dir/rsvd/rsvd.cpp.o.d"
+  "/root/repo/src/rsvd/truncated_svd.cpp" "src/CMakeFiles/randla.dir/rsvd/truncated_svd.cpp.o" "gcc" "src/CMakeFiles/randla.dir/rsvd/truncated_svd.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/randla.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/randla.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/multi_gpu.cpp" "src/CMakeFiles/randla.dir/sim/multi_gpu.cpp.o" "gcc" "src/CMakeFiles/randla.dir/sim/multi_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norms.dir/test_norms.cpp.o"
+  "CMakeFiles/test_norms.dir/test_norms.cpp.o.d"
+  "test_norms"
+  "test_norms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

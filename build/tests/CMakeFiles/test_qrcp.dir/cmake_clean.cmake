@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrcp.dir/test_qrcp.cpp.o"
+  "CMakeFiles/test_qrcp.dir/test_qrcp.cpp.o.d"
+  "test_qrcp"
+  "test_qrcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsvd.dir/test_rsvd.cpp.o"
+  "CMakeFiles/test_rsvd.dir/test_rsvd.cpp.o.d"
+  "test_rsvd"
+  "test_rsvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svd_jacobi.dir/test_svd_jacobi.cpp.o"
+  "CMakeFiles/test_svd_jacobi.dir/test_svd_jacobi.cpp.o.d"
+  "test_svd_jacobi"
+  "test_svd_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svd_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truncated_svd.dir/test_truncated_svd.cpp.o"
+  "CMakeFiles/test_truncated_svd.dir/test_truncated_svd.cpp.o.d"
+  "test_truncated_svd"
+  "test_truncated_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truncated_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
