@@ -12,8 +12,9 @@
 
 using namespace randla;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 11", "time vs number of rows m (n fixed)");
+  bench::JsonReport report("fig11_vary_m", argc, argv);
   const index_t k = 54, p = 10, q = 1, l = k + p;
   const index_t n = bench::scaled(1000, 200);
 
@@ -28,6 +29,11 @@ int main() {
     const double t_rs = bench::rs_breakdown_row(a.view(), k, p, q, label);
     const double t_qp3 = bench::time_qp3(a.view(), k);
     std::printf(" %9.4f %7.1fx\n", t_qp3, t_qp3 / t_rs);
+    report.row("measured")
+        .set("m", mm)
+        .set("n", n)
+        .set("t_rs", t_rs)
+        .set("t_qp3", t_qp3);
     ms_list.push_back(double(mm));
     rs_t.push_back(t_rs);
     qp3_t.push_back(t_qp3);
@@ -75,6 +81,13 @@ int main() {
                 (long long)m, rs1.total(), qp3.seconds,
                 qp3.seconds / rs1.total(), rs0.total(),
                 qp3.seconds / rs0.total(), 100.0 * step1);
+    report.row("modeled")
+        .set("m", m)
+        .set("n", index_t(2500))
+        .set("t_rs_q1", rs1.total())
+        .set("t_rs_q0", rs0.total())
+        .set("t_qp3", qp3.seconds)
+        .set("step1_share", step1);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

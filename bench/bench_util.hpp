@@ -15,7 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "la/blas2.hpp"
@@ -124,5 +127,81 @@ inline void rs_breakdown_header() {
   std::printf("%8s %8s %8s %8s %8s %8s %8s %9s %9s %8s\n", "", "PRNG", "Sampl",
               "GEMMit", "Orthit", "QRCP", "QR", "RStotal", "QP3", "speedup");
 }
+
+// ---------------------------------------------------------------------
+// Machine-readable results: every bench accepting (argc, argv) can emit
+// its series as JSON with `--json <path>` so the perf trajectory
+// (BENCH_*.json files) can be tracked run over run. Without the flag the
+// report is a no-op and benches print exactly what they always printed.
+
+/// One measurement row: ordered key → number-or-string pairs.
+class JsonRow {
+ public:
+  JsonRow& set(const char* key, double v) {
+    vals_.emplace_back(key, v);
+    return *this;
+  }
+  JsonRow& set(const char* key, index_t v) { return set(key, double(v)); }
+  JsonRow& set(const char* key, const std::string& v) {
+    vals_.emplace_back(key, v);
+    return *this;
+  }
+
+ private:
+  friend class JsonReport;
+  std::vector<std::pair<std::string, std::variant<double, std::string>>> vals_;
+};
+
+class JsonReport {
+ public:
+  /// Parses `--json <path>` out of argv; disabled when absent.
+  JsonReport(const char* bench_name, int argc, char** argv)
+      : name_(bench_name) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  JsonRow& row(const char* series) {
+    rows_.emplace_back();
+    rows_.back().first = series;
+    return rows_.back().second;
+  }
+
+  /// Write {"bench":..., "scale":..., "rows":[...]} to the --json path.
+  /// Returns false (with a message) if the file cannot be written.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%g,\"rows\":[", name_.c_str(),
+                 bench_scale());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {\"series\":\"%s\"", r ? "," : "",
+                   rows_[r].first.c_str());
+      for (const auto& [key, val] : rows_[r].second.vals_) {
+        if (const double* d = std::get_if<double>(&val))
+          std::fprintf(f, ",\"%s\":%.9g", key.c_str(), *d);
+        else
+          std::fprintf(f, ",\"%s\":\"%s\"", key.c_str(),
+                       std::get<std::string>(val).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, JsonRow>> rows_;
+};
 
 }  // namespace randla::bench

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   1. tier-1: default (Release) build + the full ctest suite;
+#   2. the randla_serve replay, whose exit code self-checks that the
+#      serving runtime demonstrated cache hits, backpressure, and the
+#      retry policy on a 120-job workload;
+#   3. concurrency: the runtime tests rebuilt with -fsanitize=thread
+#      (the `tsan` preset) so every scheduler/queue/cache lock and
+#      atomic is exercised under ThreadSanitizer.
+set -eu
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: default config, full test suite =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+echo "== serving replay self-check (randla_serve) =="
+./build/examples/randla_serve --jobs 120
+
+echo "== concurrency: ThreadSanitizer stress =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS" --target test_runtime_stress test_runtime
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime_stress
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+
+echo "CI OK"

@@ -1,0 +1,150 @@
+// randla_serve — replay a synthetic serving workload through the
+// concurrent batch-serving runtime and print its structured telemetry.
+//
+// The workload mixes fixed-rank requests (with repeated matrices and
+// rank refinements that hit the result/sketch cache), fixed-accuracy
+// adaptive jobs, QP3 baseline jobs, and a few ill-conditioned inputs
+// that trip CholQR breakdown and the scheduler's retry escalation.
+// Jobs are submitted in bursts against a deliberately small admission
+// queue, so some are shed with QueueFull (backpressure) and re-submitted
+// once after the burst drains — exactly how a client should react.
+//
+//   randla_serve [--jobs N] [--workers N] [--queue N] [--burst N]
+//                [--deadline SECONDS] [--traces PATH]
+//
+// See README.md §randla_serve for the telemetry JSON schema.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/workload.hpp"
+
+using namespace randla;
+
+int main(int argc, char** argv) {
+  int jobs = 120, workers = 2, queue = 8, burst = 16;
+  double deadline = 0;
+  std::string traces_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--jobs")) jobs = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--workers")) workers = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--queue")) queue = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--burst")) burst = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--deadline")) deadline = std::atof(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--traces")) traces_path = argv[i + 1];
+    else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
+  }
+
+  runtime::WorkloadOptions wo;
+  wo.num_jobs = jobs;
+  const runtime::Workload w = runtime::make_workload(wo);
+
+  runtime::SchedulerOptions so;
+  so.num_workers = workers;
+  so.queue_capacity = static_cast<std::size_t>(queue);
+  so.default_deadline_s = deadline;
+  runtime::Scheduler sched(so);
+
+  std::printf("randla_serve: %d jobs, %d workers, queue high-water %d, "
+              "burst %d%s\n",
+              jobs, workers, queue, burst,
+              deadline > 0 ? " (deadline set)" : "");
+
+  // Burst submission with one client-side retry for shed jobs.
+  std::uint64_t rejected_first_try = 0, rejected_final = 0;
+  std::vector<std::shared_ptr<runtime::JobHandle>> handles;
+  for (std::size_t base = 0; base < w.jobs.size();
+       base += static_cast<std::size_t>(burst)) {
+    const std::size_t end =
+        std::min(w.jobs.size(), base + static_cast<std::size_t>(burst));
+    std::vector<std::size_t> shed;
+    for (std::size_t i = base; i < end; ++i) {
+      auto sub = sched.submit(w.jobs[i]);
+      if (sub.status == runtime::PushStatus::QueueFull) {
+        ++rejected_first_try;
+        shed.push_back(i);
+      }
+      handles.push_back(std::move(sub.handle));
+    }
+    // Let the burst drain, then re-offer shed jobs; a well-behaved
+    // client keeps backing off until admission succeeds.
+    for (std::size_t i : shed) {
+      for (int attempt = 0;; ++attempt) {
+        sched.drain();
+        auto sub = sched.submit(w.jobs[i]);
+        if (sub.status == runtime::PushStatus::Ok || attempt == 9) {
+          if (sub.status != runtime::PushStatus::Ok) ++rejected_final;
+          handles.push_back(std::move(sub.handle));
+          break;
+        }
+      }
+    }
+  }
+  sched.drain();
+
+  const auto summary = sched.telemetry().summarize();
+  std::printf("\n-- run summary ------------------------------------------\n");
+  std::printf("%s\n", summary.to_json().c_str());
+
+  std::printf("\n-- interpretation ---------------------------------------\n");
+  std::printf("backpressure: %llu shed at first try, %llu after retry\n",
+              static_cast<unsigned long long>(rejected_first_try),
+              static_cast<unsigned long long>(rejected_final));
+  std::printf("robustness:   %llu CholQR-breakdown retries, %llu degraded\n",
+              static_cast<unsigned long long>(summary.retries),
+              static_cast<unsigned long long>(summary.degraded));
+  const auto sk = sched.sketch_cache_stats();
+  const auto rc = sched.result_cache_stats();
+  std::printf("caches:       sketch %llu/%llu hits, result %llu/%llu hits\n",
+              static_cast<unsigned long long>(sk.hits),
+              static_cast<unsigned long long>(sk.hits + sk.misses),
+              static_cast<unsigned long long>(rc.hits),
+              static_cast<unsigned long long>(rc.hits + rc.misses));
+  if (summary.exec_mean_miss > 0) {
+    if (summary.exec_mean_result > 0)
+      std::printf("cache speedup: result hits %.0fx faster than misses "
+                  "(%.4fs vs %.4fs per job)\n",
+                  summary.exec_mean_miss / summary.exec_mean_result,
+                  summary.exec_mean_result, summary.exec_mean_miss);
+    if (summary.exec_mean_sketch > 0)
+      std::printf("cache speedup: sketch hits %.1fx faster than misses "
+                  "(%.4fs vs %.4fs per job)\n",
+                  summary.exec_mean_miss / summary.exec_mean_sketch,
+                  summary.exec_mean_sketch, summary.exec_mean_miss);
+  }
+  for (const auto& ws : sched.worker_stats())
+    std::printf("worker %d:     %llu jobs, %.3fs busy (real), %.4fs modeled "
+                "K40c time\n",
+                ws.worker, static_cast<unsigned long long>(ws.jobs), ws.busy_s,
+                ws.modeled_s);
+
+  if (!traces_path.empty()) {
+    if (std::FILE* f = std::fopen(traces_path.c_str(), "w")) {
+      const std::string json = sched.telemetry().traces_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %zu traces to %s\n",
+                  sched.telemetry().traces().size(), traces_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", traces_path.c_str());
+      return 1;
+    }
+  }
+
+  // Exit code doubles as a self-check when replayed in CI: the run must
+  // demonstrate cache hits, backpressure, and the retry policy.
+  const bool saw_cache_hit = sk.hits + rc.hits > 0;
+  const bool saw_backpressure = rejected_first_try > 0;
+  const bool saw_retry = summary.retries > 0;
+  if (!saw_cache_hit || !saw_backpressure || !saw_retry) {
+    std::fprintf(stderr,
+                 "expected cache hit (%d), backpressure (%d), retry (%d)\n",
+                 int(saw_cache_hit), int(saw_backpressure), int(saw_retry));
+    return 1;
+  }
+  return 0;
+}

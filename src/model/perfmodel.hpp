@@ -117,4 +117,13 @@ struct Qp3Estimate {
 Qp3Estimate estimate_qp3(const DeviceSpec& spec, index_t m, index_t n,
                          index_t k);
 
+/// Largest power-iteration count q' ≤ q_requested whose modeled
+/// fixed-rank time fits `budget_seconds` (modeled device seconds).
+/// Returns q_requested when even the full plan fits and 0 when nothing
+/// does — the serving runtime's graceful-degradation knob: q trades
+/// accuracy for time without changing the output shape.
+index_t max_power_iters_within(const DeviceSpec& spec, index_t m, index_t n,
+                               index_t l, index_t q_requested,
+                               double budget_seconds);
+
 }  // namespace randla::model

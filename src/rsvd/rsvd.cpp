@@ -157,8 +157,9 @@ void steps_2_and_3(ConstMatrixView<double> a, ConstMatrixView<double> b,
 
 }  // namespace
 
-FixedRankResult fixed_rank(ConstMatrixView<double> a,
-                           const FixedRankOptions& opts) {
+Matrix<double> compute_sample(ConstMatrixView<double> a,
+                              const FixedRankOptions& opts, PhaseTimes* phases,
+                              PhaseFlops* flops_out, int* cholqr_fallbacks) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   if (opts.k <= 0) throw std::invalid_argument("fixed_rank: k must be positive");
@@ -168,35 +169,52 @@ FixedRankResult fixed_rank(ConstMatrixView<double> a,
   if (l > std::min(m, n))
     throw std::invalid_argument("fixed_rank: k + p exceeds min(m, n)");
 
-  FixedRankResult res;
+  PhaseTimes local_t;
+  PhaseFlops local_f;
 
   // ---- Step 1: sampling.
   Matrix<double> b(l, n);
   if (opts.sampling == SamplingKind::Gaussian) {
     Matrix<double> omega;
     {
-      PhaseTimer t(res.phases.prng);
+      PhaseTimer t(local_t.prng);
       omega = rng::gaussian_matrix<double>(l, m, opts.seed);
-      res.flops.prng += double(l) * double(m);
+      local_f.prng += double(l) * double(m);
     }
     {
-      PhaseTimer t(res.phases.sampling);
+      PhaseTimer t(local_t.sampling);
       blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
                  ConstMatrixView<double>(omega.view()), a, 0.0, b.view());
-      res.flops.sampling += flops::gemm(l, n, m);
+      local_f.sampling += flops::gemm(l, n, m);
     }
   } else {
-    PhaseTimer t(res.phases.sampling);
+    PhaseTimer t(local_t.sampling);
     b = fft::fft_sample_rows(a, l, opts.seed);
-    res.flops.sampling += double(n) * flops::fft(fft::next_pow2(m));
+    local_f.sampling += double(n) * flops::fft(fft::next_pow2(m));
   }
 
   // ---- Step 1 (cont.): power iterations with re-orthogonalization.
   if (opts.q > 0) {
     Matrix<double> c(l, m);
     power_iteration(a, b.view(), c.view(), 0, l, opts.q, opts.power_ortho,
-                    &res.phases, &res.flops, &res.cholqr_fallbacks);
+                    &local_t, &local_f, cholqr_fallbacks);
   }
+
+  if (phases) *phases += local_t;
+  if (flops_out) {
+    flops_out->prng += local_f.prng;
+    flops_out->sampling += local_f.sampling;
+    flops_out->gemm_iter += local_f.gemm_iter;
+    flops_out->orth_iter += local_f.orth_iter;
+  }
+  return b;
+}
+
+FixedRankResult fixed_rank(ConstMatrixView<double> a,
+                           const FixedRankOptions& opts) {
+  FixedRankResult res;
+  Matrix<double> b = compute_sample(a, opts, &res.phases, &res.flops,
+                                    &res.cholqr_fallbacks);
 
   // ---- Steps 2 and 3.
   steps_2_and_3(a, ConstMatrixView<double>(b.view()), opts.k, opts.qrcp_block,

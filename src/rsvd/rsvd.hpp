@@ -62,6 +62,17 @@ void power_iteration(ConstMatrixView<double> a, MatrixView<double> b,
                      ortho::Scheme scheme, PhaseTimes* phases = nullptr,
                      PhaseFlops* flops = nullptr, int* fallbacks = nullptr);
 
+/// Step 1 of Figure 2(b) on its own: the ℓ×n sampled matrix B after the
+/// initial sampling (Gaussian GEMM or FFT) and q power iterations. B is
+/// a pure function of (A, opts minus k/qrcp_block) — it is the cheap,
+/// reusable object the serving runtime caches, since any k ≤ ℓ can be
+/// finished from the same B via finish_from_sample.
+Matrix<double> compute_sample(ConstMatrixView<double> a,
+                              const FixedRankOptions& opts,
+                              PhaseTimes* phases = nullptr,
+                              PhaseFlops* flops = nullptr,
+                              int* cholqr_fallbacks = nullptr);
+
 /// Steps 2–3 of Figure 2(b) applied to an already-computed sampled
 /// matrix B (ℓ×n): truncated QP3 of B, then QR of A·P₁:k and the
 /// triangular assembly of R.

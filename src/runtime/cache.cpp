@@ -1,0 +1,26 @@
+#include "runtime/cache.hpp"
+
+namespace randla::runtime {
+
+SketchKey make_sketch_key(const Fingerprint& matrix,
+                          const rsvd::FixedRankOptions& opts) {
+  SketchKey key;
+  key.matrix = matrix;
+  key.seed = opts.seed;
+  key.q = opts.q;
+  key.sampling = static_cast<std::uint8_t>(opts.sampling);
+  key.power_ortho = static_cast<std::uint8_t>(opts.power_ortho);
+  return key;
+}
+
+ResultKey make_result_key(const Fingerprint& matrix,
+                          const rsvd::FixedRankOptions& opts) {
+  ResultKey key;
+  key.plan = make_sketch_key(matrix, opts);
+  key.k = opts.k;
+  key.p = opts.p;
+  key.qrcp_block = opts.qrcp_block;
+  return key;
+}
+
+}  // namespace randla::runtime

@@ -1,0 +1,58 @@
+#include "runtime/fingerprint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "rng/philox.hpp"
+
+namespace randla::runtime {
+
+std::string Fingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+PhiloxHasher::PhiloxHasher(std::uint64_t seed)
+    : hi_(seed), lo_(~seed * 0x9E3779B97F4A7C15ull) {}
+
+void PhiloxHasher::absorb(std::uint64_t word) {
+  // The word keys the cipher; the running state plus the position is the
+  // plaintext block. Feeding the position defeats trivial collisions of
+  // permuted inputs with a zero state.
+  const rng::Philox4x32::Counter c =
+      rng::Philox4x32::at(/*seed=*/word ^ lo_, /*stream=*/hi_, /*index=*/count_);
+  hi_ ^= (static_cast<std::uint64_t>(c[0]) << 32) | c[1];
+  lo_ ^= (static_cast<std::uint64_t>(c[2]) << 32) | c[3];
+  ++count_;
+}
+
+void PhiloxHasher::absorb_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  absorb(bits);
+}
+
+Fingerprint PhiloxHasher::digest() const {
+  // One finalization block so digests of prefixes differ from digests of
+  // the full stream.
+  PhiloxHasher fin = *this;
+  fin.absorb(0x66696e616cull ^ count_);  // "final"
+  return Fingerprint{fin.hi_, fin.lo_};
+}
+
+Fingerprint fingerprint_matrix(ConstMatrixView<double> a) {
+  PhiloxHasher h;
+  h.absorb(static_cast<std::uint64_t>(a.rows()));
+  h.absorb(static_cast<std::uint64_t>(a.cols()));
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (index_t i = 0; i < a.rows(); ++i) h.absorb_double(c[i]);
+  }
+  return h.digest();
+}
+
+}  // namespace randla::runtime

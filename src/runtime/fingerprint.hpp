@@ -1,0 +1,72 @@
+// fingerprint.hpp — content fingerprints for the serving runtime's
+// caches.
+//
+// The cache key must identify a matrix by *contents*, not by pointer:
+// two users uploading the same A must hit the same cached sketch, and a
+// reallocated buffer must not alias a stale entry. We reuse the
+// library's Philox4x32 block cipher as the mixing function — each
+// absorbed 64-bit word keys a 10-round Philox block over a running
+// 128-bit state, which gives strong diffusion with code we already
+// trust for bitwise reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace randla::runtime {
+
+/// 128-bit content hash.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator!=(const Fingerprint& o) const { return !(*this == o); }
+
+  std::string hex() const;
+};
+
+/// Streaming hasher absorbing 64-bit words through Philox rounds.
+class PhiloxHasher {
+ public:
+  explicit PhiloxHasher(std::uint64_t seed = 0x72616e646c61ull);  // "randla"
+
+  void absorb(std::uint64_t word);
+  void absorb_double(double v);
+
+  Fingerprint digest() const;
+
+ private:
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+  std::uint64_t count_ = 0;
+};
+
+/// Fingerprint of a matrix's shape and contents (bit pattern of every
+/// entry, column-major order). O(m·n) Philox blocks — computed once per
+/// uploaded matrix and memoized by MatrixHandle.
+Fingerprint fingerprint_matrix(ConstMatrixView<double> a);
+
+/// An input matrix paired with its content fingerprint, shared between
+/// jobs. Construct once per upload; every job referencing the handle
+/// reuses the digest (and therefore the cache lineage) for free.
+class FingerprintedMatrix {
+ public:
+  explicit FingerprintedMatrix(Matrix<double> data)
+      : data_(std::move(data)), fp_(fingerprint_matrix(data_.view())) {}
+
+  ConstMatrixView<double> view() const { return data_.view(); }
+  index_t rows() const { return data_.rows(); }
+  index_t cols() const { return data_.cols(); }
+  const Fingerprint& fingerprint() const { return fp_; }
+
+ private:
+  Matrix<double> data_;
+  Fingerprint fp_;
+};
+
+}  // namespace randla::runtime

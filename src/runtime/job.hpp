@@ -1,0 +1,121 @@
+// job.hpp — typed work units for the serving runtime.
+//
+// A Job wraps one of the library's decomposition entry points
+// (rsvd::fixed_rank, rsvd::fixed_accuracy, qrcp baseline) around a
+// shared fingerprinted input matrix, plus serving metadata (deadline,
+// tag). Submission returns a JobHandle the caller can block on; the
+// outcome carries the factorization and the per-job telemetry trace.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+
+#include "qrcp/qrcp.hpp"
+#include "rsvd/adaptive.hpp"
+#include "rsvd/rsvd.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace randla::runtime {
+
+using MatrixHandle = std::shared_ptr<const FingerprintedMatrix>;
+
+/// Convenience: wrap (and fingerprint) an owned matrix for submission.
+inline MatrixHandle make_input(Matrix<double> a) {
+  return std::make_shared<const FingerprintedMatrix>(std::move(a));
+}
+
+/// Fixed-rank random sampling request (paper Fig. 2).
+struct FixedRankJob {
+  MatrixHandle a;
+  rsvd::FixedRankOptions opts;
+};
+
+/// Fixed-accuracy request via the adaptive-ℓ scheme (paper Fig. 3).
+struct AdaptiveJob {
+  MatrixHandle a;
+  rsvd::AdaptiveOptions opts;
+};
+
+/// Deterministic truncated-QP3 baseline request (paper §2).
+struct QrcpJob {
+  MatrixHandle a;
+  index_t k = 50;
+  index_t block = 32;
+};
+
+struct Job {
+  std::variant<FixedRankJob, AdaptiveJob, QrcpJob> payload;
+  /// Wall-clock budget from submission to completion, seconds. 0 uses
+  /// the scheduler default; negative disables the deadline outright.
+  double deadline_s = 0;
+  std::string tag;  ///< free-form label copied into the trace
+};
+
+inline JobKind job_kind(const Job& job) {
+  if (std::holds_alternative<FixedRankJob>(job.payload))
+    return JobKind::FixedRank;
+  if (std::holds_alternative<AdaptiveJob>(job.payload))
+    return JobKind::Adaptive;
+  return JobKind::Qrcp;
+}
+
+inline const MatrixHandle& job_matrix(const Job& job) {
+  if (const auto* f = std::get_if<FixedRankJob>(&job.payload)) return f->a;
+  if (const auto* s = std::get_if<AdaptiveJob>(&job.payload)) return s->a;
+  return std::get<QrcpJob>(job.payload).a;
+}
+
+/// Everything a finished (or failed/rejected/expired) job leaves behind.
+/// Exactly one of the result pointers is set for successful jobs.
+struct JobOutcome {
+  JobStatus status = JobStatus::Pending;
+  std::shared_ptr<const rsvd::FixedRankResult> fixed_rank;
+  std::shared_ptr<const rsvd::AdaptiveResult> adaptive;
+  std::shared_ptr<const qrcp::QrcpFactors<double>> qrcp;
+  std::string error;
+  JobTrace trace;
+};
+
+/// Future-like handle: the scheduler fulfills it exactly once.
+class JobHandle {
+ public:
+  explicit JobHandle(std::uint64_t id) { outcome_.trace.job_id = id; }
+
+  std::uint64_t id() const { return outcome_.trace.job_id; }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return fulfilled_;
+  }
+
+  /// Block until the outcome is available and return it.
+  const JobOutcome& wait() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return fulfilled_; });
+    return outcome_;
+  }
+
+  /// Scheduler-side: publish the outcome and wake waiters.
+  void fulfill(JobOutcome outcome) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      outcome.trace.job_id = outcome_.trace.job_id;
+      outcome_ = std::move(outcome);
+      fulfilled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool fulfilled_ = false;
+  JobOutcome outcome_;
+};
+
+}  // namespace randla::runtime

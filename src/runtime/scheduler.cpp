@@ -1,0 +1,324 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace randla::runtime {
+
+namespace {
+
+/// Next stabler power-iteration orthogonalization after a breakdown.
+ortho::Scheme escalate(ortho::Scheme s) {
+  switch (s) {
+    case ortho::Scheme::CholQR: return ortho::Scheme::CholQR2;
+    case ortho::Scheme::CholQR2: return ortho::Scheme::HHQR;
+    default: return s;  // already unconditionally stable
+  }
+}
+
+bool escalatable(ortho::Scheme s) {
+  return s == ortho::Scheme::CholQR || s == ortho::Scheme::CholQR2;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions opts)
+    : opts_(std::move(opts)),
+      ctx_(std::make_unique<sim::MultiDeviceContext>(
+          std::max(1, opts_.num_workers), opts_.spec)),
+      queue_(opts_.queue_capacity),
+      sketches_(opts_.enable_cache ? opts_.sketch_cache_capacity : 0),
+      results_(opts_.enable_cache ? opts_.result_cache_capacity : 0),
+      start_(std::chrono::steady_clock::now()) {
+  const int n = ctx_->num_devices();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Scheduler::~Scheduler() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+double Scheduler::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+int Scheduler::num_workers() const { return ctx_->num_devices(); }
+
+std::vector<WorkerStats> Scheduler::worker_stats() const {
+  std::vector<WorkerStats> out;
+  for (int i = 0; i < ctx_->num_devices(); ++i) {
+    auto& dev = ctx_->device(i);
+    out.push_back(WorkerStats{i, dev.tasks_run(), dev.busy_seconds(),
+                              dev.modeled_time()});
+  }
+  return out;
+}
+
+double Scheduler::calibration() const {
+  std::lock_guard<std::mutex> lk(calib_mu_);
+  return calib_real_per_modeled_;
+}
+
+void Scheduler::observe_calibration(double real_s, double modeled_s) {
+  if (modeled_s <= 1e-12 || real_s <= 0) return;
+  std::lock_guard<std::mutex> lk(calib_mu_);
+  calib_real_per_modeled_ =
+      0.8 * calib_real_per_modeled_ + 0.2 * (real_s / modeled_s);
+}
+
+SubmitResult Scheduler::submit(Job job) {
+  auto handle = std::make_shared<JobHandle>(next_id_.fetch_add(1));
+  const double submit_s = now();
+  const std::string tag = job.tag;
+  const JobKind kind = job_kind(job);
+
+  // Count the job in-flight *before* pushing: a worker may fulfill it
+  // (and decrement) before try_push even returns.
+  inflight_.fetch_add(1);
+  const PushStatus st =
+      queue_.try_push(PendingJob{std::move(job), handle, submit_s});
+  if (st != PushStatus::Ok) {
+    // Shed at the door: record the rejection and fulfill immediately so
+    // callers can wait() on every handle uniformly.
+    JobOutcome outcome;
+    outcome.status = JobStatus::Rejected;
+    outcome.error = st == PushStatus::QueueFull ? "queue at high-water mark"
+                                                : "scheduler shutting down";
+    outcome.trace.status = JobStatus::Rejected;
+    outcome.trace.tag = tag;
+    outcome.trace.kind = kind;
+    outcome.trace.submit_s = submit_s;
+    outcome.trace.error = outcome.error;
+    outcome.trace.job_id = handle->id();
+    telemetry_.record(outcome.trace);
+    handle->fulfill(std::move(outcome));
+    inflight_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
+    }
+    drain_cv_.notify_all();
+  }
+  return SubmitResult{st, std::move(handle)};
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [this] { return inflight_.load() == 0; });
+}
+
+void Scheduler::worker_loop(int widx) {
+  auto& dev = ctx_->device(widx);
+  for (;;) {
+    auto pending = queue_.pop();
+    if (!pending) return;
+    const double queue_wait = now() - pending->submit_s;
+
+    JobOutcome outcome;
+    // Run on the simulated device's own thread, like a kernel launch:
+    // the worker blocks until its device finishes, so each device runs
+    // one job at a time while distinct devices overlap.
+    dev.submit([&] { outcome = execute(pending->job, widx, queue_wait); })
+        .get();
+
+    outcome.trace.job_id = pending->handle->id();
+    outcome.trace.tag = pending->job.tag;
+    outcome.trace.kind = job_kind(pending->job);
+    outcome.trace.submit_s = pending->submit_s;
+    outcome.trace.queue_wait_s = queue_wait;
+    outcome.trace.worker = widx;
+    dev.charge(outcome.trace.modeled_s);
+
+    telemetry_.record(outcome.trace);
+    pending->handle->fulfill(std::move(outcome));
+    inflight_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait) {
+  (void)widx;
+  JobOutcome outcome;
+  JobTrace& trace = outcome.trace;
+
+  double deadline = job.deadline_s;
+  if (deadline == 0) deadline = opts_.default_deadline_s;
+  if (deadline < 0) deadline = 0;
+  trace.deadline_s = deadline;
+
+  if (deadline > 0 && queue_wait >= deadline) {
+    outcome.status = trace.status = JobStatus::Expired;
+    outcome.error = trace.error = "deadline exceeded while queued";
+    return outcome;
+  }
+  const double remaining = deadline > 0 ? deadline - queue_wait : 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    if (const auto* fj = std::get_if<FixedRankJob>(&job.payload)) {
+      outcome = run_fixed_rank(*fj, trace, remaining);
+    } else if (const auto* aj = std::get_if<AdaptiveJob>(&job.payload)) {
+      auto res = std::make_shared<rsvd::AdaptiveResult>(
+          rsvd::adaptive_sample(aj->a->view(), aj->opts));
+      trace.phases = res->phases;
+      trace.flops = res->flops;
+      trace.cholqr_fallbacks = res->cholqr_fallbacks;
+      trace.q_requested = trace.q_used = aj->opts.q;
+      const index_t final_l =
+          res->trace.empty() ? aj->opts.l_init : res->trace.back().l;
+      trace.modeled_s = model::estimate_random_sampling(
+                            opts_.spec, aj->a->rows(), aj->a->cols(), final_l,
+                            aj->opts.q)
+                            .total();
+      outcome.adaptive = std::move(res);
+      outcome.status = trace.status = JobStatus::Done;
+    } else {
+      const auto& qj = std::get<QrcpJob>(job.payload);
+      rsvd::PhaseTimer t(trace.phases.qrcp);
+      auto fac = std::make_shared<qrcp::QrcpFactors<double>>(
+          qrcp::qrcp_truncated<double>(qj.a->view(), qj.k, qj.block));
+      trace.flops.qrcp = fac->stats.flops_blas2 + fac->stats.flops_blas3;
+      trace.modeled_s =
+          model::estimate_qp3(opts_.spec, qj.a->rows(), qj.a->cols(), qj.k)
+              .seconds;
+      outcome.qrcp = std::move(fac);
+      outcome.status = trace.status = JobStatus::Done;
+    }
+  } catch (const std::exception& e) {
+    outcome.status = trace.status = JobStatus::Failed;
+    outcome.error = trace.error = e.what();
+  }
+  trace.exec_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return outcome;
+}
+
+JobOutcome Scheduler::run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
+                                     double remaining_s) {
+  JobOutcome outcome;
+  outcome.trace = trace;  // keep deadline fields already filled
+  JobTrace& tr = outcome.trace;
+
+  const index_t m = fj.a->rows();
+  const index_t n = fj.a->cols();
+  rsvd::FixedRankOptions opts = fj.opts;
+  tr.q_requested = opts.q;
+
+  // Graceful degradation: if the modeled plan does not fit the remaining
+  // deadline budget, shed power iterations first — they dominate the
+  // cost (each iteration re-pays the sampling GEMM twice) and only
+  // refine accuracy, never the output shape.
+  if (remaining_s > 0 && opts_.enable_degradation && opts.q > 0) {
+    const double budget_modeled = remaining_s / calibration();
+    const index_t q_fit = model::max_power_iters_within(
+        opts_.spec, m, n, opts.k + opts.p, opts.q, budget_modeled);
+    if (q_fit < opts.q) {
+      opts.q = q_fit;
+      tr.degraded = true;
+    }
+  }
+
+  // Bounded retry: escalate the power-iteration orthogonalization while
+  // the *sampling stage* reports CholQR breakdowns (the kernel already
+  // rescued itself with HHQR, but the stabler scheme avoids the
+  // breakdown entirely on the re-run). Cache hits are trusted as-is.
+  for (;;) {
+    auto pass = fixed_rank_pass(fj, opts, tr);
+    tr.q_used = opts.q;
+    tr.cholqr_fallbacks = pass.res->cholqr_fallbacks;
+    if (tr.cache != CacheDisposition::Result && pass.step1_fallbacks > 0 &&
+        escalatable(opts.power_ortho) && tr.retries < opts_.max_retries) {
+      ++tr.retries;
+      opts.power_ortho = escalate(opts.power_ortho);
+      continue;
+    }
+    outcome.fixed_rank = std::move(pass.res);
+    break;
+  }
+  // An escalated run cached itself under the escalated plan; publish it
+  // under the *requested* plan too, so identical fragile requests are
+  // served from cache instead of re-walking the retry ladder.
+  if (tr.retries > 0 && opts_.enable_cache) {
+    results_.put(make_result_key(fj.a->fingerprint(), fj.opts),
+                 outcome.fixed_rank);
+  }
+  outcome.status = tr.status = JobStatus::Done;
+  return outcome;
+}
+
+Scheduler::PassResult Scheduler::fixed_rank_pass(
+    const FixedRankJob& fj, const rsvd::FixedRankOptions& opts,
+    JobTrace& trace) {
+  const auto a = fj.a->view();
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t l = opts.k + opts.p;
+  const auto& fp = fj.a->fingerprint();
+  PassResult out;
+
+  // With caching disabled the ctor gave both caches capacity 0: every
+  // get misses and every put is a no-op, so one code path serves both
+  // modes; only the trace disposition differs.
+  const ResultKey rkey = make_result_key(fp, opts);
+  if (auto hit = results_.get(rkey)) {
+    trace.cache = CacheDisposition::Result;
+    trace.modeled_s = 0;  // nothing recomputed
+    out.res = hit;
+    return out;
+  }
+
+  const SketchKey skey = make_sketch_key(fp, opts);
+  std::shared_ptr<const SketchEntry> sketch = sketches_.get(skey);
+  std::shared_ptr<rsvd::FixedRankResult> res;
+  const auto full_est =
+      model::estimate_random_sampling(opts_.spec, m, n, l, opts.q);
+
+  if (sketch && sketch->b.rows() >= l) {
+    // Rank-refined or repeated request: Steps 2–3 only, on the cached
+    // (possibly wider) sample. A wider B can only improve the subspace.
+    // Step-1 breakdowns were settled when the sketch was computed.
+    res = std::make_shared<rsvd::FixedRankResult>(
+        rsvd::finish_from_sample(a, sketch->b.view(), opts.k,
+                                 opts.qrcp_block));
+    trace.cache = CacheDisposition::Sketch;
+    trace.modeled_s = full_est.qrcp + full_est.qr;
+  } else {
+    // Miss (or a narrower sketch than needed): full Step 1, publishing
+    // the fresh sample for later rank refinements, then Steps 2–3.
+    auto entry = std::make_shared<SketchEntry>();
+    entry->b = rsvd::compute_sample(a, opts, &entry->phases, &entry->flops,
+                                    &entry->cholqr_fallbacks);
+    sketches_.put(skey, entry);
+    res = std::make_shared<rsvd::FixedRankResult>(
+        rsvd::finish_from_sample(a, entry->b.view(), opts.k,
+                                 opts.qrcp_block));
+    res->phases += entry->phases;
+    res->flops.prng += entry->flops.prng;
+    res->flops.sampling += entry->flops.sampling;
+    res->flops.gemm_iter += entry->flops.gemm_iter;
+    res->flops.orth_iter += entry->flops.orth_iter;
+    res->cholqr_fallbacks += entry->cholqr_fallbacks;
+    out.step1_fallbacks = entry->cholqr_fallbacks;
+    trace.cache = opts_.enable_cache ? CacheDisposition::Miss
+                                     : CacheDisposition::None;
+    trace.modeled_s = full_est.total();
+    observe_calibration(res->phases.total(), trace.modeled_s);
+  }
+
+  trace.phases = res->phases;
+  trace.flops = res->flops;
+  results_.put(rkey, res);
+  out.res = std::move(res);
+  return out;
+}
+
+}  // namespace randla::runtime

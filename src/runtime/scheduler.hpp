@@ -1,0 +1,139 @@
+// scheduler.hpp — concurrent batch-serving runtime (see DESIGN.md §7).
+//
+// A Scheduler owns a bounded admission queue and one worker per
+// simulated device of a sim::MultiDeviceContext. Producers submit typed
+// Jobs and immediately get a JobHandle plus a reject-on-full
+// backpressure verdict; workers pop jobs and execute them *on the
+// device's thread* (charging modeled K40c time to the device's virtual
+// clock), consulting the two-level sketch/result cache for fixed-rank
+// requests.
+//
+// Robustness policy per job:
+//   * deadline — a job whose queue wait already exceeds its deadline
+//     expires without running; a tight-but-live deadline degrades the
+//     plan to fewer power iterations per the model::perfmodel estimate
+//     (scaled by an online real/modeled calibration factor);
+//   * retry — if a run reports CholQR breakdown (cholqr_fallbacks > 0),
+//     the job is re-run with the next stabler orthogonalization
+//     (CholQR → CholQR2 → HHQR), bounded by max_retries.
+// Every decision lands in the job's telemetry trace.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/perfmodel.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/job.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/telemetry.hpp"
+#include "sim/multi_gpu.hpp"
+
+namespace randla::runtime {
+
+struct SchedulerOptions {
+  int num_workers = 2;              ///< simulated devices == worker threads
+  std::size_t queue_capacity = 64;  ///< high-water mark: reject past this
+  double default_deadline_s = 0;    ///< per-job deadline when job says 0
+  std::size_t sketch_cache_capacity = 32;
+  std::size_t result_cache_capacity = 64;
+  int max_retries = 2;              ///< CholQR-breakdown escalations
+  bool enable_cache = true;
+  bool enable_degradation = true;
+  model::DeviceSpec spec;           ///< modeled device for every worker
+};
+
+struct SubmitResult {
+  PushStatus status = PushStatus::Ok;
+  /// Always non-null; for rejected submissions it is already fulfilled
+  /// with JobStatus::Rejected so callers can treat all paths uniformly.
+  std::shared_ptr<JobHandle> handle;
+};
+
+/// Per-worker utilization snapshot (device counters + virtual clock).
+struct WorkerStats {
+  int worker = 0;
+  std::uint64_t jobs = 0;
+  double busy_s = 0;     ///< real seconds inside jobs
+  double modeled_s = 0;  ///< modeled K40c seconds charged
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opts = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Non-blocking admission. QueueFull / Closed submissions never enter
+  /// the queue; their handle is fulfilled immediately.
+  SubmitResult submit(Job job);
+
+  /// Block until every accepted job has been fulfilled.
+  void drain();
+
+  /// Seconds since the scheduler started (the trace time base).
+  double now() const;
+
+  TelemetrySink& telemetry() { return telemetry_; }
+  CacheStats sketch_cache_stats() const { return sketches_.stats(); }
+  CacheStats result_cache_stats() const { return results_.stats(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  int num_workers() const;
+  std::vector<WorkerStats> worker_stats() const;
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  struct PendingJob {
+    Job job;
+    std::shared_ptr<JobHandle> handle;
+    double submit_s = 0;
+  };
+
+  void worker_loop(int widx);
+  JobOutcome execute(const Job& job, int widx, double queue_wait);
+  JobOutcome run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
+                            double remaining_s);
+  /// One cache-aware fixed-rank pass with the given (possibly escalated
+  /// or degraded) options. step1_fallbacks reports CholQR breakdowns in
+  /// the *sampling* stage only — the signal the retry policy escalates
+  /// on (Step-3 breakdowns are already rescued by an unconditionally
+  /// stable scheme and cannot be improved by changing power_ortho).
+  struct PassResult {
+    std::shared_ptr<const rsvd::FixedRankResult> res;
+    int step1_fallbacks = 0;
+  };
+  PassResult fixed_rank_pass(const FixedRankJob& fj,
+                             const rsvd::FixedRankOptions& opts,
+                             JobTrace& trace);
+
+  double calibration() const;
+  void observe_calibration(double real_s, double modeled_s);
+
+  SchedulerOptions opts_;
+  std::unique_ptr<sim::MultiDeviceContext> ctx_;
+  BoundedQueue<PendingJob> queue_;
+  SketchCache sketches_;
+  ResultCache results_;
+  TelemetrySink telemetry_;
+
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::atomic<int> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  mutable std::mutex calib_mu_;
+  double calib_real_per_modeled_ = 1.0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace randla::runtime

@@ -1,0 +1,217 @@
+#include "runtime/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace randla::runtime {
+
+const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::FixedRank: return "fixed_rank";
+    case JobKind::Adaptive: return "adaptive";
+    case JobKind::Qrcp: return "qrcp";
+  }
+  return "?";
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::Pending: return "pending";
+    case JobStatus::Done: return "done";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Rejected: return "rejected";
+    case JobStatus::Expired: return "expired";
+  }
+  return "?";
+}
+
+const char* cache_disposition_name(CacheDisposition d) {
+  switch (d) {
+    case CacheDisposition::None: return "none";
+    case CacheDisposition::Miss: return "miss";
+    case CacheDisposition::Sketch: return "sketch";
+    case CacheDisposition::Result: return "result";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.6g,", key, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%llu,", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += escape(v);
+  out += "\",";
+}
+
+void close_object(std::string& out) {
+  if (!out.empty() && out.back() == ',') out.pop_back();
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const JobTrace& t) {
+  std::string out = "{";
+  append_kv(out, "job_id", static_cast<std::uint64_t>(t.job_id));
+  append_kv(out, "tag", t.tag);
+  append_kv(out, "kind", std::string(job_kind_name(t.kind)));
+  append_kv(out, "status", std::string(job_status_name(t.status)));
+  append_kv(out, "worker", double(t.worker));
+  append_kv(out, "submit_s", t.submit_s);
+  append_kv(out, "queue_wait_s", t.queue_wait_s);
+  append_kv(out, "exec_s", t.exec_s);
+  append_kv(out, "modeled_s", t.modeled_s);
+  out += "\"phases\":{";
+  append_kv(out, "prng", t.phases.prng);
+  append_kv(out, "sampling", t.phases.sampling);
+  append_kv(out, "gemm_iter", t.phases.gemm_iter);
+  append_kv(out, "orth_iter", t.phases.orth_iter);
+  append_kv(out, "qrcp", t.phases.qrcp);
+  append_kv(out, "qr", t.phases.qr);
+  append_kv(out, "comms", t.phases.comms);
+  close_object(out);
+  out += ',';
+  append_kv(out, "flops", t.flops.total());
+  append_kv(out, "cache", std::string(cache_disposition_name(t.cache)));
+  append_kv(out, "retries", double(t.retries));
+  append_kv(out, "cholqr_fallbacks", double(t.cholqr_fallbacks));
+  out += t.degraded ? "\"degraded\":true," : "\"degraded\":false,";
+  append_kv(out, "q_requested", double(t.q_requested));
+  append_kv(out, "q_used", double(t.q_used));
+  append_kv(out, "deadline_s", t.deadline_s);
+  if (!t.error.empty()) append_kv(out, "error", t.error);
+  close_object(out);
+  return out;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      double(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - double(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void TelemetrySink::record(JobTrace trace) {
+  std::lock_guard<std::mutex> lk(mu_);
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<JobTrace> TelemetrySink::traces() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return traces_;
+}
+
+std::string TelemetrySink::traces_json() const {
+  const auto all = traces();
+  std::string out = "[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out += "\n  ";
+    out += to_json(all[i]);
+    if (i + 1 < all.size()) out += ',';
+  }
+  out += "\n]";
+  return out;
+}
+
+TelemetrySummary TelemetrySink::summarize() const {
+  const auto all = traces();
+  TelemetrySummary s;
+  s.total = all.size();
+  std::vector<double> waits, execs;
+  double sum_miss = 0, sum_sketch = 0, sum_result = 0;
+  std::uint64_t n_miss = 0, n_sketch = 0, n_result = 0;
+  for (const auto& t : all) {
+    ++s.by_status[job_status_name(t.status)];
+    ++s.by_cache[cache_disposition_name(t.cache)];
+    s.retries += static_cast<std::uint64_t>(t.retries);
+    if (t.degraded) ++s.degraded;
+    if (t.status != JobStatus::Done) continue;
+    waits.push_back(t.queue_wait_s);
+    execs.push_back(t.exec_s);
+    switch (t.cache) {
+      case CacheDisposition::Miss: sum_miss += t.exec_s; ++n_miss; break;
+      case CacheDisposition::Sketch: sum_sketch += t.exec_s; ++n_sketch; break;
+      case CacheDisposition::Result: sum_result += t.exec_s; ++n_result; break;
+      case CacheDisposition::None: break;
+    }
+  }
+  s.queue_wait_p50 = percentile(waits, 50);
+  s.queue_wait_p90 = percentile(waits, 90);
+  s.queue_wait_p99 = percentile(waits, 99);
+  s.exec_p50 = percentile(execs, 50);
+  s.exec_p90 = percentile(execs, 90);
+  s.exec_p99 = percentile(execs, 99);
+  if (n_miss) s.exec_mean_miss = sum_miss / double(n_miss);
+  if (n_sketch) s.exec_mean_sketch = sum_sketch / double(n_sketch);
+  if (n_result) s.exec_mean_result = sum_result / double(n_result);
+  return s;
+}
+
+std::string TelemetrySummary::to_json() const {
+  std::string out = "{";
+  append_kv(out, "total", total);
+  out += "\"by_status\":{";
+  for (const auto& [k, v] : by_status) append_kv(out, k.c_str(), v);
+  close_object(out);
+  out += ",\"by_cache\":{";
+  for (const auto& [k, v] : by_cache) append_kv(out, k.c_str(), v);
+  close_object(out);
+  out += ',';
+  append_kv(out, "retries", retries);
+  append_kv(out, "degraded", degraded);
+  append_kv(out, "queue_wait_p50", queue_wait_p50);
+  append_kv(out, "queue_wait_p90", queue_wait_p90);
+  append_kv(out, "queue_wait_p99", queue_wait_p99);
+  append_kv(out, "exec_p50", exec_p50);
+  append_kv(out, "exec_p90", exec_p90);
+  append_kv(out, "exec_p99", exec_p99);
+  append_kv(out, "exec_mean_miss", exec_mean_miss);
+  append_kv(out, "exec_mean_sketch", exec_mean_sketch);
+  append_kv(out, "exec_mean_result", exec_mean_result);
+  close_object(out);
+  return out;
+}
+
+}  // namespace randla::runtime

@@ -1,0 +1,130 @@
+#include "runtime/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "la/blas3.hpp"
+#include "rng/gaussian.hpp"
+#include "rng/philox.hpp"
+
+namespace randla::runtime {
+
+namespace {
+
+/// Dense m×n with numerical rank r: Gaussian (m×r)·(r×n) product.
+Matrix<double> low_rank_matrix(index_t m, index_t n, index_t r,
+                               std::uint64_t seed) {
+  Matrix<double> left = rng::gaussian_matrix<double>(m, r, seed);
+  Matrix<double> right = rng::gaussian_matrix<double>(r, n, seed + 1);
+  Matrix<double> out(m, n);
+  blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
+             ConstMatrixView<double>(left.view()),
+             ConstMatrixView<double>(right.view()), 0.0, out.view());
+  return out;
+}
+
+std::string job_tag(const char* kind, int matrix, long long k) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s/mat%d/k%lld", kind, matrix, k);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Workload make_workload(const WorkloadOptions& opts) {
+  Workload w;
+  rng::Philox4x32 dice(opts.seed, /*stream=*/0xB0B);
+
+  // Distinct well-conditioned inputs: full-rank Gaussian matrices so
+  // CholQR never breaks down on them.
+  for (int i = 0; i < opts.num_matrices; ++i) {
+    w.matrices.push_back(make_input(
+        rng::gaussian_matrix<double>(opts.m, opts.n, opts.seed + 100 + i)));
+  }
+  // One severely rank-deficient matrix: its sample B has a singular Gram
+  // matrix, so plain CholQR breaks down and exercises the retry path.
+  const index_t tiny_rank = std::max<index_t>(2, opts.ranks.front() / 2);
+  w.deficient = make_input(
+      low_rank_matrix(opts.m, opts.n, tiny_rank, opts.seed + 999));
+
+  // Request history for repeats: (matrix index, rank) pairs.
+  std::vector<std::pair<int, index_t>> history;
+  auto uniform = [&] { return dice.next_uniform(); };
+  auto pick_rank = [&] {
+    return opts.ranks[dice.next_u32() % opts.ranks.size()];
+  };
+  auto pick_matrix = [&] {
+    return static_cast<int>(dice.next_u32() % w.matrices.size());
+  };
+
+  for (int j = 0; j < opts.num_jobs; ++j) {
+    const double roll = uniform();
+    Job job;
+    if (roll < opts.breakdown_fraction) {
+      // Ill-conditioned fixed-rank request on the deficient matrix with
+      // the fragile scheme; the scheduler escalates on breakdown.
+      FixedRankJob fj;
+      fj.a = w.deficient;
+      fj.opts.k = opts.ranks.front();
+      fj.opts.p = opts.p;
+      fj.opts.q = std::max<index_t>(1, opts.q);
+      fj.opts.power_ortho = ortho::Scheme::CholQR;
+      fj.opts.seed = opts.seed + 7;
+      job.tag = job_tag("breakdown", -1, (long long)fj.opts.k);
+      job.payload = std::move(fj);
+    } else if (roll < opts.breakdown_fraction + opts.adaptive_fraction) {
+      AdaptiveJob aj;
+      const int mi = pick_matrix();
+      aj.a = w.matrices[static_cast<std::size_t>(mi)];
+      aj.opts.epsilon = 0.5;
+      aj.opts.relative = true;
+      aj.opts.l_init = 8;
+      aj.opts.l_inc = 8;
+      aj.opts.l_max = std::min(opts.m, opts.n) / 2;
+      aj.opts.seed = opts.seed + 11;
+      job.tag = job_tag("adaptive", mi, 0);
+      job.payload = std::move(aj);
+    } else if (roll < opts.breakdown_fraction + opts.adaptive_fraction +
+                          opts.qrcp_fraction) {
+      QrcpJob qj;
+      const int mi = pick_matrix();
+      qj.a = w.matrices[static_cast<std::size_t>(mi)];
+      qj.k = pick_rank();
+      job.tag = job_tag("qrcp", mi, (long long)qj.k);
+      job.payload = std::move(qj);
+    } else {
+      // Fixed-rank traffic: fresh, repeated, or rank-refined.
+      int mi;
+      index_t k;
+      const double mix = uniform();
+      if (!history.empty() && mix < opts.repeat_fraction) {
+        const auto& prev =
+            history[dice.next_u32() % history.size()];
+        mi = prev.first;
+        k = prev.second;  // exact repeat → result-cache hit
+      } else if (!history.empty() &&
+                 mix < opts.repeat_fraction + opts.rank_refine_fraction) {
+        const auto& prev =
+            history[dice.next_u32() % history.size()];
+        mi = prev.first;
+        k = pick_rank();  // same matrix, new rank → sketch-cache hit
+      } else {
+        mi = pick_matrix();
+        k = pick_rank();
+      }
+      FixedRankJob fj;
+      fj.a = w.matrices[static_cast<std::size_t>(mi)];
+      fj.opts.k = k;
+      fj.opts.p = opts.p;
+      fj.opts.q = opts.q;
+      fj.opts.seed = opts.seed;  // shared seed: the sketch is reusable
+      job.tag = job_tag("fixed", mi, (long long)k);
+      job.payload = std::move(fj);
+      history.emplace_back(mi, k);
+    }
+    w.jobs.push_back(std::move(job));
+  }
+  return w;
+}
+
+}  // namespace randla::runtime

@@ -1,0 +1,46 @@
+// workload.hpp — deterministic synthetic workload traces for the
+// serving runtime.
+//
+// Models the traffic mix the ROADMAP's serving scenario cares about:
+// many users requesting low-rank factorizations where *matrices repeat*
+// (same dataset queried by many users → result-cache hits), ranks get
+// refined on a matrix already sketched (→ sketch-cache hits), a slice of
+// fixed-accuracy and QP3-baseline requests, and a small fraction of
+// ill-conditioned inputs that trip CholQR breakdown (→ retry policy).
+// Everything derives from a Philox stream, so a trace is a pure function
+// of its options.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace randla::runtime {
+
+struct WorkloadOptions {
+  int num_jobs = 120;
+  int num_matrices = 5;     ///< distinct uploaded matrices
+  index_t m = 600;          ///< rows of each matrix
+  index_t n = 240;          ///< cols of each matrix
+  std::vector<index_t> ranks = {8, 16, 32};
+  index_t p = 8;            ///< oversampling for fixed-rank jobs
+  index_t q = 1;            ///< power iterations
+  double repeat_fraction = 0.45;       ///< re-issue an earlier request verbatim
+  double rank_refine_fraction = 0.15;  ///< same matrix, different rank
+  double adaptive_fraction = 0.08;     ///< fixed-accuracy jobs
+  double qrcp_fraction = 0.08;         ///< deterministic QP3 baseline jobs
+  double breakdown_fraction = 0.06;    ///< rank-deficient input + CholQR
+  std::uint64_t seed = 2026;
+};
+
+struct Workload {
+  std::vector<MatrixHandle> matrices;  ///< well-conditioned inputs
+  MatrixHandle deficient;              ///< rank-deficient breakdown trigger
+  std::vector<Job> jobs;               ///< submission order
+};
+
+/// Build the matrices and the job sequence (deterministic in opts).
+Workload make_workload(const WorkloadOptions& opts);
+
+}  // namespace randla::runtime

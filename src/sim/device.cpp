@@ -1,6 +1,7 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace randla::sim {
@@ -18,7 +19,19 @@ Device::~Device() {
 }
 
 std::future<void> Device::submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
+  // Counters update inside the packaged task so they are already visible
+  // when the returned future unblocks (a caller may read tasks_run()
+  // right after .get() — e.g. scheduler worker stats after drain()).
+  std::packaged_task<void()> task([this, fn = std::move(fn)] {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      fn();
+    } catch (...) {
+      account(t0);
+      throw;
+    }
+    account(t0);
+  });
   auto fut = task.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -27,6 +40,15 @@ std::future<void> Device::submit(std::function<void()> fn) {
   }
   cv_.notify_all();
   return fut;
+}
+
+void Device::account(std::chrono::steady_clock::time_point t0) {
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::lock_guard<std::mutex> lk(clock_mu_);
+  ++tasks_run_;
+  busy_seconds_ += dt;
 }
 
 void Device::synchronize() {
@@ -47,6 +69,16 @@ double Device::modeled_time() const {
 void Device::advance_to(double t) {
   std::lock_guard<std::mutex> lk(clock_mu_);
   modeled_time_ = std::max(modeled_time_, t);
+}
+
+std::uint64_t Device::tasks_run() const {
+  std::lock_guard<std::mutex> lk(clock_mu_);
+  return tasks_run_;
+}
+
+double Device::busy_seconds() const {
+  std::lock_guard<std::mutex> lk(clock_mu_);
+  return busy_seconds_;
 }
 
 void Device::worker_loop() {

@@ -10,7 +10,9 @@
 // meaningful even on a single-core host.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -49,8 +51,15 @@ class Device {
   /// points: a device that finished early waits for the slowest one).
   void advance_to(double t);
 
+  /// Utilization counters for the serving runtime's telemetry.
+  std::uint64_t tasks_run() const;
+  /// Real wall-clock seconds this device's thread spent inside tasks.
+  double busy_seconds() const;
+
  private:
   void worker_loop();
+  /// Bump tasks_run_/busy_seconds_ for a task started at `t0`.
+  void account(std::chrono::steady_clock::time_point t0);
 
   const int id_;
   const model::DeviceSpec spec_;
@@ -64,6 +73,8 @@ class Device {
 
   mutable std::mutex clock_mu_;
   double modeled_time_ = 0;
+  std::uint64_t tasks_run_ = 0;
+  double busy_seconds_ = 0;
 
   std::thread thread_;
 };

@@ -47,6 +47,7 @@ class MultiDeviceContext {
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+  const model::DeviceSpec& spec() const { return spec_; }
 
   /// A distributed in 1D block-row format (device i owns rows
   /// [offset[i], offset[i+1])).

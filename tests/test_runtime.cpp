@@ -1,0 +1,369 @@
+// test_runtime.cpp — serving runtime: fingerprints, bounded queue,
+// LRU caches, and the scheduler's determinism / backpressure /
+// cache-equivalence / retry / deadline policies (DESIGN.md §7).
+#include "test_util.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/cache.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/workload.hpp"
+#include "rsvd/rsvd.hpp"
+
+namespace {
+
+using namespace randla;
+using namespace randla::runtime;
+
+/// Bitwise equality — the determinism contract is exact, not approximate.
+bool bitwise_equal(ConstMatrixView<double> x, ConstMatrixView<double> y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i)
+      if (x(i, j) != y(i, j)) return false;
+  return true;
+}
+
+TEST(Fingerprint, DeterministicAndContentSensitive) {
+  auto a = randla::testing::random_matrix<double>(40, 17, 7);
+  auto b = randla::testing::random_matrix<double>(40, 17, 7);
+  const auto fa = fingerprint_matrix(ConstMatrixView<double>(a.view()));
+  const auto fb = fingerprint_matrix(ConstMatrixView<double>(b.view()));
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(fa.hex(), fb.hex());
+
+  b(13, 5) = std::nextafter(b(13, 5), 2.0);  // one-ulp flip changes the digest
+  const auto fb2 = fingerprint_matrix(ConstMatrixView<double>(b.view()));
+  EXPECT_FALSE(fa == fb2);
+
+  // Same bytes, different shape.
+  auto c = randla::testing::random_matrix<double>(17, 40, 7);
+  const auto fc = fingerprint_matrix(ConstMatrixView<double>(c.view()));
+  EXPECT_FALSE(fa == fc);
+}
+
+TEST(BoundedQueue, BackpressureRejectsPastHighWater) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), PushStatus::Ok);
+  EXPECT_EQ(q.try_push(2), PushStatus::Ok);
+  EXPECT_EQ(q.try_push(3), PushStatus::QueueFull);
+  EXPECT_EQ(q.size(), 2u);
+
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_EQ(q.try_push(3), PushStatus::Ok);
+
+  q.close();
+  EXPECT_EQ(q.try_push(4), PushStatus::Closed);
+  // A closed queue still drains what it already accepted.
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(LruCache, EvictsLeastRecentAndCountsStats) {
+  LruCache<int, int, std::hash<int>> cache(2);
+  cache.put(1, std::make_shared<int>(10));
+  cache.put(2, std::make_shared<int>(20));
+  ASSERT_TRUE(cache.get(1));  // 1 becomes most-recent
+  cache.put(3, std::make_shared<int>(30));
+  EXPECT_FALSE(cache.get(2));  // 2 was the LRU victim
+  EXPECT_TRUE(cache.get(1));
+  EXPECT_TRUE(cache.get(3));
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.evictions, 1u);
+
+  // Capacity 0 disables the cache outright: puts are dropped.
+  LruCache<int, int, std::hash<int>> off(0);
+  off.put(1, std::make_shared<int>(10));
+  EXPECT_FALSE(off.get(1));
+  EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(CacheKeys, SketchKeyIgnoresRankButResultKeyDoesNot) {
+  auto a = randla::testing::random_matrix<double>(30, 12, 3);
+  const auto fp = fingerprint_matrix(ConstMatrixView<double>(a.view()));
+
+  rsvd::FixedRankOptions o1, o2;
+  o1.k = 8;
+  o1.p = 10;
+  o2.k = 12;
+  o2.p = 6;  // same plan, different (k, p) split
+  EXPECT_TRUE(make_sketch_key(fp, o1) == make_sketch_key(fp, o2));
+  EXPECT_FALSE(make_result_key(fp, o1) == make_result_key(fp, o2));
+
+  o2 = o1;
+  o2.seed += 1;  // a different seed is a different sampling plan
+  EXPECT_FALSE(make_sketch_key(fp, o1) == make_sketch_key(fp, o2));
+}
+
+// Same seed ⇒ bitwise-identical factors, no matter how many threads
+// submit concurrently or which worker/device runs each copy. This is the
+// Philox counter-based-RNG guarantee carried through the runtime.
+// (Cache off: with it on, cross-rank sketch reuse is order-dependent.)
+TEST(Scheduler, DeterministicUnderConcurrentSubmission) {
+  auto a = randla::testing::random_matrix<double>(200, 120, 42);
+  rsvd::FixedRankOptions opts;
+  opts.k = 12;
+  opts.p = 6;
+  opts.q = 1;
+  const auto ref = rsvd::fixed_rank(ConstMatrixView<double>(a.view()), opts);
+
+  SchedulerOptions so;
+  so.num_workers = 4;
+  so.enable_cache = false;
+  Scheduler sched(so);
+
+  const auto input = make_input(std::move(a));
+  constexpr int kThreads = 4, kPerThread = 2;
+  std::vector<std::shared_ptr<JobHandle>> handles(kThreads * kPerThread);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t)
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Job job;
+        job.payload = FixedRankJob{input, opts};
+        auto sub = sched.submit(std::move(job));
+        ASSERT_EQ(sub.status, PushStatus::Ok);
+        handles[t * kPerThread + i] = std::move(sub.handle);
+      }
+    });
+  for (auto& p : producers) p.join();
+  sched.drain();
+
+  for (const auto& h : handles) {
+    const auto& out = h->wait();
+    ASSERT_EQ(out.status, JobStatus::Done) << out.error;
+    ASSERT_TRUE(out.fixed_rank);
+    EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->q.view()),
+                              ConstMatrixView<double>(ref.q.view())));
+    EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->r.view()),
+                              ConstMatrixView<double>(ref.r.view())));
+  }
+}
+
+// Cache-enabled answers must be bitwise-identical to direct library
+// calls in all three dispositions: miss (first sight), result hit
+// (verbatim repeat), and sketch hit (rank refinement at the same ℓ).
+TEST(Scheduler, CacheHitsMatchDirectComputation) {
+  auto a = randla::testing::random_matrix<double>(180, 100, 5);
+  const auto view = ConstMatrixView<double>(a.view());
+  rsvd::FixedRankOptions big;
+  big.k = 16;
+  big.p = 8;
+  big.q = 1;
+  rsvd::FixedRankOptions refined = big;
+  refined.k = 8;
+  refined.p = 16;  // same ℓ = 24 ⇒ identical sample, different truncation
+  const auto ref_big = rsvd::fixed_rank(view, big);
+  const auto ref_refined = rsvd::fixed_rank(view, refined);
+
+  SchedulerOptions so;
+  so.num_workers = 1;
+  Scheduler sched(so);
+  const auto input = make_input(std::move(a));
+
+  auto run = [&](const rsvd::FixedRankOptions& o) {
+    Job job;
+    job.payload = FixedRankJob{input, o};
+    auto sub = sched.submit(std::move(job));
+    EXPECT_EQ(sub.status, PushStatus::Ok);
+    sched.drain();
+    return sub.handle;
+  };
+
+  const auto miss = run(big);
+  const auto result_hit = run(big);
+  const auto sketch_hit = run(refined);
+
+  EXPECT_EQ(miss->wait().trace.cache, CacheDisposition::Miss);
+  EXPECT_EQ(result_hit->wait().trace.cache, CacheDisposition::Result);
+  EXPECT_EQ(sketch_hit->wait().trace.cache, CacheDisposition::Sketch);
+
+  for (const auto* pair :
+       {&miss, &result_hit}) {
+    const auto& out = (*pair)->wait();
+    ASSERT_EQ(out.status, JobStatus::Done) << out.error;
+    EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->q.view()),
+                              ConstMatrixView<double>(ref_big.q.view())));
+    EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->r.view()),
+                              ConstMatrixView<double>(ref_big.r.view())));
+  }
+  const auto& out = sketch_hit->wait();
+  ASSERT_EQ(out.status, JobStatus::Done) << out.error;
+  EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->q.view()),
+                            ConstMatrixView<double>(ref_refined.q.view())));
+  EXPECT_TRUE(bitwise_equal(ConstMatrixView<double>(out.fixed_rank->r.view()),
+                            ConstMatrixView<double>(ref_refined.r.view())));
+
+  EXPECT_GE(sched.result_cache_stats().hits, 1u);
+  EXPECT_GE(sched.sketch_cache_stats().hits, 1u);
+}
+
+TEST(Scheduler, SaturatedQueueShedsWithQueueFull) {
+  auto a = randla::testing::random_matrix<double>(400, 160, 11);
+  rsvd::FixedRankOptions opts;
+  opts.k = 16;
+  opts.p = 8;
+  opts.q = 2;
+
+  SchedulerOptions so;
+  so.num_workers = 1;
+  so.queue_capacity = 2;
+  so.enable_cache = false;  // keep every job slow so the burst overflows
+  Scheduler sched(so);
+  const auto input = make_input(std::move(a));
+
+  int accepted = 0, rejected = 0;
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  for (int i = 0; i < 12; ++i) {
+    Job job;
+    job.payload = FixedRankJob{input, opts};
+    auto sub = sched.submit(std::move(job));
+    ASSERT_TRUE(sub.handle);
+    if (sub.status == PushStatus::Ok) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(sub.status, PushStatus::QueueFull);
+      ++rejected;
+      // Rejected handles are fulfilled immediately — no one will hang.
+      EXPECT_TRUE(sub.handle->done());
+      EXPECT_EQ(sub.handle->wait().status, JobStatus::Rejected);
+    }
+    handles.push_back(std::move(sub.handle));
+  }
+  sched.drain();
+
+  EXPECT_GE(rejected, 1);  // the whole point of the high-water mark
+  EXPECT_GE(accepted, 2);  // at least the queue capacity is admitted
+  int done = 0;
+  for (const auto& h : handles)
+    if (h->wait().status == JobStatus::Done) ++done;
+  EXPECT_EQ(done, accepted);
+
+  const auto summary = sched.telemetry().summarize();
+  EXPECT_EQ(summary.by_status.at(job_status_name(JobStatus::Rejected)),
+            std::uint64_t(rejected));
+}
+
+TEST(Scheduler, RetryEscalatesOrthogonalizationOnBreakdown) {
+  // Rank-4 input with plain CholQR: the Gram matrix of the sampled
+  // rows goes numerically singular, tripping the breakdown signal the
+  // scheduler escalates on (CholQR → CholQR2 → HHQR).
+  auto a = randla::testing::random_low_rank<double>(240, 120, 4, 99);
+  rsvd::FixedRankOptions opts;
+  opts.k = 16;
+  opts.p = 8;
+  opts.q = 2;
+  opts.power_ortho = ortho::Scheme::CholQR;
+
+  SchedulerOptions so;
+  so.num_workers = 1;
+  so.enable_cache = false;
+  Scheduler sched(so);
+
+  Job job;
+  job.payload = FixedRankJob{make_input(std::move(a)), opts};
+  auto sub = sched.submit(std::move(job));
+  ASSERT_EQ(sub.status, PushStatus::Ok);
+  sched.drain();
+
+  const auto& out = sub.handle->wait();
+  ASSERT_EQ(out.status, JobStatus::Done) << out.error;
+  EXPECT_GE(out.trace.retries, 1);
+  EXPECT_LE(out.trace.retries, so.max_retries);
+  ASSERT_TRUE(out.fixed_rank);
+  // The escalated factorization is still a usable approximation.
+  EXPECT_EQ(out.fixed_rank->q.rows(), 240);
+  EXPECT_EQ(out.fixed_rank->q.cols(), 16);
+  for (index_t j = 0; j < out.fixed_rank->q.cols(); ++j)
+    for (index_t i = 0; i < out.fixed_rank->q.rows(); ++i)
+      EXPECT_TRUE(std::isfinite(out.fixed_rank->q(i, j)));
+}
+
+TEST(Scheduler, DeadlineExpiresStaleJobsButNegativeDisables) {
+  auto a = randla::testing::random_matrix<double>(400, 160, 23);
+  rsvd::FixedRankOptions slow;
+  slow.k = 24;
+  slow.p = 8;
+  slow.q = 2;
+
+  SchedulerOptions so;
+  so.num_workers = 1;
+  so.enable_cache = false;
+  Scheduler sched(so);
+  const auto input = make_input(std::move(a));
+
+  // Occupy the single worker so the next jobs accrue queue wait.
+  Job blocker;
+  blocker.payload = FixedRankJob{input, slow};
+  auto b = sched.submit(std::move(blocker));
+  ASSERT_EQ(b.status, PushStatus::Ok);
+
+  Job strict;
+  strict.payload = FixedRankJob{input, slow};
+  strict.deadline_s = 1e-9;  // any nonzero queue wait blows this budget
+  auto s = sched.submit(std::move(strict));
+  ASSERT_EQ(s.status, PushStatus::Ok);
+
+  Job lenient;
+  lenient.payload = FixedRankJob{input, slow};
+  lenient.deadline_s = -1;  // negative disables the deadline outright
+  auto l = sched.submit(std::move(lenient));
+  ASSERT_EQ(l.status, PushStatus::Ok);
+  sched.drain();
+
+  EXPECT_EQ(b.handle->wait().status, JobStatus::Done);
+  EXPECT_EQ(s.handle->wait().status, JobStatus::Expired);
+  EXPECT_FALSE(s.handle->wait().fixed_rank);
+  EXPECT_EQ(l.handle->wait().status, JobStatus::Done);
+}
+
+TEST(Model, DegradationPicksLargestFeasiblePowerIterations) {
+  const model::DeviceSpec spec;
+  // A generous budget keeps the requested q…
+  EXPECT_EQ(model::max_power_iters_within(spec, 5000, 2000, 64, 3, 1e9), 3);
+  // …an empty budget cannot fit even q = 0…
+  EXPECT_EQ(model::max_power_iters_within(spec, 5000, 2000, 64, 3, 0.0), 0);
+  // …and the feasible q is monotone in the budget.
+  index_t prev = 0;
+  for (double budget = 1e-4; budget <= 1e2; budget *= 10) {
+    const index_t q =
+        model::max_power_iters_within(spec, 5000, 2000, 64, 3, budget);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Workload, TraceIsDeterministicInItsOptions) {
+  WorkloadOptions wo;
+  wo.num_jobs = 60;
+  wo.m = 120;
+  wo.n = 60;
+  wo.ranks = {6, 10};
+  const Workload w1 = make_workload(wo);
+  const Workload w2 = make_workload(wo);
+  ASSERT_EQ(w1.jobs.size(), 60u);
+  ASSERT_EQ(w1.jobs.size(), w2.jobs.size());
+  int kinds[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < w1.jobs.size(); ++i) {
+    EXPECT_EQ(w1.jobs[i].tag, w2.jobs[i].tag);
+    EXPECT_EQ(job_kind(w1.jobs[i]), job_kind(w2.jobs[i]));
+    kinds[int(job_kind(w1.jobs[i]))]++;
+  }
+  // The mix actually contains every job family.
+  EXPECT_GT(kinds[int(JobKind::FixedRank)], 0);
+  EXPECT_GT(kinds[int(JobKind::Adaptive)], 0);
+  EXPECT_GT(kinds[int(JobKind::Qrcp)], 0);
+}
+
+}  // namespace
