@@ -31,8 +31,9 @@ double measure_qp3(index_t m, index_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 7", "QP3 and tall-skinny QR performance (n=64)");
+  bench::JsonReport report("fig07_tsqr", argc, argv);
   const index_t n = 64;
   const model::DeviceSpec spec;
 
@@ -41,11 +42,21 @@ int main() {
               "QP3");
   for (index_t m : {2500, 5000, 10000, 20000}) {
     const index_t ms = bench::scaled(m, 256);
-    std::printf("%8lld %8.2f %8.2f %8.2f %8.2f %8.2f\n", (long long)ms,
-                measure_scheme(ortho::Scheme::CholQR, ms, n),
-                measure_scheme(ortho::Scheme::CGS, ms, n),
-                measure_scheme(ortho::Scheme::HHQR, ms, n),
-                measure_scheme(ortho::Scheme::MGS, ms, n), measure_qp3(ms, n));
+    const double g_chol = measure_scheme(ortho::Scheme::CholQR, ms, n);
+    const double g_cgs = measure_scheme(ortho::Scheme::CGS, ms, n);
+    const double g_hh = measure_scheme(ortho::Scheme::HHQR, ms, n);
+    const double g_mgs = measure_scheme(ortho::Scheme::MGS, ms, n);
+    const double g_qp3 = measure_qp3(ms, n);
+    std::printf("%8lld %8.2f %8.2f %8.2f %8.2f %8.2f\n", (long long)ms, g_chol,
+                g_cgs, g_hh, g_mgs, g_qp3);
+    report.row("measured")
+        .set("m", ms)
+        .set("n", n)
+        .set("cholqr_gflops", g_chol)
+        .set("cgs_gflops", g_cgs)
+        .set("hhqr_gflops", g_hh)
+        .set("mgs_gflops", g_mgs)
+        .set("qp3_gflops", g_qp3);
   }
 
   std::printf("\nMODELED (K40c, Gflop/s, paper dims)\n");
@@ -65,6 +76,14 @@ int main() {
            1e-9;
     std::printf("%8lld %8.1f %8.1f %8.1f %8.1f %8.1f\n", (long long)m, g[0],
                 g[1], g[2], g[3], g[4]);
+    report.row("modeled")
+        .set("m", m)
+        .set("n", n)
+        .set("cholqr_gflops", g[0])
+        .set("cgs_gflops", g[1])
+        .set("hhqr_gflops", g[2])
+        .set("mgs_gflops", g[3])
+        .set("qp3_gflops", g[4]);
     const double chol_hh = model::ortho_seconds(spec, ortho::Scheme::HHQR, m, n) /
                            model::ortho_seconds(spec, ortho::Scheme::CholQR, m, n);
     sum_chol_hh += chol_hh;
@@ -78,5 +97,5 @@ int main() {
       "30.5x)\n"
       "                  HHQR/QP3 avg %.1fx (paper: ~5x)\n",
       max_chol_hh, sum_chol_hh / count, sum_hh_qp3 / count);
-  return 0;
+  return report.write() ? 0 : 1;
 }

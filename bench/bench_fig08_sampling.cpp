@@ -11,9 +11,10 @@
 
 using namespace randla;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 8",
                       "pruned Gaussian vs full FFT sampling (row & column)");
+  bench::JsonReport report("fig08_sampling", argc, argv);
   const model::DeviceSpec spec;
 
   // -------- measured, scaled dims (FFT pad wants powers of two).
@@ -35,8 +36,16 @@ int main() {
     bench::WallTimer tf;
     auto bf = fft::fft_sample_rows<double>(a.view(), l, 13);
     const double t_fft = tf.seconds();
+    const double g_gemm = flops::gemm(l, n, m) / t_gemm * 1e-9;
     std::printf("%6lld %12.4f %12.4f %12.2f\n", (long long)l, t_gemm, t_fft,
-                flops::gemm(l, n, m) / t_gemm * 1e-9);
+                g_gemm);
+    report.row("measured")
+        .set("l", l)
+        .set("m", m)
+        .set("n", n)
+        .set("t_gemm", t_gemm)
+        .set("t_fft", t_fft)
+        .set("gemm_gflops", g_gemm);
   }
 
   // GEMV reference point (the kernel CGS/HHQR/QP3 are built on).
@@ -46,8 +55,9 @@ int main() {
     bench::WallTimer t;
     blas::gemv<double>(Op::NoTrans, 1.0, a.view(), x.data(), 1, 0.0, y.data(),
                        1);
-    std::printf("GEMV reference: %.2f Gflop/s\n",
-                flops::gemv(m, n) / t.seconds() * 1e-9);
+    const double g_gemv = flops::gemv(m, n) / t.seconds() * 1e-9;
+    std::printf("GEMV reference: %.2f Gflop/s\n", g_gemv);
+    report.row("gemv_reference").set("m", m).set("n", n).set("gflops", g_gemv);
   }
 
   // -------- modeled at the paper's dims: 50,000×2,500.
@@ -66,8 +76,12 @@ int main() {
                 t_gemm < t_fft_row ? "GEMM" : "FFT",
                 model::gemm_seconds(spec, l, pm, pn) < t_fft_col ? "GEMM"
                                                                  : "FFT");
+    report.row("modeled")
+        .set("l", l)
+        .set("gemm_gflops", fl / t_gemm * 1e-9)
+        .set("fft_gflops", fl / t_fft_row * 1e-9);
   }
   std::printf("modeled GEMV: %.1f Gflop/s (paper Fig. 8: well below GEMM)\n",
               flops::gemv(pm, pn) / model::gemv_seconds(spec, pm, pn) * 1e-9);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -11,8 +11,9 @@
 
 using namespace randla;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Figure 13", "time vs subspace size l");
+  bench::JsonReport report("fig13_vary_l", argc, argv);
   const index_t p = 10, q = 1;
   const index_t m = bench::scaled(8000, 1000);
   const index_t n = bench::scaled(1000, 256);
@@ -29,6 +30,12 @@ int main() {
     const double t_rs = bench::rs_breakdown_row(a.view(), kk, p, q, label);
     const double t_qp3 = bench::time_qp3(a.view(), kk);
     std::printf(" %9.4f %7.1fx\n", t_qp3, t_qp3 / t_rs);
+    report.row("measured")
+        .set("l", l)
+        .set("m", m)
+        .set("n", n)
+        .set("t_rs", t_rs)
+        .set("t_qp3", t_qp3);
     l_list.push_back(double(l));
     rs_t.push_back(t_rs);
     qp3_t.push_back(t_qp3);
@@ -53,6 +60,10 @@ int main() {
     const auto qp3 = model::estimate_qp3(spec, 50000, 2500, l - p);
     std::printf("%8lld %10.4f %10.4f %9.1fx\n", (long long)l, rs1.total(),
                 qp3.seconds, qp3.seconds / rs1.total());
+    report.row("modeled")
+        .set("l", l)
+        .set("t_rs_q1", rs1.total())
+        .set("t_qp3", qp3.seconds);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "fft/fft.hpp"
 #include "la/blas3.hpp"
 #include "la/flops.hpp"
+#include "la/parallel.hpp"
 #include "ortho/ortho.hpp"
 #include "qrcp/qrcp.hpp"
 #include "rng/gaussian.hpp"
@@ -32,6 +33,28 @@ void BM_Gemm(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Gemm)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+// Single-threaded square fp64 GEMM — the raw microkernel flop-rate
+// reference the BENCH_kernels.json snapshot tracks across kernel
+// changes (seed scalar 4×8 kernel: ~4 Gflop/s on the CI box).
+void BM_GemmSquare1024(benchmark::State& state) {
+  const index_t n = 1024;
+  const index_t prev_threads = blas_num_threads();
+  set_blas_num_threads(1);
+  const Matrix<double> a = rng::gaussian_matrix<double>(n, n, 21);
+  const Matrix<double> b = rng::gaussian_matrix<double>(n, n, 22);
+  Matrix<double> c(n, n);
+  for (auto _ : state) {
+    blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(), b.view(), 0.0,
+                       c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_blas_num_threads(prev_threads);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      flops::gemm(n, n, n) * double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare1024)->Unit(benchmark::kMillisecond);
 
 void BM_CholQrTall(benchmark::State& state) {
   const index_t m = state.range(0), n = 64;
@@ -112,4 +135,13 @@ BENCHMARK(BM_FixedRankEndToEnd)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every report (console and --benchmark_format=json)
+// carries the compiled-in kernel ISA next to the flop rates.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("kernel_arch", randla::blas::kernel_arch());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

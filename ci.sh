@@ -2,12 +2,17 @@
 # ci.sh — the checks a change must pass before merging.
 #
 #   1. tier-1: default (Release) build + the full ctest suite;
-#   2. the randla_serve replay, whose exit code self-checks that the
+#   2. kernel smoke: bench_kernels_gbench in JSON mode, failing on
+#      missing/zero/NaN flop rates (catches a microkernel that compiles
+#      but silently computes garbage or never runs);
+#   3. the randla_serve replay, whose exit code self-checks that the
 #      serving runtime demonstrated cache hits, backpressure, and the
 #      retry policy on a 120-job workload;
-#   3. concurrency: the runtime tests rebuilt with -fsanitize=thread
-#      (the `tsan` preset) so every scheduler/queue/cache lock and
-#      atomic is exercised under ThreadSanitizer.
+#   4. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
+#      (the `tsan` preset) and RANDLA_NUM_THREADS=2, so the persistent
+#      BLAS worker pool (blocked GEMM tiles, syrk/trsm/trmm splits, TSQR
+#      subtrees) and the serving runtime run under ThreadSanitizer with
+#      the pool actually engaged even on single-core CI boxes.
 set -eu
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -17,13 +22,26 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
+echo "== kernel smoke: flop rates finite and nonzero =="
+SMOKE_JSON=build/kernel_smoke.json
+./build/bench/bench_kernels_gbench --benchmark_filter='BM_Gemm' \
+  --benchmark_format=json > "$SMOKE_JSON"
+grep -q '"kernel_arch"' "$SMOKE_JSON" || {
+  echo "kernel smoke FAILED: no kernel_arch in benchmark context"; exit 1; }
+awk -F': ' '/"Gflop\/s"/ {
+    v = $2 + 0; rates++
+    if (v != v || v <= 0) { print "kernel smoke FAILED: bad rate " $0; bad = 1 }
+  }
+  END { if (rates == 0) { print "kernel smoke FAILED: no flop rates"; bad = 1 }
+        exit bad }' "$SMOKE_JSON"
+echo "kernel smoke OK: $(grep '"kernel_arch"' "$SMOKE_JSON")"
+
 echo "== serving replay self-check (randla_serve) =="
 ./build/examples/randla_serve --jobs 120
 
-echo "== concurrency: ThreadSanitizer stress =="
+echo "== concurrency: ThreadSanitizer tier-1 with the pool engaged =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$JOBS" --target test_runtime_stress test_runtime
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime_stress
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+cmake --build --preset tsan -j "$JOBS"
+TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$JOBS"
 
 echo "CI OK"

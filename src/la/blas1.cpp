@@ -1,35 +1,236 @@
 #include "la/blas1.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "la/simd.hpp"
 
 namespace randla::blas {
 
+namespace {
+
+// Contiguous (stride-1) inner loops. Under RANDLA_SIMD_AVX2 these are
+// hand-vectorized with FMA; otherwise the multi-accumulator scalar
+// forms below give the optimizer the same freedom without -ffast-math.
+// Strided variants stay scalar in the public entry points — every hot
+// caller in the library (GEMV columns, Householder panels, QP3 norm
+// downdates) is stride-1.
+
+#if RANDLA_SIMD_AVX2
+
+inline double dot_contig(index_t n, const double* x, const double* y) {
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  __m256d s2 = _mm256_setzero_pd(), s3 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), s0);
+    s1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4), s1);
+    s2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8), _mm256_loadu_pd(y + i + 8), s2);
+    s3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12), _mm256_loadu_pd(y + i + 12), s3);
+  }
+  for (; i + 4 <= n; i += 4)
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), s0);
+  double s = simd::hsum(_mm256_add_pd(_mm256_add_pd(s0, s1), _mm256_add_pd(s2, s3)));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+inline float dot_contig(index_t n, const float* x, const float* y) {
+  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), s0);
+    s1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), _mm256_loadu_ps(y + i + 8), s1);
+  }
+  for (; i + 8 <= n; i += 8)
+    s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), s0);
+  float s = simd::hsum(_mm256_add_ps(s0, s1));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+inline void axpy_contig(index_t n, double a, const double* x, double* y) {
+  const __m256d av = _mm256_set1_pd(a);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(y + i + 4, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4),
+                                                _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void axpy_contig(index_t n, float a, const float* x, float* y) {
+  const __m256 av = _mm256_set1_ps(a);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void scal_contig(index_t n, double a, double* x) {
+  const __m256d av = _mm256_set1_pd(a);
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) x[i] *= a;
+}
+
+inline void scal_contig(index_t n, float a, float* x) {
+  const __m256 av = _mm256_set1_ps(a);
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) x[i] *= a;
+}
+
+inline double abs_max_contig(index_t n, const double* x) {
+  __m256d m0 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    m0 = _mm256_max_pd(m0, simd::vabs(_mm256_loadu_pd(x + i)));
+  double m = simd::hmax(m0);
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+inline float abs_max_contig(index_t n, const float* x) {
+  __m256 m0 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    m0 = _mm256_max_ps(m0, simd::vabs(_mm256_loadu_ps(x + i)));
+  float m = simd::hmax(m0);
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+/// Sum of (x_i·scale)² — scale = 1 gives the plain sum of squares.
+inline double scaled_ssq_contig(index_t n, const double* x, double scale) {
+  const __m256d sv = _mm256_set1_pd(scale);
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v0 = _mm256_mul_pd(sv, _mm256_loadu_pd(x + i));
+    const __m256d v1 = _mm256_mul_pd(sv, _mm256_loadu_pd(x + i + 4));
+    s0 = _mm256_fmadd_pd(v0, v0, s0);
+    s1 = _mm256_fmadd_pd(v1, v1, s1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_mul_pd(sv, _mm256_loadu_pd(x + i));
+    s0 = _mm256_fmadd_pd(v, v, s0);
+  }
+  double s = simd::hsum(_mm256_add_pd(s0, s1));
+  for (; i < n; ++i) {
+    const double v = scale * x[i];
+    s += v * v;
+  }
+  return s;
+}
+
+inline float scaled_ssq_contig(index_t n, const float* x, float scale) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  __m256 s0 = _mm256_setzero_ps();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_mul_ps(sv, _mm256_loadu_ps(x + i));
+    s0 = _mm256_fmadd_ps(v, v, s0);
+  }
+  float s = simd::hsum(s0);
+  for (; i < n; ++i) {
+    const float v = scale * x[i];
+    s += v * v;
+  }
+  return s;
+}
+
+#else  // scalar fallback
+
+template <class Real>
+inline Real dot_contig(index_t n, const Real* x, const Real* y) {
+  // Four-way unrolled accumulation; separate partials help the
+  // optimizer vectorize without -ffast-math.
+  Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+template <class Real>
+inline void axpy_contig(index_t n, Real a, const Real* x, Real* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+template <class Real>
+inline void scal_contig(index_t n, Real a, Real* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+template <class Real>
+inline Real abs_max_contig(index_t n, const Real* x) {
+  Real m = 0;
+  for (index_t i = 0; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+template <class Real>
+inline Real scaled_ssq_contig(index_t n, const Real* x, Real scale) {
+  Real s0 = 0, s1 = 0;
+  index_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const Real v0 = scale * x[i];
+    const Real v1 = scale * x[i + 1];
+    s0 += v0 * v0;
+    s1 += v1 * v1;
+  }
+  if (i < n) {
+    const Real v = scale * x[i];
+    s0 += v * v;
+  }
+  return s0 + s1;
+}
+
+#endif  // RANDLA_SIMD_AVX2
+
+}  // namespace
+
 template <class Real>
 Real dot(index_t n, const Real* x, index_t incx, const Real* y, index_t incy) {
+  if (incx == 1 && incy == 1) return dot_contig(n, x, y);
   Real s = 0;
-  if (incx == 1 && incy == 1) {
-    // Four-way unrolled accumulation; separate partials help the
-    // optimizer vectorize without -ffast-math.
-    Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-    index_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-      s0 += x[i] * y[i];
-      s1 += x[i + 1] * y[i + 1];
-      s2 += x[i + 2] * y[i + 2];
-      s3 += x[i + 3] * y[i + 3];
-    }
-    for (; i < n; ++i) s0 += x[i] * y[i];
-    s = (s0 + s1) + (s2 + s3);
-  } else {
-    for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
-  }
+  for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
   return s;
 }
 
 template <class Real>
 Real nrm2(index_t n, const Real* x, index_t incx) {
-  // Scaled sum of squares, LAPACK dlassq-style, to avoid overflow and
-  // underflow for extreme entries.
+  if (n <= 0) return Real(0);
+  if (incx == 1) {
+    // Two vectorized passes: an |·|-max scan picks the scaling, then a
+    // (possibly scaled) sum of squares. For the common well-scaled case
+    // this is one unscaled pass at full SIMD width; extreme inputs take
+    // the scaled branch and keep the overflow/underflow safety of the
+    // classic dlassq recurrence.
+    const Real amax = abs_max_contig(n, x);
+    if (amax == Real(0)) return Real(0);
+    const Real big =
+        std::sqrt(std::numeric_limits<Real>::max() / Real(n + 1));
+    const Real small = std::sqrt(std::numeric_limits<Real>::min());
+    if (amax < big && amax > small)
+      return std::sqrt(scaled_ssq_contig(n, x, Real(1)));
+    return amax * std::sqrt(scaled_ssq_contig(n, x, Real(1) / amax));
+  }
+  // Strided: scaled sum of squares, LAPACK dlassq-style.
   Real scale = 0;
   Real ssq = 1;
   for (index_t i = 0; i < n; ++i) {
@@ -52,7 +253,7 @@ template <class Real>
 void axpy(index_t n, Real a, const Real* x, index_t incx, Real* y, index_t incy) {
   if (a == Real(0)) return;
   if (incx == 1 && incy == 1) {
-    for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+    axpy_contig(n, a, x, y);
   } else {
     for (index_t i = 0; i < n; ++i) y[i * incy] += a * x[i * incx];
   }
@@ -61,7 +262,7 @@ void axpy(index_t n, Real a, const Real* x, index_t incx, Real* y, index_t incy)
 template <class Real>
 void scal(index_t n, Real a, Real* x, index_t incx) {
   if (incx == 1) {
-    for (index_t i = 0; i < n; ++i) x[i] *= a;
+    scal_contig(n, a, x);
   } else {
     for (index_t i = 0; i < n; ++i) x[i * incx] *= a;
   }

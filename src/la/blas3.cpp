@@ -1,11 +1,13 @@
 #include "la/blas3.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "la/blas1.hpp"
 #include "la/blas2.hpp"
 #include "la/parallel.hpp"
+#include "la/simd.hpp"
 
 namespace randla::blas {
 
@@ -13,66 +15,257 @@ namespace {
 
 // Cache-blocking parameters (GotoBLAS naming): a KC×NC panel of B lives
 // in L2/L3, an MC×KC panel of A in L1/L2, and the microkernel keeps an
-// MR×NR tile of C in registers.
+// MR×NR tile of C in registers. MR/NR depend on the ISA: the AVX2/FMA
+// kernels widen the register tile to the vector width (double: two
+// 4-lane accumulator columns ×6 = 12 ymm registers; float: two 8-lane
+// columns ×6), the portable fallback keeps the narrow scalar tile.
 constexpr index_t kMC = 128;
 constexpr index_t kKC = 256;
 constexpr index_t kNC = 1024;
-constexpr index_t kMR = 4;
-constexpr index_t kNR = 8;
 
-// Element accessor that folds the transpose flag into indexing.
 template <class Real>
-inline Real at(ConstMatrixView<Real> m, Op op, index_t i, index_t j) {
-  return op == Op::NoTrans ? m(i, j) : m(j, i);
-}
+struct Tile {
+  static constexpr index_t MR = 4;
+  static constexpr index_t NR = 8;
+};
+
+#if RANDLA_SIMD_AVX2
+template <>
+struct Tile<double> {
+  static constexpr index_t MR = 8;  // 2 ymm of 4 doubles
+  static constexpr index_t NR = 6;
+};
+template <>
+struct Tile<float> {
+  static constexpr index_t MR = 16;  // 2 ymm of 8 floats
+  static constexpr index_t NR = 6;
+};
+#endif
+
+// Parallel tiling policy: a GEMM is split into a row_tiles×col_tiles
+// grid of independent C blocks (the k dimension is never split, so the
+// summation order — and therefore the bits — never depend on the
+// thread count). Grains keep each tile at a full packed panel.
+constexpr index_t kRowGrain = 256;
+constexpr index_t kColGrain = 64;
+// Don't fan out below ~8 Mflop (2·m·n·k); fork-join bookkeeping would
+// dominate.
+constexpr double kMinParallelFlops = 8.0e6;
 
 // Pack an mc×kc block of op(A) (top-left at (i0, k0) of op(A)) into
-// row-panels of height kMR: panel p holds rows [p*MR, p*MR+MR), stored as
-// kc groups of MR contiguous elements.
+// row-panels of height MR: panel p holds rows [p*MR, p*MR+MR), stored
+// as kc groups of MR contiguous elements. `alpha` is folded in here —
+// each packed element is alpha·a — so the microkernel and the C
+// write-out never touch alpha again.
 template <class Real>
 void pack_a(ConstMatrixView<Real> a, Op opa, index_t i0, index_t k0, index_t mc,
-            index_t kc, Real* dst) {
-  for (index_t p = 0; p < mc; p += kMR) {
-    const index_t pr = std::min(kMR, mc - p);
+            index_t kc, Real alpha, Real* dst) {
+  constexpr index_t MR = Tile<Real>::MR;
+  if (opa == Op::NoTrans) {
+    // op(A) rows are stored contiguously down each source column:
+    // full panels with alpha == 1 are straight memcpys.
+    for (index_t p = 0; p < mc; p += MR) {
+      const index_t pr = std::min(MR, mc - p);
+      const Real* src = &a(i0 + p, k0);
+      const index_t lda = a.ld();
+      if (pr == MR && alpha == Real(1)) {
+        for (index_t k = 0; k < kc; ++k) {
+          std::memcpy(dst, src + k * lda, MR * sizeof(Real));
+          dst += MR;
+        }
+      } else {
+        for (index_t k = 0; k < kc; ++k) {
+          const Real* col = src + k * lda;
+          for (index_t r = 0; r < pr; ++r) *dst++ = alpha * col[r];
+          for (index_t r = pr; r < MR; ++r) *dst++ = Real(0);
+        }
+      }
+    }
+    return;
+  }
+  for (index_t p = 0; p < mc; p += MR) {
+    const index_t pr = std::min(MR, mc - p);
     for (index_t k = 0; k < kc; ++k) {
-      for (index_t r = 0; r < pr; ++r) *dst++ = at(a, opa, i0 + p + r, k0 + k);
-      for (index_t r = pr; r < kMR; ++r) *dst++ = Real(0);
+      for (index_t r = 0; r < pr; ++r)
+        *dst++ = alpha * a(k0 + k, i0 + p + r);
+      for (index_t r = pr; r < MR; ++r) *dst++ = Real(0);
     }
   }
 }
 
 // Pack a kc×nc block of op(B) (top-left at (k0, j0) of op(B)) into
-// column-panels of width kNR: panel q holds columns [q*NR, q*NR+NR),
+// column-panels of width NR: panel q holds columns [q*NR, q*NR+NR),
 // stored as kc groups of NR contiguous elements.
 template <class Real>
 void pack_b(ConstMatrixView<Real> b, Op opb, index_t k0, index_t j0, index_t kc,
             index_t nc, Real* dst) {
-  for (index_t q = 0; q < nc; q += kNR) {
-    const index_t qc = std::min(kNR, nc - q);
-    for (index_t k = 0; k < kc; ++k) {
-      for (index_t c = 0; c < qc; ++c) *dst++ = at(b, opb, k0 + k, j0 + q + c);
-      for (index_t c = qc; c < kNR; ++c) *dst++ = Real(0);
+  constexpr index_t NR = Tile<Real>::NR;
+  if (opb == Op::NoTrans) {
+    // op(B)'s k index runs down stored columns, so stream each source
+    // column once (contiguous reads, NR-strided writes) instead of
+    // revisiting all NR columns per k.
+    for (index_t q = 0; q < nc; q += NR) {
+      const index_t qc = std::min(NR, nc - q);
+      for (index_t c = 0; c < qc; ++c) {
+        const Real* src = &b(k0, j0 + q + c);
+        Real* out = dst + c;
+        for (index_t k = 0; k < kc; ++k) out[k * NR] = src[k];
+      }
+      for (index_t c = qc; c < NR; ++c) {
+        Real* out = dst + c;
+        for (index_t k = 0; k < kc; ++k) out[k * NR] = Real(0);
+      }
+      dst += kc * NR;
+    }
+    return;
+  }
+  // op(B) == Bᵀ: a k-group of NR elements is NR consecutive rows of one
+  // stored column — full panels are straight memcpys.
+  for (index_t q = 0; q < nc; q += NR) {
+    const index_t qc = std::min(NR, nc - q);
+    const index_t ldb = b.ld();
+    const Real* src = &b(j0 + q, k0);
+    if (qc == NR) {
+      for (index_t k = 0; k < kc; ++k) {
+        std::memcpy(dst, src + k * ldb, NR * sizeof(Real));
+        dst += NR;
+      }
+    } else {
+      for (index_t k = 0; k < kc; ++k) {
+        const Real* col = src + k * ldb;
+        for (index_t c = 0; c < qc; ++c) *dst++ = col[c];
+        for (index_t c = qc; c < NR; ++c) *dst++ = Real(0);
+      }
     }
   }
 }
 
-// MR×NR register-tile microkernel: acc += Ap·Bp over kc terms, where Ap is
-// an MR-row packed panel and Bp an NR-column packed panel.
+// MR×NR register-tile microkernel: acc = Ap·Bp over kc terms, where Ap
+// is an MR-row packed panel (alpha folded in) and Bp an NR-column
+// packed panel. acc is column-major: acc[cc*MR + r].
 template <class Real>
 inline void micro_kernel(index_t kc, const Real* __restrict__ ap,
                          const Real* __restrict__ bp, Real* __restrict__ acc) {
-  Real c[kMR * kNR] = {};
+  constexpr index_t MR = Tile<Real>::MR;
+  constexpr index_t NR = Tile<Real>::NR;
+  Real c[MR * NR] = {};
   for (index_t k = 0; k < kc; ++k) {
-    const Real* a = ap + k * kMR;
-    const Real* b = bp + k * kNR;
-    for (index_t r = 0; r < kMR; ++r) {
-      const Real ar = a[r];
-      Real* crow = c + r * kNR;
-      for (index_t cc = 0; cc < kNR; ++cc) crow[cc] += ar * b[cc];
+    const Real* a = ap + k * MR;
+    const Real* b = bp + k * NR;
+    for (index_t cc = 0; cc < NR; ++cc) {
+      const Real bv = b[cc];
+      Real* ccol = c + cc * MR;
+      for (index_t r = 0; r < MR; ++r) ccol[r] += a[r] * bv;
     }
   }
-  for (index_t i = 0; i < kMR * kNR; ++i) acc[i] = c[i];
+  for (index_t i = 0; i < MR * NR; ++i) acc[i] = c[i];
 }
+
+#if RANDLA_SIMD_AVX2
+
+// 8×6 double microkernel: 12 ymm accumulators (two 4-lane column
+// halves × 6 columns), one broadcast per packed B element, FMA
+// throughput-bound.
+template <>
+inline void micro_kernel<double>(index_t kc, const double* __restrict__ ap,
+                                 const double* __restrict__ bp,
+                                 double* __restrict__ acc) {
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  __m256d c40 = _mm256_setzero_pd(), c41 = _mm256_setzero_pd();
+  __m256d c50 = _mm256_setzero_pd(), c51 = _mm256_setzero_pd();
+  for (index_t k = 0; k < kc; ++k) {
+    const __m256d a0 = _mm256_loadu_pd(ap);
+    const __m256d a1 = _mm256_loadu_pd(ap + 4);
+    ap += 8;
+    __m256d b;
+    b = _mm256_broadcast_sd(bp + 0);
+    c00 = _mm256_fmadd_pd(a0, b, c00);
+    c01 = _mm256_fmadd_pd(a1, b, c01);
+    b = _mm256_broadcast_sd(bp + 1);
+    c10 = _mm256_fmadd_pd(a0, b, c10);
+    c11 = _mm256_fmadd_pd(a1, b, c11);
+    b = _mm256_broadcast_sd(bp + 2);
+    c20 = _mm256_fmadd_pd(a0, b, c20);
+    c21 = _mm256_fmadd_pd(a1, b, c21);
+    b = _mm256_broadcast_sd(bp + 3);
+    c30 = _mm256_fmadd_pd(a0, b, c30);
+    c31 = _mm256_fmadd_pd(a1, b, c31);
+    b = _mm256_broadcast_sd(bp + 4);
+    c40 = _mm256_fmadd_pd(a0, b, c40);
+    c41 = _mm256_fmadd_pd(a1, b, c41);
+    b = _mm256_broadcast_sd(bp + 5);
+    c50 = _mm256_fmadd_pd(a0, b, c50);
+    c51 = _mm256_fmadd_pd(a1, b, c51);
+    bp += 6;
+  }
+  _mm256_storeu_pd(acc + 0, c00);
+  _mm256_storeu_pd(acc + 4, c01);
+  _mm256_storeu_pd(acc + 8, c10);
+  _mm256_storeu_pd(acc + 12, c11);
+  _mm256_storeu_pd(acc + 16, c20);
+  _mm256_storeu_pd(acc + 20, c21);
+  _mm256_storeu_pd(acc + 24, c30);
+  _mm256_storeu_pd(acc + 28, c31);
+  _mm256_storeu_pd(acc + 32, c40);
+  _mm256_storeu_pd(acc + 36, c41);
+  _mm256_storeu_pd(acc + 40, c50);
+  _mm256_storeu_pd(acc + 44, c51);
+}
+
+// 16×6 float microkernel, same register shape at 8 lanes.
+template <>
+inline void micro_kernel<float>(index_t kc, const float* __restrict__ ap,
+                                const float* __restrict__ bp,
+                                float* __restrict__ acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (index_t k = 0; k < kc; ++k) {
+    const __m256 a0 = _mm256_loadu_ps(ap);
+    const __m256 a1 = _mm256_loadu_ps(ap + 8);
+    ap += 16;
+    __m256 b;
+    b = _mm256_broadcast_ss(bp + 0);
+    c00 = _mm256_fmadd_ps(a0, b, c00);
+    c01 = _mm256_fmadd_ps(a1, b, c01);
+    b = _mm256_broadcast_ss(bp + 1);
+    c10 = _mm256_fmadd_ps(a0, b, c10);
+    c11 = _mm256_fmadd_ps(a1, b, c11);
+    b = _mm256_broadcast_ss(bp + 2);
+    c20 = _mm256_fmadd_ps(a0, b, c20);
+    c21 = _mm256_fmadd_ps(a1, b, c21);
+    b = _mm256_broadcast_ss(bp + 3);
+    c30 = _mm256_fmadd_ps(a0, b, c30);
+    c31 = _mm256_fmadd_ps(a1, b, c31);
+    b = _mm256_broadcast_ss(bp + 4);
+    c40 = _mm256_fmadd_ps(a0, b, c40);
+    c41 = _mm256_fmadd_ps(a1, b, c41);
+    b = _mm256_broadcast_ss(bp + 5);
+    c50 = _mm256_fmadd_ps(a0, b, c50);
+    c51 = _mm256_fmadd_ps(a1, b, c51);
+    bp += 6;
+  }
+  _mm256_storeu_ps(acc + 0, c00);
+  _mm256_storeu_ps(acc + 8, c01);
+  _mm256_storeu_ps(acc + 16, c10);
+  _mm256_storeu_ps(acc + 24, c11);
+  _mm256_storeu_ps(acc + 32, c20);
+  _mm256_storeu_ps(acc + 40, c21);
+  _mm256_storeu_ps(acc + 48, c30);
+  _mm256_storeu_ps(acc + 56, c31);
+  _mm256_storeu_ps(acc + 64, c40);
+  _mm256_storeu_ps(acc + 72, c41);
+  _mm256_storeu_ps(acc + 80, c50);
+  _mm256_storeu_ps(acc + 88, c51);
+}
+
+#endif  // RANDLA_SIMD_AVX2
 
 template <class Real>
 void scale_matrix(MatrixView<Real> c, Real beta) {
@@ -87,40 +280,11 @@ void scale_matrix(MatrixView<Real> c, Real beta) {
   }
 }
 
-}  // namespace
-
-namespace {
-
-template <class Real>
-void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
-                 ConstMatrixView<Real> b, Real beta, MatrixView<Real> c);
-
-}  // namespace
-
-template <class Real>
-void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
-          ConstMatrixView<Real> b, Real beta, MatrixView<Real> c) {
-  const index_t n = c.cols();
-  // Column ranges of C are independent: split them across the BLAS
-  // worker threads (the shared-memory CPU half of the paper's platform).
-  // thread_local packing buffers make gemm_serial concurrency-safe.
-  if (blas_num_threads() > 1 && n >= 2 * kNC) {
-    parallel_ranges(n, kNC, [&](index_t j0, index_t j1) {
-      auto b_slice = (opb == Op::NoTrans) ? b.block(0, j0, b.rows(), j1 - j0)
-                                          : b.block(j0, 0, j1 - j0, b.cols());
-      gemm_serial(opa, opb, alpha, a, b_slice, beta,
-                  c.block(0, j0, c.rows(), j1 - j0));
-    });
-    return;
-  }
-  gemm_serial(opa, opb, alpha, a, b, beta, c);
-}
-
-namespace {
-
 template <class Real>
 void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
                  ConstMatrixView<Real> b, Real beta, MatrixView<Real> c) {
+  constexpr index_t MR = Tile<Real>::MR;
+  constexpr index_t NR = Tile<Real>::NR;
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = (opa == Op::NoTrans) ? a.cols() : a.rows();
@@ -128,35 +292,49 @@ void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
   assert(((opb == Op::NoTrans) ? b.rows() : b.cols()) == k);
   assert(((opb == Op::NoTrans) ? b.cols() : b.rows()) == n);
 
-  scale_matrix(c, beta);
-  if (alpha == Real(0) || m == 0 || n == 0 || k == 0) return;
+  if (m == 0 || n == 0) return;
+  if (alpha == Real(0) || k == 0) {
+    scale_matrix(c, beta);
+    return;
+  }
 
   thread_local std::vector<Real> a_pack;
   thread_local std::vector<Real> b_pack;
-  a_pack.resize(static_cast<std::size_t>(kMC) * kKC + kMR * kKC);
-  b_pack.resize(static_cast<std::size_t>(kKC) * kNC + kNR * kKC);
+  a_pack.resize(static_cast<std::size_t>(kMC + MR) * kKC);
+  b_pack.resize(static_cast<std::size_t>(kNC + NR) * kKC);
 
-  Real acc[kMR * kNR];
+  Real acc[MR * NR];
 
   for (index_t jc = 0; jc < n; jc += kNC) {
     const index_t nc = std::min(kNC, n - jc);
     for (index_t pc = 0; pc < k; pc += kKC) {
       const index_t kc = std::min(kKC, k - pc);
+      // The beta pass is fused into the first kc-block's write-out
+      // (beta·C + acc in one touch of C); later kc blocks accumulate.
+      const bool first = (pc == 0);
       pack_b(b, opb, pc, jc, kc, nc, b_pack.data());
       for (index_t ic = 0; ic < m; ic += kMC) {
         const index_t mc = std::min(kMC, m - ic);
-        pack_a(a, opa, ic, pc, mc, kc, a_pack.data());
+        pack_a(a, opa, ic, pc, mc, kc, alpha, a_pack.data());
         // Macro-kernel: sweep MR×NR tiles of the mc×nc block of C.
-        for (index_t q = 0; q < nc; q += kNR) {
-          const index_t qc = std::min(kNR, nc - q);
-          const Real* bp = b_pack.data() + (q / kNR) * kc * kNR;
-          for (index_t p = 0; p < mc; p += kMR) {
-            const index_t pr = std::min(kMR, mc - p);
-            const Real* ap = a_pack.data() + (p / kMR) * kc * kMR;
+        for (index_t q = 0; q < nc; q += NR) {
+          const index_t qc = std::min(NR, nc - q);
+          const Real* bp = b_pack.data() + (q / NR) * kc * NR;
+          for (index_t p = 0; p < mc; p += MR) {
+            const index_t pr = std::min(MR, mc - p);
+            const Real* ap = a_pack.data() + (p / MR) * kc * MR;
             micro_kernel(kc, ap, bp, acc);
             for (index_t cc = 0; cc < qc; ++cc) {
               Real* ccol = c.col_ptr(jc + q + cc) + ic + p;
-              for (index_t r = 0; r < pr; ++r) ccol[r] += alpha * acc[r * kNR + cc];
+              const Real* av = acc + cc * MR;
+              if (!first || beta == Real(1)) {
+                for (index_t r = 0; r < pr; ++r) ccol[r] += av[r];
+              } else if (beta == Real(0)) {
+                for (index_t r = 0; r < pr; ++r) ccol[r] = av[r];
+              } else {
+                for (index_t r = 0; r < pr; ++r)
+                  ccol[r] = beta * ccol[r] + av[r];
+              }
             }
           }
         }
@@ -167,6 +345,66 @@ void gemm_serial(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
 
 }  // namespace
 
+const char* kernel_arch() {
+#if RANDLA_SIMD_AVX2
+  return "avx2-fma (dgemm 8x6, sgemm 16x6)";
+#else
+  return "scalar (gemm 4x8)";
+#endif
+}
+
+GemmGrid gemm_parallel_grid(index_t m, index_t n, index_t k, index_t threads) {
+  GemmGrid g;
+  if (threads <= 1 || m <= 0 || n <= 0 || k <= 0) return g;
+  if (2.0 * double(m) * double(n) * double(k) < kMinParallelFlops) return g;
+  const index_t max_r = std::max<index_t>(1, m / kRowGrain);
+  const index_t max_c = std::max<index_t>(1, n / kColGrain);
+  // Prefer column tiles (each worker packs a disjoint B panel), then
+  // take rows until the grid covers the thread count. The k dimension
+  // is never split, so results are bitwise independent of the grid.
+  g.col_tiles = std::min(max_c, threads);
+  g.row_tiles = std::min(max_r, (threads + g.col_tiles - 1) / g.col_tiles);
+  return g;
+}
+
+template <class Real>
+void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
+          ConstMatrixView<Real> b, Real beta, MatrixView<Real> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = (opa == Op::NoTrans) ? a.cols() : a.rows();
+  // 2D (row×column) tiling over independent blocks of C, sized by
+  // gemm_parallel_grid so the library's dominant sampling shapes —
+  // short-wide Ω·A (splits columns) and tall-skinny A·P (splits rows)
+  // — both engage the worker pool. thread_local packing buffers make
+  // gemm_serial concurrency-safe.
+  const GemmGrid grid = gemm_parallel_grid(m, n, k, blas_num_threads());
+  const index_t tiles = grid.row_tiles * grid.col_tiles;
+  if (tiles > 1) {
+    const index_t rstep = (m + grid.row_tiles - 1) / grid.row_tiles;
+    const index_t cstep = (n + grid.col_tiles - 1) / grid.col_tiles;
+    parallel_ranges(tiles, 1, [&](index_t t0, index_t t1) {
+      for (index_t t = t0; t < t1; ++t) {
+        const index_t i0 = (t / grid.col_tiles) * rstep;
+        const index_t j0 = (t % grid.col_tiles) * cstep;
+        const index_t i1 = std::min(m, i0 + rstep);
+        const index_t j1 = std::min(n, j0 + cstep);
+        if (i0 >= i1 || j0 >= j1) continue;
+        auto a_slice = (opa == Op::NoTrans)
+                           ? a.block(i0, 0, i1 - i0, a.cols())
+                           : a.block(0, i0, a.rows(), i1 - i0);
+        auto b_slice = (opb == Op::NoTrans)
+                           ? b.block(0, j0, b.rows(), j1 - j0)
+                           : b.block(j0, 0, j1 - j0, b.cols());
+        gemm_serial(opa, opb, alpha, a_slice, b_slice, beta,
+                    c.block(i0, j0, i1 - i0, j1 - j0));
+      }
+    });
+    return;
+  }
+  gemm_serial(opa, opb, alpha, a, b, beta, c);
+}
+
 template <class Real>
 void syrk(Uplo uplo, Op op, Real alpha, ConstMatrixView<Real> a, Real beta,
           MatrixView<Real> c) {
@@ -174,40 +412,59 @@ void syrk(Uplo uplo, Op op, Real alpha, ConstMatrixView<Real> a, Real beta,
   assert(c.cols() == n);
   const index_t k = (op == Op::NoTrans) ? a.cols() : a.rows();
   assert(((op == Op::NoTrans) ? a.rows() : a.cols()) == n);
-  (void)k;
 
   // Blocked over the triangle: diagonal blocks are computed densely with
   // gemm into a scratch tile (cheap relative to the off-diagonal volume),
-  // off-diagonal blocks call gemm directly.
+  // off-diagonal blocks call gemm directly. Every (i, j) block of C is
+  // written exactly once, so the blocks parallelize as independent
+  // tasks across the worker pool (the CholQR Gram matrix is the hot
+  // caller here).
   constexpr index_t nb = 96;
-  thread_local Matrix<Real> diag_tile;
-  for (index_t i = 0; i < n; i += nb) {
+  auto do_block = [&](index_t i, index_t j) {
     const index_t ib = std::min(nb, n - i);
-    // Diagonal block.
-    diag_tile.resize(ib, ib);
     auto ai = (op == Op::NoTrans) ? a.rows_range(i, i + ib)
                                   : a.cols_range(i, i + ib);
-    gemm(op, transpose(op), alpha, ai, ai, Real(0), diag_tile.view());
-    auto cii = c.block(i, i, ib, ib);
-    for (index_t jj = 0; jj < ib; ++jj) {
-      const index_t lo = (uplo == Uplo::Upper) ? 0 : jj;
-      const index_t hi = (uplo == Uplo::Upper) ? jj + 1 : ib;
-      for (index_t ii = lo; ii < hi; ++ii)
-        cii(ii, jj) = beta * (beta == Real(0) ? Real(0) : cii(ii, jj)) +
-                      diag_tile(ii, jj);
-    }
-    // Off-diagonal blocks of this block-row/column.
-    for (index_t j = i + ib; j < n; j += nb) {
-      const index_t jb = std::min(nb, n - j);
-      auto aj = (op == Op::NoTrans) ? a.rows_range(j, j + jb)
-                                    : a.cols_range(j, j + jb);
-      if (uplo == Uplo::Upper) {
-        gemm(op, transpose(op), alpha, ai, aj, beta, c.block(i, j, ib, jb));
-      } else {
-        gemm(op, transpose(op), alpha, aj, ai, beta, c.block(j, i, jb, ib));
+    if (i == j) {
+      thread_local Matrix<Real> diag_tile;
+      diag_tile.resize(ib, ib);
+      gemm(op, transpose(op), alpha, ai, ai, Real(0), diag_tile.view());
+      auto cii = c.block(i, i, ib, ib);
+      for (index_t jj = 0; jj < ib; ++jj) {
+        const index_t lo = (uplo == Uplo::Upper) ? 0 : jj;
+        const index_t hi = (uplo == Uplo::Upper) ? jj + 1 : ib;
+        for (index_t ii = lo; ii < hi; ++ii) {
+          const Real prev = beta == Real(0) ? Real(0) : beta * cii(ii, jj);
+          cii(ii, jj) = prev + diag_tile(ii, jj);
+        }
       }
+      return;
     }
+    const index_t jb = std::min(nb, n - j);
+    auto aj = (op == Op::NoTrans) ? a.rows_range(j, j + jb)
+                                  : a.cols_range(j, j + jb);
+    if (uplo == Uplo::Upper) {
+      gemm(op, transpose(op), alpha, ai, aj, beta, c.block(i, j, ib, jb));
+    } else {
+      gemm(op, transpose(op), alpha, aj, ai, beta, c.block(j, i, jb, ib));
+    }
+  };
+
+  std::vector<std::pair<index_t, index_t>> blocks;
+  for (index_t i = 0; i < n; i += nb)
+    for (index_t j = i; j < n; j += nb) blocks.emplace_back(i, j);
+
+  const double work = double(n) * double(n) * double(k);
+  if (blas_num_threads() > 1 && blocks.size() > 1 &&
+      work >= kMinParallelFlops) {
+    parallel_ranges(static_cast<index_t>(blocks.size()), 1,
+                    [&](index_t b0, index_t b1) {
+                      for (index_t t = b0; t < b1; ++t)
+                        do_block(blocks[static_cast<std::size_t>(t)].first,
+                                 blocks[static_cast<std::size_t>(t)].second);
+                    });
+    return;
   }
+  for (const auto& [i, j] : blocks) do_block(i, j);
 }
 
 template <class Real>
@@ -224,13 +481,13 @@ void symmetrize(Uplo stored, MatrixView<Real> c) {
   }
 }
 
+namespace {
+
 template <class Real>
-void trsm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
-          ConstMatrixView<Real> t, MatrixView<Real> b) {
+void trsm_serial(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+                 ConstMatrixView<Real> t, MatrixView<Real> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  assert(t.rows() == t.cols());
-  assert(t.rows() == (side == Side::Left ? m : n));
 
   if (alpha != Real(1)) scale_matrix(b, alpha);
   if (m == 0 || n == 0) return;
@@ -318,29 +575,32 @@ void trsm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
 }
 
 template <class Real>
-void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
-          ConstMatrixView<Real> t, MatrixView<Real> b) {
+void trmm_serial(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+                 ConstMatrixView<Real> t, MatrixView<Real> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
-  assert(t.rows() == t.cols());
-  assert(t.rows() == (side == Side::Left ? m : n));
   if (m == 0 || n == 0) return;
 
   const bool eff_lower = (uplo == Uplo::Lower) == (op == Op::NoTrans);
 
-  // Unblocked in-place triangular multiply; the triangular factors in
-  // this library are ℓ×ℓ (small), so an O(dim²·n) two-level loop with
-  // axpy/dot inner kernels is adequate.
+  // In-place triangular multiply with axpy/dot inner kernels; the
+  // triangular factors in this library are ℓ×ℓ (small), so the O(dim²·n)
+  // two-level loop is adequate once the inner kernels are vectorized
+  // and the outer independent dimension is split across the pool.
   if (side == Side::Left) {
     if (!eff_lower) {
       // op(T) upper: compute rows top-down (row i uses rows ≥ i).
       for (index_t j = 0; j < n; ++j) {
         Real* bj = b.col_ptr(j);
         for (index_t i = 0; i < m; ++i) {
-          Real s = diag == Diag::Unit ? bj[i]
-                                      : (op == Op::NoTrans ? t(i, i) : t(i, i)) * bj[i];
-          for (index_t kk = i + 1; kk < m; ++kk)
-            s += (op == Op::NoTrans ? t(i, kk) : t(kk, i)) * bj[kk];
+          Real s = diag == Diag::Unit ? bj[i] : t(i, i) * bj[i];
+          if (op == Op::Trans) {
+            // t(kk, i) down column i is stride-1: vectorized dot.
+            s += dot(m - i - 1, t.col_ptr(i) + i + 1, index_t{1}, bj + i + 1,
+                     index_t{1});
+          } else {
+            for (index_t kk = i + 1; kk < m; ++kk) s += t(i, kk) * bj[kk];
+          }
           bj[i] = alpha * s;
         }
       }
@@ -349,9 +609,12 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
       for (index_t j = 0; j < n; ++j) {
         Real* bj = b.col_ptr(j);
         for (index_t i = m - 1; i >= 0; --i) {
-          Real s = diag == Diag::Unit ? bj[i] : (op == Op::NoTrans ? t(i, i) : t(i, i)) * bj[i];
-          for (index_t kk = 0; kk < i; ++kk)
-            s += (op == Op::NoTrans ? t(i, kk) : t(kk, i)) * bj[kk];
+          Real s = diag == Diag::Unit ? bj[i] : t(i, i) * bj[i];
+          if (op == Op::Trans) {
+            s += dot(i, t.col_ptr(i), index_t{1}, bj, index_t{1});
+          } else {
+            for (index_t kk = 0; kk < i; ++kk) s += t(i, kk) * bj[kk];
+          }
           bj[i] = alpha * s;
         }
       }
@@ -366,7 +629,8 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
         scal(m, alpha * tjj, bj, index_t{1});
         for (index_t kk = 0; kk < j; ++kk) {
           const Real tkj = op == Op::NoTrans ? t(kk, j) : t(j, kk);
-          if (tkj != Real(0)) axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
+          if (tkj != Real(0))
+            axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
         }
         if (j == 0) break;
       }
@@ -378,11 +642,79 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
         scal(m, alpha * tjj, bj, index_t{1});
         for (index_t kk = j + 1; kk < n; ++kk) {
           const Real tkj = op == Op::NoTrans ? t(kk, j) : t(j, kk);
-          if (tkj != Real(0)) axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
+          if (tkj != Real(0))
+            axpy(m, alpha * tkj, b.col_ptr(kk), index_t{1}, bj, index_t{1});
         }
       }
     }
   }
+}
+
+}  // namespace
+
+template <class Real>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+          ConstMatrixView<Real> t, MatrixView<Real> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  assert(t.rows() == t.cols());
+  assert(t.rows() == (side == Side::Left ? m : n));
+  const index_t dim = t.rows();
+
+  // Left solves are independent per column of B, right solves per row:
+  // split the independent dimension across the pool (the CholQR
+  // A·R⁻¹ step is a Right solve over all m rows of the sample matrix).
+  const double work = double(dim) * double(dim) * (side == Side::Left ? n : m);
+  if (blas_num_threads() > 1 && work >= kMinParallelFlops) {
+    if (side == Side::Left && n > 1) {
+      parallel_ranges(n, 8, [&](index_t j0, index_t j1) {
+        trsm_serial(side, uplo, op, diag, alpha, t,
+                    b.block(0, j0, m, j1 - j0));
+      });
+      return;
+    }
+    if (side == Side::Right && m > 1) {
+      parallel_ranges(m, 8, [&](index_t i0, index_t i1) {
+        trsm_serial(side, uplo, op, diag, alpha, t,
+                    b.block(i0, 0, i1 - i0, n));
+      });
+      return;
+    }
+  }
+  trsm_serial(side, uplo, op, diag, alpha, t, b);
+}
+
+template <class Real>
+void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
+          ConstMatrixView<Real> t, MatrixView<Real> b) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  assert(t.rows() == t.cols());
+  assert(t.rows() == (side == Side::Left ? m : n));
+  if (m == 0 || n == 0) return;
+  const index_t dim = t.rows();
+
+  // Left multiplies are independent per column of B; right multiplies
+  // per row (row i of B·op(T) only reads row i of B), so a row-sliced
+  // view runs the same in-place algorithm correctly.
+  const double work = double(dim) * double(dim) * (side == Side::Left ? n : m);
+  if (blas_num_threads() > 1 && work >= kMinParallelFlops) {
+    if (side == Side::Left && n > 1) {
+      parallel_ranges(n, 8, [&](index_t j0, index_t j1) {
+        trmm_serial(side, uplo, op, diag, alpha, t,
+                    b.block(0, j0, m, j1 - j0));
+      });
+      return;
+    }
+    if (side == Side::Right && m > 1) {
+      parallel_ranges(m, 8, [&](index_t i0, index_t i1) {
+        trmm_serial(side, uplo, op, diag, alpha, t,
+                    b.block(i0, 0, i1 - i0, n));
+      });
+      return;
+    }
+  }
+  trmm_serial(side, uplo, op, diag, alpha, t, b);
 }
 
 #define RANDLA_INSTANTIATE_BLAS3(Real)                                         \

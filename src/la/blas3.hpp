@@ -11,6 +11,23 @@
 
 namespace randla::blas {
 
+/// Name of the compiled-in microkernel ISA (e.g. "avx2-fma (dgemm 8x6,
+/// sgemm 16x6)" or "scalar (gemm 4x8)"), decided at compile time by the
+/// RANDLA_NATIVE_ARCH build option. Benches record this next to flop
+/// rates so numbers are attributable to a kernel.
+const char* kernel_arch();
+
+/// The row×column tile grid a GEMM of the given shape would be split
+/// into at the given thread count. {1, 1} means serial. The k dimension
+/// is never split, so results are bitwise identical for every grid.
+/// Exposed so tests can assert the policy (e.g. that tall-skinny and
+/// short-wide sampling shapes actually distribute).
+struct GemmGrid {
+  index_t row_tiles = 1;
+  index_t col_tiles = 1;
+};
+GemmGrid gemm_parallel_grid(index_t m, index_t n, index_t k, index_t threads);
+
 /// C ← α·op(A)·op(B) + β·C.
 template <class Real>
 void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,

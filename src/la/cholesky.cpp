@@ -3,21 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/blas1.hpp"
 #include "la/blas3.hpp"
 
 namespace randla::lapack {
 
 namespace {
 
-// Unblocked right-looking Cholesky on a small diagonal block.
+// Unblocked right-looking Cholesky on a small diagonal block. The inner
+// k-sweeps are dot products: stride-1 down stored columns in the Upper
+// case (vectorized dot kernel), row dots with stride ld() in the Lower
+// case.
 template <class Real>
 index_t potrf_unblocked(Uplo uplo, MatrixView<Real> a) {
   const index_t n = a.rows();
+  const index_t ld = a.ld();
   for (index_t j = 0; j < n; ++j) {
     Real d = a(j, j);
-    for (index_t k = 0; k < j; ++k) {
-      const Real v = (uplo == Uplo::Upper) ? a(k, j) : a(j, k);
-      d -= v * v;
+    if (j > 0) {
+      if (uplo == Uplo::Upper)
+        d -= blas::dot(j, a.col_ptr(j), index_t{1}, a.col_ptr(j), index_t{1});
+      else
+        d -= blas::dot(j, &a(j, 0), ld, &a(j, 0), ld);
     }
     if (!(d > Real(0))) return j + 1;  // catches NaN as well
     const Real r = std::sqrt(d);
@@ -25,13 +32,15 @@ index_t potrf_unblocked(Uplo uplo, MatrixView<Real> a) {
     if (uplo == Uplo::Upper) {
       for (index_t i = j + 1; i < n; ++i) {
         Real s = a(j, i);
-        for (index_t k = 0; k < j; ++k) s -= a(k, j) * a(k, i);
+        if (j > 0)
+          s -= blas::dot(j, a.col_ptr(j), index_t{1}, a.col_ptr(i),
+                         index_t{1});
         a(j, i) = s / r;
       }
     } else {
       for (index_t i = j + 1; i < n; ++i) {
         Real s = a(i, j);
-        for (index_t k = 0; k < j; ++k) s -= a(j, k) * a(i, k);
+        if (j > 0) s -= blas::dot(j, &a(j, 0), ld, &a(i, 0), ld);
         a(i, j) = s / r;
       }
     }

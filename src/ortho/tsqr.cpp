@@ -5,6 +5,7 @@
 #include "la/blas3.hpp"
 #include "la/flops.hpp"
 #include "la/householder.hpp"
+#include "la/parallel.hpp"
 
 namespace randla::ortho {
 
@@ -29,8 +30,21 @@ void tsqr_rec(MatrixView<Real> a, MatrixView<Real> r, index_t leaf_rows) {
 
   Matrix<Real> r1(n, n);
   Matrix<Real> r2(n, n);
-  tsqr_rec(top, r1.view(), leaf_rows);
-  tsqr_rec(bot, r2.view(), leaf_rows);
+  // The two subtrees touch disjoint row ranges, so they run as a 2-way
+  // fork on the worker pool when it pays (a GEMM inside a subtree then
+  // degrades to serial instead of deadlocking — see parallel.hpp). The
+  // result does not depend on execution order, so the factorization
+  // stays reproducible at any thread count.
+  if (blas_num_threads() > 1 && m >= 4 * leaf_rows) {
+    MatrixView<Real> halves[2] = {top, bot};
+    MatrixView<Real> rs[2] = {r1.view(), r2.view()};
+    parallel_ranges(2, 1, [&](index_t b0, index_t b1) {
+      for (index_t t = b0; t < b1; ++t) tsqr_rec(halves[t], rs[t], leaf_rows);
+    });
+  } else {
+    tsqr_rec(top, r1.view(), leaf_rows);
+    tsqr_rec(bot, r2.view(), leaf_rows);
+  }
 
   // Combine: QR of the stacked (2n×n) triangles.
   Matrix<Real> stacked(2 * n, n);
