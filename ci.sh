@@ -8,7 +8,16 @@
 #   3. the randla_serve replay, whose exit code self-checks that the
 #      serving runtime demonstrated cache hits, backpressure, and the
 #      retry policy on a 120-job workload;
-#   4. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
+#   4. TCP loopback: the same workload replayed through src/net sockets
+#      (`randla_serve --tcp 0`), then a background `randla_serve --tcp
+#      --linger` driven by randla_loadgen at an open-loop rate that
+#      provokes Busy shedding — the loadgen's exit code asserts zero
+#      failed jobs, zero failed residual checks, observed backpressure,
+#      and a sane p99; BENCH_serving.json captures the series;
+#   5. memory safety: the wire-protocol and server suites rebuilt with
+#      -fsanitize=address,undefined (the `asan` preset), so adversarial
+#      frames run under ASan/UBSan;
+#   6. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
 #      (the `tsan` preset) and RANDLA_NUM_THREADS=2, so the persistent
 #      BLAS worker pool (blocked GEMM tiles, syrk/trsm/trmm splits, TSQR
 #      subtrees) and the serving runtime run under ThreadSanitizer with
@@ -38,6 +47,29 @@ echo "kernel smoke OK: $(grep '"kernel_arch"' "$SMOKE_JSON")"
 
 echo "== serving replay self-check (randla_serve) =="
 ./build/examples/randla_serve --jobs 120
+
+echo "== tcp loopback: in-process replay over real sockets =="
+./build/examples/randla_serve --tcp 0 --jobs 60 --queue 2 --clients 8
+
+echo "== tcp loopback: background server + load generator =="
+SERVE_PORT=18431
+./build/examples/randla_serve --tcp "$SERVE_PORT" --linger --jobs 0 \
+  --workers 1 --queue 2 &
+SERVE_PID=$!
+sleep 1
+kill -0 "$SERVE_PID" 2>/dev/null || {
+  echo "tcp loopback FAILED: server did not survive startup (port in use?)"
+  exit 1
+}
+./build/examples/randla_loadgen --port "$SERVE_PORT" --jobs 200 \
+  --threads 8 --rate 400 --m 256 --n 128 --spread 64 \
+  --expect-busy --max-p99-ms 5000 --shutdown --json build/BENCH_serving.json
+wait "$SERVE_PID"
+
+echo "== memory safety: ASan/UBSan on the wire protocol and server =="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS" --target test_net_protocol test_net_server
+ctest --preset asan -j "$JOBS"
 
 echo "== concurrency: ThreadSanitizer tier-1 with the pool engaged =="
 cmake --preset tsan

@@ -1,0 +1,408 @@
+// randla_loadgen — TCP load generator for the serving front-end.
+//
+// Drives a running `randla_serve --tcp <port>` (or any net::Server) with
+// a deterministic mix of fixed-rank, adaptive, and QP3 requests over
+// real sockets, one blocking net::Client per worker thread. Two pacing
+// modes:
+//   * closed loop (default): each thread keeps exactly one request in
+//     flight — submit, wait, repeat;
+//   * open loop (--rate R): requests are launched on a fixed arrival
+//     schedule of R jobs/s regardless of completions, which is what
+//     actually pushes the server into Busy-shedding territory.
+//
+// Busy replies are honored the way a well-behaved client should: sleep
+// for the server's retry hint, then resend; latency is measured from the
+// *first* attempt so shed-and-retry time counts against the server. A
+// sample of fixed-rank results is residual-checked against a locally
+// regenerated copy of the input (the request carries a generator spec,
+// so client and server can materialize the identical matrix).
+//
+//   randla_loadgen --port P [--host H] [--jobs N] [--threads T]
+//                  [--rate JOBS_PER_S] [--m M] [--n N] [--check-frac F]
+//                  [--inline-frac F] [--spread N] [--max-p99-ms X]
+//                  [--expect-busy] [--shutdown] [--json PATH]
+//
+// --spread N rotates requests through N distinct matrix seeds: small N
+// makes the scheduler's result cache absorb most of the load, large N
+// forces real factorizations (use it to provoke Busy shedding).
+//
+// Exit code is a self-check: nonzero on any failed job, failed residual
+// check, missing expected backpressure, or busted p99 bound.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "la/norms.hpp"
+#include "net/client.hpp"
+#include "util/stats.hpp"
+
+using namespace randla;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int jobs = 200;
+  int threads = 4;
+  double rate = 0;        // jobs/s; 0 = closed loop
+  index_t m = 192, n = 96;
+  double check_frac = 0.15;
+  double inline_frac = 0.25;
+  double max_p99_ms = 0;  // 0 = no bound
+  int spread = 4;         // distinct matrix seeds; higher = fewer cache hits
+  bool expect_busy = false;
+  bool send_shutdown = false;
+  std::uint64_t seed = 2026;
+};
+
+struct JobRecord {
+  char kind = 'f';        // 'f' fixed-rank, 'a' adaptive, 'q' qrcp
+  double latency_ms = 0;
+  int busy_retries = 0;
+  bool ok = false;
+  bool checked = false;
+  bool check_passed = true;
+};
+
+/// Deterministic request for job index i: the mix rotates through a few
+/// generator specs so the server's matrix memo and the scheduler's
+/// sketch/result caches both see repeats.
+net::JobRequest build_request(const Options& opt, int i) {
+  net::JobRequest req;
+  req.request_id = static_cast<std::uint64_t>(i) + 1;
+  req.matrix.m = opt.m;
+  req.matrix.n = opt.n;
+  const int slot = i % 10;
+  const std::uint64_t mseed =
+      opt.seed + static_cast<std::uint64_t>(i % std::max(1, opt.spread));
+  if (slot < 6) {
+    // Fixed-rank on a numerically rank-8 input: with k = 16 ≥ rank the
+    // approximation is near-exact, so the residual check has teeth.
+    req.kind = runtime::JobKind::FixedRank;
+    req.matrix.generator = "lowrank";
+    req.matrix.seed = mseed;
+    req.matrix.rank = 8;
+    req.k = 16;
+    req.p = 8;
+    req.q = 1;
+    req.tag = "loadgen/fixed";
+  } else if (slot < 8) {
+    req.kind = runtime::JobKind::Adaptive;
+    req.matrix.generator = "gaussian";
+    req.matrix.seed = mseed;
+    req.epsilon = 0.5;
+    req.relative = true;
+    req.l_init = 8;
+    req.l_inc = 8;
+    req.l_max = std::min(opt.m, opt.n) / 2;
+    req.tag = "loadgen/adaptive";
+  } else {
+    req.kind = runtime::JobKind::Qrcp;
+    req.matrix.generator = "lowrank";
+    req.matrix.seed = mseed;
+    req.matrix.rank = 8;
+    req.k = 16;
+    req.block = 16;
+    req.tag = "loadgen/qrcp";
+  }
+  return req;
+}
+
+/// Every (i % check_period)-th job gets an inline payload instead of a
+/// generator spec, exercising the other decode path end to end.
+void maybe_inline(net::JobRequest& req, const Options& opt, int i) {
+  if (opt.inline_frac <= 0) return;
+  const int period = static_cast<int>(std::lround(1.0 / opt.inline_frac));
+  if (period <= 0 || i % period != 0) return;
+  req.matrix.inline_data = net::materialize(req.matrix);
+  req.matrix.source = net::MatrixSource::Inline;
+}
+
+/// ‖A·P − Q·R‖_F / ‖A‖_F for a fixed-rank reply, with A regenerated
+/// locally from the request's generator spec.
+double fixed_rank_residual(const net::JobRequest& req,
+                           const net::CallResult& res) {
+  net::MatrixSpec spec = req.matrix;
+  spec.source = net::MatrixSource::Generator;
+  const Matrix<double> a = net::materialize(spec);
+  const Matrix<double>& q = res.tensors[0];
+  const Matrix<double>& r = res.tensors[1];
+  Matrix<double> resid(a.rows(), a.cols());
+  apply_column_permutation<double>(a.view(), res.header.perm, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(q.view()),
+                     ConstMatrixView<double>(r.view()), 1.0, resid.view());
+  return norm_fro<double>(ConstMatrixView<double>(resid.view())) /
+         norm_fro<double>(ConstMatrixView<double>(a.view()));
+}
+
+/// ‖(A·P)₁:k − Q·R1‖_F for a truncated-QP3 reply (leading k columns of
+/// a pivoted QR are exact, not approximate).
+double qrcp_residual(const net::JobRequest& req, const net::CallResult& res) {
+  const Matrix<double> a = net::materialize(req.matrix);
+  const Matrix<double>& q = res.tensors[0];
+  const Matrix<double>& r1 = res.tensors[1];
+  Matrix<double> lead = permuted_leading_columns<double>(
+      a.view(), res.header.perm, r1.cols());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(q.view()),
+                     ConstMatrixView<double>(r1.view()), 1.0, lead.view());
+  return norm_fro<double>(ConstMatrixView<double>(lead.view())) /
+         norm_fro<double>(ConstMatrixView<double>(a.view()));
+}
+
+bool verify_result(const net::JobRequest& req, const net::CallResult& res,
+                   JobRecord& rec) {
+  if (res.header.status != runtime::JobStatus::Done) return false;
+  switch (req.kind) {
+    case runtime::JobKind::FixedRank: {
+      if (res.tensors.size() != 2) return false;
+      const double err = fixed_rank_residual(req, res);
+      if (err > 1e-8) {
+        std::fprintf(stderr, "loadgen: fixed-rank residual %.3e (req %llu)\n",
+                     err, (unsigned long long)req.request_id);
+        return false;
+      }
+      return true;
+    }
+    case runtime::JobKind::Adaptive: {
+      // The basis dims are the contract here; the ε guarantee itself is
+      // covered by the adaptive unit tests.
+      return res.tensors.size() == 1 &&
+             res.header.tensors[0].cols == req.matrix.n &&
+             res.header.tensors[0].rows >= 1;
+    }
+    case runtime::JobKind::Qrcp: {
+      if (res.tensors.size() != 3) return false;
+      const double err = qrcp_residual(req, res);
+      if (err > 1e-10) {
+        std::fprintf(stderr, "loadgen: qrcp residual %.3e (req %llu)\n", err,
+                     (unsigned long long)req.request_id);
+        return false;
+      }
+      return true;
+    }
+  }
+  (void)rec;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) opt.host = need("--host");
+    else if (!std::strcmp(argv[i], "--port")) opt.port = std::atoi(need("--port"));
+    else if (!std::strcmp(argv[i], "--jobs")) opt.jobs = std::atoi(need("--jobs"));
+    else if (!std::strcmp(argv[i], "--threads")) opt.threads = std::atoi(need("--threads"));
+    else if (!std::strcmp(argv[i], "--rate")) opt.rate = std::atof(need("--rate"));
+    else if (!std::strcmp(argv[i], "--m")) opt.m = std::atoi(need("--m"));
+    else if (!std::strcmp(argv[i], "--n")) opt.n = std::atoi(need("--n"));
+    else if (!std::strcmp(argv[i], "--check-frac")) opt.check_frac = std::atof(need("--check-frac"));
+    else if (!std::strcmp(argv[i], "--inline-frac")) opt.inline_frac = std::atof(need("--inline-frac"));
+    else if (!std::strcmp(argv[i], "--max-p99-ms")) opt.max_p99_ms = std::atof(need("--max-p99-ms"));
+    else if (!std::strcmp(argv[i], "--spread")) opt.spread = std::atoi(need("--spread"));
+    else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
+    else if (!std::strcmp(argv[i], "--expect-busy")) opt.expect_busy = true;
+    else if (!std::strcmp(argv[i], "--shutdown")) opt.send_shutdown = true;
+    else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
+  }
+  if (opt.port <= 0) {
+    std::fprintf(stderr, "usage: randla_loadgen --port P [flags]\n");
+    return 2;
+  }
+
+  std::printf("randla_loadgen: %d jobs → %s:%d, %d threads, %s\n", opt.jobs,
+              opt.host.c_str(), opt.port, opt.threads,
+              opt.rate > 0 ? "open loop" : "closed loop");
+
+  std::vector<JobRecord> records(static_cast<std::size_t>(opt.jobs));
+  std::atomic<int> next_job{0};
+  std::atomic<int> transport_failures{0};
+  std::atomic<int> check_counter{0};
+  const int check_period =
+      opt.check_frac > 0
+          ? std::max(1, static_cast<int>(std::lround(1.0 / opt.check_frac)))
+          : 0;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto worker = [&](int widx) {
+    net::ClientOptions copt;
+    copt.host = opt.host;
+    copt.port = static_cast<std::uint16_t>(opt.port);
+    net::Client client(copt);
+    if (!client.connect()) {
+      std::fprintf(stderr, "loadgen[%d]: %s\n", widx,
+                   client.last_error().c_str());
+      transport_failures.fetch_add(1);
+      return;
+    }
+    for (;;) {
+      const int i = next_job.fetch_add(1);
+      if (i >= opt.jobs) return;
+      net::JobRequest req = build_request(opt, i);
+      maybe_inline(req, opt, i);
+      JobRecord& rec = records[static_cast<std::size_t>(i)];
+      rec.kind = req.kind == runtime::JobKind::FixedRank ? 'f'
+                 : req.kind == runtime::JobKind::Adaptive ? 'a'
+                                                          : 'q';
+      if (opt.rate > 0) {
+        // Open loop: launch at the scheduled arrival time even if the
+        // previous request on this thread just finished late.
+        const auto due =
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(double(i) / opt.rate));
+        std::this_thread::sleep_until(due);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      net::CallResult res;
+      for (;;) {
+        res = client.call(req);
+        if (res.status != net::CallStatus::Busy) break;
+        rec.busy_retries += 1;
+        const auto nap = std::min<std::uint32_t>(res.busy.retry_after_ms, 200);
+        std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+      }
+      rec.latency_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (res.status != net::CallStatus::Ok ||
+          res.header.status != runtime::JobStatus::Done) {
+        std::fprintf(stderr, "loadgen: job %d failed: %s %s %s\n", i,
+                     net::call_status_name(res.status),
+                     res.detail.c_str(),
+                     res.status == net::CallStatus::RemoteError
+                         ? res.error.message.c_str()
+                         : res.header.error.c_str());
+        if (res.status == net::CallStatus::TransportError) {
+          // The connection is unusable after a transport error.
+          if (!client.connect()) return;
+        }
+        continue;  // rec.ok stays false
+      }
+      rec.ok = true;
+      if (check_period > 0 && check_counter.fetch_add(1) % check_period == 0) {
+        rec.checked = true;
+        rec.check_passed = verify_result(req, res, rec);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < opt.threads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // ------------------------------------------------------------------
+  // Aggregate.
+  int ok = 0, failed = 0, busy_events = 0, checked = 0, check_failed = 0;
+  std::vector<double> lat_all;
+  std::vector<double> lat_by_kind[3];  // f, a, q
+  for (const JobRecord& r : records) {
+    busy_events += r.busy_retries;
+    if (r.ok) {
+      ++ok;
+      lat_all.push_back(r.latency_ms);
+      const int ki = r.kind == 'f' ? 0 : r.kind == 'a' ? 1 : 2;
+      lat_by_kind[ki].push_back(r.latency_ms);
+    } else {
+      ++failed;
+    }
+    if (r.checked) {
+      ++checked;
+      if (!r.check_passed) ++check_failed;
+    }
+  }
+  const double p50 = util::percentile(lat_all, 50);
+  const double p90 = util::percentile(lat_all, 90);
+  const double p99 = util::percentile(lat_all, 99);
+  const double throughput = wall_s > 0 ? double(ok) / wall_s : 0;
+
+  std::printf("\n-- load summary -----------------------------------------\n");
+  std::printf("jobs:        %d ok, %d failed (of %d) in %.2fs → %.1f jobs/s\n",
+              ok, failed, opt.jobs, wall_s, throughput);
+  std::printf("latency ms:  p50 %.1f  p90 %.1f  p99 %.1f\n", p50, p90, p99);
+  std::printf("backpressure: %d busy replies honored\n", busy_events);
+  std::printf("residual:    %d sampled, %d failed\n", checked, check_failed);
+
+  bench::JsonReport report("serving", argc, argv);
+  if (report.enabled()) {
+    report.row("summary")
+        .set("jobs", double(opt.jobs))
+        .set("ok", double(ok))
+        .set("failed", double(failed))
+        .set("busy_events", double(busy_events))
+        .set("checked", double(checked))
+        .set("check_failed", double(check_failed))
+        .set("wall_s", wall_s)
+        .set("throughput_jps", throughput)
+        .set("p50_ms", p50)
+        .set("p90_ms", p90)
+        .set("p99_ms", p99)
+        .set("threads", double(opt.threads))
+        .set("mode", std::string(opt.rate > 0 ? "open" : "closed"))
+        .set("rate_jps", opt.rate);
+    const char* kind_name[3] = {"fixed_rank", "adaptive", "qrcp"};
+    for (int ki = 0; ki < 3; ++ki) {
+      report.row(kind_name[ki])
+          .set("count", double(lat_by_kind[ki].size()))
+          .set("p50_ms", util::percentile(lat_by_kind[ki], 50))
+          .set("p99_ms", util::percentile(lat_by_kind[ki], 99));
+    }
+    if (!report.write()) return 1;
+  }
+
+  if (opt.send_shutdown) {
+    net::ClientOptions copt;
+    copt.host = opt.host;
+    copt.port = static_cast<std::uint16_t>(opt.port);
+    net::Client client(copt);
+    if (client.connect() && client.send_shutdown())
+      std::printf("sent shutdown\n");
+  }
+
+  // Self-check exit code (CI smoke contract).
+  bool bad = false;
+  if (failed > 0 || transport_failures.load() > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs failed, %d transport failures\n",
+                 failed, transport_failures.load());
+    bad = true;
+  }
+  if (check_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d residual checks failed\n", check_failed);
+    bad = true;
+  }
+  if (opt.expect_busy && busy_events == 0) {
+    std::fprintf(stderr, "FAIL: expected Busy backpressure, saw none\n");
+    bad = true;
+  }
+  if (opt.max_p99_ms > 0 && p99 > opt.max_p99_ms) {
+    std::fprintf(stderr, "FAIL: p99 %.1fms exceeds bound %.1fms\n", p99,
+                 opt.max_p99_ms);
+    bad = true;
+  }
+  return bad ? 1 : 0;
+}

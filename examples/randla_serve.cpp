@@ -11,30 +11,224 @@
 //
 //   randla_serve [--jobs N] [--workers N] [--queue N] [--burst N]
 //                [--deadline SECONDS] [--traces PATH]
+//                [--tcp PORT] [--clients N] [--linger]
+//
+// With --tcp the same workload is replayed over a real loopback socket
+// through src/net: the process hosts a net::Server on PORT (0 picks an
+// ephemeral port, printed on stdout) and drives it with N concurrent
+// blocking clients that honor Busy backpressure the way the in-process
+// path honors QueueFull. --linger keeps the server alive after the
+// replay (or with --jobs 0, immediately) until a client sends a
+// Shutdown frame — the CI smoke runs `randla_serve --tcp ... --linger`
+// in the background and points randla_loadgen at it.
 //
 // See README.md §randla_serve for the telemetry JSON schema.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/workload.hpp"
 
 using namespace randla;
 
+namespace {
+
+/// Rebuild the generator spec a workload job's matrix came from (the
+/// workload derives every input from a seeded generator, so the wire
+/// request can name it instead of shipping the payload).
+net::MatrixSpec spec_for(const runtime::MatrixHandle& a,
+                         const runtime::Workload& w,
+                         const runtime::WorkloadOptions& wo) {
+  net::MatrixSpec spec;
+  spec.m = wo.m;
+  spec.n = wo.n;
+  for (std::size_t i = 0; i < w.matrices.size(); ++i) {
+    if (w.matrices[i] == a) {
+      spec.generator = "gaussian";
+      spec.seed = wo.seed + 100 + i;
+      return spec;
+    }
+  }
+  // Not one of the well-conditioned inputs: the deficient matrix.
+  spec.generator = "lowrank";
+  spec.seed = wo.seed + 999;
+  spec.rank = std::max<index_t>(2, wo.ranks.front() / 2);
+  return spec;
+}
+
+std::uint8_t ortho_to_wire(ortho::Scheme s) {
+  if (s == ortho::Scheme::CholQR) return 0;
+  if (s == ortho::Scheme::HHQR) return 2;
+  return 1;  // CholQR2 (the default)
+}
+
+net::JobRequest to_request(const runtime::Job& job, const runtime::Workload& w,
+                           const runtime::WorkloadOptions& wo,
+                           std::uint64_t id) {
+  net::JobRequest req;
+  req.request_id = id;
+  req.tag = job.tag;
+  req.deadline_s = job.deadline_s;
+  req.matrix = spec_for(runtime::job_matrix(job), w, wo);
+  if (const auto* fj = std::get_if<runtime::FixedRankJob>(&job.payload)) {
+    req.kind = runtime::JobKind::FixedRank;
+    req.k = fj->opts.k;
+    req.p = fj->opts.p;
+    req.q = fj->opts.q;
+    req.sample_seed = fj->opts.seed;
+    req.power_ortho = ortho_to_wire(fj->opts.power_ortho);
+  } else if (const auto* aj = std::get_if<runtime::AdaptiveJob>(&job.payload)) {
+    req.kind = runtime::JobKind::Adaptive;
+    req.epsilon = aj->opts.epsilon;
+    req.relative = aj->opts.relative;
+    req.l_init = aj->opts.l_init;
+    req.l_inc = aj->opts.l_inc;
+    req.l_max = aj->opts.l_max;
+    req.q = aj->opts.q;
+    req.sample_seed = aj->opts.seed;
+    req.power_ortho = ortho_to_wire(aj->opts.power_ortho);
+  } else {
+    const auto& qj = std::get<runtime::QrcpJob>(job.payload);
+    req.kind = runtime::JobKind::Qrcp;
+    req.k = qj.k;
+    req.block = qj.block;
+  }
+  return req;
+}
+
+/// Loopback replay: host a net::Server on `port` and push the workload
+/// through it with `clients` concurrent blocking connections.
+int run_tcp(runtime::Scheduler& sched, const runtime::Workload& w,
+            const runtime::WorkloadOptions& wo, int port, int clients,
+            bool linger) {
+  net::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(port);
+  sopts.allow_remote_shutdown = true;
+  net::Server server(sched, sopts);
+  if (!server.start()) return 1;
+  std::printf("randla_serve: listening on 127.0.0.1:%u (%zu replay jobs, "
+              "%d clients%s)\n",
+              unsigned(server.port()), w.jobs.size(), clients,
+              linger ? ", linger" : "");
+  std::fflush(stdout);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> busy_total{0}, ok_total{0}, failed_total{0};
+  auto submitter = [&] {
+    net::ClientOptions copt;
+    copt.port = server.port();
+    net::Client client(copt);
+    if (!client.connect()) {
+      failed_total.fetch_add(1);
+      return;
+    }
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= w.jobs.size()) return;
+      const net::JobRequest req =
+          to_request(w.jobs[i], w, wo, static_cast<std::uint64_t>(i) + 1);
+      for (;;) {
+        const net::CallResult res = client.call(req);
+        if (res.status == net::CallStatus::Busy) {
+          busy_total.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<std::uint32_t>(res.busy.retry_after_ms, 100)));
+          continue;
+        }
+        if (res.status == net::CallStatus::Ok &&
+            res.header.status == runtime::JobStatus::Done) {
+          ok_total.fetch_add(1);
+        } else {
+          std::fprintf(stderr, "replay job %zu: %s %s\n", i,
+                       net::call_status_name(res.status),
+                       res.detail.empty() ? res.header.error.c_str()
+                                          : res.detail.c_str());
+          failed_total.fetch_add(1);
+        }
+        break;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients && !w.jobs.empty(); ++c)
+    pool.emplace_back(submitter);
+  for (auto& t : pool) t.join();
+
+  if (!w.jobs.empty()) {
+    const auto summary = sched.telemetry().summarize();
+    const auto sk = sched.sketch_cache_stats();
+    const auto rc = sched.result_cache_stats();
+    const auto st = server.stats();
+    std::printf("\n-- tcp replay summary -----------------------------------\n");
+    std::printf("%s\n", summary.to_json().c_str());
+    std::printf("replay:       %d ok, %d failed, %d busy replies honored\n",
+                ok_total.load(), failed_total.load(), busy_total.load());
+    std::printf("server:       %llu frames in, %llu protocol errors, "
+                "%llu submitted, %llu busy, %llu completed\n",
+                (unsigned long long)st.frames_in,
+                (unsigned long long)st.protocol_errors,
+                (unsigned long long)st.jobs_submitted,
+                (unsigned long long)st.jobs_busy,
+                (unsigned long long)st.jobs_completed);
+
+    const bool saw_cache_hit = sk.hits + rc.hits > 0;
+    const bool saw_busy = busy_total.load() > 0;
+    const bool saw_retry = summary.retries > 0;
+    const bool clean = failed_total.load() == 0 && st.protocol_errors == 0;
+    if (!saw_cache_hit || !saw_busy || !saw_retry || !clean) {
+      std::fprintf(stderr,
+                   "expected cache hit (%d), busy (%d), retry (%d), "
+                   "clean replay (%d)\n",
+                   int(saw_cache_hit), int(saw_busy), int(saw_retry),
+                   int(clean));
+      if (!linger) return 1;
+    }
+  }
+
+  if (linger) {
+    std::printf("randla_serve: serving until remote shutdown\n");
+    std::fflush(stdout);
+    server.wait();  // a client's Shutdown frame drains and exits the loop
+    std::printf("randla_serve: drained after remote shutdown\n");
+  } else {
+    server.stop();
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int jobs = 120, workers = 2, queue = 8, burst = 16;
+  int tcp_port = -1, clients = 8;
+  bool linger = false;
   double deadline = 0;
   std::string traces_path;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (!std::strcmp(argv[i], "--jobs")) jobs = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--workers")) workers = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--queue")) queue = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--burst")) burst = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--deadline")) deadline = std::atof(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--traces")) traces_path = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    auto val = [&] {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--jobs")) jobs = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--workers")) workers = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--queue")) queue = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--burst")) burst = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--deadline")) deadline = std::atof(val());
+    else if (!std::strcmp(argv[i], "--traces")) traces_path = val();
+    else if (!std::strcmp(argv[i], "--tcp")) tcp_port = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--clients")) clients = std::atoi(val());
+    else if (!std::strcmp(argv[i], "--linger")) linger = true;
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
 
@@ -47,6 +241,8 @@ int main(int argc, char** argv) {
   so.queue_capacity = static_cast<std::size_t>(queue);
   so.default_deadline_s = deadline;
   runtime::Scheduler sched(so);
+
+  if (tcp_port >= 0) return run_tcp(sched, w, wo, tcp_port, clients, linger);
 
   std::printf("randla_serve: %d jobs, %d workers, queue high-water %d, "
               "burst %d%s\n",

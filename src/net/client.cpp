@@ -1,0 +1,215 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace randla::net {
+
+const char* call_status_name(CallStatus s) {
+  switch (s) {
+    case CallStatus::Ok: return "ok";
+    case CallStatus::Busy: return "busy";
+    case CallStatus::RemoteError: return "remote_error";
+    case CallStatus::TransportError: return "transport_error";
+    case CallStatus::ProtocolError: return "protocol_error";
+  }
+  return "?";
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool Client::connect() {
+  close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = "socket failed";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad host address: " + opts_.host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    last_error_ = std::string("connect failed: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (opts_.recv_timeout_s > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(opts_.recv_timeout_s);
+    tv.tv_usec = static_cast<long>(
+        (opts_.recv_timeout_s - std::floor(opts_.recv_timeout_s)) * 1e6);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  return true;
+}
+
+bool Client::send_raw(const void* data, std::size_t n) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      last_error_ = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool Client::fill(std::size_t min_bytes) {
+  std::uint8_t buf[65536];
+  while (rbuf_.size() < min_bytes) {
+    const ssize_t n = recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    last_error_ = n == 0 ? "connection closed by peer"
+                         : std::string("recv failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Client::read_frame(FrameHeader* hdr, std::vector<std::uint8_t>* payload) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  if (!fill(kHeaderBytes)) return false;
+  const HeaderStatus hs = peek_header(rbuf_.data(), rbuf_.size(), hdr);
+  if (hs != HeaderStatus::Ok) {
+    last_error_ = "malformed frame header from server";
+    return false;
+  }
+  if (!fill(kHeaderBytes + hdr->payload_len)) return false;
+  payload->assign(rbuf_.begin() + kHeaderBytes,
+                  rbuf_.begin() + kHeaderBytes + hdr->payload_len);
+  rbuf_.erase(rbuf_.begin(),
+              rbuf_.begin() + kHeaderBytes + hdr->payload_len);
+  return true;
+}
+
+bool Client::ping(std::uint64_t nonce) {
+  const auto frame = encode_ping(nonce);
+  if (!send_raw(frame.data(), frame.size())) return false;
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(&hdr, &payload)) return false;
+  if (hdr.type != FrameType::Pong) {
+    last_error_ = "expected pong";
+    return false;
+  }
+  auto echoed = decode_ping(payload.data(), payload.size());
+  return echoed && *echoed == nonce;
+}
+
+bool Client::send_shutdown() {
+  const auto frame = encode_shutdown();
+  return send_raw(frame.data(), frame.size());
+}
+
+CallResult Client::call(const JobRequest& req) {
+  CallResult out;
+  const auto frame = encode_submit(req);
+  if (!send_raw(frame.data(), frame.size())) {
+    out.status = CallStatus::TransportError;
+    out.detail = last_error_;
+    return out;
+  }
+
+  bool have_header = false;
+  for (;;) {
+    FrameHeader hdr;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&hdr, &payload)) {
+      out.status = CallStatus::TransportError;
+      out.detail = last_error_;
+      return out;
+    }
+    switch (hdr.type) {
+      case FrameType::Busy: {
+        auto b = decode_busy(payload.data(), payload.size());
+        if (!b) break;
+        out.status = CallStatus::Busy;
+        out.busy = *b;
+        return out;
+      }
+      case FrameType::Error: {
+        auto e = decode_error(payload.data(), payload.size());
+        if (!e) break;
+        out.status = CallStatus::RemoteError;
+        out.error = *e;
+        return out;
+      }
+      case FrameType::ResultHeader: {
+        auto h = decode_result_header(payload.data(), payload.size());
+        if (!h) break;
+        out.header = std::move(*h);
+        out.tensors.clear();
+        for (const TensorInfo& t : out.header.tensors)
+          out.tensors.emplace_back(t.rows, t.cols);  // zero-initialized
+        have_header = true;
+        continue;
+      }
+      case FrameType::ResultChunk: {
+        auto c = decode_result_chunk(payload.data(), payload.size());
+        if (!c || !have_header) break;
+        if (c->tensor >= out.tensors.size()) break;
+        Matrix<double>& m = out.tensors[c->tensor];
+        const std::uint64_t total =
+            std::uint64_t(m.rows()) * static_cast<std::uint64_t>(m.cols());
+        if (c->offset > total || c->data.size() > total - c->offset) break;
+        std::memcpy(m.data() + c->offset, c->data.data(),
+                    c->data.size() * sizeof(double));
+        continue;
+      }
+      case FrameType::ResultEnd: {
+        auto id = decode_result_end(payload.data(), payload.size());
+        if (!id || !have_header || *id != out.header.request_id) break;
+        out.status = CallStatus::Ok;
+        return out;
+      }
+      case FrameType::Pong:
+        continue;  // stale pong from a pipelined ping; ignore
+      default:
+        break;
+    }
+    out.status = CallStatus::ProtocolError;
+    out.detail = "unexpected or undecodable frame (type " +
+                 std::to_string(static_cast<int>(hdr.type)) + ")";
+    return out;
+  }
+}
+
+}  // namespace randla::net

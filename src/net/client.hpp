@@ -1,0 +1,79 @@
+// client.hpp — blocking client for the TCP serving front-end.
+//
+// One Client owns one connection. call() performs a full request/reply
+// exchange: encode Submit, then read frames until the terminal one —
+// Busy, Error, or a ResultHeader/Chunk/End sequence whose chunks are
+// reassembled (bounds-checked against the announced dimensions) into
+// dense column-major factors. The transport is deliberately synchronous:
+// load generators that need concurrency open one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace randla::net {
+
+enum class CallStatus : std::uint8_t {
+  Ok = 0,          ///< terminal ResultEnd received (job may still have Failed)
+  Busy = 1,        ///< server shed the request with a Busy frame
+  RemoteError = 2, ///< server answered with a typed Error frame
+  TransportError = 3,  ///< connect/send/recv failure or unexpected EOF
+  ProtocolError = 4,   ///< peer sent bytes that do not decode
+};
+const char* call_status_name(CallStatus s);
+
+struct CallResult {
+  CallStatus status = CallStatus::TransportError;
+  ResultHeader header;            ///< valid when status == Ok
+  std::vector<Matrix<double>> tensors;  ///< parallel to header.tensors
+  BusyReply busy;                 ///< valid when status == Busy
+  ErrorReply error;               ///< valid when status == RemoteError
+  std::string detail;             ///< local diagnostic for Transport/Protocol
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double recv_timeout_s = 30;  ///< per-recv timeout; ≤0 blocks forever
+};
+
+class Client {
+ public:
+  Client() = default;
+  explicit Client(ClientOptions opts) : opts_(std::move(opts)) {}
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect();
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Submit one request and block for its terminal reply.
+  CallResult call(const JobRequest& req);
+  /// Round-trip a Ping; false on any transport/protocol failure.
+  bool ping(std::uint64_t nonce = 1);
+  /// Ask the server to drain and exit (needs allow_remote_shutdown).
+  bool send_shutdown();
+
+  /// Test hook: write arbitrary bytes to the socket (adversarial frames).
+  bool send_raw(const void* data, std::size_t n);
+  /// Test hook: read one complete frame (header-validated); false on EOF,
+  /// timeout, or malformed peer bytes.
+  bool read_frame(FrameHeader* hdr, std::vector<std::uint8_t>* payload);
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool fill(std::size_t min_bytes);
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::string last_error_;
+};
+
+}  // namespace randla::net

@@ -1,0 +1,652 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace randla::net {
+
+namespace {
+
+ortho::Scheme scheme_from_wire(std::uint8_t code) {
+  switch (code) {
+    case 0: return ortho::Scheme::CholQR;
+    case 2: return ortho::Scheme::HHQR;
+    default: return ortho::Scheme::CholQR2;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int fl = fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  runtime::Scheduler& sched;
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int wake_r = -1, wake_w = -1;
+  std::uint16_t bound_port = 0;
+  std::thread thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> loop_alive{false};
+  std::atomic<bool> stop_requested{false};
+  std::mutex join_mu;
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;  ///< flushed prefix of wbuf
+    double last_active = 0;
+    bool close_after_flush = false;
+    std::uint64_t inflight = 0;
+  };
+  std::map<std::uint64_t, Conn> conns;  ///< id → connection (id never reused)
+  std::uint64_t next_conn_id = 1;
+
+  struct InFlight {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::shared_ptr<runtime::JobHandle> handle;
+  };
+  std::vector<InFlight> inflight;
+
+  /// Memoized generator-spec matrices (FIFO eviction): repeated specs
+  /// share one FingerprintedMatrix, so re-generation and
+  /// re-fingerprinting are paid once per distinct spec.
+  std::map<std::string, runtime::MatrixHandle> matrix_cache;
+  std::deque<std::string> matrix_order;
+
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+
+  Impl(runtime::Scheduler& s, ServerOptions o) : sched(s), opts(std::move(o)) {}
+
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  void bump(std::uint64_t ServerStats::* field, std::uint64_t by = 1) {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    stats.*field += by;
+  }
+
+  bool bind_listen();
+  void loop();
+  void accept_ready();
+  void read_ready(std::uint64_t cid);
+  bool flush(Conn& c);
+  void queue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  void process_input(std::uint64_t cid);
+  void dispatch(std::uint64_t cid, FrameType type, const std::uint8_t* payload,
+                std::size_t len);
+  void handle_submit(std::uint64_t cid, const std::uint8_t* payload,
+                     std::size_t len);
+  runtime::MatrixHandle resolve_matrix(const MatrixSpec& spec);
+  std::uint32_t retry_after_ms() const;
+  void deliver_completions();
+  void send_result(Conn& c, std::uint64_t request_id,
+                   const runtime::JobOutcome& outcome);
+  void drop_conn(std::uint64_t cid);
+};
+
+// ---------------------------------------------------------------------
+
+Server::Server(runtime::Scheduler& sched, ServerOptions opts)
+    : impl_(std::make_unique<Impl>(sched, std::move(opts))) {}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+bool Server::running() const { return impl_->loop_alive.load(); }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  return impl_->stats;
+}
+
+bool Server::start() {
+  if (impl_->started.load()) return true;
+  if (!impl_->bind_listen()) return false;
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+  impl_->wake_r = pipefd[0];
+  impl_->wake_w = pipefd[1];
+  set_nonblocking(impl_->wake_r);
+  impl_->started.store(true);
+  impl_->loop_alive.store(true);
+  impl_->thread = std::thread([this] { impl_->loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!impl_->started.load()) return;
+  impl_->stop_requested.store(true);
+  {
+    // Serialized with the post-join close in wait(): never write to a
+    // wake fd another control thread may be closing.
+    std::lock_guard<std::mutex> lk(impl_->join_mu);
+    if (impl_->wake_w >= 0) {
+      const char b = 1;
+      ssize_t ignored = write(impl_->wake_w, &b, 1);
+      (void)ignored;
+    }
+  }
+  wait();
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lk(impl_->join_mu);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  // The loop is gone; retire the wake pipe under the same lock stop()
+  // uses for its wake write.
+  if (impl_->wake_r >= 0) {
+    close(impl_->wake_r);
+    impl_->wake_r = -1;
+  }
+  if (impl_->wake_w >= 0) {
+    close(impl_->wake_w);
+    impl_->wake_w = -1;
+  }
+}
+
+// ---------------------------------------------------------------------
+
+bool Server::Impl::bind_listen() {
+  listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("net: socket");
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (inet_pton(AF_INET, opts.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "net: bad bind address %s\n", opts.bind_addr.c_str());
+    close(listen_fd);
+    listen_fd = -1;
+    return false;
+  }
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd, 64) != 0) {
+    std::perror("net: bind/listen");
+    close(listen_fd);
+    listen_fd = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+    bound_port = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd);
+  return true;
+}
+
+void Server::Impl::loop() {
+  bool draining = false;
+  double drain_start = 0;
+  for (;;) {
+    if (stop_requested.load() && !draining) {
+      draining = true;
+      drain_start = now();
+      if (listen_fd >= 0) {
+        close(listen_fd);
+        listen_fd = -1;
+      }
+    }
+    if (draining) {
+      bool pending_writes = false;
+      for (const auto& [id, c] : conns)
+        if (c.woff < c.wbuf.size()) pending_writes = true;
+      if ((inflight.empty() && !pending_writes) ||
+          now() - drain_start > opts.drain_timeout_s)
+        break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
+    if (listen_fd >= 0) {
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    fds.push_back(pollfd{wake_r, POLLIN, 0});
+    fd_conn.push_back(0);
+    for (auto& [id, c] : conns) {
+      short ev = POLLIN;
+      if (c.woff < c.wbuf.size()) ev |= POLLOUT;
+      fds.push_back(pollfd{c.fd, ev, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int timeout_ms = !inflight.empty() ? 5 : 100;
+    const int rc = poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_r) {
+        char buf[64];
+        while (read(wake_r, buf, sizeof buf) > 0) {
+        }
+      } else if (fds[i].fd == listen_fd) {
+        accept_ready();
+      } else {
+        const std::uint64_t cid = fd_conn[i];
+        if (!conns.count(cid)) continue;  // dropped earlier this cycle
+        if (fds[i].revents & (POLLERR | POLLNVAL)) {
+          drop_conn(cid);
+          continue;
+        }
+        if (fds[i].revents & (POLLIN | POLLHUP)) read_ready(cid);
+        if (conns.count(cid) && (fds[i].revents & POLLOUT)) {
+          Conn& c = conns[cid];
+          if (!flush(c)) drop_conn(cid);
+        }
+      }
+    }
+
+    deliver_completions();
+
+    // Close connections that finished flushing after a protocol error,
+    // and quiet ones past the idle timeout.
+    std::vector<std::uint64_t> doomed;
+    const double t = now();
+    for (auto& [id, c] : conns) {
+      const bool flushed = c.woff >= c.wbuf.size();
+      if (c.close_after_flush && flushed) doomed.push_back(id);
+      else if (!draining && opts.idle_timeout_s > 0 && c.inflight == 0 &&
+               flushed && t - c.last_active > opts.idle_timeout_s) {
+        doomed.push_back(id);
+        bump(&ServerStats::conns_idle_closed);
+      }
+    }
+    for (std::uint64_t id : doomed) drop_conn(id);
+  }
+
+  // Hard close of whatever remains (drain finished or timed out).
+  for (auto& [id, c] : conns) {
+    if (c.inflight > 0)
+      bump(&ServerStats::results_dropped, c.inflight);
+    close(c.fd);
+  }
+  conns.clear();
+  inflight.clear();
+  if (listen_fd >= 0) {
+    close(listen_fd);
+    listen_fd = -1;
+  }
+  // The wake pipe stays open: stop() may be writing a wake byte from
+  // another thread right now. It is closed after join (Server::wait).
+  loop_alive.store(false);
+}
+
+void Server::Impl::accept_ready() {
+  for (;;) {
+    const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;
+    if (static_cast<int>(conns.size()) >= opts.max_connections) {
+      // Best-effort typed refusal on the fresh (empty-buffer) socket.
+      const auto frame = encode_error(
+          ErrorReply{0, ErrorCode::ServerFull, "connection cap reached"});
+      ssize_t ignored = send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      close(fd);
+      bump(&ServerStats::conns_refused);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Conn c;
+    c.fd = fd;
+    c.last_active = now();
+    conns.emplace(next_conn_id++, std::move(c));
+    bump(&ServerStats::conns_accepted);
+  }
+}
+
+void Server::Impl::read_ready(std::uint64_t cid) {
+  Conn& c = conns[cid];
+  std::uint8_t buf[65536];
+  bool peer_gone = false;
+  for (;;) {
+    // Backpressure: stop reading while more than one max-size frame is
+    // already buffered; the parser below will drain it first.
+    if (c.rbuf.size() > opts.max_frame_bytes + kHeaderBytes) break;
+    const ssize_t n = recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.rbuf.insert(c.rbuf.end(), buf, buf + n);
+      c.last_active = now();
+      bump(&ServerStats::bytes_in, static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    peer_gone = true;  // EOF or hard error, but parse what already arrived:
+    break;             // a frame followed by an immediate close (e.g. a
+  }                    // fire-and-forget Shutdown) must still take effect.
+  process_input(cid);
+  if (peer_gone) drop_conn(cid);
+}
+
+void Server::Impl::process_input(std::uint64_t cid) {
+  std::size_t off = 0;
+  while (conns.count(cid)) {
+    Conn& c = conns[cid];
+    if (c.close_after_flush) break;  // poisoned: ignore the rest
+    FrameHeader hdr;
+    const HeaderStatus hs = peek_header(c.rbuf.data() + off,
+                                        c.rbuf.size() - off, &hdr,
+                                        opts.max_frame_bytes);
+    if (hs == HeaderStatus::NeedMore) break;
+    if (hs != HeaderStatus::Ok) {
+      bump(&ServerStats::protocol_errors);
+      const auto code = hs == HeaderStatus::TooLarge ? ErrorCode::TooLarge
+                                                     : ErrorCode::BadFrame;
+      queue_frame(c, encode_error(ErrorReply{0, code, "malformed frame"}));
+      c.close_after_flush = true;
+      c.rbuf.clear();
+      off = 0;
+      break;
+    }
+    if (c.rbuf.size() - off - kHeaderBytes < hdr.payload_len) break;
+    bump(&ServerStats::frames_in);
+    dispatch(cid, hdr.type, c.rbuf.data() + off + kHeaderBytes,
+             hdr.payload_len);
+    off += kHeaderBytes + hdr.payload_len;
+  }
+  if (conns.count(cid)) {
+    Conn& c = conns[cid];
+    if (off > 0) c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + off);
+    if (!flush(c)) drop_conn(cid);
+  }
+}
+
+void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
+                            const std::uint8_t* payload, std::size_t len) {
+  Conn& c = conns[cid];
+  switch (type) {
+    case FrameType::Submit:
+      handle_submit(cid, payload, len);
+      return;
+    case FrameType::Ping: {
+      if (auto nonce = decode_ping(payload, len)) {
+        queue_frame(c, encode_pong(*nonce));
+      } else {
+        bump(&ServerStats::protocol_errors);
+        queue_frame(c, encode_error(
+                           ErrorReply{0, ErrorCode::BadFrame, "bad ping"}));
+      }
+      return;
+    }
+    case FrameType::Shutdown:
+      if (opts.allow_remote_shutdown) {
+        stop_requested.store(true);
+      } else {
+        queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadRequest,
+                                               "shutdown not allowed"}));
+      }
+      return;
+    default:
+      // A server→client frame type from a client: confused peer.
+      bump(&ServerStats::protocol_errors);
+      queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
+                                             "unexpected frame type"}));
+      c.close_after_flush = true;
+      return;
+  }
+}
+
+runtime::MatrixHandle Server::Impl::resolve_matrix(const MatrixSpec& spec) {
+  const std::string key = spec_key(spec);
+  if (!key.empty()) {
+    if (auto it = matrix_cache.find(key); it != matrix_cache.end())
+      return it->second;
+  }
+  auto handle = runtime::make_input(materialize(spec));
+  if (!key.empty() && opts.matrix_cache_capacity > 0) {
+    if (matrix_order.size() >= opts.matrix_cache_capacity) {
+      matrix_cache.erase(matrix_order.front());
+      matrix_order.pop_front();
+    }
+    matrix_cache.emplace(key, handle);
+    matrix_order.push_back(key);
+  }
+  return handle;
+}
+
+std::uint32_t Server::Impl::retry_after_ms() const {
+  const double depth = double(sched.queue_depth()) + 1.0;
+  double exec = sched.recent_exec_s();
+  if (exec <= 0) exec = 0.05;  // no sample yet: nominal 50 ms per job
+  const double per_worker = depth * exec / double(sched.num_workers());
+  const double ms = per_worker * 1000.0;
+  return static_cast<std::uint32_t>(std::clamp(ms, 10.0, 30000.0));
+}
+
+void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
+                                 std::size_t len) {
+  Conn& c = conns[cid];
+  auto req = decode_submit(payload, len);
+  if (!req) {
+    bump(&ServerStats::protocol_errors);
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadRequest,
+                                           "malformed submit"}));
+    return;
+  }
+  if (stop_requested.load()) {
+    queue_frame(c, encode_error(ErrorReply{req->request_id,
+                                           ErrorCode::ShuttingDown,
+                                           "server draining"}));
+    return;
+  }
+
+  runtime::Job job;
+  job.deadline_s = req->deadline_s;
+  job.tag = req->tag;
+  try {
+    runtime::MatrixHandle a = resolve_matrix(req->matrix);
+    switch (req->kind) {
+      case runtime::JobKind::FixedRank: {
+        runtime::FixedRankJob fj;
+        fj.a = std::move(a);
+        fj.opts.k = req->k;
+        fj.opts.p = req->p;
+        fj.opts.q = req->q;
+        fj.opts.seed = req->sample_seed;
+        fj.opts.power_ortho = scheme_from_wire(req->power_ortho);
+        job.payload = std::move(fj);
+        break;
+      }
+      case runtime::JobKind::Adaptive: {
+        runtime::AdaptiveJob aj;
+        aj.a = std::move(a);
+        aj.opts.epsilon = req->epsilon;
+        aj.opts.relative = req->relative;
+        aj.opts.l_init = req->l_init;
+        aj.opts.l_inc = req->l_inc;
+        aj.opts.l_max = req->l_max;
+        aj.opts.q = req->q;
+        aj.opts.seed = req->sample_seed;
+        aj.opts.power_ortho = scheme_from_wire(req->power_ortho);
+        job.payload = std::move(aj);
+        break;
+      }
+      case runtime::JobKind::Qrcp: {
+        runtime::QrcpJob qj;
+        qj.a = std::move(a);
+        qj.k = req->k;
+        qj.block = req->block;
+        job.payload = std::move(qj);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    queue_frame(c, encode_error(
+                       ErrorReply{req->request_id, ErrorCode::BadRequest,
+                                  e.what()}));
+    return;
+  }
+
+  auto sub = sched.submit(std::move(job));
+  if (sub.status != runtime::PushStatus::Ok) {
+    if (sub.status == runtime::PushStatus::Closed) {
+      queue_frame(c, encode_error(ErrorReply{req->request_id,
+                                             ErrorCode::ShuttingDown,
+                                             "scheduler closed"}));
+    } else {
+      BusyReply b;
+      b.request_id = req->request_id;
+      b.queue_depth = static_cast<std::uint32_t>(sched.queue_depth());
+      b.retry_after_ms = retry_after_ms();
+      queue_frame(c, encode_busy(b));
+      bump(&ServerStats::jobs_busy);
+    }
+    return;
+  }
+  c.inflight += 1;
+  inflight.push_back(Impl::InFlight{cid, req->request_id, sub.handle});
+  bump(&ServerStats::jobs_submitted);
+}
+
+void Server::Impl::deliver_completions() {
+  for (auto it = inflight.begin(); it != inflight.end();) {
+    if (!it->handle->done()) {
+      ++it;
+      continue;
+    }
+    const runtime::JobOutcome& outcome = it->handle->wait();
+    auto cit = conns.find(it->conn_id);
+    if (cit == conns.end()) {
+      bump(&ServerStats::results_dropped);
+    } else {
+      send_result(cit->second, it->request_id, outcome);
+      cit->second.inflight -= 1;
+      bump(&ServerStats::jobs_completed);
+      if (!flush(cit->second)) drop_conn(it->conn_id);
+    }
+    it = inflight.erase(it);
+  }
+}
+
+void Server::Impl::send_result(Conn& c, std::uint64_t request_id,
+                               const runtime::JobOutcome& outcome) {
+  ResultHeader h;
+  h.request_id = request_id;
+  h.status = outcome.status;
+  h.kind = outcome.trace.kind;
+  h.error = outcome.error;
+  h.trace_json = runtime::to_json(outcome.trace);
+
+  // Announce tensors and gather their contiguous storage for chunking.
+  std::vector<const Matrix<double>*> tensors;
+  if (outcome.status == runtime::JobStatus::Done) {
+    if (outcome.fixed_rank) {
+      h.tensors.push_back({"q", outcome.fixed_rank->q.rows(),
+                           outcome.fixed_rank->q.cols()});
+      h.tensors.push_back({"r", outcome.fixed_rank->r.rows(),
+                           outcome.fixed_rank->r.cols()});
+      h.perm = outcome.fixed_rank->perm;
+      tensors = {&outcome.fixed_rank->q, &outcome.fixed_rank->r};
+    } else if (outcome.adaptive) {
+      h.tensors.push_back({"basis", outcome.adaptive->basis.rows(),
+                           outcome.adaptive->basis.cols()});
+      tensors = {&outcome.adaptive->basis};
+    } else if (outcome.qrcp) {
+      h.tensors.push_back({"q", outcome.qrcp->q.rows(),
+                           outcome.qrcp->q.cols()});
+      h.tensors.push_back({"r1", outcome.qrcp->r1.rows(),
+                           outcome.qrcp->r1.cols()});
+      h.tensors.push_back({"r2", outcome.qrcp->r2.rows(),
+                           outcome.qrcp->r2.cols()});
+      h.perm = outcome.qrcp->perm;
+      tensors = {&outcome.qrcp->q, &outcome.qrcp->r1, &outcome.qrcp->r2};
+    }
+  }
+  queue_frame(c, encode_result_header(h));
+
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    const Matrix<double>& m = *tensors[t];
+    const double* data = m.data();
+    const std::uint64_t total =
+        std::uint64_t(m.rows()) * static_cast<std::uint64_t>(m.cols());
+    for (std::uint64_t off = 0; off < total; off += kChunkElems) {
+      ResultChunk chunk;
+      chunk.request_id = request_id;
+      chunk.tensor = static_cast<std::uint8_t>(t);
+      chunk.offset = off;
+      const std::uint64_t n = std::min<std::uint64_t>(kChunkElems, total - off);
+      chunk.data.assign(data + off, data + off + n);
+      queue_frame(c, encode_result_chunk(chunk));
+    }
+  }
+  queue_frame(c, encode_result_end(request_id));
+}
+
+void Server::Impl::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
+  // Compact the flushed prefix before appending so wbuf stays bounded by
+  // what is actually pending.
+  if (c.woff > 0) {
+    c.wbuf.erase(c.wbuf.begin(), c.wbuf.begin() + c.woff);
+    c.woff = 0;
+  }
+  c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+}
+
+bool Server::Impl::flush(Conn& c) {
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = send(c.fd, c.wbuf.data() + c.woff,
+                           c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.woff += static_cast<std::size_t>(n);
+      bump(&ServerStats::bytes_out, static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  return true;
+}
+
+void Server::Impl::drop_conn(std::uint64_t cid) {
+  auto it = conns.find(cid);
+  if (it == conns.end()) return;
+  if (it->second.inflight > 0)
+    bump(&ServerStats::results_dropped, 0);  // counted at completion time
+  close(it->second.fd);
+  conns.erase(it);
+  // In-flight jobs for this connection stay in `inflight`; their results
+  // are discarded (and counted) when they complete.
+}
+
+}  // namespace randla::net

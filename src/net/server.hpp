@@ -1,0 +1,79 @@
+// server.hpp — poll(2) event-loop TCP server exposing the serving
+// runtime (DESIGN.md §8).
+//
+// One event-loop thread owns every socket: a non-blocking listener plus
+// per-connection read/write buffers and a frame-boundary state machine.
+// Complete Submit frames become runtime::Scheduler jobs; the loop polls
+// in-flight handles between socket events and streams finished factors
+// back as ResultHeader/Chunk/End sequences. Admission backpressure is
+// typed: a PushStatus rejection turns into a Busy frame carrying the
+// queue depth and a Retry-After-style hint derived from the scheduler's
+// recent execution EMA — the request is never accepted-then-dropped.
+//
+// Lifecycle: start() binds/listens (port 0 picks an ephemeral port,
+// readable via port()) and spawns the loop; stop() performs a graceful
+// shutdown — stop accepting, let in-flight jobs finish, flush write
+// buffers, then close (bounded by drain_timeout_s). A client may trigger
+// the same drain remotely with a Shutdown frame when
+// allow_remote_shutdown is set (loopback smoke tests use this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+
+namespace randla::net {
+
+struct ServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (query with Server::port())
+  int max_connections = 64;
+  double idle_timeout_s = 60;  ///< close quiet connections; ≤0 disables
+  std::size_t max_frame_bytes = 1u << 26;
+  bool allow_remote_shutdown = false;  ///< honor Shutdown frames
+  double drain_timeout_s = 30;  ///< graceful-stop budget before hard close
+  std::size_t matrix_cache_capacity = 32;  ///< memoized generator matrices
+};
+
+struct ServerStats {
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t conns_refused = 0;     ///< over max_connections
+  std::uint64_t conns_idle_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t protocol_errors = 0;   ///< malformed frames / requests
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_busy = 0;         ///< shed with a Busy frame
+  std::uint64_t jobs_completed = 0;    ///< results streamed back
+  std::uint64_t results_dropped = 0;   ///< client vanished mid-job
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class Server {
+ public:
+  /// The scheduler outlives the server; the server never closes it.
+  explicit Server(runtime::Scheduler& sched, ServerOptions opts = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the event loop. False (with stderr detail) on
+  /// bind failure. Idempotent once started.
+  bool start();
+  /// Bound port (valid after a successful start()).
+  std::uint16_t port() const;
+  /// Graceful shutdown: drain in-flight jobs, flush, close, join.
+  void stop();
+  /// Block until the loop exits on its own (remote Shutdown frame).
+  void wait();
+  bool running() const;
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace randla::net

@@ -65,6 +65,11 @@ double Scheduler::calibration() const {
   return calib_real_per_modeled_;
 }
 
+double Scheduler::recent_exec_s() const {
+  std::lock_guard<std::mutex> lk(calib_mu_);
+  return exec_ema_s_;
+}
+
 void Scheduler::observe_calibration(double real_s, double modeled_s) {
   if (modeled_s <= 1e-12 || real_s <= 0) return;
   std::lock_guard<std::mutex> lk(calib_mu_);
@@ -133,6 +138,12 @@ void Scheduler::worker_loop(int widx) {
     outcome.trace.queue_wait_s = queue_wait;
     outcome.trace.worker = widx;
     dev.charge(outcome.trace.modeled_s);
+    if (outcome.trace.exec_s > 0) {
+      std::lock_guard<std::mutex> lk(calib_mu_);
+      exec_ema_s_ = exec_ema_s_ <= 0
+                        ? outcome.trace.exec_s
+                        : 0.8 * exec_ema_s_ + 0.2 * outcome.trace.exec_s;
+    }
 
     telemetry_.record(outcome.trace);
     pending->handle->fulfill(std::move(outcome));

@@ -85,6 +85,14 @@ class Scheduler {
   CacheStats sketch_cache_stats() const { return sketches_.stats(); }
   CacheStats result_cache_stats() const { return results_.stats(); }
   std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  /// Jobs admitted but not yet fulfilled (queued + executing). The
+  /// network front-end polls this to decide when a drain has finished.
+  int inflight() const { return inflight_.load(); }
+  /// EMA of recent per-job real execution seconds (0 until the first
+  /// job completes). Feeds the server's BUSY Retry-After hint:
+  /// queue_depth × recent_exec_s ≈ time for the backlog to clear.
+  double recent_exec_s() const;
   int num_workers() const;
   std::vector<WorkerStats> worker_stats() const;
   const SchedulerOptions& options() const { return opts_; }
@@ -132,6 +140,7 @@ class Scheduler {
 
   mutable std::mutex calib_mu_;
   double calib_real_per_modeled_ = 1.0;
+  double exec_ema_s_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -122,17 +122,6 @@ std::string to_json(const JobTrace& t) {
   return out;
 }
 
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
-                      double(xs.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = rank - double(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
-}
-
 void TelemetrySink::record(JobTrace trace) {
   std::lock_guard<std::mutex> lk(mu_);
   traces_.push_back(std::move(trace));

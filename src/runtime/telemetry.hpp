@@ -16,6 +16,7 @@
 
 #include "la/matrix.hpp"
 #include "rsvd/phases.hpp"
+#include "util/stats.hpp"
 
 namespace randla::runtime {
 
@@ -97,7 +98,8 @@ class TelemetrySink {
   std::vector<JobTrace> traces_;
 };
 
-/// Linear-interpolated percentile of an unsorted sample (p in [0,100]).
-double percentile(std::vector<double> xs, double p);
+/// Shared percentile helper (see util/stats.hpp); re-exported here
+/// because telemetry consumers historically found it in this namespace.
+using util::percentile;
 
 }  // namespace randla::runtime

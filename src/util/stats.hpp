@@ -1,0 +1,28 @@
+// stats.hpp — small shared statistics helpers.
+//
+// One percentile implementation for everything that reports latency
+// distributions: the runtime's telemetry summaries, the TCP server's
+// stats, and the load generator. Header-only so tools that only need a
+// percentile don't pull in the runtime.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace randla::util {
+
+/// Linear-interpolated percentile of an unsorted sample (p in [0,100]).
+/// Returns 0 on an empty sample.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      double(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - double(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace randla::util

@@ -1,0 +1,428 @@
+// test_net_protocol.cpp — wire-protocol round trips and adversarial
+// decoding. Every frame type must survive encode→peek_header→decode
+// bit-exactly, and malformed bytes (truncation, bad magic/version/type/
+// flags, oversized length prefixes, lying payload sizes) must fail
+// cleanly — std::nullopt or a typed HeaderStatus, never a crash or an
+// attacker-sized allocation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/protocol.hpp"
+#include "rng/philox.hpp"
+
+using namespace randla;
+using namespace randla::net;
+
+namespace {
+
+/// Split a complete frame into header + payload via the public parser.
+struct Parsed {
+  FrameHeader hdr;
+  const std::uint8_t* payload;
+  std::size_t len;
+};
+
+Parsed parse(const std::vector<std::uint8_t>& frame) {
+  Parsed out{};
+  EXPECT_GE(frame.size(), kHeaderBytes);
+  EXPECT_EQ(peek_header(frame.data(), frame.size(), &out.hdr),
+            HeaderStatus::Ok);
+  EXPECT_EQ(frame.size(), kHeaderBytes + out.hdr.payload_len);
+  out.payload = frame.data() + kHeaderBytes;
+  out.len = out.hdr.payload_len;
+  return out;
+}
+
+JobRequest sample_fixed_rank() {
+  JobRequest req;
+  req.request_id = 42;
+  req.kind = runtime::JobKind::FixedRank;
+  req.matrix.generator = "lowrank";
+  req.matrix.seed = 7;
+  req.matrix.m = 64;
+  req.matrix.n = 32;
+  req.matrix.rank = 8;
+  req.deadline_s = 1.5;
+  req.tag = "unit/fixed";
+  req.k = 12;
+  req.p = 4;
+  req.q = 2;
+  req.sample_seed = 999;
+  req.power_ortho = 2;
+  return req;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Round trips
+
+TEST(NetProtocol, SubmitFixedRankRoundTrip) {
+  const JobRequest req = sample_fixed_rank();
+  const auto frame = encode_submit(req);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::Submit);
+  const auto dec = decode_submit(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->request_id, 42u);
+  EXPECT_EQ(dec->kind, runtime::JobKind::FixedRank);
+  EXPECT_EQ(dec->matrix.generator, "lowrank");
+  EXPECT_EQ(dec->matrix.seed, 7u);
+  EXPECT_EQ(dec->matrix.m, 64);
+  EXPECT_EQ(dec->matrix.n, 32);
+  EXPECT_EQ(dec->matrix.rank, 8);
+  EXPECT_DOUBLE_EQ(dec->deadline_s, 1.5);
+  EXPECT_EQ(dec->tag, "unit/fixed");
+  EXPECT_EQ(dec->k, 12);
+  EXPECT_EQ(dec->p, 4);
+  EXPECT_EQ(dec->q, 2);
+  EXPECT_EQ(dec->sample_seed, 999u);
+  EXPECT_EQ(dec->power_ortho, 2);
+}
+
+TEST(NetProtocol, SubmitAdaptiveRoundTrip) {
+  JobRequest req;
+  req.request_id = 7;
+  req.kind = runtime::JobKind::Adaptive;
+  req.matrix.generator = "gaussian";
+  req.matrix.m = 48;
+  req.matrix.n = 24;
+  req.epsilon = 0.125;
+  req.relative = false;
+  req.l_init = 4;
+  req.l_inc = 6;
+  req.l_max = 20;
+  req.q = 1;
+  const auto frame = encode_submit(req);
+  const Parsed p = parse(frame);
+  const auto dec = decode_submit(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->kind, runtime::JobKind::Adaptive);
+  EXPECT_DOUBLE_EQ(dec->epsilon, 0.125);
+  EXPECT_FALSE(dec->relative);
+  EXPECT_EQ(dec->l_init, 4);
+  EXPECT_EQ(dec->l_inc, 6);
+  EXPECT_EQ(dec->l_max, 20);
+}
+
+TEST(NetProtocol, SubmitQrcpRoundTrip) {
+  JobRequest req;
+  req.request_id = 9;
+  req.kind = runtime::JobKind::Qrcp;
+  req.matrix.m = 40;
+  req.matrix.n = 30;
+  req.k = 10;
+  req.block = 8;
+  const auto frame = encode_submit(req);
+  const Parsed p = parse(frame);
+  const auto dec = decode_submit(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->kind, runtime::JobKind::Qrcp);
+  EXPECT_EQ(dec->k, 10);
+  EXPECT_EQ(dec->block, 8);
+}
+
+TEST(NetProtocol, SubmitInlineMatrixRoundTrip) {
+  JobRequest req = sample_fixed_rank();
+  req.matrix.source = MatrixSource::Inline;
+  req.matrix.m = 6;
+  req.matrix.n = 4;
+  req.matrix.inline_data = Matrix<double>(6, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 6; ++i)
+      req.matrix.inline_data(i, j) = double(i) + 10.0 * double(j);
+  const auto frame = encode_submit(req);
+  const Parsed p = parse(frame);
+  const auto dec = decode_submit(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->matrix.source, MatrixSource::Inline);
+  ASSERT_EQ(dec->matrix.inline_data.rows(), 6);
+  ASSERT_EQ(dec->matrix.inline_data.cols(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 6; ++i)
+      EXPECT_DOUBLE_EQ(dec->matrix.inline_data(i, j),
+                       double(i) + 10.0 * double(j));
+}
+
+TEST(NetProtocol, ResultHeaderRoundTrip) {
+  ResultHeader h;
+  h.request_id = 1234;
+  h.status = runtime::JobStatus::Done;
+  h.kind = runtime::JobKind::Qrcp;
+  h.error = "";
+  h.trace_json = R"({"job_id":1234,"kind":"qrcp"})";
+  h.tensors.push_back({"q", 32, 10});
+  h.tensors.push_back({"r1", 10, 10});
+  h.tensors.push_back({"r2", 10, 22});
+  h.perm = {2, 0, 1, 4, 3};
+  const auto frame = encode_result_header(h);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::ResultHeader);
+  const auto dec = decode_result_header(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->request_id, 1234u);
+  EXPECT_EQ(dec->status, runtime::JobStatus::Done);
+  EXPECT_EQ(dec->kind, runtime::JobKind::Qrcp);
+  EXPECT_EQ(dec->trace_json, h.trace_json);
+  ASSERT_EQ(dec->tensors.size(), 3u);
+  EXPECT_EQ(dec->tensors[0].name, "q");
+  EXPECT_EQ(dec->tensors[2].rows, 10);
+  EXPECT_EQ(dec->tensors[2].cols, 22);
+  EXPECT_EQ(dec->perm, h.perm);
+}
+
+TEST(NetProtocol, FailedResultHeaderCarriesError) {
+  ResultHeader h;
+  h.request_id = 5;
+  h.status = runtime::JobStatus::Failed;
+  h.error = "cholesky breakdown";
+  const auto frame = encode_result_header(h);
+  const Parsed p = parse(frame);
+  const auto dec = decode_result_header(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->status, runtime::JobStatus::Failed);
+  EXPECT_EQ(dec->error, "cholesky breakdown");
+  EXPECT_TRUE(dec->tensors.empty());
+  EXPECT_TRUE(dec->perm.empty());
+}
+
+TEST(NetProtocol, ResultChunkRoundTrip) {
+  ResultChunk c;
+  c.request_id = 77;
+  c.tensor = 1;
+  c.offset = 4096;
+  c.data.resize(513);
+  for (std::size_t i = 0; i < c.data.size(); ++i) c.data[i] = 0.5 * double(i);
+  const auto frame = encode_result_chunk(c);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::ResultChunk);
+  const auto dec = decode_result_chunk(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->request_id, 77u);
+  EXPECT_EQ(dec->tensor, 1);
+  EXPECT_EQ(dec->offset, 4096u);
+  ASSERT_EQ(dec->data.size(), 513u);
+  EXPECT_DOUBLE_EQ(dec->data[512], 256.0);
+}
+
+TEST(NetProtocol, SmallFramesRoundTrip) {
+  {
+    const auto frame = encode_result_end(31);
+    const Parsed p = parse(frame);
+    ASSERT_EQ(p.hdr.type, FrameType::ResultEnd);
+    EXPECT_EQ(decode_result_end(p.payload, p.len).value(), 31u);
+  }
+  {
+    BusyReply b{11, 6, 450};
+    const auto frame = encode_busy(b);
+    const Parsed p = parse(frame);
+    ASSERT_EQ(p.hdr.type, FrameType::Busy);
+    const auto dec = decode_busy(p.payload, p.len);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->request_id, 11u);
+    EXPECT_EQ(dec->queue_depth, 6u);
+    EXPECT_EQ(dec->retry_after_ms, 450u);
+  }
+  {
+    ErrorReply e{3, ErrorCode::BadRequest, "nope"};
+    const auto frame = encode_error(e);
+    const Parsed p = parse(frame);
+    ASSERT_EQ(p.hdr.type, FrameType::Error);
+    const auto dec = decode_error(p.payload, p.len);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->code, ErrorCode::BadRequest);
+    EXPECT_EQ(dec->message, "nope");
+  }
+  {
+    const auto frame = encode_ping(0xDEADBEEFu);
+    const Parsed p = parse(frame);
+    ASSERT_EQ(p.hdr.type, FrameType::Ping);
+    EXPECT_EQ(decode_ping(p.payload, p.len).value(), 0xDEADBEEFu);
+  }
+  {
+    const auto frame = encode_shutdown();
+    const Parsed p = parse(frame);
+    EXPECT_EQ(p.hdr.type, FrameType::Shutdown);
+    EXPECT_EQ(p.len, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial headers
+
+TEST(NetProtocol, HeaderTruncationNeedsMore) {
+  const auto frame = encode_ping(1);
+  FrameHeader hdr;
+  for (std::size_t n = 0; n < kHeaderBytes; ++n)
+    EXPECT_EQ(peek_header(frame.data(), n, &hdr), HeaderStatus::NeedMore)
+        << "prefix length " << n;
+}
+
+TEST(NetProtocol, BadMagicVersionTypeFlags) {
+  const auto good = encode_ping(1);
+  FrameHeader hdr;
+
+  auto mutated = good;
+  mutated[0] ^= 0xFF;
+  EXPECT_EQ(peek_header(mutated.data(), mutated.size(), &hdr),
+            HeaderStatus::BadMagic);
+
+  mutated = good;
+  mutated[4] = kVersion + 1;
+  EXPECT_EQ(peek_header(mutated.data(), mutated.size(), &hdr),
+            HeaderStatus::BadVersion);
+
+  mutated = good;
+  mutated[5] = 0;  // no frame type 0
+  EXPECT_EQ(peek_header(mutated.data(), mutated.size(), &hdr),
+            HeaderStatus::BadType);
+  mutated[5] = 0x7F;
+  EXPECT_EQ(peek_header(mutated.data(), mutated.size(), &hdr),
+            HeaderStatus::BadType);
+
+  mutated = good;
+  mutated[6] = 1;  // reserved flags must be zero
+  EXPECT_EQ(peek_header(mutated.data(), mutated.size(), &hdr),
+            HeaderStatus::BadFlags);
+}
+
+TEST(NetProtocol, OversizedLengthPrefixRejected) {
+  auto frame = encode_ping(1);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(frame.data() + 8, &huge, 4);
+  FrameHeader hdr;
+  EXPECT_EQ(peek_header(frame.data(), frame.size(), &hdr),
+            HeaderStatus::TooLarge);
+  // A tighter server-configured cap applies too.
+  auto big = encode_ping(1);
+  const std::uint32_t kb = 4096;
+  std::memcpy(big.data() + 8, &kb, 4);
+  EXPECT_EQ(peek_header(big.data(), big.size(), &hdr, /*max=*/1024),
+            HeaderStatus::TooLarge);
+}
+
+// ---------------------------------------------------------------------
+// Adversarial payloads
+
+TEST(NetProtocol, TruncatedSubmitPayloadFailsCleanly) {
+  const auto frame = encode_submit(sample_fixed_rank());
+  const Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_submit(p.payload, n).has_value())
+        << "prefix length " << n;
+}
+
+TEST(NetProtocol, TrailingGarbageRejected) {
+  const auto frame = encode_submit(sample_fixed_rank());
+  const Parsed p = parse(frame);
+  std::vector<std::uint8_t> padded(p.payload, p.payload + p.len);
+  padded.push_back(0);
+  EXPECT_FALSE(decode_submit(padded.data(), padded.size()).has_value());
+}
+
+TEST(NetProtocol, InlineSizeLieRejectedBeforeAllocation) {
+  // Claim a 1M×1M inline matrix with a 16-byte body: the decoder must
+  // reject on the dims-vs-remaining-bytes check, not try to allocate.
+  JobRequest req = sample_fixed_rank();
+  req.matrix.source = MatrixSource::Inline;
+  req.matrix.inline_data = Matrix<double>(2, 1);
+  const auto frame = encode_submit(req);
+  Parsed p = parse(frame);
+  std::vector<std::uint8_t> raw(p.payload, p.payload + p.len);
+  // The inline dims are the two u32s immediately before the 16 payload
+  // bytes at the tail of the frame.
+  const std::size_t dims_at = raw.size() - 16 - 8;
+  const std::uint32_t big = 1u << 20;
+  std::memcpy(raw.data() + dims_at, &big, 4);
+  std::memcpy(raw.data() + dims_at + 4, &big, 4);
+  EXPECT_FALSE(decode_submit(raw.data(), raw.size()).has_value());
+}
+
+TEST(NetProtocol, ChunkCountLieRejected) {
+  // A ResultChunk whose element count field exceeds the actual payload.
+  ResultChunk c;
+  c.request_id = 1;
+  c.data = {1.0, 2.0, 3.0};
+  const auto frame = encode_result_chunk(c);
+  Parsed p = parse(frame);
+  std::vector<std::uint8_t> raw(p.payload, p.payload + p.len);
+  const std::uint32_t lie = 1u << 24;
+  // count is the u32 after request_id(8) + tensor(1) + offset(8).
+  std::memcpy(raw.data() + 17, &lie, 4);
+  EXPECT_FALSE(decode_result_chunk(raw.data(), raw.size()).has_value());
+}
+
+TEST(NetProtocol, ResultHeaderTensorAndPermLiesRejected) {
+  ResultHeader h;
+  h.request_id = 2;
+  h.status = runtime::JobStatus::Done;
+  h.tensors.push_back({"q", 8, 4});
+  h.perm = {0, 1, 2};
+  const auto frame = encode_result_header(h);
+  Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_result_header(p.payload, n).has_value());
+}
+
+TEST(NetProtocol, FuzzedPayloadsNeverCrash) {
+  // Deterministic byte fuzz across every decoder. The property under
+  // test is "no crash, no hang, no huge allocation" — return values are
+  // free to be nullopt or (rarely) a valid decode.
+  rng::Philox4x32 dice(123, 0xF022);
+  std::vector<std::uint8_t> buf;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = dice.next_u32() % 160;
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(dice.next_u32());
+    (void)decode_submit(buf.data(), buf.size());
+    (void)decode_result_header(buf.data(), buf.size());
+    (void)decode_result_chunk(buf.data(), buf.size());
+    (void)decode_result_end(buf.data(), buf.size());
+    (void)decode_busy(buf.data(), buf.size());
+    (void)decode_error(buf.data(), buf.size());
+    (void)decode_ping(buf.data(), buf.size());
+    FrameHeader hdr;
+    (void)peek_header(buf.data(), buf.size(), &hdr);
+  }
+}
+
+TEST(NetProtocol, MutatedSubmitNeverCrashes) {
+  // Flip each byte of a real Submit payload: decoders must stay within
+  // bounds for every single-byte corruption.
+  const auto frame = encode_submit(sample_fixed_rank());
+  const Parsed p = parse(frame);
+  std::vector<std::uint8_t> raw(p.payload, p.payload + p.len);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto mutated = raw;
+    mutated[i] ^= 0xA5;
+    (void)decode_submit(mutated.data(), mutated.size());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Spec materialization
+
+TEST(NetProtocol, MaterializeGeneratorsAndKeys) {
+  MatrixSpec spec;
+  spec.generator = "lowrank";
+  spec.m = 24;
+  spec.n = 12;
+  spec.rank = 3;
+  spec.seed = 5;
+  const Matrix<double> a = materialize(spec);
+  EXPECT_EQ(a.rows(), 24);
+  EXPECT_EQ(a.cols(), 12);
+  EXPECT_EQ(spec_key(spec), "lowrank/5/24x12/r3");
+
+  MatrixSpec inline_spec;
+  inline_spec.source = MatrixSource::Inline;
+  EXPECT_TRUE(spec_key(inline_spec).empty());
+
+  MatrixSpec bad = spec;
+  bad.generator = "no_such_generator";
+  EXPECT_THROW(materialize(bad), std::invalid_argument);
+  bad = spec;
+  bad.m = 0;
+  EXPECT_THROW(materialize(bad), std::invalid_argument);
+}

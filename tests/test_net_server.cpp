@@ -1,0 +1,452 @@
+// test_net_server.cpp — loopback integration tests for the poll(2)
+// event-loop server: end-to-end factorization per job kind (with
+// residual checks against locally materialized inputs), Busy
+// backpressure under deliberate overload, malformed-frame handling,
+// mid-stream disconnects, connection caps, idle timeouts, graceful
+// drain, and remote shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "la/blas3.hpp"
+#include "la/norms.hpp"
+#include "la/permutation.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+using namespace randla;
+using namespace randla::net;
+
+namespace {
+
+runtime::SchedulerOptions small_sched() {
+  runtime::SchedulerOptions so;
+  so.num_workers = 2;
+  so.queue_capacity = 16;
+  return so;
+}
+
+ClientOptions client_for(const Server& server) {
+  ClientOptions copt;
+  copt.port = server.port();
+  copt.recv_timeout_s = 30;
+  return copt;
+}
+
+JobRequest lowrank_fixed_request(std::uint64_t id, std::uint64_t seed) {
+  JobRequest req;
+  req.request_id = id;
+  req.kind = runtime::JobKind::FixedRank;
+  req.matrix.generator = "lowrank";
+  req.matrix.seed = seed;
+  req.matrix.m = 48;
+  req.matrix.n = 24;
+  req.matrix.rank = 4;
+  req.k = 8;
+  req.p = 4;
+  req.q = 1;
+  return req;
+}
+
+/// ‖A·P − Q·R‖_F/‖A‖_F with A rebuilt locally from the generator spec.
+double fixed_rank_residual(const JobRequest& req, const CallResult& res) {
+  MatrixSpec spec = req.matrix;
+  spec.source = MatrixSource::Generator;
+  const Matrix<double> a = materialize(spec);
+  Matrix<double> resid(a.rows(), a.cols());
+  apply_column_permutation<double>(a.view(), res.header.perm, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(res.tensors[0].view()),
+                     ConstMatrixView<double>(res.tensors[1].view()), 1.0,
+                     resid.view());
+  return norm_fro<double>(ConstMatrixView<double>(resid.view())) /
+         norm_fro<double>(ConstMatrixView<double>(a.view()));
+}
+
+}  // namespace
+
+TEST(NetServer, FixedRankLoopbackResidual) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  const JobRequest req = lowrank_fixed_request(1, 11);
+  const CallResult res = client.call(req);
+  ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  ASSERT_EQ(res.header.status, runtime::JobStatus::Done) << res.header.error;
+  ASSERT_EQ(res.tensors.size(), 2u);
+  EXPECT_EQ(res.tensors[0].rows(), 48);
+  EXPECT_EQ(res.tensors[0].cols(), 8);
+  EXPECT_EQ(res.tensors[1].rows(), 8);
+  EXPECT_EQ(res.tensors[1].cols(), 24);
+  ASSERT_EQ(res.header.perm.size(), 24u);
+  EXPECT_TRUE(is_valid_permutation(res.header.perm));
+  // Rank-4 input, rank-8 approximation: near-exact reconstruction.
+  EXPECT_LT(fixed_rank_residual(req, res), 1e-8);
+  EXPECT_FALSE(res.header.trace_json.empty());
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(NetServer, AdaptiveAndQrcpLoopback) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  JobRequest areq;
+  areq.request_id = 2;
+  areq.kind = runtime::JobKind::Adaptive;
+  areq.matrix.generator = "gaussian";
+  areq.matrix.seed = 3;
+  areq.matrix.m = 40;
+  areq.matrix.n = 20;
+  areq.epsilon = 0.5;
+  areq.relative = true;
+  areq.l_init = 4;
+  areq.l_inc = 4;
+  areq.l_max = 10;
+  const CallResult ares = client.call(areq);
+  ASSERT_EQ(ares.status, CallStatus::Ok) << ares.detail;
+  ASSERT_EQ(ares.header.status, runtime::JobStatus::Done) << ares.header.error;
+  ASSERT_EQ(ares.tensors.size(), 1u);
+  EXPECT_EQ(ares.header.tensors[0].name, "basis");
+  EXPECT_EQ(ares.tensors[0].cols(), 20);
+  EXPECT_GE(ares.tensors[0].rows(), 1);
+
+  JobRequest qreq;
+  qreq.request_id = 3;
+  qreq.kind = runtime::JobKind::Qrcp;
+  qreq.matrix.generator = "lowrank";
+  qreq.matrix.seed = 5;
+  qreq.matrix.m = 36;
+  qreq.matrix.n = 30;
+  qreq.matrix.rank = 6;
+  qreq.k = 10;
+  qreq.block = 8;
+  const CallResult qres = client.call(qreq);
+  ASSERT_EQ(qres.status, CallStatus::Ok) << qres.detail;
+  ASSERT_EQ(qres.header.status, runtime::JobStatus::Done) << qres.header.error;
+  ASSERT_EQ(qres.tensors.size(), 3u);
+  // Leading k columns of a pivoted QR are exact: (A·P)₁:k = Q·R1.
+  const Matrix<double> a = materialize(qreq.matrix);
+  Matrix<double> lead = permuted_leading_columns<double>(
+      a.view(), qres.header.perm, qres.tensors[1].cols());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(qres.tensors[0].view()),
+                     ConstMatrixView<double>(qres.tensors[1].view()), 1.0,
+                     lead.view());
+  EXPECT_LT(norm_fro<double>(ConstMatrixView<double>(lead.view())), 1e-10);
+  server.stop();
+}
+
+TEST(NetServer, InlineMatrixLoopback) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  JobRequest req = lowrank_fixed_request(4, 17);
+  req.matrix.inline_data = materialize(req.matrix);
+  req.matrix.source = MatrixSource::Inline;
+  const CallResult res = client.call(req);
+  ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  ASSERT_EQ(res.header.status, runtime::JobStatus::Done) << res.header.error;
+  // The inline payload equals the generator output, so the same
+  // residual check applies.
+  EXPECT_LT(fixed_rank_residual(req, res), 1e-8);
+  server.stop();
+}
+
+TEST(NetServer, BusyUnderOverload) {
+  runtime::SchedulerOptions so;
+  so.num_workers = 1;
+  so.queue_capacity = 1;
+  so.enable_cache = false;  // every job executes for real
+  runtime::Scheduler sched(so);
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+
+  // Pipeline a burst of Submit frames on one connection so the event loop
+  // decodes them back-to-back: with one worker and queue capacity 1 the
+  // excess must be shed as Busy no matter how the OS schedules the worker.
+  // All jobs share one matrix spec so only the first submit pays the
+  // materialization cost in the event loop; the rest are admitted in
+  // microseconds while each job still executes for real (caches are off),
+  // which forces the queue to overflow on every build, sanitized or not.
+  constexpr int kJobs = 12;
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+  std::vector<std::uint8_t> burst;
+  for (int j = 0; j < kJobs; ++j) {
+    JobRequest req;
+    req.request_id = 100 + static_cast<std::uint64_t>(j);
+    req.kind = runtime::JobKind::FixedRank;
+    req.matrix.generator = "gaussian";
+    req.matrix.seed = 7;  // one shared input: matrix cache absorbs all but
+    req.matrix.m = 256;   // the first materialization
+    req.matrix.n = 128;
+    req.k = 16;
+    req.p = 8;
+    req.q = 4;
+    const auto frame = encode_submit(req);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(client.send_raw(burst.data(), burst.size()));
+
+  int busy = 0, ok = 0, other = 0;
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  while (busy + ok + other < kJobs &&
+         client.read_frame(&hdr, &payload)) {
+    if (hdr.type == FrameType::Busy) {
+      const auto b = decode_busy(payload.data(), payload.size());
+      ASSERT_TRUE(b.has_value());
+      EXPECT_GT(b->retry_after_ms, 0u);
+      ++busy;
+    } else if (hdr.type == FrameType::ResultHeader) {
+      const auto h = decode_result_header(payload.data(), payload.size());
+      ASSERT_TRUE(h.has_value());
+      if (h->status == runtime::JobStatus::Done)
+        ++ok;
+      else
+        ++other;
+    } else if (hdr.type != FrameType::ResultChunk &&
+               hdr.type != FrameType::ResultEnd) {
+      ++other;
+    }
+  }
+
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(busy, 0) << "expected Busy shedding with queue capacity 1";
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(busy + ok, kJobs);
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_busy, static_cast<std::uint64_t>(busy));
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(NetServer, MalformedFrameGetsTypedErrorThenClose) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  const std::uint8_t garbage[16] = {0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0,
+                                    0,    0,    0,    0,    0, 0, 0, 0};
+  ASSERT_TRUE(client.send_raw(garbage, sizeof garbage));
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(client.read_frame(&hdr, &payload));
+  EXPECT_EQ(hdr.type, FrameType::Error);
+  const auto err = decode_error(payload.data(), payload.size());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::BadFrame);
+  // The poisoned connection is closed after the error flushes.
+  EXPECT_FALSE(client.read_frame(&hdr, &payload));
+
+  // The server itself is unharmed: a fresh connection works.
+  Client fresh(client_for(server));
+  ASSERT_TRUE(fresh.connect());
+  EXPECT_TRUE(fresh.ping(99));
+  server.stop();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST(NetServer, BadRequestGetsTypedError) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  JobRequest req = lowrank_fixed_request(8, 1);
+  req.matrix.generator = "no_such_generator";
+  const CallResult res = client.call(req);
+  ASSERT_EQ(res.status, CallStatus::RemoteError);
+  EXPECT_EQ(res.error.code, ErrorCode::BadRequest);
+  EXPECT_EQ(res.error.request_id, 8u);
+  // Connection stays usable after a request-level (not frame-level) error.
+  EXPECT_TRUE(client.ping(5));
+  server.stop();
+}
+
+TEST(NetServer, MidStreamDisconnectSurvived) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+
+  {
+    Client client(client_for(server));
+    ASSERT_TRUE(client.connect());
+    // First half of a valid Submit frame, then vanish.
+    const auto frame = encode_submit(lowrank_fixed_request(9, 2));
+    ASSERT_TRUE(client.send_raw(frame.data(), frame.size() / 2));
+    client.close();
+  }
+  {
+    // A full job still round-trips afterwards.
+    Client client(client_for(server));
+    ASSERT_TRUE(client.connect());
+    const CallResult res = client.call(lowrank_fixed_request(10, 2));
+    EXPECT_EQ(res.status, CallStatus::Ok) << res.detail;
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(NetServer, ConnectionCapRefusesWithTypedError) {
+  runtime::Scheduler sched(small_sched());
+  ServerOptions sopt;
+  sopt.max_connections = 1;
+  Server server(sched, sopt);
+  ASSERT_TRUE(server.start());
+
+  Client first(client_for(server));
+  ASSERT_TRUE(first.connect());
+  ASSERT_TRUE(first.ping(1));  // ensure the server registered it
+
+  Client second(client_for(server));
+  ASSERT_TRUE(second.connect());  // TCP accept succeeds, then refusal
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(second.read_frame(&hdr, &payload));
+  EXPECT_EQ(hdr.type, FrameType::Error);
+  const auto err = decode_error(payload.data(), payload.size());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::ServerFull);
+
+  EXPECT_TRUE(first.ping(2));  // the admitted connection is unaffected
+  server.stop();
+  EXPECT_EQ(server.stats().conns_refused, 1u);
+}
+
+TEST(NetServer, IdleTimeoutClosesQuietConnections) {
+  runtime::Scheduler sched(small_sched());
+  ServerOptions sopt;
+  sopt.idle_timeout_s = 0.2;
+  Server server(sched, sopt);
+  ASSERT_TRUE(server.start());
+
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.ping(1));
+  // Go quiet; the server should close us within ~timeout + one poll tick.
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(client.read_frame(&hdr, &payload));  // EOF from idle close
+  server.stop();
+  EXPECT_EQ(server.stats().conns_idle_closed, 1u);
+}
+
+TEST(NetServer, GracefulStopDeliversInflightResult) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  // A job big enough to still be running when stop() begins.
+  JobRequest req;
+  req.request_id = 12;
+  req.kind = runtime::JobKind::FixedRank;
+  req.matrix.generator = "gaussian";
+  req.matrix.seed = 21;
+  req.matrix.m = 512;
+  req.matrix.n = 256;
+  req.k = 24;
+  req.p = 8;
+  req.q = 3;
+  const auto frame = encode_submit(req);
+  ASSERT_TRUE(client.send_raw(frame.data(), frame.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  std::thread stopper([&] { server.stop(); });
+  // The drain must still stream the finished result before closing.
+  bool got_header = false, got_end = false;
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  while (client.read_frame(&hdr, &payload)) {
+    if (hdr.type == FrameType::ResultHeader) {
+      const auto h = decode_result_header(payload.data(), payload.size());
+      ASSERT_TRUE(h.has_value());
+      EXPECT_EQ(h->request_id, 12u);
+      EXPECT_EQ(h->status, runtime::JobStatus::Done) << h->error;
+      got_header = true;
+    } else if (hdr.type == FrameType::ResultEnd) {
+      got_end = true;
+    }
+  }
+  stopper.join();
+  EXPECT_TRUE(got_header);
+  EXPECT_TRUE(got_end);
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.stats().results_dropped, 0u);
+}
+
+TEST(NetServer, RemoteShutdownDrainsAndExits) {
+  runtime::Scheduler sched(small_sched());
+  ServerOptions sopt;
+  sopt.allow_remote_shutdown = true;
+  Server server(sched, sopt);
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+  const CallResult res = client.call(lowrank_fixed_request(13, 3));
+  ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  ASSERT_TRUE(client.send_shutdown());
+  server.wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(NetServer, ShutdownThenImmediateCloseStillHonored) {
+  // Fire-and-forget shutdown: the frame and the FIN can land in the same
+  // poll cycle, and the server must parse buffered frames before treating
+  // the connection as gone (regression: the frame used to be discarded,
+  // leaving a --linger server running forever).
+  runtime::Scheduler sched(small_sched());
+  ServerOptions sopt;
+  sopt.allow_remote_shutdown = true;
+  Server server(sched, sopt);
+  ASSERT_TRUE(server.start());
+
+  {
+    Client client(client_for(server));
+    ASSERT_TRUE(client.connect());
+    const auto frame = encode_shutdown();
+    ASSERT_TRUE(client.send_raw(frame.data(), frame.size()));
+    client.close();  // FIN chases the frame immediately
+  }
+
+  // Bounded wait so a regression fails the test instead of hanging it.
+  for (int i = 0; i < 200 && server.running(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_FALSE(server.running());
+  server.stop();  // cleanup no-op when the drain already finished
+}
+
+TEST(NetServer, ShutdownRefusedWhenNotAllowed) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);  // allow_remote_shutdown defaults to false
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+  ASSERT_TRUE(client.send_shutdown());
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(client.read_frame(&hdr, &payload));
+  EXPECT_EQ(hdr.type, FrameType::Error);
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
