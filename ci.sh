@@ -14,10 +14,18 @@
 #      provokes Busy shedding — the loadgen's exit code asserts zero
 #      failed jobs, zero failed residual checks, observed backpressure,
 #      and a sane p99; BENCH_serving.json captures the series;
-#   5. memory safety: the wire-protocol and server suites rebuilt with
+#   5. observability: a traced `randla_serve --trace --metrics` run
+#      driven by randla_loadgen --check-stats (server counters must
+#      exactly match the client's own accounting), then
+#      randla_trace_check validates the Chrome trace (at least one
+#      request's spans chain net.submit → queue.wait → worker.exec →
+#      rsvd.*) and the Prometheus dump; finally BM_GemmSquare1024 is
+#      run with kernel profiling off and on, asserting the hooks cost
+#      under 2% when enabled;
+#   6. memory safety: the wire-protocol and server suites rebuilt with
 #      -fsanitize=address,undefined (the `asan` preset), so adversarial
 #      frames run under ASan/UBSan;
-#   6. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
+#   7. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
 #      (the `tsan` preset) and RANDLA_NUM_THREADS=2, so the persistent
 #      BLAS worker pool (blocked GEMM tiles, syrk/trsm/trmm splits, TSQR
 #      subtrees) and the serving runtime run under ThreadSanitizer with
@@ -65,6 +73,41 @@ kill -0 "$SERVE_PID" 2>/dev/null || {
   --threads 8 --rate 400 --m 256 --n 128 --spread 64 \
   --expect-busy --max-p99-ms 5000 --shutdown --json build/BENCH_serving.json
 wait "$SERVE_PID"
+
+echo "== observability: traced server, stats cross-check, trace check =="
+OBS_PORT=18432
+./build/examples/randla_serve --tcp "$OBS_PORT" --linger --jobs 0 \
+  --workers 2 --queue 8 --trace build/obs_trace.json \
+  --metrics build/obs_metrics.prom &
+OBS_PID=$!
+sleep 1
+kill -0 "$OBS_PID" 2>/dev/null || {
+  echo "observability FAILED: server did not survive startup (port in use?)"
+  exit 1
+}
+./build/examples/randla_loadgen --port "$OBS_PORT" --jobs 80 \
+  --threads 4 --rate 200 --m 128 --n 64 --spread 32 \
+  --check-stats --shutdown --json build/BENCH_serving_obs.json
+wait "$OBS_PID"
+./build/examples/randla_trace_check build/obs_trace.json build/obs_metrics.prom
+
+echo "== observability: kernel profiling overhead under 2% =="
+GEMM_FILTER='--benchmark_filter=BM_GemmSquare1024$'
+GEMM_AWK='/"Gflop\/s"/ { v = $2 + 0; if (v > best) best = v } END { print best }'
+BASE_RATE="$(./build/bench/bench_kernels_gbench "$GEMM_FILTER" \
+  --benchmark_repetitions=3 --benchmark_format=json | awk -F': ' "$GEMM_AWK")"
+PROF_RATE="$(env RANDLA_OBS_PROFILE=1 ./build/bench/bench_kernels_gbench \
+  "$GEMM_FILTER" --benchmark_repetitions=3 --benchmark_format=json |
+  awk -F': ' "$GEMM_AWK")"
+awk -v base="$BASE_RATE" -v prof="$PROF_RATE" 'BEGIN {
+  if (base <= 0 || prof <= 0) {
+    print "obs overhead FAILED: missing flop rates"; exit 1 }
+  loss = (base - prof) / base
+  printf "profiling off %.2f Gflop/s, on %.2f Gflop/s (%+.2f%% delta)\n",
+         base, prof, -loss * 100
+  if (loss > 0.02) {
+    print "obs overhead FAILED: profiling hooks cost more than 2%"; exit 1 }
+}'
 
 echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan

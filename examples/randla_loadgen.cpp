@@ -21,6 +21,14 @@
 //                  [--rate JOBS_PER_S] [--m M] [--n N] [--check-frac F]
 //                  [--inline-frac F] [--spread N] [--max-p99-ms X]
 //                  [--expect-busy] [--shutdown] [--json PATH]
+//                  [--check-stats]
+//
+// At the end of a run the generator scrapes the server's live metrics
+// (Stats → StatsReply) and prints them next to its own accounting;
+// --check-stats makes the comparison strict (the server's submit/busy/
+// complete counters must exactly match what this client observed —
+// only meaningful against a dedicated, freshly started server), and
+// --json embeds the scraped label-free metrics in the report.
 //
 // --spread N rotates requests through N distinct matrix seeds: small N
 // makes the scheduler's result cache absorb most of the load, large N
@@ -30,6 +38,7 @@
 // check, missing expected backpressure, or busted p99 bound.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -62,8 +71,18 @@ struct Options {
   int spread = 4;         // distinct matrix seeds; higher = fewer cache hits
   bool expect_busy = false;
   bool send_shutdown = false;
+  bool check_stats = false;
   std::uint64_t seed = 2026;
 };
+
+/// Metric names become JSON keys in the report; strip label syntax.
+std::string sanitize_key(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  return out;
+}
 
 struct JobRecord {
   char kind = 'f';        // 'f' fixed-rank, 'a' adaptive, 'q' qrcp
@@ -225,6 +244,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
     else if (!std::strcmp(argv[i], "--expect-busy")) opt.expect_busy = true;
     else if (!std::strcmp(argv[i], "--shutdown")) opt.send_shutdown = true;
+    else if (!std::strcmp(argv[i], "--check-stats")) opt.check_stats = true;
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
   if (opt.port <= 0) {
@@ -348,6 +368,29 @@ int main(int argc, char** argv) {
   std::printf("backpressure: %d busy replies honored\n", busy_events);
   std::printf("residual:    %d sampled, %d failed\n", checked, check_failed);
 
+  // Scrape the server's live metrics over the wire (before any
+  // shutdown) and hold them for the report + cross-check below.
+  std::optional<net::StatsReply> server_stats;
+  {
+    net::ClientOptions copt;
+    copt.host = opt.host;
+    copt.port = static_cast<std::uint16_t>(opt.port);
+    net::Client sc(copt);
+    if (sc.connect()) server_stats = sc.stats();
+    if (!server_stats)
+      std::fprintf(stderr, "loadgen: stats scrape failed: %s\n",
+                   sc.last_error().c_str());
+  }
+  if (server_stats) {
+    std::printf("server:      %.0f submitted, %.0f busy, %.0f completed, "
+                "%.0f protocol errors, %.0f dropped\n",
+                server_stats->value("server_jobs_submitted"),
+                server_stats->value("server_jobs_busy"),
+                server_stats->value("server_jobs_completed"),
+                server_stats->value("server_protocol_errors"),
+                server_stats->value("server_results_dropped"));
+  }
+
   bench::JsonReport report("serving", argc, argv);
   if (report.enabled()) {
     report.row("summary")
@@ -371,6 +414,14 @@ int main(int argc, char** argv) {
           .set("count", double(lat_by_kind[ki].size()))
           .set("p50_ms", util::percentile(lat_by_kind[ki], 50))
           .set("p99_ms", util::percentile(lat_by_kind[ki], 99));
+    }
+    if (server_stats) {
+      // Embed the scrape (label-free series only: labeled names would
+      // collapse to ambiguous keys after sanitizing).
+      auto& row = report.row("server_stats");
+      for (const auto& [name, v] : server_stats->metrics)
+        if (name.find('{') == std::string::npos)
+          row.set(sanitize_key(name).c_str(), v);
     }
     if (!report.write()) return 1;
   }
@@ -403,6 +454,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: p99 %.1fms exceeds bound %.1fms\n", p99,
                  opt.max_p99_ms);
     bad = true;
+  }
+  if (opt.check_stats) {
+    // Against a dedicated server, every counter is accounted for: each
+    // Busy reply we honored is one server-side shed, every admitted job
+    // came back, and nothing was malformed or dropped.
+    if (!server_stats) {
+      std::fprintf(stderr, "FAIL: --check-stats but stats scrape failed\n");
+      bad = true;
+    } else {
+      auto expect = [&](const char* name, double want) {
+        const double got = server_stats->value(name);
+        if (got != want) {
+          std::fprintf(stderr, "FAIL: server %s = %.0f, client expects %.0f\n",
+                       name, got, want);
+          bad = true;
+        }
+      };
+      expect("server_jobs_busy", double(busy_events));
+      expect("server_protocol_errors", 0);
+      expect("server_results_dropped", 0);
+      expect("server_jobs_completed",
+             server_stats->value("server_jobs_submitted"));
+      if (failed == 0 && transport_failures.load() == 0)
+        expect("server_jobs_submitted", double(opt.jobs));
+    }
   }
   return bad ? 1 : 0;
 }

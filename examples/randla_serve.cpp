@@ -12,6 +12,12 @@
 //   randla_serve [--jobs N] [--workers N] [--queue N] [--burst N]
 //                [--deadline SECONDS] [--traces PATH]
 //                [--tcp PORT] [--clients N] [--linger]
+//                [--metrics PATH] [--trace PATH]
+//
+// --metrics dumps the global obs registry as Prometheus text on exit
+// (and turns on kernel profiling so la_* series are populated);
+// --trace enables the span tracer and dumps Chrome trace_event JSON
+// (load it in Perfetto / chrome://tracing) on exit.
 //
 // With --tcp the same workload is replayed over a real loopback socket
 // through src/net: the process hosts a net::Server on PORT (0 picks an
@@ -34,12 +40,45 @@
 
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/workload.hpp"
 
 using namespace randla;
 
 namespace {
+
+/// Writes the observability dumps when the process is done, whatever
+/// path it exits through. Declared before the scheduler so workers are
+/// joined (all spans recorded) by the time this runs.
+struct ObsDump {
+  std::string metrics_path, trace_path;
+  ~ObsDump() {
+    if (!metrics_path.empty()) {
+      if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+        const std::string text = obs::Registry::global().scrape().prometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("wrote metrics to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+        const std::string json = obs::Tracer::global().chrome_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu trace events to %s (%zu dropped)\n",
+                    obs::Tracer::global().events().size(), trace_path.c_str(),
+                    obs::Tracer::global().dropped());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      }
+    }
+  }
+};
 
 /// Rebuild the generator spec a workload job's matrix came from (the
 /// workload derives every input from a seeded generator, so the wire
@@ -211,7 +250,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1, clients = 8;
   bool linger = false;
   double deadline = 0;
-  std::string traces_path;
+  std::string traces_path, metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     auto val = [&] {
       if (i + 1 >= argc) {
@@ -229,8 +268,17 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--tcp")) tcp_port = std::atoi(val());
     else if (!std::strcmp(argv[i], "--clients")) clients = std::atoi(val());
     else if (!std::strcmp(argv[i], "--linger")) linger = true;
+    else if (!std::strcmp(argv[i], "--metrics")) metrics_path = val();
+    else if (!std::strcmp(argv[i], "--trace")) trace_path = val();
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
+
+  ObsDump dump;
+  dump.metrics_path = metrics_path;
+  dump.trace_path = trace_path;
+  if (!metrics_path.empty() || !trace_path.empty())
+    obs::set_profiling_enabled(true);  // populate la_* kernel series
+  if (!trace_path.empty()) obs::Tracer::global().enable();
 
   runtime::WorkloadOptions wo;
   wo.num_jobs = jobs;

@@ -7,6 +7,7 @@
 #include "la/blas1.hpp"
 #include "la/blas2.hpp"
 #include "la/parallel.hpp"
+#include "la/profile_hooks.hpp"
 #include "la/simd.hpp"
 
 namespace randla::blas {
@@ -373,6 +374,8 @@ void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = (opa == Op::NoTrans) ? a.cols() : a.rows();
+  la_prof::KernelScope prof("gemm", 2.0 * double(m) * double(n) * double(k),
+                            std::min({m, n, k}), std::max({m, n, k}));
   // 2D (row×column) tiling over independent blocks of C, sized by
   // gemm_parallel_grid so the library's dominant sampling shapes —
   // short-wide Ω·A (splits columns) and tall-skinny A·P (splits rows)
@@ -412,6 +415,7 @@ void syrk(Uplo uplo, Op op, Real alpha, ConstMatrixView<Real> a, Real beta,
   assert(c.cols() == n);
   const index_t k = (op == Op::NoTrans) ? a.cols() : a.rows();
   assert(((op == Op::NoTrans) ? a.rows() : a.cols()) == n);
+  la_prof::KernelScope prof("syrk", double(n) * double(n) * double(k));
 
   // Blocked over the triangle: diagonal blocks are computed densely with
   // gemm into a scratch tile (cheap relative to the off-diagonal volume),
@@ -665,6 +669,7 @@ void trsm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
   // split the independent dimension across the pool (the CholQR
   // A·R⁻¹ step is a Right solve over all m rows of the sample matrix).
   const double work = double(dim) * double(dim) * (side == Side::Left ? n : m);
+  la_prof::KernelScope prof("trsm", work);
   if (blas_num_threads() > 1 && work >= kMinParallelFlops) {
     if (side == Side::Left && n > 1) {
       parallel_ranges(n, 8, [&](index_t j0, index_t j1) {
@@ -698,6 +703,7 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
   // per row (row i of B·op(T) only reads row i of B), so a row-sliced
   // view runs the same in-place algorithm correctly.
   const double work = double(dim) * double(dim) * (side == Side::Left ? n : m);
+  la_prof::KernelScope prof("trmm", work);
   if (blas_num_threads() > 1 && work >= kMinParallelFlops) {
     if (side == Side::Left && n > 1) {
       parallel_ranges(n, 8, [&](index_t j0, index_t j1) {

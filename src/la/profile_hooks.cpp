@@ -1,0 +1,68 @@
+#include "la/profile_hooks.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "model/perfmodel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace randla::la_prof {
+
+namespace {
+
+// syrk/trsm/trmm tile their updates through gemm; only the outermost
+// public kernel on a thread records, so flops are attributed once.
+thread_local int t_kernel_depth = 0;
+
+void record_kernel(const char* kernel, double seconds, double flops,
+                   long long inner, long long major) {
+  auto& g = obs::Registry::global();
+  const std::string base = std::string("la_") + kernel;
+  g.counter(base + "_calls_total", "kernel invocations").inc();
+  g.counter(base + "_seconds_total", "wall seconds inside the kernel")
+      .add(seconds);
+  g.counter(base + "_flops_total", "useful flops executed").add(flops);
+  if (seconds <= 0 || flops <= 0) return;
+  const double achieved = flops / seconds / 1e9;
+  g.gauge(base + "_gflops", "achieved Gflop/s, last invocation")
+      .set(achieved);
+  if (inner > 0 && major > 0) {
+    // Efficiency against what the calibrated K40c model predicts for
+    // this shape — the paper's achieved-vs-peak lens (Fig. 5).
+    const double predicted =
+        model::gemm_gflops(model::DeviceSpec{}, index_t(inner),
+                           index_t(major));
+    if (predicted > 0)
+      g.gauge(base + "_efficiency_vs_model",
+              "achieved Gflop/s over model-predicted Gflop/s")
+          .set(achieved / predicted);
+  }
+}
+
+}  // namespace
+
+KernelScope::KernelScope(const char* kernel, double flops, long long inner,
+                         long long major)
+    : kernel_(kernel), flops_(flops), inner_(inner), major_(major) {
+  if (!obs::profiling_enabled()) return;
+  entered_ = true;
+  armed_ = ++t_kernel_depth == 1;
+  if (armed_) t0_ = std::chrono::steady_clock::now();
+}
+
+KernelScope::~KernelScope() {
+  if (!entered_) return;
+  --t_kernel_depth;
+  if (!armed_) return;
+  const auto t1 = std::chrono::steady_clock::now();
+  record_kernel(kernel_, std::chrono::duration<double>(t1 - t0_).count(),
+                flops_, inner_, major_);
+  if (obs::Tracer::global().enabled()) {
+    const std::uint64_t id = obs::current_trace_id();
+    if (id != 0) obs::Tracer::global().record_complete(id, kernel_, "la",
+                                                       t0_, t1);
+  }
+}
+
+}  // namespace randla::la_prof

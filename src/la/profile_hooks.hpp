@@ -1,0 +1,38 @@
+// profile_hooks.hpp — per-kernel profiling hooks for the BLAS-3 entry
+// points (DESIGN.md §9).
+//
+// Each public kernel (gemm/syrk/trsm/trmm) opens a KernelScope at entry;
+// on destruction the scope records calls/seconds/flops counters and the
+// achieved Gflop/s into obs::Registry::global(), plus — for GEMM — an
+// efficiency gauge against the calibrated K40c model's predicted rate.
+// When profiling is off (the default) a scope costs one relaxed atomic
+// load; the hot loops themselves are never touched. Kernels nest
+// (syrk/trsm/trmm tile through gemm), so a thread-local depth counter
+// attributes work to the outermost kernel only — no double counting.
+#pragma once
+
+#include <chrono>
+
+namespace randla::la_prof {
+
+/// RAII guard for one kernel invocation. `kernel` must be a string
+/// literal; `flops` the invocation's useful flop count. `inner`/`major`
+/// (GEMM only) feed the model-efficiency gauge; pass 0 to skip it.
+class KernelScope {
+ public:
+  KernelScope(const char* kernel, double flops, long long inner = 0,
+              long long major = 0);
+  ~KernelScope();
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  const char* kernel_;
+  double flops_;
+  long long inner_, major_;
+  bool entered_ = false;  ///< bumped the nesting depth (profiling was on)
+  bool armed_ = false;    ///< outermost kernel: records on destruction
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace randla::la_prof

@@ -8,8 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+
+#include "obs/trace.hpp"
 
 namespace randla::net {
 
@@ -139,9 +142,27 @@ bool Client::send_shutdown() {
   return send_raw(frame.data(), frame.size());
 }
 
+std::optional<StatsReply> Client::stats() {
+  const auto frame = encode_stats_request();
+  if (!send_raw(frame.data(), frame.size())) return std::nullopt;
+  for (;;) {
+    FrameHeader hdr;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&hdr, &payload)) return std::nullopt;
+    if (hdr.type == FrameType::Pong) continue;  // stale pipelined pong
+    if (hdr.type != FrameType::StatsReply) {
+      last_error_ = "expected stats_reply";
+      return std::nullopt;
+    }
+    return decode_stats_reply(payload.data(), payload.size());
+  }
+}
+
 CallResult Client::call(const JobRequest& req) {
   CallResult out;
-  const auto frame = encode_submit(req);
+  out.trace_id = req.trace_id != 0 ? req.trace_id : obs::mint_trace_id();
+  obs::Span span("client.call", "net", out.trace_id);
+  const auto frame = encode_submit(req, out.trace_id);
   if (!send_raw(frame.data(), frame.size())) {
     out.status = CallStatus::TransportError;
     out.detail = last_error_;

@@ -32,6 +32,7 @@ struct CallResult {
   BusyReply busy;                 ///< valid when status == Busy
   ErrorReply error;               ///< valid when status == RemoteError
   std::string detail;             ///< local diagnostic for Transport/Protocol
+  std::uint64_t trace_id = 0;     ///< id the request went out with
 };
 
 struct ClientOptions {
@@ -52,8 +53,13 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Submit one request and block for its terminal reply.
+  /// Submit one request and block for its terminal reply. Mints a fresh
+  /// trace id when req.trace_id is 0 (the minted id is reported in
+  /// CallResult::trace_id) and records a client.call span when the
+  /// global tracer is enabled.
   CallResult call(const JobRequest& req);
+  /// Scrape the server's live metrics (Stats → StatsReply round-trip).
+  std::optional<StatsReply> stats();
   /// Round-trip a Ping; false on any transport/protocol failure.
   bool ping(std::uint64_t nonce = 1);
   /// Ask the server to drain and exit (needs allow_remote_shutdown).

@@ -32,12 +32,14 @@ const char* frame_type_name(FrameType t) {
     case FrameType::Submit: return "submit";
     case FrameType::Ping: return "ping";
     case FrameType::Shutdown: return "shutdown";
+    case FrameType::Stats: return "stats";
     case FrameType::ResultHeader: return "result_header";
     case FrameType::ResultChunk: return "result_chunk";
     case FrameType::ResultEnd: return "result_end";
     case FrameType::Busy: return "busy";
     case FrameType::Error: return "error";
     case FrameType::Pong: return "pong";
+    case FrameType::StatsReply: return "stats_reply";
   }
   return "?";
 }
@@ -47,12 +49,14 @@ bool valid_frame_type(std::uint8_t t) {
     case FrameType::Submit:
     case FrameType::Ping:
     case FrameType::Shutdown:
+    case FrameType::Stats:
     case FrameType::ResultHeader:
     case FrameType::ResultChunk:
     case FrameType::ResultEnd:
     case FrameType::Busy:
     case FrameType::Error:
     case FrameType::Pong:
+    case FrameType::StatsReply:
       return true;
   }
   return false;
@@ -203,9 +207,11 @@ HeaderStatus peek_header(const std::uint8_t* data, std::size_t size,
 // ---------------------------------------------------------------------
 // Submit
 
-std::vector<std::uint8_t> encode_submit(const JobRequest& req) {
+std::vector<std::uint8_t> encode_submit(const JobRequest& req,
+                                        std::uint64_t trace_id_override) {
   Writer w;
   w.u64(req.request_id);
+  w.u64(trace_id_override != 0 ? trace_id_override : req.trace_id);
   w.u8(static_cast<std::uint8_t>(req.kind));
   w.f64(req.deadline_s);
   w.str(req.tag.substr(0, kMaxTagBytes));
@@ -256,6 +262,7 @@ std::optional<JobRequest> decode_submit(const std::uint8_t* payload,
   Reader r(payload, size);
   JobRequest req;
   req.request_id = r.u64();
+  req.trace_id = r.u64();
   const std::uint8_t kind = r.u8();
   if (!valid_kind(kind)) return std::nullopt;
   req.kind = static_cast<runtime::JobKind>(kind);
@@ -484,6 +491,41 @@ std::optional<std::uint64_t> decode_ping(const std::uint8_t* payload,
   const std::uint64_t nonce = r.u64();
   if (!r.done()) return std::nullopt;
   return nonce;
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  return encode_frame(FrameType::Stats, {});
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& s) {
+  Writer w;
+  const std::size_t n = std::min(s.metrics.size(), kMaxStatsEntries);
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    w.str(s.metrics[i].first.substr(0, kMaxStatsNameBytes));
+    w.f64(s.metrics[i].second);
+  }
+  return encode_frame(FrameType::StatsReply, w.bytes());
+}
+
+std::optional<StatsReply> decode_stats_reply(const std::uint8_t* payload,
+                                             std::size_t size) {
+  Reader r(payload, size);
+  const std::uint32_t count = r.u32();
+  // Cheapest possible entry is a 2-byte empty name + 8-byte value, so a
+  // lying count fails here before any allocation.
+  if (!r.ok() || count > kMaxStatsEntries || r.remaining() < count * 10)
+    return std::nullopt;
+  StatsReply s;
+  s.metrics.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = r.str(kMaxStatsNameBytes);
+    const double value = r.f64();
+    if (!r.ok()) return std::nullopt;
+    s.metrics.emplace_back(std::move(name), value);
+  }
+  if (!r.done()) return std::nullopt;
+  return s;
 }
 
 // ---------------------------------------------------------------------

@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "la/matrix.hpp"
@@ -39,7 +41,8 @@
 namespace randla::net {
 
 inline constexpr std::uint32_t kMagic = 0x31414C52u;  // "RLA1"
-inline constexpr std::uint8_t kVersion = 1;
+/// v2: Submit carries a trace id; Stats/StatsReply frames added.
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (also the decoder's allocation budget).
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;  // 64 MiB
@@ -53,6 +56,7 @@ enum class FrameType : std::uint8_t {
   Submit = 1,
   Ping = 2,
   Shutdown = 3,  ///< request a graceful drain + exit (if server allows)
+  Stats = 4,     ///< scrape the server's live metrics (empty payload)
   // server → client
   ResultHeader = 16,
   ResultChunk = 17,
@@ -60,6 +64,7 @@ enum class FrameType : std::uint8_t {
   Busy = 19,   ///< admission backpressure: retry later
   Error = 20,  ///< protocol or request error
   Pong = 21,
+  StatsReply = 22,  ///< (name, f64) metric pairs answering Stats
 };
 const char* frame_type_name(FrameType t);
 bool valid_frame_type(std::uint8_t t);
@@ -100,6 +105,9 @@ struct MatrixSpec {
 /// One factorization request: the same JobKind menu runtime::Job serves.
 struct JobRequest {
   std::uint64_t request_id = 0;
+  /// Distributed-trace id propagated server-side (obs spans). 0 = none;
+  /// net::Client mints one per call when the caller left it 0.
+  std::uint64_t trace_id = 0;
   runtime::JobKind kind = runtime::JobKind::FixedRank;
   MatrixSpec matrix;
   double deadline_s = 0;
@@ -156,6 +164,28 @@ struct ErrorReply {
   std::string message;
 };
 
+/// Metrics scrape answering a Stats frame: flat (name, value) pairs in
+/// the server's reporting order. Decoding is bounds-capped like every
+/// other frame (kMaxStatsEntries / kMaxStatsNameBytes).
+struct StatsReply {
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// First value with this exact name; 0 if absent.
+  double value(std::string_view name) const {
+    for (const auto& [n, v] : metrics)
+      if (n == name) return v;
+    return 0;
+  }
+  bool has(std::string_view name) const {
+    for (const auto& [n, v] : metrics)
+      if (n == name) return true;
+    return false;
+  }
+};
+
+inline constexpr std::size_t kMaxStatsEntries = 1024;
+inline constexpr std::size_t kMaxStatsNameBytes = 128;
+
 // ---------------------------------------------------------------------
 // Encoding. Writers append; encode_* return a complete wire frame
 // (header + payload) ready for the socket.
@@ -180,7 +210,10 @@ class Writer {
 
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        const std::vector<std::uint8_t>& payload);
-std::vector<std::uint8_t> encode_submit(const JobRequest& req);
+/// `trace_id_override`, when nonzero, goes on the wire in place of
+/// req.trace_id (lets Client mint an id without copying the request).
+std::vector<std::uint8_t> encode_submit(const JobRequest& req,
+                                        std::uint64_t trace_id_override = 0);
 std::vector<std::uint8_t> encode_result_header(const ResultHeader& h);
 std::vector<std::uint8_t> encode_result_chunk(const ResultChunk& c);
 std::vector<std::uint8_t> encode_result_end(std::uint64_t request_id);
@@ -189,6 +222,8 @@ std::vector<std::uint8_t> encode_error(const ErrorReply& e);
 std::vector<std::uint8_t> encode_ping(std::uint64_t nonce);
 std::vector<std::uint8_t> encode_pong(std::uint64_t nonce);
 std::vector<std::uint8_t> encode_shutdown();
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& s);
 
 // ---------------------------------------------------------------------
 // Decoding. A Reader consumes a payload; any out-of-bounds or invalid
@@ -253,6 +288,8 @@ std::optional<ErrorReply> decode_error(const std::uint8_t* payload,
                                        std::size_t size);
 std::optional<std::uint64_t> decode_ping(const std::uint8_t* payload,
                                          std::size_t size);
+std::optional<StatsReply> decode_stats_reply(const std::uint8_t* payload,
+                                             std::size_t size);
 
 /// Materialize the matrix a spec describes (generator path; Inline specs
 /// return a copy of the payload). Throws std::invalid_argument on an

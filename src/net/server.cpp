@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace randla::net {
 
@@ -57,6 +59,15 @@ struct Server::Impl {
   mutable std::mutex stats_mu;
   ServerStats stats;
 
+  /// Fleet-wide counters mirroring ServerStats in the global obs
+  /// registry (ServerStats stays per-instance for exact per-server
+  /// accounting; these aggregate across servers for /metrics).
+  struct ObsCounters {
+    obs::Counter connections, frames_submit, frames_ping, frames_shutdown,
+        frames_stats, frames_other, busy, bytes_in, bytes_out, decode_errors,
+        jobs_submitted, jobs_completed, results_dropped;
+  } obs_;
+
   struct Conn {
     int fd = -1;
     std::vector<std::uint8_t> rbuf;
@@ -72,6 +83,7 @@ struct Server::Impl {
   struct InFlight {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
     std::shared_ptr<runtime::JobHandle> handle;
   };
   std::vector<InFlight> inflight;
@@ -84,7 +96,28 @@ struct Server::Impl {
 
   std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
 
-  Impl(runtime::Scheduler& s, ServerOptions o) : sched(s), opts(std::move(o)) {}
+  Impl(runtime::Scheduler& s, ServerOptions o)
+      : sched(s), opts(std::move(o)) {
+    auto& g = obs::Registry::global();
+    obs_.connections = g.counter("net_connections_total", "accepted sockets");
+    obs_.frames_submit =
+        g.counter("net_frames_in_total{type=\"submit\"}", "frames by type");
+    obs_.frames_ping = g.counter("net_frames_in_total{type=\"ping\"}");
+    obs_.frames_shutdown = g.counter("net_frames_in_total{type=\"shutdown\"}");
+    obs_.frames_stats = g.counter("net_frames_in_total{type=\"stats\"}");
+    obs_.frames_other = g.counter("net_frames_in_total{type=\"other\"}");
+    obs_.busy = g.counter("net_busy_total", "submits shed with Busy frames");
+    obs_.bytes_in = g.counter("net_bytes_in_total", "bytes read from peers");
+    obs_.bytes_out = g.counter("net_bytes_out_total", "bytes sent to peers");
+    obs_.decode_errors =
+        g.counter("net_decode_errors_total", "malformed frames/payloads");
+    obs_.jobs_submitted =
+        g.counter("net_jobs_submitted_total", "submits admitted to the queue");
+    obs_.jobs_completed =
+        g.counter("net_jobs_completed_total", "results delivered to peers");
+    obs_.results_dropped = g.counter("net_results_dropped_total",
+                                     "results finished after peer left");
+  }
 
   double now() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -107,6 +140,7 @@ struct Server::Impl {
                 std::size_t len);
   void handle_submit(std::uint64_t cid, const std::uint8_t* payload,
                      std::size_t len);
+  void handle_stats(std::uint64_t cid, std::size_t len);
   runtime::MatrixHandle resolve_matrix(const MatrixSpec& spec);
   std::uint32_t retry_after_ms() const;
   void deliver_completions();
@@ -333,6 +367,7 @@ void Server::Impl::accept_ready() {
     c.last_active = now();
     conns.emplace(next_conn_id++, std::move(c));
     bump(&ServerStats::conns_accepted);
+    obs_.connections.inc();
   }
 }
 
@@ -349,6 +384,7 @@ void Server::Impl::read_ready(std::uint64_t cid) {
       c.rbuf.insert(c.rbuf.end(), buf, buf + n);
       c.last_active = now();
       bump(&ServerStats::bytes_in, static_cast<std::uint64_t>(n));
+      obs_.bytes_in.add(double(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -371,6 +407,7 @@ void Server::Impl::process_input(std::uint64_t cid) {
     if (hs == HeaderStatus::NeedMore) break;
     if (hs != HeaderStatus::Ok) {
       bump(&ServerStats::protocol_errors);
+      obs_.decode_errors.inc();
       const auto code = hs == HeaderStatus::TooLarge ? ErrorCode::TooLarge
                                                      : ErrorCode::BadFrame;
       queue_frame(c, encode_error(ErrorReply{0, code, "malformed frame"}));
@@ -397,19 +434,23 @@ void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
   Conn& c = conns[cid];
   switch (type) {
     case FrameType::Submit:
+      obs_.frames_submit.inc();
       handle_submit(cid, payload, len);
       return;
     case FrameType::Ping: {
+      obs_.frames_ping.inc();
       if (auto nonce = decode_ping(payload, len)) {
         queue_frame(c, encode_pong(*nonce));
       } else {
         bump(&ServerStats::protocol_errors);
+        obs_.decode_errors.inc();
         queue_frame(c, encode_error(
                            ErrorReply{0, ErrorCode::BadFrame, "bad ping"}));
       }
       return;
     }
     case FrameType::Shutdown:
+      obs_.frames_shutdown.inc();
       if (opts.allow_remote_shutdown) {
         stop_requested.store(true);
       } else {
@@ -417,9 +458,15 @@ void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
                                                "shutdown not allowed"}));
       }
       return;
+    case FrameType::Stats:
+      obs_.frames_stats.inc();
+      handle_stats(cid, len);
+      return;
     default:
       // A server→client frame type from a client: confused peer.
+      obs_.frames_other.inc();
       bump(&ServerStats::protocol_errors);
+      obs_.decode_errors.inc();
       queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
                                              "unexpected frame type"}));
       c.close_after_flush = true;
@@ -460,10 +507,13 @@ void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
   auto req = decode_submit(payload, len);
   if (!req) {
     bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
     queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadRequest,
                                            "malformed submit"}));
     return;
   }
+  // Covers matrix resolution + admission under the client's trace id.
+  obs::Span span("net.submit", "net", req->trace_id);
   if (stop_requested.load()) {
     queue_frame(c, encode_error(ErrorReply{req->request_id,
                                            ErrorCode::ShuttingDown,
@@ -474,6 +524,7 @@ void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
   runtime::Job job;
   job.deadline_s = req->deadline_s;
   job.tag = req->tag;
+  job.trace_id = req->trace_id;
   try {
     runtime::MatrixHandle a = resolve_matrix(req->matrix);
     switch (req->kind) {
@@ -531,12 +582,68 @@ void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
       b.retry_after_ms = retry_after_ms();
       queue_frame(c, encode_busy(b));
       bump(&ServerStats::jobs_busy);
+      obs_.busy.inc();
     }
     return;
   }
   c.inflight += 1;
-  inflight.push_back(Impl::InFlight{cid, req->request_id, sub.handle});
+  inflight.push_back(
+      Impl::InFlight{cid, req->request_id, req->trace_id, sub.handle});
   bump(&ServerStats::jobs_submitted);
+  obs_.jobs_submitted.inc();
+}
+
+void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
+  Conn& c = conns[cid];
+  if (len != 0) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
+                                           "stats frame carries a payload"}));
+    c.close_after_flush = true;
+    return;
+  }
+  StatsReply s;
+  auto& m = s.metrics;
+  ServerStats st;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    st = stats;
+  }
+  // Per-instance serving counters first: these are what load generators
+  // cross-check their own accounting against.
+  m.emplace_back("server_conns_accepted", double(st.conns_accepted));
+  m.emplace_back("server_conns_refused", double(st.conns_refused));
+  m.emplace_back("server_conns_idle_closed", double(st.conns_idle_closed));
+  m.emplace_back("server_frames_in", double(st.frames_in));
+  m.emplace_back("server_protocol_errors", double(st.protocol_errors));
+  m.emplace_back("server_jobs_submitted", double(st.jobs_submitted));
+  m.emplace_back("server_jobs_busy", double(st.jobs_busy));
+  m.emplace_back("server_jobs_completed", double(st.jobs_completed));
+  m.emplace_back("server_results_dropped", double(st.results_dropped));
+  m.emplace_back("server_bytes_in", double(st.bytes_in));
+  m.emplace_back("server_bytes_out", double(st.bytes_out));
+  // Scheduler + cache state behind this server.
+  m.emplace_back("sched_queue_depth", double(sched.queue_depth()));
+  m.emplace_back("sched_queue_capacity", double(sched.queue_capacity()));
+  m.emplace_back("sched_inflight", double(sched.inflight()));
+  m.emplace_back("sched_num_workers", double(sched.num_workers()));
+  m.emplace_back("sched_recent_exec_s", sched.recent_exec_s());
+  const auto sk = sched.sketch_cache_stats();
+  m.emplace_back("sketch_cache_hits", double(sk.hits));
+  m.emplace_back("sketch_cache_misses", double(sk.misses));
+  m.emplace_back("sketch_cache_evictions", double(sk.evictions));
+  const auto rc = sched.result_cache_stats();
+  m.emplace_back("result_cache_hits", double(rc.hits));
+  m.emplace_back("result_cache_misses", double(rc.misses));
+  m.emplace_back("result_cache_evictions", double(rc.evictions));
+  // Global registry (layer instrumentation), capped at the wire limit.
+  for (const auto& [name, v] : obs::Registry::global().scrape().flatten()) {
+    if (m.size() >= kMaxStatsEntries) break;
+    if (name.size() > kMaxStatsNameBytes) continue;
+    m.emplace_back(name, v);
+  }
+  queue_frame(c, encode_stats_reply(s));
 }
 
 void Server::Impl::deliver_completions() {
@@ -549,10 +656,13 @@ void Server::Impl::deliver_completions() {
     auto cit = conns.find(it->conn_id);
     if (cit == conns.end()) {
       bump(&ServerStats::results_dropped);
+      obs_.results_dropped.inc();
     } else {
+      obs::Span span("net.result", "net", it->trace_id);
       send_result(cit->second, it->request_id, outcome);
       cit->second.inflight -= 1;
       bump(&ServerStats::jobs_completed);
+      obs_.jobs_completed.inc();
       if (!flush(cit->second)) drop_conn(it->conn_id);
     }
     it = inflight.erase(it);
@@ -630,6 +740,7 @@ bool Server::Impl::flush(Conn& c) {
     if (n > 0) {
       c.woff += static_cast<std::size_t>(n);
       bump(&ServerStats::bytes_out, static_cast<std::uint64_t>(n));
+      obs_.bytes_out.add(double(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <random>
+
+namespace randla::obs {
+namespace {
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint64_t t_trace_id = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_events_ = max_events;
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Tracer::record_complete(std::uint64_t trace_id, const char* name,
+                             const char* cat,
+                             std::chrono::steady_clock::time_point begin,
+                             std::chrono::steady_clock::time_point end) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.trace_id = trace_id;
+  ev.ts_us = std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  ev.tid = this_thread_tid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::chrome_json() const {
+  std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\": [\n";
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"randla\"}}";
+  char buf[256];
+  for (const TraceEvent& ev : evs) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"trace_id\": \"0x%llx\"}}",
+                  ev.name, ev.cat, ev.ts_us, ev.dur_us, ev.tid,
+                  static_cast<unsigned long long>(ev.trace_id));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+ScopedTraceId::ScopedTraceId(std::uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = prev_; }
+
+std::uint64_t mint_trace_id() {
+  static std::atomic<std::uint64_t> counter{[] {
+    std::random_device rd;
+    // High half random so ids from restarted clients rarely collide in
+    // a merged trace; low half a counter so ids stay unique in-process.
+    return (std::uint64_t(rd()) << 32) | 1u;
+  }()};
+  std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace randla::obs

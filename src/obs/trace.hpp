@@ -1,0 +1,115 @@
+// trace.hpp — span tracer emitting Chrome trace_event JSON.
+//
+// One request = one trace: net::Client mints a 64-bit trace id, the v2
+// Submit frame carries it, and every layer that touches the request
+// (server frame handling, scheduler queue wait, worker execution, rsvd
+// phase timers, profiled BLAS kernels) records spans tagged with it.
+// Layers that cannot thread the id through their signatures (PhaseTimer,
+// the BLAS kernels) read it from a thread-local set by ScopedTraceId.
+//
+// The tracer is off by default; when off, a Span construction costs one
+// relaxed atomic load. Events are buffered in memory (bounded; overflow
+// is counted, not blocked on) and serialized with chrome_json() as
+// {"traceEvents": [...]}, loadable by Perfetto and chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace randla::obs {
+
+struct TraceEvent {
+  const char* name;  ///< static string literal
+  const char* cat;   ///< static string literal
+  std::uint64_t trace_id;
+  double ts_us;   ///< microseconds since tracer epoch
+  double dur_us;  ///< span duration in microseconds
+  std::uint32_t tid;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void enable(std::size_t max_events = 1u << 17);
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a completed span ("ph":"X"). `name` and `cat` must be
+  /// string literals (stored by pointer). No-op when disabled.
+  void record_complete(std::uint64_t trace_id, const char* name,
+                       const char* cat,
+                       std::chrono::steady_clock::time_point begin,
+                       std::chrono::steady_clock::time_point end);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t dropped() const;
+  void clear();
+
+  /// Full Chrome trace: {"traceEvents":[...]}, one event per line.
+  std::string chrome_json() const;
+
+ private:
+  Tracer();
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_ = 0;
+  std::size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Trace id for new work started on this thread; 0 = no active trace.
+std::uint64_t current_trace_id();
+
+/// RAII: install a trace id on this thread for the scope's duration
+/// (saves and restores the previous id, so nesting works).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::uint64_t id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Mint a process-unique nonzero trace id (random high bits + counter).
+std::uint64_t mint_trace_id();
+
+/// RAII span against the global tracer. Explicit-id form for layers
+/// that carry the id; the two-arg form reads current_trace_id().
+/// Records nothing when the tracer is off or the id is 0.
+class Span {
+ public:
+  Span(const char* name, const char* cat, std::uint64_t trace_id)
+      : name_(name), cat_(cat), trace_id_(trace_id) {
+    armed_ = trace_id_ != 0 && Tracer::global().enabled();
+    if (armed_) begin_ = std::chrono::steady_clock::now();
+  }
+  Span(const char* name, const char* cat)
+      : Span(name, cat, current_trace_id()) {}
+  ~Span() {
+    if (armed_)
+      Tracer::global().record_complete(trace_id_, name_, cat_, begin_,
+                                       std::chrono::steady_clock::now());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t trace_id_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+}  // namespace randla::obs

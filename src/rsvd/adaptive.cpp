@@ -96,11 +96,11 @@ AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
   {
     Matrix<double> omega;
     {
-      PhaseTimer t(res.phases.prng);
+      PhaseTimer t(res.phases.prng, "rsvd.prng");
       omega = rng::gaussian_matrix<double>(linc, m, opts.seed + round);
       res.flops.prng += double(linc) * double(m);
     }
-    PhaseTimer t(res.phases.sampling);
+    PhaseTimer t(res.phases.sampling, "rsvd.sampling");
     blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
                ConstMatrixView<double>(omega.view()), a, 0.0,
                b.block(0, 0, linc, n));
@@ -120,7 +120,7 @@ AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
       // normalizes tiny residual rows, amplifying their remaining
       // components along the old basis by 1/‖residual‖; the second
       // BOrth+QR pass removes them ("twice is enough").
-      PhaseTimer t(res.phases.orth_iter);
+      PhaseTimer t(res.phases.orth_iter, "rsvd.orth_iter");
       auto prev = ConstMatrixView<double>(b.block(0, 0, l, n));
       auto fresh = b.block(l, 0, linc, n);
       for (int pass = 0; pass < 2; ++pass) {
@@ -163,11 +163,11 @@ AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
     {
       Matrix<double> omega;
       {
-        PhaseTimer t(res.phases.prng);
+        PhaseTimer t(res.phases.prng, "rsvd.prng");
         omega = rng::gaussian_matrix<double>(linc, m, opts.seed + round);
         res.flops.prng += double(linc) * double(m);
       }
-      PhaseTimer t(res.phases.sampling);
+      PhaseTimer t(res.phases.sampling, "rsvd.sampling");
       blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
                  ConstMatrixView<double>(omega.view()), a, 0.0,
                  b.block(l, 0, linc, n));
@@ -177,7 +177,7 @@ AdaptiveResult adaptive_sample(ConstMatrixView<double> a,
     // ---- Error estimate from the probe (lines 14–15).
     double est;
     {
-      PhaseTimer t(res.phases.orth_iter);
+      PhaseTimer t(res.phases.orth_iter, "rsvd.orth_iter");
       est = probe_error_estimate(
           ConstMatrixView<double>(b.block(l, 0, linc, n)),
           ConstMatrixView<double>(b.block(0, 0, l, n)), res.flops);

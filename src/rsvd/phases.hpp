@@ -5,6 +5,8 @@
 #include <chrono>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace randla::rsvd {
 
 /// Accumulated wall-clock seconds and flops per algorithm phase.
@@ -47,20 +49,32 @@ struct PhaseFlops {
   }
 };
 
-/// Scope timer adding elapsed seconds to a PhaseTimes field.
+/// Scope timer adding elapsed seconds to a PhaseTimes field. When given
+/// a span name (a string literal) it additionally records an obs span
+/// under the thread's current trace id, so phase timings land in the
+/// request's Chrome trace without threading ids through the algorithms.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(double& slot)
-      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  explicit PhaseTimer(double& slot, const char* span_name = nullptr)
+      : slot_(slot),
+        span_name_(span_name),
+        start_(std::chrono::steady_clock::now()) {}
   ~PhaseTimer() {
     const auto end = std::chrono::steady_clock::now();
     slot_ += std::chrono::duration<double>(end - start_).count();
+    if (span_name_ != nullptr && obs::Tracer::global().enabled()) {
+      const std::uint64_t id = obs::current_trace_id();
+      if (id != 0)
+        obs::Tracer::global().record_complete(id, span_name_, "rsvd",
+                                              start_, end);
+    }
   }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
   double& slot_;
+  const char* span_name_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -38,7 +38,7 @@ void power_iteration(ConstMatrixView<double> a, MatrixView<double> b,
     {
       // BOrth then QR, twice when refining against an existing basis
       // (see the adaptive fold for why interleaving matters).
-      PhaseTimer t(local_t.orth_iter);
+      PhaseTimer t(local_t.orth_iter, "rsvd.orth_iter");
       const int passes = j0 > 0 ? 2 : 1;
       for (int pass = 0; pass < passes; ++pass) {
         ortho::block_orth_rows(b_prev, b_cur, /*passes=*/1);
@@ -49,14 +49,14 @@ void power_iteration(ConstMatrixView<double> a, MatrixView<double> b,
       }
     }
     {
-      PhaseTimer t(local_t.gemm_iter);
+      PhaseTimer t(local_t.gemm_iter, "rsvd.gemm_iter");
       // C_cur = B_cur·Aᵀ  ((nb×n)·(n×m)).
       blas::gemm(Op::NoTrans, Op::Trans, 1.0, ConstMatrixView<double>(b_cur), a,
                  0.0, c_cur);
       local_f.gemm_iter += flops::gemm(nb, m, n);
     }
     {
-      PhaseTimer t(local_t.orth_iter);
+      PhaseTimer t(local_t.orth_iter, "rsvd.orth_iter");
       const int passes = j0 > 0 ? 2 : 1;
       for (int pass = 0; pass < passes; ++pass) {
         ortho::block_orth_rows(c_prev, c_cur, /*passes=*/1);
@@ -67,7 +67,7 @@ void power_iteration(ConstMatrixView<double> a, MatrixView<double> b,
       }
     }
     {
-      PhaseTimer t(local_t.gemm_iter);
+      PhaseTimer t(local_t.gemm_iter, "rsvd.gemm_iter");
       // B_cur = C_cur·A  ((nb×m)·(m×n)).
       blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, ConstMatrixView<double>(c_cur),
                  a, 0.0, b_cur);
@@ -98,7 +98,7 @@ void steps_2_and_3(ConstMatrixView<double> a, ConstMatrixView<double> b,
   // ---- Step 2: truncated QP3 of B.
   qrcp::QrcpFactors<double> fac;
   {
-    PhaseTimer t(res.phases.qrcp);
+    PhaseTimer t(res.phases.qrcp, "rsvd.qrcp");
     fac = qrcp::qrcp_truncated(b, k, qrcp_block);
     res.qrcp_stats = fac.stats;
     res.flops.qrcp += fac.stats.flops_blas2 + fac.stats.flops_blas3;
@@ -107,7 +107,7 @@ void steps_2_and_3(ConstMatrixView<double> a, ConstMatrixView<double> b,
 
   // ---- Step 3: QR of A·P₁:k, then R = R̄·(I_k  R̂₁⁻¹·R̂₂).
   {
-    PhaseTimer t(res.phases.qr);
+    PhaseTimer t(res.phases.qr, "rsvd.qr");
     res.q = permuted_leading_columns(a, fac.perm, k);
     Matrix<double> rbar(k, k);
     auto rep = ortho::orthonormalize_columns(ortho::Scheme::CholQR2,
@@ -177,18 +177,18 @@ Matrix<double> compute_sample(ConstMatrixView<double> a,
   if (opts.sampling == SamplingKind::Gaussian) {
     Matrix<double> omega;
     {
-      PhaseTimer t(local_t.prng);
+      PhaseTimer t(local_t.prng, "rsvd.prng");
       omega = rng::gaussian_matrix<double>(l, m, opts.seed);
       local_f.prng += double(l) * double(m);
     }
     {
-      PhaseTimer t(local_t.sampling);
+      PhaseTimer t(local_t.sampling, "rsvd.sampling");
       blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
                  ConstMatrixView<double>(omega.view()), a, 0.0, b.view());
       local_f.sampling += flops::gemm(l, n, m);
     }
   } else {
-    PhaseTimer t(local_t.sampling);
+    PhaseTimer t(local_t.sampling, "rsvd.sampling");
     b = fft::fft_sample_rows(a, l, opts.seed);
     local_f.sampling += double(n) * flops::fft(fft::next_pow2(m));
   }

@@ -19,7 +19,7 @@ TruncatedSvdResult truncated_svd(ConstMatrixView<double> a,
   out.phases = fr.phases;
   out.cholqr_fallbacks = fr.cholqr_fallbacks;
 
-  PhaseTimer t(out.phases.qr);
+  PhaseTimer t(out.phases.qr, "rsvd.qr");
 
   // Undo the column permutation of R so that A ≈ Q·R′ with R′ in the
   // original column order: R′(:, perm[j]) = R(:, j).

@@ -54,6 +54,9 @@ struct Job {
   /// the scheduler default; negative disables the deadline outright.
   double deadline_s = 0;
   std::string tag;  ///< free-form label copied into the trace
+  /// Distributed-trace id (obs spans); 0 = untraced. The scheduler
+  /// installs it on the executing thread so phase spans connect.
+  std::uint64_t trace_id = 0;
 };
 
 inline JobKind job_kind(const Job& job) {

@@ -4,9 +4,24 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace randla::runtime {
 
 namespace {
+
+obs::Gauge queue_depth_gauge() {
+  static obs::Gauge g = obs::Registry::global().gauge(
+      "runtime_queue_depth", "jobs waiting in the admission queue");
+  return g;
+}
+
+obs::Gauge inflight_gauge() {
+  static obs::Gauge g = obs::Registry::global().gauge(
+      "runtime_inflight", "jobs admitted but not yet fulfilled");
+  return g;
+}
 
 /// Next stabler power-iteration orthogonalization after a breakdown.
 ortho::Scheme escalate(ortho::Scheme s) {
@@ -82,12 +97,15 @@ SubmitResult Scheduler::submit(Job job) {
   const double submit_s = now();
   const std::string tag = job.tag;
   const JobKind kind = job_kind(job);
+  const std::uint64_t trace_id = job.trace_id;
 
   // Count the job in-flight *before* pushing: a worker may fulfill it
   // (and decrement) before try_push even returns.
   inflight_.fetch_add(1);
   const PushStatus st =
       queue_.try_push(PendingJob{std::move(job), handle, submit_s});
+  queue_depth_gauge().set(double(queue_.size()));
+  inflight_gauge().set(double(inflight_.load()));
   if (st != PushStatus::Ok) {
     // Shed at the door: record the rejection and fulfill immediately so
     // callers can wait() on every handle uniformly.
@@ -101,9 +119,11 @@ SubmitResult Scheduler::submit(Job job) {
     outcome.trace.submit_s = submit_s;
     outcome.trace.error = outcome.error;
     outcome.trace.job_id = handle->id();
+    outcome.trace.trace_id = trace_id;
     telemetry_.record(outcome.trace);
     handle->fulfill(std::move(outcome));
     inflight_.fetch_sub(1);
+    inflight_gauge().set(double(inflight_.load()));
     {
       std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
     }
@@ -122,16 +142,34 @@ void Scheduler::worker_loop(int widx) {
   for (;;) {
     auto pending = queue_.pop();
     if (!pending) return;
+    queue_depth_gauge().set(double(queue_.size()));
     const double queue_wait = now() - pending->submit_s;
+    const std::uint64_t trace_id = pending->job.trace_id;
+    if (trace_id != 0 && obs::Tracer::global().enabled()) {
+      // The wait already happened; reconstruct its span from submit_s.
+      const auto begin =
+          start_ + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(pending->submit_s));
+      obs::Tracer::global().record_complete(
+          trace_id, "queue.wait", "runtime", begin,
+          std::chrono::steady_clock::now());
+    }
 
     JobOutcome outcome;
     // Run on the simulated device's own thread, like a kernel launch:
     // the worker blocks until its device finishes, so each device runs
-    // one job at a time while distinct devices overlap.
-    dev.submit([&] { outcome = execute(pending->job, widx, queue_wait); })
+    // one job at a time while distinct devices overlap. The trace id is
+    // installed on the *device* thread so rsvd phase spans connect.
+    dev.submit([&] {
+         obs::ScopedTraceId scoped(trace_id);
+         obs::Span span("worker.exec", "runtime", trace_id);
+         outcome = execute(pending->job, widx, queue_wait);
+       })
         .get();
 
     outcome.trace.job_id = pending->handle->id();
+    outcome.trace.trace_id = trace_id;
     outcome.trace.tag = pending->job.tag;
     outcome.trace.kind = job_kind(pending->job);
     outcome.trace.submit_s = pending->submit_s;
@@ -148,6 +186,7 @@ void Scheduler::worker_loop(int widx) {
     telemetry_.record(outcome.trace);
     pending->handle->fulfill(std::move(outcome));
     inflight_.fetch_sub(1);
+    inflight_gauge().set(double(inflight_.load()));
     {
       std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
     }
@@ -193,7 +232,7 @@ JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait) {
       outcome.status = trace.status = JobStatus::Done;
     } else {
       const auto& qj = std::get<QrcpJob>(job.payload);
-      rsvd::PhaseTimer t(trace.phases.qrcp);
+      rsvd::PhaseTimer t(trace.phases.qrcp, "rsvd.qrcp");
       auto fac = std::make_shared<qrcp::QrcpFactors<double>>(
           qrcp::qrcp_truncated<double>(qj.a->view(), qj.k, qj.block));
       trace.flops.qrcp = fac->stats.flops_blas2 + fac->stats.flops_blas3;

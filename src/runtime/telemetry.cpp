@@ -91,6 +91,12 @@ void close_object(std::string& out) {
 std::string to_json(const JobTrace& t) {
   std::string out = "{";
   append_kv(out, "job_id", static_cast<std::uint64_t>(t.job_id));
+  if (t.trace_id != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(t.trace_id));
+    append_kv(out, "trace_id", std::string(buf));
+  }
   append_kv(out, "tag", t.tag);
   append_kv(out, "kind", std::string(job_kind_name(t.kind)));
   append_kv(out, "status", std::string(job_status_name(t.status)));
@@ -122,7 +128,49 @@ std::string to_json(const JobTrace& t) {
   return out;
 }
 
+TelemetrySink::TelemetrySink()
+    : wait_hist_(local_.histogram("queue_wait_seconds", {},
+                                  "admission to worker pickup")),
+      exec_hist_(local_.histogram("exec_seconds", {},
+                                  "worker pickup to completion")),
+      exec_miss_hist_(local_.histogram("exec_seconds_miss")),
+      exec_sketch_hist_(local_.histogram("exec_seconds_sketch")),
+      exec_result_hist_(local_.histogram("exec_seconds_result")) {}
+
 void TelemetrySink::record(JobTrace trace) {
+  // Fleet-wide counters for the metrics endpoint (labels by terminal
+  // status / cache disposition). Registration is idempotent and cheap
+  // relative to a finished job.
+  auto& g = obs::Registry::global();
+  std::string name = "runtime_jobs_total{status=\"";
+  name += job_status_name(trace.status);
+  name += "\"}";
+  g.counter(name, "jobs by terminal status").inc();
+  name = "runtime_cache_total{disposition=\"";
+  name += cache_disposition_name(trace.cache);
+  name += "\"}";
+  g.counter(name, "jobs by cache disposition").inc();
+  if (trace.retries > 0)
+    g.counter("runtime_retries_total", "CholQR escalation re-runs")
+        .add(trace.retries);
+  if (trace.degraded)
+    g.counter("runtime_degraded_total", "jobs with q lowered to fit deadline")
+        .inc();
+
+  if (trace.status == JobStatus::Done) {
+    wait_hist_.observe(trace.queue_wait_s);
+    exec_hist_.observe(trace.exec_s);
+    switch (trace.cache) {
+      case CacheDisposition::Miss: exec_miss_hist_.observe(trace.exec_s); break;
+      case CacheDisposition::Sketch:
+        exec_sketch_hist_.observe(trace.exec_s);
+        break;
+      case CacheDisposition::Result:
+        exec_result_hist_.observe(trace.exec_s);
+        break;
+      case CacheDisposition::None: break;
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   traces_.push_back(std::move(trace));
 }
@@ -148,33 +196,41 @@ TelemetrySummary TelemetrySink::summarize() const {
   const auto all = traces();
   TelemetrySummary s;
   s.total = all.size();
-  std::vector<double> waits, execs;
-  double sum_miss = 0, sum_sketch = 0, sum_result = 0;
-  std::uint64_t n_miss = 0, n_sketch = 0, n_result = 0;
   for (const auto& t : all) {
     ++s.by_status[job_status_name(t.status)];
     ++s.by_cache[cache_disposition_name(t.cache)];
     s.retries += static_cast<std::uint64_t>(t.retries);
     if (t.degraded) ++s.degraded;
-    if (t.status != JobStatus::Done) continue;
-    waits.push_back(t.queue_wait_s);
-    execs.push_back(t.exec_s);
-    switch (t.cache) {
-      case CacheDisposition::Miss: sum_miss += t.exec_s; ++n_miss; break;
-      case CacheDisposition::Sketch: sum_sketch += t.exec_s; ++n_sketch; break;
-      case CacheDisposition::Result: sum_result += t.exec_s; ++n_result; break;
-      case CacheDisposition::None: break;
-    }
   }
-  s.queue_wait_p50 = percentile(waits, 50);
-  s.queue_wait_p90 = percentile(waits, 90);
-  s.queue_wait_p99 = percentile(waits, 99);
-  s.exec_p50 = percentile(execs, 50);
-  s.exec_p90 = percentile(execs, 90);
-  s.exec_p99 = percentile(execs, 99);
-  if (n_miss) s.exec_mean_miss = sum_miss / double(n_miss);
-  if (n_sketch) s.exec_mean_sketch = sum_sketch / double(n_sketch);
-  if (n_result) s.exec_mean_result = sum_result / double(n_result);
+  // Latency distributions come from the sink-local histograms, not a
+  // re-sort of raw samples (the histograms already hold every Done
+  // observation; quantiles interpolate within the containing bucket).
+  const obs::Snapshot snap = local_.scrape();
+  const obs::HistogramSnapshot* wait = nullptr;
+  const obs::HistogramSnapshot* exec = nullptr;
+  const obs::HistogramSnapshot* miss = nullptr;
+  const obs::HistogramSnapshot* sketch = nullptr;
+  const obs::HistogramSnapshot* result = nullptr;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "queue_wait_seconds") wait = &h;
+    else if (h.name == "exec_seconds") exec = &h;
+    else if (h.name == "exec_seconds_miss") miss = &h;
+    else if (h.name == "exec_seconds_sketch") sketch = &h;
+    else if (h.name == "exec_seconds_result") result = &h;
+  }
+  if (wait) {
+    s.queue_wait_p50 = wait->quantile(0.50);
+    s.queue_wait_p90 = wait->quantile(0.90);
+    s.queue_wait_p99 = wait->quantile(0.99);
+  }
+  if (exec) {
+    s.exec_p50 = exec->quantile(0.50);
+    s.exec_p90 = exec->quantile(0.90);
+    s.exec_p99 = exec->quantile(0.99);
+  }
+  if (miss) s.exec_mean_miss = miss->mean();
+  if (sketch) s.exec_mean_sketch = sketch->mean();
+  if (result) s.exec_mean_result = result->mean();
   return s;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 #include "rsvd/phases.hpp"
 #include "util/stats.hpp"
 
@@ -44,6 +45,9 @@ const char* cache_disposition_name(CacheDisposition d);
 /// One record per job, filled in by the scheduler.
 struct JobTrace {
   std::uint64_t job_id = 0;
+  /// Distributed-trace id carried from the submitting client (obs
+  /// spans); 0 when the job was submitted without one.
+  std::uint64_t trace_id = 0;
   std::string tag;
   JobKind kind = JobKind::FixedRank;
   JobStatus status = JobStatus::Pending;
@@ -74,7 +78,8 @@ struct TelemetrySummary {
   std::map<std::string, std::uint64_t> by_cache;   ///< disposition → count
   std::uint64_t retries = 0;
   std::uint64_t degraded = 0;
-  // Percentiles over completed (Done) jobs.
+  // Percentiles over completed (Done) jobs, read from the sink's
+  // obs histograms (log-bucket interpolation, ~41% resolution).
   double queue_wait_p50 = 0, queue_wait_p90 = 0, queue_wait_p99 = 0;
   double exec_p50 = 0, exec_p90 = 0, exec_p99 = 0;
   /// Mean execution seconds per cache disposition — the cache-hit
@@ -85,8 +90,13 @@ struct TelemetrySummary {
 };
 
 /// Thread-safe trace collector shared by the scheduler's workers.
+///
+/// Latency distributions live in a sink-local obs::Registry (so each
+/// scheduler's summary is isolated); record() additionally bumps fleet
+/// counters in obs::Registry::global() for the metrics endpoint.
 class TelemetrySink {
  public:
+  TelemetrySink();
   void record(JobTrace trace);
   std::vector<JobTrace> traces() const;
   TelemetrySummary summarize() const;
@@ -96,6 +106,12 @@ class TelemetrySink {
  private:
   mutable std::mutex mu_;
   std::vector<JobTrace> traces_;
+  mutable obs::Registry local_;  ///< scrape() drains shards (summarize const)
+  obs::Histogram wait_hist_;
+  obs::Histogram exec_hist_;
+  obs::Histogram exec_miss_hist_;
+  obs::Histogram exec_sketch_hist_;
+  obs::Histogram exec_result_hist_;
 };
 
 /// Shared percentile helper (see util/stats.hpp); re-exported here

@@ -178,7 +178,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
   std::vector<Matrix<double>> omega(static_cast<std::size_t>(ng));
   std::vector<Matrix<double>> b_part(static_cast<std::size_t>(ng));
   {
-    PhaseTimer t(res.phases.prng);
+    PhaseTimer t(res.phases.prng, "rsvd.prng");
     modeled.prng += parallel_step(devices_, [&](int i) {
       const index_t c = ab.block[static_cast<std::size_t>(i)].rows();
       auto& om = omega[static_cast<std::size_t>(i)];
@@ -194,7 +194,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
   }
   Matrix<double> b(l, n);
   {
-    PhaseTimer t(res.phases.sampling);
+    PhaseTimer t(res.phases.sampling, "rsvd.sampling");
     modeled.sampling += parallel_step(devices_, [&](int i) {
       auto& bp = b_part[static_cast<std::size_t>(i)];
       bp.resize(l, n);
@@ -220,7 +220,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
   for (index_t it = 0; it < opts.q; ++it) {
     // Host QR of the short-wide B (ℓ×n): ℓ < n ≪ m, done on the CPU.
     {
-      PhaseTimer t(res.phases.orth_iter);
+      PhaseTimer t(res.phases.orth_iter, "rsvd.orth_iter");
       auto rep = ortho::orthonormalize_rows(opts.power_ortho, b.view());
       if (rep.fallback_used) fallbacks++;
       modeled.orth_iter += model::host_seconds(spec_, rep.flops);
@@ -231,7 +231,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
 
     // C(i) = B·A(i)ᵀ on each device.
     {
-      PhaseTimer t(res.phases.gemm_iter);
+      PhaseTimer t(res.phases.gemm_iter, "rsvd.gemm_iter");
       modeled.gemm_iter += parallel_step(devices_, [&](int i) {
         const auto& ai = ab.block[static_cast<std::size_t>(i)];
         auto& cp = c_part[static_cast<std::size_t>(i)];
@@ -248,7 +248,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
     // Gram G(i) = C(i)·C(i)ᵀ, host reduce + Cholesky, broadcast, local
     // triangular solve C(i) ← R̄⁻ᵀ·C(i).
     {
-      PhaseTimer t(res.phases.orth_iter);
+      PhaseTimer t(res.phases.orth_iter, "rsvd.orth_iter");
       std::vector<Matrix<double>> g(static_cast<std::size_t>(ng));
       modeled.orth_iter += parallel_step(devices_, [&](int i) {
         auto& cp = c_part[static_cast<std::size_t>(i)];
@@ -306,7 +306,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
 
     // B = C·A = Σ C(i)·A(i): local partials, host reduction.
     {
-      PhaseTimer t(res.phases.gemm_iter);
+      PhaseTimer t(res.phases.gemm_iter, "rsvd.gemm_iter");
       modeled.gemm_iter += parallel_step(devices_, [&](int i) {
         const auto& ai = ab.block[static_cast<std::size_t>(i)];
         auto& bp = b_part[static_cast<std::size_t>(i)];
@@ -330,7 +330,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
   // ---- Step 2: truncated QP3 of B on device 0 (paper §4).
   qrcp::QrcpFactors<double> fac;
   {
-    PhaseTimer t(res.phases.qrcp);
+    PhaseTimer t(res.phases.qrcp, "rsvd.qrcp");
     modeled.comms += model::transfer_seconds(spec_, double(l) * double(n));
     auto fut = devices_[0]->submit([&] {
       fac = qrcp::qrcp_truncated(ConstMatrixView<double>(b.view()), opts.k,
@@ -347,7 +347,7 @@ MultiFixedRankResult MultiDeviceContext::fixed_rank(
 
   // ---- Step 3: multi-device CholQR of the row-distributed A·P₁:k.
   {
-    PhaseTimer t(res.phases.qr);
+    PhaseTimer t(res.phases.qr, "rsvd.qr");
     std::vector<Matrix<double>> w(static_cast<std::size_t>(ng));
     parallel_step(devices_, [&](int i) {
       const auto& ai = ab.block[static_cast<std::size_t>(i)];

@@ -426,3 +426,116 @@ TEST(NetProtocol, MaterializeGeneratorsAndKeys) {
   bad.m = 0;
   EXPECT_THROW(materialize(bad), std::invalid_argument);
 }
+
+// ---------------------------------------------------------------------
+// v2: trace ids and stats frames
+
+TEST(NetProtocol, SubmitTraceIdRoundTrip) {
+  JobRequest req = sample_fixed_rank();
+  req.trace_id = 0x1122334455667788ull;
+  const auto frame = encode_submit(req);
+  const Parsed p = parse(frame);
+  const auto dec = decode_submit(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->trace_id, 0x1122334455667788ull);
+
+  // The override form stamps the wire without mutating the request.
+  req.trace_id = 0;
+  const auto frame2 = encode_submit(req, /*trace_id_override=*/0xabcd);
+  const Parsed p2 = parse(frame2);
+  const auto dec2 = decode_submit(p2.payload, p2.len);
+  ASSERT_TRUE(dec2.has_value());
+  EXPECT_EQ(dec2->trace_id, 0xabcdu);
+  EXPECT_EQ(req.trace_id, 0u);
+}
+
+TEST(NetProtocol, StatsRequestIsEmptyFrame) {
+  const auto frame = encode_stats_request();
+  const Parsed p = parse(frame);
+  EXPECT_EQ(p.hdr.type, FrameType::Stats);
+  EXPECT_EQ(p.len, 0u);
+}
+
+TEST(NetProtocol, StatsReplyRoundTrip) {
+  StatsReply s;
+  s.metrics.emplace_back("server_jobs_submitted", 200.0);
+  s.metrics.emplace_back("server_jobs_busy", 13.0);
+  s.metrics.emplace_back("net_frames_in_total{type=\"submit\"}", 213.0);
+  s.metrics.emplace_back("sched_recent_exec_s", 0.0125);
+  const auto frame = encode_stats_reply(s);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::StatsReply);
+  const auto dec = decode_stats_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->metrics.size(), 4u);
+  EXPECT_EQ(dec->metrics[0].first, "server_jobs_submitted");
+  EXPECT_EQ(dec->value("server_jobs_submitted"), 200.0);
+  EXPECT_EQ(dec->value("server_jobs_busy"), 13.0);
+  EXPECT_EQ(dec->value("net_frames_in_total{type=\"submit\"}"), 213.0);
+  EXPECT_DOUBLE_EQ(dec->value("sched_recent_exec_s"), 0.0125);
+  EXPECT_TRUE(dec->has("server_jobs_busy"));
+  EXPECT_FALSE(dec->has("no_such_metric"));
+  EXPECT_EQ(dec->value("no_such_metric"), 0.0);
+}
+
+TEST(NetProtocol, StatsReplyEmptyRoundTrip) {
+  const auto frame = encode_stats_reply(StatsReply{});
+  const Parsed p = parse(frame);
+  const auto dec = decode_stats_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->metrics.empty());
+}
+
+TEST(NetProtocol, StatsReplyTruncationFailsCleanly) {
+  StatsReply s;
+  s.metrics.emplace_back("a_total", 1.0);
+  s.metrics.emplace_back("b_total", 2.0);
+  const auto frame = encode_stats_reply(s);
+  const Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_stats_reply(p.payload, n).has_value())
+        << "prefix length " << n;
+  // Trailing garbage is rejected too (done() check).
+  std::vector<std::uint8_t> padded(p.payload, p.payload + p.len);
+  padded.push_back(0);
+  EXPECT_FALSE(decode_stats_reply(padded.data(), padded.size()).has_value());
+}
+
+TEST(NetProtocol, StatsReplyCountLieRejectedBeforeAllocation) {
+  // A count of kMaxStatsEntries needs ≥ 10 bytes per entry; a 4-byte
+  // payload claiming it must fail on the remaining-bytes check.
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxStatsEntries));
+  EXPECT_FALSE(
+      decode_stats_reply(w.bytes().data(), w.bytes().size()).has_value());
+  // Count beyond the cap is rejected outright.
+  Writer w2;
+  w2.u32(static_cast<std::uint32_t>(kMaxStatsEntries + 1));
+  std::vector<std::uint8_t> big(w2.bytes());
+  big.resize(big.size() + 20 * (kMaxStatsEntries + 1), 0);
+  EXPECT_FALSE(decode_stats_reply(big.data(), big.size()).has_value());
+}
+
+TEST(NetProtocol, StatsReplyOversizedNameRejected) {
+  // Hand-craft an entry whose name length prefix exceeds the cap.
+  Writer w;
+  w.u32(1);
+  const std::string long_name(kMaxStatsNameBytes + 1, 'x');
+  w.u16(static_cast<std::uint16_t>(long_name.size()));
+  w.raw(long_name.data(), long_name.size());
+  w.f64(1.0);
+  EXPECT_FALSE(
+      decode_stats_reply(w.bytes().data(), w.bytes().size()).has_value());
+}
+
+TEST(NetProtocol, EncodeStatsReplyCapsOversizedInput) {
+  // The encoder clamps rather than emitting an undecodable frame.
+  StatsReply s;
+  for (std::size_t i = 0; i < kMaxStatsEntries + 5; ++i)
+    s.metrics.emplace_back("m" + std::to_string(i), double(i));
+  const auto frame = encode_stats_reply(s);
+  const Parsed p = parse(frame);
+  const auto dec = decode_stats_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->metrics.size(), kMaxStatsEntries);
+}

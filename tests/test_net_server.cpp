@@ -16,6 +16,7 @@
 #include "la/permutation.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 
 using namespace randla;
 using namespace randla::net;
@@ -449,4 +450,130 @@ TEST(NetServer, ShutdownRefusedWhenNotAllowed) {
   EXPECT_EQ(hdr.type, FrameType::Error);
   EXPECT_TRUE(server.running());
   server.stop();
+}
+
+// ---------------------------------------------------------------------
+// v2: stats scrape and trace propagation
+
+TEST(NetServer, StatsFrameRoundTripLiveServer) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const CallResult res = client.call(lowrank_fixed_request(id, id + 30));
+    ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  }
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value()) << client.last_error();
+  // Per-server counters are exact: this server saw exactly these jobs.
+  EXPECT_EQ(stats->value("server_jobs_submitted"), 3.0);
+  EXPECT_EQ(stats->value("server_jobs_completed"), 3.0);
+  EXPECT_EQ(stats->value("server_jobs_busy"), 0.0);
+  EXPECT_EQ(stats->value("server_protocol_errors"), 0.0);
+  EXPECT_EQ(stats->value("server_results_dropped"), 0.0);
+  EXPECT_GT(stats->value("server_bytes_in"), 0.0);
+  EXPECT_GT(stats->value("server_bytes_out"), 0.0);
+  // Scheduler gauges ride along.
+  EXPECT_EQ(stats->value("sched_num_workers"), 2.0);
+  EXPECT_EQ(stats->value("sched_queue_capacity"), 16.0);
+  // Process-global registry series are appended after the server block
+  // (values accumulate across tests in this binary, so presence only).
+  EXPECT_TRUE(stats->has("net_frames_in_total{type=\"submit\"}"));
+  EXPECT_TRUE(stats->has("net_jobs_completed_total"));
+  server.stop();
+}
+
+TEST(NetServer, TraceIdPropagatesThroughAllLayers) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  JobRequest req = lowrank_fixed_request(77, 5);
+  req.trace_id = 0x5eed5eed5eed5eedull;
+  const CallResult res = client.call(req);
+  ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  EXPECT_EQ(res.trace_id, req.trace_id);
+  server.stop();  // joins the event loop; all spans are recorded
+
+  bool saw_client = false, saw_submit = false, saw_wait = false,
+       saw_exec = false, saw_rsvd = false, saw_result = false;
+  for (const auto& ev : tracer.events()) {
+    if (ev.trace_id != req.trace_id) continue;
+    const std::string name = ev.name;
+    if (name == "client.call") saw_client = true;
+    if (name == "net.submit") saw_submit = true;
+    if (name == "queue.wait") saw_wait = true;
+    if (name == "worker.exec") saw_exec = true;
+    if (name.rfind("rsvd.", 0) == 0) saw_rsvd = true;
+    if (name == "net.result") saw_result = true;
+  }
+  EXPECT_TRUE(saw_client);
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_exec);
+  EXPECT_TRUE(saw_rsvd);
+  EXPECT_TRUE(saw_result);
+
+  tracer.disable();
+  tracer.clear();
+}
+
+TEST(NetServer, MintedTraceIdWhenCallerLeavesZero) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  const JobRequest req = lowrank_fixed_request(78, 6);  // trace_id == 0
+  const CallResult res = client.call(req);
+  ASSERT_EQ(res.status, CallStatus::Ok) << res.detail;
+  EXPECT_NE(res.trace_id, 0u);
+  server.stop();
+
+  bool saw_exec = false;
+  for (const auto& ev : tracer.events())
+    if (ev.trace_id == res.trace_id && std::string(ev.name) == "worker.exec")
+      saw_exec = true;
+  EXPECT_TRUE(saw_exec);
+
+  tracer.disable();
+  tracer.clear();
+}
+
+TEST(NetServer, StatsFrameWithPayloadIsProtocolError) {
+  runtime::Scheduler sched(small_sched());
+  Server server(sched);
+  ASSERT_TRUE(server.start());
+  Client client(client_for(server));
+  ASSERT_TRUE(client.connect());
+
+  const std::vector<std::uint8_t> bogus = {0xFF};
+  const auto frame = encode_frame(FrameType::Stats, bogus);
+  ASSERT_TRUE(client.send_raw(frame.data(), frame.size()));
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(client.read_frame(&hdr, &payload));
+  EXPECT_EQ(hdr.type, FrameType::Error);
+  const auto err = decode_error(payload.data(), payload.size());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::BadFrame);
+  // The poisoned connection closes after the error flushes.
+  EXPECT_FALSE(client.read_frame(&hdr, &payload));
+  server.stop();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
 }

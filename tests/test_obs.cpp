@@ -1,0 +1,371 @@
+// test_obs.cpp — observability subsystem: lock-light metrics registry
+// (counters / gauges / log-bucket histograms, drain-on-scrape shards),
+// Prometheus/JSON exposition, the span tracer, thread-local trace-id
+// propagation, and the BLAS kernel profiling hooks (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/blas3.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace randla;
+
+const randla::obs::HistogramSnapshot* find_hist(const obs::Snapshot& snap,
+                                                const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+// ------------------------------------------------------------ counters
+
+TEST(ObsCounter, ExactUnderConcurrency) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("jobs_total", "help text");
+  const int kThreads = 8, kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) c.inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.scrape().value("jobs_total"), double(kThreads) * kIters);
+  // Writer threads have exited; their shards were drained into the base
+  // on the scrape above. The total must survive a second scrape.
+  EXPECT_EQ(reg.scrape().value("jobs_total"), double(kThreads) * kIters);
+}
+
+TEST(ObsCounter, RegistrationIsIdempotent) {
+  obs::Registry reg;
+  obs::Counter a = reg.counter("dup_total");
+  obs::Counter b = reg.counter("dup_total");
+  a.add(2.0);
+  b.add(3.0);
+  EXPECT_EQ(reg.scrape().value("dup_total"), 5.0);
+}
+
+TEST(ObsCounter, DefaultHandleIsNoop) {
+  obs::Counter c;
+  EXPECT_FALSE(bool(c));
+  c.inc();  // must not crash
+  EXPECT_EQ(c.value(), 0.0);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("name_total");
+  EXPECT_THROW(reg.gauge("name_total"), std::logic_error);
+  EXPECT_THROW(reg.histogram("name_total"), std::logic_error);
+  reg.gauge("depth");
+  EXPECT_THROW(reg.counter("depth"), std::logic_error);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("c_total");
+  obs::Gauge g = reg.gauge("g");
+  obs::Histogram h = reg.histogram("h_seconds");
+  c.add(7);
+  g.set(3);
+  h.observe(0.5);
+  reg.reset();
+  const obs::Snapshot snap = reg.scrape();
+  EXPECT_EQ(snap.value("c_total"), 0.0);
+  EXPECT_EQ(snap.value("g"), 0.0);
+  const auto* hs = find_hist(snap, "h_seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->total, 0.0);
+  // Handles issued before the reset keep working.
+  c.inc();
+  EXPECT_EQ(reg.scrape().value("c_total"), 1.0);
+}
+
+// -------------------------------------------------------------- gauges
+
+TEST(ObsGauge, SetAndAdd) {
+  obs::Registry reg;
+  obs::Gauge g = reg.gauge("queue_depth");
+  g.set(5);
+  EXPECT_EQ(g.value(), 5.0);
+  g.add(3);
+  g.add(-7);
+  EXPECT_EQ(g.value(), 1.0);
+  EXPECT_EQ(reg.scrape().value("queue_depth"), 1.0);
+}
+
+// ---------------------------------------------------------- histograms
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpper) {
+  obs::Registry reg;
+  obs::HistogramSpec spec;
+  spec.first_upper = 1.0;
+  spec.growth = 2.0;
+  spec.buckets = 4;  // uppers: 1, 2, 4, +Inf
+  obs::Histogram h = reg.histogram("lat", spec);
+  // Prometheus `le` semantics: a value equal to an upper bound belongs
+  // to that bucket, the next larger value spills into the following one.
+  h.observe(0.5);  // bucket 0 (≤1)
+  h.observe(1.0);  // bucket 0 (≤1, inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1 (inclusive)
+  h.observe(2.5);  // bucket 2
+  h.observe(4.0);  // bucket 2 (inclusive)
+  h.observe(100);  // +Inf bucket
+  const obs::Snapshot snap = reg.scrape();
+  const auto* hs = find_hist(snap, "lat");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->upper.size(), 4u);
+  EXPECT_EQ(hs->upper[0], 1.0);
+  EXPECT_EQ(hs->upper[1], 2.0);
+  EXPECT_EQ(hs->upper[2], 4.0);
+  EXPECT_TRUE(std::isinf(hs->upper[3]));
+  ASSERT_EQ(hs->count.size(), 4u);
+  EXPECT_EQ(hs->count[0], 2.0);
+  EXPECT_EQ(hs->count[1], 2.0);
+  EXPECT_EQ(hs->count[2], 2.0);
+  EXPECT_EQ(hs->count[3], 1.0);
+  EXPECT_EQ(hs->total, 7.0);
+  EXPECT_DOUBLE_EQ(hs->sum, 0.5 + 1.0 + 1.5 + 2.0 + 2.5 + 4.0 + 100.0);
+}
+
+TEST(ObsHistogram, QuantilesAreOrderedAndBracketed) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("q_seconds");
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-4);  // 0.1ms … 100ms
+  const obs::Snapshot snap = reg.scrape();
+  const auto* hs = find_hist(snap, "q_seconds");
+  ASSERT_NE(hs, nullptr);
+  const double p50 = hs->quantile(0.50);
+  const double p90 = hs->quantile(0.90);
+  const double p99 = hs->quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-bucket resolution is ~41%; the estimates must land within one
+  // bucket-width of the exact order statistics.
+  EXPECT_NEAR(p50, 0.050, 0.050 * 0.5);
+  EXPECT_NEAR(p99, 0.099, 0.099 * 0.5);
+  EXPECT_NEAR(hs->mean(), 0.050, 0.050 * 0.05);
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  obs::Registry reg;
+  reg.histogram("empty_seconds");
+  const obs::Snapshot snap = reg.scrape();
+  const auto* hs = find_hist(snap, "empty_seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->quantile(0.5), 0.0);
+  EXPECT_EQ(hs->mean(), 0.0);
+}
+
+// ---------------------------------------------------------- exposition
+
+TEST(ObsSnapshot, PrometheusGroupsLabeledFamilies) {
+  obs::Registry reg;
+  reg.counter("frames_total{type=\"submit\"}").add(3);
+  reg.counter("frames_total{type=\"ping\"}").add(1);
+  reg.gauge("depth", "queue depth").set(2);
+  const std::string text = reg.scrape().prometheus();
+  // One TYPE line per family, not per labeled series.
+  std::size_t pos = 0, type_lines = 0;
+  while ((pos = text.find("# TYPE frames_total counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("frames_total{type=\"submit\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("frames_total{type=\"ping\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+}
+
+TEST(ObsSnapshot, FlattenCarriesHistogramCountAndSum) {
+  obs::Registry reg;
+  reg.counter("a_total").add(2);
+  reg.gauge("b").set(9);
+  obs::Histogram h = reg.histogram("lat_seconds");
+  h.observe(1.0);
+  h.observe(3.0);
+  const auto flat = reg.scrape().flatten();
+  auto get = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : flat)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing " << name;
+    return -1;
+  };
+  EXPECT_EQ(get("a_total"), 2.0);
+  EXPECT_EQ(get("b"), 9.0);
+  EXPECT_EQ(get("lat_seconds_count"), 2.0);
+  EXPECT_EQ(get("lat_seconds_sum"), 4.0);
+}
+
+// -------------------------------------------------------------- tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::Tracer::global().disable();
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, RecordsCompleteEventsWithIds) {
+  auto& tr = obs::Tracer::global();
+  tr.clear();
+  tr.enable();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(250);
+  tr.record_complete(0xabcd, "worker.exec", "runtime", t0, t1);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0xabcdu);
+  EXPECT_STREQ(events[0].name, "worker.exec");
+  EXPECT_STREQ(events[0].cat, "runtime");
+  EXPECT_NEAR(events[0].dur_us, 250.0, 1.0);
+  EXPECT_GE(events[0].ts_us, 0.0);
+}
+
+TEST_F(TracerTest, BoundedBufferCountsDrops) {
+  auto& tr = obs::Tracer::global();
+  tr.enable(/*max_events=*/4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 6; ++i) tr.record_complete(1, "s", "t", t0, t0);
+  EXPECT_EQ(tr.events().size(), 4u);
+  EXPECT_EQ(tr.dropped(), 2u);
+  tr.clear();
+  EXPECT_EQ(tr.events().size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST_F(TracerTest, DisabledRecordIsNoop) {
+  auto& tr = obs::Tracer::global();
+  ASSERT_FALSE(tr.enabled());
+  const auto t0 = std::chrono::steady_clock::now();
+  tr.record_complete(1, "s", "t", t0, t0);
+  EXPECT_EQ(tr.events().size(), 0u);
+}
+
+TEST_F(TracerTest, ChromeJsonShape) {
+  auto& tr = obs::Tracer::global();
+  tr.enable();
+  const auto t0 = std::chrono::steady_clock::now();
+  tr.record_complete(0xdeadbeef, "net.submit", "net", t0,
+                     t0 + std::chrono::microseconds(10));
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.submit\""), std::string::npos);
+  EXPECT_NE(json.find("0xdeadbeef"), std::string::npos);
+}
+
+TEST_F(TracerTest, SpanArmsOnlyWhenEnabledWithId) {
+  auto& tr = obs::Tracer::global();
+  {  // disabled → nothing
+    obs::Span s("a", "t", 42);
+  }
+  EXPECT_EQ(tr.events().size(), 0u);
+  tr.enable();
+  {  // enabled, id 0 → nothing
+    obs::Span s("b", "t", 0);
+  }
+  EXPECT_EQ(tr.events().size(), 0u);
+  {  // enabled with id → one event
+    obs::Span s("c", "t", 7);
+  }
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 7u);
+}
+
+TEST(ObsTraceId, ScopedInstallAndRestore) {
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+  {
+    obs::ScopedTraceId outer(11);
+    EXPECT_EQ(obs::current_trace_id(), 11u);
+    {
+      obs::ScopedTraceId inner(22);
+      EXPECT_EQ(obs::current_trace_id(), 22u);
+    }
+    EXPECT_EQ(obs::current_trace_id(), 11u);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+}
+
+TEST(ObsTraceId, MintedIdsAreNonzeroAndDistinct) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(obs::mint_trace_id());
+  for (std::uint64_t id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+// ------------------------------------------------------- kernel hooks
+
+TEST(ObsKernelHooks, GemmRecordsCountersAndSpanWhenProfiling) {
+  const bool was_profiling = obs::profiling_enabled();
+  obs::set_profiling_enabled(true);
+  auto& tr = obs::Tracer::global();
+  tr.clear();
+  tr.enable();
+
+  auto snap_value = [](const char* name) {
+    return obs::Registry::global().scrape().value(name);
+  };
+  const double calls_before = snap_value("la_gemm_calls_total");
+  const double flops_before = snap_value("la_gemm_flops_total");
+
+  const index_t m = 24, n = 16, k = 12;
+  auto a = randla::testing::random_matrix<double>(m, k, 1);
+  auto b = randla::testing::random_matrix<double>(k, n, 2);
+  Matrix<double> c(m, n);
+  {
+    obs::ScopedTraceId scoped(0x5150);
+    blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(),
+                       b.view(), 0.0, c.view());
+  }
+
+  EXPECT_EQ(snap_value("la_gemm_calls_total"), calls_before + 1.0);
+  EXPECT_DOUBLE_EQ(snap_value("la_gemm_flops_total"),
+                   flops_before + 2.0 * m * n * k);
+  EXPECT_GT(snap_value("la_gemm_efficiency_vs_model"), 0.0);
+
+  bool saw_span = false;
+  for (const auto& ev : tr.events())
+    if (std::string(ev.name) == "gemm" && ev.trace_id == 0x5150) {
+      saw_span = true;
+      EXPECT_STREQ(ev.cat, "la");
+    }
+  EXPECT_TRUE(saw_span);
+
+  tr.disable();
+  tr.clear();
+  obs::set_profiling_enabled(was_profiling);
+}
+
+TEST(ObsKernelHooks, DisabledProfilingRecordsNothing) {
+  const bool was_profiling = obs::profiling_enabled();
+  obs::set_profiling_enabled(false);
+  auto snap_value = [](const char* name) {
+    return obs::Registry::global().scrape().value(name);
+  };
+  const double calls_before = snap_value("la_gemm_calls_total");
+  auto a = randla::testing::random_matrix<double>(8, 8, 3);
+  auto b = randla::testing::random_matrix<double>(8, 8, 4);
+  Matrix<double> c(8, 8);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(),
+                     b.view(), 0.0, c.view());
+  EXPECT_EQ(snap_value("la_gemm_calls_total"), calls_before);
+  obs::set_profiling_enabled(was_profiling);
+}
+
+}  // namespace
