@@ -22,14 +22,25 @@
 #      rsvd.*) and the Prometheus dump; finally BM_GemmSquare1024 is
 #      run with kernel profiling off and on, asserting the hooks cost
 #      under 2% when enabled;
-#   6. memory safety: the wire-protocol and server suites rebuilt with
-#      -fsanitize=address,undefined (the `asan` preset), so adversarial
-#      frames run under ASan/UBSan;
-#   7. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
+#   6. chaos: randla_loadgen --chaos drives its own loopback scheduler +
+#      server under the DESIGN.md §10 fault schedule (a device killed at
+#      5% per pickup, 2% connection resets); the loadgen's exit code
+#      asserts zero lost jobs, zero duplicated executions, clean sampled
+#      residuals, and that every fault_*/watchdog_* metric series shows
+#      up in the post-run Stats scrape;
+#   7. memory safety: the wire-protocol, server, and fault-plane suites
+#      rebuilt with -fsanitize=address,undefined (the `asan` preset), so
+#      adversarial frames run under ASan/UBSan — plus one chaos replay
+#      under ASan, since injected resets/truncations exercise the
+#      buffer-handling edge paths;
+#   8. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
 #      (the `tsan` preset) and RANDLA_NUM_THREADS=2, so the persistent
 #      BLAS worker pool (blocked GEMM tiles, syrk/trsm/trmm splits, TSQR
 #      subtrees) and the serving runtime run under ThreadSanitizer with
-#      the pool actually engaged even on single-core CI boxes.
+#      the pool actually engaged even on single-core CI boxes — followed
+#      by a chaos replay under TSan, since failover requeue, the
+#      watchdog, and client retries are exactly the cross-thread paths
+#      injected faults stress.
 set -eu
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -109,14 +120,29 @@ awk -v base="$BASE_RATE" -v prof="$PROF_RATE" 'BEGIN {
     print "obs overhead FAILED: profiling hooks cost more than 2%"; exit 1 }
 }'
 
+echo "== chaos: loopback replay under injected faults =="
+CHAOS_SCHEDULE='device_fail@0.05,conn_reset@0.02'
+./build/examples/randla_loadgen --chaos "$CHAOS_SCHEDULE" --seed 7 \
+  --jobs 200 --threads 4
+
 echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan
-cmake --build --preset asan -j "$JOBS" --target test_net_protocol test_net_server
+cmake --build --preset asan -j "$JOBS" \
+  --target test_net_protocol test_net_server test_fault randla_loadgen
 ctest --preset asan -j "$JOBS"
+
+echo "== chaos under ASan: fault paths memory-clean =="
+./build-asan/examples/randla_loadgen --chaos "$CHAOS_SCHEDULE" --seed 7 \
+  --jobs 60 --threads 2
 
 echo "== concurrency: ThreadSanitizer tier-1 with the pool engaged =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$JOBS"
+
+echo "== chaos under TSan: failover/watchdog/retry race-free =="
+TSAN_OPTIONS="halt_on_error=1" RANDLA_NUM_THREADS=2 \
+  ./build-tsan/examples/randla_loadgen --chaos "$CHAOS_SCHEDULE" --seed 7 \
+  --jobs 60 --threads 2
 
 echo "CI OK"

@@ -22,6 +22,17 @@
 //                  [--inline-frac F] [--spread N] [--max-p99-ms X]
 //                  [--expect-busy] [--shutdown] [--json PATH]
 //                  [--check-stats]
+//   randla_loadgen --chaos SCHEDULE [--seed N] [--jobs N] [--threads T]
+//                  [--m M] [--n N] [--check-frac F] [--spread N]
+//
+// --chaos ignores --port: it hosts its own loopback scheduler + server
+// with a deterministic fault injector (see src/fault) driven by
+// SCHEDULE, e.g. "device_fail@0.05,conn_reset@0.02,worker_hang@0.03".
+// Clients use the full retry policy (backoff + jitter, Busy hints,
+// circuit breaker, idempotent resubmission) and the run reports lost /
+// duplicated / retried jobs — the exit code demands 0 lost and 0
+// duplicated, residual-verifies a sample of results, and asserts the
+// fault_*/watchdog_* metric series are present in a Stats scrape.
 //
 // At the end of a run the generator scrapes the server's live metrics
 // (Stats → StatsReply) and prints them next to its own accounting;
@@ -44,14 +55,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "fault/injector.hpp"
 #include "la/norms.hpp"
 #include "net/client.hpp"
+#include "net/server.hpp"
+#include "runtime/scheduler.hpp"
 #include "util/stats.hpp"
 
 using namespace randla;
@@ -73,6 +88,7 @@ struct Options {
   bool send_shutdown = false;
   bool check_stats = false;
   std::uint64_t seed = 2026;
+  std::string chaos;  ///< fault schedule DSL; non-empty = chaos mode
 };
 
 /// Metric names become JSON keys in the report; strip label syntax.
@@ -216,6 +232,250 @@ bool verify_result(const net::JobRequest& req, const net::CallResult& res,
   return false;
 }
 
+// ---------------------------------------------------------------------
+// Chaos mode (DESIGN.md §10): loopback scheduler + server under a
+// deterministic fault schedule, clients on the full retry policy.
+
+/// Chaos requests are fixed-rank only: idempotent resubmission leans on
+/// the scheduler's result cache, which keys fixed-rank jobs — with
+/// adaptive/qrcp in the mix a retried job would recompute, and the
+/// duplicate detector below could not tell recomputation from a genuine
+/// double execution.
+net::JobRequest chaos_request(const Options& opt, int i) {
+  net::JobRequest req;
+  req.request_id = static_cast<std::uint64_t>(i) + 1;
+  req.kind = runtime::JobKind::FixedRank;
+  req.matrix.generator = "lowrank";
+  req.matrix.m = opt.m;
+  req.matrix.n = opt.n;
+  req.matrix.seed =
+      opt.seed + static_cast<std::uint64_t>(i % std::max(1, opt.spread));
+  req.matrix.rank = 8;
+  req.k = 16;
+  req.p = 8;
+  req.q = 1;
+  req.tag = "chaos/" + std::to_string(i);
+  return req;
+}
+
+int run_chaos(const Options& opt) {
+  std::string err;
+  fault::InjectorPtr injector = fault::make_injector(opt.chaos, opt.seed, &err);
+  if (!injector) {
+    std::fprintf(stderr, "loadgen: bad chaos schedule '%s': %s\n",
+                 opt.chaos.c_str(), err.c_str());
+    return 2;
+  }
+
+  runtime::SchedulerOptions so;
+  so.num_workers = 2;
+  so.queue_capacity = 32;
+  so.injector = injector;
+  so.max_resubmits = 2;
+  so.watchdog_multiple = 3.0;  // budget = 3 × 0.25s grace per job
+  runtime::Scheduler sched(so);
+
+  net::ServerOptions svo;
+  svo.port = 0;  // ephemeral loopback
+  svo.injector = injector;
+  net::Server server(sched, svo);
+  if (!server.start()) return 1;
+
+  std::printf("randla_loadgen: chaos '%s' seed %llu — %d jobs, %d threads, "
+              "loopback port %u\n",
+              opt.chaos.c_str(), (unsigned long long)opt.seed, opt.jobs,
+              opt.threads, unsigned(server.port()));
+
+  struct ChaosRecord {
+    bool ok = false;
+    int attempts = 0;
+    int busy_retries = 0;
+    int reconnects = 0;
+    bool checked = false;
+    bool check_passed = true;
+  };
+  std::vector<ChaosRecord> records(static_cast<std::size_t>(opt.jobs));
+  std::atomic<int> next_job{0};
+  std::atomic<int> check_counter{0};
+  const int check_period =
+      opt.check_frac > 0
+          ? std::max(1, static_cast<int>(std::lround(1.0 / opt.check_frac)))
+          : 0;
+
+  auto worker = [&](int widx) {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = server.port();
+    copt.recv_timeout_s = 10;
+    copt.retry.max_attempts = 12;
+    copt.retry.max_busy_retries = 1000;  // correctness over latency here
+    copt.retry.busy_wait_cap_s = 0.5;
+    copt.retry.backoff_seed = opt.seed * 1000 + std::uint64_t(widx);
+    net::Client client(copt);
+    for (;;) {
+      const int i = next_job.fetch_add(1);
+      if (i >= opt.jobs) return;
+      const net::JobRequest req = chaos_request(opt, i);
+      ChaosRecord& rec = records[static_cast<std::size_t>(i)];
+      net::RetryInfo info;
+      const net::CallResult res = client.call_with_retry(req, &info);
+      rec.attempts = info.attempts;
+      rec.busy_retries = info.busy_retries;
+      rec.reconnects = info.reconnects;
+      rec.ok = res.status == net::CallStatus::Ok &&
+               res.header.status == runtime::JobStatus::Done;
+      if (!rec.ok) {
+        std::fprintf(stderr, "loadgen: chaos job %d lost after %d attempts: "
+                     "%s %s %s\n",
+                     i, info.attempts, net::call_status_name(res.status),
+                     res.detail.c_str(), res.header.error.c_str());
+        continue;
+      }
+      if (check_period > 0 && check_counter.fetch_add(1) % check_period == 0) {
+        rec.checked = true;
+        JobRecord scratch;
+        rec.check_passed = verify_result(req, res, scratch);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < opt.threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+
+  // ------------------------------------------------------------------
+  // Duplicate detection from the scheduler's own telemetry: a tag that
+  // *executed* (Done with cache Miss/None) more than once was genuinely
+  // run twice. A retried submit whose first result was dropped shows up
+  // as a second Done trace with cache == Result — idempotent, not a
+  // duplicate. Failed/Expired traces never count.
+  int duplicated = 0;
+  {
+    std::map<std::string, int> executed;
+    for (const auto& tr : sched.telemetry().traces())
+      if (tr.status == runtime::JobStatus::Done &&
+          (tr.cache == runtime::CacheDisposition::Miss ||
+           tr.cache == runtime::CacheDisposition::None))
+        ++executed[tr.tag];
+    for (const auto& [tag, n] : executed)
+      if (n > 1) {
+        std::fprintf(stderr, "loadgen: tag %s executed %d times\n",
+                     tag.c_str(), n);
+        ++duplicated;
+      }
+  }
+
+  // Quiesce the injector before the verification scrape: disabled
+  // decisions still consume Philox indices, so a replay with the same
+  // seed stays aligned, but no fault can eat the scrape itself.
+  injector->set_enabled(false);
+
+  std::optional<net::StatsReply> stats;
+  std::optional<net::HealthReply> health;
+  for (int attempt = 0; attempt < 3 && (!stats || !health); ++attempt) {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = server.port();
+    copt.recv_timeout_s = 5;
+    net::Client sc(copt);
+    if (!sc.connect()) continue;
+    if (!stats) stats = sc.stats();
+    if (!health) health = sc.health();
+  }
+
+  int ok = 0, lost = 0, retried = 0, checked = 0, check_failed = 0;
+  long total_busy = 0, total_reconnects = 0;
+  for (const ChaosRecord& r : records) {
+    r.ok ? ++ok : ++lost;
+    if (r.attempts > 1) ++retried;
+    total_busy += r.busy_retries;
+    total_reconnects += r.reconnects;
+    if (r.checked) {
+      ++checked;
+      if (!r.check_passed) ++check_failed;
+    }
+  }
+  const auto fs = sched.fault_stats();
+
+  std::printf("\n-- chaos summary ----------------------------------------\n");
+  std::printf("jobs:        %d ok, %d lost, %d duplicated (of %d)\n", ok, lost,
+              duplicated, opt.jobs);
+  std::printf("retries:     %d jobs retried, %ld busy waits, %ld reconnects\n",
+              retried, total_busy, total_reconnects);
+  std::printf("residual:    %d sampled, %d failed\n", checked, check_failed);
+  std::printf("faults:      %llu injected (",
+              (unsigned long long)injector->injected_total());
+  for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<fault::FaultKind>(k);
+    if (injector->injected(kind) > 0)
+      std::printf("%s=%llu ", fault::fault_kind_name(kind),
+                  (unsigned long long)injector->injected(kind));
+  }
+  std::printf(")\n");
+  std::printf("recovery:    %llu requeued, %llu device failures, "
+              "%llu watchdog firings, %d/%d devices healthy\n",
+              (unsigned long long)fs.jobs_requeued,
+              (unsigned long long)fs.device_failures,
+              (unsigned long long)fs.watchdog_fired, fs.healthy_workers,
+              sched.num_workers());
+  if (health) {
+    std::printf("health:      serving=%d healthy=%u/%u requeued=%llu "
+                "injected=%llu\n",
+                int(health->serving), health->healthy_devices,
+                health->total_devices,
+                (unsigned long long)health->jobs_requeued,
+                (unsigned long long)health->faults_injected);
+  }
+
+  bool bad = false;
+  if (lost > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs lost\n", lost);
+    bad = true;
+  }
+  if (duplicated > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs executed more than once\n", duplicated);
+    bad = true;
+  }
+  if (check_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d residual checks failed\n", check_failed);
+    bad = true;
+  }
+  if (!stats) {
+    std::fprintf(stderr, "FAIL: stats scrape failed after chaos run\n");
+    bad = true;
+  } else {
+    // The fault/watchdog series must exist in the scrape even at value 0
+    // (they are registered eagerly); the injected counters must also
+    // agree with the injector's own accounting.
+    const char* required[] = {"fault_decisions_total",
+                              "fault_job_requeued_total",
+                              "fault_device_unhealthy", "watchdog_fired_total"};
+    for (const char* name : required)
+      if (!stats->has(name)) {
+        std::fprintf(stderr, "FAIL: metric series %s missing from scrape\n",
+                     name);
+        bad = true;
+      }
+    bool saw_injected_series = false;
+    for (const auto& [name, v] : stats->metrics)
+      if (name.rfind("fault_injected_total{", 0) == 0) saw_injected_series = true;
+    if (!saw_injected_series) {
+      std::fprintf(stderr,
+                   "FAIL: no fault_injected_total{kind=...} series in scrape\n");
+      bad = true;
+    }
+  }
+  if (!health) {
+    std::fprintf(stderr, "FAIL: health probe failed after chaos run\n");
+    bad = true;
+  } else if (health->healthy_devices < 1) {
+    std::fprintf(stderr, "FAIL: no healthy devices left\n");
+    bad = true;
+  }
+
+  server.stop();
+  return bad ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,14 +501,18 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--max-p99-ms")) opt.max_p99_ms = std::atof(need("--max-p99-ms"));
     else if (!std::strcmp(argv[i], "--spread")) opt.spread = std::atoi(need("--spread"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = need("--chaos");
     else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
     else if (!std::strcmp(argv[i], "--expect-busy")) opt.expect_busy = true;
     else if (!std::strcmp(argv[i], "--shutdown")) opt.send_shutdown = true;
     else if (!std::strcmp(argv[i], "--check-stats")) opt.check_stats = true;
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
+  if (!opt.chaos.empty()) return run_chaos(opt);  // hosts its own loopback
   if (opt.port <= 0) {
-    std::fprintf(stderr, "usage: randla_loadgen --port P [flags]\n");
+    std::fprintf(stderr,
+                 "usage: randla_loadgen --port P [flags]\n"
+                 "       randla_loadgen --chaos SCHEDULE [--seed N] [flags]\n");
     return 2;
   }
 

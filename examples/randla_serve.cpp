@@ -10,9 +10,14 @@
 // once after the burst drains — exactly how a client should react.
 //
 //   randla_serve [--jobs N] [--workers N] [--queue N] [--burst N]
-//                [--deadline SECONDS] [--traces PATH]
+//                [--deadline SECONDS] [--watchdog MULT] [--traces PATH]
 //                [--tcp PORT] [--clients N] [--linger]
 //                [--metrics PATH] [--trace PATH]
+//
+// --watchdog enables the scheduler's execution watchdog (cancel jobs
+// past MULT × their effective deadline); in --tcp mode the client-side
+// recv timeout is derived from the same budget, so a server that dies
+// mid-run makes the replay exit nonzero instead of hanging.
 //
 // --metrics dumps the global obs registry as Prometheus text on exit
 // (and turns on kernel profiling so la_* series are populated);
@@ -159,11 +164,25 @@ int run_tcp(runtime::Scheduler& sched, const runtime::Workload& w,
               linger ? ", linger" : "");
   std::fflush(stdout);
 
+  // Client-side wait bound, derived from the scheduler's watchdog policy
+  // when one is configured: if a job's execution budget is B, a healthy
+  // server must answer well within a few multiples of it. Without this
+  // bound a dead event loop left clients blocked in recv forever.
+  const auto& so = sched.options();
+  const double budget =
+      so.watchdog_multiple > 0
+          ? so.watchdog_multiple *
+                std::max(so.default_deadline_s, so.watchdog_grace_s)
+          : 0;
+  const double recv_timeout_s = budget > 0 ? 4 * budget + 1 : 30;
+
   std::atomic<std::size_t> next{0};
   std::atomic<int> busy_total{0}, ok_total{0}, failed_total{0};
+  std::atomic<bool> server_died{false};
   auto submitter = [&] {
     net::ClientOptions copt;
     copt.port = server.port();
+    copt.recv_timeout_s = recv_timeout_s;
     net::Client client(copt);
     if (!client.connect()) {
       failed_total.fetch_add(1);
@@ -186,6 +205,14 @@ int run_tcp(runtime::Scheduler& sched, const runtime::Workload& w,
             res.header.status == runtime::JobStatus::Done) {
           ok_total.fetch_add(1);
         } else {
+          if ((res.status == net::CallStatus::TransportError ||
+               res.status == net::CallStatus::ProtocolError) &&
+              !server.running()) {
+            // The background server died mid-run: abandon the replay
+            // instead of timing out once per remaining job.
+            server_died.store(true);
+            return;
+          }
           std::fprintf(stderr, "replay job %zu: %s %s\n", i,
                        net::call_status_name(res.status),
                        res.detail.empty() ? res.header.error.c_str()
@@ -200,6 +227,13 @@ int run_tcp(runtime::Scheduler& sched, const runtime::Workload& w,
   for (int c = 0; c < clients && !w.jobs.empty(); ++c)
     pool.emplace_back(submitter);
   for (auto& t : pool) t.join();
+
+  if (server_died.load()) {
+    std::fprintf(stderr,
+                 "randla_serve: server died mid-run (%d ok before loss)\n",
+                 ok_total.load());
+    return 1;
+  }
 
   if (!w.jobs.empty()) {
     const auto summary = sched.telemetry().summarize();
@@ -249,7 +283,7 @@ int main(int argc, char** argv) {
   int jobs = 120, workers = 2, queue = 8, burst = 16;
   int tcp_port = -1, clients = 8;
   bool linger = false;
-  double deadline = 0;
+  double deadline = 0, watchdog = 0;
   std::string traces_path, metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     auto val = [&] {
@@ -264,6 +298,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--queue")) queue = std::atoi(val());
     else if (!std::strcmp(argv[i], "--burst")) burst = std::atoi(val());
     else if (!std::strcmp(argv[i], "--deadline")) deadline = std::atof(val());
+    else if (!std::strcmp(argv[i], "--watchdog")) watchdog = std::atof(val());
     else if (!std::strcmp(argv[i], "--traces")) traces_path = val();
     else if (!std::strcmp(argv[i], "--tcp")) tcp_port = std::atoi(val());
     else if (!std::strcmp(argv[i], "--clients")) clients = std::atoi(val());
@@ -288,6 +323,7 @@ int main(int argc, char** argv) {
   so.num_workers = workers;
   so.queue_capacity = static_cast<std::size_t>(queue);
   so.default_deadline_s = deadline;
+  so.watchdog_multiple = watchdog;
   runtime::Scheduler sched(so);
 
   if (tcp_port >= 0) return run_tcp(sched, w, wo, tcp_port, clients, linger);

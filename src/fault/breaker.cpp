@@ -1,0 +1,87 @@
+#include "fault/breaker.hpp"
+
+#include <algorithm>
+
+#include "rng/philox.hpp"
+
+namespace randla::fault {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow(double now_s) {
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      if (now_s - opened_at_s_ < opts_.open_cooldown_s) return false;
+      state_ = BreakerState::HalfOpen;
+      probe_inflight_ = false;
+      [[fallthrough]];
+    case BreakerState::HalfOpen:
+      // One probe at a time: the first caller through gets to test the
+      // endpoint; the verdict arrives via record_success/failure.
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  failures_ = 0;
+  probe_inflight_ = false;
+  state_ = BreakerState::Closed;
+}
+
+void CircuitBreaker::record_failure(double now_s) {
+  probe_inflight_ = false;
+  if (state_ == BreakerState::HalfOpen) {
+    // Failed probe: straight back to Open, restart the cooldown.
+    state_ = BreakerState::Open;
+    opened_at_s_ = now_s;
+    return;
+  }
+  if (++failures_ >= opts_.failure_threshold &&
+      state_ == BreakerState::Closed) {
+    state_ = BreakerState::Open;
+    opened_at_s_ = now_s;
+  }
+}
+
+BreakerState CircuitBreaker::state(double now_s) const {
+  if (state_ == BreakerState::Open &&
+      now_s - opened_at_s_ >= opts_.open_cooldown_s)
+    return BreakerState::HalfOpen;
+  return state_;
+}
+
+double CircuitBreaker::retry_in(double now_s) const {
+  if (state_ != BreakerState::Open) return 0;
+  return std::max(0.0, opts_.open_cooldown_s - (now_s - opened_at_s_));
+}
+
+double backoff_delay_s(const BackoffOptions& opts, int attempt,
+                       std::uint64_t seed) {
+  double cap = opts.base_s;
+  for (int i = 0; i < attempt && cap < opts.max_s; ++i)
+    cap *= opts.multiplier;
+  cap = std::min(cap, opts.max_s);
+  // Stream 0 is reserved for injector kinds' +1 offset; use a distinct
+  // constant so a client sharing a seed with an injector stays
+  // uncorrelated with it.
+  const auto block = rng::Philox4x32::at(
+      seed, 0x626B6F66ull /* "bkof" */, static_cast<std::uint64_t>(attempt));
+  const std::uint64_t bits =
+      ((static_cast<std::uint64_t>(block[0]) << 32) | block[1]) >> 11;
+  const double u = static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+  return u * cap;
+}
+
+}  // namespace randla::fault

@@ -1,0 +1,72 @@
+// breaker.hpp — client-side resilience primitives: a per-endpoint
+// circuit breaker and deterministic exponential backoff with full
+// jitter (DESIGN.md §10).
+//
+// The breaker is the classic three-state machine:
+//
+//   Closed ──(failure_threshold consecutive failures)──▶ Open
+//   Open ──(open_cooldown_s elapsed)──▶ HalfOpen
+//   HalfOpen ──success──▶ Closed          HalfOpen ──failure──▶ Open
+//
+// Time is passed in by the caller (seconds on any monotonic base), so
+// state transitions are unit-testable without sleeping. Busy replies
+// are *successes* from the breaker's point of view — the server is
+// alive and talking — only transport/protocol failures trip it.
+//
+// Backoff follows the AWS "full jitter" scheme: attempt n sleeps
+// uniform(0, min(max, base·mult^n)) so a thundering herd of retrying
+// clients decorrelates. The jitter draw is Philox-keyed on
+// (seed, attempt) — deterministic per client, independent across them.
+#pragma once
+
+#include <cstdint>
+
+namespace randla::fault {
+
+struct BreakerOptions {
+  int failure_threshold = 5;     ///< consecutive failures to trip Open
+  double open_cooldown_s = 0.5;  ///< Open → HalfOpen delay
+};
+
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+const char* breaker_state_name(BreakerState s);
+
+/// Not thread-safe: one breaker per (client, endpoint), like net::Client
+/// itself. `now_s` is any monotonically nondecreasing clock in seconds.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions opts = {}) : opts_(opts) {}
+
+  /// May this call proceed? Open transitions to HalfOpen (and admits
+  /// exactly one probe) once the cooldown has elapsed.
+  bool allow(double now_s);
+  void record_success();
+  void record_failure(double now_s);
+
+  BreakerState state(double now_s) const;
+  int consecutive_failures() const { return failures_; }
+  /// Seconds until an Open breaker admits a probe (0 when not Open).
+  double retry_in(double now_s) const;
+
+  const BreakerOptions& options() const { return opts_; }
+
+ private:
+  BreakerOptions opts_;
+  BreakerState state_ = BreakerState::Closed;
+  int failures_ = 0;
+  double opened_at_s_ = 0;
+  bool probe_inflight_ = false;
+};
+
+struct BackoffOptions {
+  double base_s = 0.02;      ///< first retry's backoff cap
+  double max_s = 1.0;        ///< ceiling on any backoff
+  double multiplier = 2.0;   ///< exponential growth per attempt
+};
+
+/// Full-jitter delay before retry `attempt` (0-based): a deterministic
+/// uniform draw in [0, min(max_s, base_s·multiplier^attempt)).
+double backoff_delay_s(const BackoffOptions& opts, int attempt,
+                       std::uint64_t seed);
+
+}  // namespace randla::fault

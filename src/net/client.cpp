@@ -7,10 +7,12 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "obs/trace.hpp"
 
@@ -23,9 +25,23 @@ const char* call_status_name(CallStatus s) {
     case CallStatus::RemoteError: return "remote_error";
     case CallStatus::TransportError: return "transport_error";
     case CallStatus::ProtocolError: return "protocol_error";
+    case CallStatus::CircuitOpen: return "circuit_open";
   }
   return "?";
 }
+
+namespace {
+
+/// Failed job outcomes the retry policy resubmits: the failure is a
+/// property of the attempt (cancelled hang, dying device), not of the
+/// request itself. Resubmission is idempotent via the result cache.
+bool retryable_failure(const std::string& error) {
+  return error.rfind("watchdog:", 0) == 0 ||
+         error.find("device failed") != std::string::npos ||
+         error.find("no healthy devices") != std::string::npos;
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -142,6 +158,32 @@ bool Client::send_shutdown() {
   return send_raw(frame.data(), frame.size());
 }
 
+double Client::mono_s() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+fault::BreakerState Client::breaker_state() {
+  return breaker_.state(mono_s());
+}
+
+std::optional<HealthReply> Client::health() {
+  const auto frame = encode_health_check();
+  if (!send_raw(frame.data(), frame.size())) return std::nullopt;
+  for (;;) {
+    FrameHeader hdr;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&hdr, &payload)) return std::nullopt;
+    if (hdr.type == FrameType::Pong) continue;  // stale pipelined pong
+    if (hdr.type != FrameType::HealthReply) {
+      last_error_ = "expected health_reply";
+      return std::nullopt;
+    }
+    return decode_health_reply(payload.data(), payload.size());
+  }
+}
+
 std::optional<StatsReply> Client::stats() {
   const auto frame = encode_stats_request();
   if (!send_raw(frame.data(), frame.size())) return std::nullopt;
@@ -231,6 +273,102 @@ CallResult Client::call(const JobRequest& req) {
                  std::to_string(static_cast<int>(hdr.type)) + ")";
     return out;
   }
+}
+
+CallResult Client::call_with_retry(const JobRequest& req, RetryInfo* info) {
+  const RetryOptions& ro = opts_.retry;
+  if (!breaker_configured_) {
+    breaker_ = fault::CircuitBreaker(ro.breaker);
+    breaker_configured_ = true;
+  }
+  RetryInfo local;
+  RetryInfo& ri = info ? *info : local;
+  ri = RetryInfo{};
+  CallResult out;
+  // Distinct jitter stream per exchange: attempt k of exchange e draws
+  // Philox(seed, nonce*64 + k), so retries never reuse a delay.
+  const std::uint64_t jitter_base = retry_nonce_++ * 64;
+
+  int attempt = 0;
+  while (attempt < ro.max_attempts) {
+    const double t = mono_s();
+    if (!breaker_.allow(t)) {
+      // Endpoint presumed down: wait out the cooldown (bounded) instead
+      // of burning the socket, and charge the wait as an attempt so a
+      // permanently dead server still terminates the loop.
+      const double wait =
+          std::min(breaker_.retry_in(t), ro.breaker.open_cooldown_s);
+      if (attempt + 1 >= ro.max_attempts) {
+        out.status = CallStatus::CircuitOpen;
+        out.detail = "circuit breaker open for " + opts_.host;
+        return out;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      ++attempt;
+      continue;
+    }
+    if (!connected() && !connect()) {
+      breaker_.record_failure(mono_s());
+      out.status = CallStatus::TransportError;
+      out.detail = last_error_;
+      ++attempt;
+      ++ri.reconnects;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          fault::backoff_delay_s(ro.backoff, attempt,
+                                 ro.backoff_seed ^ jitter_base)));
+      continue;
+    }
+
+    ++ri.attempts;
+    out = call(req);
+    switch (out.status) {
+      case CallStatus::Ok:
+        breaker_.record_success();
+        if (out.header.status == runtime::JobStatus::Failed &&
+            retryable_failure(out.header.error) &&
+            attempt + 1 < ro.max_attempts) {
+          // The attempt died server-side (watchdog / failover budget);
+          // the request is still good. Back off and resubmit — the
+          // result cache makes the resubmission idempotent.
+          ++attempt;
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              fault::backoff_delay_s(ro.backoff, attempt,
+                                     ro.backoff_seed ^ jitter_base)));
+          continue;
+        }
+        return out;
+      case CallStatus::Busy: {
+        breaker_.record_success();  // alive and talking, just loaded
+        if (ri.busy_retries >= ro.max_busy_retries) return out;
+        ++ri.busy_retries;
+        const double hint_s =
+            std::min(double(out.busy.retry_after_ms) / 1000.0,
+                     ro.busy_wait_cap_s);
+        std::this_thread::sleep_for(std::chrono::duration<double>(hint_s));
+        continue;  // Busy honors the hint; it does not consume an attempt
+      }
+      case CallStatus::RemoteError:
+        // Typed server answers (bad request, shutting down) are
+        // authoritative: retrying the same bytes cannot succeed.
+        breaker_.record_success();
+        return out;
+      case CallStatus::TransportError:
+      case CallStatus::ProtocolError: {
+        breaker_.record_failure(mono_s());
+        close();  // a desynced or dead connection is unrecoverable
+        ++attempt;
+        ++ri.reconnects;
+        if (attempt >= ro.max_attempts) return out;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            fault::backoff_delay_s(ro.backoff, attempt,
+                                   ro.backoff_seed ^ jitter_base)));
+        continue;
+      }
+      case CallStatus::CircuitOpen:
+        return out;  // call() never produces this; defensive
+    }
+  }
+  return out;
 }
 
 }  // namespace randla::net

@@ -6,12 +6,23 @@
 // reassembled (bounds-checked against the announced dimensions) into
 // dense column-major factors. The transport is deliberately synchronous:
 // load generators that need concurrency open one Client per thread.
+//
+// call_with_retry() layers the fault-tolerance policy on top (DESIGN.md
+// §10): exponential backoff with full jitter on transport/protocol
+// failures (reconnecting between attempts), Busy replies honored via
+// their Retry-After hint, retryable job failures (watchdog cancellations,
+// device failover exhaustion) resubmitted, and a per-endpoint circuit
+// breaker that stops hammering a dead server. Resubmission is idempotent
+// by construction: the server keys results on the matrix fingerprint +
+// options, so a duplicate submit is served from the result cache rather
+// than recomputed.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "fault/breaker.hpp"
 #include "net/protocol.hpp"
 
 namespace randla::net {
@@ -22,6 +33,7 @@ enum class CallStatus : std::uint8_t {
   RemoteError = 2, ///< server answered with a typed Error frame
   TransportError = 3,  ///< connect/send/recv failure or unexpected EOF
   ProtocolError = 4,   ///< peer sent bytes that do not decode
+  CircuitOpen = 5,     ///< breaker refused the attempt (endpoint down)
 };
 const char* call_status_name(CallStatus s);
 
@@ -35,10 +47,30 @@ struct CallResult {
   std::uint64_t trace_id = 0;     ///< id the request went out with
 };
 
+/// Policy knobs for call_with_retry.
+struct RetryOptions {
+  int max_attempts = 5;       ///< transport/protocol/retryable-failure tries
+  int max_busy_retries = 8;   ///< Busy replies honored before giving up
+  double busy_wait_cap_s = 2.0;  ///< ceiling on a single Retry-After wait
+  fault::BackoffOptions backoff;  ///< full-jitter schedule between attempts
+  /// Jitter stream: two clients with different seeds back off at
+  /// different instants (deterministic per seed — chaos replays).
+  std::uint64_t backoff_seed = 1;
+  fault::BreakerOptions breaker;  ///< per-endpoint circuit breaker
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   double recv_timeout_s = 30;  ///< per-recv timeout; ≤0 blocks forever
+  RetryOptions retry;
+};
+
+/// Accounting from one call_with_retry exchange (chaos-run bookkeeping).
+struct RetryInfo {
+  int attempts = 0;      ///< submit attempts actually sent
+  int busy_retries = 0;  ///< Busy replies waited out
+  int reconnects = 0;    ///< transport/protocol failures recovered
 };
 
 class Client {
@@ -58,6 +90,14 @@ class Client {
   /// CallResult::trace_id) and records a client.call span when the
   /// global tracer is enabled.
   CallResult call(const JobRequest& req);
+  /// call() wrapped in the retry policy (see file header). Returns the
+  /// last attempt's result; `info`, when non-null, reports the retry
+  /// accounting. A Failed result whose error marks it retryable
+  /// (watchdog cancellation, device failover exhaustion) is resubmitted
+  /// like a transport failure.
+  CallResult call_with_retry(const JobRequest& req, RetryInfo* info = nullptr);
+  /// Probe serving state + device health (HealthCheck → HealthReply).
+  std::optional<HealthReply> health();
   /// Scrape the server's live metrics (Stats → StatsReply round-trip).
   std::optional<StatsReply> stats();
   /// Round-trip a Ping; false on any transport/protocol failure.
@@ -72,14 +112,20 @@ class Client {
   bool read_frame(FrameHeader* hdr, std::vector<std::uint8_t>* payload);
 
   const std::string& last_error() const { return last_error_; }
+  /// Breaker state for this endpoint (monotonic-now supplied internally).
+  fault::BreakerState breaker_state();
 
  private:
   bool fill(std::size_t min_bytes);
+  double mono_s() const;
 
   ClientOptions opts_;
   int fd_ = -1;
   std::vector<std::uint8_t> rbuf_;
   std::string last_error_;
+  fault::CircuitBreaker breaker_{/*lazily re-optioned in call_with_retry*/};
+  bool breaker_configured_ = false;
+  std::uint64_t retry_nonce_ = 0;  ///< distinct jitter index per exchange
 };
 
 }  // namespace randla::net

@@ -40,6 +40,8 @@ const char* frame_type_name(FrameType t) {
     case FrameType::Error: return "error";
     case FrameType::Pong: return "pong";
     case FrameType::StatsReply: return "stats_reply";
+    case FrameType::HealthCheck: return "health_check";
+    case FrameType::HealthReply: return "health_reply";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ bool valid_frame_type(std::uint8_t t) {
     case FrameType::Error:
     case FrameType::Pong:
     case FrameType::StatsReply:
+    case FrameType::HealthCheck:
+    case FrameType::HealthReply:
       return true;
   }
   return false;
@@ -526,6 +530,67 @@ std::optional<StatsReply> decode_stats_reply(const std::uint8_t* payload,
   }
   if (!r.done()) return std::nullopt;
   return s;
+}
+
+std::vector<std::uint8_t> encode_health_check() {
+  return encode_frame(FrameType::HealthCheck, {});
+}
+
+std::vector<std::uint8_t> encode_health_reply(const HealthReply& h) {
+  Writer w;
+  w.u8(h.serving ? 1 : 0);
+  w.u32(h.total_devices);
+  w.u32(h.healthy_devices);
+  w.u32(h.queue_depth);
+  w.u32(h.inflight);
+  w.u64(h.watchdog_fired);
+  w.u64(h.jobs_requeued);
+  w.u64(h.faults_injected);
+  const std::size_t n = std::min(h.devices.size(), kMaxHealthDevices);
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceHealth& d = h.devices[i];
+    w.u32(d.device);
+    w.u8(d.healthy ? 1 : 0);
+    w.u64(d.jobs);
+    w.f64(d.modeled_s);
+  }
+  return encode_frame(FrameType::HealthReply, w.bytes());
+}
+
+std::optional<HealthReply> decode_health_reply(const std::uint8_t* payload,
+                                               std::size_t size) {
+  Reader r(payload, size);
+  HealthReply h;
+  const std::uint8_t serving = r.u8();
+  if (!r.ok() || serving > 1) return std::nullopt;
+  h.serving = serving != 0;
+  h.total_devices = r.u32();
+  h.healthy_devices = r.u32();
+  h.queue_depth = r.u32();
+  h.inflight = r.u32();
+  h.watchdog_fired = r.u64();
+  h.jobs_requeued = r.u64();
+  h.faults_injected = r.u64();
+  const std::uint32_t ndev = r.u32();
+  // Each row is exactly 21 bytes; a lying count fails here before any
+  // allocation (same guard style as decode_stats_reply).
+  if (!r.ok() || ndev > kMaxHealthDevices || r.remaining() != ndev * 21u)
+    return std::nullopt;
+  h.devices.reserve(ndev);
+  for (std::uint32_t i = 0; i < ndev; ++i) {
+    DeviceHealth d;
+    d.device = r.u32();
+    const std::uint8_t healthy = r.u8();
+    if (healthy > 1) return std::nullopt;
+    d.healthy = healthy != 0;
+    d.jobs = r.u64();
+    d.modeled_s = r.f64();
+    if (!r.ok()) return std::nullopt;
+    h.devices.push_back(d);
+  }
+  if (!r.done()) return std::nullopt;
+  return h;
 }
 
 // ---------------------------------------------------------------------

@@ -42,7 +42,8 @@ namespace randla::net {
 
 inline constexpr std::uint32_t kMagic = 0x31414C52u;  // "RLA1"
 /// v2: Submit carries a trace id; Stats/StatsReply frames added.
-inline constexpr std::uint8_t kVersion = 2;
+/// v3: HealthCheck/HealthReply frames (fault plane, DESIGN.md §10).
+inline constexpr std::uint8_t kVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (also the decoder's allocation budget).
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;  // 64 MiB
@@ -57,6 +58,7 @@ enum class FrameType : std::uint8_t {
   Ping = 2,
   Shutdown = 3,  ///< request a graceful drain + exit (if server allows)
   Stats = 4,     ///< scrape the server's live metrics (empty payload)
+  HealthCheck = 5,  ///< probe serving state + device health (empty payload)
   // server → client
   ResultHeader = 16,
   ResultChunk = 17,
@@ -65,6 +67,7 @@ enum class FrameType : std::uint8_t {
   Error = 20,  ///< protocol or request error
   Pong = 21,
   StatsReply = 22,  ///< (name, f64) metric pairs answering Stats
+  HealthReply = 23,
 };
 const char* frame_type_name(FrameType t);
 bool valid_frame_type(std::uint8_t t);
@@ -186,6 +189,32 @@ struct StatsReply {
 inline constexpr std::size_t kMaxStatsEntries = 1024;
 inline constexpr std::size_t kMaxStatsNameBytes = 128;
 
+/// Device rows a HealthReply may carry (a lying count past this, or past
+/// the remaining payload, poisons the decode before any allocation).
+inline constexpr std::size_t kMaxHealthDevices = 256;
+
+/// Per-device health row inside a HealthReply.
+struct DeviceHealth {
+  std::uint32_t device = 0;
+  bool healthy = true;
+  std::uint64_t jobs = 0;
+  double modeled_s = 0;
+};
+
+/// Serving-state probe answering a HealthCheck: liveness, capacity, and
+/// the fault-plane counters (requeues, watchdog firings, injections).
+struct HealthReply {
+  bool serving = true;  ///< false once the server starts draining
+  std::uint32_t total_devices = 0;
+  std::uint32_t healthy_devices = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t inflight = 0;
+  std::uint64_t watchdog_fired = 0;
+  std::uint64_t jobs_requeued = 0;
+  std::uint64_t faults_injected = 0;
+  std::vector<DeviceHealth> devices;
+};
+
 // ---------------------------------------------------------------------
 // Encoding. Writers append; encode_* return a complete wire frame
 // (header + payload) ready for the socket.
@@ -224,6 +253,8 @@ std::vector<std::uint8_t> encode_pong(std::uint64_t nonce);
 std::vector<std::uint8_t> encode_shutdown();
 std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats_reply(const StatsReply& s);
+std::vector<std::uint8_t> encode_health_check();
+std::vector<std::uint8_t> encode_health_reply(const HealthReply& h);
 
 // ---------------------------------------------------------------------
 // Decoding. A Reader consumes a payload; any out-of-bounds or invalid
@@ -290,6 +321,8 @@ std::optional<std::uint64_t> decode_ping(const std::uint8_t* payload,
                                          std::size_t size);
 std::optional<StatsReply> decode_stats_reply(const std::uint8_t* payload,
                                              std::size_t size);
+std::optional<HealthReply> decode_health_reply(const std::uint8_t* payload,
+                                               std::size_t size);
 
 /// Materialize the matrix a spec describes (generator path; Inline specs
 /// return a copy of the payload). Throws std::invalid_argument on an

@@ -64,8 +64,8 @@ struct Server::Impl {
   /// accounting; these aggregate across servers for /metrics).
   struct ObsCounters {
     obs::Counter connections, frames_submit, frames_ping, frames_shutdown,
-        frames_stats, frames_other, busy, bytes_in, bytes_out, decode_errors,
-        jobs_submitted, jobs_completed, results_dropped;
+        frames_stats, frames_health, frames_other, busy, bytes_in, bytes_out,
+        decode_errors, jobs_submitted, jobs_completed, results_dropped;
   } obs_;
 
   struct Conn {
@@ -105,6 +105,7 @@ struct Server::Impl {
     obs_.frames_ping = g.counter("net_frames_in_total{type=\"ping\"}");
     obs_.frames_shutdown = g.counter("net_frames_in_total{type=\"shutdown\"}");
     obs_.frames_stats = g.counter("net_frames_in_total{type=\"stats\"}");
+    obs_.frames_health = g.counter("net_frames_in_total{type=\"health\"}");
     obs_.frames_other = g.counter("net_frames_in_total{type=\"other\"}");
     obs_.busy = g.counter("net_busy_total", "submits shed with Busy frames");
     obs_.bytes_in = g.counter("net_bytes_in_total", "bytes read from peers");
@@ -141,6 +142,7 @@ struct Server::Impl {
   void handle_submit(std::uint64_t cid, const std::uint8_t* payload,
                      std::size_t len);
   void handle_stats(std::uint64_t cid, std::size_t len);
+  void handle_health(std::uint64_t cid, std::size_t len);
   runtime::MatrixHandle resolve_matrix(const MatrixSpec& spec);
   std::uint32_t retry_after_ms() const;
   void deliver_completions();
@@ -417,6 +419,13 @@ void Server::Impl::process_input(std::uint64_t cid) {
       break;
     }
     if (c.rbuf.size() - off - kHeaderBytes < hdr.payload_len) break;
+    // Injected connection reset: the peer's frame arrived intact but the
+    // connection dies before dispatch (mid-request RST). Undelivered
+    // results for this conn are dropped at completion time as usual.
+    if (opts.injector && opts.injector->fire(fault::FaultKind::ConnReset)) {
+      drop_conn(cid);
+      return;
+    }
     bump(&ServerStats::frames_in);
     dispatch(cid, hdr.type, c.rbuf.data() + off + kHeaderBytes,
              hdr.payload_len);
@@ -461,6 +470,10 @@ void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
     case FrameType::Stats:
       obs_.frames_stats.inc();
       handle_stats(cid, len);
+      return;
+    case FrameType::HealthCheck:
+      obs_.frames_health.inc();
+      handle_health(cid, len);
       return;
     default:
       // A server→client frame type from a client: confused peer.
@@ -646,6 +659,34 @@ void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
   queue_frame(c, encode_stats_reply(s));
 }
 
+void Server::Impl::handle_health(std::uint64_t cid, std::size_t len) {
+  Conn& c = conns[cid];
+  if (len != 0) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
+                                           "health frame carries a payload"}));
+    c.close_after_flush = true;
+    return;
+  }
+  HealthReply h;
+  h.serving = !stop_requested.load();
+  const auto fs = sched.fault_stats();
+  h.total_devices = static_cast<std::uint32_t>(sched.num_workers());
+  h.healthy_devices = static_cast<std::uint32_t>(
+      fs.healthy_workers < 0 ? 0 : fs.healthy_workers);
+  h.queue_depth = static_cast<std::uint32_t>(sched.queue_depth());
+  h.inflight = static_cast<std::uint32_t>(
+      sched.inflight() < 0 ? 0 : sched.inflight());
+  h.watchdog_fired = fs.watchdog_fired;
+  h.jobs_requeued = fs.jobs_requeued;
+  h.faults_injected = opts.injector ? opts.injector->injected_total() : 0;
+  for (const auto& d : sched.device_health())
+    h.devices.push_back(DeviceHealth{static_cast<std::uint32_t>(d.device),
+                                     d.healthy, d.jobs, d.modeled_s});
+  queue_frame(c, encode_health_reply(h));
+}
+
 void Server::Impl::deliver_completions() {
   for (auto it = inflight.begin(); it != inflight.end();) {
     if (!it->handle->done()) {
@@ -730,10 +771,34 @@ void Server::Impl::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
     c.wbuf.erase(c.wbuf.begin(), c.wbuf.begin() + c.woff);
     c.woff = 0;
   }
+  if (opts.injector) {
+    // Corrupted frame: flip a magic byte so the client *deterministically*
+    // detects the damage (flipping payload bytes could silently corrupt
+    // f64 data, which no length check would catch — the residual
+    // verification would, but the client could not know to retry).
+    if (opts.injector->fire(fault::FaultKind::FrameCorrupt) &&
+        !frame.empty()) {
+      frame[0] ^= 0xFF;
+    }
+    // Truncated frame: send only a prefix, then drop the connection once
+    // it is flushed — the peer sees a frame that stops mid-payload.
+    if (opts.injector->fire(fault::FaultKind::FrameTruncate) &&
+        frame.size() > 1) {
+      frame.resize(frame.size() / 2);
+      c.close_after_flush = true;
+    }
+  }
   c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
 }
 
 bool Server::Impl::flush(Conn& c) {
+  // Injected write delay: the socket stalls before draining (slow or
+  // congested peer path). One decision per flush call, not per byte.
+  if (opts.injector && c.woff < c.wbuf.size() &&
+      opts.injector->fire(fault::FaultKind::WriteDelay)) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        opts.injector->config().write_delay_ms));
+  }
   while (c.woff < c.wbuf.size()) {
     const ssize_t n = send(c.fd, c.wbuf.data() + c.woff,
                            c.wbuf.size() - c.woff, MSG_NOSIGNAL);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/injector.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace randla::net {
@@ -35,6 +36,10 @@ struct ServerOptions {
   bool allow_remote_shutdown = false;  ///< honor Shutdown frames
   double drain_timeout_s = 30;  ///< graceful-stop budget before hard close
   std::size_t matrix_cache_capacity = 32;  ///< memoized generator matrices
+  /// Chaos testing (DESIGN.md §10): when set, the event loop injects
+  /// connection resets at frame boundaries, corrupted/truncated outbound
+  /// frames, and delayed writes per the injector's schedule.
+  fault::InjectorPtr injector;
 };
 
 struct ServerStats {

@@ -39,6 +39,30 @@ class BoundedQueue {
     return PushStatus::Ok;
   }
 
+  /// Failover path: hand a job a dying worker already popped back to the
+  /// survivors. Pushes to the *front* (the job already waited its turn)
+  /// and ignores the high-water mark — the item was admitted once and
+  /// must not be shed now. False only when the queue is closed; the item
+  /// is consumed only on success, so the caller can still fail it.
+  bool requeue_front(T& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return false;
+      items_.push_front(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop (last-worker-down drain path).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Block until an item is available or the queue is closed and
   /// drained; nullopt means "no more work ever".
   std::optional<T> pop() {

@@ -23,6 +23,24 @@ obs::Gauge inflight_gauge() {
   return g;
 }
 
+obs::Counter requeued_counter() {
+  static obs::Counter c = obs::Registry::global().counter(
+      "fault_job_requeued_total", "jobs handed off from a failed device");
+  return c;
+}
+
+obs::Gauge unhealthy_gauge() {
+  static obs::Gauge g = obs::Registry::global().gauge(
+      "fault_device_unhealthy", "devices currently marked failed");
+  return g;
+}
+
+obs::Counter watchdog_counter() {
+  static obs::Counter c = obs::Registry::global().counter(
+      "watchdog_fired_total", "jobs cancelled for exceeding their budget");
+  return c;
+}
+
 /// Next stabler power-iteration orthogonalization after a breakdown.
 ortho::Scheme escalate(ortho::Scheme s) {
   switch (s) {
@@ -41,20 +59,32 @@ bool escalatable(ortho::Scheme s) {
 Scheduler::Scheduler(SchedulerOptions opts)
     : opts_(std::move(opts)),
       ctx_(std::make_unique<sim::MultiDeviceContext>(
-          std::max(1, opts_.num_workers), opts_.spec)),
+          std::max(1, opts_.num_workers), opts_.spec, opts_.injector)),
       queue_(opts_.queue_capacity),
       sketches_(opts_.enable_cache ? opts_.sketch_cache_capacity : 0),
       results_(opts_.enable_cache ? opts_.result_cache_capacity : 0),
       start_(std::chrono::steady_clock::now()) {
   const int n = ctx_->num_devices();
+  healthy_.store(n);
+  unhealthy_gauge().set(0);
+  // Touch the fault/watchdog series so a Stats scrape carries them even
+  // before the first failure (chaos CI asserts their presence).
+  requeued_counter();
+  watchdog_counter();
+  slots_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) slots_.push_back(std::make_unique<ExecSlot>());
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
+  if (opts_.watchdog_multiple > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 Scheduler::~Scheduler() {
   queue_.close();
   for (auto& w : workers_) w.join();
+  watchdog_stop_.store(true);
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 double Scheduler::now() const {
@@ -73,6 +103,102 @@ std::vector<WorkerStats> Scheduler::worker_stats() const {
                               dev.modeled_time()});
   }
   return out;
+}
+
+FaultStats Scheduler::fault_stats() const {
+  FaultStats fs;
+  fs.jobs_requeued = jobs_requeued_.load();
+  fs.watchdog_fired = watchdog_fired_.load();
+  fs.device_failures = device_failures_.load();
+  fs.healthy_workers = healthy_.load();
+  return fs;
+}
+
+std::vector<DeviceHealthInfo> Scheduler::device_health() const {
+  std::vector<DeviceHealthInfo> out;
+  for (int i = 0; i < ctx_->num_devices(); ++i) {
+    const auto& dev = ctx_->device(i);
+    out.push_back(DeviceHealthInfo{i, !dev.failed(), dev.tasks_run(),
+                                   dev.modeled_time()});
+  }
+  return out;
+}
+
+void Scheduler::mark_device_failed(int widx) {
+  auto& dev = ctx_->device(widx);
+  if (dev.failed()) return;
+  dev.mark_failed();
+  device_failures_.fetch_add(1);
+  const int left = healthy_.fetch_sub(1) - 1;
+  unhealthy_gauge().set(double(ctx_->num_devices() - left));
+}
+
+void Scheduler::fail_device(int device) {
+  if (device < 0 || device >= ctx_->num_devices()) return;
+  mark_device_failed(device);
+  // The retiring worker may be parked in pop(); nothing to wake it with
+  // short of work, and that is fine — it hands off or exits on its next
+  // pop. But if every device is now dead, queued jobs must fail rather
+  // than wait for a pop that will never happen.
+  if (healthy_.load() == 0) drain_queue_no_workers();
+}
+
+void Scheduler::drain_queue_no_workers() {
+  while (auto pending = queue_.try_pop())
+    fail_pending(std::move(*pending), "no healthy devices");
+  queue_depth_gauge().set(double(queue_.size()));
+}
+
+void Scheduler::fail_pending(PendingJob pending, const std::string& why) {
+  JobOutcome outcome;
+  outcome.status = JobStatus::Failed;
+  outcome.error = why;
+  outcome.trace.status = JobStatus::Failed;
+  outcome.trace.error = why;
+  outcome.trace.tag = pending.job.tag;
+  outcome.trace.kind = job_kind(pending.job);
+  outcome.trace.submit_s = pending.submit_s;
+  outcome.trace.queue_wait_s = now() - pending.submit_s;
+  outcome.trace.job_id = pending.handle->id();
+  outcome.trace.trace_id = pending.job.trace_id;
+  telemetry_.record(outcome.trace);
+  pending.handle->fulfill(std::move(outcome));
+  inflight_.fetch_sub(1);
+  inflight_gauge().set(double(inflight_.load()));
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
+  }
+  drain_cv_.notify_all();
+}
+
+void Scheduler::handoff(PendingJob pending, int widx) {
+  pending.excluded_devices |= 1u << (widx & 31);
+  pending.resubmits += 1;
+  // Survivors that may still run this job: healthy and not a previous
+  // holder. (Failed devices' workers have retired, so in practice the
+  // exclusion mask is a subset of the dead set; the check also guards
+  // the window where a device died after being recorded.)
+  int eligible = 0;
+  for (int i = 0; i < ctx_->num_devices(); ++i)
+    if (!ctx_->device(i).failed() && !(pending.excluded_devices & (1u << (i & 31))))
+      ++eligible;
+  if (pending.resubmits > opts_.max_resubmits) {
+    fail_pending(std::move(pending), "device failed; resubmit budget exhausted");
+    return;
+  }
+  if (eligible == 0) {
+    fail_pending(std::move(pending), "device failed; no eligible survivor");
+    return;
+  }
+  if (!queue_.requeue_front(pending)) {
+    // Queue closed mid-shutdown: no survivor will ever pop this, so the
+    // handle must still be fulfilled (callers may be blocked in wait()).
+    fail_pending(std::move(pending), "device failed during shutdown");
+    return;
+  }
+  jobs_requeued_.fetch_add(1);
+  requeued_counter().inc();
+  queue_depth_gauge().set(double(queue_.size()));
 }
 
 double Scheduler::calibration() const {
@@ -102,8 +228,18 @@ SubmitResult Scheduler::submit(Job job) {
   // Count the job in-flight *before* pushing: a worker may fulfill it
   // (and decrement) before try_push even returns.
   inflight_.fetch_add(1);
-  const PushStatus st =
-      queue_.try_push(PendingJob{std::move(job), handle, submit_s});
+  PushStatus st;
+  if (healthy_.load() == 0) {
+    // Every device is dead: nothing will ever pop, so shed at the door
+    // exactly like a closed queue rather than stranding the job.
+    st = PushStatus::Closed;
+  } else {
+    st = queue_.try_push(PendingJob{std::move(job), handle, submit_s});
+    // A push can race the last device's death; sweep so the job cannot
+    // sit in a queue no worker will ever drain.
+    if (st == PushStatus::Ok && healthy_.load() == 0)
+      drain_queue_no_workers();
+  }
   queue_depth_gauge().set(double(queue_.size()));
   inflight_gauge().set(double(inflight_.load()));
   if (st != PushStatus::Ok) {
@@ -112,6 +248,7 @@ SubmitResult Scheduler::submit(Job job) {
     JobOutcome outcome;
     outcome.status = JobStatus::Rejected;
     outcome.error = st == PushStatus::QueueFull ? "queue at high-water mark"
+                    : healthy_.load() == 0      ? "no healthy devices"
                                                 : "scheduler shutting down";
     outcome.trace.status = JobStatus::Rejected;
     outcome.trace.tag = tag;
@@ -143,6 +280,33 @@ void Scheduler::worker_loop(int widx) {
     auto pending = queue_.pop();
     if (!pending) return;
     queue_depth_gauge().set(double(queue_.size()));
+
+    // --- failover seam (DESIGN.md §10) --------------------------------
+    // Injected device death is decided at job pickup, and never fires
+    // when this is the last healthy device — chaos runs must degrade,
+    // not go dark. An externally failed device (fail_device) is caught
+    // by the same check.
+    if (!dev.failed() && opts_.injector && healthy_.load() > 1 &&
+        opts_.injector->fire(fault::FaultKind::DeviceFail)) {
+      mark_device_failed(widx);
+    }
+    if (dev.failed()) {
+      handoff(std::move(*pending), widx);
+      // Retire. If this was the last worker standing, nothing will ever
+      // pop again: fail the backlog so drain() cannot deadlock.
+      if (healthy_.load() == 0) drain_queue_no_workers();
+      return;
+    }
+    if (pending->excluded_devices & (1u << (widx & 31))) {
+      // This device already failed this job once. Unreachable while the
+      // mask only ever names dead devices (whose workers retired), but
+      // cheap to guard: hand it back and let another worker take it.
+      if (!queue_.requeue_front(*pending))
+        fail_pending(std::move(*pending), "device failed during shutdown");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+
     const double queue_wait = now() - pending->submit_s;
     const std::uint64_t trace_id = pending->job.trace_id;
     if (trace_id != 0 && obs::Tracer::global().enabled()) {
@@ -156,17 +320,45 @@ void Scheduler::worker_loop(int widx) {
           std::chrono::steady_clock::now());
     }
 
+    // Arm the watchdog slot for the duration of the execution.
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    auto& slot = *slots_[static_cast<std::size_t>(widx)];
+    {
+      std::lock_guard<std::mutex> lk(slot.mu);
+      slot.cancel = cancel;
+      slot.started_s = now();
+      slot.budget_s = watchdog_budget(pending->job);
+      slot.fired = false;
+    }
+
     JobOutcome outcome;
     // Run on the simulated device's own thread, like a kernel launch:
     // the worker blocks until its device finishes, so each device runs
     // one job at a time while distinct devices overlap. The trace id is
     // installed on the *device* thread so rsvd phase spans connect.
-    dev.submit([&] {
-         obs::ScopedTraceId scoped(trace_id);
-         obs::Span span("worker.exec", "runtime", trace_id);
-         outcome = execute(pending->job, widx, queue_wait);
-       })
-        .get();
+    bool device_died = false;
+    try {
+      dev.submit([&] {
+           obs::ScopedTraceId scoped(trace_id);
+           obs::Span span("worker.exec", "runtime", trace_id);
+           outcome = execute(pending->job, widx, queue_wait, cancel);
+         })
+          .get();
+    } catch (const sim::DeviceFailedError&) {
+      // fail_device raced the failed() check above; treat it exactly
+      // like a pickup-time death.
+      device_died = true;
+    }
+    {
+      std::lock_guard<std::mutex> lk(slot.mu);
+      slot.cancel = nullptr;
+      slot.started_s = -1;
+    }
+    if (device_died) {
+      handoff(std::move(*pending), widx);
+      if (healthy_.load() == 0) drain_queue_no_workers();
+      return;
+    }
 
     outcome.trace.job_id = pending->handle->id();
     outcome.trace.trace_id = trace_id;
@@ -194,7 +386,37 @@ void Scheduler::worker_loop(int widx) {
   }
 }
 
-JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait) {
+void Scheduler::watchdog_loop() {
+  // Poll the per-worker exec slots and flip the cancel token of any job
+  // past its budget. Cancellation is cooperative: only code that polls
+  // the token (today: injected hangs) actually stops — a real kernel
+  // runs to completion, but the firing still lands in telemetry.
+  while (!watchdog_stop_.load()) {
+    const double t = now();
+    for (auto& sp : slots_) {
+      auto& slot = *sp;
+      std::lock_guard<std::mutex> lk(slot.mu);
+      if (!slot.cancel || slot.fired || slot.budget_s <= 0) continue;
+      if (t - slot.started_s > slot.budget_s) {
+        slot.cancel->store(true);
+        slot.fired = true;
+        watchdog_fired_.fetch_add(1);
+        watchdog_counter().inc();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+double Scheduler::watchdog_budget(const Job& job) const {
+  if (opts_.watchdog_multiple <= 0) return 0;  // disabled
+  double d = job.deadline_s > 0 ? job.deadline_s : opts_.default_deadline_s;
+  if (d <= 0) d = opts_.watchdog_grace_s;
+  return opts_.watchdog_multiple * d;
+}
+
+JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait,
+                              const std::shared_ptr<std::atomic<bool>>& cancel) {
   (void)widx;
   JobOutcome outcome;
   JobTrace& trace = outcome.trace;
@@ -210,6 +432,38 @@ JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait) {
     return outcome;
   }
   const double remaining = deadline > 0 ? deadline - queue_wait : 0;
+
+  if (opts_.injector) {
+    // Transient latency: the job still runs, it just pays first.
+    if (opts_.injector->fire(fault::FaultKind::JobLatency)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts_.injector->config().latency_ms));
+    }
+    // Injected hang: spin-sleep until the watchdog cancels us or the
+    // hang cap lapses (the latter keeps watchdog-less configurations
+    // from wedging forever). Cancelled jobs report a watchdog failure,
+    // which clients treat as retryable.
+    if (opts_.injector->fire(fault::FaultKind::WorkerHang)) {
+      const auto hang0 = std::chrono::steady_clock::now();
+      const double cap_s = opts_.injector->config().hang_cap_s;
+      for (;;) {
+        if (cancel && cancel->load(std::memory_order_acquire)) {
+          outcome.status = trace.status = JobStatus::Failed;
+          outcome.error = trace.error =
+              "watchdog: cancelled after exceeding execution budget";
+          trace.exec_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - hang0)
+                             .count();
+          return outcome;
+        }
+        if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          hang0)
+                .count() >= cap_s)
+          break;  // hang over; the job proceeds normally
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   try {

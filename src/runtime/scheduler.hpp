@@ -15,7 +15,17 @@
 //     (scaled by an online real/modeled calibration factor);
 //   * retry — if a run reports CholQR breakdown (cholqr_fallbacks > 0),
 //     the job is re-run with the next stabler orthogonalization
-//     (CholQR → CholQR2 → HHQR), bounded by max_retries.
+//     (CholQR → CholQR2 → HHQR), bounded by max_retries;
+//   * failover — a device that dies (injected DeviceFail or an external
+//     fail_device call) is marked unhealthy and its worker retires; the
+//     job it held is requeued at the front onto the survivors with the
+//     dead device recorded in its excluded_devices mask, bounded by
+//     max_resubmits; capacity rebalances because the remaining workers
+//     own the whole queue (DESIGN.md §10);
+//   * watchdog — an optional monitor thread cancels (cooperatively)
+//     jobs whose execution exceeds watchdog_multiple × their effective
+//     deadline, so an injected hang fails fast instead of wedging a
+//     worker forever.
 // Every decision lands in the job's telemetry trace.
 #pragma once
 
@@ -28,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "model/perfmodel.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/job.hpp"
@@ -47,6 +58,14 @@ struct SchedulerOptions {
   bool enable_cache = true;
   bool enable_degradation = true;
   model::DeviceSpec spec;           ///< modeled device for every worker
+  // --- fault plane (DESIGN.md §10) ------------------------------------
+  fault::InjectorPtr injector;      ///< null = no injected faults
+  int max_resubmits = 2;            ///< failover requeues before Failed
+  /// Watchdog: cancel a job whose execution exceeds this multiple of its
+  /// effective deadline (job deadline, else default_deadline_s, else
+  /// watchdog_grace_s). 0 disables the watchdog thread entirely.
+  double watchdog_multiple = 0;
+  double watchdog_grace_s = 0.25;   ///< deadline stand-in for undeadlined jobs
 };
 
 struct SubmitResult {
@@ -62,6 +81,22 @@ struct WorkerStats {
   std::uint64_t jobs = 0;
   double busy_s = 0;     ///< real seconds inside jobs
   double modeled_s = 0;  ///< modeled K40c seconds charged
+};
+
+/// Recovery-machinery counters (HealthReply + chaos-run accounting).
+struct FaultStats {
+  std::uint64_t jobs_requeued = 0;    ///< failover handoffs to survivors
+  std::uint64_t watchdog_fired = 0;   ///< cancellations issued
+  std::uint64_t device_failures = 0;  ///< devices marked unhealthy
+  int healthy_workers = 0;
+};
+
+/// Per-device health row (the HealthReply wire frame's payload).
+struct DeviceHealthInfo {
+  int device = 0;
+  bool healthy = true;
+  std::uint64_t jobs = 0;
+  double modeled_s = 0;
 };
 
 class Scheduler {
@@ -97,15 +132,48 @@ class Scheduler {
   std::vector<WorkerStats> worker_stats() const;
   const SchedulerOptions& options() const { return opts_; }
 
+  // --- fault plane ----------------------------------------------------
+  /// Kill a device from outside (tests, ops tooling): it is marked
+  /// unhealthy, its worker retires after handing any held job to the
+  /// survivors, and no further work lands on it. Irreversible.
+  void fail_device(int device);
+  int healthy_workers() const { return healthy_.load(); }
+  FaultStats fault_stats() const;
+  std::vector<DeviceHealthInfo> device_health() const;
+
  private:
   struct PendingJob {
     Job job;
     std::shared_ptr<JobHandle> handle;
     double submit_s = 0;
+    std::uint32_t excluded_devices = 0;  ///< bitmask of failed holders
+    int resubmits = 0;                   ///< failover handoffs so far
+  };
+
+  /// Cooperative cancellation slot, one per worker: the watchdog reads
+  /// the running job's start/budget and flips its cancel token.
+  struct ExecSlot {
+    std::mutex mu;
+    std::shared_ptr<std::atomic<bool>> cancel;  ///< null when idle
+    double started_s = -1;
+    double budget_s = 0;
+    bool fired = false;
   };
 
   void worker_loop(int widx);
-  JobOutcome execute(const Job& job, int widx, double queue_wait);
+  void watchdog_loop();
+  /// Dying worker hands its popped job back (or fails it when the
+  /// resubmit budget / eligible survivors run out).
+  void handoff(PendingJob pending, int widx);
+  /// Fulfill a pending job as Failed without running it.
+  void fail_pending(PendingJob pending, const std::string& why);
+  void mark_device_failed(int widx);
+  /// After the last worker retires: nothing will ever pop again, so
+  /// fail whatever is still queued instead of deadlocking drain().
+  void drain_queue_no_workers();
+  double watchdog_budget(const Job& job) const;
+  JobOutcome execute(const Job& job, int widx, double queue_wait,
+                     const std::shared_ptr<std::atomic<bool>>& cancel);
   JobOutcome run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
                             double remaining_s);
   /// One cache-aware fixed-rank pass with the given (possibly escalated
@@ -141,6 +209,14 @@ class Scheduler {
   mutable std::mutex calib_mu_;
   double calib_real_per_modeled_ = 1.0;
   double exec_ema_s_ = 0;
+
+  std::atomic<int> healthy_{0};
+  std::atomic<std::uint64_t> jobs_requeued_{0};
+  std::atomic<std::uint64_t> watchdog_fired_{0};
+  std::atomic<std::uint64_t> device_failures_{0};
+  std::vector<std::unique_ptr<ExecSlot>> slots_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_;
 
   std::vector<std::thread> workers_;
 };

@@ -18,7 +18,20 @@ Device::~Device() {
   thread_.join();
 }
 
+void Device::mark_failed() {
+  failed_.store(true, std::memory_order_release);
+}
+
 std::future<void> Device::submit(std::function<void()> fn) {
+  if (failed()) {
+    // Dead card: refuse at the queue, through the future, so callers
+    // that only check .get() still observe the failure.
+    std::packaged_task<void()> reject(
+        [id = id_] { throw DeviceFailedError(id); });
+    auto fut = reject.get_future();
+    reject();
+    return fut;
+  }
   // Counters update inside the packaged task so they are already visible
   // when the returned future unblocks (a caller may read tasks_run()
   // right after .get() — e.g. scheduler worker stats after drain()).
@@ -94,6 +107,11 @@ void Device::worker_loop() {
       queue_.pop_front();
       idle_ = false;
     }
+    // Transient stall injection: the card pauses (PCIe hiccup, thermal
+    // throttle) but the task still runs to completion afterwards.
+    if (injector_ && injector_->fire(fault::FaultKind::DeviceStall))
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          injector_->config().stall_ms));
     task();  // exceptions propagate through the packaged_task's future
   }
 }

@@ -10,15 +10,20 @@
 // meaningful even on a single-core host.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "fault/injector.hpp"
 #include "model/perfmodel.hpp"
 
 namespace randla::sim {
@@ -56,6 +61,18 @@ class Device {
   /// Real wall-clock seconds this device's thread spent inside tasks.
   double busy_seconds() const;
 
+  // --- fault plane (DESIGN.md §10) ------------------------------------
+  /// Simulated device death: a failed device accepts no new work —
+  /// submit() returns a future that throws DeviceFailedError. Tasks
+  /// already queued still run (they model work in flight on the card
+  /// when it was declared dead by the host). Irreversible by design.
+  void mark_failed();
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Install the fault injector consulted before each task (transient
+  /// DeviceStall injections). Call before submitting work.
+  void set_fault_injector(fault::InjectorPtr inj) { injector_ = std::move(inj); }
+
  private:
   void worker_loop();
   /// Bump tasks_run_/busy_seconds_ for a task started at `t0`.
@@ -76,7 +93,17 @@ class Device {
   std::uint64_t tasks_run_ = 0;
   double busy_seconds_ = 0;
 
+  std::atomic<bool> failed_{false};
+  fault::InjectorPtr injector_;
+
   std::thread thread_;
+};
+
+/// Thrown (through the submit() future) when work is offered to a
+/// device that has been marked failed.
+struct DeviceFailedError : std::runtime_error {
+  explicit DeviceFailedError(int id)
+      : std::runtime_error("device " + std::to_string(id) + " has failed") {}
 };
 
 }  // namespace randla::sim

@@ -539,3 +539,117 @@ TEST(NetProtocol, EncodeStatsReplyCapsOversizedInput) {
   ASSERT_TRUE(dec.has_value());
   EXPECT_EQ(dec->metrics.size(), kMaxStatsEntries);
 }
+
+// ---------------------------------------------------------------------
+// HealthCheck / HealthReply (v3)
+
+TEST(NetProtocol, HealthCheckIsEmptyFrame) {
+  const auto frame = encode_health_check();
+  const Parsed p = parse(frame);
+  EXPECT_EQ(p.hdr.type, FrameType::HealthCheck);
+  EXPECT_EQ(p.len, 0u);
+}
+
+HealthReply sample_health() {
+  HealthReply h;
+  h.serving = true;
+  h.total_devices = 2;
+  h.healthy_devices = 1;
+  h.queue_depth = 3;
+  h.inflight = 1;
+  h.watchdog_fired = 4;
+  h.jobs_requeued = 5;
+  h.faults_injected = 17;
+  h.devices.push_back({0, false, 12, 1.5});
+  h.devices.push_back({1, true, 30, 4.25});
+  return h;
+}
+
+TEST(NetProtocol, HealthReplyRoundTrip) {
+  const HealthReply h = sample_health();
+  const auto frame = encode_health_reply(h);
+  const Parsed p = parse(frame);
+  EXPECT_EQ(p.hdr.type, FrameType::HealthReply);
+  const auto dec = decode_health_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->serving, h.serving);
+  EXPECT_EQ(dec->total_devices, h.total_devices);
+  EXPECT_EQ(dec->healthy_devices, h.healthy_devices);
+  EXPECT_EQ(dec->queue_depth, h.queue_depth);
+  EXPECT_EQ(dec->inflight, h.inflight);
+  EXPECT_EQ(dec->watchdog_fired, h.watchdog_fired);
+  EXPECT_EQ(dec->jobs_requeued, h.jobs_requeued);
+  EXPECT_EQ(dec->faults_injected, h.faults_injected);
+  ASSERT_EQ(dec->devices.size(), h.devices.size());
+  for (std::size_t i = 0; i < h.devices.size(); ++i) {
+    EXPECT_EQ(dec->devices[i].device, h.devices[i].device);
+    EXPECT_EQ(dec->devices[i].healthy, h.devices[i].healthy);
+    EXPECT_EQ(dec->devices[i].jobs, h.devices[i].jobs);
+    EXPECT_DOUBLE_EQ(dec->devices[i].modeled_s, h.devices[i].modeled_s);
+  }
+}
+
+TEST(NetProtocol, HealthReplyTruncationFailsCleanly) {
+  const auto frame = encode_health_reply(sample_health());
+  const Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_health_reply(p.payload, n).has_value())
+        << "prefix length " << n;
+  // Trailing garbage fails the final done() check.
+  std::vector<std::uint8_t> padded(p.payload, p.payload + p.len);
+  padded.push_back(0);
+  EXPECT_FALSE(decode_health_reply(padded.data(), padded.size()).has_value());
+}
+
+TEST(NetProtocol, HealthReplyDeviceCountLieRejectedBeforeAllocation) {
+  // The fixed prefix is 41 bytes (u8 + 4×u32 + 3×u64), then the device
+  // count. Claiming kMaxHealthDevices rows with no row bytes must fail
+  // on the remaining == n×21 check; a count past the cap fails outright
+  // even when the payload size backs it up.
+  Writer w;
+  w.u8(1);
+  for (int i = 0; i < 4; ++i) w.u32(0);
+  for (int i = 0; i < 3; ++i) w.u64(0);
+  w.u32(static_cast<std::uint32_t>(kMaxHealthDevices));
+  EXPECT_FALSE(
+      decode_health_reply(w.bytes().data(), w.bytes().size()).has_value());
+
+  Writer w2;
+  w2.u8(1);
+  for (int i = 0; i < 4; ++i) w2.u32(0);
+  for (int i = 0; i < 3; ++i) w2.u64(0);
+  w2.u32(static_cast<std::uint32_t>(kMaxHealthDevices + 1));
+  std::vector<std::uint8_t> big(w2.bytes());
+  big.resize(big.size() + 21 * (kMaxHealthDevices + 1), 0);
+  EXPECT_FALSE(decode_health_reply(big.data(), big.size()).has_value());
+}
+
+TEST(NetProtocol, HealthReplyNonBooleanFlagsRejected) {
+  // serving and per-device healthy ride as u8; anything but 0/1 is a
+  // protocol violation, not a truthy value.
+  const auto frame = encode_health_reply(sample_health());
+  const Parsed p = parse(frame);
+  std::vector<std::uint8_t> raw(p.payload, p.payload + p.len);
+  raw[0] = 2;  // serving
+  EXPECT_FALSE(decode_health_reply(raw.data(), raw.size()).has_value());
+
+  std::vector<std::uint8_t> raw2(p.payload, p.payload + p.len);
+  // First device row starts after the 41-byte prefix + u32 count; its
+  // healthy flag sits 4 bytes in (after the u32 device id).
+  const std::size_t healthy_at = 41 + 4 + 4;
+  ASSERT_LT(healthy_at, raw2.size());
+  raw2[healthy_at] = 0xFF;
+  EXPECT_FALSE(decode_health_reply(raw2.data(), raw2.size()).has_value());
+}
+
+TEST(NetProtocol, EncodeHealthReplyCapsOversizedInput) {
+  HealthReply h;
+  h.total_devices = static_cast<std::uint32_t>(kMaxHealthDevices + 8);
+  for (std::size_t i = 0; i < kMaxHealthDevices + 8; ++i)
+    h.devices.push_back({static_cast<std::uint32_t>(i), true, i, 0.0});
+  const auto frame = encode_health_reply(h);
+  const Parsed p = parse(frame);
+  const auto dec = decode_health_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->devices.size(), kMaxHealthDevices);
+}
