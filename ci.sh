@@ -28,6 +28,15 @@
 #      asserts zero lost jobs, zero duplicated executions, clean sampled
 #      residuals, and that every fault_*/watchdog_* metric series shows
 #      up in the post-run Stats scrape;
+#   6b. cluster: randla_cluster forks shard server processes behind the
+#      consistent-hash router (DESIGN.md §11) and measures the same job
+#      stream at 1, 2, and 4 shards — exit code demands >= 2.5x
+#      throughput at 4 shards from cache affinity alone (single-thread
+#      kernels), with sampled residual checks and BENCH_cluster.json
+#      capturing the series; then a chaos run SIGKILLs a shard mid-run
+#      and asserts zero lost / zero duplicated jobs, breaker-driven
+#      membership change, and the victim reported down in a Stats
+#      scrape through the router;
 #   7. memory safety: the wire-protocol, server, and fault-plane suites
 #      rebuilt with -fsanitize=address,undefined (the `asan` preset), so
 #      adversarial frames run under ASan/UBSan — plus one chaos replay
@@ -124,6 +133,22 @@ echo "== chaos: loopback replay under injected faults =="
 CHAOS_SCHEDULE='device_fail@0.05,conn_reset@0.02'
 ./build/examples/randla_loadgen --chaos "$CHAOS_SCHEDULE" --seed 7 \
   --jobs 200 --threads 4
+
+echo "== cluster: consistent-hash router, 1->2->4 shard scaling =="
+# Cache-affinity scaling (DESIGN.md §11): 48 distinct matrices against a
+# 16-entry result cache per shard thrash one shard's LRU but partition
+# cleanly across four, so the sweep demands the hash-partitioned caches
+# show up as >= 2.5x throughput. RANDLA_NUM_THREADS=1 keeps the kernels
+# off the BLAS pool: the speedup must come from routing, not cores.
+RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --scales 1,2,4 \
+  --jobs 240 --threads 8 --spread 48 --cache 16 --m 768 --n 256 \
+  --check-frac 0.05 --min-speedup 2.5 --tmp build \
+  --json build/BENCH_cluster.json
+
+echo "== cluster chaos: SIGKILL a shard, zero lost or duplicated jobs =="
+RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --shards 4 \
+  --jobs 240 --threads 8 --spread 48 --cache 16 --m 768 --n 256 \
+  --check-frac 0.05 --tmp build
 
 echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan

@@ -1,0 +1,679 @@
+// randla_cluster — multi-process sharded serving: N forked shard
+// servers behind a consistent-hash router (DESIGN.md §11).
+//
+// Two modes:
+//
+//   * scaling sweep (default): for each S in --scales, fork S shard
+//     processes (each a full runtime::Scheduler + net::Server), front
+//     them with a cluster::Router, and push --jobs fixed-rank requests
+//     through it from --threads closed-loop clients. One JSON report row
+//     per scale records throughput and latency percentiles;
+//     --min-speedup X demands jobs/s at the largest scale be at least
+//     X × the single-shard figure.
+//
+//     The workload is cache-affinity-bound by construction: --spread
+//     distinct matrices rotate round-robin against per-shard result
+//     caches of --cache entries. With spread > cache one shard thrashes
+//     its LRU (every request recomputes); with spread ≤ S·cache the
+//     ring hands each shard a stable slice small enough to stay
+//     resident, so added shards convert recomputes into cache hits.
+//     That — not core count — is what the sweep measures, which is why
+//     it scales even on a single-core host (pin BLAS threads with
+//     RANDLA_NUM_THREADS=1 there).
+//
+//   * --chaos: one run over --shards shards; once ~40% of jobs are
+//     done the parent SIGKILLs the shard owning the most routing keys.
+//     Clients ride the full retry policy through the router, which
+//     detects the death (probe + forward failures → breaker → ring
+//     eviction) and re-routes the dead shard's keys to ring neighbors.
+//     The run must end with 0 lost jobs and 0 duplicated executions —
+//     proven from the surviving shards' own telemetry dumps — and the
+//     router's Stats scrape must show the membership change.
+//
+// Every shard child reports its ephemeral port over a pipe, serves
+// until the parent sends a Shutdown frame, then dumps one
+// "tag<TAB>status<TAB>cache" line per job trace for the parent's
+// duplicate detector. Peer-filled executions are tagged "/peerfill" and
+// excluded from that count — they are intentional duplicates.
+//
+//   randla_cluster [--scales 1,2,4] [--jobs N] [--threads T]
+//                  [--workers W] [--queue Q] [--cache C] [--spread K]
+//                  [--m M] [--n N] [--check-frac F] [--seed S]
+//                  [--min-speedup X] [--peer-fill N] [--tmp DIR]
+//                  [--json PATH]
+//   randla_cluster --chaos [--shards S] [flags as above]
+//
+// Exit code: nonzero on any lost job, duplicated execution, failed
+// residual check, missed speedup bound, or missing router metrics.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/router.hpp"
+#include "la/norms.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/stats.hpp"
+
+using namespace randla;
+
+namespace {
+
+struct Options {
+  std::string scales = "1,2,4";
+  int shards = 3;  ///< chaos mode shard count
+  int jobs = 240;
+  int threads = 8;
+  int workers = 1;      ///< scheduler workers per shard
+  int queue = 8;        ///< scheduler queue capacity per shard
+  int cache = 16;       ///< result/sketch/matrix cache entries per shard
+  int spread = 48;      ///< distinct matrices rotated through the run
+  index_t m = 192, n = 96;
+  double check_frac = 0.1;
+  double min_speedup = 0;    ///< 0 = record only
+  int peer_fill = 0;         ///< router peer_fill_threshold
+  std::uint64_t seed = 2026;
+  bool chaos = false;
+  std::string tmp = ".";
+};
+
+/// The run is fixed-rank only: results are cacheable (idempotent
+/// resubmission after a shard death must hit the result cache, and the
+/// duplicate detector relies on cache dispositions to tell a replayed
+/// result from a re-execution) and residual-checkable.
+net::JobRequest build_request(const Options& opt, int i) {
+  net::JobRequest req;
+  req.request_id = static_cast<std::uint64_t>(i) + 1;
+  req.kind = runtime::JobKind::FixedRank;
+  req.matrix.generator = "lowrank";
+  req.matrix.m = opt.m;
+  req.matrix.n = opt.n;
+  req.matrix.seed =
+      opt.seed + static_cast<std::uint64_t>(i % std::max(1, opt.spread));
+  req.matrix.rank = 8;
+  req.k = 16;
+  req.p = 8;
+  req.q = 1;
+  // Request the unconditionally stable orthogonalization up front (wire
+  // ortho code 2 = HHQR): the rank-deficient input breaks CholQR down,
+  // and the scheduler's retry ladder would otherwise cache every
+  // escalation level as its own entry — 2-3 slots per matrix, quietly
+  // shrinking the effective result-cache capacity the affinity sweep is
+  // sized against.
+  req.power_ortho = 2;
+  // No deadline: degradation would shed power iterations under load,
+  // and a degraded q lands under a different cache key — the affinity
+  // sweep needs every request for one matrix to be byte-identical.
+  req.deadline_s = -1;
+  req.tag = "cluster/" + std::to_string(i);
+  return req;
+}
+
+/// ‖A·P − Q·R‖_F / ‖A‖_F with A regenerated locally from the spec.
+bool verify_fixed_rank(const net::JobRequest& req,
+                       const net::CallResult& res) {
+  if (res.header.status != runtime::JobStatus::Done ||
+      res.tensors.size() != 2)
+    return false;
+  const Matrix<double> a = net::materialize(req.matrix);
+  Matrix<double> resid(a.rows(), a.cols());
+  apply_column_permutation<double>(a.view(), res.header.perm, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(res.tensors[0].view()),
+                     ConstMatrixView<double>(res.tensors[1].view()), 1.0,
+                     resid.view());
+  const double err =
+      norm_fro<double>(ConstMatrixView<double>(resid.view())) /
+      norm_fro<double>(ConstMatrixView<double>(a.view()));
+  if (err > 1e-8) {
+    std::fprintf(stderr, "cluster: residual %.3e (req %llu)\n", err,
+                 (unsigned long long)req.request_id);
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Shard child process.
+
+struct ShardProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::string telemetry_path;
+  bool killed = false;
+};
+
+/// Child body: serve until a remote Shutdown drains the loop, then dump
+/// telemetry for the parent's duplicate detector. Never returns.
+[[noreturn]] void shard_child(const Options& opt, int port_fd,
+                              const std::string& telemetry_path) {
+  runtime::SchedulerOptions so;
+  so.num_workers = opt.workers;
+  so.queue_capacity = opt.queue;
+  so.result_cache_capacity = static_cast<std::size_t>(opt.cache);
+  so.sketch_cache_capacity = static_cast<std::size_t>(opt.cache);
+  runtime::Scheduler sched(so);
+
+  net::ServerOptions svo;
+  svo.port = 0;
+  svo.allow_remote_shutdown = true;
+  svo.matrix_cache_capacity = static_cast<std::size_t>(opt.cache);
+  net::Server server(sched, svo);
+  if (!server.start()) _exit(3);
+
+  const std::uint16_t port = server.port();
+  if (write(port_fd, &port, sizeof port) != sizeof port) _exit(3);
+  ::close(port_fd);
+
+  server.wait();  // blocks until the parent's Shutdown frame drains us
+
+  if (std::FILE* f = std::fopen(telemetry_path.c_str(), "w")) {
+    for (const auto& tr : sched.telemetry().traces())
+      std::fprintf(f, "%s\t%s\t%s\n", tr.tag.c_str(),
+                   runtime::job_status_name(tr.status),
+                   runtime::cache_disposition_name(tr.cache));
+    std::fclose(f);
+  }
+  _exit(0);
+}
+
+/// Fork one shard and read back its ephemeral port. The fork happens
+/// while the parent is single-threaded (callers join every thread
+/// between scales), so the child starts from a clean slate.
+bool spawn_shard(const Options& opt, const std::string& telemetry_path,
+                 ShardProc* out) {
+  int pfd[2];
+  if (pipe(pfd) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(pfd[0]);
+    shard_child(opt, pfd[1], telemetry_path);
+  }
+  ::close(pfd[1]);
+  std::uint16_t port = 0;
+  const bool got = read(pfd[0], &port, sizeof port) == sizeof port;
+  ::close(pfd[0]);
+  if (!got || port == 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out->pid = pid;
+  out->port = port;
+  out->telemetry_path = telemetry_path;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// One measured run at a given shard count.
+
+struct RunResult {
+  bool started = false;
+  int ok = 0, lost = 0, duplicated = 0;
+  int checked = 0, check_failed = 0;
+  long busy_retries = 0, reconnects = 0;
+  double wall_s = 0, throughput = 0, p50_ms = 0, p99_ms = 0;
+  cluster::RouterStats router;
+  std::vector<std::uint32_t> live_end;  ///< ring membership after the run
+  bool stats_scrape_ok = false;
+  bool victim_marked_down = false;  ///< chaos: scrape shows shard_up == 0
+  std::uint32_t victim = 0;
+};
+
+RunResult run_scale(const Options& opt, int nshards, bool chaos) {
+  RunResult rr;
+  std::vector<ShardProc> shards(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    const std::string path = opt.tmp + "/cluster_shard_" +
+                             std::to_string(nshards) + "_" +
+                             std::to_string(s) + ".telemetry";
+    std::remove(path.c_str());
+    if (!spawn_shard(opt, path, &shards[static_cast<std::size_t>(s)])) {
+      std::fprintf(stderr, "cluster: failed to spawn shard %d\n", s);
+      for (auto& sp : shards)
+        if (sp.pid > 0) {
+          kill(sp.pid, SIGKILL);
+          waitpid(sp.pid, nullptr, 0);
+        }
+      return rr;
+    }
+  }
+
+  cluster::RouterOptions ro;
+  for (const ShardProc& sp : shards)
+    ro.shards.push_back(cluster::ShardEndpoint{"127.0.0.1", sp.port});
+  ro.probe_interval_s = 0.1;
+  ro.peer_fill_threshold = opt.peer_fill;
+  cluster::Router router(ro);
+  if (!router.start()) {
+    std::fprintf(stderr, "cluster: router failed to start\n");
+    for (auto& sp : shards) {
+      kill(sp.pid, SIGKILL);
+      waitpid(sp.pid, nullptr, 0);
+    }
+    return rr;
+  }
+  rr.started = true;
+
+  // Chaos victim: the shard owning the most routing keys, computed from
+  // the same ring layout the router uses — killing it is guaranteed to
+  // orphan live keys.
+  if (chaos) {
+    cluster::HashRing ring(cluster::RingOptions{ro.vnodes});
+    for (int s = 0; s < nshards; ++s)
+      ring.add(static_cast<std::uint32_t>(s));
+    std::map<std::uint32_t, int> owned;
+    for (int i = 0; i < std::max(1, opt.spread); ++i)
+      owned[*ring.owner(cluster::routing_key(build_request(opt, i)))] += 1;
+    rr.victim = owned.rbegin()->first;
+    for (const auto& [s, cnt] : owned)
+      if (cnt > owned[rr.victim]) rr.victim = s;
+  }
+
+  struct Rec {
+    bool ok = false;
+    int busy = 0;
+    int reconnects = 0;
+    bool checked = false;
+    bool check_passed = true;
+    double latency_ms = 0;
+  };
+  std::vector<Rec> recs(static_cast<std::size_t>(opt.jobs));
+  std::atomic<int> next_job{0};
+  std::atomic<int> done_jobs{0};
+  std::atomic<int> check_counter{0};
+  const int check_period =
+      opt.check_frac > 0
+          ? std::max(1, static_cast<int>(std::lround(1.0 / opt.check_frac)))
+          : 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&](int widx) {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = router.port();
+    copt.recv_timeout_s = 10;
+    copt.retry.max_attempts = chaos ? 12 : 6;
+    copt.retry.max_busy_retries = 1000;  // throughput run: wait, don't fail
+    copt.retry.busy_wait_cap_s = 0.25;
+    copt.retry.backoff_seed = opt.seed * 1000 + std::uint64_t(widx);
+    net::Client client(copt);
+    for (;;) {
+      const int i = next_job.fetch_add(1);
+      if (i >= opt.jobs) return;
+      const net::JobRequest req = build_request(opt, i);
+      Rec& rec = recs[static_cast<std::size_t>(i)];
+      net::RetryInfo info;
+      const auto start = std::chrono::steady_clock::now();
+      const net::CallResult res = client.call_with_retry(req, &info);
+      rec.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      rec.busy = info.busy_retries;
+      rec.reconnects = info.reconnects;
+      rec.ok = res.status == net::CallStatus::Ok &&
+               res.header.status == runtime::JobStatus::Done;
+      done_jobs.fetch_add(1);
+      if (!rec.ok) {
+        std::fprintf(stderr, "cluster: job %d lost after %d attempts: %s %s\n",
+                     i, info.attempts, net::call_status_name(res.status),
+                     res.detail.c_str());
+        continue;
+      }
+      if (check_period > 0 &&
+          check_counter.fetch_add(1) % check_period == 0) {
+        rec.checked = true;
+        rec.check_passed = verify_fixed_rank(req, res);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < opt.threads; ++t) pool.emplace_back(worker, t);
+
+  if (chaos) {
+    // Let the cluster warm up, then kill the victim mid-run.
+    const int trigger = std::max(1, (opt.jobs * 2) / 5);
+    while (done_jobs.load() < trigger)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ShardProc& v = shards[rr.victim];
+    std::printf("cluster: SIGKILL shard %u (pid %d) after %d jobs\n",
+                rr.victim, int(v.pid), done_jobs.load());
+    kill(v.pid, SIGKILL);
+    v.killed = true;
+  }
+  for (auto& t : pool) t.join();
+  rr.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+
+  // Router-side accounting: scrape over the wire (the same Stats verb a
+  // monitoring client would use), then the in-process snapshot.
+  {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = router.port();
+    copt.recv_timeout_s = 5;
+    net::Client sc(copt);
+    if (sc.connect()) {
+      if (auto stats = sc.stats()) {
+        rr.stats_scrape_ok = stats->has("router_submits_routed") &&
+                             stats->has("cluster_membership_changes") &&
+                             stats->has("cluster_shards_live");
+        const std::string up_key =
+            "cluster_shard_up{shard=\"" + std::to_string(rr.victim) + "\"}";
+        rr.victim_marked_down =
+            stats->has(up_key) && stats->value(up_key) == 0.0;
+      }
+    }
+  }
+  rr.router = router.stats();
+  rr.live_end = router.live_shards();
+  router.stop();
+
+  // Drain the shards (Shutdown → telemetry dump → exit) and reap.
+  for (ShardProc& sp : shards) {
+    if (sp.killed) continue;
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = sp.port;
+    copt.recv_timeout_s = 5;
+    net::Client c(copt);
+    if (c.connect()) c.send_shutdown();
+  }
+  for (ShardProc& sp : shards) {
+    int status = 0;
+    waitpid(sp.pid, &status, 0);
+  }
+
+  // Duplicate detection across the surviving shards' telemetry: a tag
+  // that *executed* (Done with cache Miss/None) more than once anywhere
+  // in the cluster ran twice for real. Replays served from a result
+  // cache show up as Result dispositions and never count; peer fills
+  // are intentional duplicates and are tagged out of the population.
+  std::map<std::string, int> executed;
+  for (const ShardProc& sp : shards) {
+    if (sp.killed) continue;
+    std::FILE* f = std::fopen(sp.telemetry_path.c_str(), "r");
+    if (!f) {
+      std::fprintf(stderr, "cluster: missing telemetry %s\n",
+                   sp.telemetry_path.c_str());
+      continue;
+    }
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      std::string s(line);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+      const auto tab1 = s.find('\t');
+      const auto tab2 = tab1 == std::string::npos ? std::string::npos
+                                                  : s.find('\t', tab1 + 1);
+      if (tab2 == std::string::npos) continue;
+      const std::string tag = s.substr(0, tab1);
+      const std::string status = s.substr(tab1 + 1, tab2 - tab1 - 1);
+      const std::string cache = s.substr(tab2 + 1);
+      if (status != "done") continue;
+      if (cache != "miss" && cache != "none") continue;
+      if (tag.size() >= 9 &&
+          tag.compare(tag.size() - 9, 9, "/peerfill") == 0)
+        continue;
+      ++executed[tag];
+    }
+    std::fclose(f);
+  }
+  for (const auto& [tag, n] : executed)
+    if (n > 1) {
+      std::fprintf(stderr, "cluster: tag %s executed %d times\n", tag.c_str(),
+                   n);
+      ++rr.duplicated;
+    }
+
+  std::vector<double> lat;
+  for (const Rec& r : recs) {
+    r.ok ? ++rr.ok : ++rr.lost;
+    rr.busy_retries += r.busy;
+    rr.reconnects += r.reconnects;
+    if (r.ok) lat.push_back(r.latency_ms);
+    if (r.checked) {
+      ++rr.checked;
+      if (!r.check_passed) ++rr.check_failed;
+    }
+  }
+  rr.p50_ms = util::percentile(lat, 50);
+  rr.p99_ms = util::percentile(lat, 99);
+  rr.throughput = rr.wall_s > 0 ? double(rr.ok) / rr.wall_s : 0;
+  return rr;
+}
+
+void print_run(const char* label, const RunResult& rr) {
+  std::printf("%-10s %4d ok %3d lost %3d dup  %7.1f jobs/s  "
+              "p50 %6.1fms p99 %7.1fms  busy %4ld reconn %3ld  "
+              "routed %llu rerouted %llu fwd_err %llu members %llu\n",
+              label, rr.ok, rr.lost, rr.duplicated, rr.throughput, rr.p50_ms,
+              rr.p99_ms, rr.busy_retries, rr.reconnects,
+              (unsigned long long)rr.router.submits_routed,
+              (unsigned long long)rr.router.rerouted,
+              (unsigned long long)rr.router.forward_errors,
+              (unsigned long long)rr.router.membership_changes);
+}
+
+int run_chaos(const Options& opt, int argc, char** argv) {
+  std::printf("randla_cluster: chaos — %d shards, %d jobs, %d threads, "
+              "spread %d\n",
+              opt.shards, opt.jobs, opt.threads, opt.spread);
+  const RunResult rr = run_scale(opt, opt.shards, /*chaos=*/true);
+  if (!rr.started) return 1;
+  print_run("chaos", rr);
+  std::printf("residual:   %d sampled, %d failed\n", rr.checked,
+              rr.check_failed);
+  std::printf("membership: victim %u, %zu/%d shards live at end, "
+              "%llu membership changes, scrape %s victim-down %s\n",
+              rr.victim, rr.live_end.size(), opt.shards,
+              (unsigned long long)rr.router.membership_changes,
+              rr.stats_scrape_ok ? "ok" : "MISSING",
+              rr.victim_marked_down ? "yes" : "NO");
+
+  bench::JsonReport report("cluster", argc, argv);
+  if (report.enabled()) {
+    report.row("chaos")
+        .set("shards", double(opt.shards))
+        .set("jobs", double(opt.jobs))
+        .set("ok", double(rr.ok))
+        .set("lost", double(rr.lost))
+        .set("duplicated", double(rr.duplicated))
+        .set("busy_retries", double(rr.busy_retries))
+        .set("reconnects", double(rr.reconnects))
+        .set("rerouted", double(rr.router.rerouted))
+        .set("forward_errors", double(rr.router.forward_errors))
+        .set("membership_changes", double(rr.router.membership_changes))
+        .set("peer_fills", double(rr.router.peer_fills))
+        .set("throughput_jps", rr.throughput)
+        .set("p99_ms", rr.p99_ms);
+    if (!report.write()) return 1;
+  }
+
+  bool bad = false;
+  if (rr.lost > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs lost\n", rr.lost);
+    bad = true;
+  }
+  if (rr.duplicated > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs executed more than once\n",
+                 rr.duplicated);
+    bad = true;
+  }
+  if (rr.check_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d residual checks failed\n",
+                 rr.check_failed);
+    bad = true;
+  }
+  if (rr.router.membership_changes < 1) {
+    std::fprintf(stderr, "FAIL: router never recorded the shard death\n");
+    bad = true;
+  }
+  if (rr.live_end.size() != static_cast<std::size_t>(opt.shards) - 1) {
+    std::fprintf(stderr, "FAIL: expected %d live shards, router sees %zu\n",
+                 opt.shards - 1, rr.live_end.size());
+    bad = true;
+  }
+  if (!rr.stats_scrape_ok || !rr.victim_marked_down) {
+    std::fprintf(stderr,
+                 "FAIL: router Stats scrape missing membership metrics\n");
+    bad = true;
+  }
+  return bad ? 1 : 0;
+}
+
+int run_sweep(const Options& opt, int argc, char** argv) {
+  std::vector<int> scales;
+  {
+    std::string tok;
+    for (char c : opt.scales + ",") {
+      if (c == ',') {
+        if (!tok.empty()) scales.push_back(std::atoi(tok.c_str()));
+        tok.clear();
+      } else {
+        tok += c;
+      }
+    }
+  }
+  if (scales.empty()) {
+    std::fprintf(stderr, "cluster: empty --scales\n");
+    return 2;
+  }
+  std::printf("randla_cluster: scales");
+  for (int s : scales) std::printf(" %d", s);
+  std::printf(" — %d jobs, %d threads, spread %d, cache %d/shard\n", opt.jobs,
+              opt.threads, opt.spread, opt.cache);
+
+  std::vector<RunResult> results;
+  for (int s : scales) {
+    RunResult rr = run_scale(opt, s, /*chaos=*/false);
+    if (!rr.started) return 1;
+    const std::string label = std::to_string(s) + " shard" +
+                              (s == 1 ? "" : "s");
+    print_run(label.c_str(), rr);
+    results.push_back(std::move(rr));
+  }
+
+  bench::JsonReport report("cluster", argc, argv);
+  if (report.enabled()) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& rr = results[i];
+      report.row(("scale_" + std::to_string(scales[i])).c_str())
+          .set("shards", double(scales[i]))
+          .set("jobs", double(opt.jobs))
+          .set("ok", double(rr.ok))
+          .set("lost", double(rr.lost))
+          .set("duplicated", double(rr.duplicated))
+          .set("checked", double(rr.checked))
+          .set("check_failed", double(rr.check_failed))
+          .set("busy_retries", double(rr.busy_retries))
+          .set("wall_s", rr.wall_s)
+          .set("throughput_jps", rr.throughput)
+          .set("p50_ms", rr.p50_ms)
+          .set("p99_ms", rr.p99_ms)
+          .set("routed", double(rr.router.submits_routed))
+          .set("spread", double(opt.spread))
+          .set("cache_per_shard", double(opt.cache));
+    }
+    if (results.size() >= 2) {
+      const double base = results.front().throughput;
+      report.row("speedup")
+          .set("scale_lo", double(scales.front()))
+          .set("scale_hi", double(scales.back()))
+          .set("speedup",
+               base > 0 ? results.back().throughput / base : 0.0)
+          .set("p99_ratio", results.front().p99_ms > 0
+                                ? results.back().p99_ms /
+                                      results.front().p99_ms
+                                : 0.0);
+    }
+    if (!report.write()) return 1;
+  }
+
+  bool bad = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& rr = results[i];
+    if (rr.lost > 0 || rr.duplicated > 0 || rr.check_failed > 0 ||
+        !rr.stats_scrape_ok) {
+      std::fprintf(stderr,
+                   "FAIL: scale %d: %d lost, %d duplicated, %d residual "
+                   "failures, scrape %s\n",
+                   scales[i], rr.lost, rr.duplicated, rr.check_failed,
+                   rr.stats_scrape_ok ? "ok" : "missing");
+      bad = true;
+    }
+  }
+  if (opt.min_speedup > 0 && results.size() >= 2) {
+    const double base = results.front().throughput;
+    const double speedup =
+        base > 0 ? results.back().throughput / base : 0.0;
+    std::printf("speedup: %.2fx (%d → %d shards), bound %.2fx\n", speedup,
+                scales.front(), scales.back(), opt.min_speedup);
+    if (speedup < opt.min_speedup) {
+      std::fprintf(stderr, "FAIL: speedup %.2fx below bound %.2fx\n", speedup,
+                   opt.min_speedup);
+      bad = true;
+    }
+  }
+  return bad ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--scales")) opt.scales = need("--scales");
+    else if (!std::strcmp(argv[i], "--shards")) opt.shards = std::atoi(need("--shards"));
+    else if (!std::strcmp(argv[i], "--jobs")) opt.jobs = std::atoi(need("--jobs"));
+    else if (!std::strcmp(argv[i], "--threads")) opt.threads = std::atoi(need("--threads"));
+    else if (!std::strcmp(argv[i], "--workers")) opt.workers = std::atoi(need("--workers"));
+    else if (!std::strcmp(argv[i], "--queue")) opt.queue = std::atoi(need("--queue"));
+    else if (!std::strcmp(argv[i], "--cache")) opt.cache = std::atoi(need("--cache"));
+    else if (!std::strcmp(argv[i], "--spread")) opt.spread = std::atoi(need("--spread"));
+    else if (!std::strcmp(argv[i], "--m")) opt.m = std::atoi(need("--m"));
+    else if (!std::strcmp(argv[i], "--n")) opt.n = std::atoi(need("--n"));
+    else if (!std::strcmp(argv[i], "--check-frac")) opt.check_frac = std::atof(need("--check-frac"));
+    else if (!std::strcmp(argv[i], "--min-speedup")) opt.min_speedup = std::atof(need("--min-speedup"));
+    else if (!std::strcmp(argv[i], "--peer-fill")) opt.peer_fill = std::atoi(need("--peer-fill"));
+    else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--tmp")) opt.tmp = need("--tmp");
+    else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = true;
+    else if (!std::strcmp(argv[i], "--json")) { need("--json"); }  // JsonReport reads argv
+    else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
+  }
+  if (opt.chaos && opt.shards < 2) {
+    std::fprintf(stderr, "cluster: --chaos needs at least 2 shards\n");
+    return 2;
+  }
+  signal(SIGPIPE, SIG_IGN);
+  return opt.chaos ? run_chaos(opt, argc, argv) : run_sweep(opt, argc, argv);
+}

@@ -17,11 +17,19 @@
 // regenerated copy of the input (the request carries a generator spec,
 // so client and server can materialize the identical matrix).
 //
-//   randla_loadgen --port P [--host H] [--jobs N] [--threads T]
+//   randla_loadgen --port P[,P2,...] [--host H] [--jobs N] [--threads T]
 //                  [--rate JOBS_PER_S] [--m M] [--n N] [--check-frac F]
 //                  [--inline-frac F] [--spread N] [--max-p99-ms X]
 //                  [--expect-busy] [--shutdown] [--json PATH]
 //                  [--check-stats]
+//
+// --port accepts a comma-separated endpoint list (e.g. the per-shard
+// ports of a cluster, or a router next to a direct shard): worker
+// thread t drives endpoint t mod E for the whole run, and the summary
+// and JSON report break ok/throughput/Busy-retry counts and latency
+// percentiles out per endpoint alongside the whole-run aggregate.
+// --check-stats requires a single endpoint (the strict counter
+// comparison is per-server).
 //   randla_loadgen --chaos SCHEDULE [--seed N] [--jobs N] [--threads T]
 //                  [--m M] [--n N] [--check-frac F] [--spread N]
 //
@@ -75,7 +83,7 @@ namespace {
 
 struct Options {
   std::string host = "127.0.0.1";
-  int port = 0;
+  std::vector<int> ports;
   int jobs = 200;
   int threads = 4;
   double rate = 0;        // jobs/s; 0 = closed loop
@@ -102,12 +110,28 @@ std::string sanitize_key(const std::string& name) {
 
 struct JobRecord {
   char kind = 'f';        // 'f' fixed-rank, 'a' adaptive, 'q' qrcp
+  int endpoint = 0;       // index into Options::ports
   double latency_ms = 0;
   int busy_retries = 0;
   bool ok = false;
   bool checked = false;
   bool check_passed = true;
 };
+
+/// "7000,7001,7002" → {7000, 7001, 7002}; empty/garbage entries reject.
+std::vector<int> parse_ports(const std::string& list) {
+  std::vector<int> ports;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string item = list.substr(pos, comma - pos);
+    const int port = std::atoi(item.c_str());
+    if (port <= 0 || port > 65535) return {};
+    ports.push_back(port);
+    pos = comma + 1;
+  }
+  return ports;
+}
 
 /// Deterministic request for job index i: the mix rotates through a few
 /// generator specs so the server's matrix memo and the scheduler's
@@ -490,7 +514,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--host")) opt.host = need("--host");
-    else if (!std::strcmp(argv[i], "--port")) opt.port = std::atoi(need("--port"));
+    else if (!std::strcmp(argv[i], "--port")) opt.ports = parse_ports(need("--port"));
     else if (!std::strcmp(argv[i], "--jobs")) opt.jobs = std::atoi(need("--jobs"));
     else if (!std::strcmp(argv[i], "--threads")) opt.threads = std::atoi(need("--threads"));
     else if (!std::strcmp(argv[i], "--rate")) opt.rate = std::atof(need("--rate"));
@@ -509,15 +533,26 @@ int main(int argc, char** argv) {
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
   if (!opt.chaos.empty()) return run_chaos(opt);  // hosts its own loopback
-  if (opt.port <= 0) {
+  if (opt.ports.empty()) {
     std::fprintf(stderr,
-                 "usage: randla_loadgen --port P [flags]\n"
+                 "usage: randla_loadgen --port P[,P2,...] [flags]\n"
                  "       randla_loadgen --chaos SCHEDULE [--seed N] [flags]\n");
     return 2;
   }
+  const int num_endpoints = static_cast<int>(opt.ports.size());
+  if (opt.check_stats && num_endpoints > 1) {
+    std::fprintf(stderr,
+                 "loadgen: --check-stats needs a single endpoint (jobs split "
+                 "across %d)\n",
+                 num_endpoints);
+    return 2;
+  }
 
-  std::printf("randla_loadgen: %d jobs → %s:%d, %d threads, %s\n", opt.jobs,
-              opt.host.c_str(), opt.port, opt.threads,
+  std::string endpoints;
+  for (int e = 0; e < num_endpoints; ++e)
+    endpoints += (e ? "," : "") + std::to_string(opt.ports[size_t(e)]);
+  std::printf("randla_loadgen: %d jobs → %s:%s, %d threads, %s\n", opt.jobs,
+              opt.host.c_str(), endpoints.c_str(), opt.threads,
               opt.rate > 0 ? "open loop" : "closed loop");
 
   std::vector<JobRecord> records(static_cast<std::size_t>(opt.jobs));
@@ -531,12 +566,16 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
 
   auto worker = [&](int widx) {
+    // Thread → endpoint assignment is static round-robin: every endpoint
+    // gets the same thread count when threads % endpoints == 0, and the
+    // per-endpoint accounting below stays a clean partition of the run.
+    const int endpoint = widx % num_endpoints;
     net::ClientOptions copt;
     copt.host = opt.host;
-    copt.port = static_cast<std::uint16_t>(opt.port);
+    copt.port = static_cast<std::uint16_t>(opt.ports[size_t(endpoint)]);
     net::Client client(copt);
     if (!client.connect()) {
-      std::fprintf(stderr, "loadgen[%d]: %s\n", widx,
+      std::fprintf(stderr, "loadgen[%d→:%d]: %s\n", widx, copt.port,
                    client.last_error().c_str());
       transport_failures.fetch_add(1);
       return;
@@ -547,6 +586,7 @@ int main(int argc, char** argv) {
       net::JobRequest req = build_request(opt, i);
       maybe_inline(req, opt, i);
       JobRecord& rec = records[static_cast<std::size_t>(i)];
+      rec.endpoint = endpoint;
       rec.kind = req.kind == runtime::JobKind::FixedRank ? 'f'
                  : req.kind == runtime::JobKind::Adaptive ? 'a'
                                                           : 'q';
@@ -605,15 +645,25 @@ int main(int argc, char** argv) {
   int ok = 0, failed = 0, busy_events = 0, checked = 0, check_failed = 0;
   std::vector<double> lat_all;
   std::vector<double> lat_by_kind[3];  // f, a, q
+  struct EndpointAgg {
+    int ok = 0, failed = 0, busy_retries = 0;
+    std::vector<double> lat;
+  };
+  std::vector<EndpointAgg> by_endpoint(static_cast<std::size_t>(num_endpoints));
   for (const JobRecord& r : records) {
     busy_events += r.busy_retries;
+    EndpointAgg& ep = by_endpoint[static_cast<std::size_t>(r.endpoint)];
+    ep.busy_retries += r.busy_retries;
     if (r.ok) {
       ++ok;
+      ++ep.ok;
       lat_all.push_back(r.latency_ms);
+      ep.lat.push_back(r.latency_ms);
       const int ki = r.kind == 'f' ? 0 : r.kind == 'a' ? 1 : 2;
       lat_by_kind[ki].push_back(r.latency_ms);
     } else {
       ++failed;
+      ++ep.failed;
     }
     if (r.checked) {
       ++checked;
@@ -631,28 +681,46 @@ int main(int argc, char** argv) {
   std::printf("latency ms:  p50 %.1f  p90 %.1f  p99 %.1f\n", p50, p90, p99);
   std::printf("backpressure: %d busy replies honored\n", busy_events);
   std::printf("residual:    %d sampled, %d failed\n", checked, check_failed);
+  if (num_endpoints > 1) {
+    // The partition of the whole-run aggregate: each endpoint's ok
+    // count, throughput share of the same wall clock, Busy-retry burden,
+    // and latency tail.
+    for (int e = 0; e < num_endpoints; ++e) {
+      const EndpointAgg& ep = by_endpoint[static_cast<std::size_t>(e)];
+      std::printf("endpoint :%-5d %4d ok %3d failed  %.1f jobs/s  busy %d  "
+                  "p50 %.1fms p99 %.1fms\n",
+                  opt.ports[static_cast<std::size_t>(e)], ep.ok, ep.failed,
+                  wall_s > 0 ? double(ep.ok) / wall_s : 0, ep.busy_retries,
+                  util::percentile(ep.lat, 50), util::percentile(ep.lat, 99));
+    }
+  }
 
-  // Scrape the server's live metrics over the wire (before any
+  // Scrape each endpoint's live metrics over the wire (before any
   // shutdown) and hold them for the report + cross-check below.
-  std::optional<net::StatsReply> server_stats;
-  {
+  std::vector<std::optional<net::StatsReply>> endpoint_stats(
+      static_cast<std::size_t>(num_endpoints));
+  for (int e = 0; e < num_endpoints; ++e) {
     net::ClientOptions copt;
     copt.host = opt.host;
-    copt.port = static_cast<std::uint16_t>(opt.port);
+    copt.port = static_cast<std::uint16_t>(opt.ports[static_cast<std::size_t>(e)]);
     net::Client sc(copt);
-    if (sc.connect()) server_stats = sc.stats();
-    if (!server_stats)
-      std::fprintf(stderr, "loadgen: stats scrape failed: %s\n",
-                   sc.last_error().c_str());
+    if (sc.connect()) endpoint_stats[static_cast<std::size_t>(e)] = sc.stats();
+    if (!endpoint_stats[static_cast<std::size_t>(e)])
+      std::fprintf(stderr, "loadgen: stats scrape of :%d failed: %s\n",
+                   int(copt.port), sc.last_error().c_str());
   }
-  if (server_stats) {
-    std::printf("server:      %.0f submitted, %.0f busy, %.0f completed, "
+  const std::optional<net::StatsReply>& server_stats = endpoint_stats[0];
+  for (int e = 0; e < num_endpoints; ++e) {
+    const auto& st = endpoint_stats[static_cast<std::size_t>(e)];
+    if (!st) continue;
+    std::printf("server :%-5d %.0f submitted, %.0f busy, %.0f completed, "
                 "%.0f protocol errors, %.0f dropped\n",
-                server_stats->value("server_jobs_submitted"),
-                server_stats->value("server_jobs_busy"),
-                server_stats->value("server_jobs_completed"),
-                server_stats->value("server_protocol_errors"),
-                server_stats->value("server_results_dropped"));
+                opt.ports[static_cast<std::size_t>(e)],
+                st->value("server_jobs_submitted"),
+                st->value("server_jobs_busy"),
+                st->value("server_jobs_completed"),
+                st->value("server_protocol_errors"),
+                st->value("server_results_dropped"));
   }
 
   bench::JsonReport report("serving", argc, argv);
@@ -679,11 +747,25 @@ int main(int argc, char** argv) {
           .set("p50_ms", util::percentile(lat_by_kind[ki], 50))
           .set("p99_ms", util::percentile(lat_by_kind[ki], 99));
     }
-    if (server_stats) {
+    for (int e = 0; e < num_endpoints; ++e) {
+      const EndpointAgg& ep = by_endpoint[static_cast<std::size_t>(e)];
+      report.row("endpoint")
+          .set("port", double(opt.ports[static_cast<std::size_t>(e)]))
+          .set("ok", double(ep.ok))
+          .set("failed", double(ep.failed))
+          .set("busy_retries", double(ep.busy_retries))
+          .set("throughput_jps", wall_s > 0 ? double(ep.ok) / wall_s : 0)
+          .set("p50_ms", util::percentile(ep.lat, 50))
+          .set("p99_ms", util::percentile(ep.lat, 99));
+    }
+    for (int e = 0; e < num_endpoints; ++e) {
+      const auto& st = endpoint_stats[static_cast<std::size_t>(e)];
+      if (!st) continue;
       // Embed the scrape (label-free series only: labeled names would
       // collapse to ambiguous keys after sanitizing).
       auto& row = report.row("server_stats");
-      for (const auto& [name, v] : server_stats->metrics)
+      row.set("port", double(opt.ports[static_cast<std::size_t>(e)]));
+      for (const auto& [name, v] : st->metrics)
         if (name.find('{') == std::string::npos)
           row.set(sanitize_key(name).c_str(), v);
     }
@@ -691,12 +773,14 @@ int main(int argc, char** argv) {
   }
 
   if (opt.send_shutdown) {
-    net::ClientOptions copt;
-    copt.host = opt.host;
-    copt.port = static_cast<std::uint16_t>(opt.port);
-    net::Client client(copt);
-    if (client.connect() && client.send_shutdown())
-      std::printf("sent shutdown\n");
+    for (int port : opt.ports) {
+      net::ClientOptions copt;
+      copt.host = opt.host;
+      copt.port = static_cast<std::uint16_t>(port);
+      net::Client client(copt);
+      if (client.connect() && client.send_shutdown())
+        std::printf("sent shutdown to :%d\n", port);
+    }
   }
 
   // Self-check exit code (CI smoke contract).

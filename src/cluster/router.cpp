@@ -1,0 +1,1173 @@
+#include "cluster/router.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "net/protocol.hpp"
+#include "net/socket_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace randla::cluster {
+
+namespace {
+
+/// A pipelining client may queue at most this many submits behind the
+/// active exchange before the connection is poisoned (net::Client is
+/// strictly serial, so any depth here is already unusual).
+constexpr std::size_t kMaxPendingSubmits = 64;
+
+/// Placement attempts per exchange. Each synchronous connect failure
+/// charges the shard's breaker, so with failure_threshold = 2 the loop
+/// provably either lands on a live shard or empties the ring.
+constexpr int kMaxPlacementTries = 4;
+
+/// Forget per-key hotness counts past this many distinct keys (peer
+/// fill is a heuristic; unbounded exact counts are not worth the RAM).
+constexpr std::size_t kMaxHotKeys = 65536;
+
+}  // namespace
+
+struct Router::Impl {
+  RouterOptions opts;
+
+  int listen_fd = -1;
+  int wake_r = -1, wake_w = -1;
+  std::uint16_t bound_port = 0;
+  std::thread thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> loop_alive{false};
+  std::atomic<bool> stop_requested{false};
+  std::mutex join_mu;
+
+  mutable std::mutex stats_mu;
+  RouterStats stats;
+  std::vector<ShardView> views_snapshot;  ///< refreshed by the loop
+
+  /// Fleet counters in the global obs registry (the per-instance
+  /// RouterStats mirror stays exact; these aggregate for /metrics).
+  struct ObsCounters {
+    obs::Counter routed, rerouted, forward_errors, peer_fills, probes_failed,
+        membership_changes, busy_relayed;
+    obs::Gauge shards_live;
+  } obs_;
+
+  // --- downstream (client side) ---------------------------------------
+  struct PendingSubmit {
+    std::vector<std::uint8_t> frame;  ///< full wire frame (header+payload)
+    std::uint64_t key = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+  };
+  struct Down {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;
+    double last_active = 0;
+    bool close_after_flush = false;
+    std::uint64_t active_x = 0;  ///< exchange streaming to this client
+    std::deque<PendingSubmit> pending;
+  };
+  std::map<std::uint64_t, Down> downs;
+  std::uint64_t next_down_id = 1;
+
+  // --- upstream (shard side) ------------------------------------------
+  struct Up {
+    int fd = -1;
+    std::uint32_t shard = 0;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t woff = 0;
+    std::uint64_t x = 0;  ///< bound exchange (0 = idle or probe)
+    bool probe = false;
+    double probe_start = 0;
+  };
+  std::map<std::uint64_t, Up> ups;
+  std::uint64_t next_up_id = 1;
+
+  struct Exchange {
+    std::uint64_t down = 0;  ///< 0 = detached (peer fill / client gone)
+    std::uint64_t up = 0;
+    std::uint32_t shard = 0;
+    std::uint64_t key = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+    bool forwarded = false;  ///< any frame already relayed downstream
+    bool discard = false;    ///< swallow result frames (peer fill)
+    int reroutes = 0;
+    std::vector<std::uint8_t> frame;  ///< submit frame for (re)send
+  };
+  std::map<std::uint64_t, Exchange> exchanges;
+  std::uint64_t next_x_id = 1;
+
+  struct ShardState {
+    ShardEndpoint ep;
+    fault::CircuitBreaker breaker;
+    bool in_ring = false;
+    std::uint64_t submits = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t failures = 0;
+    std::vector<std::uint64_t> idle;   ///< idle pooled upstream conn ids
+    std::uint64_t probing_uid = 0;     ///< outstanding probe conn (0 = none)
+    double last_probe = -1e18;
+  };
+  std::vector<ShardState> shards;
+  HashRing ring;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> hot;  ///< key → submits
+  std::deque<std::uint64_t> failed_ups;  ///< worklist (no recursion)
+
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+
+  explicit Impl(RouterOptions o)
+      : opts(std::move(o)), ring(RingOptions{opts.vnodes}) {
+    for (std::size_t i = 0; i < opts.shards.size(); ++i) {
+      ShardState s;
+      s.ep = opts.shards[i];
+      s.breaker = fault::CircuitBreaker(opts.breaker);
+      s.in_ring = true;
+      shards.push_back(std::move(s));
+      ring.add(static_cast<std::uint32_t>(i));
+    }
+    auto& g = obs::Registry::global();
+    obs_.routed =
+        g.counter("cluster_submits_routed_total", "submits placed on shards");
+    obs_.rerouted =
+        g.counter("cluster_rerouted_total", "exchanges moved to a new owner");
+    obs_.forward_errors = g.counter("cluster_forward_errors_total",
+                                    "upstream conns died mid-exchange");
+    obs_.peer_fills =
+        g.counter("cluster_peer_fills_total", "hot keys copied to successor");
+    obs_.probes_failed =
+        g.counter("cluster_probes_failed_total", "failed HealthCheck probes");
+    obs_.membership_changes = g.counter("cluster_membership_changes_total",
+                                        "ring evictions + readmissions");
+    obs_.busy_relayed =
+        g.counter("cluster_busy_relayed_total", "shard Busy hints forwarded");
+    obs_.shards_live = g.gauge("cluster_shards_live", "shards in the ring");
+    obs_.shards_live.set(double(shards.size()));
+  }
+
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  void bump(std::uint64_t RouterStats::* field, std::uint64_t by = 1) {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    stats.*field += by;
+  }
+
+  // Event loop.
+  void loop();
+  void accept_ready();
+  void snapshot_views();
+
+  // Downstream.
+  void read_down(std::uint64_t cid);
+  void process_down_input(std::uint64_t cid);
+  void dispatch_down(std::uint64_t cid, net::FrameType type,
+                     const std::uint8_t* frame, std::size_t frame_len);
+  void handle_submit(std::uint64_t cid, const std::uint8_t* frame,
+                     std::size_t frame_len);
+  void handle_stats(std::uint64_t cid);
+  void handle_health(std::uint64_t cid);
+  void queue_down(Down& d, std::vector<std::uint8_t> frame);
+  void relay_down(std::uint64_t cid, const std::uint8_t* frame,
+                  std::size_t len);
+  bool flush_down(Down& d);
+  void drop_down(std::uint64_t cid);
+
+  // Upstream + exchanges.
+  void start_exchange(std::uint64_t cid, PendingSubmit ps);
+  void start_peer_fill(const net::JobRequest& req, std::uint64_t key);
+  bool place(std::uint64_t xid);
+  bool bind_to_shard(std::uint64_t xid, std::uint32_t shard);
+  std::uint64_t take_upstream(std::uint32_t shard);
+  void release_upstream(std::uint64_t uid);
+  void read_up(std::uint64_t uid);
+  void process_up_input(std::uint64_t uid);
+  bool handle_up_frame(std::uint64_t uid, const net::FrameHeader& hdr,
+                       const std::uint8_t* frame, std::size_t frame_len);
+  void finish_exchange(std::uint64_t xid);
+  bool flush_up(Up& u);
+  void close_up(std::uint64_t uid);
+  void fail_up(std::uint64_t uid) { failed_ups.push_back(uid); }
+  void process_failed_ups();
+  void handle_one_up_failure(std::uint64_t uid);
+
+  // Membership.
+  void shard_failure(std::uint32_t shard);
+  void probe_ok(std::uint32_t shard);
+  void maybe_probe(double t);
+  void broadcast_shutdown();
+};
+
+// ---------------------------------------------------------------------
+
+Router::Router(RouterOptions opts) : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Router::~Router() { stop(); }
+
+std::uint16_t Router::port() const { return impl_->bound_port; }
+
+bool Router::running() const { return impl_->loop_alive.load(); }
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  return impl_->stats;
+}
+
+std::vector<ShardView> Router::shard_views() const {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  return impl_->views_snapshot;
+}
+
+std::vector<std::uint32_t> Router::live_shards() const {
+  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  std::vector<std::uint32_t> out;
+  for (const ShardView& v : impl_->views_snapshot)
+    if (v.in_ring) out.push_back(v.shard);
+  return out;
+}
+
+bool Router::start() {
+  if (impl_->started.load()) return true;
+  std::string err;
+  impl_->listen_fd = net::listen_tcp(impl_->opts.bind_addr, impl_->opts.port,
+                                     /*backlog=*/64, &impl_->bound_port, &err);
+  if (impl_->listen_fd < 0) {
+    std::fprintf(stderr, "cluster: %s\n", err.c_str());
+    return false;
+  }
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+  impl_->wake_r = pipefd[0];
+  impl_->wake_w = pipefd[1];
+  net::set_nonblocking(impl_->wake_r);
+  impl_->started.store(true);
+  impl_->loop_alive.store(true);
+  impl_->snapshot_views();
+  impl_->thread = std::thread([this] { impl_->loop(); });
+  return true;
+}
+
+void Router::stop() {
+  if (!impl_->started.load()) return;
+  impl_->stop_requested.store(true);
+  {
+    std::lock_guard<std::mutex> lk(impl_->join_mu);
+    if (impl_->wake_w >= 0) {
+      const char b = 1;
+      ssize_t ignored = write(impl_->wake_w, &b, 1);
+      (void)ignored;
+    }
+  }
+  wait();
+}
+
+void Router::wait() {
+  std::lock_guard<std::mutex> lk(impl_->join_mu);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->wake_r >= 0) {
+    close(impl_->wake_r);
+    impl_->wake_r = -1;
+  }
+  if (impl_->wake_w >= 0) {
+    close(impl_->wake_w);
+    impl_->wake_w = -1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Event loop.
+
+void Router::Impl::loop() {
+  bool draining = false;
+  double drain_start = 0;
+  for (;;) {
+    if (stop_requested.load() && !draining) {
+      draining = true;
+      drain_start = now();
+      if (listen_fd >= 0) {
+        close(listen_fd);
+        listen_fd = -1;
+      }
+    }
+    if (draining) {
+      bool pending_writes = false;
+      for (const auto& [id, d] : downs)
+        if (d.woff < d.wbuf.size()) pending_writes = true;
+      bool live_exchanges = !exchanges.empty();
+      if ((!live_exchanges && !pending_writes) ||
+          now() - drain_start > opts.drain_timeout_s)
+        break;
+    }
+
+    std::vector<pollfd> fds;
+    // kind: 0 = listener/wake, 1 = down, 2 = up.
+    std::vector<std::pair<int, std::uint64_t>> fd_ref;
+    if (listen_fd >= 0) {
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+      fd_ref.emplace_back(0, 0);
+    }
+    fds.push_back(pollfd{wake_r, POLLIN, 0});
+    fd_ref.emplace_back(0, 0);
+    for (auto& [id, d] : downs) {
+      short ev = POLLIN;
+      if (d.woff < d.wbuf.size()) ev |= POLLOUT;
+      fds.push_back(pollfd{d.fd, ev, 0});
+      fd_ref.emplace_back(1, id);
+    }
+    for (auto& [id, u] : ups) {
+      short ev = POLLIN;
+      if (u.woff < u.wbuf.size()) ev |= POLLOUT;
+      fds.push_back(pollfd{u.fd, ev, 0});
+      fd_ref.emplace_back(2, id);
+    }
+
+    const int rc = poll(fds.data(), fds.size(), 20);
+    if (rc < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_r) {
+        char buf[64];
+        while (read(wake_r, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (fds[i].fd == listen_fd) {
+        accept_ready();
+        continue;
+      }
+      const auto [kind, id] = fd_ref[i];
+      if (kind == 1) {
+        if (!downs.count(id)) continue;
+        if (fds[i].revents & (POLLERR | POLLNVAL)) {
+          drop_down(id);
+          continue;
+        }
+        if (fds[i].revents & (POLLIN | POLLHUP)) read_down(id);
+        if (downs.count(id) && (fds[i].revents & POLLOUT)) {
+          if (!flush_down(downs[id])) drop_down(id);
+        }
+      } else if (kind == 2) {
+        if (!ups.count(id)) continue;
+        if (fds[i].revents & (POLLERR | POLLNVAL)) {
+          fail_up(id);
+          continue;
+        }
+        if (fds[i].revents & (POLLIN | POLLHUP)) read_up(id);
+        if (ups.count(id) && (fds[i].revents & POLLOUT)) {
+          if (!flush_up(ups[id])) fail_up(id);
+        }
+      }
+    }
+    process_failed_ups();
+
+    // Kick pending upstream writes that never saw a POLLOUT (a frame
+    // queued this cycle on a fresh conn is flushed here, not next cycle).
+    for (auto& [id, u] : ups)
+      if (u.woff < u.wbuf.size() && !flush_up(u)) fail_up(id);
+    process_failed_ups();
+
+    const double t = now();
+    if (!draining) maybe_probe(t);
+
+    // Close flushed-poisoned and idle downstream conns.
+    std::vector<std::uint64_t> doomed;
+    for (auto& [id, d] : downs) {
+      const bool flushed = d.woff >= d.wbuf.size();
+      if (d.close_after_flush && flushed) doomed.push_back(id);
+      else if (!draining && opts.idle_timeout_s > 0 && d.active_x == 0 &&
+               d.pending.empty() && flushed &&
+               t - d.last_active > opts.idle_timeout_s)
+        doomed.push_back(id);
+    }
+    for (std::uint64_t id : doomed) drop_down(id);
+
+    snapshot_views();
+  }
+
+  for (auto& [id, d] : downs) close(d.fd);
+  downs.clear();
+  for (auto& [id, u] : ups) close(u.fd);
+  ups.clear();
+  exchanges.clear();
+  if (listen_fd >= 0) {
+    close(listen_fd);
+    listen_fd = -1;
+  }
+  snapshot_views();
+  loop_alive.store(false);
+}
+
+void Router::Impl::snapshot_views() {
+  const double t = now();
+  std::vector<ShardView> views;
+  views.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardView v;
+    v.shard = static_cast<std::uint32_t>(i);
+    v.in_ring = shards[i].in_ring;
+    v.breaker = shards[i].breaker.state(t);
+    v.submits = shards[i].submits;
+    v.busy = shards[i].busy;
+    v.failures = shards[i].failures;
+    views.push_back(v);
+  }
+  std::lock_guard<std::mutex> lk(stats_mu);
+  views_snapshot = std::move(views);
+}
+
+void Router::Impl::accept_ready() {
+  for (;;) {
+    const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;
+    if (static_cast<int>(downs.size()) >= opts.max_connections) {
+      const auto frame = net::encode_error(net::ErrorReply{
+          0, net::ErrorCode::ServerFull, "router connection cap reached"});
+      ssize_t ignored = send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      close(fd);
+      bump(&RouterStats::conns_refused);
+      continue;
+    }
+    net::set_tcp_nodelay(fd);
+    Down d;
+    d.fd = fd;
+    d.last_active = now();
+    downs.emplace(next_down_id++, std::move(d));
+    bump(&RouterStats::conns_accepted);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Downstream.
+
+void Router::Impl::read_down(std::uint64_t cid) {
+  Down& d = downs[cid];
+  std::uint8_t buf[65536];
+  bool peer_gone = false;
+  for (;;) {
+    if (d.rbuf.size() > opts.max_frame_bytes + net::kHeaderBytes) break;
+    const ssize_t n = recv(d.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      d.rbuf.insert(d.rbuf.end(), buf, buf + n);
+      d.last_active = now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    peer_gone = true;
+    break;
+  }
+  process_down_input(cid);
+  if (peer_gone) drop_down(cid);
+}
+
+void Router::Impl::process_down_input(std::uint64_t cid) {
+  std::size_t off = 0;
+  while (downs.count(cid)) {
+    Down& d = downs[cid];
+    if (d.close_after_flush) break;
+    net::FrameHeader hdr;
+    const net::HeaderStatus hs =
+        net::peek_header(d.rbuf.data() + off, d.rbuf.size() - off, &hdr,
+                         opts.max_frame_bytes);
+    if (hs == net::HeaderStatus::NeedMore) break;
+    if (hs != net::HeaderStatus::Ok) {
+      bump(&RouterStats::protocol_errors);
+      const auto code = hs == net::HeaderStatus::TooLarge
+                            ? net::ErrorCode::TooLarge
+                            : net::ErrorCode::BadFrame;
+      queue_down(d, net::encode_error(
+                        net::ErrorReply{0, code, "malformed frame"}));
+      d.close_after_flush = true;
+      d.rbuf.clear();
+      off = 0;
+      break;
+    }
+    if (d.rbuf.size() - off - net::kHeaderBytes < hdr.payload_len) break;
+    bump(&RouterStats::frames_in);
+    dispatch_down(cid, hdr.type, d.rbuf.data() + off,
+                  net::kHeaderBytes + hdr.payload_len);
+    off += net::kHeaderBytes + hdr.payload_len;
+  }
+  if (downs.count(cid)) {
+    Down& d = downs[cid];
+    if (off > 0) d.rbuf.erase(d.rbuf.begin(), d.rbuf.begin() + off);
+    if (!flush_down(d)) drop_down(cid);
+  }
+}
+
+void Router::Impl::dispatch_down(std::uint64_t cid, net::FrameType type,
+                                 const std::uint8_t* frame,
+                                 std::size_t frame_len) {
+  Down& d = downs[cid];
+  const std::uint8_t* payload = frame + net::kHeaderBytes;
+  const std::size_t len = frame_len - net::kHeaderBytes;
+  switch (type) {
+    case net::FrameType::Submit:
+      handle_submit(cid, frame, frame_len);
+      return;
+    case net::FrameType::Ping: {
+      if (auto nonce = net::decode_ping(payload, len)) {
+        queue_down(d, net::encode_pong(*nonce));
+      } else {
+        bump(&RouterStats::protocol_errors);
+        queue_down(d, net::encode_error(net::ErrorReply{
+                          0, net::ErrorCode::BadFrame, "bad ping"}));
+      }
+      return;
+    }
+    case net::FrameType::Stats:
+      handle_stats(cid);
+      return;
+    case net::FrameType::HealthCheck:
+      handle_health(cid);
+      return;
+    case net::FrameType::Shutdown:
+      if (opts.allow_remote_shutdown) {
+        // Cluster-wide drain: tell every live shard to drain, then drain
+        // the router itself. The shards' own in-flight results still
+        // stream back through exchanges already open.
+        broadcast_shutdown();
+        stop_requested.store(true);
+      } else {
+        queue_down(d, net::encode_error(net::ErrorReply{
+                          0, net::ErrorCode::BadRequest,
+                          "shutdown not allowed"}));
+      }
+      return;
+    default:
+      bump(&RouterStats::protocol_errors);
+      queue_down(d, net::encode_error(net::ErrorReply{
+                        0, net::ErrorCode::BadFrame,
+                        "unexpected frame type"}));
+      d.close_after_flush = true;
+      return;
+  }
+}
+
+void Router::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* frame,
+                                 std::size_t frame_len) {
+  Down& d = downs[cid];
+  auto req = net::decode_submit(frame + net::kHeaderBytes,
+                                frame_len - net::kHeaderBytes);
+  if (!req) {
+    bump(&RouterStats::protocol_errors);
+    queue_down(d, net::encode_error(net::ErrorReply{
+                      0, net::ErrorCode::BadRequest, "malformed submit"}));
+    return;
+  }
+  if (stop_requested.load()) {
+    queue_down(d, net::encode_error(net::ErrorReply{
+                      req->request_id, net::ErrorCode::ShuttingDown,
+                      "router draining"}));
+    return;
+  }
+  // The router hop gets its own span under the client's trace id, so a
+  // traced request chains client.call → router.route → net.submit.
+  obs::Span span("router.route", "cluster", req->trace_id);
+  PendingSubmit ps;
+  ps.frame.assign(frame, frame + frame_len);
+  ps.key = routing_key(*req);
+  ps.request_id = req->request_id;
+  ps.trace_id = req->trace_id;
+
+  // Peer-fill bookkeeping: every `threshold`-th routed submit of a key
+  // re-warms the successor shard's caches with a duplicated request.
+  if (opts.peer_fill_threshold > 0) {
+    if (hot.size() > kMaxHotKeys) hot.clear();
+    const std::uint32_t n = ++hot[ps.key];
+    if (n % static_cast<std::uint32_t>(opts.peer_fill_threshold) == 0)
+      start_peer_fill(*req, ps.key);
+  }
+
+  if (d.active_x != 0) {
+    if (d.pending.size() >= kMaxPendingSubmits) {
+      bump(&RouterStats::protocol_errors);
+      queue_down(d, net::encode_error(net::ErrorReply{
+                        req->request_id, net::ErrorCode::BadRequest,
+                        "submit pipeline too deep"}));
+      d.close_after_flush = true;
+      return;
+    }
+    d.pending.push_back(std::move(ps));
+    return;
+  }
+  start_exchange(cid, std::move(ps));
+}
+
+void Router::Impl::handle_stats(std::uint64_t cid) {
+  Down& d = downs[cid];
+  net::StatsReply s;
+  auto& m = s.metrics;
+  RouterStats st;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    st = stats;
+  }
+  m.emplace_back("router_conns_accepted", double(st.conns_accepted));
+  m.emplace_back("router_conns_refused", double(st.conns_refused));
+  m.emplace_back("router_frames_in", double(st.frames_in));
+  m.emplace_back("router_protocol_errors", double(st.protocol_errors));
+  m.emplace_back("router_submits_routed", double(st.submits_routed));
+  m.emplace_back("router_results_relayed", double(st.results_relayed));
+  m.emplace_back("router_busy_relayed", double(st.busy_relayed));
+  m.emplace_back("router_errors_relayed", double(st.errors_relayed));
+  m.emplace_back("router_forward_errors", double(st.forward_errors));
+  m.emplace_back("router_rerouted", double(st.rerouted));
+  m.emplace_back("router_clients_dropped", double(st.clients_dropped));
+  m.emplace_back("router_peer_fills", double(st.peer_fills));
+  m.emplace_back("router_probes_ok", double(st.probes_ok));
+  m.emplace_back("router_probes_failed", double(st.probes_failed));
+  m.emplace_back("cluster_membership_changes", double(st.membership_changes));
+  m.emplace_back("cluster_shards_total", double(shards.size()));
+  m.emplace_back("cluster_shards_live", double(ring.size()));
+  const double t = now();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::string tag = "{shard=\"" + std::to_string(i) + "\"}";
+    m.emplace_back("cluster_shard_up" + tag, shards[i].in_ring ? 1.0 : 0.0);
+    m.emplace_back("cluster_shard_breaker_state" + tag,
+                   double(static_cast<int>(shards[i].breaker.state(t))));
+    m.emplace_back("cluster_shard_submits" + tag, double(shards[i].submits));
+    m.emplace_back("cluster_shard_busy" + tag, double(shards[i].busy));
+    m.emplace_back("cluster_shard_failures" + tag, double(shards[i].failures));
+  }
+  // Global registry (router-process obs counters), capped at the wire
+  // limit like the server's scrape.
+  for (const auto& [name, v] : obs::Registry::global().scrape().flatten()) {
+    if (m.size() >= net::kMaxStatsEntries) break;
+    if (name.size() > net::kMaxStatsNameBytes) continue;
+    m.emplace_back(name, v);
+  }
+  queue_down(d, net::encode_stats_reply(s));
+}
+
+void Router::Impl::handle_health(std::uint64_t cid) {
+  Down& d = downs[cid];
+  net::HealthReply h;
+  h.serving = !stop_requested.load();
+  h.total_devices = static_cast<std::uint32_t>(shards.size());
+  h.healthy_devices = static_cast<std::uint32_t>(ring.size());
+  std::size_t queued = 0;
+  for (const auto& [id, dn] : downs) queued += dn.pending.size();
+  h.queue_depth = static_cast<std::uint32_t>(queued);
+  h.inflight = static_cast<std::uint32_t>(exchanges.size());
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    h.devices.push_back(net::DeviceHealth{static_cast<std::uint32_t>(i),
+                                          shards[i].in_ring,
+                                          shards[i].submits, 0.0});
+  queue_down(d, net::encode_health_reply(h));
+}
+
+void Router::Impl::queue_down(Down& d, std::vector<std::uint8_t> frame) {
+  if (d.woff > 0) {
+    d.wbuf.erase(d.wbuf.begin(), d.wbuf.begin() + d.woff);
+    d.woff = 0;
+  }
+  d.wbuf.insert(d.wbuf.end(), frame.begin(), frame.end());
+}
+
+void Router::Impl::relay_down(std::uint64_t cid, const std::uint8_t* frame,
+                              std::size_t len) {
+  auto it = downs.find(cid);
+  if (it == downs.end()) return;
+  Down& d = it->second;
+  if (d.woff > 0) {
+    d.wbuf.erase(d.wbuf.begin(), d.wbuf.begin() + d.woff);
+    d.woff = 0;
+  }
+  d.wbuf.insert(d.wbuf.end(), frame, frame + len);
+  if (!flush_down(d)) drop_down(cid);
+}
+
+bool Router::Impl::flush_down(Down& d) {
+  while (d.woff < d.wbuf.size()) {
+    const ssize_t n = send(d.fd, d.wbuf.data() + d.woff,
+                           d.wbuf.size() - d.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      d.woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+void Router::Impl::drop_down(std::uint64_t cid) {
+  auto it = downs.find(cid);
+  if (it == downs.end()) return;
+  // Detach the in-flight exchange: the upstream keeps streaming into the
+  // void so its connection state machine stays frame-aligned, then the
+  // conn returns to the pool.
+  if (it->second.active_x != 0) {
+    auto xit = exchanges.find(it->second.active_x);
+    if (xit != exchanges.end()) {
+      xit->second.down = 0;
+      xit->second.discard = true;
+    }
+  }
+  close(it->second.fd);
+  downs.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Upstream + exchanges.
+
+void Router::Impl::start_exchange(std::uint64_t cid, PendingSubmit ps) {
+  const std::uint64_t xid = next_x_id++;
+  Exchange x;
+  x.down = cid;
+  x.key = ps.key;
+  x.request_id = ps.request_id;
+  x.trace_id = ps.trace_id;
+  x.frame = std::move(ps.frame);
+  exchanges.emplace(xid, std::move(x));
+  downs[cid].active_x = xid;
+  if (!place(xid)) {
+    // No live shard took it: surface a transport-style failure (drop the
+    // conn) so the client's retry policy backs off and tries again.
+    exchanges.erase(xid);
+    if (downs.count(cid)) {
+      downs[cid].active_x = 0;
+      drop_down(cid);
+      bump(&RouterStats::clients_dropped);
+    }
+  }
+}
+
+void Router::Impl::start_peer_fill(const net::JobRequest& req,
+                                   std::uint64_t key) {
+  const auto succ = ring.successor(key);
+  if (!succ) return;
+  net::JobRequest copy = req;
+  copy.tag += "/peerfill";  // telemetry marks the duplicate as intentional
+  const std::uint64_t xid = next_x_id++;
+  Exchange x;
+  x.down = 0;
+  x.discard = true;
+  x.key = key;
+  x.request_id = req.request_id;
+  x.trace_id = req.trace_id;
+  x.frame = net::encode_submit(copy);
+  exchanges.emplace(xid, std::move(x));
+  if (!bind_to_shard(xid, *succ)) {
+    exchanges.erase(xid);  // best-effort: a fill that can't bind is skipped
+    return;
+  }
+  bump(&RouterStats::peer_fills);
+  obs_.peer_fills.inc();
+}
+
+bool Router::Impl::place(std::uint64_t xid) {
+  Exchange& x = exchanges[xid];
+  for (int tries = 0; tries < kMaxPlacementTries; ++tries) {
+    const auto own = ring.owner(x.key);
+    if (!own) return false;
+    if (bind_to_shard(xid, *own)) return true;
+    // bind_to_shard charged the breaker; a tripped breaker evicted the
+    // shard, so the next owner() resolves against the updated ring.
+  }
+  return false;
+}
+
+bool Router::Impl::bind_to_shard(std::uint64_t xid, std::uint32_t shard) {
+  const std::uint64_t uid = take_upstream(shard);
+  if (uid == 0) {
+    shard_failure(shard);
+    return false;
+  }
+  Exchange& x = exchanges[xid];
+  x.shard = shard;
+  x.up = uid;
+  Up& u = ups[uid];
+  u.x = xid;
+  if (u.woff > 0) {
+    u.wbuf.erase(u.wbuf.begin(), u.wbuf.begin() + u.woff);
+    u.woff = 0;
+  }
+  u.wbuf.insert(u.wbuf.end(), x.frame.begin(), x.frame.end());
+  shards[shard].submits += 1;
+  bump(&RouterStats::submits_routed);
+  obs_.routed.inc();
+  return true;
+}
+
+/// Idle pooled conn for `shard`, or a fresh connect. 0 on failure (the
+/// caller charges the breaker).
+std::uint64_t Router::Impl::take_upstream(std::uint32_t shard) {
+  ShardState& s = shards[shard];
+  while (!s.idle.empty()) {
+    const std::uint64_t uid = s.idle.back();
+    s.idle.pop_back();
+    if (ups.count(uid)) return uid;  // stale ids (closed conns) skipped
+  }
+  std::string err;
+  const int fd = net::connect_tcp(s.ep.host, s.ep.port, &err);
+  if (fd < 0) return 0;
+  net::set_nonblocking(fd);
+  Up u;
+  u.fd = fd;
+  u.shard = shard;
+  const std::uint64_t uid = next_up_id++;
+  ups.emplace(uid, std::move(u));
+  return uid;
+}
+
+void Router::Impl::release_upstream(std::uint64_t uid) {
+  auto it = ups.find(uid);
+  if (it == ups.end()) return;
+  Up& u = it->second;
+  u.x = 0;
+  u.probe = false;
+  ShardState& s = shards[u.shard];
+  if (static_cast<int>(s.idle.size()) >= opts.max_pool_idle ||
+      !s.in_ring) {
+    close_up(uid);
+    return;
+  }
+  s.idle.push_back(uid);
+}
+
+void Router::Impl::read_up(std::uint64_t uid) {
+  Up& u = ups[uid];
+  std::uint8_t buf[65536];
+  bool peer_gone = false;
+  for (;;) {
+    if (u.rbuf.size() > opts.max_frame_bytes + net::kHeaderBytes) break;
+    const ssize_t n = recv(u.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      u.rbuf.insert(u.rbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    peer_gone = true;
+    break;
+  }
+  process_up_input(uid);
+  if (peer_gone && ups.count(uid)) fail_up(uid);
+}
+
+void Router::Impl::process_up_input(std::uint64_t uid) {
+  std::size_t off = 0;
+  bool broken = false;
+  while (ups.count(uid)) {
+    Up& u = ups[uid];
+    net::FrameHeader hdr;
+    const net::HeaderStatus hs =
+        net::peek_header(u.rbuf.data() + off, u.rbuf.size() - off, &hdr,
+                         opts.max_frame_bytes);
+    if (hs == net::HeaderStatus::NeedMore) break;
+    if (hs != net::HeaderStatus::Ok) {
+      broken = true;  // shard speaking garbage: treat as a forward error
+      break;
+    }
+    if (u.rbuf.size() - off - net::kHeaderBytes < hdr.payload_len) break;
+    const std::size_t frame_len = net::kHeaderBytes + hdr.payload_len;
+    if (!handle_up_frame(uid, hdr, u.rbuf.data() + off, frame_len)) {
+      broken = true;
+      break;
+    }
+    off += frame_len;
+  }
+  if (!ups.count(uid)) return;
+  Up& u = ups[uid];
+  if (off > 0) u.rbuf.erase(u.rbuf.begin(), u.rbuf.begin() + off);
+  if (broken) fail_up(uid);
+}
+
+/// One complete frame from a shard. Returns false when the conn is
+/// desynced beyond recovery (caller fails it).
+bool Router::Impl::handle_up_frame(std::uint64_t uid,
+                                   const net::FrameHeader& hdr,
+                                   const std::uint8_t* frame,
+                                   std::size_t frame_len) {
+  Up& u = ups[uid];
+  const std::uint8_t* payload = frame + net::kHeaderBytes;
+  const std::size_t len = frame_len - net::kHeaderBytes;
+
+  if (u.probe) {
+    if (hdr.type != net::FrameType::HealthReply) return false;
+    auto h = net::decode_health_reply(payload, len);
+    const std::uint32_t shard = u.shard;
+    shards[shard].probing_uid = 0;
+    u.probe = false;
+    release_upstream(uid);
+    if (h && h->serving) {
+      bump(&RouterStats::probes_ok);
+      probe_ok(shard);
+    } else {
+      // Draining (serving=false) or undecodable: stop routing there.
+      bump(&RouterStats::probes_failed);
+      obs_.probes_failed.inc();
+      shard_failure(shard);
+    }
+    return true;
+  }
+
+  if (u.x == 0) return false;  // unsolicited bytes on an idle conn
+  auto xit = exchanges.find(u.x);
+  if (xit == exchanges.end()) return false;
+  Exchange& x = xit->second;
+
+  switch (hdr.type) {
+    case net::FrameType::ResultHeader:
+    case net::FrameType::ResultChunk:
+      if (!x.discard && x.down != 0) relay_down(x.down, frame, frame_len);
+      x.forwarded = true;
+      return true;
+    case net::FrameType::ResultEnd:
+      // Peer-fill exchanges complete here too, but their frames are
+      // discarded — only client-visible results count as relayed. Count
+      // before the relay write so a client that has seen its ResultEnd
+      // never observes a stats scrape missing it.
+      if (!x.discard && x.down != 0) {
+        bump(&RouterStats::results_relayed);
+        relay_down(x.down, frame, frame_len);
+      }
+      x.forwarded = true;
+      finish_exchange(u.x);
+      return true;
+    case net::FrameType::Busy:
+      // The shard's retry-after hint passes through verbatim: it was
+      // computed from that shard's queue depth and exec EMA, which is
+      // exactly what the client should wait out before resubmitting
+      // (the resubmission hashes back to the same shard).
+      shards[u.shard].busy += 1;
+      if (!x.discard && x.down != 0) {
+        bump(&RouterStats::busy_relayed);
+        obs_.busy_relayed.inc();
+        relay_down(x.down, frame, frame_len);
+      }
+      x.forwarded = true;
+      finish_exchange(u.x);
+      return true;
+    case net::FrameType::Error:
+      if (!x.discard && x.down != 0) {
+        bump(&RouterStats::errors_relayed);
+        relay_down(x.down, frame, frame_len);
+      }
+      x.forwarded = true;
+      finish_exchange(u.x);
+      return true;
+    case net::FrameType::Pong:
+      return true;  // stale pong on a pooled conn; ignore
+    default:
+      return false;
+  }
+}
+
+void Router::Impl::finish_exchange(std::uint64_t xid) {
+  auto xit = exchanges.find(xid);
+  if (xit == exchanges.end()) return;
+  const std::uint64_t uid = xit->second.up;
+  const std::uint64_t cid = xit->second.down;
+  exchanges.erase(xit);
+  if (uid != 0 && ups.count(uid)) release_upstream(uid);
+  if (cid != 0) {
+    auto dit = downs.find(cid);
+    if (dit != downs.end()) {
+      dit->second.active_x = 0;
+      if (!dit->second.pending.empty()) {
+        PendingSubmit next = std::move(dit->second.pending.front());
+        dit->second.pending.pop_front();
+        start_exchange(cid, std::move(next));
+      }
+    }
+  }
+}
+
+bool Router::Impl::flush_up(Up& u) {
+  while (u.woff < u.wbuf.size()) {
+    const ssize_t n = send(u.fd, u.wbuf.data() + u.woff,
+                           u.wbuf.size() - u.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      u.woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+void Router::Impl::close_up(std::uint64_t uid) {
+  auto it = ups.find(uid);
+  if (it == ups.end()) return;
+  ShardState& s = shards[it->second.shard];
+  for (auto idl = s.idle.begin(); idl != s.idle.end(); ++idl)
+    if (*idl == uid) {
+      s.idle.erase(idl);
+      break;
+    }
+  if (s.probing_uid == uid) s.probing_uid = 0;
+  close(it->second.fd);
+  ups.erase(it);
+}
+
+void Router::Impl::process_failed_ups() {
+  while (!failed_ups.empty()) {
+    const std::uint64_t uid = failed_ups.front();
+    failed_ups.pop_front();
+    handle_one_up_failure(uid);
+  }
+}
+
+void Router::Impl::handle_one_up_failure(std::uint64_t uid) {
+  auto it = ups.find(uid);
+  if (it == ups.end()) return;  // already closed by an earlier entry
+  const std::uint32_t shard = it->second.shard;
+  const bool was_probe = it->second.probe;
+  const std::uint64_t xid = it->second.x;
+  close_up(uid);
+
+  if (was_probe) {
+    bump(&RouterStats::probes_failed);
+    obs_.probes_failed.inc();
+    shard_failure(shard);
+    return;
+  }
+  if (xid == 0) return;  // idle pooled conn died: normal churn, no charge
+
+  auto xit = exchanges.find(xid);
+  if (xit == exchanges.end()) return;
+  Exchange& x = xit->second;
+  x.up = 0;
+  bump(&RouterStats::forward_errors);
+  obs_.forward_errors.inc();
+  shard_failure(shard);
+
+  if (x.discard) {  // peer fill: nothing depends on it
+    finish_exchange(xid);
+    return;
+  }
+  if (!x.forwarded && x.reroutes < 2) {
+    // Nothing reached the client yet: the exchange can move wholesale to
+    // the key's new owner (the ring may just have evicted this shard).
+    x.reroutes += 1;
+    if (place(xid)) {
+      bump(&RouterStats::rerouted);
+      obs_.rerouted.inc();
+      return;
+    }
+  }
+  // Half-forwarded (or out of options): cut the client connection so the
+  // failure reads as a transport error — retried by policy — and never
+  // as a trustworthy RemoteError.
+  const std::uint64_t cid = x.down;
+  finish_exchange(xid);
+  if (cid != 0 && downs.count(cid)) {
+    drop_down(cid);
+    bump(&RouterStats::clients_dropped);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Membership.
+
+void Router::Impl::shard_failure(std::uint32_t shard) {
+  ShardState& s = shards[shard];
+  s.failures += 1;
+  const double t = now();
+  s.breaker.record_failure(t);
+  if (s.in_ring && s.breaker.state(t) == fault::BreakerState::Open) {
+    ring.remove(shard);
+    s.in_ring = false;
+    bump(&RouterStats::membership_changes);
+    obs_.membership_changes.inc();
+    obs_.shards_live.set(double(ring.size()));
+    // Every conn still pointing at the evicted shard is now suspect;
+    // failing them here re-routes their exchanges immediately instead of
+    // waiting for each socket to discover the death on its own.
+    for (const auto& [uid, u] : ups)
+      if (u.shard == shard && (u.x != 0 || u.probe)) fail_up(uid);
+    for (const std::uint64_t uid : std::vector<std::uint64_t>(s.idle))
+      close_up(uid);
+  }
+}
+
+void Router::Impl::probe_ok(std::uint32_t shard) {
+  ShardState& s = shards[shard];
+  s.breaker.record_success();
+  if (!s.in_ring) {
+    ring.add(shard);
+    s.in_ring = true;
+    bump(&RouterStats::membership_changes);
+    obs_.membership_changes.inc();
+    obs_.shards_live.set(double(ring.size()));
+  }
+}
+
+void Router::Impl::maybe_probe(double t) {
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardState& s = shards[i];
+    if (s.probing_uid != 0) {
+      auto it = ups.find(s.probing_uid);
+      if (it == ups.end()) {
+        s.probing_uid = 0;
+      } else if (t - it->second.probe_start > opts.probe_timeout_s) {
+        fail_up(s.probing_uid);
+      }
+      continue;
+    }
+    if (t - s.last_probe < opts.probe_interval_s) continue;
+    s.last_probe = t;
+    const std::uint64_t uid = take_upstream(static_cast<std::uint32_t>(i));
+    if (uid == 0) {
+      bump(&RouterStats::probes_failed);
+      obs_.probes_failed.inc();
+      shard_failure(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    Up& u = ups[uid];
+    u.probe = true;
+    u.probe_start = t;
+    s.probing_uid = uid;
+    const auto frame = net::encode_health_check();
+    if (u.woff > 0) {
+      u.wbuf.erase(u.wbuf.begin(), u.wbuf.begin() + u.woff);
+      u.woff = 0;
+    }
+    u.wbuf.insert(u.wbuf.end(), frame.begin(), frame.end());
+  }
+  process_failed_ups();
+}
+
+void Router::Impl::broadcast_shutdown() {
+  const auto frame = net::encode_shutdown();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].in_ring) continue;
+    std::string err;
+    const int fd = net::connect_tcp(shards[i].ep.host, shards[i].ep.port,
+                                    &err);
+    if (fd < 0) continue;
+    ssize_t ignored = send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    (void)ignored;
+    close(fd);
+  }
+}
+
+}  // namespace randla::cluster

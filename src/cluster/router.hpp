@@ -1,0 +1,126 @@
+// router.hpp — consistent-hash routing front-end for the sharded
+// cluster (DESIGN.md §11).
+//
+// A second poll(2) event loop, one layer above net::Server: the router
+// terminates client connections, decodes just enough of each Submit to
+// compute its routing key (cluster::routing_key — a pure hash of the
+// request's matrix identity), picks the owning shard on the hash ring,
+// and forwards the original frame bytes to that shard over a pooled
+// upstream connection. Result/Busy/Error frames stream back verbatim, so
+// a client cannot tell a router from a single server — retry-after hints
+// in Busy frames pass through untouched, and trace ids ride the
+// forwarded Submit so shard-side spans chain under the client's trace.
+//
+// Membership is HealthCheck-driven: the loop probes every shard with the
+// protocol v3 HealthCheck verb on a fixed cadence and feeds the verdicts
+// (plus any forwarding failure) into a per-shard fault::CircuitBreaker.
+// A breaker tripping Open removes the shard from the ring — bounded
+// remapping moves only its keys to ring neighbors — and a later probe
+// success re-adds it. Forwarding failures fail over in-line: an exchange
+// whose upstream dies before anything was relayed is re-routed once to
+// the key's new owner; one that already relayed frames drops the client
+// connection instead (a half-forwarded result must look like a transport
+// error, which the client's retry policy recovers, never a RemoteError,
+// which it would trust).
+//
+// Peer cache fill (optional): after `peer_fill_threshold` routed submits
+// of one routing key, the next submit is duplicated to the key's
+// successor shard with a "/peerfill" tag suffix and its result frames
+// discarded — failover for hot fingerprints then lands on a warm result
+// cache instead of a cold recompute.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/breaker.hpp"
+
+namespace randla::cluster {
+
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  std::string bind_addr = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (query with Router::port())
+  std::vector<ShardEndpoint> shards;
+  int max_connections = 128;
+  std::size_t max_frame_bytes = std::size_t(1) << 26;
+  int vnodes = 64;            ///< ring points per shard
+  double probe_interval_s = 0.25;  ///< HealthCheck cadence per shard
+  double probe_timeout_s = 1.0;    ///< unanswered probe = failure
+  /// Per-shard breaker: consecutive probe/forward failures to evict the
+  /// shard from the ring, and how long Open lasts before a probe may
+  /// readmit it.
+  fault::BreakerOptions breaker{/*failure_threshold=*/2,
+                                /*open_cooldown_s=*/1.0};
+  int max_pool_idle = 4;      ///< idle upstream sockets kept per shard
+  double idle_timeout_s = 60;   ///< close quiet client conns; ≤0 disables
+  bool allow_remote_shutdown = false;  ///< Shutdown drains cluster + router
+  double drain_timeout_s = 10;
+  /// Routed submits of one key before the next one is duplicated to the
+  /// successor shard (0 disables peer fill).
+  int peer_fill_threshold = 0;
+};
+
+struct RouterStats {
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t conns_refused = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t submits_routed = 0;
+  std::uint64_t results_relayed = 0;  ///< exchanges ending in ResultEnd
+  std::uint64_t busy_relayed = 0;     ///< shard Busy hints passed through
+  std::uint64_t errors_relayed = 0;   ///< shard Error frames passed through
+  std::uint64_t forward_errors = 0;   ///< upstream died mid-exchange
+  std::uint64_t rerouted = 0;         ///< exchanges moved to a new owner
+  std::uint64_t clients_dropped = 0;  ///< half-forwarded exchanges cut
+  std::uint64_t peer_fills = 0;
+  std::uint64_t probes_ok = 0;
+  std::uint64_t probes_failed = 0;
+  std::uint64_t membership_changes = 0;  ///< ring evictions + readmissions
+};
+
+/// Live routing state of one shard (Stats exposition + tests).
+struct ShardView {
+  std::uint32_t shard = 0;
+  bool in_ring = false;
+  fault::BreakerState breaker = fault::BreakerState::Closed;
+  std::uint64_t submits = 0;   ///< exchanges routed here (incl. peer fills)
+  std::uint64_t busy = 0;      ///< Busy frames this shard answered
+  std::uint64_t failures = 0;  ///< probe + forward failures charged
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind + listen + spawn the loop; false (with stderr detail) on bind
+  /// failure. Idempotent once started.
+  bool start();
+  std::uint16_t port() const;
+  /// Graceful: stop accepting, finish in-flight exchanges, flush, join.
+  void stop();
+  /// Block until the loop exits on its own (remote Shutdown frame).
+  void wait();
+  bool running() const;
+
+  RouterStats stats() const;
+  /// Snapshot of every configured shard's routing state.
+  std::vector<ShardView> shard_views() const;
+  /// Shard ids currently in the ring.
+  std::vector<std::uint32_t> live_shards() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace randla::cluster

@@ -1,19 +1,15 @@
 #include "net/client.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cmath>
 #include <cstring>
 #include <thread>
 
+#include "net/socket_util.hpp"
 #include "obs/trace.hpp"
 
 namespace randla::net {
@@ -55,33 +51,9 @@ void Client::close() {
 
 bool Client::connect() {
   close();
-  fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    last_error_ = "socket failed";
-    return false;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
-    last_error_ = "bad host address: " + opts_.host;
-    close();
-    return false;
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    last_error_ = std::string("connect failed: ") + std::strerror(errno);
-    close();
-    return false;
-  }
-  const int one = 1;
-  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  if (opts_.recv_timeout_s > 0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<long>(opts_.recv_timeout_s);
-    tv.tv_usec = static_cast<long>(
-        (opts_.recv_timeout_s - std::floor(opts_.recv_timeout_s)) * 1e6);
-    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  }
+  fd_ = connect_tcp(opts_.host, opts_.port, &last_error_);
+  if (fd_ < 0) return false;
+  set_recv_timeout(fd_, opts_.recv_timeout_s);
   return true;
 }
 

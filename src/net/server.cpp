@@ -1,9 +1,6 @@
 #include "net/server.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -21,6 +18,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -34,11 +32,6 @@ ortho::Scheme scheme_from_wire(std::uint8_t code) {
     case 2: return ortho::Scheme::HHQR;
     default: return ortho::Scheme::CholQR2;
   }
-}
-
-void set_nonblocking(int fd) {
-  const int fl = fcntl(fd, F_GETFL, 0);
-  if (fl >= 0) fcntl(fd, F_SETFL, fl | O_NONBLOCK);
 }
 
 }  // namespace
@@ -219,34 +212,13 @@ void Server::wait() {
 // ---------------------------------------------------------------------
 
 bool Server::Impl::bind_listen() {
-  listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  std::string err;
+  listen_fd = listen_tcp(opts.bind_addr, opts.port, /*backlog=*/64,
+                         &bound_port, &err);
   if (listen_fd < 0) {
-    std::perror("net: socket");
+    std::fprintf(stderr, "net: %s\n", err.c_str());
     return false;
   }
-  const int one = 1;
-  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts.port);
-  if (inet_pton(AF_INET, opts.bind_addr.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "net: bad bind address %s\n", opts.bind_addr.c_str());
-    close(listen_fd);
-    listen_fd = -1;
-    return false;
-  }
-  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      listen(listen_fd, 64) != 0) {
-    std::perror("net: bind/listen");
-    close(listen_fd);
-    listen_fd = -1;
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t blen = sizeof bound;
-  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
-    bound_port = ntohs(bound.sin_port);
-  set_nonblocking(listen_fd);
   return true;
 }
 
@@ -362,8 +334,7 @@ void Server::Impl::accept_ready() {
       bump(&ServerStats::conns_refused);
       continue;
     }
-    const int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_tcp_nodelay(fd);
     Conn c;
     c.fd = fd;
     c.last_active = now();

@@ -1,0 +1,95 @@
+#include "net/socket_util.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace randla::net {
+
+void set_nonblocking(int fd) {
+  const int fl = fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool set_recv_timeout(int fd, double seconds) {
+  if (seconds <= 0) return true;
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(seconds);
+  tv.tv_usec = static_cast<long>((seconds - std::floor(seconds)) * 1e6);
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+bool make_sockaddr_in(const std::string& host, std::uint16_t port,
+                      sockaddr_in* out) {
+  std::memset(out, 0, sizeof *out);
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  return inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+int listen_tcp(const std::string& bind_addr, std::uint16_t port, int backlog,
+               std::uint16_t* bound_port, std::string* err) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket failed: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  if (!make_sockaddr_in(bind_addr, port, &addr)) {
+    if (err) *err = "bad bind address " + bind_addr;
+    close(fd);
+    return -1;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(fd, backlog) != 0) {
+    if (err) *err = std::string("bind/listen failed: ") + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+      *bound_port = ntohs(bound.sin_port);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket failed: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr;
+  if (!make_sockaddr_in(host, port, &addr)) {
+    if (err) *err = "bad host address: " + host;
+    close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (err) *err = std::string("connect failed: ") + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
+}  // namespace randla::net
