@@ -4,10 +4,14 @@
 // Gaussian generator (PRNG phase).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "fft/fft.hpp"
 #include "la/blas3.hpp"
 #include "la/flops.hpp"
 #include "la/parallel.hpp"
+#include "net/protocol.hpp"
 #include "ortho/ortho.hpp"
 #include "qrcp/qrcp.hpp"
 #include "rng/gaussian.hpp"
@@ -119,6 +123,63 @@ void BM_GaussianFill(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianFill)->Arg(2000)->Arg(8000);
 
+// Batched vs looped GEMM at sampling shapes (ℓ×m · m×n): arg0 = batch
+// count, arg1 = ℓ. Each problem alone sits below the parallel fan-out
+// threshold; the batch flattens all (problem, tile) items into one
+// sweep, so the aggregate rate is what the runtime's batching collector
+// buys per dispatch (DESIGN.md §12).
+void BM_GemmBatched(benchmark::State& state) {
+  const index_t batch = state.range(0), l = state.range(1);
+  const index_t m = 512, n = 128;
+  std::vector<Matrix<double>> as, bs, cs;
+  std::vector<blas::GemmProblem<double>> probs;
+  for (index_t i = 0; i < batch; ++i) {
+    as.push_back(rng::gaussian_matrix<double>(l, m, 100 + i));
+    bs.push_back(rng::gaussian_matrix<double>(m, n, 200 + i));
+    cs.emplace_back(l, n);
+  }
+  for (index_t i = 0; i < batch; ++i)
+    probs.push_back({Op::NoTrans, Op::NoTrans, 1.0, 0.0, as[i].view(),
+                     bs[i].view(), cs[i].view()});
+  for (auto _ : state) {
+    blas::gemm_batched<double>(probs.data(), batch);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      double(batch) * flops::gemm(l, n, m) * double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBatched)
+    ->Args({1, 32})
+    ->Args({4, 32})
+    ->Args({8, 32})
+    ->Args({16, 32})
+    ->Args({8, 64})
+    ->Args({16, 64});
+
+// Looped reference at the same shapes — the rate BM_GemmBatched is
+// measured against (same problems, one gemm call each).
+void BM_GemmLooped(benchmark::State& state) {
+  const index_t batch = state.range(0), l = state.range(1);
+  const index_t m = 512, n = 128;
+  std::vector<Matrix<double>> as, bs, cs;
+  for (index_t i = 0; i < batch; ++i) {
+    as.push_back(rng::gaussian_matrix<double>(l, m, 100 + i));
+    bs.push_back(rng::gaussian_matrix<double>(m, n, 200 + i));
+    cs.emplace_back(l, n);
+  }
+  for (auto _ : state) {
+    for (index_t i = 0; i < batch; ++i)
+      blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, as[i].view(),
+                         bs[i].view(), 0.0, cs[i].view());
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      double(batch) * flops::gemm(l, n, m) * double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmLooped)->Args({8, 32})->Args({16, 32})->Args({16, 64});
+
 void BM_FixedRankEndToEnd(benchmark::State& state) {
   const index_t m = 2000, n = 300;
   const Matrix<double> a = rng::gaussian_matrix<double>(m, n, 10);
@@ -132,6 +193,54 @@ void BM_FixedRankEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FixedRankEndToEnd)->Arg(0)->Arg(1);
+
+// Submit-frame decode at ingest shapes, arg0 = m (n = m/2), with the
+// arena wired in: dims/size-lie checks, one memcpy of the f64 payload
+// into a leased 64-byte-aligned block, inline_view filled. bytes/s is
+// the ingest ceiling per connection; ns/byte should track memcpy since
+// the zero-copy path adds no second pass over the tensor.
+void BM_DecodeSubmitInline(benchmark::State& state) {
+  const index_t m = state.range(0), n = m / 2;
+  net::JobRequest req;
+  req.request_id = 1;
+  req.matrix.source = net::MatrixSource::Inline;
+  req.matrix.m = m;
+  req.matrix.n = n;
+  req.matrix.inline_data = rng::gaussian_matrix<double>(m, n, 11);
+  const auto frame = net::encode_submit(req);
+  const std::uint8_t* payload = frame.data() + net::kHeaderBytes;
+  const std::size_t len = frame.size() - net::kHeaderBytes;
+  runtime::Arena arena;
+  for (auto _ : state) {
+    auto decoded = net::decode_submit(payload, len, &arena);
+    benchmark::DoNotOptimize(decoded->matrix.inline_view.view.data());
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      double(len) * double(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeSubmitInline)->Arg(128)->Arg(512)->Arg(1024);
+
+// The pre-arena path (decode into an owning Matrix) — the copy the
+// zero-copy path deletes; same counter for a direct bytes/s comparison.
+void BM_DecodeSubmitOwning(benchmark::State& state) {
+  const index_t m = state.range(0), n = m / 2;
+  net::JobRequest req;
+  req.request_id = 1;
+  req.matrix.source = net::MatrixSource::Inline;
+  req.matrix.m = m;
+  req.matrix.n = n;
+  req.matrix.inline_data = rng::gaussian_matrix<double>(m, n, 11);
+  const auto frame = net::encode_submit(req);
+  const std::uint8_t* payload = frame.data() + net::kHeaderBytes;
+  const std::size_t len = frame.size() - net::kHeaderBytes;
+  for (auto _ : state) {
+    auto decoded = net::decode_submit(payload, len);
+    benchmark::DoNotOptimize(decoded->matrix.inline_data.data());
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      double(len) * double(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeSubmitOwning)->Arg(512)->Arg(1024);
 
 }  // namespace
 

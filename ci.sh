@@ -14,6 +14,10 @@
 #      provokes Busy shedding — the loadgen's exit code asserts zero
 #      failed jobs, zero failed residual checks, observed backpressure,
 #      and a sane p99; BENCH_serving.json captures the series;
+#   4b. batching collector: the same closed-loop workload with --batch 1
+#      vs --batch 8 — the gate demands ON within 10% of OFF (1-core CI
+#      cannot fan the batched Step-1 out) and a mean dispatch occupancy
+#      >= 2, i.e. the collector demonstrably coalesced;
 #   5. observability: a traced `randla_serve --trace --metrics` run
 #      driven by randla_loadgen --check-stats (server counters must
 #      exactly match the client's own accounting), then
@@ -37,9 +41,11 @@
 #      and asserts zero lost / zero duplicated jobs, breaker-driven
 #      membership change, and the victim reported down in a Stats
 #      scrape through the router;
-#   7. memory safety: the wire-protocol, server, and fault-plane suites
-#      rebuilt with -fsanitize=address,undefined (the `asan` preset), so
-#      adversarial frames run under ASan/UBSan — plus one chaos replay
+#   7. memory safety: the wire-protocol, server, fault-plane, batched
+#      BLAS, and zero-copy decode suites rebuilt with
+#      -fsanitize=address,undefined (the `asan` preset), so
+#      adversarial frames and the arena lease/recycle paths run under
+#      ASan/UBSan — plus one chaos replay
 #      under ASan, since injected resets/truncations exercise the
 #      buffer-handling edge paths;
 #   8. concurrency: the full tier-1 suite rebuilt with -fsanitize=thread
@@ -93,6 +99,46 @@ kill -0 "$SERVE_PID" 2>/dev/null || {
   --threads 8 --rate 400 --m 256 --n 128 --spread 64 \
   --expect-busy --max-p99-ms 5000 --shutdown --json build/BENCH_serving.json
 wait "$SERVE_PID"
+
+echo "== batching collector: ON vs OFF closed-loop throughput =="
+# Same closed-loop saturating workload with coalescing off (--batch 1)
+# and on (--batch 8). The gate is deliberately 1-core-honest: ON must
+# not regress OFF by more than 10% (raw wins need a worker pool to fan
+# the batched Step-1 out), and the collector must actually engage —
+# mean dispatch occupancy >= 2 jobs. The json rows land in
+# build/BENCH_serving_batch_{off,on}.json.
+BATCH_PORT=18433
+for B in 1 8; do
+  ./build/examples/randla_serve --tcp "$BATCH_PORT" --linger --jobs 0 \
+    --workers 1 --queue 32 --batch "$B" &
+  BATCH_PID=$!
+  sleep 1
+  kill -0 "$BATCH_PID" 2>/dev/null || {
+    echo "batching stage FAILED: server did not survive startup"; exit 1; }
+  [ "$B" = 1 ] && TAG=off || TAG=on
+  ./build/examples/randla_loadgen --port "$BATCH_PORT" --jobs 400 \
+    --threads 16 --m 256 --n 128 --spread 64 --batch-hint 8 \
+    --max-p99-ms 5000 --shutdown --json "build/BENCH_serving_batch_$TAG.json"
+  wait "$BATCH_PID"
+done
+awk -F'"throughput_jps":' '/summary/ { split($2, a, ","); print a[1]; exit }' \
+  build/BENCH_serving_batch_off.json > build/batch_off_jps
+awk -F'"throughput_jps":' '/summary/ { split($2, a, ","); print a[1]; exit }' \
+  build/BENCH_serving_batch_on.json > build/batch_on_jps
+awk -F'"mean_occupancy":' '/batching/ { split($2, a, ","); print a[1]; exit }' \
+  build/BENCH_serving_batch_on.json > build/batch_occ
+awk -v off="$(cat build/batch_off_jps)" -v on="$(cat build/batch_on_jps)" \
+    -v occ="$(cat build/batch_occ)" 'BEGIN {
+  if (off <= 0 || on <= 0) {
+    print "batching gate FAILED: missing throughput rows"; exit 1 }
+  printf "batch OFF %.1f jobs/s, ON %.1f jobs/s (%.2fx), occupancy %.2f\n",
+         off, on, on / off, occ
+  if (on < 0.9 * off) {
+    print "batching gate FAILED: ON regressed OFF by more than 10%"; exit 1 }
+  if (occ < 2) {
+    print "batching gate FAILED: collector never coalesced (occupancy < 2)"
+    exit 1 }
+}'
 
 echo "== observability: traced server, stats cross-check, trace check =="
 OBS_PORT=18432
@@ -153,7 +199,8 @@ RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --shards 4 \
 echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS" \
-  --target test_net_protocol test_net_server test_fault randla_loadgen
+  --target test_net_protocol test_net_server test_fault \
+  test_batched_blas test_zero_copy_decode randla_loadgen
 ctest --preset asan -j "$JOBS"
 
 echo "== chaos under ASan: fault paths memory-clean =="

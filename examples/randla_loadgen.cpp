@@ -92,6 +92,10 @@ struct Options {
   double inline_frac = 0.25;
   double max_p99_ms = 0;  // 0 = no bound
   int spread = 4;         // distinct matrix seeds; higher = fewer cache hits
+  /// Server-side batch_max hint: presets client concurrency so the
+  /// scheduler's collector can actually fill its batches (threads >=
+  /// 2*hint per endpoint), and reports scraped batch occupancy.
+  int batch_hint = 0;
   bool expect_busy = false;
   bool send_shutdown = false;
   bool check_stats = false;
@@ -524,6 +528,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--inline-frac")) opt.inline_frac = std::atof(need("--inline-frac"));
     else if (!std::strcmp(argv[i], "--max-p99-ms")) opt.max_p99_ms = std::atof(need("--max-p99-ms"));
     else if (!std::strcmp(argv[i], "--spread")) opt.spread = std::atoi(need("--spread"));
+    else if (!std::strcmp(argv[i], "--batch-hint")) opt.batch_hint = std::atoi(need("--batch-hint"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = need("--chaos");
     else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
@@ -540,6 +545,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   const int num_endpoints = static_cast<int>(opt.ports.size());
+  if (opt.batch_hint > 0) {
+    // Concurrency preset: a collector with batch_max=N only fills its
+    // window when ~N jobs are queued per worker, so keep at least two
+    // windows of requests in flight per endpoint.
+    const int preset = 2 * opt.batch_hint * num_endpoints;
+    if (opt.threads < preset) {
+      std::printf("batch-hint %d: raising --threads %d -> %d\n",
+                  opt.batch_hint, opt.threads, preset);
+      opt.threads = preset;
+    }
+  }
   if (opt.check_stats && num_endpoints > 1) {
     std::fprintf(stderr,
                  "loadgen: --check-stats needs a single endpoint (jobs split "
@@ -721,6 +737,15 @@ int main(int argc, char** argv) {
                 st->value("server_jobs_completed"),
                 st->value("server_protocol_errors"),
                 st->value("server_results_dropped"));
+    if (st->has("sched_batches")) {
+      const double batches = st->value("sched_batches");
+      const double bjobs = st->value("sched_batched_jobs");
+      const double bmax = st->value("sched_batch_max");
+      std::printf("batching :%-5d batch_max %.0f, %.0f dispatches, %.0f jobs "
+                  "coalesced, mean occupancy %.2f\n",
+                  opt.ports[static_cast<std::size_t>(e)], bmax, batches, bjobs,
+                  batches > 0 ? bjobs / batches : 0.0);
+    }
   }
 
   bench::JsonReport report("serving", argc, argv);
@@ -740,6 +765,22 @@ int main(int argc, char** argv) {
         .set("threads", double(opt.threads))
         .set("mode", std::string(opt.rate > 0 ? "open" : "closed"))
         .set("rate_jps", opt.rate);
+    {
+      // Batch-occupancy aggregate over every scraped endpoint.
+      double batches = 0, bjobs = 0, bmax = 0;
+      for (const auto& st : endpoint_stats) {
+        if (!st) continue;
+        batches += st->value("sched_batches");
+        bjobs += st->value("sched_batched_jobs");
+        bmax = std::max(bmax, st->value("sched_batch_max"));
+      }
+      report.row("batching")
+          .set("batch_max", bmax)
+          .set("dispatches", batches)
+          .set("batched_jobs", bjobs)
+          .set("mean_occupancy", batches > 0 ? bjobs / batches : 0.0)
+          .set("batch_hint", double(opt.batch_hint));
+    }
     const char* kind_name[3] = {"fixed_rank", "adaptive", "qrcp"};
     for (int ki = 0; ki < 3; ++ki) {
       report.row(kind_name[ki])

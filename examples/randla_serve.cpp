@@ -281,7 +281,7 @@ int run_tcp(runtime::Scheduler& sched, const runtime::Workload& w,
 
 int main(int argc, char** argv) {
   int jobs = 120, workers = 2, queue = 8, burst = 16;
-  int tcp_port = -1, clients = 8;
+  int tcp_port = -1, clients = 8, batch = 1;
   bool linger = false;
   double deadline = 0, watchdog = 0;
   std::string traces_path, metrics_path, trace_path;
@@ -303,6 +303,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--tcp")) tcp_port = std::atoi(val());
     else if (!std::strcmp(argv[i], "--clients")) clients = std::atoi(val());
     else if (!std::strcmp(argv[i], "--linger")) linger = true;
+    else if (!std::strcmp(argv[i], "--batch")) batch = std::atoi(val());
     else if (!std::strcmp(argv[i], "--metrics")) metrics_path = val();
     else if (!std::strcmp(argv[i], "--trace")) trace_path = val();
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
@@ -324,6 +325,7 @@ int main(int argc, char** argv) {
   so.queue_capacity = static_cast<std::size_t>(queue);
   so.default_deadline_s = deadline;
   so.watchdog_multiple = watchdog;
+  so.batch_max = std::max(1, batch);
   runtime::Scheduler sched(so);
 
   if (tcp_port >= 0) return run_tcp(sched, w, wo, tcp_port, clients, linger);

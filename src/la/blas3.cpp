@@ -408,6 +408,88 @@ void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
   gemm_serial(opa, opb, alpha, a, b, beta, c);
 }
 
+namespace {
+
+// One (problem, C-tile) unit of a batched walk. Tiles of a problem use
+// the exact gemm_parallel_grid slicing `gemm` would use, so a batched
+// run is bitwise identical to looping `gemm` over the problems.
+struct BatchTile {
+  index_t prob;
+  index_t i0, i1, j0, j1;
+};
+
+template <class Real>
+void run_batch_tile(const GemmProblem<Real>& p, const BatchTile& t) {
+  auto a_slice = (p.opa == Op::NoTrans)
+                     ? p.a.block(t.i0, 0, t.i1 - t.i0, p.a.cols())
+                     : p.a.block(0, t.i0, p.a.rows(), t.i1 - t.i0);
+  auto b_slice = (p.opb == Op::NoTrans)
+                     ? p.b.block(0, t.j0, p.b.rows(), t.j1 - t.j0)
+                     : p.b.block(t.j0, 0, t.j1 - t.j0, p.b.cols());
+  MatrixView<Real> c = p.c;
+  gemm_serial(p.opa, p.opb, p.alpha, a_slice, b_slice, p.beta,
+              c.block(t.i0, t.j0, t.i1 - t.i0, t.j1 - t.j0));
+}
+
+}  // namespace
+
+template <class Real>
+void gemm_batched(const GemmProblem<Real>* problems, index_t count) {
+  double total_flops = 0;
+  for (index_t pi = 0; pi < count; ++pi) {
+    const GemmProblem<Real>& p = problems[pi];
+    const index_t k =
+        (p.opa == Op::NoTrans) ? p.a.cols() : p.a.rows();
+    total_flops +=
+        2.0 * double(p.c.rows()) * double(p.c.cols()) * double(k);
+  }
+  la_prof::KernelScope prof("gemm_batched", total_flops);
+
+  // Flatten every problem's tile grid into one work list. Large
+  // problems contribute their usual row×col grid; small problems (below
+  // the single-GEMM fan-out threshold) contribute one whole-C tile each
+  // — which is exactly how the batch wins: N sub-threshold GEMMs become
+  // N items distributed over one parallel sweep instead of N serial
+  // calls. thread_local pack buffers in gemm_serial are reused across
+  // every item a worker executes (shared pack buffers per thread).
+  const index_t threads = blas_num_threads();
+  std::vector<BatchTile> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (index_t pi = 0; pi < count; ++pi) {
+    const GemmProblem<Real>& p = problems[pi];
+    const index_t m = p.c.rows();
+    const index_t n = p.c.cols();
+    const index_t k =
+        (p.opa == Op::NoTrans) ? p.a.cols() : p.a.rows();
+    if (m == 0 || n == 0) continue;
+    const GemmGrid grid = gemm_parallel_grid(m, n, k, threads);
+    const index_t rstep = (m + grid.row_tiles - 1) / grid.row_tiles;
+    const index_t cstep = (n + grid.col_tiles - 1) / grid.col_tiles;
+    for (index_t t = 0; t < grid.row_tiles * grid.col_tiles; ++t) {
+      const index_t i0 = (t / grid.col_tiles) * rstep;
+      const index_t j0 = (t % grid.col_tiles) * cstep;
+      const index_t i1 = std::min(m, i0 + rstep);
+      const index_t j1 = std::min(n, j0 + cstep);
+      if (i0 >= i1 || j0 >= j1) continue;
+      items.push_back(BatchTile{pi, i0, i1, j0, j1});
+    }
+  }
+
+  const index_t total = static_cast<index_t>(items.size());
+  if (total == 0) return;
+  if (threads <= 1 || total == 1) {
+    for (const BatchTile& t : items)
+      run_batch_tile(problems[t.prob], t);
+    return;
+  }
+  parallel_ranges(total, 1, [&](index_t t0, index_t t1) {
+    for (index_t t = t0; t < t1; ++t) {
+      const BatchTile& bt = items[static_cast<std::size_t>(t)];
+      run_batch_tile(problems[bt.prob], bt);
+    }
+  });
+}
+
 template <class Real>
 void syrk(Uplo uplo, Op op, Real alpha, ConstMatrixView<Real> a, Real beta,
           MatrixView<Real> c) {
@@ -726,6 +808,7 @@ void trmm(Side side, Uplo uplo, Op op, Diag diag, Real alpha,
 #define RANDLA_INSTANTIATE_BLAS3(Real)                                         \
   template void gemm<Real>(Op, Op, Real, ConstMatrixView<Real>,                \
                            ConstMatrixView<Real>, Real, MatrixView<Real>);     \
+  template void gemm_batched<Real>(const GemmProblem<Real>*, index_t);         \
   template void syrk<Real>(Uplo, Op, Real, ConstMatrixView<Real>, Real,        \
                            MatrixView<Real>);                                  \
   template void symmetrize<Real>(Uplo, MatrixView<Real>);                      \

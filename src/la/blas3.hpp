@@ -33,6 +33,32 @@ template <class Real>
 void gemm(Op opa, Op opb, Real alpha, ConstMatrixView<Real> a,
           ConstMatrixView<Real> b, Real beta, MatrixView<Real> c);
 
+/// One independent GEMM problem in a batch: c ← α·op(a)·op(b) + β·c.
+/// Alpha is folded at pack time and beta fused into the first kc-block
+/// write-out per problem, exactly as in the single-problem path.
+template <class Real>
+struct GemmProblem {
+  Op opa = Op::NoTrans;
+  Op opb = Op::NoTrans;
+  Real alpha = Real(1);
+  Real beta = Real(0);
+  ConstMatrixView<Real> a;
+  ConstMatrixView<Real> b;
+  MatrixView<Real> c;
+};
+
+/// Batched GEMM: N independent problems scheduled as ONE 2D tile walk
+/// over the persistent worker pool. Each problem is split by the same
+/// gemm_parallel_grid policy as `gemm`, then all (problem, tile) work
+/// items are flattened into a single parallel_ranges sweep — so many
+/// small ℓ×n sampling GEMMs that would each run serially (below the
+/// fan-out threshold) amortize one fork-join instead of N. Results are
+/// bitwise identical to calling `gemm` on each problem in a loop, at
+/// any thread count (k is never split; per-C-element summation order is
+/// fixed). Problems must have disjoint C outputs.
+template <class Real>
+void gemm_batched(const GemmProblem<Real>* problems, index_t count);
+
 /// Symmetric rank-k update on one triangle:
 /// C ← α·A·Aᵀ + β·C (op == NoTrans) or C ← α·Aᵀ·A + β·C (op == Trans).
 /// Only the `uplo` triangle of C is referenced/written.

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -261,6 +262,19 @@ class Matrix {
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<Real> storage_;
+};
+
+/// A read-only view paired with shared ownership of whatever storage
+/// backs it (an arena block of decoded wire bytes, another Matrix, a
+/// mapped file...). This is the zero-copy ingest currency: a job can run
+/// kernels on bytes it does not own, and the keepalive pins them for as
+/// long as any holder (including retries on another device) is alive.
+template <class Real>
+struct SharedConstMatrixView {
+  ConstMatrixView<Real> view;
+  std::shared_ptr<const void> keepalive;
+
+  bool empty() const { return view.empty(); }
 };
 
 /// Materialized transpose (convenience for tests and small factors).

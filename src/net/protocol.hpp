@@ -36,6 +36,7 @@
 
 #include "la/matrix.hpp"
 #include "la/permutation.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/telemetry.hpp"
 
 namespace randla::net {
@@ -103,6 +104,10 @@ struct MatrixSpec {
   index_t m = 0, n = 0;
   index_t rank = 0;  ///< "lowrank" only: numerical rank of the product
   Matrix<double> inline_data;  ///< Inline only, column-major
+  /// Zero-copy ingest: when decode_submit is given an arena, the inline
+  /// payload lands here (arena-owned, 64-byte aligned) instead of
+  /// inline_data, and jobs run on the decoded bytes directly.
+  SharedConstMatrixView<double> inline_view;
 };
 
 /// One factorization request: the same JobKind menu runtime::Job serves.
@@ -305,8 +310,15 @@ HeaderStatus peek_header(const std::uint8_t* data, std::size_t size,
                          FrameHeader* out,
                          std::size_t max_frame_bytes = kMaxFrameBytes);
 
+/// `arena`, when non-null, receives inline tensor payloads: the decoder
+/// leases one aligned block, memcpys the little-endian f64 bytes into it
+/// once, and fills MatrixSpec::inline_view — the zero-copy ingest path.
+/// Every bounds check (dimension caps, the size-lie guard comparing the
+/// announced element count against the actual remaining payload) runs
+/// BEFORE the arena lease, so a forged header still costs nothing.
 std::optional<JobRequest> decode_submit(const std::uint8_t* payload,
-                                        std::size_t size);
+                                        std::size_t size,
+                                        runtime::Arena* arena = nullptr);
 std::optional<ResultHeader> decode_result_header(const std::uint8_t* payload,
                                                  std::size_t size);
 std::optional<ResultChunk> decode_result_chunk(const std::uint8_t* payload,

@@ -26,6 +26,18 @@ namespace randla::net {
 
 namespace {
 
+// Per-connection buffers grow by doubling to the largest frame ever seen
+// on that conn; a single big upload would otherwise pin ~64 MiB per
+// connection forever. Once a buffer fully drains, release capacity above
+// this threshold back to the allocator.
+constexpr std::size_t kBufShrinkBytes = 64 * 1024;
+
+void shrink_if_drained(std::vector<std::uint8_t>& buf) {
+  if (buf.empty() && buf.capacity() > kBufShrinkBytes) {
+    buf.shrink_to_fit();
+  }
+}
+
 ortho::Scheme scheme_from_wire(std::uint8_t code) {
   switch (code) {
     case 0: return ortho::Scheme::CholQR;
@@ -405,6 +417,7 @@ void Server::Impl::process_input(std::uint64_t cid) {
   if (conns.count(cid)) {
     Conn& c = conns[cid];
     if (off > 0) c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + off);
+    shrink_if_drained(c.rbuf);
     if (!flush(c)) drop_conn(cid);
   }
 }
@@ -464,7 +477,13 @@ runtime::MatrixHandle Server::Impl::resolve_matrix(const MatrixSpec& spec) {
     if (auto it = matrix_cache.find(key); it != matrix_cache.end())
       return it->second;
   }
-  auto handle = runtime::make_input(materialize(spec));
+  // Inline specs decoded into an arena block skip materialize(): the
+  // handle adopts the decoded bytes and the keepalive pins them for the
+  // job's lifetime (including retries and failover requeues).
+  auto handle = (spec.source == MatrixSource::Inline &&
+                 !spec.inline_view.empty())
+                    ? runtime::make_input(spec.inline_view)
+                    : runtime::make_input(materialize(spec));
   if (!key.empty() && opts.matrix_cache_capacity > 0) {
     if (matrix_order.size() >= opts.matrix_cache_capacity) {
       matrix_cache.erase(matrix_order.front());
@@ -488,7 +507,9 @@ std::uint32_t Server::Impl::retry_after_ms() const {
 void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
                                  std::size_t len) {
   Conn& c = conns[cid];
-  auto req = decode_submit(payload, len);
+  // Decode inline tensor payloads straight into pool-owned arena blocks:
+  // the job then runs on the decoded bytes with zero reassembly copies.
+  auto req = decode_submit(payload, len, &sched.arena());
   if (!req) {
     bump(&ServerStats::protocol_errors);
     obs_.decode_errors.inc();
@@ -613,6 +634,10 @@ void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
   m.emplace_back("sched_inflight", double(sched.inflight()));
   m.emplace_back("sched_num_workers", double(sched.num_workers()));
   m.emplace_back("sched_recent_exec_s", sched.recent_exec_s());
+  const auto bs = sched.batch_stats();
+  m.emplace_back("sched_batches", double(bs.dispatches));
+  m.emplace_back("sched_batched_jobs", double(bs.batched_jobs));
+  m.emplace_back("sched_batch_max", double(sched.options().batch_max));
   const auto sk = sched.sketch_cache_stats();
   m.emplace_back("sketch_cache_hits", double(sk.hits));
   m.emplace_back("sketch_cache_misses", double(sk.misses));
@@ -741,6 +766,7 @@ void Server::Impl::queue_frame(Conn& c, std::vector<std::uint8_t> frame) {
   if (c.woff > 0) {
     c.wbuf.erase(c.wbuf.begin(), c.wbuf.begin() + c.woff);
     c.woff = 0;
+    shrink_if_drained(c.wbuf);
   }
   if (opts.injector) {
     // Corrupted frame: flip a magic byte so the client *deterministically*
@@ -782,6 +808,11 @@ bool Server::Impl::flush(Conn& c) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     return false;  // peer gone
   }
+  // Fully flushed: drop the pending bytes now so an idle connection does
+  // not pin the capacity of its largest-ever result between requests.
+  c.wbuf.clear();
+  c.woff = 0;
+  shrink_if_drained(c.wbuf);
   return true;
 }
 

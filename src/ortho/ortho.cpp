@@ -12,6 +12,8 @@
 #include "la/cholesky.hpp"
 #include "la/flops.hpp"
 #include "la/householder.hpp"
+#include "la/parallel.hpp"
+#include "la/profile_hooks.hpp"
 
 namespace randla::ortho {
 
@@ -247,6 +249,34 @@ OrthoReport orthonormalize_rows(Scheme scheme, MatrixView<Real> b) {
 }
 
 template <class Real>
+void cholqr_panel_batched(Scheme scheme, MatrixView<Real>* panels,
+                          index_t count, OrthoReport* reports) {
+  // Validate shapes up front so nothing throws from inside a pool chunk.
+  double total_flops = 0;
+  for (index_t i = 0; i < count; ++i) {
+    if (panels[i].rows() > panels[i].cols())
+      throw std::invalid_argument(
+          "cholqr_panel_batched: panels must be short-wide");
+    total_flops += scheme_flops(scheme, panels[i].cols(), panels[i].rows());
+  }
+  la_prof::KernelScope prof("cholqr_panel_batched", total_flops);
+  // One walk over the pool: panels are independent, so each pool chunk
+  // runs a contiguous range of them; the kernels inside a panel see the
+  // nested-parallel context and degrade to serial, which is bitwise
+  // identical to the top-level call (thread-count invariance of the
+  // BLAS-3 tier). The HHQR breakdown fallback stays per-panel.
+  auto run_range = [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i)
+      reports[i] = orthonormalize_rows(scheme, panels[i]);
+  };
+  if (blas_num_threads() > 1 && count > 1) {
+    parallel_ranges(count, 1, run_range);
+    return;
+  }
+  run_range(0, count);
+}
+
+template <class Real>
 void block_orth_rows(ConstMatrixView<Real> prev, MatrixView<Real> b,
                      int passes) {
   if (prev.rows() == 0) return;
@@ -282,6 +312,8 @@ void block_orth_columns(ConstMatrixView<Real> prev, MatrixView<Real> b,
   template OrthoReport orthonormalize_columns<Real>(Scheme, MatrixView<Real>, \
                                                     MatrixView<Real>);        \
   template OrthoReport orthonormalize_rows<Real>(Scheme, MatrixView<Real>);   \
+  template void cholqr_panel_batched<Real>(Scheme, MatrixView<Real>*,         \
+                                           index_t, OrthoReport*);            \
   template void block_orth_rows<Real>(ConstMatrixView<Real>,                  \
                                       MatrixView<Real>, int);                 \
   template void block_orth_columns<Real>(ConstMatrixView<Real>,               \

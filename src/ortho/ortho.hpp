@@ -52,6 +52,18 @@ OrthoReport orthonormalize_columns(Scheme scheme, MatrixView<Real> a,
 template <class Real>
 OrthoReport orthonormalize_rows(Scheme scheme, MatrixView<Real> b);
 
+/// Batched row orthonormalization: N independent short-wide panels
+/// processed in one walk over the persistent worker pool. Panels run
+/// concurrently (each panel's kernels degrade to serial inside its pool
+/// chunk), so N small CholQR panels — each too small to engage the pool
+/// alone — amortize one fork-join. Results are bitwise identical to
+/// calling orthonormalize_rows on each panel in a loop at any thread
+/// count, including the per-panel HHQR fallback on Cholesky breakdown.
+/// `reports[i]` receives panel i's OrthoReport.
+template <class Real>
+void cholqr_panel_batched(Scheme scheme, MatrixView<Real>* panels,
+                          index_t count, OrthoReport* reports);
+
 /// BOrth (paper Fig. 2a lines 4 and 9): orthogonalize the rows of `b`
 /// against the rows of `prev` (which must already be orthonormal):
 /// B ← B − (B·prevᵀ)·prev. `passes` = 2 gives the classical

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "fft/fft.hpp"
 #include "la/blas3.hpp"
 #include "la/flops.hpp"
 #include "la/norms.hpp"
+#include "la/parallel.hpp"
 #include "rng/gaussian.hpp"
 
 namespace randla::rsvd {
@@ -208,6 +210,174 @@ Matrix<double> compute_sample(ConstMatrixView<double> a,
     flops_out->orth_iter += local_f.orth_iter;
   }
   return b;
+}
+
+void compute_samples_batched(SampleBatchItem* items, index_t count) {
+  if (count <= 0) return;
+  if (count == 1) {
+    items[0].b = compute_sample(items[0].a, items[0].opts, &items[0].phases,
+                                &items[0].flops, &items[0].cholqr_fallbacks);
+    return;
+  }
+
+  const ortho::Scheme scheme = items[0].opts.power_ortho;
+  for (index_t i = 0; i < count; ++i) {
+    const SampleBatchItem& it = items[i];
+    if (it.opts.sampling != SamplingKind::Gaussian)
+      throw std::invalid_argument(
+          "compute_samples_batched: Gaussian sampling only");
+    if (it.opts.power_ortho != scheme)
+      throw std::invalid_argument(
+          "compute_samples_batched: mixed orthogonalization schemes");
+    if (it.opts.k <= 0)
+      throw std::invalid_argument("fixed_rank: k must be positive");
+    if (it.opts.p < 0)
+      throw std::invalid_argument("fixed_rank: p must be non-negative");
+    if (it.opts.q < 0)
+      throw std::invalid_argument("fixed_rank: q must be non-negative");
+    if (it.opts.k + it.opts.p > std::min(it.a.rows(), it.a.cols()))
+      throw std::invalid_argument("fixed_rank: k + p exceeds min(m, n)");
+  }
+
+  PhaseTimes batch_t;
+  std::vector<PhaseFlops> f(static_cast<std::size_t>(count));
+  auto fl = [&](index_t i) -> PhaseFlops& {
+    return f[static_cast<std::size_t>(i)];
+  };
+
+  // ---- Step 1: Ω generation, each job from its own seed (the PRNG is
+  // counter-based, so jobs are independent and the walk is bitwise
+  // deterministic at any thread count).
+  std::vector<Matrix<double>> omega(static_cast<std::size_t>(count));
+  {
+    PhaseTimer t(batch_t.prng, "rsvd.prng");
+    parallel_ranges(count, 1, [&](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) {
+        SampleBatchItem& it = items[i];
+        const index_t l = it.opts.k + it.opts.p;
+        omega[static_cast<std::size_t>(i)] =
+            rng::gaussian_matrix<double>(l, it.a.rows(), it.opts.seed);
+        it.b = Matrix<double>(l, it.a.cols());
+        fl(i).prng += double(l) * double(it.a.rows());
+      }
+    });
+  }
+
+  // ---- Step 1: every job's sampling GEMM B = Ω·A in one batched walk.
+  {
+    PhaseTimer t(batch_t.sampling, "rsvd.sampling");
+    std::vector<blas::GemmProblem<double>> probs(
+        static_cast<std::size_t>(count));
+    for (index_t i = 0; i < count; ++i) {
+      SampleBatchItem& it = items[i];
+      auto& p = probs[static_cast<std::size_t>(i)];
+      p.a = ConstMatrixView<double>(omega[static_cast<std::size_t>(i)].view());
+      p.b = it.a;
+      p.c = it.b.view();
+      fl(i).sampling += flops::gemm(it.b.rows(), it.b.cols(), it.a.rows());
+    }
+    blas::gemm_batched(probs.data(), count);
+  }
+  omega.clear();
+
+  // ---- Step 1 (cont.): lock-step power iterations. Jobs whose q is
+  // exhausted drop out of the round; within a round the orthogonalization
+  // of every active job's panel is one cholqr_panel_batched walk and the
+  // two multiplies are one gemm_batched each.
+  index_t max_q = 0;
+  for (index_t i = 0; i < count; ++i)
+    max_q = std::max(max_q, items[i].opts.q);
+  std::vector<Matrix<double>> c(static_cast<std::size_t>(count));
+  for (index_t i = 0; i < count; ++i)
+    if (items[i].opts.q > 0)
+      c[static_cast<std::size_t>(i)] =
+          Matrix<double>(items[i].b.rows(), items[i].a.rows());
+
+  std::vector<index_t> active;
+  std::vector<MatrixView<double>> panels;
+  std::vector<ortho::OrthoReport> reps;
+  auto orth_active = [&](bool rows_of_b) {
+    PhaseTimer t(batch_t.orth_iter, "rsvd.orth_iter");
+    panels.clear();
+    for (index_t idx : active)
+      panels.push_back(rows_of_b
+                           ? items[idx].b.view()
+                           : c[static_cast<std::size_t>(idx)].view());
+    reps.assign(active.size(), ortho::OrthoReport{});
+    ortho::cholqr_panel_batched(scheme, panels.data(),
+                                static_cast<index_t>(panels.size()),
+                                reps.data());
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (reps[j].fallback_used) ++items[active[j]].cholqr_fallbacks;
+      fl(active[j]).orth_iter += reps[j].flops;
+    }
+  };
+
+  for (index_t it = 0; it < max_q; ++it) {
+    active.clear();
+    for (index_t i = 0; i < count; ++i)
+      if (items[i].opts.q > it) active.push_back(i);
+
+    orth_active(/*rows_of_b=*/true);
+    {
+      PhaseTimer t(batch_t.gemm_iter, "rsvd.gemm_iter");
+      std::vector<blas::GemmProblem<double>> probs(active.size());
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        SampleBatchItem& itj = items[active[j]];
+        auto& p = probs[j];
+        p.opb = Op::Trans;
+        p.a = ConstMatrixView<double>(itj.b.view());
+        p.b = itj.a;
+        p.c = c[static_cast<std::size_t>(active[j])].view();
+        fl(active[j]).gemm_iter +=
+            flops::gemm(itj.b.rows(), itj.a.rows(), itj.a.cols());
+      }
+      blas::gemm_batched(probs.data(), static_cast<index_t>(probs.size()));
+    }
+    orth_active(/*rows_of_b=*/false);
+    {
+      PhaseTimer t(batch_t.gemm_iter, "rsvd.gemm_iter");
+      std::vector<blas::GemmProblem<double>> probs(active.size());
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        SampleBatchItem& itj = items[active[j]];
+        auto& p = probs[j];
+        p.a = ConstMatrixView<double>(
+            c[static_cast<std::size_t>(active[j])].view());
+        p.b = itj.a;
+        p.c = itj.b.view();
+        fl(active[j]).gemm_iter +=
+            flops::gemm(itj.b.rows(), itj.a.cols(), itj.a.rows());
+      }
+      blas::gemm_batched(probs.data(), static_cast<index_t>(probs.size()));
+    }
+  }
+
+  // Attribute each batch phase's wall time to jobs by flop share (the
+  // deadline model calibrates on per-job exec seconds, so every second
+  // of the batch must land on exactly one job).
+  PhaseFlops tot;
+  for (index_t i = 0; i < count; ++i) {
+    tot.prng += fl(i).prng;
+    tot.sampling += fl(i).sampling;
+    tot.gemm_iter += fl(i).gemm_iter;
+    tot.orth_iter += fl(i).orth_iter;
+  }
+  auto share = [&](double batch_s, double mine, double total) {
+    return total > 0 ? batch_s * (mine / total) : batch_s / double(count);
+  };
+  for (index_t i = 0; i < count; ++i) {
+    SampleBatchItem& it = items[i];
+    it.phases.prng += share(batch_t.prng, fl(i).prng, tot.prng);
+    it.phases.sampling += share(batch_t.sampling, fl(i).sampling, tot.sampling);
+    it.phases.gemm_iter +=
+        share(batch_t.gemm_iter, fl(i).gemm_iter, tot.gemm_iter);
+    it.phases.orth_iter +=
+        share(batch_t.orth_iter, fl(i).orth_iter, tot.orth_iter);
+    it.flops.prng += fl(i).prng;
+    it.flops.sampling += fl(i).sampling;
+    it.flops.gemm_iter += fl(i).gemm_iter;
+    it.flops.orth_iter += fl(i).orth_iter;
+  }
 }
 
 FixedRankResult fixed_rank(ConstMatrixView<double> a,

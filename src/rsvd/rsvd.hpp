@@ -73,6 +73,29 @@ Matrix<double> compute_sample(ConstMatrixView<double> a,
                               PhaseFlops* flops = nullptr,
                               int* cholqr_fallbacks = nullptr);
 
+/// One job's Step-1 sample in a batched computation: inputs (a, opts)
+/// and outputs (b, phases, flops, cholqr_fallbacks) for that job.
+struct SampleBatchItem {
+  ConstMatrixView<double> a;
+  FixedRankOptions opts;
+  Matrix<double> b;          ///< out: the ℓ×n sampled matrix
+  PhaseTimes phases;         ///< out: batch wall time, flops-share attributed
+  PhaseFlops flops;          ///< out: this job's own flop counts
+  int cholqr_fallbacks = 0;  ///< out: power-iteration orthogonalization rescues
+};
+
+/// Step 1 for N independent jobs through the batched kernel tier: all
+/// sampling GEMMs run as one gemm_batched walk, and each power-iteration
+/// round batches the row orthonormalizations (cholqr_panel_batched) and
+/// the B·Aᵀ / C·A multiplies of every still-active job (jobs with
+/// different q drop out as their iterations complete). Each item's `b`
+/// is bitwise identical to compute_sample on that item alone — the
+/// batch only changes scheduling, never summation order — so cached
+/// results stay deterministic. Requires Gaussian sampling and a uniform
+/// power_ortho scheme across items (the collector's compatibility
+/// predicate guarantees both).
+void compute_samples_batched(SampleBatchItem* items, index_t count);
+
 /// Steps 2–3 of Figure 2(b) applied to an already-computed sampled
 /// matrix B (ℓ×n): truncated QP3 of B, then QR of A·P₁:k and the
 /// triangular assembly of R.

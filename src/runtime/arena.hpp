@@ -1,0 +1,55 @@
+// arena.hpp — aligned arena allocator backing the zero-copy ingest path
+// (DESIGN.md §12).
+//
+// The wire decoder leases a block per inline tensor payload and memcpys
+// the little-endian f64 bytes into it once; jobs then run on a
+// SharedConstMatrixView of the block, so decode → kernel pack touches
+// the data exactly one time. Blocks are 64-byte aligned (cache-line and
+// AVX2-friendly for the pack kernels) and recycled through power-of-two
+// size-class free lists, so a steady request mix settles into zero
+// mallocs per frame.
+//
+// Lifetime rules: a lease is a shared_ptr whose deleter parks the block
+// back on the free list. The deleter shares ownership of the arena's
+// internal state, so leased blocks may outlive the Arena object itself
+// — a job retried or failed over to another device keeps its decoded
+// bytes alive through the MatrixHandle keepalive alone, and the last
+// release frees whatever the free-list cap does not retain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace randla::runtime {
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t allocs = 0;       ///< fresh aligned allocations
+    std::uint64_t reuses = 0;       ///< leases served from a free list
+    std::uint64_t outstanding = 0;  ///< live leases right now
+    std::uint64_t leased_bytes = 0; ///< bytes in live leases
+    std::uint64_t free_bytes = 0;   ///< bytes parked on free lists
+  };
+
+  /// `max_free_bytes` caps the memory parked on free lists; releases
+  /// beyond the cap free eagerly instead of parking.
+  explicit Arena(std::size_t max_free_bytes = std::size_t(64) << 20);
+
+  /// Lease storage for `count` doubles, 64-byte aligned, contents
+  /// uninitialized. Thread-safe. The lease returns its block to the
+  /// arena (or frees it, past the cap) when the last reference drops.
+  std::shared_ptr<double> lease(std::size_t count);
+
+  Stats stats() const;
+
+  /// Drop every parked free block (shrink after a burst).
+  void trim();
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace randla::runtime

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "la/matrix.hpp"
 
@@ -57,15 +59,35 @@ Fingerprint fingerprint_matrix(ConstMatrixView<double> a);
 class FingerprintedMatrix {
  public:
   explicit FingerprintedMatrix(Matrix<double> data)
-      : data_(std::move(data)), fp_(fingerprint_matrix(data_.view())) {}
+      : data_(std::move(data)),
+        view_(data_.view()),
+        fp_(fingerprint_matrix(view_)) {}
 
-  ConstMatrixView<double> view() const { return data_.view(); }
-  index_t rows() const { return data_.rows(); }
-  index_t cols() const { return data_.cols(); }
+  /// Zero-copy: adopt externally owned storage (e.g. the arena block
+  /// the wire decoder filled). `keepalive` pins the bytes for the
+  /// handle's lifetime — across cache inserts, retries, and failover —
+  /// without this object ever copying them.
+  FingerprintedMatrix(ConstMatrixView<double> view,
+                      std::shared_ptr<const void> keepalive)
+      : keepalive_(std::move(keepalive)),
+        view_(view),
+        fp_(fingerprint_matrix(view_)) {}
+
+  // view_ points into data_ on the owning path; pin the object.
+  FingerprintedMatrix(const FingerprintedMatrix&) = delete;
+  FingerprintedMatrix& operator=(const FingerprintedMatrix&) = delete;
+
+  ConstMatrixView<double> view() const { return view_; }
+  index_t rows() const { return view_.rows(); }
+  index_t cols() const { return view_.cols(); }
   const Fingerprint& fingerprint() const { return fp_; }
+  /// True when this handle runs on adopted (non-owned) storage.
+  bool zero_copy() const { return keepalive_ != nullptr; }
 
  private:
-  Matrix<double> data_;
+  Matrix<double> data_;                    ///< owning path only
+  std::shared_ptr<const void> keepalive_;  ///< zero-copy path only
+  ConstMatrixView<double> view_;
   Fingerprint fp_;
 };
 

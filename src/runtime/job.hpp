@@ -29,6 +29,13 @@ inline MatrixHandle make_input(Matrix<double> a) {
   return std::make_shared<const FingerprintedMatrix>(std::move(a));
 }
 
+/// Zero-copy: wrap externally owned bytes (an arena-decoded inline
+/// payload); the keepalive pins them for the handle's lifetime.
+inline MatrixHandle make_input(SharedConstMatrixView<double> a) {
+  return std::make_shared<const FingerprintedMatrix>(a.view,
+                                                     std::move(a.keepalive));
+}
+
 /// Fixed-rank random sampling request (paper Fig. 2).
 struct FixedRankJob {
   MatrixHandle a;

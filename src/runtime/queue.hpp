@@ -54,6 +54,19 @@ class BoundedQueue {
     return true;
   }
 
+  /// Batching collector: pop the front item only when `pred(front)` says
+  /// it can join the caller's batch. Non-blocking; FIFO order preserved —
+  /// an incompatible head blocks the drain rather than being skipped, so
+  /// batching can never reorder jobs past one another.
+  template <class Pred>
+  std::optional<T> try_pop_if(Pred&& pred) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty() || !pred(items_.front())) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Non-blocking pop (last-worker-down drain path).
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lk(mu_);

@@ -41,6 +41,24 @@ obs::Counter watchdog_counter() {
   return c;
 }
 
+obs::Counter batches_counter() {
+  static obs::Counter c = obs::Registry::global().counter(
+      "runtime_batches_total", "coalesced dispatches (2+ jobs)");
+  return c;
+}
+
+obs::Counter batched_jobs_counter() {
+  static obs::Counter c = obs::Registry::global().counter(
+      "runtime_batched_jobs_total", "jobs that rode a coalesced dispatch");
+  return c;
+}
+
+obs::Gauge batch_occupancy_gauge() {
+  static obs::Gauge g = obs::Registry::global().gauge(
+      "runtime_batch_occupancy", "last dispatch size / batch_max");
+  return g;
+}
+
 /// Next stabler power-iteration orthogonalization after a breakdown.
 ortho::Scheme escalate(ortho::Scheme s) {
   switch (s) {
@@ -71,6 +89,9 @@ Scheduler::Scheduler(SchedulerOptions opts)
   // before the first failure (chaos CI asserts their presence).
   requeued_counter();
   watchdog_counter();
+  batches_counter();
+  batched_jobs_counter();
+  batch_occupancy_gauge();
   slots_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) slots_.push_back(std::make_unique<ExecSlot>());
   workers_.reserve(static_cast<std::size_t>(n));
@@ -103,6 +124,10 @@ std::vector<WorkerStats> Scheduler::worker_stats() const {
                               dev.modeled_time()});
   }
   return out;
+}
+
+BatchStats Scheduler::batch_stats() const {
+  return BatchStats{batches_.load(), batched_jobs_.load()};
 }
 
 FaultStats Scheduler::fault_stats() const {
@@ -307,6 +332,23 @@ void Scheduler::worker_loop(int widx) {
       continue;
     }
 
+    // --- batching collector (DESIGN.md §12) ---------------------------
+    // Coalesce compatible queued FixedRank jobs behind this one into a
+    // single batched dispatch. A singleton batch falls through to the
+    // solo path below unchanged.
+    if (opts_.batch_max > 1) {
+      auto batch = collect_batch(std::move(*pending), widx);
+      if (batch.size() > 1) {
+        if (!run_batch(std::move(batch), widx)) {
+          // Device died mid-batch; every member was handed off. Retire.
+          if (healthy_.load() == 0) drain_queue_no_workers();
+          return;
+        }
+        continue;
+      }
+      pending = std::move(batch.front());
+    }
+
     const double queue_wait = now() - pending->submit_s;
     const std::uint64_t trace_id = pending->job.trace_id;
     if (trace_id != 0 && obs::Tracer::global().enabled()) {
@@ -508,15 +550,15 @@ JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait,
 
 JobOutcome Scheduler::run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
                                      double remaining_s) {
-  JobOutcome outcome;
-  outcome.trace = trace;  // keep deadline fields already filled
-  JobTrace& tr = outcome.trace;
-
-  const index_t m = fj.a->rows();
-  const index_t n = fj.a->cols();
   rsvd::FixedRankOptions opts = fj.opts;
-  tr.q_requested = opts.q;
+  trace.q_requested = opts.q;
+  degrade_to_fit(opts, fj.a->rows(), fj.a->cols(), remaining_s, trace);
+  return finish_fixed_rank(fj, std::move(opts), trace, nullptr);
+}
 
+void Scheduler::degrade_to_fit(rsvd::FixedRankOptions& opts, index_t m,
+                               index_t n, double remaining_s,
+                               JobTrace& trace) const {
   // Graceful degradation: if the modeled plan does not fit the remaining
   // deadline budget, shed power iterations first — they dominate the
   // cost (each iteration re-pays the sampling GEMM twice) and only
@@ -527,16 +569,26 @@ JobOutcome Scheduler::run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
         opts_.spec, m, n, opts.k + opts.p, opts.q, budget_modeled);
     if (q_fit < opts.q) {
       opts.q = q_fit;
-      tr.degraded = true;
+      trace.degraded = true;
     }
   }
+}
+
+JobOutcome Scheduler::finish_fixed_rank(const FixedRankJob& fj,
+                                        rsvd::FixedRankOptions opts,
+                                        JobTrace& trace,
+                                        std::shared_ptr<SketchEntry> fresh) {
+  JobOutcome outcome;
+  outcome.trace = trace;  // keep deadline fields already filled
+  JobTrace& tr = outcome.trace;
 
   // Bounded retry: escalate the power-iteration orthogonalization while
   // the *sampling stage* reports CholQR breakdowns (the kernel already
   // rescued itself with HHQR, but the stabler scheme avoids the
   // breakdown entirely on the re-run). Cache hits are trusted as-is.
   for (;;) {
-    auto pass = fixed_rank_pass(fj, opts, tr);
+    auto pass = fixed_rank_pass(fj, opts, tr, std::move(fresh));
+    fresh = nullptr;  // a re-run must resample with the stabler scheme
     tr.q_used = opts.q;
     tr.cholqr_fallbacks = pass.res->cholqr_fallbacks;
     if (tr.cache != CacheDisposition::Result && pass.step1_fallbacks > 0 &&
@@ -561,7 +613,7 @@ JobOutcome Scheduler::run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
 
 Scheduler::PassResult Scheduler::fixed_rank_pass(
     const FixedRankJob& fj, const rsvd::FixedRankOptions& opts,
-    JobTrace& trace) {
+    JobTrace& trace, std::shared_ptr<SketchEntry> fresh) {
   const auto a = fj.a->view();
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -596,11 +648,17 @@ Scheduler::PassResult Scheduler::fixed_rank_pass(
     trace.cache = CacheDisposition::Sketch;
     trace.modeled_s = full_est.qrcp + full_est.qr;
   } else {
-    // Miss (or a narrower sketch than needed): full Step 1, publishing
-    // the fresh sample for later rank refinements, then Steps 2–3.
-    auto entry = std::make_shared<SketchEntry>();
-    entry->b = rsvd::compute_sample(a, opts, &entry->phases, &entry->flops,
-                                    &entry->cholqr_fallbacks);
+    // Miss (or a narrower sketch than needed): full Step 1 — either the
+    // batched sample the collector handed in or a solo compute — then
+    // publish it for later rank refinements and run Steps 2–3.
+    std::shared_ptr<SketchEntry> entry;
+    if (fresh && fresh->b.rows() >= l) {
+      entry = std::move(fresh);
+    } else {
+      entry = std::make_shared<SketchEntry>();
+      entry->b = rsvd::compute_sample(a, opts, &entry->phases, &entry->flops,
+                                      &entry->cholqr_fallbacks);
+    }
     sketches_.put(skey, entry);
     res = std::make_shared<rsvd::FixedRankResult>(
         rsvd::finish_from_sample(a, entry->b.view(), opts.k,
@@ -623,6 +681,287 @@ Scheduler::PassResult Scheduler::fixed_rank_pass(
   results_.put(rkey, res);
   out.res = std::move(res);
   return out;
+}
+
+// ---------------------------------------------------------------------
+// Batching collector (DESIGN.md §12)
+
+std::vector<Scheduler::PendingJob> Scheduler::collect_batch(PendingJob first,
+                                                            int widx) {
+  std::vector<PendingJob> batch;
+  batch.reserve(static_cast<std::size_t>(std::max(1, opts_.batch_max)));
+  const auto* lead = std::get_if<FixedRankJob>(&first.job.payload);
+  const bool leadable =
+      lead != nullptr && lead->opts.sampling == rsvd::SamplingKind::Gaussian;
+  const ortho::Scheme scheme =
+      leadable ? lead->opts.power_ortho : ortho::Scheme::CholQR2;
+  batch.push_back(std::move(first));
+  if (!leadable) return batch;
+
+  // Compatibility = the batched Step-1 kernel's contract: FixedRank,
+  // Gaussian sampling, one shared power-iteration scheme. Everything
+  // else (k/p/q, shape, deadline) may differ per job.
+  const auto compatible = [&](const PendingJob& p) {
+    if (p.excluded_devices & (1u << (widx & 31))) return false;
+    const auto* fj = std::get_if<FixedRankJob>(&p.job.payload);
+    return fj != nullptr &&
+           fj->opts.sampling == rsvd::SamplingKind::Gaussian &&
+           fj->opts.power_ortho == scheme;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cap = static_cast<std::size_t>(std::max(1, opts_.batch_max));
+  while (batch.size() < cap) {
+    if (auto next = queue_.try_pop_if(compatible)) {
+      batch.push_back(std::move(*next));
+      continue;
+    }
+    // Size window not met: linger briefly for stragglers, then go with
+    // what we have — batching must never cost more latency than it
+    // saves, so the window stays well under one service time.
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (waited >= opts_.batch_linger_s) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  queue_depth_gauge().set(double(queue_.size()));
+  return batch;
+}
+
+bool Scheduler::run_batch(std::vector<PendingJob> batch, int widx) {
+  auto& dev = ctx_->device(widx);
+  const std::size_t count = batch.size();
+  const double dispatch_s = now();
+
+  batches_.fetch_add(1);
+  batched_jobs_.fetch_add(count);
+  batches_counter().inc();
+  batched_jobs_counter().add(double(count));
+  batch_occupancy_gauge().set(double(count) /
+                              double(std::max(1, opts_.batch_max)));
+
+  // Per-job queue→dispatch latency (includes the collector's linger).
+  std::vector<double> queue_wait(count);
+  const auto dispatch_tp = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    queue_wait[i] = dispatch_s - batch[i].submit_s;
+    const std::uint64_t tid = batch[i].job.trace_id;
+    if (tid != 0 && obs::Tracer::global().enabled()) {
+      const auto begin =
+          start_ + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(batch[i].submit_s));
+      obs::Tracer::global().record_complete(tid, "queue.wait", "runtime",
+                                            begin, dispatch_tp);
+    }
+  }
+
+  // One watchdog slot guards the whole dispatch; the budget is the max
+  // per-job budget so a shared batch is never cancelled earlier than its
+  // most patient member would have been alone.
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  double budget = 0;
+  for (const auto& p : batch)
+    budget = std::max(budget, watchdog_budget(p.job));
+  auto& slot = *slots_[static_cast<std::size_t>(widx)];
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    slot.cancel = cancel;
+    slot.started_s = now();
+    slot.budget_s = budget;
+    slot.fired = false;
+  }
+
+  std::vector<JobOutcome> outcomes(count);
+  bool device_died = false;
+  try {
+    dev.submit([&] { execute_batch(batch, queue_wait, outcomes, cancel); })
+        .get();
+  } catch (const sim::DeviceFailedError&) {
+    device_died = true;
+  }
+  const auto done_tp = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    slot.cancel = nullptr;
+    slot.started_s = -1;
+  }
+  if (device_died) {
+    for (auto& p : batch) handoff(std::move(p), widx);
+    return false;
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    JobOutcome& outcome = outcomes[i];
+    PendingJob& p = batch[i];
+    const std::uint64_t tid = p.job.trace_id;
+    if (tid != 0 && obs::Tracer::global().enabled()) {
+      // One exec span per member over the shared dispatch window.
+      obs::Tracer::global().record_complete(tid, "worker.exec", "runtime",
+                                            dispatch_tp, done_tp);
+    }
+    outcome.trace.job_id = p.handle->id();
+    outcome.trace.trace_id = tid;
+    outcome.trace.tag = p.job.tag;
+    outcome.trace.kind = job_kind(p.job);
+    outcome.trace.submit_s = p.submit_s;
+    outcome.trace.queue_wait_s = queue_wait[i];
+    outcome.trace.worker = widx;
+    outcome.trace.batch_size = static_cast<int>(count);
+    dev.charge(outcome.trace.modeled_s);
+    if (outcome.trace.exec_s > 0) {
+      std::lock_guard<std::mutex> lk(calib_mu_);
+      exec_ema_s_ = exec_ema_s_ <= 0
+                        ? outcome.trace.exec_s
+                        : 0.8 * exec_ema_s_ + 0.2 * outcome.trace.exec_s;
+    }
+    telemetry_.record(outcome.trace);
+    p.handle->fulfill(std::move(outcome));
+    inflight_.fetch_sub(1);
+  }
+  inflight_gauge().set(double(inflight_.load()));
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);  // pairs with drain()'s wait
+  }
+  drain_cv_.notify_all();
+  return true;
+}
+
+void Scheduler::execute_batch(std::vector<PendingJob>& batch,
+                              const std::vector<double>& queue_wait,
+                              std::vector<JobOutcome>& outcomes,
+                              const std::shared_ptr<std::atomic<bool>>& cancel) {
+  const std::size_t count = batch.size();
+
+  // Injected faults fire once per dispatch — a batch is one "launch",
+  // exactly like the solo path's single execute() call.
+  if (opts_.injector) {
+    if (opts_.injector->fire(fault::FaultKind::JobLatency)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts_.injector->config().latency_ms));
+    }
+    if (opts_.injector->fire(fault::FaultKind::WorkerHang)) {
+      const auto hang0 = std::chrono::steady_clock::now();
+      const double cap_s = opts_.injector->config().hang_cap_s;
+      for (;;) {
+        if (cancel && cancel->load(std::memory_order_acquire)) {
+          for (std::size_t i = 0; i < count; ++i) {
+            auto& o = outcomes[i];
+            o.status = o.trace.status = JobStatus::Failed;
+            o.error = o.trace.error =
+                "watchdog: cancelled after exceeding execution budget";
+            o.trace.exec_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - hang0)
+                                 .count();
+          }
+          return;
+        }
+        if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          hang0)
+                .count() >= cap_s)
+          break;  // hang over; the batch proceeds normally
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  // Per-job admission: deadline bookkeeping mirrors execute() exactly,
+  // then jobs classify into (a) the shared batched Step-1 or (b) the
+  // solo ladder (cache hits, shapes the batched kernel rejects).
+  struct Plan {
+    rsvd::FixedRankOptions opts;
+    std::size_t item = SIZE_MAX;  ///< index into the batched Step-1 items
+    bool done = false;            ///< expired before dispatch
+  };
+  std::vector<Plan> plans(count);
+  std::vector<rsvd::SampleBatchItem> items;
+  std::vector<std::size_t> item_job;  // item index → job index
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Job& job = batch[i].job;
+    JobOutcome& outcome = outcomes[i];
+    JobTrace& tr = outcome.trace;
+    double deadline = job.deadline_s;
+    if (deadline == 0) deadline = opts_.default_deadline_s;
+    if (deadline < 0) deadline = 0;
+    tr.deadline_s = deadline;
+    if (deadline > 0 && queue_wait[i] >= deadline) {
+      outcome.status = tr.status = JobStatus::Expired;
+      outcome.error = tr.error = "deadline exceeded while queued";
+      plans[i].done = true;
+      continue;
+    }
+    const double remaining = deadline > 0 ? deadline - queue_wait[i] : 0;
+    const auto& fj = std::get<FixedRankJob>(job.payload);
+    plans[i].opts = fj.opts;
+    tr.q_requested = fj.opts.q;
+    degrade_to_fit(plans[i].opts, fj.a->rows(), fj.a->cols(), remaining, tr);
+
+    const auto& opts = plans[i].opts;
+    const index_t l = opts.k + opts.p;
+    const index_t mn = std::min(fj.a->rows(), fj.a->cols());
+    if (opts.k <= 0 || opts.p < 0 || opts.q < 0 || l > mn)
+      continue;  // solo ladder reports the precise error
+    const auto& fp = fj.a->fingerprint();
+    if (results_.get(make_result_key(fp, opts)))
+      continue;  // solo ladder re-hits the result cache for free
+    const auto sketch = sketches_.get(make_sketch_key(fp, opts));
+    if (sketch && sketch->b.rows() >= l)
+      continue;  // Steps 2–3 only; there is no Step-1 to batch
+
+    plans[i].item = items.size();
+    item_job.push_back(i);
+    rsvd::SampleBatchItem item;
+    item.a = fj.a->view();
+    item.opts = opts;
+    items.push_back(std::move(item));
+  }
+
+  // One shared Step-1 for every cache-missing member.
+  if (!items.empty()) {
+    try {
+      rsvd::compute_samples_batched(items.data(),
+                                    static_cast<index_t>(items.size()));
+    } catch (...) {
+      // Unreachable after the shape guards above, but never let a batch
+      // kernel refusal fail N jobs: fall back to the solo ladder each.
+      for (const std::size_t j : item_job) plans[j].item = SIZE_MAX;
+    }
+  }
+
+  // Per-job Steps 2–3, caches, and the retry ladder — the solo
+  // machinery, with the batched sample injected as the first pass.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (plans[i].done) continue;
+    JobOutcome& outcome = outcomes[i];
+    JobTrace& tr = outcome.trace;
+    const auto& fj = std::get<FixedRankJob>(batch[i].job.payload);
+    double step1_attr = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      std::shared_ptr<SketchEntry> fresh;
+      if (plans[i].item != SIZE_MAX) {
+        auto& item = items[plans[i].item];
+        fresh = std::make_shared<SketchEntry>();
+        fresh->b = std::move(item.b);
+        fresh->phases = item.phases;  // flops-share attributed batch time
+        fresh->flops = item.flops;
+        fresh->cholqr_fallbacks = item.cholqr_fallbacks;
+        step1_attr = item.phases.total();
+      }
+      outcome = finish_fixed_rank(fj, plans[i].opts, tr, std::move(fresh));
+    } catch (const std::exception& e) {
+      outcome.status = tr.status = JobStatus::Failed;
+      outcome.error = tr.error = e.what();
+    }
+    // exec_s = this job's own finishing wall time plus its flops-share
+    // of the shared Step-1 wall — summed over the batch it matches the
+    // real dispatch time, so the EMA behind Retry-After stays honest.
+    outcome.trace.exec_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() +
+        step1_attr;
+  }
 }
 
 }  // namespace randla::runtime

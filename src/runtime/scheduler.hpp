@@ -40,6 +40,7 @@
 
 #include "fault/injector.hpp"
 #include "model/perfmodel.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/job.hpp"
 #include "runtime/queue.hpp"
@@ -58,6 +59,21 @@ struct SchedulerOptions {
   bool enable_cache = true;
   bool enable_degradation = true;
   model::DeviceSpec spec;           ///< modeled device for every worker
+  // --- batching collector (DESIGN.md §12) -----------------------------
+  /// A worker that pops a FixedRank job drains up to batch_max-1 more
+  /// compatible queued jobs (FixedRank, Gaussian sampling, same
+  /// power-iteration scheme) and dispatches them as ONE batched Step-1
+  /// over the worker pool, amortizing pack/launch overhead. 1 disables
+  /// coalescing; per-job deadlines, caches, degradation, and the retry
+  /// ladder are enforced exactly as on the solo path either way.
+  int batch_max = 1;
+  /// Once a worker holds at least one job but fewer than batch_max, it
+  /// lingers this long for stragglers before dispatching. Under a
+  /// saturating load the backlog is already queued when a worker pops,
+  /// so the default drains without waiting — lingering there only
+  /// delays solo jobs. Raise for open-loop arrivals you want smoothed
+  /// into batches; keep well under one service time.
+  double batch_linger_s = 0;
   // --- fault plane (DESIGN.md §10) ------------------------------------
   fault::InjectorPtr injector;      ///< null = no injected faults
   int max_resubmits = 2;            ///< failover requeues before Failed
@@ -89,6 +105,12 @@ struct FaultStats {
   std::uint64_t watchdog_fired = 0;   ///< cancellations issued
   std::uint64_t device_failures = 0;  ///< devices marked unhealthy
   int healthy_workers = 0;
+};
+
+/// Batching-collector counters (occupancy = batched_jobs / dispatches).
+struct BatchStats {
+  std::uint64_t dispatches = 0;    ///< batched dispatches (size ≥ 2)
+  std::uint64_t batched_jobs = 0;  ///< jobs that rode in those dispatches
 };
 
 /// Per-device health row (the HealthReply wire frame's payload).
@@ -131,6 +153,13 @@ class Scheduler {
   int num_workers() const;
   std::vector<WorkerStats> worker_stats() const;
   const SchedulerOptions& options() const { return opts_; }
+
+  /// Aligned ingest arena owned by the pool. Front-ends decode inline
+  /// tensor payloads straight into leased blocks; the blocks stay alive
+  /// through retries/failover via the MatrixHandle keepalive and are
+  /// recycled here once the last handle drops (DESIGN.md §12).
+  Arena& arena() { return arena_; }
+  BatchStats batch_stats() const;
 
   // --- fault plane ----------------------------------------------------
   /// Kill a device from outside (tests, ops tooling): it is marked
@@ -176,6 +205,27 @@ class Scheduler {
                      const std::shared_ptr<std::atomic<bool>>& cancel);
   JobOutcome run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
                             double remaining_s);
+  // --- batching collector (DESIGN.md §12) -----------------------------
+  /// Drain compatible queued jobs behind `first` (size/linger window).
+  std::vector<PendingJob> collect_batch(PendingJob first, int widx);
+  /// Dispatch a coalesced batch on device `widx`; false → device died
+  /// mid-batch and every job was handed off (the worker must retire).
+  bool run_batch(std::vector<PendingJob> batch, int widx);
+  /// Device-thread body: per-job deadline/cache/degradation, one shared
+  /// batched Step-1, per-job Steps 2–3 + retry ladder.
+  void execute_batch(std::vector<PendingJob>& batch,
+                     const std::vector<double>& queue_wait,
+                     std::vector<JobOutcome>& outcomes,
+                     const std::shared_ptr<std::atomic<bool>>& cancel);
+  /// Shed power iterations to fit `remaining_s` (shared by both paths).
+  void degrade_to_fit(rsvd::FixedRankOptions& opts, index_t m, index_t n,
+                      double remaining_s, JobTrace& trace) const;
+  /// Cache-aware retry ladder on already-degraded options; `fresh`, when
+  /// non-null, supplies a batched Step-1 sample consumed by the first
+  /// pass instead of computing one.
+  JobOutcome finish_fixed_rank(const FixedRankJob& fj,
+                               rsvd::FixedRankOptions opts, JobTrace& trace,
+                               std::shared_ptr<SketchEntry> fresh);
   /// One cache-aware fixed-rank pass with the given (possibly escalated
   /// or degraded) options. step1_fallbacks reports CholQR breakdowns in
   /// the *sampling* stage only — the signal the retry policy escalates
@@ -187,12 +237,14 @@ class Scheduler {
   };
   PassResult fixed_rank_pass(const FixedRankJob& fj,
                              const rsvd::FixedRankOptions& opts,
-                             JobTrace& trace);
+                             JobTrace& trace,
+                             std::shared_ptr<SketchEntry> fresh = nullptr);
 
   double calibration() const;
   void observe_calibration(double real_s, double modeled_s);
 
   SchedulerOptions opts_;
+  Arena arena_;
   std::unique_ptr<sim::MultiDeviceContext> ctx_;
   BoundedQueue<PendingJob> queue_;
   SketchCache sketches_;
@@ -209,6 +261,9 @@ class Scheduler {
   mutable std::mutex calib_mu_;
   double calib_real_per_modeled_ = 1.0;
   double exec_ema_s_ = 0;
+
+  std::atomic<std::uint64_t> batches_{0};       ///< batched dispatches
+  std::atomic<std::uint64_t> batched_jobs_{0};  ///< jobs in those dispatches
 
   std::atomic<int> healthy_{0};
   std::atomic<std::uint64_t> jobs_requeued_{0};

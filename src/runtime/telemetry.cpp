@@ -123,6 +123,7 @@ std::string to_json(const JobTrace& t) {
   append_kv(out, "q_requested", double(t.q_requested));
   append_kv(out, "q_used", double(t.q_used));
   append_kv(out, "deadline_s", t.deadline_s);
+  append_kv(out, "batch_size", double(t.batch_size));
   if (!t.error.empty()) append_kv(out, "error", t.error);
   close_object(out);
   return out;

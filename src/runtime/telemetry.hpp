@@ -65,6 +65,8 @@ struct JobTrace {
   index_t q_requested = 0;
   index_t q_used = 0;
   double deadline_s = 0;       ///< effective deadline (0 = none)
+  /// Jobs coalesced into the dispatch that ran this job (1 = solo).
+  int batch_size = 1;
   std::string error;
 };
 

@@ -151,6 +151,101 @@ TEST(Scheduler, DeterministicUnderConcurrentSubmission) {
   }
 }
 
+// The batching collector (DESIGN.md §12) must coalesce compatible
+// FixedRank jobs into shared dispatches while leaving every answer
+// bitwise-identical to the library call, and its occupancy counters and
+// per-trace batch_size must record that coalescing actually happened.
+TEST(Scheduler, BatchingCollectorMatchesSoloAnswersBitwise) {
+  constexpr int kJobs = 12;
+  std::vector<Matrix<double>> mats;
+  std::vector<rsvd::FixedRankOptions> opts(kJobs);
+  std::vector<rsvd::FixedRankResult> refs;
+  for (int i = 0; i < kJobs; ++i) {
+    mats.push_back(randla::testing::random_matrix<double>(
+        120 + 10 * (i % 3), 80 + 6 * (i % 4), 100 + i));
+    opts[i].k = 8 + (i % 3);
+    opts[i].p = 4;
+    opts[i].q = i % 3;  // heterogeneous depths batch lock-step
+    opts[i].seed = 500 + i;
+    refs.push_back(rsvd::fixed_rank(
+        ConstMatrixView<double>(mats[i].view()), opts[i]));
+  }
+
+  SchedulerOptions so;
+  so.num_workers = 1;  // one worker drains the whole backlog as batches
+  so.queue_capacity = kJobs + 4;
+  so.batch_max = 4;
+  so.batch_linger_s = 0.02;  // generous window: submissions win the race
+  so.enable_cache = false;
+  Scheduler sched(so);
+
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  for (int i = 0; i < kJobs; ++i) {
+    Job job;
+    job.payload = FixedRankJob{
+        make_input(Matrix<double>::copy_of(mats[i].view())), opts[i]};
+    auto sub = sched.submit(std::move(job));
+    ASSERT_EQ(sub.status, PushStatus::Ok);
+    handles.push_back(std::move(sub.handle));
+  }
+  sched.drain();
+
+  for (int i = 0; i < kJobs; ++i) {
+    const auto& out = handles[i]->wait();
+    ASSERT_EQ(out.status, JobStatus::Done) << out.error;
+    ASSERT_TRUE(out.fixed_rank);
+    EXPECT_TRUE(
+        bitwise_equal(ConstMatrixView<double>(out.fixed_rank->q.view()),
+                      ConstMatrixView<double>(refs[i].q.view())))
+        << "job " << i;
+    EXPECT_TRUE(
+        bitwise_equal(ConstMatrixView<double>(out.fixed_rank->r.view()),
+                      ConstMatrixView<double>(refs[i].r.view())))
+        << "job " << i;
+  }
+
+  // With one worker, a dozen queued jobs, and a generous linger window,
+  // at least one dispatch must have coalesced.
+  const auto bs = sched.batch_stats();
+  EXPECT_GE(bs.dispatches, 1u);
+  EXPECT_GE(bs.batched_jobs, 2u);
+  std::uint64_t traced_batched = 0;
+  for (const auto& tr : sched.telemetry().traces()) {
+    EXPECT_GE(tr.batch_size, 1);
+    EXPECT_LE(tr.batch_size, so.batch_max);
+    if (tr.batch_size > 1) ++traced_batched;
+  }
+  EXPECT_EQ(traced_batched, bs.batched_jobs);
+}
+
+// batch_max = 1 must leave the solo path byte-for-byte untouched — no
+// collector, no counters, batch_size 1 in every trace.
+TEST(Scheduler, BatchingDisabledLeavesSoloPathUntouched) {
+  auto a = randla::testing::random_matrix<double>(100, 60, 9);
+  rsvd::FixedRankOptions opts;
+  opts.k = 8;
+  opts.p = 4;
+  opts.q = 1;
+  SchedulerOptions so;
+  so.num_workers = 2;
+  Scheduler sched(so);
+  const auto input = make_input(std::move(a));
+  std::vector<std::shared_ptr<JobHandle>> handles;
+  for (int i = 0; i < 4; ++i) {
+    Job job;
+    job.payload = FixedRankJob{input, opts};
+    handles.push_back(sched.submit(std::move(job)).handle);
+  }
+  sched.drain();
+  for (const auto& h : handles)
+    EXPECT_EQ(h->wait().status, JobStatus::Done);
+  const auto bs = sched.batch_stats();
+  EXPECT_EQ(bs.dispatches, 0u);
+  EXPECT_EQ(bs.batched_jobs, 0u);
+  for (const auto& tr : sched.telemetry().traces())
+    EXPECT_EQ(tr.batch_size, 1);
+}
+
 // Cache-enabled answers must be bitwise-identical to direct library
 // calls in all three dispositions: miss (first sight), result hit
 // (verbatim repeat), and sketch hit (rank refinement at the same ℓ).

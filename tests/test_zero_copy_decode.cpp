@@ -1,0 +1,195 @@
+// test_zero_copy_decode.cpp — the arena-backed zero-copy ingest path.
+//
+// decode_submit with an Arena must land inline payloads in one aligned
+// arena block (no Matrix materialization, no reassembly copy), reject
+// forged frames *before* leasing anything, recycle buckets across
+// frames, and keep decoded bytes alive through the MatrixHandle
+// keepalive even after the spec and the Arena itself are gone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/job.hpp"
+
+using namespace randla;
+using namespace randla::net;
+
+namespace {
+
+Matrix<double> make_payload(index_t m, index_t n) {
+  Matrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      a(i, j) = 0.25 * double(i) - 1.75 * double(j) + 3.0;
+  return a;
+}
+
+/// Complete inline-submit frame; returns (payload ptr, len) into `frame`.
+std::vector<std::uint8_t> inline_frame(const Matrix<double>& a) {
+  JobRequest req;
+  req.request_id = 77;
+  req.kind = runtime::JobKind::FixedRank;
+  req.k = 4;
+  req.p = 2;
+  req.q = 1;
+  req.matrix.source = MatrixSource::Inline;
+  req.matrix.inline_data = Matrix<double>::copy_of(a.view());
+  return encode_submit(req);
+}
+
+struct Payload {
+  const std::uint8_t* data;
+  std::size_t len;
+};
+
+Payload payload_of(const std::vector<std::uint8_t>& frame) {
+  FrameHeader hdr;
+  EXPECT_EQ(peek_header(frame.data(), frame.size(), &hdr), HeaderStatus::Ok);
+  return {frame.data() + kHeaderBytes, hdr.payload_len};
+}
+
+}  // namespace
+
+TEST(ZeroCopyDecode, InlinePayloadLandsInArenaBlock) {
+  const Matrix<double> a = make_payload(13, 9);
+  const auto frame = inline_frame(a);
+  const Payload p = payload_of(frame);
+
+  runtime::Arena arena;
+  const auto req = decode_submit(p.data, p.len, &arena);
+  ASSERT_TRUE(req.has_value());
+  const MatrixSpec& ms = req->matrix;
+
+  // The zero-copy view is filled; no owning Matrix was materialized.
+  ASSERT_FALSE(ms.inline_view.empty());
+  EXPECT_EQ(ms.inline_data.rows(), 0);
+  EXPECT_EQ(ms.inline_data.cols(), 0);
+  EXPECT_EQ(ms.inline_view.view.rows(), 13);
+  EXPECT_EQ(ms.inline_view.view.cols(), 9);
+
+  // The view aliases the leased block directly — the decode memcpy is
+  // the only copy between the wire and the kernels.
+  EXPECT_EQ(static_cast<const void*>(ms.inline_view.view.data()),
+            ms.inline_view.keepalive.get());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ms.inline_view.view.data()) % 64,
+            0u);
+
+  for (index_t j = 0; j < 9; ++j)
+    for (index_t i = 0; i < 13; ++i)
+      EXPECT_EQ(ms.inline_view.view(i, j), a(i, j));
+
+  const auto st = arena.stats();
+  EXPECT_EQ(st.allocs, 1u);
+  EXPECT_EQ(st.reuses, 0u);
+  EXPECT_EQ(st.outstanding, 1u);
+}
+
+TEST(ZeroCopyDecode, SizeLieRejectedBeforeAnyLease) {
+  const Matrix<double> a = make_payload(8, 8);
+  const auto frame = inline_frame(a);
+  const Payload p = payload_of(frame);
+
+  runtime::Arena arena;
+  // Truncated: announced 64 elements, fewer bytes actually present.
+  EXPECT_FALSE(decode_submit(p.data, p.len - 8, &arena).has_value());
+  EXPECT_FALSE(decode_submit(p.data, p.len - 1, &arena).has_value());
+  // Inflated: trailing garbage after the announced elements.
+  std::vector<std::uint8_t> fat(p.data, p.data + p.len);
+  fat.resize(fat.size() + 8, 0xAB);
+  EXPECT_FALSE(decode_submit(fat.data(), fat.size(), &arena).has_value());
+
+  // The guard fired before the lease each time: the arena never worked.
+  const auto st = arena.stats();
+  EXPECT_EQ(st.allocs, 0u);
+  EXPECT_EQ(st.outstanding, 0u);
+  EXPECT_EQ(st.leased_bytes, 0u);
+}
+
+TEST(ZeroCopyDecode, BucketRecycledAcrossFrames) {
+  const Matrix<double> a = make_payload(16, 4);
+  const auto frame = inline_frame(a);
+  const Payload p = payload_of(frame);
+
+  runtime::Arena arena;
+  const void* first = nullptr;
+  {
+    const auto req = decode_submit(p.data, p.len, &arena);
+    ASSERT_TRUE(req.has_value());
+    first = req->matrix.inline_view.keepalive.get();
+  }  // lease drops → block parks on the free list
+  {
+    const auto st = arena.stats();
+    EXPECT_EQ(st.outstanding, 0u);
+    EXPECT_GT(st.free_bytes, 0u);
+  }
+  auto req2 = decode_submit(p.data, p.len, &arena);
+  ASSERT_TRUE(req2.has_value());
+  EXPECT_EQ(req2->matrix.inline_view.keepalive.get(), first);
+  const auto st = arena.stats();
+  EXPECT_EQ(st.allocs, 1u);
+  EXPECT_EQ(st.reuses, 1u);
+
+  // trim() drops parked blocks once the burst is over.
+  req2->matrix.inline_view.keepalive.reset();  // reparks the block
+  arena.trim();
+  EXPECT_EQ(arena.stats().free_bytes, 0u);
+}
+
+TEST(ZeroCopyDecode, KeepaliveOutlivesSpecAndArena) {
+  const Matrix<double> a = make_payload(11, 7);
+  const auto frame = inline_frame(a);
+  const Payload p = payload_of(frame);
+
+  runtime::MatrixHandle handle;
+  {
+    runtime::Arena arena;
+    auto req = decode_submit(p.data, p.len, &arena);
+    ASSERT_TRUE(req.has_value());
+    handle = runtime::make_input(req->matrix.inline_view);
+    EXPECT_TRUE(handle->zero_copy());
+  }  // spec AND Arena destroyed; only the handle pins the bytes
+
+  EXPECT_EQ(handle->rows(), 11);
+  EXPECT_EQ(handle->cols(), 7);
+  for (index_t j = 0; j < 7; ++j)
+    for (index_t i = 0; i < 11; ++i)
+      EXPECT_EQ(handle->view()(i, j), a(i, j));
+
+  // Content fingerprint (the cache key) matches the owning path's, so
+  // zero-copy and materialized uploads share one cache lineage.
+  const auto owned = std::make_shared<const runtime::FingerprintedMatrix>(
+      Matrix<double>::copy_of(a.view()));
+  EXPECT_EQ(handle->fingerprint(), owned->fingerprint());
+  EXPECT_FALSE(owned->zero_copy());
+}
+
+TEST(ZeroCopyDecode, MaterializeStillWorksOnBothInlinePaths) {
+  const Matrix<double> a = make_payload(6, 5);
+  const auto frame = inline_frame(a);
+  const Payload p = payload_of(frame);
+
+  // Arena-less decode keeps the legacy owning path alive for clients.
+  const auto owning = decode_submit(p.data, p.len);
+  ASSERT_TRUE(owning.has_value());
+  EXPECT_TRUE(owning->matrix.inline_view.empty());
+  ASSERT_EQ(owning->matrix.inline_data.rows(), 6);
+
+  runtime::Arena arena;
+  const auto zero = decode_submit(p.data, p.len, &arena);
+  ASSERT_TRUE(zero.has_value());
+
+  const Matrix<double> m1 = materialize(owning->matrix);
+  const Matrix<double> m2 = materialize(zero->matrix);
+  ASSERT_EQ(m1.rows(), m2.rows());
+  ASSERT_EQ(m1.cols(), m2.cols());
+  EXPECT_EQ(std::memcmp(m1.data(), m2.data(),
+                        sizeof(double) * std::size_t(m1.rows()) *
+                            std::size_t(m1.cols())),
+            0);
+}
