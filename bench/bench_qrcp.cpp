@@ -1,0 +1,189 @@
+// bench_qrcp — engine crossover sweep: truncated QP3 vs sample-update
+// RQRCP vs single-pass truncated sampling (DESIGN.md §13).
+//
+// For square n × n at several k/n ratios, measures wall time and the
+// column-subset projection residual ‖A − Q·QᵀA‖_F/‖A‖_F of each engine
+// (for QP3/RQRCP this equals the triangular residual ‖A·P − Q·[R₁ R₂]‖),
+// then reports where the measured curves cross alongside the perfmodel's
+// K40c crossover estimate (model::rqrcp_crossover_n). Doubles as CI's
+// quality tripwire: the run fails when RQRCP's residual drifts from
+// QP3's or when RQRCP loses the crossover race at the largest size.
+//
+// `--json PATH` emits the sweep as BENCH_qrcp.json rows;
+// RANDLA_BENCH_SCALE shrinks/grows the measured sizes as usual.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/perfmodel.hpp"
+#include "qrcp/rqrcp.hpp"
+#include "rng/gaussian.hpp"
+
+using namespace randla;
+
+namespace {
+
+struct EngineRun {
+  double seconds = 0;
+  double residual = 0;
+};
+
+/// ‖A − Q·QᵀA‖_F/‖A‖_F for an m×k orthonormal Q — engine-agnostic
+/// quality of the selected column subspace.
+double projection_residual(ConstMatrixView<double> a,
+                           ConstMatrixView<double> q) {
+  const index_t k = q.cols();
+  const index_t n = a.cols();
+  Matrix<double> t(k, n);
+  blas::gemm<double>(Op::Trans, Op::NoTrans, 1.0, q, a, 0.0, t.view());
+  Matrix<double> resid = Matrix<double>::copy_of(a);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0, q,
+                     ConstMatrixView<double>(t.view()), 1.0, resid.view());
+  return norm_fro<double>(ConstMatrixView<double>(resid.view())) /
+         norm_fro<double>(a);
+}
+
+EngineRun run_qp3(ConstMatrixView<double> a, index_t k) {
+  auto work = Matrix<double>::copy_of(a);
+  Permutation perm;
+  std::vector<double> tau;
+  EngineRun out;
+  bench::WallTimer t;
+  qrcp::geqp3<double>(work.view(), perm, tau, k);
+  out.seconds = t.seconds();
+  lapack::orgqr<double>(work.view(), tau, k);
+  out.residual = projection_residual(
+      a, ConstMatrixView<double>(work.block(0, 0, a.rows(), k)));
+  return out;
+}
+
+EngineRun run_rqrcp(ConstMatrixView<double> a, index_t k) {
+  qrcp::RqrcpOptions opts;
+  opts.block = 32;
+  opts.oversample = 8;
+  opts.want_q = true;
+  bench::WallTimer t;
+  const auto f = qrcp::rqrcp_truncated<double>(a, k, opts);
+  EngineRun out;
+  out.seconds = t.seconds();
+  out.residual = projection_residual(a, f.q.view());
+  return out;
+}
+
+/// Truncated sampling (paper §4 single-pass): one ℓ×n sketch, QRCP on
+/// the sketch only, QR of the k selected columns of A. Cheapest by
+/// construction — the quality reference RQRCP's block refinement must
+/// beat or match.
+EngineRun run_truncated_sampling(ConstMatrixView<double> a, index_t k) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t l = k + 8;
+  EngineRun out;
+  bench::WallTimer t;
+  auto omega = rng::gaussian_matrix<double>(l, m, 20151115);
+  Matrix<double> b(l, n);
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0,
+                     ConstMatrixView<double>(omega.view()), a, 0.0, b.view());
+  Permutation perm;
+  std::vector<double> tau;
+  qrcp::geqp3<double>(b.view(), perm, tau, k);
+  auto cols = permuted_leading_columns<double>(a, perm, k);
+  std::vector<double> tau2;
+  lapack::geqrf<double>(cols.view(), tau2);
+  out.seconds = t.seconds();
+  lapack::orgqr<double>(cols.view(), tau2, k);
+  out.residual = projection_residual(a, cols.view());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Bench QRCP",
+                      "engine crossover: QP3 vs RQRCP vs truncated sampling");
+  bench::JsonReport report("qrcp", argc, argv);
+  const model::DeviceSpec spec;
+
+  const index_t sizes[] = {bench::scaled(256, 128), bench::scaled(512, 192),
+                           bench::scaled(1024, 256)};
+  const double k_fracs[] = {1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0};
+
+  int failures = 0;
+  std::printf("%6s %6s %6s | %9s %9s %9s | %10s %10s %10s\n", "n", "k", "k/n",
+              "qp3(s)", "rqrcp(s)", "tsamp(s)", "qp3 resid", "rq resid",
+              "ts resid");
+
+  // Measured crossover bookkeeping: per k/n ratio, the smallest n where
+  // RQRCP's wall time beats QP3's (0 = never in this sweep).
+  index_t measured_crossover[3] = {0, 0, 0};
+
+  for (std::size_t fi = 0; fi < 3; ++fi) {
+    for (const index_t n : sizes) {
+      const index_t k = std::max<index_t>(
+          8, index_t(k_fracs[fi] * double(n)) / 8 * 8);
+      auto a = rng::gaussian_matrix<double>(n, n, 7 + index_t(fi));
+      const EngineRun qp3 = run_qp3(a.view(), k);
+      const EngineRun rq = run_rqrcp(a.view(), k);
+      const EngineRun ts = run_truncated_sampling(a.view(), k);
+      std::printf(
+          "%6lld %6lld %6.3f | %9.4f %9.4f %9.4f | %10.3e %10.3e %10.3e\n",
+          (long long)n, (long long)k, double(k) / double(n), qp3.seconds,
+          rq.seconds, ts.seconds, qp3.residual, rq.residual, ts.residual);
+      struct { const char* name; const EngineRun* r; } engines[] = {
+          {"qp3", &qp3}, {"rqrcp", &rq}, {"truncated_sampling", &ts}};
+      for (const auto& e : engines)
+        report.row("measured")
+            .set("engine", std::string(e.name))
+            .set("n", n)
+            .set("k", k)
+            .set("k_frac", double(k) / double(n))
+            .set("seconds", e.r->seconds)
+            .set("residual", e.r->residual);
+      const auto est = model::estimate_rqrcp(spec, n, n, k, 32, 8);
+      report.row("modeled")
+          .set("n", n)
+          .set("k", k)
+          .set("rqrcp_s", est.total())
+          .set("qp3_s", model::estimate_qp3(spec, n, n, k).seconds);
+
+      // Tripwire 1: the randomized engine's residual must track QP3's.
+      if (rq.residual > 2.0 * qp3.residual + 1e-14) {
+        std::fprintf(stderr,
+                     "FAIL: rqrcp residual %.3e > 2x qp3 %.3e at n=%lld\n",
+                     rq.residual, qp3.residual, (long long)n);
+        ++failures;
+      }
+      if (measured_crossover[fi] == 0 && rq.seconds < qp3.seconds)
+        measured_crossover[fi] = n;
+    }
+  }
+
+  std::printf("\ncrossover (smallest n where RQRCP beats QP3; 0 = never):\n");
+  for (std::size_t fi = 0; fi < 3; ++fi) {
+    const index_t modeled =
+        model::rqrcp_crossover_n(spec, k_fracs[fi], 32, 8);
+    std::printf("  k/n=%5.3f  measured n=%-6lld modeled(K40c) n=%lld\n",
+                k_fracs[fi], (long long)measured_crossover[fi],
+                (long long)modeled);
+    report.row("crossover")
+        .set("k_frac", k_fracs[fi])
+        .set("measured_n", measured_crossover[fi])
+        .set("modeled_n", modeled);
+  }
+
+  // Tripwire 2: by the largest size in the sweep the BLAS-3 engine must
+  // have overtaken QP3 at the small ratios (the paper's whole point).
+  if (measured_crossover[0] == 0) {
+    std::fprintf(stderr,
+                 "FAIL: RQRCP never beat QP3 at k/n=1/16 in this sweep\n");
+    ++failures;
+  }
+
+  if (!report.write()) ++failures;
+  if (failures) {
+    std::fprintf(stderr, "bench_qrcp: %d tripwire failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("bench_qrcp: all tripwires passed\n");
+  return 0;
+}

@@ -5,9 +5,15 @@
 #   2. kernel smoke: bench_kernels_gbench in JSON mode, failing on
 #      missing/zero/NaN flop rates (catches a microkernel that compiles
 #      but silently computes garbage or never runs);
+#   2b. qrcp engines: the bench_qrcp crossover sweep (QP3 vs RQRCP vs
+#      truncated sampling), whose exit code enforces the DESIGN.md §13
+#      quality tripwires — RQRCP residual within 2x of QP3 everywhere
+#      and a measured crossover at k/n = 1/16;
 #   3. the randla_serve replay, whose exit code self-checks that the
 #      serving runtime demonstrated cache hits, backpressure, and the
-#      retry policy on a 120-job workload;
+#      retry policy on a 120-job workload — then the same replay with
+#      `--engine rqrcp`, remapping every rank-revealing job onto the
+#      randomized engine for an A/B residual comparison;
 #   4. TCP loopback: the same workload replayed through src/net sockets
 #      (`randla_serve --tcp 0`), then a background `randla_serve --tcp
 #      --linger` driven by randla_loadgen at an open-loop rate that
@@ -42,7 +48,7 @@
 #      membership change, and the victim reported down in a Stats
 #      scrape through the router;
 #   7. memory safety: the wire-protocol, server, fault-plane, batched
-#      BLAS, and zero-copy decode suites rebuilt with
+#      BLAS, zero-copy decode, and QRCP-engine suites rebuilt with
 #      -fsanitize=address,undefined (the `asan` preset), so
 #      adversarial frames and the arena lease/recycle paths run under
 #      ASan/UBSan — plus one chaos replay
@@ -79,8 +85,19 @@ awk -F': ' '/"Gflop\/s"/ {
         exit bad }' "$SMOKE_JSON"
 echo "kernel smoke OK: $(grep '"kernel_arch"' "$SMOKE_JSON")"
 
+echo "== qrcp engines: crossover sweep + quality tripwires =="
+# bench_qrcp exits nonzero when RQRCP's residual drifts past 2x QP3's on
+# any point of the sweep or the BLAS-3 engine never overtakes QP3 at
+# k/n = 1/16 (DESIGN.md §13). RANDLA_BENCH_SCALE keeps it CI-sized.
+RANDLA_BENCH_SCALE=0.5 ./build/bench/bench_qrcp --json build/BENCH_qrcp.json
+
 echo "== serving replay self-check (randla_serve) =="
 ./build/examples/randla_serve --jobs 120
+
+echo "== serving replay: rqrcp engine A/B =="
+# The same replay workload re-run with every rank-revealing job remapped
+# onto the RQRCP engine; the exit code self-checks residuals either way.
+./build/examples/randla_serve --jobs 60 --engine rqrcp
 
 echo "== tcp loopback: in-process replay over real sockets =="
 ./build/examples/randla_serve --tcp 0 --jobs 60 --queue 2 --clients 8
@@ -200,7 +217,8 @@ echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS" \
   --target test_net_protocol test_net_server test_fault \
-  test_batched_blas test_zero_copy_decode randla_loadgen
+  test_batched_blas test_zero_copy_decode test_qrcp test_qrcp_rqrcp \
+  randla_loadgen
 ctest --preset asan -j "$JOBS"
 
 echo "== chaos under ASan: fault paths memory-clean =="

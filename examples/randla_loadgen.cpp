@@ -1,9 +1,9 @@
 // randla_loadgen — TCP load generator for the serving front-end.
 //
 // Drives a running `randla_serve --tcp <port>` (or any net::Server) with
-// a deterministic mix of fixed-rank, adaptive, and QP3 requests over
-// real sockets, one blocking net::Client per worker thread. Two pacing
-// modes:
+// a deterministic mix of fixed-rank, adaptive, QP3, and RQRCP (fixed-
+// rank + fixed-accuracy, protocol v4) requests over real sockets, one
+// blocking net::Client per worker thread. Two pacing modes:
 //   * closed loop (default): each thread keeps exactly one request in
 //     flight — submit, wait, repeat;
 //   * open loop (--rate R): requests are launched on a fixed arrival
@@ -112,8 +112,14 @@ std::string sanitize_key(const std::string& name) {
   return out;
 }
 
+/// Job-kind axis of the mix. Index == wire runtime::JobKind value, so a
+/// request's kind maps straight to its latency bucket and JSON label.
+constexpr int kNumKinds = 5;
+constexpr const char* kKindNames[kNumKinds] = {
+    "fixed_rank", "adaptive", "qrcp", "rqrcp", "rqrcp_adaptive"};
+
 struct JobRecord {
-  char kind = 'f';        // 'f' fixed-rank, 'a' adaptive, 'q' qrcp
+  std::uint8_t kind = 0;  // runtime::JobKind wire value (index into kKindNames)
   int endpoint = 0;       // index into Options::ports
   double latency_ms = 0;
   int busy_retries = 0;
@@ -169,7 +175,7 @@ net::JobRequest build_request(const Options& opt, int i) {
     req.l_inc = 8;
     req.l_max = std::min(opt.m, opt.n) / 2;
     req.tag = "loadgen/adaptive";
-  } else {
+  } else if (slot == 8) {
     req.kind = runtime::JobKind::Qrcp;
     req.matrix.generator = "lowrank";
     req.matrix.seed = mseed;
@@ -177,6 +183,30 @@ net::JobRequest build_request(const Options& opt, int i) {
     req.k = 16;
     req.block = 16;
     req.tag = "loadgen/qrcp";
+  } else if (slot == 9 && i % 20 == 9) {
+    // Fixed-accuracy RQRCP on the same numerically rank-8 input: with a
+    // tight relative ε the sweep must discover (about) that rank.
+    req.kind = runtime::JobKind::RqrcpAdaptive;
+    req.matrix.generator = "lowrank";
+    req.matrix.seed = mseed;
+    req.matrix.rank = 8;
+    req.epsilon = 1e-6;
+    req.relative = true;
+    req.block = 8;
+    req.oversample = 8;
+    req.max_rank = 32;
+    req.want_q = true;
+    req.tag = "loadgen/rqrcp_adaptive";
+  } else {
+    req.kind = runtime::JobKind::Rqrcp;
+    req.matrix.generator = "lowrank";
+    req.matrix.seed = mseed;
+    req.matrix.rank = 8;
+    req.k = 16;
+    req.block = 8;
+    req.oversample = 8;
+    req.want_q = true;  // stream Q back so the residual check has teeth
+    req.tag = "loadgen/rqrcp";
   }
   return req;
 }
@@ -224,6 +254,58 @@ double qrcp_residual(const net::JobRequest& req, const net::CallResult& res) {
          norm_fro<double>(ConstMatrixView<double>(a.view()));
 }
 
+/// ‖A·P − Q·[R1 R2]‖_F / ‖A‖_F for an RQRCP reply carrying the explicit
+/// Q (want_q). Tensor order on the wire: rdiag, r1, r2, q.
+double rqrcp_residual(const net::JobRequest& req, const net::CallResult& res) {
+  net::MatrixSpec spec = req.matrix;
+  spec.source = net::MatrixSource::Generator;
+  const Matrix<double> a = net::materialize(spec);
+  const Matrix<double>& r1 = res.tensors[1];
+  const Matrix<double>& r2 = res.tensors[2];
+  const Matrix<double>& q = res.tensors[3];
+  const index_t k = r1.rows();
+  Matrix<double> r(k, a.cols());
+  for (index_t j = 0; j < r1.cols(); ++j)
+    for (index_t i = 0; i < k; ++i) r(i, j) = r1(i, j);
+  for (index_t j = 0; j < r2.cols(); ++j)
+    for (index_t i = 0; i < k; ++i) r(i, k + j) = r2(i, j);
+  Matrix<double> resid(a.rows(), a.cols());
+  apply_column_permutation<double>(a.view(), res.header.perm, resid.view());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0,
+                     ConstMatrixView<double>(q.view()),
+                     ConstMatrixView<double>(r.view()), 1.0, resid.view());
+  return norm_fro<double>(ConstMatrixView<double>(resid.view())) /
+         norm_fro<double>(ConstMatrixView<double>(a.view()));
+}
+
+/// Shared contract checks for both RQRCP reply shapes, then the full
+/// residual (only possible when the request asked for Q).
+bool verify_rqrcp(const net::JobRequest& req, const net::CallResult& res,
+                  double tol) {
+  const std::size_t expect = req.want_q ? 4 : 3;
+  if (res.tensors.size() != expect) return false;
+  const index_t k = res.header.tensors[0].rows;  // rdiag is k×1
+  if (res.header.tensors[1].rows != k || res.header.tensors[1].cols != k ||
+      res.header.tensors[2].rows != k ||
+      res.header.perm.size() != std::size_t(req.matrix.n))
+    return false;
+  if (req.kind == runtime::JobKind::Rqrcp && k != req.k) return false;
+  if (req.kind == runtime::JobKind::RqrcpAdaptive &&
+      (k < 1 || (req.max_rank > 0 && k > req.max_rank)))
+    return false;
+  if (!req.want_q) return true;
+  if (res.header.tensors[3].rows != req.matrix.m ||
+      res.header.tensors[3].cols != k)
+    return false;
+  const double err = rqrcp_residual(req, res);
+  if (err > tol) {
+    std::fprintf(stderr, "loadgen: rqrcp residual %.3e > %.1e (req %llu)\n",
+                 err, tol, (unsigned long long)req.request_id);
+    return false;
+  }
+  return true;
+}
+
 bool verify_result(const net::JobRequest& req, const net::CallResult& res,
                    JobRecord& rec) {
   if (res.header.status != runtime::JobStatus::Done) return false;
@@ -255,6 +337,14 @@ bool verify_result(const net::JobRequest& req, const net::CallResult& res,
       }
       return true;
     }
+    case runtime::JobKind::Rqrcp:
+      // k = 16 on a numerically rank-8 input: the randomized pivoting
+      // must recover the matrix to roundoff, like the QP3 baseline.
+      return verify_rqrcp(req, res, 1e-10);
+    case runtime::JobKind::RqrcpAdaptive:
+      // The fixed-accuracy contract: residual within the requested ε
+      // (relative mode in the mix), rank discovered within max_rank.
+      return verify_rqrcp(req, res, req.epsilon * 10);
   }
   (void)rec;
   return false;
@@ -264,15 +354,16 @@ bool verify_result(const net::JobRequest& req, const net::CallResult& res,
 // Chaos mode (DESIGN.md §10): loopback scheduler + server under a
 // deterministic fault schedule, clients on the full retry policy.
 
-/// Chaos requests are fixed-rank only: idempotent resubmission leans on
-/// the scheduler's result cache, which keys fixed-rank jobs — with
-/// adaptive/qrcp in the mix a retried job would recompute, and the
-/// duplicate detector below could not tell recomputation from a genuine
-/// double execution.
+/// Chaos requests are limited to the cached job kinds: idempotent
+/// resubmission leans on the scheduler's result caches, which key
+/// fixed-rank jobs and (since v4) RQRCP jobs — with adaptive/qp3 in
+/// the mix a retried job would recompute, and the duplicate detector
+/// below could not tell recomputation from a genuine double execution.
+/// Every 5th job is a fixed-rank RQRCP factorization so the new verb
+/// rides through the same fault schedule as the sketch path.
 net::JobRequest chaos_request(const Options& opt, int i) {
   net::JobRequest req;
   req.request_id = static_cast<std::uint64_t>(i) + 1;
-  req.kind = runtime::JobKind::FixedRank;
   req.matrix.generator = "lowrank";
   req.matrix.m = opt.m;
   req.matrix.n = opt.n;
@@ -280,9 +371,18 @@ net::JobRequest chaos_request(const Options& opt, int i) {
       opt.seed + static_cast<std::uint64_t>(i % std::max(1, opt.spread));
   req.matrix.rank = 8;
   req.k = 16;
-  req.p = 8;
-  req.q = 1;
-  req.tag = "chaos/" + std::to_string(i);
+  if (i % 5 == 4) {
+    req.kind = runtime::JobKind::Rqrcp;
+    req.block = 8;
+    req.oversample = 8;
+    req.want_q = true;
+    req.tag = "chaos/rqrcp/" + std::to_string(i);
+  } else {
+    req.kind = runtime::JobKind::FixedRank;
+    req.p = 8;
+    req.q = 1;
+    req.tag = "chaos/" + std::to_string(i);
+  }
   return req;
 }
 
@@ -603,9 +703,7 @@ int main(int argc, char** argv) {
       maybe_inline(req, opt, i);
       JobRecord& rec = records[static_cast<std::size_t>(i)];
       rec.endpoint = endpoint;
-      rec.kind = req.kind == runtime::JobKind::FixedRank ? 'f'
-                 : req.kind == runtime::JobKind::Adaptive ? 'a'
-                                                          : 'q';
+      rec.kind = static_cast<std::uint8_t>(req.kind);
       if (opt.rate > 0) {
         // Open loop: launch at the scheduled arrival time even if the
         // previous request on this thread just finished late.
@@ -660,7 +758,7 @@ int main(int argc, char** argv) {
   // Aggregate.
   int ok = 0, failed = 0, busy_events = 0, checked = 0, check_failed = 0;
   std::vector<double> lat_all;
-  std::vector<double> lat_by_kind[3];  // f, a, q
+  std::vector<double> lat_by_kind[kNumKinds];  // indexed by JobKind value
   struct EndpointAgg {
     int ok = 0, failed = 0, busy_retries = 0;
     std::vector<double> lat;
@@ -675,8 +773,8 @@ int main(int argc, char** argv) {
       ++ep.ok;
       lat_all.push_back(r.latency_ms);
       ep.lat.push_back(r.latency_ms);
-      const int ki = r.kind == 'f' ? 0 : r.kind == 'a' ? 1 : 2;
-      lat_by_kind[ki].push_back(r.latency_ms);
+      lat_by_kind[std::min<int>(r.kind, kNumKinds - 1)].push_back(
+          r.latency_ms);
     } else {
       ++failed;
       ++ep.failed;
@@ -781,11 +879,15 @@ int main(int argc, char** argv) {
           .set("mean_occupancy", batches > 0 ? bjobs / batches : 0.0)
           .set("batch_hint", double(opt.batch_hint));
     }
-    const char* kind_name[3] = {"fixed_rank", "adaptive", "qrcp"};
-    for (int ki = 0; ki < 3; ++ki) {
-      report.row(kind_name[ki])
+    // One row per job kind in the mix, labeled explicitly so report
+    // consumers can filter on the "kind" field instead of row names
+    // (which previously covered only the original three kinds).
+    for (int ki = 0; ki < kNumKinds; ++ki) {
+      report.row("by_kind")
+          .set("kind", std::string(kKindNames[ki]))
           .set("count", double(lat_by_kind[ki].size()))
           .set("p50_ms", util::percentile(lat_by_kind[ki], 50))
+          .set("p90_ms", util::percentile(lat_by_kind[ki], 90))
           .set("p99_ms", util::percentile(lat_by_kind[ki], 99));
     }
     for (int e = 0; e < num_endpoints; ++e) {

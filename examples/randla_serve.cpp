@@ -11,8 +11,15 @@
 //
 //   randla_serve [--jobs N] [--workers N] [--queue N] [--burst N]
 //                [--deadline SECONDS] [--watchdog MULT] [--traces PATH]
-//                [--tcp PORT] [--clients N] [--linger]
+//                [--tcp PORT] [--clients N] [--linger] [--engine qp3|rqrcp]
 //                [--metrics PATH] [--trace PATH]
+//
+// --engine swaps the engine serving the workload's deterministic
+// rank-revealing jobs: qp3 (default) keeps the truncated-QP3 baseline,
+// rqrcp remaps them to the randomized RQRCP engine (protocol v4) with
+// want_q set. The in-process replay prints the mean/max factorization
+// residual for those jobs, so two runs differing only in --engine are a
+// direct A/B comparison of the engines on identical traffic.
 //
 // --watchdog enables the scheduler's execution watchdog (cancel jobs
 // past MULT × their effective deadline); in --tcp mode the client-side
@@ -34,6 +41,7 @@
 // in the background and points randla_loadgen at it.
 //
 // See README.md §randla_serve for the telemetry JSON schema.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +51,9 @@
 #include <thread>
 #include <vector>
 
+#include "la/blas3.hpp"
+#include "la/norms.hpp"
+#include "la/permutation.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
@@ -139,6 +150,17 @@ net::JobRequest to_request(const runtime::Job& job, const runtime::Workload& w,
     req.q = aj->opts.q;
     req.sample_seed = aj->opts.seed;
     req.power_ortho = ortho_to_wire(aj->opts.power_ortho);
+  } else if (const auto* rj = std::get_if<runtime::RqrcpJob>(&job.payload)) {
+    req.kind = rj->opts.epsilon > 0 ? runtime::JobKind::RqrcpAdaptive
+                                    : runtime::JobKind::Rqrcp;
+    req.k = rj->k;
+    req.block = rj->opts.block;
+    req.oversample = rj->opts.oversample;
+    req.sample_seed = rj->opts.seed;
+    req.want_q = rj->opts.want_q;
+    req.epsilon = rj->opts.epsilon;
+    req.relative = rj->opts.relative;
+    req.max_rank = rj->opts.max_rank;
   } else {
     const auto& qj = std::get<runtime::QrcpJob>(job.payload);
     req.kind = runtime::JobKind::Qrcp;
@@ -146,6 +168,33 @@ net::JobRequest to_request(const runtime::Job& job, const runtime::Workload& w,
     req.block = qj.block;
   }
   return req;
+}
+
+/// --engine rqrcp: swap every deterministic QP3 job for the randomized
+/// engine at the same rank, with the explicit Q requested so the replay
+/// can residual-check both engines on identical traffic.
+void remap_engine(runtime::Workload& w) {
+  for (auto& job : w.jobs) {
+    if (const auto* qj = std::get_if<runtime::QrcpJob>(&job.payload)) {
+      runtime::RqrcpJob rj;
+      rj.a = qj->a;
+      rj.k = qj->k;
+      rj.opts.block = qj->block;
+      rj.opts.want_q = true;
+      job.payload = std::move(rj);
+      job.tag += "/rqrcp";
+    }
+  }
+}
+
+/// ‖(A·P)₁:k − Q·R₁‖_F / ‖A‖_F for either engine's factors.
+double engine_residual(ConstMatrixView<double> a, const Permutation& perm,
+                       ConstMatrixView<double> q, ConstMatrixView<double> r1) {
+  Matrix<double> lead = permuted_leading_columns<double>(a, perm, r1.cols());
+  blas::gemm<double>(Op::NoTrans, Op::NoTrans, -1.0, q,
+                     ConstMatrixView<double>(r1), 1.0, lead.view());
+  return norm_fro<double>(ConstMatrixView<double>(lead.view())) /
+         norm_fro<double>(a);
 }
 
 /// Loopback replay: host a net::Server on `port` and push the workload
@@ -284,7 +333,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1, clients = 8, batch = 1;
   bool linger = false;
   double deadline = 0, watchdog = 0;
-  std::string traces_path, metrics_path, trace_path;
+  std::string traces_path, metrics_path, trace_path, engine = "qp3";
   for (int i = 1; i < argc; ++i) {
     auto val = [&] {
       if (i + 1 >= argc) {
@@ -306,7 +355,13 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--batch")) batch = std::atoi(val());
     else if (!std::strcmp(argv[i], "--metrics")) metrics_path = val();
     else if (!std::strcmp(argv[i], "--trace")) trace_path = val();
+    else if (!std::strcmp(argv[i], "--engine")) engine = val();
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
+  }
+  if (engine != "qp3" && engine != "rqrcp") {
+    std::fprintf(stderr, "--engine must be qp3 or rqrcp (got '%s')\n",
+                 engine.c_str());
+    return 2;
   }
 
   ObsDump dump;
@@ -318,7 +373,8 @@ int main(int argc, char** argv) {
 
   runtime::WorkloadOptions wo;
   wo.num_jobs = jobs;
-  const runtime::Workload w = runtime::make_workload(wo);
+  runtime::Workload w = runtime::make_workload(wo);
+  if (engine == "rqrcp") remap_engine(w);
 
   runtime::SchedulerOptions so;
   so.num_workers = workers;
@@ -338,6 +394,7 @@ int main(int argc, char** argv) {
   // Burst submission with one client-side retry for shed jobs.
   std::uint64_t rejected_first_try = 0, rejected_final = 0;
   std::vector<std::shared_ptr<runtime::JobHandle>> handles;
+  std::vector<std::size_t> handle_job;  // handles[h] ran w.jobs[handle_job[h]]
   for (std::size_t base = 0; base < w.jobs.size();
        base += static_cast<std::size_t>(burst)) {
     const std::size_t end =
@@ -350,6 +407,7 @@ int main(int argc, char** argv) {
         shed.push_back(i);
       }
       handles.push_back(std::move(sub.handle));
+      handle_job.push_back(i);
     }
     // Let the burst drain, then re-offer shed jobs; a well-behaved
     // client keeps backing off until admission succeeds.
@@ -360,6 +418,7 @@ int main(int argc, char** argv) {
         if (sub.status == runtime::PushStatus::Ok || attempt == 9) {
           if (sub.status != runtime::PushStatus::Ok) ++rejected_final;
           handles.push_back(std::move(sub.handle));
+          handle_job.push_back(i);
           break;
         }
       }
@@ -402,6 +461,40 @@ int main(int argc, char** argv) {
                 "K40c time\n",
                 ws.worker, static_cast<unsigned long long>(ws.jobs), ws.busy_s,
                 ws.modeled_s);
+
+  // Engine A/B: residual over the rank-revealing jobs the --engine flag
+  // governs. Identical workloads replayed with qp3 vs rqrcp make these
+  // two lines directly comparable.
+  {
+    double rsum = 0, rmax = 0;
+    int rn = 0;
+    for (std::size_t h = 0; h < handles.size(); ++h) {
+      const runtime::JobOutcome& out = handles[h]->wait();
+      if (out.status != runtime::JobStatus::Done) continue;
+      ConstMatrixView<double> q, r1;
+      const Permutation* perm = nullptr;
+      if (out.qrcp) {
+        q = out.qrcp->q.view();
+        r1 = out.qrcp->r1.view();
+        perm = &out.qrcp->perm;
+      } else if (out.rqrcp && out.rqrcp->q.rows() > 0) {
+        q = out.rqrcp->q.view();
+        r1 = out.rqrcp->r1.view();
+        perm = &out.rqrcp->perm;
+      } else {
+        continue;
+      }
+      const auto a = runtime::job_matrix(w.jobs[handle_job[h]])->view();
+      const double err = engine_residual(a, *perm, q, r1);
+      rsum += err;
+      rmax = std::max(rmax, err);
+      ++rn;
+    }
+    if (rn > 0)
+      std::printf("engine %s:   %d rank-revealing jobs, residual mean %.3e "
+                  "max %.3e\n",
+                  engine.c_str(), rn, rsum / rn, rmax);
+  }
 
   if (!traces_path.empty()) {
     if (std::FILE* f = std::fopen(traces_path.c_str(), "w")) {

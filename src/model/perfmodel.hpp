@@ -126,4 +126,40 @@ index_t max_power_iters_within(const DeviceSpec& spec, index_t m, index_t n,
                                index_t l, index_t q_requested,
                                double budget_seconds);
 
+// ---------------------------------------------------------------------
+// RQRCP engine (sample-update randomized QRCP, see qrcp/rqrcp.hpp).
+
+/// Phase-by-phase modeled time of blocked RQRCP to rank k: one ℓ×m·m×n
+/// sketch gemm, then per block a short QRCP on the ℓ-row sketch, a panel
+/// QR, a blocked Householder trailing update (GEMM-rate), and the
+/// trsm+gemm sample downdate. Mirrors RqrcpStats' phase split so the
+/// bench can plot modeled against measured curves.
+struct RqrcpEstimate {
+  double sketch = 0, panel = 0, update = 0, downdate = 0;
+  double total() const { return sketch + panel + update + downdate; }
+  double useful_flops = 0;
+  double gflops() const { return useful_flops / total() * 1e-9; }
+};
+
+RqrcpEstimate estimate_rqrcp(const DeviceSpec& spec, index_t m, index_t n,
+                             index_t k, index_t block, index_t oversample);
+
+/// Smallest square size n (scanning n_lo..n_hi by doubling + bisection
+/// granularity of the scan) where modeled RQRCP to rank k = k_frac·n
+/// beats modeled truncated QP3. Returns 0 when QP3 wins everywhere in
+/// the scanned range — the engine-selection hint the bench checks
+/// against measured crossovers.
+index_t rqrcp_crossover_n(const DeviceSpec& spec, double k_frac,
+                          index_t block, index_t oversample,
+                          index_t n_lo = 64, index_t n_hi = 16384);
+
+/// Largest count of leading block sweeps whose modeled time (sketch
+/// included) fits `budget_seconds`. Returns the full sweep count when
+/// everything fits and 0 when not even sketch + one block does — the
+/// RQRCP deadline-degradation knob: the sweep is truncated, yielding a
+/// lower-rank factorization instead of a miss.
+index_t max_rqrcp_blocks_within(const DeviceSpec& spec, index_t m, index_t n,
+                                index_t k, index_t block, index_t oversample,
+                                double budget_seconds);
+
 }  // namespace randla::model

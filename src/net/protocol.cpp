@@ -21,7 +21,7 @@ constexpr std::size_t kMaxTensors = 8;
 /// Per-tensor element cap a client will honor when preallocating.
 constexpr std::uint64_t kMaxTensorElems = std::uint64_t(1) << 24;
 
-bool valid_kind(std::uint8_t k) { return k <= 2; }
+bool valid_kind(std::uint8_t k) { return k <= 4; }  // v4 adds Rqrcp kinds
 
 bool valid_dim(index_t d) { return d >= 1 && d <= kMaxDim; }
 
@@ -251,6 +251,22 @@ std::vector<std::uint8_t> encode_submit(const JobRequest& req,
       w.u32(static_cast<std::uint32_t>(req.k));
       w.u32(static_cast<std::uint32_t>(req.block));
       break;
+    case runtime::JobKind::Rqrcp:
+      w.u32(static_cast<std::uint32_t>(req.k));
+      w.u32(static_cast<std::uint32_t>(req.block));
+      w.u32(static_cast<std::uint32_t>(req.oversample));
+      w.u64(req.sample_seed);
+      w.u8(req.want_q ? 1 : 0);
+      break;
+    case runtime::JobKind::RqrcpAdaptive:
+      w.f64(req.epsilon);
+      w.u8(req.relative ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(req.max_rank));
+      w.u32(static_cast<std::uint32_t>(req.block));
+      w.u32(static_cast<std::uint32_t>(req.oversample));
+      w.u64(req.sample_seed);
+      w.u8(req.want_q ? 1 : 0);
+      break;
   }
   const MatrixSpec& ms = req.matrix;
   w.u8(static_cast<std::uint8_t>(ms.source));
@@ -312,6 +328,29 @@ std::optional<JobRequest> decode_submit(const std::uint8_t* payload,
       req.k = r.u32();
       req.block = r.u32();
       if (!valid_dim(req.k) || !valid_dim(req.block)) return std::nullopt;
+      break;
+    case runtime::JobKind::Rqrcp:
+      req.k = r.u32();
+      req.block = r.u32();
+      req.oversample = r.u32();
+      req.sample_seed = r.u64();
+      req.want_q = r.u8() != 0;
+      if (!valid_dim(req.k) || !valid_dim(req.block) || req.oversample < 0 ||
+          req.oversample > kMaxDim)
+        return std::nullopt;
+      break;
+    case runtime::JobKind::RqrcpAdaptive:
+      req.epsilon = r.f64();
+      req.relative = r.u8() != 0;
+      req.max_rank = r.u32();
+      req.block = r.u32();
+      req.oversample = r.u32();
+      req.sample_seed = r.u64();
+      req.want_q = r.u8() != 0;
+      if (!(req.epsilon > 0) || req.max_rank < 0 || req.max_rank > kMaxDim ||
+          !valid_dim(req.block) || req.oversample < 0 ||
+          req.oversample > kMaxDim)
+        return std::nullopt;
       break;
   }
   const std::uint8_t source = r.u8();

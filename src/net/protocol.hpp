@@ -44,7 +44,8 @@ namespace randla::net {
 inline constexpr std::uint32_t kMagic = 0x31414C52u;  // "RLA1"
 /// v2: Submit carries a trace id; Stats/StatsReply frames added.
 /// v3: HealthCheck/HealthReply frames (fault plane, DESIGN.md §10).
-inline constexpr std::uint8_t kVersion = 3;
+/// v4: Rqrcp / RqrcpAdaptive job kinds (RQRCP engine, DESIGN.md §13).
+inline constexpr std::uint8_t kVersion = 4;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (also the decoder's allocation budget).
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;  // 64 MiB
@@ -130,8 +131,13 @@ struct JobRequest {
   double epsilon = 0.5;
   bool relative = true;
   index_t l_init = 8, l_inc = 8, l_max = 0;
-  // Qrcp
+  // Qrcp (block is shared with Rqrcp / RqrcpAdaptive)
   index_t block = 32;
+  // Rqrcp / RqrcpAdaptive (v4). Fixed-rank reuses k; fixed-accuracy
+  // reuses epsilon/relative and caps the discovered rank at max_rank.
+  index_t oversample = 8;   ///< sketch rows beyond block (ℓ = block + o)
+  index_t max_rank = 0;     ///< RqrcpAdaptive rank cap; 0 = min(m, n)
+  bool want_q = false;      ///< stream the explicit m×k Q factor back
 };
 
 // ---------------------------------------------------------------------

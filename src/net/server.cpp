@@ -566,6 +566,31 @@ void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
         job.payload = std::move(qj);
         break;
       }
+      case runtime::JobKind::Rqrcp: {
+        runtime::RqrcpJob rj;
+        rj.a = std::move(a);
+        rj.k = req->k;
+        rj.opts.block = req->block;
+        rj.opts.oversample = req->oversample;
+        rj.opts.seed = req->sample_seed;
+        rj.opts.want_q = req->want_q;
+        rj.opts.epsilon = 0;  // fixed-rank mode
+        job.payload = std::move(rj);
+        break;
+      }
+      case runtime::JobKind::RqrcpAdaptive: {
+        runtime::RqrcpJob rj;
+        rj.a = std::move(a);
+        rj.opts.epsilon = req->epsilon;
+        rj.opts.relative = req->relative;
+        rj.opts.max_rank = req->max_rank;
+        rj.opts.block = req->block;
+        rj.opts.oversample = req->oversample;
+        rj.opts.seed = req->sample_seed;
+        rj.opts.want_q = req->want_q;
+        job.payload = std::move(rj);
+        break;
+      }
     }
   } catch (const std::exception& e) {
     queue_frame(c, encode_error(
@@ -646,6 +671,10 @@ void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
   m.emplace_back("result_cache_hits", double(rc.hits));
   m.emplace_back("result_cache_misses", double(rc.misses));
   m.emplace_back("result_cache_evictions", double(rc.evictions));
+  const auto qc = sched.rqrcp_cache_stats();
+  m.emplace_back("rqrcp_cache_hits", double(qc.hits));
+  m.emplace_back("rqrcp_cache_misses", double(qc.misses));
+  m.emplace_back("rqrcp_cache_evictions", double(qc.evictions));
   // Global registry (layer instrumentation), capped at the wire limit.
   for (const auto& [name, v] : obs::Registry::global().scrape().flatten()) {
     if (m.size() >= kMaxStatsEntries) break;
@@ -717,6 +746,7 @@ void Server::Impl::send_result(Conn& c, std::uint64_t request_id,
 
   // Announce tensors and gather their contiguous storage for chunking.
   std::vector<const Matrix<double>*> tensors;
+  Matrix<double> rdiag_m;  // wire backing for RqrcpResult::rdiag
   if (outcome.status == runtime::JobStatus::Done) {
     if (outcome.fixed_rank) {
       h.tensors.push_back({"q", outcome.fixed_rank->q.rows(),
@@ -738,6 +768,22 @@ void Server::Impl::send_result(Conn& c, std::uint64_t request_id,
                            outcome.qrcp->r2.cols()});
       h.perm = outcome.qrcp->perm;
       tensors = {&outcome.qrcp->q, &outcome.qrcp->r1, &outcome.qrcp->r2};
+    } else if (outcome.rqrcp) {
+      // rdiag always (the rank-revealing decay profile), R blocks always
+      // (residual checks server truncation claims), Q only when asked.
+      const auto& rq = *outcome.rqrcp;
+      const index_t k = static_cast<index_t>(rq.rdiag.size());
+      rdiag_m = Matrix<double>(k, 1);
+      std::copy(rq.rdiag.begin(), rq.rdiag.end(), rdiag_m.data());
+      h.tensors.push_back({"rdiag", k, 1});
+      h.tensors.push_back({"r1", rq.r1.rows(), rq.r1.cols()});
+      h.tensors.push_back({"r2", rq.r2.rows(), rq.r2.cols()});
+      tensors = {&rdiag_m, &rq.r1, &rq.r2};
+      if (rq.q.rows() > 0) {
+        h.tensors.push_back({"q", rq.q.rows(), rq.q.cols()});
+        tensors.push_back(&rq.q);
+      }
+      h.perm = rq.perm;
     }
   }
   queue_frame(c, encode_result_header(h));

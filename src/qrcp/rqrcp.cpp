@@ -1,0 +1,291 @@
+#include "qrcp/rqrcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/blas1.hpp"
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/householder.hpp"
+#include "la/norms.hpp"
+#include "qrcp/qrcp.hpp"
+#include "rsvd/sketch.hpp"
+
+namespace randla::qrcp {
+
+namespace {
+
+// Downdating the sample through R₁₁⁻¹ loses about cond(R₁₁) in the
+// trailing sketch; once the panel's diagonal spans more than 1/√ε the
+// update is no longer trustworthy and the trailing block is resketched
+// with a fresh Ω instead (same safeguard philosophy as QP3's norm
+// recompute trigger).
+template <class Real>
+Real downdate_cond_threshold() {
+  return std::sqrt(std::numeric_limits<Real>::epsilon());
+}
+
+// Deterministic per-block seed for a resketch: the replacement Ω must
+// differ from the original draw but stay a pure function of (seed,
+// block index) so replays are bitwise reproducible.
+inline std::uint64_t resketch_seed(std::uint64_t seed, index_t block) {
+  return seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(block + 1));
+}
+
+// Replay the first `bcur` pivot choices of the sketch QRCP (expressed
+// as its final permutation `lperm` over the nt trailing columns) onto
+// A, B and the global permutation as a sequence of column swaps.
+template <class Real>
+void apply_sketch_pivots(MatrixView<Real> a, MatrixView<Real> b,
+                         Permutation& jpvt, index_t j0, index_t nt,
+                         const Permutation& lperm, index_t bcur) {
+  // pos[orig] = current trailing slot of original column j0+orig;
+  // who[slot] = original column currently in that slot.
+  std::vector<index_t> pos(static_cast<std::size_t>(nt));
+  std::vector<index_t> who(static_cast<std::size_t>(nt));
+  std::iota(pos.begin(), pos.end(), index_t{0});
+  std::iota(who.begin(), who.end(), index_t{0});
+  for (index_t jj = 0; jj < bcur; ++jj) {
+    const index_t orig = lperm[static_cast<std::size_t>(jj)];
+    const index_t src = pos[static_cast<std::size_t>(orig)];
+    if (src == jj) continue;
+    blas::swap(a.rows(), a.col_ptr(j0 + jj), index_t{1}, a.col_ptr(j0 + src),
+               index_t{1});
+    blas::swap(b.rows(), b.col_ptr(j0 + jj), index_t{1}, b.col_ptr(j0 + src),
+               index_t{1});
+    std::swap(jpvt[static_cast<std::size_t>(j0 + jj)],
+              jpvt[static_cast<std::size_t>(j0 + src)]);
+    std::swap(who[static_cast<std::size_t>(jj)],
+              who[static_cast<std::size_t>(src)]);
+    pos[static_cast<std::size_t>(who[static_cast<std::size_t>(jj)])] = jj;
+    pos[static_cast<std::size_t>(who[static_cast<std::size_t>(src)])] = src;
+  }
+}
+
+}  // namespace
+
+template <class Real>
+index_t rqrcp_factor(MatrixView<Real> a, Permutation& jpvt,
+                     std::vector<Real>& tau, index_t kmax,
+                     const RqrcpOptions& opts, RqrcpStats* stats,
+                     index_t max_blocks) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const bool adaptive = opts.epsilon > 0;
+  index_t k = std::min({kmax, m, n});
+  if (adaptive) {
+    const index_t cap = opts.max_rank > 0 ? opts.max_rank : std::min(m, n);
+    k = std::min(cap, std::min(m, n));
+  }
+  jpvt = identity_permutation(n);
+  RqrcpStats local;
+  if (k <= 0 || m == 0 || n == 0) {
+    tau.clear();
+    if (stats) *stats = local;
+    return 0;
+  }
+  tau.assign(static_cast<std::size_t>(k), Real(0));
+
+  const index_t b = std::max<index_t>(1, opts.block);
+  const index_t l = std::min(m, b + std::max<index_t>(0, opts.oversample));
+
+  Real tol = Real(0);
+  if (adaptive) {
+    tol = static_cast<Real>(opts.epsilon);
+    if (opts.relative) tol *= norm_fro<Real>(ConstMatrixView<Real>(a));
+  }
+
+  // Sketch once: B = Ω·A, ℓ×n. Every later block works on (a downdate
+  // of) this one gemm's output.
+  Matrix<Real> bs;
+  {
+    rsvd::PhaseTimer t(local.sketch_s, "qrcp.sketch");
+    bs = rsvd::gaussian_sketch<Real>(ConstMatrixView<Real>(a), l, opts.seed);
+  }
+  local.flops_sketch += flops::gemm(l, n, m);
+
+  std::vector<Real> tau_s, tau_p;
+  Permutation lperm;
+  index_t j0 = 0;
+  while (j0 < k) {
+    if (max_blocks > 0 && local.blocks >= max_blocks) {
+      local.truncated = true;
+      break;
+    }
+    const index_t nt = n - j0;
+    if (adaptive) {
+      // ‖B_trail‖_F/√ℓ is an unbiased estimate of ‖A₂₂‖_F = ‖A − QRPᵀ‖_F
+      // at the current rank (the downdated B is S₂·A₂₂ with S₂ gaussian).
+      const Real est =
+          norm_fro<Real>(ConstMatrixView<Real>(bs.view().block(0, j0, l, nt))) /
+          std::sqrt(static_cast<Real>(l));
+      if (est <= tol) break;
+    }
+    const index_t bcur = std::min(b, k - j0);
+
+    {
+      // --- panel: QRCP on the short sketch picks the pivots; the
+      // pivoted panel of A is then factored with unpivoted blocked QR.
+      rsvd::PhaseTimer t(local.panel_s, "qrcp.panel");
+      Matrix<Real> s(l, nt);
+      s.view().copy_from(ConstMatrixView<Real>(bs.view().block(0, j0, l, nt)));
+      geqp2<Real>(s.view(), lperm, tau_s, bcur);
+      local.flops_panel += 4.0 * double(l) * double(nt) * double(bcur);
+      apply_sketch_pivots(a, bs.view(), jpvt, j0, nt, lperm, bcur);
+
+      lapack::geqrf(a.block(j0, j0, m - j0, bcur), tau_p);
+      for (index_t jj = 0; jj < bcur; ++jj)
+        tau[static_cast<std::size_t>(j0 + jj)] =
+            tau_p[static_cast<std::size_t>(jj)];
+      local.flops_panel += flops::geqrf(m - j0, bcur);
+    }
+
+    const index_t rest = n - j0 - bcur;
+    if (rest > 0) {
+      const auto v =
+          ConstMatrixView<Real>(a.block(j0, j0, m - j0, bcur));
+      {
+        // --- update: one compact-WY blocked Householder application —
+        // trmm/gemm only, no per-column sync.
+        rsvd::PhaseTimer t(local.update_s, "qrcp.update");
+        Matrix<Real> tmat(bcur, bcur);
+        lapack::larft(v, tau.data() + j0, tmat.view());
+        lapack::larfb_left(Op::Trans, v, ConstMatrixView<Real>(tmat.view()),
+                           a.block(j0, j0 + bcur, m - j0, rest));
+        local.flops_update += 4.0 * double(m - j0) * double(bcur) * double(rest);
+      }
+      {
+        // --- downdate: B₂ ← B₂ − (B₁R₁₁⁻¹)R₁₂ = S₂·A₂₂, a fresh
+        // gaussian sketch of the updated trailing matrix without
+        // touching A again.
+        rsvd::PhaseTimer t(local.downdate_s, "qrcp.downdate");
+        Real dmax = Real(0);
+        Real dmin = std::numeric_limits<Real>::max();
+        for (index_t i = 0; i < bcur; ++i) {
+          const Real d = std::abs(a(j0 + i, j0 + i));
+          dmax = std::max(dmax, d);
+          dmin = std::min(dmin, d);
+        }
+        if (dmin <= dmax * downdate_cond_threshold<Real>() || dmax == Real(0)) {
+          // R₁₁ too ill-conditioned for the update: resketch A₂₂.
+          Matrix<Real> fresh = rsvd::gaussian_sketch<Real>(
+              ConstMatrixView<Real>(
+                  a.block(j0 + bcur, j0 + bcur, m - j0 - bcur, rest)),
+              l, resketch_seed(opts.seed, local.blocks));
+          bs.view().block(0, j0 + bcur, l, rest).copy_from(
+              ConstMatrixView<Real>(fresh.view()));
+          local.resketches++;
+          local.flops_sketch += flops::gemm(l, rest, m - j0 - bcur);
+        } else {
+          Matrix<Real> w(l, bcur);
+          w.view().copy_from(
+              ConstMatrixView<Real>(bs.view().block(0, j0, l, bcur)));
+          blas::trsm(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit,
+                     Real(1),
+                     ConstMatrixView<Real>(a.block(j0, j0, bcur, bcur)),
+                     w.view());
+          blas::gemm(Op::NoTrans, Op::NoTrans, Real(-1),
+                     ConstMatrixView<Real>(w.view()),
+                     ConstMatrixView<Real>(a.block(j0, j0 + bcur, bcur, rest)),
+                     Real(1), bs.view().block(0, j0 + bcur, l, rest));
+          local.flops_downdate +=
+              flops::trsm(l, bcur) + flops::gemm(l, rest, bcur);
+        }
+      }
+    }
+
+    j0 += bcur;
+    local.blocks++;
+  }
+
+  local.rank = j0;
+  tau.resize(static_cast<std::size_t>(j0));
+  if (stats) *stats = local;
+  return j0;
+}
+
+namespace {
+
+// Extract explicit factors from the in-place core's output.
+template <class Real>
+RqrcpResult<Real> build_result(Matrix<Real>&& work, std::vector<Real>&& tau,
+                               Permutation&& perm, const RqrcpStats& st,
+                               bool want_q) {
+  const index_t m = work.rows();
+  const index_t n = work.cols();
+  const index_t k = st.rank;
+  RqrcpResult<Real> out;
+  out.perm = std::move(perm);
+  out.stats = st;
+  out.r1.resize(k, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i <= j; ++i) out.r1(i, j) = work(i, j);
+  out.r2.resize(k, n - k);
+  for (index_t j = k; j < n; ++j)
+    for (index_t i = 0; i < k; ++i) out.r2(i, j - k) = work(i, j);
+  out.rdiag.resize(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i)
+    out.rdiag[static_cast<std::size_t>(i)] = out.r1(i, i);
+  if (want_q && k > 0) {
+    lapack::orgqr(work.view(), tau, k);
+    out.q.resize(m, k);
+    out.q.view().copy_from(ConstMatrixView<Real>(work.block(0, 0, m, k)));
+  }
+  return out;
+}
+
+}  // namespace
+
+template <class Real>
+RqrcpResult<Real> rqrcp_truncated(ConstMatrixView<Real> a, index_t k,
+                                  const RqrcpOptions& opts,
+                                  index_t max_blocks) {
+  if (k > std::min(a.rows(), a.cols()))
+    throw std::invalid_argument("rqrcp_truncated: k exceeds min(rows, cols)");
+  RqrcpOptions fixed = opts;
+  fixed.epsilon = 0;  // fixed-rank mode regardless of caller leftovers
+  Matrix<Real> work = Matrix<Real>::copy_of(a);
+  Permutation perm;
+  std::vector<Real> tau;
+  RqrcpStats st;
+  rqrcp_factor(work.view(), perm, tau, k, fixed, &st, max_blocks);
+  return build_result(std::move(work), std::move(tau), std::move(perm), st,
+                      opts.want_q);
+}
+
+template <class Real>
+RqrcpResult<Real> rqrcp_adaptive(ConstMatrixView<Real> a,
+                                 const RqrcpOptions& opts,
+                                 index_t max_blocks) {
+  if (opts.epsilon <= 0)
+    throw std::invalid_argument("rqrcp_adaptive: epsilon must be positive");
+  Matrix<Real> work = Matrix<Real>::copy_of(a);
+  Permutation perm;
+  std::vector<Real> tau;
+  RqrcpStats st;
+  rqrcp_factor(work.view(), perm, tau, std::min(a.rows(), a.cols()), opts,
+               &st, max_blocks);
+  return build_result(std::move(work), std::move(tau), std::move(perm), st,
+                      opts.want_q);
+}
+
+#define RANDLA_INSTANTIATE_RQRCP(Real)                                        \
+  template index_t rqrcp_factor<Real>(MatrixView<Real>, Permutation&,         \
+                                      std::vector<Real>&, index_t,            \
+                                      const RqrcpOptions&, RqrcpStats*,       \
+                                      index_t);                               \
+  template struct RqrcpResult<Real>;                                          \
+  template RqrcpResult<Real> rqrcp_truncated<Real>(                           \
+      ConstMatrixView<Real>, index_t, const RqrcpOptions&, index_t);          \
+  template RqrcpResult<Real> rqrcp_adaptive<Real>(                            \
+      ConstMatrixView<Real>, const RqrcpOptions&, index_t);
+
+RANDLA_INSTANTIATE_RQRCP(float)
+RANDLA_INSTANTIATE_RQRCP(double)
+
+#undef RANDLA_INSTANTIATE_RQRCP
+
+}  // namespace randla::qrcp

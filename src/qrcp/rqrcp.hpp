@@ -1,0 +1,112 @@
+// rqrcp.hpp — randomized QR with column pivoting via sample update
+// (Duersch–Gu 1509.06820, Martinsson et al. 1503.07157).
+//
+// QP3 synchronizes on every column: each pivot needs the downdated
+// norms of the whole trailing matrix, which keeps half the flops in
+// BLAS-2 gemv (the bottleneck qrcp.cpp measures). RQRCP moves pivoting
+// onto a short sketch instead:
+//
+//   1. sketch    B = Ω·A once, Ω gaussian ℓ×m with ℓ = block + oversample;
+//   2. panel     QRCP on the small ℓ×(n−j) trailing sketch picks the
+//                next `block` pivots — no sync against A at all;
+//   3. update    the pivoted panel of A is factored (geqrf) and the
+//                trailing matrix takes one blocked Householder update
+//                (larft + larfb: pure trmm/gemm);
+//   4. downdate  B is *updated*, not resketched: with Ω·Q = [S₁ S₂],
+//                B₂ − (B₁R₁₁⁻¹)R₁₂ = S₂·A₂₂ is a fresh gaussian sketch
+//                of the updated trailing matrix, for one trsm + gemm.
+//
+// Everything outside the ℓ-row panel QRCP is BLAS-3. The fixed-accuracy
+// variant (rqrcp_adaptive) discovers the rank on the fly: ‖B_trail‖_F/√ℓ
+// is an unbiased estimate of the trailing-block norm ‖A₂₂‖_F, so the
+// sweep stops as soon as the estimate drops under the tolerance — the
+// same ε/relative plumbing as rsvd::AdaptiveOptions, without an a-priori
+// rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/permutation.hpp"
+
+namespace randla::qrcp {
+
+/// Knobs shared by the fixed-rank and fixed-accuracy drivers.
+struct RqrcpOptions {
+  index_t block = 32;          ///< pivots chosen per block sweep (b)
+  index_t oversample = 8;      ///< extra sketch rows: ℓ = block + oversample
+  std::uint64_t seed = 20151115;  ///< Ω seed (paper's default lineage)
+  bool want_q = false;         ///< form the explicit m×k Q factor
+  // --- fixed-accuracy mode (rqrcp_adaptive) ---------------------------
+  double epsilon = 0;          ///< target ‖A − QRPᵀ‖_F; 0 = fixed-rank mode
+  bool relative = false;       ///< ε is a fraction of ‖A‖_F
+  index_t max_rank = 0;        ///< adaptive rank cap; 0 = min(m, n)
+};
+
+/// Diagnostics of one RQRCP run: per-phase seconds/flops (the obs
+/// `qrcp_*` series and the perfmodel crossover bench read these).
+struct RqrcpStats {
+  index_t rank = 0;            ///< columns factored
+  index_t blocks = 0;          ///< block sweeps performed
+  index_t resketches = 0;      ///< downdates abandoned for a fresh Ω·A₂₂
+  /// Sweep cut short (deadline degradation / max_blocks) before reaching
+  /// the requested rank or tolerance.
+  bool truncated = false;
+  double sketch_s = 0;         ///< B = Ω·A (+ any resketch)
+  double panel_s = 0;          ///< sketch QRCP + panel geqrf
+  double update_s = 0;         ///< blocked Householder trailing updates
+  double downdate_s = 0;       ///< sample updates of B
+  double flops_sketch = 0;
+  double flops_panel = 0;
+  double flops_update = 0;
+  double flops_downdate = 0;
+
+  double total_s() const { return sketch_s + panel_s + update_s + downdate_s; }
+  double total_flops() const {
+    return flops_sketch + flops_panel + flops_update + flops_downdate;
+  }
+};
+
+/// In-place core, geqp3-compatible output convention: on exit the
+/// leading `rank` columns of `a` hold R above the diagonal and the
+/// Householder vectors below it, `jpvt[j]` is the original index of the
+/// column now at position j, `tau` holds the reflector scalars. Factors
+/// min(kmax, m, n) columns in fixed-rank mode; in fixed-accuracy mode
+/// (opts.epsilon > 0) it stops at the first block whose sketch-estimated
+/// trailing norm is within tolerance. `max_blocks` caps the sweep
+/// (0 = unlimited) — the scheduler's deadline degradation hook.
+/// Returns the number of columns factored.
+template <class Real>
+index_t rqrcp_factor(MatrixView<Real> a, Permutation& jpvt,
+                     std::vector<Real>& tau, index_t kmax,
+                     const RqrcpOptions& opts, RqrcpStats* stats = nullptr,
+                     index_t max_blocks = 0);
+
+/// Explicit factors of a truncated RQRCP: A·P ≈ Q·[R₁ R₂] with the rank
+/// discovered (adaptive) or requested (fixed). `rdiag` is the diagonal
+/// of R — the rank-revealing decay profile the serving result returns.
+template <class Real>
+struct RqrcpResult {
+  Matrix<Real> q;          ///< m×k explicit Q (empty unless want_q)
+  Matrix<Real> r1;         ///< k×k upper triangular
+  Matrix<Real> r2;         ///< k×(n−k)
+  std::vector<Real> rdiag; ///< diag(R₁), length k
+  Permutation perm;        ///< column permutation, length n
+  RqrcpStats stats;
+};
+
+/// Fixed-rank driver: factor k columns of a copy of `a`.
+template <class Real>
+RqrcpResult<Real> rqrcp_truncated(ConstMatrixView<Real> a, index_t k,
+                                  const RqrcpOptions& opts = {},
+                                  index_t max_blocks = 0);
+
+/// Fixed-accuracy driver (opts.epsilon must be > 0): discover the rank
+/// from the sketch's trailing-block norm estimates.
+template <class Real>
+RqrcpResult<Real> rqrcp_adaptive(ConstMatrixView<Real> a,
+                                 const RqrcpOptions& opts,
+                                 index_t max_blocks = 0);
+
+}  // namespace randla::qrcp

@@ -11,6 +11,7 @@
 #include "la/norms.hpp"
 #include "la/parallel.hpp"
 #include "rng/gaussian.hpp"
+#include "rsvd/sketch.hpp"
 
 namespace randla::rsvd {
 
@@ -174,21 +175,11 @@ Matrix<double> compute_sample(ConstMatrixView<double> a,
   PhaseTimes local_t;
   PhaseFlops local_f;
 
-  // ---- Step 1: sampling.
+  // ---- Step 1: sampling (shared kernel with the RQRCP engine).
   Matrix<double> b(l, n);
   if (opts.sampling == SamplingKind::Gaussian) {
-    Matrix<double> omega;
-    {
-      PhaseTimer t(local_t.prng, "rsvd.prng");
-      omega = rng::gaussian_matrix<double>(l, m, opts.seed);
-      local_f.prng += double(l) * double(m);
-    }
-    {
-      PhaseTimer t(local_t.sampling, "rsvd.sampling");
-      blas::gemm(Op::NoTrans, Op::NoTrans, 1.0,
-                 ConstMatrixView<double>(omega.view()), a, 0.0, b.view());
-      local_f.sampling += flops::gemm(l, n, m);
-    }
+    b = gaussian_sketch<double>(a, l, opts.seed, &local_t.prng,
+                                &local_t.sampling, &local_f);
   } else {
     PhaseTimer t(local_t.sampling, "rsvd.sampling");
     b = fft::fft_sample_rows(a, l, opts.seed);

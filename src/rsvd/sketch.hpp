@@ -1,0 +1,53 @@
+// sketch.hpp — shared Gaussian sketch kernel for the random-sampling
+// backends.
+//
+// Both the rsvd Step-1 (B = ΩA before power iterations) and the RQRCP
+// engine's sketch/resketch path need the same primitive: draw Ω (ℓ×m)
+// from a Philox-counter seed and take one gemm. Keeping it here means
+// every backend inherits the same column-substream determinism (a
+// sketch of a column-partitioned matrix is bitwise identical across
+// device counts) and the same phase accounting hooks.
+#pragma once
+
+#include <cstdint>
+
+#include "la/blas3.hpp"
+#include "la/flops.hpp"
+#include "la/matrix.hpp"
+#include "rng/gaussian.hpp"
+#include "rsvd/phases.hpp"
+
+namespace randla::rsvd {
+
+/// B = Ω·A with Ω gaussian ℓ×m drawn from `seed`. When the slot
+/// pointers are given, the PRNG and gemm sub-phases are timed into them
+/// (with obs spans); `flops` accumulates {prng, sampling} counts.
+template <class Real>
+Matrix<Real> gaussian_sketch(ConstMatrixView<Real> a, index_t l,
+                             std::uint64_t seed, double* prng_s = nullptr,
+                             double* gemm_s = nullptr,
+                             PhaseFlops* flops_out = nullptr) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  Matrix<Real> omega;
+  {
+    double scratch = 0;
+    PhaseTimer t(prng_s ? *prng_s : scratch, prng_s ? "rsvd.prng" : nullptr);
+    omega = rng::gaussian_matrix<Real>(l, m, seed);
+  }
+  Matrix<Real> b(l, n);
+  {
+    double scratch = 0;
+    PhaseTimer t(gemm_s ? *gemm_s : scratch,
+                 gemm_s ? "rsvd.sampling" : nullptr);
+    blas::gemm(Op::NoTrans, Op::NoTrans, Real(1),
+               ConstMatrixView<Real>(omega.view()), a, Real(0), b.view());
+  }
+  if (flops_out) {
+    flops_out->prng += double(l) * double(m);
+    flops_out->sampling += flops::gemm(l, n, m);
+  }
+  return b;
+}
+
+}  // namespace randla::rsvd

@@ -1,5 +1,7 @@
 #include "runtime/cache.hpp"
 
+#include <cstring>
+
 namespace randla::runtime {
 
 SketchKey make_sketch_key(const Fingerprint& matrix,
@@ -20,6 +22,28 @@ ResultKey make_result_key(const Fingerprint& matrix,
   key.k = opts.k;
   key.p = opts.p;
   key.qrcp_block = opts.qrcp_block;
+  return key;
+}
+
+RqrcpKey make_rqrcp_key(const Fingerprint& matrix, index_t k,
+                        const qrcp::RqrcpOptions& opts) {
+  RqrcpKey key;
+  key.matrix = matrix;
+  key.seed = opts.seed;
+  key.block = opts.block;
+  key.oversample = opts.oversample;
+  key.want_q = opts.want_q;
+  if (opts.epsilon > 0) {
+    // Fixed-accuracy: identity is the tolerance, not a rank.
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &opts.epsilon, sizeof bits);
+    key.eps_bits = bits;
+    key.relative = opts.relative;
+    key.max_rank = opts.max_rank;
+  } else {
+    key.k = k;
+  }
   return key;
 }
 

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "qrcp/rqrcp.hpp"
 #include "rsvd/rsvd.hpp"
 #include "runtime/fingerprint.hpp"
 
@@ -153,8 +154,50 @@ SketchKey make_sketch_key(const Fingerprint& matrix,
 ResultKey make_result_key(const Fingerprint& matrix,
                           const rsvd::FixedRankOptions& opts);
 
+/// Full-request identity of an RQRCP factorization. Both modes key here
+/// (epsilon's bit pattern is 0 in fixed-rank mode), so an idempotent
+/// resubmit after a dropped result is served from cache instead of
+/// re-executing — the property the chaos gate's duplicate detector
+/// relies on for the new job kinds.
+struct RqrcpKey {
+  Fingerprint matrix;
+  std::uint64_t seed = 0;
+  index_t k = 0;              ///< 0 in fixed-accuracy mode
+  index_t block = 0;
+  index_t oversample = 0;
+  std::uint64_t eps_bits = 0; ///< bit pattern of epsilon (0 = fixed-rank)
+  index_t max_rank = 0;
+  bool relative = false;
+  bool want_q = false;
+
+  bool operator==(const RqrcpKey& o) const {
+    return matrix == o.matrix && seed == o.seed && k == o.k &&
+           block == o.block && oversample == o.oversample &&
+           eps_bits == o.eps_bits && max_rank == o.max_rank &&
+           relative == o.relative && want_q == o.want_q;
+  }
+};
+
+struct RqrcpKeyHash {
+  std::size_t operator()(const RqrcpKey& k) const {
+    std::uint64_t h = k.matrix.hi ^ (k.matrix.lo * 0x9E3779B97F4A7C15ull);
+    h ^= k.seed + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= k.eps_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= (std::uint64_t(k.k) << 32) ^ (std::uint64_t(k.block) << 16) ^
+         (std::uint64_t(k.oversample) << 8) ^ (std::uint64_t(k.max_rank) << 2) ^
+         (std::uint64_t(k.relative) << 1) ^ std::uint64_t(k.want_q);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Key for a fixed-rank (k) or fixed-accuracy (k ignored) RQRCP request.
+RqrcpKey make_rqrcp_key(const Fingerprint& matrix, index_t k,
+                        const qrcp::RqrcpOptions& opts);
+
 using SketchCache = LruCache<SketchKey, SketchEntry, SketchKeyHash>;
 using ResultCache =
     LruCache<ResultKey, rsvd::FixedRankResult, ResultKeyHash>;
+using RqrcpCache =
+    LruCache<RqrcpKey, qrcp::RqrcpResult<double>, RqrcpKeyHash>;
 
 }  // namespace randla::runtime

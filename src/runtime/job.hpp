@@ -15,6 +15,7 @@
 #include <variant>
 
 #include "qrcp/qrcp.hpp"
+#include "qrcp/rqrcp.hpp"
 #include "rsvd/adaptive.hpp"
 #include "rsvd/rsvd.hpp"
 #include "runtime/fingerprint.hpp"
@@ -55,8 +56,18 @@ struct QrcpJob {
   index_t block = 32;
 };
 
+/// Randomized rank-revealing factorization request (RQRCP engine,
+/// protocol v4). opts.epsilon > 0 selects the fixed-accuracy mode: the
+/// rank is discovered from the sketch's trailing-block norms and `k`
+/// is ignored (opts.max_rank caps the sweep instead).
+struct RqrcpJob {
+  MatrixHandle a;
+  index_t k = 50;            ///< requested rank (fixed-rank mode)
+  qrcp::RqrcpOptions opts;   ///< block/oversample/seed/want_q + ε plumbing
+};
+
 struct Job {
-  std::variant<FixedRankJob, AdaptiveJob, QrcpJob> payload;
+  std::variant<FixedRankJob, AdaptiveJob, QrcpJob, RqrcpJob> payload;
   /// Wall-clock budget from submission to completion, seconds. 0 uses
   /// the scheduler default; negative disables the deadline outright.
   double deadline_s = 0;
@@ -71,12 +82,15 @@ inline JobKind job_kind(const Job& job) {
     return JobKind::FixedRank;
   if (std::holds_alternative<AdaptiveJob>(job.payload))
     return JobKind::Adaptive;
+  if (const auto* r = std::get_if<RqrcpJob>(&job.payload))
+    return r->opts.epsilon > 0 ? JobKind::RqrcpAdaptive : JobKind::Rqrcp;
   return JobKind::Qrcp;
 }
 
 inline const MatrixHandle& job_matrix(const Job& job) {
   if (const auto* f = std::get_if<FixedRankJob>(&job.payload)) return f->a;
   if (const auto* s = std::get_if<AdaptiveJob>(&job.payload)) return s->a;
+  if (const auto* r = std::get_if<RqrcpJob>(&job.payload)) return r->a;
   return std::get<QrcpJob>(job.payload).a;
 }
 
@@ -87,6 +101,7 @@ struct JobOutcome {
   std::shared_ptr<const rsvd::FixedRankResult> fixed_rank;
   std::shared_ptr<const rsvd::AdaptiveResult> adaptive;
   std::shared_ptr<const qrcp::QrcpFactors<double>> qrcp;
+  std::shared_ptr<const qrcp::RqrcpResult<double>> rqrcp;
   std::string error;
   JobTrace trace;
 };

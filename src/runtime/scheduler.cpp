@@ -59,6 +59,25 @@ obs::Gauge batch_occupancy_gauge() {
   return g;
 }
 
+/// RQRCP engine metrics (fleet-wide, one counter per algorithm phase).
+struct QrcpMetrics {
+  obs::Counter sketch, panel, update, downdate, resketches, degraded;
+};
+QrcpMetrics& qrcp_metrics() {
+  static QrcpMetrics m = [] {
+    auto& g = obs::Registry::global();
+    return QrcpMetrics{
+        g.counter("qrcp_sketch_seconds_total", "RQRCP sketch B = ΩA"),
+        g.counter("qrcp_panel_seconds_total", "RQRCP sketch QRCP + panel QR"),
+        g.counter("qrcp_update_seconds_total", "RQRCP trailing updates"),
+        g.counter("qrcp_downdate_seconds_total", "RQRCP sample downdates"),
+        g.counter("qrcp_resketch_total", "downdate safeguard resketches"),
+        g.counter("qrcp_degraded_total", "block sweeps truncated at deadline"),
+    };
+  }();
+  return m;
+}
+
 /// Next stabler power-iteration orthogonalization after a breakdown.
 ortho::Scheme escalate(ortho::Scheme s) {
   switch (s) {
@@ -81,6 +100,7 @@ Scheduler::Scheduler(SchedulerOptions opts)
       queue_(opts_.queue_capacity),
       sketches_(opts_.enable_cache ? opts_.sketch_cache_capacity : 0),
       results_(opts_.enable_cache ? opts_.result_cache_capacity : 0),
+      rqrcps_(opts_.enable_cache ? opts_.rqrcp_cache_capacity : 0),
       start_(std::chrono::steady_clock::now()) {
   const int n = ctx_->num_devices();
   healthy_.store(n);
@@ -526,6 +546,8 @@ JobOutcome Scheduler::execute(const Job& job, int widx, double queue_wait,
                             .total();
       outcome.adaptive = std::move(res);
       outcome.status = trace.status = JobStatus::Done;
+    } else if (const auto* rj = std::get_if<RqrcpJob>(&job.payload)) {
+      outcome = run_rqrcp(*rj, trace, remaining);
     } else {
       const auto& qj = std::get<QrcpJob>(job.payload);
       rsvd::PhaseTimer t(trace.phases.qrcp, "rsvd.qrcp");
@@ -554,6 +576,84 @@ JobOutcome Scheduler::run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
   trace.q_requested = opts.q;
   degrade_to_fit(opts, fj.a->rows(), fj.a->cols(), remaining_s, trace);
   return finish_fixed_rank(fj, std::move(opts), trace, nullptr);
+}
+
+JobOutcome Scheduler::run_rqrcp(const RqrcpJob& rj, JobTrace& trace,
+                                double remaining_s) {
+  JobOutcome outcome;
+  outcome.trace = trace;  // keep deadline fields already filled
+  JobTrace& tr = outcome.trace;
+
+  const index_t m = rj.a->rows();
+  const index_t n = rj.a->cols();
+  const bool adaptive = rj.opts.epsilon > 0;
+  index_t kmax = adaptive ? std::min(m, n) : rj.k;
+  if (adaptive && rj.opts.max_rank > 0) kmax = std::min(kmax, rj.opts.max_rank);
+
+  // Both modes are deterministic functions of (A, options) — the Philox
+  // sketch is seeded — so the full factorization caches like a result.
+  const RqrcpKey key = make_rqrcp_key(rj.a->fingerprint(), rj.k, rj.opts);
+  if (auto hit = rqrcps_.get(key)) {
+    tr.cache = CacheDisposition::Result;
+    tr.modeled_s = 0;  // nothing recomputed
+    outcome.rqrcp = std::move(hit);
+    outcome.status = tr.status = JobStatus::Done;
+    return outcome;
+  }
+
+  // Graceful degradation: unlike fixed-rank (which sheds power
+  // iterations), RQRCP truncates the pivot sweep — later blocks only
+  // extend the factorization, so a shortened sweep still returns a
+  // valid rank-r < k factorization instead of missing the deadline.
+  index_t max_blocks = 0;  // 0 = unbounded
+  const index_t block = std::max<index_t>(1, rj.opts.block);
+  const index_t blocks_needed = (std::min(kmax, std::min(m, n)) + block - 1) / block;
+  if (remaining_s > 0 && opts_.enable_degradation) {
+    const double budget_modeled = remaining_s / calibration();
+    const index_t fit = model::max_rqrcp_blocks_within(
+        opts_.spec, m, n, kmax, rj.opts.block, rj.opts.oversample,
+        budget_modeled);
+    if (fit < blocks_needed) max_blocks = std::max<index_t>(1, fit);
+  }
+
+  auto res = std::make_shared<qrcp::RqrcpResult<double>>(
+      adaptive ? qrcp::rqrcp_adaptive(rj.a->view(), rj.opts, max_blocks)
+               : qrcp::rqrcp_truncated(rj.a->view(), rj.k, rj.opts,
+                                       max_blocks));
+  const qrcp::RqrcpStats& st = res->stats;
+  tr.degraded = max_blocks > 0 && st.truncated;
+
+  tr.phases.sampling = st.sketch_s;
+  tr.phases.qrcp = st.panel_s;
+  tr.phases.gemm_iter = st.update_s;
+  tr.phases.orth_iter = st.downdate_s;
+  tr.flops.sampling = st.flops_sketch;
+  tr.flops.qrcp = st.flops_panel;
+  tr.flops.gemm_iter = st.flops_update;
+  tr.flops.orth_iter = st.flops_downdate;
+  tr.modeled_s = model::estimate_rqrcp(opts_.spec, m, n,
+                                       std::max<index_t>(1, st.rank),
+                                       rj.opts.block, rj.opts.oversample)
+                     .total();
+  observe_calibration(st.total_s(), tr.modeled_s);
+
+  auto& qm = qrcp_metrics();
+  qm.sketch.add(st.sketch_s);
+  qm.panel.add(st.panel_s);
+  qm.update.add(st.update_s);
+  qm.downdate.add(st.downdate_s);
+  if (st.resketches > 0) qm.resketches.add(double(st.resketches));
+  if (tr.degraded) qm.degraded.inc();
+
+  tr.cache =
+      opts_.enable_cache ? CacheDisposition::Miss : CacheDisposition::None;
+  // Degraded sweeps are *not* cached: the truncated factorization is a
+  // deadline artifact, and serving it to an undeadlined resubmit of the
+  // same request would silently return fewer pivots than asked for.
+  if (!tr.degraded) rqrcps_.put(key, res);
+  outcome.rqrcp = std::move(res);
+  outcome.status = tr.status = JobStatus::Done;
+  return outcome;
 }
 
 void Scheduler::degrade_to_fit(rsvd::FixedRankOptions& opts, index_t m,

@@ -55,6 +55,7 @@ struct SchedulerOptions {
   double default_deadline_s = 0;    ///< per-job deadline when job says 0
   std::size_t sketch_cache_capacity = 32;
   std::size_t result_cache_capacity = 64;
+  std::size_t rqrcp_cache_capacity = 64;  ///< RQRCP factorization cache
   int max_retries = 2;              ///< CholQR-breakdown escalations
   bool enable_cache = true;
   bool enable_degradation = true;
@@ -141,6 +142,7 @@ class Scheduler {
   TelemetrySink& telemetry() { return telemetry_; }
   CacheStats sketch_cache_stats() const { return sketches_.stats(); }
   CacheStats result_cache_stats() const { return results_.stats(); }
+  CacheStats rqrcp_cache_stats() const { return rqrcps_.stats(); }
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t queue_capacity() const { return queue_.capacity(); }
   /// Jobs admitted but not yet fulfilled (queued + executing). The
@@ -205,6 +207,10 @@ class Scheduler {
                      const std::shared_ptr<std::atomic<bool>>& cancel);
   JobOutcome run_fixed_rank(const FixedRankJob& fj, JobTrace& trace,
                             double remaining_s);
+  /// RQRCP engine dispatch: fingerprint-keyed result cache, deadline
+  /// degradation by truncating the block sweep, per-phase obs metrics.
+  JobOutcome run_rqrcp(const RqrcpJob& rj, JobTrace& trace,
+                       double remaining_s);
   // --- batching collector (DESIGN.md §12) -----------------------------
   /// Drain compatible queued jobs behind `first` (size/linger window).
   std::vector<PendingJob> collect_batch(PendingJob first, int widx);
@@ -249,6 +255,7 @@ class Scheduler {
   BoundedQueue<PendingJob> queue_;
   SketchCache sketches_;
   ResultCache results_;
+  RqrcpCache rqrcps_;
   TelemetrySink telemetry_;
 
   std::chrono::steady_clock::time_point start_;

@@ -11,6 +11,8 @@ const char* job_kind_name(JobKind k) {
     case JobKind::FixedRank: return "fixed_rank";
     case JobKind::Adaptive: return "adaptive";
     case JobKind::Qrcp: return "qrcp";
+    case JobKind::Rqrcp: return "rqrcp";
+    case JobKind::RqrcpAdaptive: return "rqrcp_adaptive";
   }
   return "?";
 }

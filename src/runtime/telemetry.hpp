@@ -21,7 +21,13 @@
 
 namespace randla::runtime {
 
-enum class JobKind : std::uint8_t { FixedRank, Adaptive, Qrcp };
+enum class JobKind : std::uint8_t {
+  FixedRank,      ///< fixed-rank random sampling (paper Fig. 2)
+  Adaptive,       ///< fixed-accuracy adaptive-ℓ sampling (paper Fig. 3)
+  Qrcp,           ///< deterministic truncated QP3 baseline
+  Rqrcp,          ///< sample-update RQRCP, fixed rank (protocol v4)
+  RqrcpAdaptive,  ///< RQRCP fixed-accuracy: rank discovered on the fly
+};
 const char* job_kind_name(JobKind k);
 
 enum class JobStatus : std::uint8_t {
@@ -35,7 +41,7 @@ const char* job_status_name(JobStatus s);
 
 /// How the result cache served (or didn't serve) a job.
 enum class CacheDisposition : std::uint8_t {
-  None,    ///< not cacheable (adaptive/qrcp) or caching disabled
+  None,    ///< not cacheable (adaptive/qp3) or caching disabled
   Miss,    ///< cacheable but computed from scratch (and inserted)
   Sketch,  ///< reused a cached sample B, ran only Steps 2–3
   Result,  ///< full factorization served from cache
