@@ -209,9 +209,26 @@ RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --scales 1,2,4 \
   --json build/BENCH_cluster.json
 
 echo "== cluster chaos: SIGKILL a shard, zero lost or duplicated jobs =="
+# The chaos run also exercises the observability plane end to end: the
+# router's merged Stats scrape must carry shard-labeled rows, and the
+# post-run Dump fan-out must produce a merged flight-recorder postmortem
+# that records the victim's death (shard_down). randla_postmortem then
+# replays the dump and --require-complete asserts every accepted job
+# reached a terminal event (0 unaccounted, 0 duplicated) even across
+# the SIGKILL — the flight recorder's reason to exist.
 RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --shards 4 \
   --jobs 240 --threads 8 --spread 48 --cache 16 --m 768 --n 256 \
-  --check-frac 0.05 --tmp build
+  --check-frac 0.05 --tmp build --postmortem build/postmortem.json
+./build/examples/randla_postmortem build/postmortem.json --require-complete
+
+echo "== cluster observability: merged scrape equals per-shard sums =="
+# randla_loadgen forks real shard processes behind an in-process router
+# and drives the whole cluster through one socket; --check-stats then
+# scrapes each shard directly and cross-checks that the router's merged
+# reply (a) reports cluster_stale_shards == 0 and (b) reproduces every
+# summable per-shard series exactly (bucket-wise for histograms).
+./build/examples/randla_loadgen --cluster 2 --jobs 60 --threads 4 \
+  --m 128 --n 64 --spread 16 --check-stats
 
 echo "== memory safety: ASan/UBSan on the wire protocol and server =="
 cmake --preset asan

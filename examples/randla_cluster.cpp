@@ -67,6 +67,7 @@
 #include "la/norms.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/stats.hpp"
 
@@ -90,6 +91,7 @@ struct Options {
   std::uint64_t seed = 2026;
   bool chaos = false;
   std::string tmp = ".";
+  std::string postmortem;  ///< chaos: write the cluster Dump merge here
 };
 
 /// The run is fixed-rank only: results are cacheable (idempotent
@@ -160,8 +162,16 @@ struct ShardProc {
 
 /// Child body: serve until a remote Shutdown drains the loop, then dump
 /// telemetry for the parent's duplicate detector. Never returns.
-[[noreturn]] void shard_child(const Options& opt, int port_fd,
+[[noreturn]] void shard_child(const Options& opt, int shard_idx, int port_fd,
                               const std::string& telemetry_path) {
+  // Label this process's flight recorder so the cluster-wide postmortem
+  // attributes events to the right shard, and arm the crash handler: a
+  // SIGSEGV/SIGABRT leaves a best-effort ring dump next to telemetry.
+  obs::Recorder::global().set_source("shard-" + std::to_string(shard_idx));
+  const std::string crash_path =
+      opt.tmp + "/cluster_shard_" + std::to_string(shard_idx) + "_crash.json";
+  obs::Recorder::global().install_crash_handler(crash_path.c_str());
+
   runtime::SchedulerOptions so;
   so.num_workers = opt.workers;
   so.queue_capacity = opt.queue;
@@ -195,8 +205,8 @@ struct ShardProc {
 /// Fork one shard and read back its ephemeral port. The fork happens
 /// while the parent is single-threaded (callers join every thread
 /// between scales), so the child starts from a clean slate.
-bool spawn_shard(const Options& opt, const std::string& telemetry_path,
-                 ShardProc* out) {
+bool spawn_shard(const Options& opt, int shard_idx,
+                 const std::string& telemetry_path, ShardProc* out) {
   int pfd[2];
   if (pipe(pfd) != 0) return false;
   const pid_t pid = fork();
@@ -207,7 +217,7 @@ bool spawn_shard(const Options& opt, const std::string& telemetry_path,
   }
   if (pid == 0) {
     ::close(pfd[0]);
-    shard_child(opt, pfd[1], telemetry_path);
+    shard_child(opt, shard_idx, pfd[1], telemetry_path);
   }
   ::close(pfd[1]);
   std::uint16_t port = 0;
@@ -236,8 +246,11 @@ struct RunResult {
   cluster::RouterStats router;
   std::vector<std::uint32_t> live_end;  ///< ring membership after the run
   bool stats_scrape_ok = false;
+  bool merged_stats_ok = false;   ///< scrape carries cluster_stale_shards +
+                                  ///< shard-labeled merged rows
   bool victim_marked_down = false;  ///< chaos: scrape shows shard_up == 0
   std::uint32_t victim = 0;
+  std::string postmortem;  ///< cluster-wide Dump merge (router view)
 };
 
 RunResult run_scale(const Options& opt, int nshards, bool chaos) {
@@ -248,7 +261,7 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
                              std::to_string(nshards) + "_" +
                              std::to_string(s) + ".telemetry";
     std::remove(path.c_str());
-    if (!spawn_shard(opt, path, &shards[static_cast<std::size_t>(s)])) {
+    if (!spawn_shard(opt, s, path, &shards[static_cast<std::size_t>(s)])) {
       std::fprintf(stderr, "cluster: failed to spawn shard %d\n", s);
       for (auto& sp : shards)
         if (sp.pid > 0) {
@@ -379,11 +392,24 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
         rr.stats_scrape_ok = stats->has("router_submits_routed") &&
                              stats->has("cluster_membership_changes") &&
                              stats->has("cluster_shards_live");
+        // The fan-out merge: the degraded-mode counter must always be
+        // present, and at least one live shard's labeled rows must have
+        // survived the wire cap (the victim may be any shard id, so scan
+        // rather than name one).
+        bool any_labeled = false;
+        for (const auto& [name, v] : stats->metrics)
+          if (name.rfind("server_jobs_submitted{shard=", 0) == 0)
+            any_labeled = true;
+        rr.merged_stats_ok = stats->has("cluster_stale_shards") && any_labeled;
         const std::string up_key =
             "cluster_shard_up{shard=\"" + std::to_string(rr.victim) + "\"}";
         rr.victim_marked_down =
             stats->has(up_key) && stats->value(up_key) == 0.0;
       }
+      // Cluster-wide postmortem through the same router the clients
+      // used: the router's flight recorder (with the victim's ShardDown
+      // event) plus every surviving shard's rings, one JSON document.
+      if (auto dump = sc.dump()) rr.postmortem = std::move(*dump);
     }
   }
   rr.router = router.stats();
@@ -492,6 +518,24 @@ int run_chaos(const Options& opt, int argc, char** argv) {
               rr.stats_scrape_ok ? "ok" : "MISSING",
               rr.victim_marked_down ? "yes" : "NO");
 
+  // Postmortem: the router-view Dump merge must exist and carry the
+  // victim's death (the router's own flight recorder logged ShardDown
+  // when the breaker evicted it).
+  const bool postmortem_has_death =
+      rr.postmortem.find("\"kind\":\"shard_down\"") != std::string::npos;
+  if (!opt.postmortem.empty()) {
+    if (std::FILE* f = std::fopen(opt.postmortem.c_str(), "w")) {
+      std::fwrite(rr.postmortem.data(), 1, rr.postmortem.size(), f);
+      std::fclose(f);
+      std::printf("postmortem: %zu bytes → %s (shard_down %s)\n",
+                  rr.postmortem.size(), opt.postmortem.c_str(),
+                  postmortem_has_death ? "recorded" : "MISSING");
+    } else {
+      std::fprintf(stderr, "cluster: cannot write %s\n",
+                   opt.postmortem.c_str());
+    }
+  }
+
   bench::JsonReport report("cluster", argc, argv);
   if (report.enabled()) {
     report.row("chaos")
@@ -538,6 +582,17 @@ int run_chaos(const Options& opt, int argc, char** argv) {
   if (!rr.stats_scrape_ok || !rr.victim_marked_down) {
     std::fprintf(stderr,
                  "FAIL: router Stats scrape missing membership metrics\n");
+    bad = true;
+  }
+  if (!rr.merged_stats_ok) {
+    std::fprintf(stderr,
+                 "FAIL: router Stats merge missing cluster_stale_shards or "
+                 "shard-labeled rows\n");
+    bad = true;
+  }
+  if (rr.postmortem.empty() || !postmortem_has_death) {
+    std::fprintf(stderr, "FAIL: cluster postmortem missing or lacks the "
+                         "victim's shard_down event\n");
     bad = true;
   }
   return bad ? 1 : 0;
@@ -615,12 +670,13 @@ int run_sweep(const Options& opt, int argc, char** argv) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& rr = results[i];
     if (rr.lost > 0 || rr.duplicated > 0 || rr.check_failed > 0 ||
-        !rr.stats_scrape_ok) {
+        !rr.stats_scrape_ok || !rr.merged_stats_ok) {
       std::fprintf(stderr,
                    "FAIL: scale %d: %d lost, %d duplicated, %d residual "
-                   "failures, scrape %s\n",
+                   "failures, scrape %s, merge %s\n",
                    scales[i], rr.lost, rr.duplicated, rr.check_failed,
-                   rr.stats_scrape_ok ? "ok" : "missing");
+                   rr.stats_scrape_ok ? "ok" : "missing",
+                   rr.merged_stats_ok ? "ok" : "missing");
       bad = true;
     }
   }
@@ -666,6 +722,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--peer-fill")) opt.peer_fill = std::atoi(need("--peer-fill"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--tmp")) opt.tmp = need("--tmp");
+    else if (!std::strcmp(argv[i], "--postmortem")) opt.postmortem = need("--postmortem");
     else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = true;
     else if (!std::strcmp(argv[i], "--json")) { need("--json"); }  // JsonReport reads argv
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
@@ -675,5 +732,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   signal(SIGPIPE, SIG_IGN);
+  obs::Recorder::global().set_source("router");
   return opt.chaos ? run_chaos(opt, argc, argv) : run_sweep(opt, argc, argv);
 }

@@ -32,6 +32,18 @@
 // comparison is per-server).
 //   randla_loadgen --chaos SCHEDULE [--seed N] [--jobs N] [--threads T]
 //                  [--m M] [--n N] [--check-frac F] [--spread N]
+//   randla_loadgen --cluster N [--check-stats] [flags as above]
+//
+// --cluster N hosts a self-contained cluster: N forked shard servers
+// behind an in-process cluster::Router, with all load driven through
+// the router endpoint. With --check-stats the run ends by scraping the
+// router (whose Stats fan-out merges every shard, DESIGN.md §14) *and*
+// each shard directly, then cross-checks the merged cluster rows
+// against the per-shard sums: every mergeable row (counters, histogram
+// buckets) must equal the sum of the direct scrapes, every shard must
+// appear with a `shard="i"` label, and `cluster_stale_shards` must be
+// 0. Scrape-perturbed series (net_*/server_* frame counters) are
+// excluded — the fan-out itself bumps them between the two scrapes.
 //
 // --chaos ignores --port: it hosts its own loopback scheduler + server
 // with a deterministic fault injector (see src/fault) driven by
@@ -55,6 +67,10 @@
 //
 // Exit code is a self-check: nonzero on any failed job, failed residual
 // check, missing expected backpressure, or busted p99 bound.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cctype>
@@ -64,16 +80,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cluster/router.hpp"
+#include "cluster/stats_merge.hpp"
 #include "fault/injector.hpp"
 #include "la/norms.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/stats.hpp"
 
@@ -99,6 +119,7 @@ struct Options {
   bool expect_busy = false;
   bool send_shutdown = false;
   bool check_stats = false;
+  int cluster = 0;  ///< >0: host this many forked shards + a router
   std::uint64_t seed = 2026;
   std::string chaos;  ///< fault schedule DSL; non-empty = chaos mode
 };
@@ -604,6 +625,177 @@ int run_chaos(const Options& opt) {
   return bad ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------
+// --cluster mode: forked shard servers behind an in-process router, so
+// the merged-stats cross-check below has both views of the same truth.
+
+struct ClusterHost {
+  std::vector<pid_t> pids;
+  std::vector<std::uint16_t> shard_ports;
+  std::unique_ptr<cluster::Router> router;
+};
+
+/// Child body: a plain shard (scheduler + server) that serves until the
+/// parent's Shutdown frame drains it. Never returns.
+[[noreturn]] void cluster_shard_child(int idx, int port_fd) {
+  obs::Recorder::global().set_source("shard-" + std::to_string(idx));
+  runtime::SchedulerOptions so;
+  so.num_workers = 2;
+  so.queue_capacity = 32;
+  runtime::Scheduler sched(so);
+  net::ServerOptions svo;
+  svo.port = 0;
+  svo.allow_remote_shutdown = true;
+  net::Server server(sched, svo);
+  if (!server.start()) _exit(3);
+  const std::uint16_t port = server.port();
+  if (write(port_fd, &port, sizeof port) != sizeof port) _exit(3);
+  ::close(port_fd);
+  server.wait();
+  _exit(0);
+}
+
+/// Fork the shards (parent is still single-threaded here) and start the
+/// router over them.
+bool start_cluster(const Options& opt, ClusterHost* host) {
+  for (int s = 0; s < opt.cluster; ++s) {
+    int pfd[2];
+    if (pipe(pfd) != 0) return false;
+    const pid_t pid = fork();
+    if (pid < 0) {
+      ::close(pfd[0]);
+      ::close(pfd[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::close(pfd[0]);
+      cluster_shard_child(s, pfd[1]);
+    }
+    ::close(pfd[1]);
+    std::uint16_t port = 0;
+    const bool got = read(pfd[0], &port, sizeof port) == sizeof port;
+    ::close(pfd[0]);
+    if (!got || port == 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      return false;
+    }
+    host->pids.push_back(pid);
+    host->shard_ports.push_back(port);
+  }
+  cluster::RouterOptions ro;
+  ro.port = 0;
+  for (std::uint16_t p : host->shard_ports)
+    ro.shards.push_back({"127.0.0.1", p});
+  host->router = std::make_unique<cluster::Router>(ro);
+  return host->router->start();
+}
+
+void stop_cluster(ClusterHost& host) {
+  if (host.router) host.router->stop();
+  for (std::size_t s = 0; s < host.shard_ports.size(); ++s) {
+    net::ClientOptions copt;
+    copt.port = host.shard_ports[s];
+    net::Client client(copt);
+    if (!client.connect() || !client.send_shutdown())
+      kill(host.pids[s], SIGKILL);  // graceful drain failed; reap anyway
+  }
+  for (pid_t pid : host.pids) waitpid(pid, nullptr, 0);
+}
+
+/// The cluster --check-stats contract: the router's merged scrape must
+/// agree exactly with the per-shard direct scrapes. `failures` gates the
+/// strictest check (total submits == jobs) the same way the
+/// single-server path gates it.
+bool cluster_cross_check(const Options& opt, const ClusterHost& host,
+                         const std::optional<net::StatsReply>& merged,
+                         int failures) {
+  if (!merged) {
+    std::fprintf(stderr, "FAIL: cluster merged scrape missing\n");
+    return false;
+  }
+  bool ok = true;
+  if (!merged->has("cluster_stale_shards")) {
+    std::fprintf(stderr, "FAIL: merged scrape lacks cluster_stale_shards\n");
+    ok = false;
+  } else if (merged->value("cluster_stale_shards") != 0) {
+    std::fprintf(stderr, "FAIL: %d stale shard(s) in merged scrape\n",
+                 int(merged->value("cluster_stale_shards")));
+    ok = false;
+  }
+  // Per-shard direct scrapes: accumulate every mergeable row that the
+  // fan-out itself cannot have perturbed (the Stats frames it sends
+  // bump the shards' net_*/server_* frame counters between the two
+  // scrape instants; everything else is quiescent once the workers
+  // joined).
+  std::map<std::string, double> sums;
+  double submitted = 0;
+  int scraped = 0;
+  for (std::size_t s = 0; s < host.shard_ports.size(); ++s) {
+    net::ClientOptions copt;
+    copt.port = host.shard_ports[s];
+    net::Client sc(copt);
+    std::optional<net::StatsReply> st;
+    if (sc.connect()) st = sc.stats();
+    if (!st) {
+      std::fprintf(stderr, "FAIL: direct scrape of shard %zu failed\n", s);
+      ok = false;
+      continue;
+    }
+    ++scraped;
+    for (const auto& [name, v] : st->metrics) {
+      if (!cluster::mergeable_stat(name)) continue;
+      if (name.rfind("net_", 0) == 0 || name.rfind("server_", 0) == 0)
+        continue;
+      sums[name] += v;
+    }
+    submitted += st->value("server_jobs_submitted");
+    // The merged scrape must carry this shard's labeled row, byte-equal
+    // in name and value to the direct view.
+    const std::string labeled = cluster::with_shard_label(
+        "server_jobs_submitted", static_cast<std::uint32_t>(s));
+    if (merged->value(labeled) != st->value("server_jobs_submitted")) {
+      std::fprintf(stderr, "FAIL: merged %s = %.0f, shard says %.0f\n",
+                   labeled.c_str(), merged->value(labeled),
+                   st->value("server_jobs_submitted"));
+      ok = false;
+    }
+  }
+  // Every mergeable series must appear in the merged scrape with the
+  // per-shard sum. Same-name rows can exist more than once (the router
+  // process's own registry rows precede the merge), so accept any exact
+  // name whose value matches within float-sum tolerance.
+  int rows_checked = 0;
+  for (const auto& [name, want] : sums) {
+    bool found = false;
+    for (const auto& [mname, mv] : merged->metrics)
+      if (mname == name &&
+          std::abs(mv - want) <= 1e-6 * std::max(1.0, std::abs(want))) {
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::fprintf(stderr,
+                   "FAIL: merged scrape disagrees with per-shard sum %.10g "
+                   "for %s\n",
+                   want, name.c_str());
+      ok = false;
+    } else {
+      ++rows_checked;
+    }
+  }
+  if (failures == 0 && scraped == int(host.shard_ports.size()) &&
+      submitted != double(opt.jobs)) {
+    std::fprintf(stderr, "FAIL: shards saw %.0f submits for %d jobs\n",
+                 submitted, opt.jobs);
+    ok = false;
+  }
+  std::printf("cluster:     merged scrape matches %d/%zu summed series "
+              "across %d shards%s\n",
+              rows_checked, sums.size(), scraped, ok ? "" : "  [FAIL]");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -630,6 +822,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--spread")) opt.spread = std::atoi(need("--spread"));
     else if (!std::strcmp(argv[i], "--batch-hint")) opt.batch_hint = std::atoi(need("--batch-hint"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cluster")) opt.cluster = std::atoi(need("--cluster"));
     else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = need("--chaos");
     else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
     else if (!std::strcmp(argv[i], "--expect-busy")) opt.expect_busy = true;
@@ -638,9 +831,28 @@ int main(int argc, char** argv) {
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
   if (!opt.chaos.empty()) return run_chaos(opt);  // hosts its own loopback
+  ClusterHost cluster_host;
+  if (opt.cluster > 0) {
+    if (!opt.ports.empty()) {
+      std::fprintf(stderr, "loadgen: --cluster hosts its own endpoints; "
+                           "drop --port\n");
+      return 2;
+    }
+    signal(SIGPIPE, SIG_IGN);  // a dying shard must not kill the run
+    obs::Recorder::global().set_source("router");
+    if (!start_cluster(opt, &cluster_host)) {
+      std::fprintf(stderr, "loadgen: failed to start %d-shard cluster\n",
+                   opt.cluster);
+      return 1;
+    }
+    opt.ports.push_back(int(cluster_host.router->port()));
+    std::printf("randla_loadgen: hosting %d shards behind router :%u\n",
+                opt.cluster, unsigned(cluster_host.router->port()));
+  }
   if (opt.ports.empty()) {
     std::fprintf(stderr,
                  "usage: randla_loadgen --port P[,P2,...] [flags]\n"
+                 "       randla_loadgen --cluster N [--check-stats] [flags]\n"
                  "       randla_loadgen --chaos SCHEDULE [--seed N] [flags]\n");
     return 2;
   }
@@ -946,7 +1158,16 @@ int main(int argc, char** argv) {
                  opt.max_p99_ms);
     bad = true;
   }
-  if (opt.check_stats) {
+  if (opt.cluster > 0) {
+    // Cluster mode: the strict single-server comparison below does not
+    // apply (the router's merged reply has no unlabeled server_* rows);
+    // the merged-vs-summed cross-check is the contract instead.
+    if (opt.check_stats &&
+        !cluster_cross_check(opt, cluster_host, server_stats,
+                             failed + transport_failures.load()))
+      bad = true;
+    stop_cluster(cluster_host);
+  } else if (opt.check_stats) {
     // Against a dedicated server, every counter is accounted for: each
     // Busy reply we honored is one server-side shed, every admitted job
     // came back, and nothing was malformed or dropped.

@@ -57,6 +57,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/workload.hpp"
@@ -363,6 +364,10 @@ int main(int argc, char** argv) {
                  engine.c_str());
     return 2;
   }
+
+  obs::Recorder::global().set_source("serve");
+  if (const char* crash = std::getenv("RANDLA_POSTMORTEM_PATH"))
+    obs::Recorder::global().install_crash_handler(crash);
 
   ObsDump dump;
   dump.metrics_path = metrics_path;

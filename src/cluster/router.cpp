@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "cluster/hash_ring.hpp"
+#include "cluster/stats_merge.hpp"
 #include "net/protocol.hpp"
 #include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace randla::cluster {
@@ -96,9 +99,25 @@ struct Router::Impl {
     std::uint64_t x = 0;  ///< bound exchange (0 = idle or probe)
     bool probe = false;
     double probe_start = 0;
+    std::uint64_t fanout = 0;  ///< bound Stats/Dump fan-out (0 = none)
   };
   std::map<std::uint64_t, Up> ups;
   std::uint64_t next_up_id = 1;
+
+  /// One client Stats/Dump request fanned out to every live shard. The
+  /// merge finalizes when the last shard answers or the deadline passes
+  /// (unanswered shards are counted stale, never waited on forever).
+  struct Fanout {
+    std::uint64_t down = 0;   ///< requesting client conn (may drop away)
+    bool dump = false;        ///< Dump verb (else Stats)
+    double deadline = 0;
+    std::map<std::uint64_t, std::uint32_t> pending;  ///< up id → shard
+    std::vector<std::pair<std::uint32_t, StatsRows>> stats;
+    std::vector<std::pair<std::uint32_t, std::string>> dumps;
+    std::uint32_t stale = 0;
+  };
+  std::map<std::uint64_t, Fanout> fanouts;
+  std::uint64_t next_fanout_id = 1;
 
   struct Exchange {
     std::uint64_t down = 0;  ///< 0 = detached (peer fill / client gone)
@@ -185,7 +204,10 @@ struct Router::Impl {
                      const std::uint8_t* frame, std::size_t frame_len);
   void handle_submit(std::uint64_t cid, const std::uint8_t* frame,
                      std::size_t frame_len);
-  void handle_stats(std::uint64_t cid);
+  void handle_scrape(std::uint64_t cid, bool dump);
+  net::StatsReply local_stats();
+  void finalize_fanout(std::uint64_t fid);
+  void check_fanouts(double t);
   void handle_health(std::uint64_t cid);
   void queue_down(Down& d, std::vector<std::uint8_t> frame);
   void relay_down(std::uint64_t cid, const std::uint8_t* frame,
@@ -317,7 +339,7 @@ void Router::Impl::loop() {
       bool pending_writes = false;
       for (const auto& [id, d] : downs)
         if (d.woff < d.wbuf.size()) pending_writes = true;
-      bool live_exchanges = !exchanges.empty();
+      bool live_exchanges = !exchanges.empty() || !fanouts.empty();
       if ((!live_exchanges && !pending_writes) ||
           now() - drain_start > opts.drain_timeout_s)
         break;
@@ -393,6 +415,7 @@ void Router::Impl::loop() {
 
     const double t = now();
     if (!draining) maybe_probe(t);
+    check_fanouts(t);
 
     // Close flushed-poisoned and idle downstream conns.
     std::vector<std::uint64_t> doomed;
@@ -541,7 +564,10 @@ void Router::Impl::dispatch_down(std::uint64_t cid, net::FrameType type,
       return;
     }
     case net::FrameType::Stats:
-      handle_stats(cid);
+      handle_scrape(cid, /*dump=*/false);
+      return;
+    case net::FrameType::Dump:
+      handle_scrape(cid, /*dump=*/true);
       return;
     case net::FrameType::HealthCheck:
       handle_health(cid);
@@ -619,8 +645,7 @@ void Router::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* frame,
   start_exchange(cid, std::move(ps));
 }
 
-void Router::Impl::handle_stats(std::uint64_t cid) {
-  Down& d = downs[cid];
+net::StatsReply Router::Impl::local_stats() {
   net::StatsReply s;
   auto& m = s.metrics;
   RouterStats st;
@@ -657,12 +682,109 @@ void Router::Impl::handle_stats(std::uint64_t cid) {
   }
   // Global registry (router-process obs counters), capped at the wire
   // limit like the server's scrape.
-  for (const auto& [name, v] : obs::Registry::global().scrape().flatten()) {
+  obs::slo_publish();
+  for (const auto& [name, v] :
+       obs::Registry::global().scrape().flatten(/*include_buckets=*/true)) {
     if (m.size() >= net::kMaxStatsEntries) break;
     if (name.size() > net::kMaxStatsNameBytes) continue;
     m.emplace_back(name, v);
   }
+  return s;
+}
+
+void Router::Impl::handle_scrape(std::uint64_t cid, bool dump) {
+  // Fan the request out to every live shard; the reply is assembled in
+  // finalize_fanout once the last shard answers or the deadline passes.
+  const std::uint64_t fid = next_fanout_id++;
+  Fanout f;
+  f.down = cid;
+  f.dump = dump;
+  f.deadline = now() + opts.scrape_timeout_s;
+  if (dump)
+    obs::Recorder::global().record(obs::EventKind::DumpRequested, 0, 0,
+                                   static_cast<std::int64_t>(cid));
+  const auto frame =
+      dump ? net::encode_dump_request() : net::encode_stats_request();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].in_ring) continue;
+    const std::uint64_t uid = take_upstream(static_cast<std::uint32_t>(i));
+    if (uid == 0) {
+      // Unreachable right now: stale, and charged like any other
+      // connect failure so a dead shard eventually leaves the ring.
+      f.stale += 1;
+      shard_failure(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    Up& u = ups[uid];
+    u.fanout = fid;
+    if (u.woff > 0) {
+      u.wbuf.erase(u.wbuf.begin(), u.wbuf.begin() + u.woff);
+      u.woff = 0;
+    }
+    u.wbuf.insert(u.wbuf.end(), frame.begin(), frame.end());
+    f.pending.emplace(uid, static_cast<std::uint32_t>(i));
+  }
+  const bool done = f.pending.empty();
+  fanouts.emplace(fid, std::move(f));
+  if (done) finalize_fanout(fid);
+}
+
+void Router::Impl::finalize_fanout(std::uint64_t fid) {
+  auto it = fanouts.find(fid);
+  if (it == fanouts.end()) return;
+  Fanout f = std::move(it->second);
+  fanouts.erase(it);
+  auto dit = downs.find(f.down);
+  if (dit == downs.end()) return;  // requester left; nothing to deliver
+  Down& d = dit->second;
+
+  if (f.dump) {
+    // One JSON document: the router's own flight recorder first, then
+    // each shard's postmortem verbatim (each is a complete object).
+    std::string out = "{\"stale_shards\":";
+    out += std::to_string(f.stale);
+    out += ",\"sources\":[";
+    out += obs::Recorder::global().dump_json();
+    for (const auto& [shard, json] : f.dumps) {
+      out += ',';
+      out += json;
+    }
+    out += "]}";
+    queue_down(d, net::encode_dump_reply(out));
+    if (!flush_down(d)) drop_down(f.down);
+    return;
+  }
+
+  net::StatsReply s = local_stats();
+  auto& m = s.metrics;
+  m.emplace_back("cluster_stale_shards", double(f.stale));
+  // Merged aggregates lead, shard-labeled detail follows; the wire cap
+  // therefore truncates detail, never cluster totals.
+  for (auto& [name, v] : merge_shard_stats(f.stats)) {
+    if (m.size() >= net::kMaxStatsEntries) break;
+    if (name.size() > net::kMaxStatsNameBytes) continue;
+    m.emplace_back(std::move(name), v);
+  }
   queue_down(d, net::encode_stats_reply(s));
+  if (!flush_down(d)) drop_down(f.down);
+}
+
+void Router::Impl::check_fanouts(double t) {
+  std::vector<std::uint64_t> due;
+  for (const auto& [fid, f] : fanouts)
+    if (t >= f.deadline) due.push_back(fid);
+  for (const std::uint64_t fid : due) {
+    Fanout& f = fanouts[fid];
+    // A shard that answered Submit traffic all along but missed the
+    // scrape window is merely slow: count it stale and close the conn
+    // without charging its breaker (the probe loop owns liveness).
+    f.stale += static_cast<std::uint32_t>(f.pending.size());
+    const std::map<std::uint64_t, std::uint32_t> pending =
+        std::move(f.pending);
+    f.pending.clear();
+    for (const auto& [uid, shard] : pending) close_up(uid);
+    finalize_fanout(fid);
+  }
 }
 
 void Router::Impl::handle_health(std::uint64_t cid) {
@@ -843,6 +965,7 @@ void Router::Impl::release_upstream(std::uint64_t uid) {
   Up& u = it->second;
   u.x = 0;
   u.probe = false;
+  u.fanout = 0;
   ShardState& s = shards[u.shard];
   if (static_cast<int>(s.idle.size()) >= opts.max_pool_idle ||
       !s.in_ring) {
@@ -908,6 +1031,38 @@ bool Router::Impl::handle_up_frame(std::uint64_t uid,
   Up& u = ups[uid];
   const std::uint8_t* payload = frame + net::kHeaderBytes;
   const std::size_t len = frame_len - net::kHeaderBytes;
+
+  if (u.fanout != 0) {
+    if (hdr.type == net::FrameType::Pong) return true;  // stale pong; wait on
+    const std::uint64_t fid = u.fanout;
+    u.fanout = 0;
+    auto fit = fanouts.find(fid);
+    if (fit == fanouts.end()) {
+      // The fan-out already finalized (deadline); late reply, idle again.
+      release_upstream(uid);
+      return true;
+    }
+    Fanout& f = fit->second;
+    f.pending.erase(uid);
+    const std::uint32_t shard = u.shard;
+    bool ok = false;
+    if (f.dump && hdr.type == net::FrameType::DumpReply) {
+      if (auto json = net::decode_dump_reply(payload, len)) {
+        f.dumps.emplace_back(shard, std::move(*json));
+        ok = true;
+      }
+    } else if (!f.dump && hdr.type == net::FrameType::StatsReply) {
+      if (auto sr = net::decode_stats_reply(payload, len)) {
+        f.stats.emplace_back(shard, std::move(sr->metrics));
+        ok = true;
+      }
+    }
+    if (!ok) f.stale += 1;  // wrong/undecodable reply: partial merge
+    const bool done = f.pending.empty();
+    if (ok) release_upstream(uid);
+    if (done) finalize_fanout(fid);
+    return ok;  // false desyncs the conn; caller closes it
+  }
 
   if (u.probe) {
     if (hdr.type != net::FrameType::HealthReply) return false;
@@ -1042,12 +1197,25 @@ void Router::Impl::handle_one_up_failure(std::uint64_t uid) {
   const std::uint32_t shard = it->second.shard;
   const bool was_probe = it->second.probe;
   const std::uint64_t xid = it->second.x;
+  const std::uint64_t fid = it->second.fanout;
   close_up(uid);
 
   if (was_probe) {
     bump(&RouterStats::probes_failed);
     obs_.probes_failed.inc();
     shard_failure(shard);
+    return;
+  }
+  if (fid != 0) {
+    // A scrape conn died: the shard is stale for this merge. Liveness
+    // charging is left to probes/submits so a scrape hiccup alone never
+    // evicts a shard that is still serving.
+    auto fit = fanouts.find(fid);
+    if (fit != fanouts.end()) {
+      fit->second.pending.erase(uid);
+      fit->second.stale += 1;
+      if (fit->second.pending.empty()) finalize_fanout(fid);
+    }
     return;
   }
   if (xid == 0) return;  // idle pooled conn died: normal churn, no charge
@@ -1099,11 +1267,14 @@ void Router::Impl::shard_failure(std::uint32_t shard) {
     bump(&RouterStats::membership_changes);
     obs_.membership_changes.inc();
     obs_.shards_live.set(double(ring.size()));
+    obs::Recorder::global().record(obs::EventKind::ShardDown, 0, 0, shard,
+                                   static_cast<std::int64_t>(ring.size()));
     // Every conn still pointing at the evicted shard is now suspect;
     // failing them here re-routes their exchanges immediately instead of
     // waiting for each socket to discover the death on its own.
     for (const auto& [uid, u] : ups)
-      if (u.shard == shard && (u.x != 0 || u.probe)) fail_up(uid);
+      if (u.shard == shard && (u.x != 0 || u.probe || u.fanout != 0))
+        fail_up(uid);
     for (const std::uint64_t uid : std::vector<std::uint64_t>(s.idle))
       close_up(uid);
   }
@@ -1118,6 +1289,8 @@ void Router::Impl::probe_ok(std::uint32_t shard) {
     bump(&RouterStats::membership_changes);
     obs_.membership_changes.inc();
     obs_.shards_live.set(double(ring.size()));
+    obs::Recorder::global().record(obs::EventKind::ShardUp, 0, 0, shard,
+                                   static_cast<std::int64_t>(ring.size()));
   }
 }
 

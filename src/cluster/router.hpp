@@ -23,6 +23,16 @@
 // error, which the client's retry policy recovers, never a RemoteError,
 // which it would trust).
 //
+// Observability plane (DESIGN.md §14): a Stats or Dump frame from a
+// client fans out to every live shard over pooled upstream conns. Stats
+// replies merge via cluster::merge_shard_stats — summable rows (incl.
+// histogram buckets, which share fixed ladders, so the sums are exact)
+// aggregate under their own name and every shard row reappears with a
+// `shard="i"` label; shards that miss `scrape_timeout_s` are counted in
+// `cluster_stale_shards` and the merge completes without them. Dump
+// replies concatenate each shard's flight-recorder postmortem with the
+// router's own into one JSON document for randla_postmortem.
+//
 // Peer cache fill (optional): after `peer_fill_threshold` routed submits
 // of one routing key, the next submit is duplicated to the key's
 // successor shard with a "/peerfill" tag suffix and its result frames
@@ -59,6 +69,10 @@ struct RouterOptions {
   fault::BreakerOptions breaker{/*failure_threshold=*/2,
                                 /*open_cooldown_s=*/1.0};
   int max_pool_idle = 4;      ///< idle upstream sockets kept per shard
+  /// Cluster Stats/Dump fan-out: a shard that has not answered within
+  /// this window is reported as stale (`cluster_stale_shards`) and the
+  /// merge completes without it instead of failing or blocking.
+  double scrape_timeout_s = 1.0;
   double idle_timeout_s = 60;   ///< close quiet client conns; ≤0 disables
   bool allow_remote_shutdown = false;  ///< Shutdown drains cluster + router
   double drain_timeout_s = 10;

@@ -1,0 +1,62 @@
+#include "cluster/stats_merge.hpp"
+
+#include <unordered_map>
+
+namespace randla::cluster {
+
+std::string with_shard_label(std::string_view name, std::uint32_t shard) {
+  const std::string label = "shard=\"" + std::to_string(shard) + "\"";
+  const std::size_t brace = name.find('{');
+  std::string out;
+  out.reserve(name.size() + label.size() + 3);
+  if (brace == std::string_view::npos) {
+    out.append(name);
+    out += '{';
+    out += label;
+    out += '}';
+    return out;
+  }
+  out.append(name.substr(0, brace + 1));
+  out += label;
+  if (brace + 1 < name.size() && name[brace + 1] != '}') out += ',';
+  out.append(name.substr(brace + 1));
+  return out;
+}
+
+bool mergeable_stat(std::string_view name) {
+  std::string_view base = name;
+  const std::size_t brace = base.find('{');
+  if (brace != std::string_view::npos) base = base.substr(0, brace);
+  auto ends_with = [&](std::string_view suffix) {
+    return base.size() >= suffix.size() &&
+           base.substr(base.size() - suffix.size()) == suffix;
+  };
+  return ends_with("_total") || ends_with("_count") || ends_with("_sum") ||
+         ends_with("_bucket");
+}
+
+StatsRows merge_shard_stats(
+    const std::vector<std::pair<std::uint32_t, StatsRows>>& shards) {
+  // Sums keep first-seen order so the merged block is stable across
+  // scrapes (shards register the same metrics in the same order).
+  StatsRows merged;
+  std::unordered_map<std::string, std::size_t> index;
+  StatsRows labeled;
+  for (const auto& [shard, rows] : shards) {
+    for (const auto& [name, v] : rows) {
+      if (mergeable_stat(name)) {
+        auto [it, fresh] = index.emplace(name, merged.size());
+        if (fresh)
+          merged.emplace_back(name, v);
+        else
+          merged[it->second].second += v;
+      }
+      labeled.emplace_back(with_shard_label(name, shard), v);
+    }
+  }
+  merged.insert(merged.end(), std::make_move_iterator(labeled.begin()),
+                std::make_move_iterator(labeled.end()));
+  return merged;
+}
+
+}  // namespace randla::cluster

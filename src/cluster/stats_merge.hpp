@@ -1,0 +1,42 @@
+// stats_merge.hpp — bucket-exact aggregation of per-shard Stats scrapes.
+//
+// The router's cluster scrape fans one Stats request out to every live
+// shard and merges the replies into a single view: rows whose name marks
+// them as summable (counter `_total`s and histogram `_count`/`_sum`/
+// `_bucket` rows) are added across shards under their exact name, and
+// every shard row additionally appears verbatim with a `shard="i"` label
+// so per-shard detail is never lost. Histogram merging is *exact*, not
+// approximate: all processes share fixed HistogramSpec ladders and
+// format `le` bounds with the same "%.10g", so equal names mean equal
+// buckets and summing the cumulative counts is the true cluster
+// histogram.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace randla::cluster {
+
+using StatsRows = std::vector<std::pair<std::string, double>>;
+
+/// `name{a="b"}` → `name{shard="3",a="b"}`; unlabeled names get a fresh
+/// `{shard="3"}` set appended.
+std::string with_shard_label(std::string_view name, std::uint32_t shard);
+
+/// True when summing this row across shards is meaningful: the base name
+/// (labels stripped) ends in `_total`, `_count`, `_sum`, or `_bucket`.
+/// Gauges, config echoes (`sched_queue_capacity`), and point-in-time
+/// depths stay per-shard only.
+bool mergeable_stat(std::string_view name);
+
+/// Merge per-shard scrape rows: summed mergeable rows first (first-seen
+/// order across shards), then every input row labeled with its shard.
+/// Callers cap the result at the wire limit; aggregates lead so
+/// truncation drops per-shard detail, never cluster totals.
+StatsRows merge_shard_stats(
+    const std::vector<std::pair<std::uint32_t, StatsRows>>& shards);
+
+}  // namespace randla::cluster

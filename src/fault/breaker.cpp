@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "rng/philox.hpp"
 
 namespace randla::fault {
+
+namespace {
+
+/// Breaker state changes land in the flight recorder (a = new state,
+/// b = old state) so a postmortem shows when an endpoint was declared
+/// dead relative to the jobs that failed around it.
+void note_transition(BreakerState to, BreakerState from) {
+  obs::Recorder::global().record(obs::EventKind::BreakerTransition, 0, 0,
+                                 static_cast<std::int64_t>(to),
+                                 static_cast<std::int64_t>(from),
+                                 breaker_state_name(to));
+}
+
+}  // namespace
 
 const char* breaker_state_name(BreakerState s) {
   switch (s) {
@@ -22,6 +37,7 @@ bool CircuitBreaker::allow(double now_s) {
     case BreakerState::Open:
       if (now_s - opened_at_s_ < opts_.open_cooldown_s) return false;
       state_ = BreakerState::HalfOpen;
+      note_transition(BreakerState::HalfOpen, BreakerState::Open);
       probe_inflight_ = false;
       [[fallthrough]];
     case BreakerState::HalfOpen:
@@ -37,6 +53,8 @@ bool CircuitBreaker::allow(double now_s) {
 void CircuitBreaker::record_success() {
   failures_ = 0;
   probe_inflight_ = false;
+  if (state_ != BreakerState::Closed)
+    note_transition(BreakerState::Closed, state_);
   state_ = BreakerState::Closed;
 }
 
@@ -46,12 +64,14 @@ void CircuitBreaker::record_failure(double now_s) {
     // Failed probe: straight back to Open, restart the cooldown.
     state_ = BreakerState::Open;
     opened_at_s_ = now_s;
+    note_transition(BreakerState::Open, BreakerState::HalfOpen);
     return;
   }
   if (++failures_ >= opts_.failure_threshold &&
       state_ == BreakerState::Closed) {
     state_ = BreakerState::Open;
     opened_at_s_ = now_s;
+    note_transition(BreakerState::Open, BreakerState::Closed);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/recorder.hpp"
 #include "rng/philox.hpp"
 
 namespace randla::fault {
@@ -133,6 +134,10 @@ bool FaultInjector::fire(FaultKind k) {
   if (hit) {
     injected_[ki].fetch_add(1, std::memory_order_relaxed);
     injected_counter_[ki].inc();
+    obs::Recorder::global().record(obs::EventKind::FaultInjected, 0, 0,
+                                   static_cast<std::int64_t>(ki),
+                                   static_cast<std::int64_t>(n),
+                                   kKindNames[ki]);
   }
   return hit;
 }

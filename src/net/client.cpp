@@ -172,6 +172,22 @@ std::optional<StatsReply> Client::stats() {
   }
 }
 
+std::optional<std::string> Client::dump() {
+  const auto frame = encode_dump_request();
+  if (!send_raw(frame.data(), frame.size())) return std::nullopt;
+  for (;;) {
+    FrameHeader hdr;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&hdr, &payload)) return std::nullopt;
+    if (hdr.type == FrameType::Pong) continue;  // stale pipelined pong
+    if (hdr.type != FrameType::DumpReply) {
+      last_error_ = "expected dump_reply";
+      return std::nullopt;
+    }
+    return decode_dump_reply(payload.data(), payload.size());
+  }
+}
+
 CallResult Client::call(const JobRequest& req) {
   CallResult out;
   out.trace_id = req.trace_id != 0 ? req.trace_id : obs::mint_trace_id();

@@ -100,6 +100,8 @@ class Client {
   std::optional<HealthReply> health();
   /// Scrape the server's live metrics (Stats → StatsReply round-trip).
   std::optional<StatsReply> stats();
+  /// Fetch the server's flight-recorder postmortem JSON (Dump round-trip).
+  std::optional<std::string> dump();
   /// Round-trip a Ping; false on any transport/protocol failure.
   bool ping(std::uint64_t nonce = 1);
   /// Ask the server to drain and exit (needs allow_remote_shutdown).

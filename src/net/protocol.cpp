@@ -42,6 +42,8 @@ const char* frame_type_name(FrameType t) {
     case FrameType::StatsReply: return "stats_reply";
     case FrameType::HealthCheck: return "health_check";
     case FrameType::HealthReply: return "health_reply";
+    case FrameType::Dump: return "dump";
+    case FrameType::DumpReply: return "dump_reply";
   }
   return "?";
 }
@@ -61,6 +63,8 @@ bool valid_frame_type(std::uint8_t t) {
     case FrameType::StatsReply:
     case FrameType::HealthCheck:
     case FrameType::HealthReply:
+    case FrameType::Dump:
+    case FrameType::DumpReply:
       return true;
   }
   return false;
@@ -657,6 +661,30 @@ std::optional<HealthReply> decode_health_reply(const std::uint8_t* payload,
   }
   if (!r.done()) return std::nullopt;
   return h;
+}
+
+std::vector<std::uint8_t> encode_dump_request() {
+  return encode_frame(FrameType::Dump, {});
+}
+
+std::vector<std::uint8_t> encode_dump_reply(std::string_view json) {
+  Writer w;
+  const std::size_t n = std::min(json.size(), kMaxDumpBytes);
+  w.u32(static_cast<std::uint32_t>(n));
+  w.raw(json.data(), n);
+  return encode_frame(FrameType::DumpReply, w.bytes());
+}
+
+std::optional<std::string> decode_dump_reply(const std::uint8_t* payload,
+                                             std::size_t size) {
+  Reader r(payload, size);
+  const std::uint32_t n = r.u32();
+  // A lying length fails against the actual remaining payload before the
+  // string allocates (same guard style as decode_stats_reply).
+  if (!r.ok() || n > kMaxDumpBytes || r.remaining() != n) return std::nullopt;
+  std::string json = r.blob(n);
+  if (!r.done()) return std::nullopt;
+  return json;
 }
 
 // ---------------------------------------------------------------------

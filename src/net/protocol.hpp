@@ -45,7 +45,9 @@ inline constexpr std::uint32_t kMagic = 0x31414C52u;  // "RLA1"
 /// v2: Submit carries a trace id; Stats/StatsReply frames added.
 /// v3: HealthCheck/HealthReply frames (fault plane, DESIGN.md §10).
 /// v4: Rqrcp / RqrcpAdaptive job kinds (RQRCP engine, DESIGN.md §13).
-inline constexpr std::uint8_t kVersion = 4;
+/// v5: Dump/DumpReply flight-recorder frames; StatsReply entry cap
+///     raised for histogram bucket rows (DESIGN.md §14).
+inline constexpr std::uint8_t kVersion = 5;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (also the decoder's allocation budget).
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;  // 64 MiB
@@ -61,6 +63,7 @@ enum class FrameType : std::uint8_t {
   Shutdown = 3,  ///< request a graceful drain + exit (if server allows)
   Stats = 4,     ///< scrape the server's live metrics (empty payload)
   HealthCheck = 5,  ///< probe serving state + device health (empty payload)
+  Dump = 6,      ///< fetch the flight-recorder postmortem (empty payload)
   // server → client
   ResultHeader = 16,
   ResultChunk = 17,
@@ -70,6 +73,7 @@ enum class FrameType : std::uint8_t {
   Pong = 21,
   StatsReply = 22,  ///< (name, f64) metric pairs answering Stats
   HealthReply = 23,
+  DumpReply = 24,  ///< flight-recorder JSON answering Dump
 };
 const char* frame_type_name(FrameType t);
 bool valid_frame_type(std::uint8_t t);
@@ -197,8 +201,14 @@ struct StatsReply {
   }
 };
 
-inline constexpr std::size_t kMaxStatsEntries = 1024;
+/// Raised in v5: a cluster-merged scrape carries per-shard-labeled rows
+/// plus histogram bucket rows for every shard.
+inline constexpr std::size_t kMaxStatsEntries = 4096;
 inline constexpr std::size_t kMaxStatsNameBytes = 128;
+
+/// Cap on a DumpReply's JSON payload (a full recorder ring is well
+/// under 1 MiB; a cluster merge concatenates one dump per shard).
+inline constexpr std::size_t kMaxDumpBytes = std::size_t(8) << 20;  // 8 MiB
 
 /// Device rows a HealthReply may carry (a lying count past this, or past
 /// the remaining payload, poisons the decode before any allocation).
@@ -266,6 +276,9 @@ std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats_reply(const StatsReply& s);
 std::vector<std::uint8_t> encode_health_check();
 std::vector<std::uint8_t> encode_health_reply(const HealthReply& h);
+std::vector<std::uint8_t> encode_dump_request();
+/// Truncates past kMaxDumpBytes (a partial postmortem beats none).
+std::vector<std::uint8_t> encode_dump_reply(std::string_view json);
 
 // ---------------------------------------------------------------------
 // Decoding. A Reader consumes a payload; any out-of-bounds or invalid
@@ -341,6 +354,8 @@ std::optional<StatsReply> decode_stats_reply(const std::uint8_t* payload,
                                              std::size_t size);
 std::optional<HealthReply> decode_health_reply(const std::uint8_t* payload,
                                                std::size_t size);
+std::optional<std::string> decode_dump_reply(const std::uint8_t* payload,
+                                             std::size_t size);
 
 /// Materialize the matrix a spec describes (generator path; Inline specs
 /// return a copy of the payload). Throws std::invalid_argument on an

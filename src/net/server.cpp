@@ -20,6 +20,8 @@
 #include "net/protocol.hpp"
 #include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace randla::net {
@@ -69,7 +71,8 @@ struct Server::Impl {
   /// accounting; these aggregate across servers for /metrics).
   struct ObsCounters {
     obs::Counter connections, frames_submit, frames_ping, frames_shutdown,
-        frames_stats, frames_health, frames_other, busy, bytes_in, bytes_out,
+        frames_stats, frames_health, frames_dump, frames_other, busy,
+        bytes_in, bytes_out,
         decode_errors, jobs_submitted, jobs_completed, results_dropped;
   } obs_;
 
@@ -111,6 +114,7 @@ struct Server::Impl {
     obs_.frames_shutdown = g.counter("net_frames_in_total{type=\"shutdown\"}");
     obs_.frames_stats = g.counter("net_frames_in_total{type=\"stats\"}");
     obs_.frames_health = g.counter("net_frames_in_total{type=\"health\"}");
+    obs_.frames_dump = g.counter("net_frames_in_total{type=\"dump\"}");
     obs_.frames_other = g.counter("net_frames_in_total{type=\"other\"}");
     obs_.busy = g.counter("net_busy_total", "submits shed with Busy frames");
     obs_.bytes_in = g.counter("net_bytes_in_total", "bytes read from peers");
@@ -148,6 +152,7 @@ struct Server::Impl {
                      std::size_t len);
   void handle_stats(std::uint64_t cid, std::size_t len);
   void handle_health(std::uint64_t cid, std::size_t len);
+  void handle_dump(std::uint64_t cid, std::size_t len);
   runtime::MatrixHandle resolve_matrix(const MatrixSpec& spec);
   std::uint32_t retry_after_ms() const;
   void deliver_completions();
@@ -459,6 +464,10 @@ void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
       obs_.frames_health.inc();
       handle_health(cid, len);
       return;
+    case FrameType::Dump:
+      obs_.frames_dump.inc();
+      handle_dump(cid, len);
+      return;
     default:
       // A server→client frame type from a client: confused peer.
       obs_.frames_other.inc();
@@ -676,12 +685,33 @@ void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
   m.emplace_back("rqrcp_cache_misses", double(qc.misses));
   m.emplace_back("rqrcp_cache_evictions", double(qc.evictions));
   // Global registry (layer instrumentation), capped at the wire limit.
-  for (const auto& [name, v] : obs::Registry::global().scrape().flatten()) {
+  // Refresh the SLO percentile/burn gauges first so scrapers see values
+  // consistent with the histograms in the same reply, and include the
+  // cumulative bucket rows so a cluster router can merge them exactly.
+  obs::slo_publish();
+  for (const auto& [name, v] :
+       obs::Registry::global().scrape().flatten(/*include_buckets=*/true)) {
     if (m.size() >= kMaxStatsEntries) break;
     if (name.size() > kMaxStatsNameBytes) continue;
     m.emplace_back(name, v);
   }
   queue_frame(c, encode_stats_reply(s));
+}
+
+void Server::Impl::handle_dump(std::uint64_t cid, std::size_t len) {
+  Conn& c = conns[cid];
+  if (len != 0) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
+                                           "dump frame carries a payload"}));
+    c.close_after_flush = true;
+    return;
+  }
+  auto& rec = obs::Recorder::global();
+  rec.record(obs::EventKind::DumpRequested, 0, 0,
+             static_cast<std::int64_t>(cid));
+  queue_frame(c, encode_dump_reply(rec.dump_json()));
 }
 
 void Server::Impl::handle_health(std::uint64_t cid, std::size_t len) {

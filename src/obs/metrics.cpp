@@ -494,14 +494,39 @@ double Snapshot::value(std::string_view name) const {
   return 0;
 }
 
-std::vector<std::pair<std::string, double>> Snapshot::flatten() const {
+std::vector<std::pair<std::string, double>> Snapshot::flatten(
+    bool include_buckets) const {
   std::vector<std::pair<std::string, double>> out;
   out.reserve(counters.size() + gauges.size() + 2 * histograms.size());
   out.insert(out.end(), counters.begin(), counters.end());
   out.insert(out.end(), gauges.begin(), gauges.end());
   for (const HistogramSnapshot& h : histograms) {
-    out.emplace_back(h.name + "_count", h.total);
-    out.emplace_back(h.name + "_sum", h.sum);
+    // Prometheus name grammar: the _count/_sum/_bucket suffix attaches
+    // to the base name, BEFORE any label set — `x_count{kind="a"}`,
+    // never `x{kind="a"}_count`. Getting this wrong would make labeled
+    // histogram rows invisible to the cluster stats merge, which keys
+    // on the suffix of the label-stripped name.
+    std::string_view base, labels;
+    split_labels(h.name, base, labels);
+    const std::string wrap =
+        labels.empty() ? "" : "{" + std::string(labels) + "}";
+    out.emplace_back(std::string(base) + "_count" + wrap, h.total);
+    out.emplace_back(std::string(base) + "_sum" + wrap, h.sum);
+    if (!include_buckets) continue;
+    double cum = 0;
+    for (std::size_t i = 0; i < h.upper.size(); ++i) {
+      cum += h.count[i];
+      std::string name(base);
+      name += "_bucket{";
+      if (!labels.empty()) {
+        name += labels;
+        name += ',';
+      }
+      name += "le=\"";
+      name += std::isfinite(h.upper[i]) ? fmt_double(h.upper[i]) : "+Inf";
+      name += "\"}";
+      out.emplace_back(std::move(name), cum);
+    }
   }
   return out;
 }

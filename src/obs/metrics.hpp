@@ -110,8 +110,13 @@ struct Snapshot {
   double value(std::string_view name) const;
   /// Flattened (name, value) list: counters, gauges, then per-histogram
   /// `<name>_count` / `<name>_sum` entries. This is what the Stats wire
-  /// frame carries.
-  std::vector<std::pair<std::string, double>> flatten() const;
+  /// frame carries. With include_buckets, each histogram additionally
+  /// emits cumulative `<base>_bucket{...,le="..."}` rows; the `le`
+  /// labels are formatted with a fixed "%.10g" so two processes sharing
+  /// a HistogramSpec emit byte-identical names, and a cluster router
+  /// can merge shard histograms bucket-by-bucket exactly.
+  std::vector<std::pair<std::string, double>> flatten(
+      bool include_buckets = false) const;
 };
 
 class Registry {

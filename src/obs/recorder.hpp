@@ -1,0 +1,104 @@
+// recorder.hpp — always-on, lock-free flight recorder (DESIGN.md §14).
+//
+// A fixed set of global rings of seqlock-guarded slots records structured
+// lifecycle events (job accepted/dispatched/batched/degraded/failed-over,
+// fault injections, watchdog cancels, breaker transitions, cache traffic,
+// shard membership) with bounded memory: the rings are statically sized,
+// writers claim slots with one fetch_add and overwrite the oldest events
+// on wrap. Every event carries a CLOCK_REALTIME timestamp (comparable
+// across processes), a process-local sequence number, and a Philox-stamped
+// id unique across processes, so dumps from many shards merge into one
+// time-ordered postmortem.
+//
+// Concurrency: every slot word is a relaxed std::atomic<std::uint64_t>
+// behind a per-slot sequence word (odd = write in progress, final value
+// unique per claim ticket), so record() is lock-free and wait-free for
+// distinct slots, and snapshot()/dump() taken *during* concurrent writes
+// are race-free — torn slots are detected and skipped. The crash path
+// (install_crash_handler) uses only async-signal-safe calls: atomic
+// loads, integer formatting into a static buffer, open(2)/write(2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace randla::obs {
+
+enum class EventKind : std::uint8_t {
+  JobAccepted = 1,
+  JobRejected = 2,
+  JobDispatched = 3,
+  JobBatched = 4,
+  JobDegraded = 5,
+  JobRequeued = 6,   ///< failover handoff to a surviving device
+  JobCompleted = 7,
+  JobFailed = 8,
+  JobExpired = 9,
+  FaultInjected = 10,     ///< a = fault::FaultKind
+  WatchdogFired = 11,
+  BreakerTransition = 12, ///< a = new state, b = old state
+  CacheHit = 13,          ///< a = CacheDisposition (sketch vs result)
+  CacheMiss = 14,
+  CacheEvicted = 15,
+  ShardDown = 16,         ///< a = shard index (router membership)
+  ShardUp = 17,
+  DumpRequested = 18,
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One decoded flight-recorder event (the snapshot/dump representation;
+/// the in-ring layout is packed atomic words).
+struct Event {
+  double ts = 0;             ///< CLOCK_REALTIME seconds
+  std::uint64_t seq = 0;     ///< process-local total order
+  std::uint64_t stamp = 0;   ///< Philox id, unique across processes
+  std::uint64_t job_id = 0;
+  std::uint64_t trace_id = 0;
+  EventKind kind{};
+  std::uint32_t tid = 0;     ///< recording thread (hashed native id)
+  std::int64_t a = 0;        ///< kind-specific argument
+  std::int64_t b = 0;        ///< kind-specific argument
+  char tag[24] = {};         ///< job tag, truncated
+};
+
+class Recorder {
+ public:
+  /// Process-wide recorder. Always on; recording an event costs a
+  /// timestamp read, one fetch_add, and ~14 relaxed stores.
+  static Recorder& global();
+
+  void record(EventKind kind, std::uint64_t job_id, std::uint64_t trace_id,
+              std::int64_t a = 0, std::int64_t b = 0,
+              std::string_view tag = {});
+
+  /// Consistent events currently in the rings, merged across rings and
+  /// sorted by (ts, seq). Safe against concurrent record() calls.
+  std::vector<Event> snapshot() const;
+
+  /// {"source":...,"pid":...,"events":[...]} with one event per line
+  /// (the postmortem CLI parses line-wise).
+  std::string dump_json() const;
+  bool dump_to_file(const char* path) const;
+
+  /// Install best-effort SIGSEGV/SIGABRT handlers that write a dump to
+  /// `path` using only async-signal-safe calls, then re-raise. Events
+  /// appear in per-ring claim order (unsorted); the CLI sorts.
+  void install_crash_handler(const char* path);
+
+  /// Label this process's dumps (e.g. "shard-2"). Call once at startup.
+  void set_source(std::string_view name);
+  std::string source() const;
+
+  std::uint64_t events_recorded() const;  ///< total, including overwritten
+
+  /// Ring capacity in events (wraparound horizon). Compile-time fixed.
+  static std::size_t capacity();
+
+ private:
+  Recorder();
+};
+
+}  // namespace randla::obs

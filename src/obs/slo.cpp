@@ -1,0 +1,137 @@
+#include "obs/slo.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace randla::obs {
+
+namespace {
+
+// Wire order: FixedRank=0, Adaptive=1, Qrcp=2, Rqrcp=3, RqrcpAdaptive=4.
+constexpr const char* kKindNames[kNumSloKinds] = {
+    "fixed_rank", "adaptive", "qrcp", "rqrcp", "rqrcp_adaptive",
+};
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  return end != v && d > 0 ? d : fallback;
+}
+
+std::atomic<double>& target_s_atom() {
+  static std::atomic<double> v{env_double("RANDLA_SLO_TARGET_S", 1.0)};
+  return v;
+}
+
+std::atomic<double>& objective_atom() {
+  static std::atomic<double> v{env_double("RANDLA_SLO_OBJECTIVE", 0.99)};
+  return v;
+}
+
+struct KindSeries {
+  Histogram latency;
+  Counter requests, violations;
+  Gauge p50, p99, burn;
+};
+
+struct Series {
+  KindSeries kinds[kNumSloKinds];
+};
+
+std::string labeled(const char* base, int kind) {
+  return std::string(base) + "{kind=\"" + kKindNames[kind] + "\"}";
+}
+
+Series& series() {
+  static Series s = [] {
+    Series out;
+    auto& g = Registry::global();
+    for (int k = 0; k < kNumSloKinds; ++k) {
+      auto& ks = out.kinds[k];
+      ks.latency = g.histogram(labeled("slo_latency_seconds", k),
+                               slo_latency_spec(),
+                               "end-to-end job latency (wait + exec)");
+      ks.requests = g.counter(labeled("slo_requests_total", k));
+      ks.violations = g.counter(labeled("slo_violations_total", k),
+                                "jobs failed or slower than the target");
+      ks.p50 = g.gauge(labeled("slo_p50_seconds", k));
+      ks.p99 = g.gauge(labeled("slo_p99_seconds", k));
+      ks.burn = g.gauge(labeled("slo_burn_rate", k),
+                        "violation rate / allowed rate; >1 burns budget");
+    }
+    return out;
+  }();
+  return s;
+}
+
+}  // namespace
+
+const char* slo_kind_name(int kind) {
+  return kind >= 0 && kind < kNumSloKinds ? kKindNames[kind] : "?";
+}
+
+HistogramSpec slo_latency_spec() {
+  HistogramSpec spec;
+  spec.first_upper = 1e-4;
+  spec.growth = 1.4142135623730951;  // sqrt(2): exact double everywhere
+  spec.buckets = 40;                 // including +Inf
+  return spec;
+}
+
+void slo_observe(int kind, double latency_s, bool ok) {
+  if (kind < 0 || kind >= kNumSloKinds) return;
+  auto& ks = series().kinds[kind];
+  ks.latency.observe(latency_s);
+  ks.requests.inc();
+  if (!ok || latency_s > target_s_atom().load(std::memory_order_relaxed))
+    ks.violations.inc();
+}
+
+void slo_publish() {
+  auto& s = series();
+  const double objective = objective_atom().load(std::memory_order_relaxed);
+  const double allowed = 1.0 - objective;
+  // Publish the target itself so the burn-rate math is reconstructible
+  // from any scrape (gauges are never summed cluster-wide, only
+  // shard-labeled, which is what you want for a config value).
+  auto& g = Registry::global();
+  g.gauge("slo_target_seconds", "per-job latency target")
+      .set(target_s_atom().load(std::memory_order_relaxed));
+  g.gauge("slo_objective_ratio", "fraction of jobs that must meet it")
+      .set(objective);
+  const auto snap = Registry::global().scrape();
+  for (int k = 0; k < kNumSloKinds; ++k) {
+    auto& ks = s.kinds[k];
+    const std::string name = labeled("slo_latency_seconds", k);
+    for (const HistogramSnapshot& h : snap.histograms) {
+      if (h.name != name) continue;
+      ks.p50.set(h.quantile(0.50));
+      ks.p99.set(h.quantile(0.99));
+      break;
+    }
+    const double total = snap.value(labeled("slo_requests_total", k));
+    const double bad = snap.value(labeled("slo_violations_total", k));
+    const double rate = total > 0 ? bad / total : 0.0;
+    ks.burn.set(allowed > 0 ? rate / allowed : 0.0);
+  }
+}
+
+void set_slo_target(double target_s, double objective) {
+  if (target_s > 0)
+    target_s_atom().store(target_s, std::memory_order_relaxed);
+  if (objective > 0 && objective < 1)
+    objective_atom().store(objective, std::memory_order_relaxed);
+}
+
+double slo_target_s() {
+  return target_s_atom().load(std::memory_order_relaxed);
+}
+
+double slo_objective() {
+  return objective_atom().load(std::memory_order_relaxed);
+}
+
+}  // namespace randla::obs

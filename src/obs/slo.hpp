@@ -1,0 +1,47 @@
+// slo.hpp — first-class SLO latency histograms per job kind
+// (DESIGN.md §14).
+//
+// One histogram per served job kind, all on ONE fixed bucket ladder
+// (slo_latency_spec) whose bounds are compile-time constants — every
+// process in a cluster exposes bit-identical `le` labels, so a router
+// merging shard scrapes can sum buckets by exact name and the merged
+// histogram is exact, not an approximation.
+//
+// slo_observe() is called once per completed job (runtime telemetry);
+// slo_publish() precomputes p50/p99 gauges and the error-budget
+// burn-rate per kind so scrapers get decision-ready signals without
+// re-deriving quantiles. Burn rate = (violating fraction)/(1-objective):
+// 1.0 means the error budget is being consumed exactly at the allowed
+// rate; >1 means the budget will be exhausted early. The latency target
+// and objective default to 1s @ 99% and can be overridden via
+// RANDLA_SLO_TARGET_S / RANDLA_SLO_OBJECTIVE or set_slo_target().
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace randla::obs {
+
+/// Served job kinds, by wire value (mirrors runtime::JobKind without a
+/// runtime dependency — obs sits below runtime in the layering).
+inline constexpr int kNumSloKinds = 5;
+const char* slo_kind_name(int kind);  ///< "fixed_rank", ... ; "?" if out of range
+
+/// The shared bucket ladder: 100µs first bound, sqrt(2) growth, 40
+/// buckets (last +Inf) — ~100µs .. ~80s at ~41% resolution.
+HistogramSpec slo_latency_spec();
+
+/// Record one finished job: latency into the kind's histogram, and a
+/// violation when the job failed or exceeded the latency target.
+void slo_observe(int kind, double latency_s, bool ok);
+
+/// Recompute slo_p50_seconds / slo_p99_seconds / slo_burn_rate gauges
+/// from the current histograms. Called before every Stats scrape.
+void slo_publish();
+
+/// Override the latency target (seconds) and availability objective
+/// (fraction, e.g. 0.99). Applies to subsequent observations.
+void set_slo_target(double target_s, double objective);
+double slo_target_s();
+double slo_objective();
+
+}  // namespace randla::obs

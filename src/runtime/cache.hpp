@@ -21,6 +21,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "qrcp/rqrcp.hpp"
 #include "rsvd/rsvd.hpp"
 #include "runtime/fingerprint.hpp"
@@ -71,6 +72,10 @@ class LruCache {
       index_.erase(order_.back().first);
       order_.pop_back();
       ++stats_.evictions;
+      obs::Recorder::global().record(
+          obs::EventKind::CacheEvicted, 0, 0,
+          static_cast<std::int64_t>(capacity_),
+          static_cast<std::int64_t>(stats_.evictions));
     }
   }
 

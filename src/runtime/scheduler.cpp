@@ -1,10 +1,12 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace randla::runtime {
@@ -235,6 +237,13 @@ void Scheduler::handoff(PendingJob pending, int widx) {
     fail_pending(std::move(pending), "device failed; no eligible survivor");
     return;
   }
+  // requeue_front consumes `pending` on success (a survivor may pop and
+  // even finish it before we return), so capture what the recorder
+  // needs first.
+  const std::uint64_t requeued_id = pending.handle->id();
+  const std::uint64_t requeued_trace = pending.job.trace_id;
+  const int resubmits = pending.resubmits;
+  const std::string tag = pending.job.tag;
   if (!queue_.requeue_front(pending)) {
     // Queue closed mid-shutdown: no survivor will ever pop this, so the
     // handle must still be fulfilled (callers may be blocked in wait()).
@@ -243,6 +252,8 @@ void Scheduler::handoff(PendingJob pending, int widx) {
   }
   jobs_requeued_.fetch_add(1);
   requeued_counter().inc();
+  obs::Recorder::global().record(obs::EventKind::JobRequeued, requeued_id,
+                                 requeued_trace, widx, resubmits, tag);
   queue_depth_gauge().set(double(queue_.size()));
 }
 
@@ -285,6 +296,10 @@ SubmitResult Scheduler::submit(Job job) {
     if (st == PushStatus::Ok && healthy_.load() == 0)
       drain_queue_no_workers();
   }
+  if (st == PushStatus::Ok)
+    obs::Recorder::global().record(obs::EventKind::JobAccepted, handle->id(),
+                                   trace_id, static_cast<std::int64_t>(kind),
+                                   0, tag);
   queue_depth_gauge().set(double(queue_.size()));
   inflight_gauge().set(double(inflight_.load()));
   if (st != PushStatus::Ok) {
@@ -390,8 +405,12 @@ void Scheduler::worker_loop(int widx) {
       slot.cancel = cancel;
       slot.started_s = now();
       slot.budget_s = watchdog_budget(pending->job);
+      slot.job_id = pending->handle->id();
       slot.fired = false;
     }
+    obs::Recorder::global().record(obs::EventKind::JobDispatched,
+                                   pending->handle->id(), trace_id, widx, 0,
+                                   pending->job.tag);
 
     JobOutcome outcome;
     // Run on the simulated device's own thread, like a kernel launch:
@@ -464,6 +483,14 @@ void Scheduler::watchdog_loop() {
         slot.fired = true;
         watchdog_fired_.fetch_add(1);
         watchdog_counter().inc();
+        obs::Recorder::global().record(obs::EventKind::WatchdogFired,
+                                       slot.job_id, 0,
+                                       static_cast<std::int64_t>(&sp -
+                                                                 &slots_[0]));
+        // A watchdog firing is exactly the moment a postmortem is worth
+        // having: snapshot the rings if the operator asked for one.
+        if (const char* path = std::getenv("RANDLA_POSTMORTEM_PATH"))
+          obs::Recorder::global().dump_to_file(path);
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -869,8 +896,17 @@ bool Scheduler::run_batch(std::vector<PendingJob> batch, int widx) {
     slot.cancel = cancel;
     slot.started_s = now();
     slot.budget_s = budget;
+    // A shared dispatch is attributed to its lead job; the per-member
+    // JobBatched events below tie the rest of the batch to it.
+    slot.job_id = batch.front().handle->id();
     slot.fired = false;
   }
+  for (std::size_t i = 0; i < count; ++i)
+    obs::Recorder::global().record(obs::EventKind::JobBatched,
+                                   batch[i].handle->id(),
+                                   batch[i].job.trace_id, widx,
+                                   static_cast<std::int64_t>(count),
+                                   batch[i].job.tag);
 
   std::vector<JobOutcome> outcomes(count);
   bool device_died = false;

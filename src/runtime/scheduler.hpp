@@ -188,6 +188,7 @@ class Scheduler {
     std::shared_ptr<std::atomic<bool>> cancel;  ///< null when idle
     double started_s = -1;
     double budget_s = 0;
+    std::uint64_t job_id = 0;  ///< running job, for flight-recorder events
     bool fired = false;
   };
 

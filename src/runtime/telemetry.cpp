@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
+
 namespace randla::runtime {
 
 const char* job_kind_name(JobKind k) {
@@ -159,6 +162,46 @@ void TelemetrySink::record(JobTrace trace) {
   if (trace.degraded)
     g.counter("runtime_degraded_total", "jobs with q lowered to fit deadline")
         .inc();
+
+  // SLO accounting: end-to-end latency (wait + exec) per job kind.
+  // JobKind wire values match the obs SLO kind indices by construction.
+  obs::slo_observe(static_cast<int>(trace.kind),
+                   trace.queue_wait_s + trace.exec_s,
+                   trace.status == JobStatus::Done);
+
+  // Flight-recorder terminal events. The recorder is the postmortem
+  // source of truth, so every job leaves exactly one terminal event
+  // here plus the cache/degradation annotations that explain it.
+  {
+    auto& rec = obs::Recorder::global();
+    if (trace.degraded)
+      rec.record(obs::EventKind::JobDegraded, trace.job_id, trace.trace_id,
+                 trace.q_requested, trace.q_used, trace.tag);
+    switch (trace.cache) {
+      case CacheDisposition::Sketch:
+      case CacheDisposition::Result:
+        rec.record(obs::EventKind::CacheHit, trace.job_id, trace.trace_id,
+                   static_cast<std::int64_t>(trace.cache), 0, trace.tag);
+        break;
+      case CacheDisposition::Miss:
+        rec.record(obs::EventKind::CacheMiss, trace.job_id, trace.trace_id,
+                   0, 0, trace.tag);
+        break;
+      case CacheDisposition::None: break;
+    }
+    obs::EventKind terminal = obs::EventKind::JobFailed;
+    switch (trace.status) {
+      case JobStatus::Done: terminal = obs::EventKind::JobCompleted; break;
+      case JobStatus::Failed: terminal = obs::EventKind::JobFailed; break;
+      case JobStatus::Rejected: terminal = obs::EventKind::JobRejected; break;
+      case JobStatus::Expired: terminal = obs::EventKind::JobExpired; break;
+      case JobStatus::Pending: break;  // never recorded as terminal
+    }
+    if (trace.status != JobStatus::Pending)
+      rec.record(terminal, trace.job_id, trace.trace_id,
+                 static_cast<std::int64_t>(trace.cache), trace.batch_size,
+                 trace.tag);
+  }
 
   if (trace.status == JobStatus::Done) {
     wait_hist_.observe(trace.queue_wait_s);

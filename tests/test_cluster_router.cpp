@@ -2,22 +2,28 @@
 // consistent-hash routing front-end: transparent forwarding with
 // residual checks, per-key shard affinity, HealthCheck-driven failover
 // and readmission, peer cache fill of hot keys, Stats/Health service
-// through the router, and remote shutdown draining the whole cluster.
+// through the router, the cluster observability plane (merged Stats
+// fan-out, stale-shard degradation, Dump postmortems, cross-process
+// trace propagation — DESIGN.md §14), and remote shutdown draining the
+// whole cluster. Plus unit tests for the bucket-exact stats merge.
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/hash_ring.hpp"
 #include "cluster/router.hpp"
+#include "cluster/stats_merge.hpp"
 #include "la/blas3.hpp"
 #include "la/norms.hpp"
 #include "la/permutation.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 
 using namespace randla;
 using namespace randla::cluster;
@@ -326,6 +332,239 @@ TEST(ClusterRouter, ServesStatsHealthAndPing) {
   router.stop();
   shard_a.stop();
   shard_b.stop();
+}
+
+// ------------------------------------------------------- stats merging
+
+TEST(ClusterStatsMerge, ShardLabelMergesIntoExistingLabelSets) {
+  EXPECT_EQ(with_shard_label("jobs_total", 3), "jobs_total{shard=\"3\"}");
+  EXPECT_EQ(with_shard_label("f_total{type=\"submit\"}", 0),
+            "f_total{shard=\"0\",type=\"submit\"}");
+  EXPECT_EQ(with_shard_label("lat_bucket{kind=\"a\",le=\"+Inf\"}", 12),
+            "lat_bucket{shard=\"12\",kind=\"a\",le=\"+Inf\"}");
+  EXPECT_EQ(with_shard_label("odd{}", 1), "odd{shard=\"1\"}");
+}
+
+TEST(ClusterStatsMerge, OnlySummableSuffixesMerge) {
+  EXPECT_TRUE(mergeable_stat("jobs_total"));
+  EXPECT_TRUE(mergeable_stat("lat_seconds_count"));
+  EXPECT_TRUE(mergeable_stat("lat_seconds_sum"));
+  EXPECT_TRUE(mergeable_stat("lat_seconds_bucket{le=\"1\"}"));
+  EXPECT_TRUE(mergeable_stat("frames_total{type=\"submit\"}"));
+  EXPECT_FALSE(mergeable_stat("queue_depth"));      // gauge
+  EXPECT_FALSE(mergeable_stat("slo_p99_seconds"));  // quantile gauge
+  EXPECT_FALSE(mergeable_stat("totally_not"));      // suffix mid-name
+}
+
+TEST(ClusterStatsMerge, SumsAreExactAndEveryRowIsLabeled) {
+  std::vector<std::pair<std::uint32_t, StatsRows>> shards;
+  shards.push_back({0,
+                    {{"jobs_total", 3},
+                     {"depth", 5},
+                     {"lat_bucket{le=\"1\"}", 2},
+                     {"lat_bucket{le=\"+Inf\"}", 4}}});
+  shards.push_back({2,
+                    {{"jobs_total", 4},
+                     {"depth", 7},
+                     {"lat_bucket{le=\"1\"}", 9},
+                     {"lat_bucket{le=\"+Inf\"}", 9}}});
+  const StatsRows merged = merge_shard_stats(shards);
+  auto get = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : merged)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing " << name;
+    return -1;
+  };
+  // Counter and histogram-bucket rows sum bucket-wise by exact name —
+  // the shared compile-time ladder makes the merged histogram exact.
+  EXPECT_EQ(get("jobs_total"), 7.0);
+  EXPECT_EQ(get("lat_bucket{le=\"1\"}"), 11.0);
+  EXPECT_EQ(get("lat_bucket{le=\"+Inf\"}"), 13.0);
+  // The gauge is never summed (a merged queue depth is meaningless)…
+  for (const auto& [n, v] : merged) EXPECT_NE(n, "depth");
+  // …but every shard row, gauges included, reappears shard-labeled.
+  EXPECT_EQ(get("depth{shard=\"0\"}"), 5.0);
+  EXPECT_EQ(get("depth{shard=\"2\"}"), 7.0);
+  EXPECT_EQ(get("jobs_total{shard=\"2\"}"), 4.0);
+  // 3 merged sums + 8 labeled rows, merged block first (it must survive
+  // wire-cap truncation; per-shard detail is what gets dropped).
+  ASSERT_EQ(merged.size(), 11u);
+  EXPECT_EQ(merged[0].first, "jobs_total");
+  EXPECT_EQ(merged[1].first, "lat_bucket{le=\"1\"}");
+}
+
+TEST(ClusterStatsMerge, EmptyAndMixedShardsAreHandled) {
+  EXPECT_TRUE(merge_shard_stats({}).empty());
+  // One empty shard next to a live one: the empty shard contributes
+  // nothing but does not derail the merge.
+  std::vector<std::pair<std::uint32_t, StatsRows>> shards;
+  shards.push_back({0, {}});
+  shards.push_back({1, {{"jobs_total", 2}}});
+  const StatsRows merged = merge_shard_stats(shards);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].first, "jobs_total");
+  EXPECT_EQ(merged[0].second, 2.0);
+  EXPECT_EQ(merged[1].first, "jobs_total{shard=\"1\"}");
+  // Shards exposing disjoint metric sets (mixed kinds/versions): each
+  // name merges over the shards that have it.
+  shards.clear();
+  shards.push_back({0, {{"a_total", 1}}});
+  shards.push_back({1, {{"b_total", 5}}});
+  const StatsRows mixed = merge_shard_stats(shards);
+  auto get = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : mixed)
+      if (n == name) return v;
+    return -1;
+  };
+  EXPECT_EQ(get("a_total"), 1.0);
+  EXPECT_EQ(get("b_total"), 5.0);
+}
+
+// ------------------------------------------------- observability plane
+
+TEST(ClusterRouter, StatsFanOutMergesShardsWithLabels) {
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  Router router(router_over({&shard_a, &shard_b}));
+  ASSERT_TRUE(router.start());
+
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  ASSERT_EQ(client.call(lowrank_fixed_request(1, 7)).status,
+            net::CallStatus::Ok);
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_TRUE(stats->has("cluster_stale_shards"));
+  EXPECT_EQ(stats->value("cluster_stale_shards"), 0.0);
+  // Every shard reappears with a shard label, and the labeled submit
+  // counters partition the one routed job.
+  ASSERT_TRUE(stats->has("server_jobs_submitted{shard=\"0\"}"));
+  ASSERT_TRUE(stats->has("server_jobs_submitted{shard=\"1\"}"));
+  EXPECT_EQ(stats->value("server_jobs_submitted{shard=\"0\"}") +
+                stats->value("server_jobs_submitted{shard=\"1\"}"),
+            1.0);
+  // Histogram buckets ride the fan-out per shard on the shared SLO
+  // ladder (both shards live in this process, so kind fixed_rank has
+  // observations in both replies).
+  EXPECT_TRUE(stats->has("slo_latency_seconds_bucket{shard=\"0\","
+                         "kind=\"fixed_rank\",le=\"+Inf\"}"));
+  // And the merged (unlabeled) sum block exists alongside the router's
+  // own registry rows of the same name.
+  int same_name = 0;
+  for (const auto& [n, v] : stats->metrics)
+    if (n == "slo_requests_total{kind=\"fixed_rank\"}") ++same_name;
+  EXPECT_GE(same_name, 2);
+
+  router.stop();
+  shard_a.stop();
+  shard_b.stop();
+}
+
+TEST(ClusterRouter, ScrapeTimeoutDegradesToStaleCountWithoutEvicting) {
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  RouterOptions ro = router_over({&shard_a, &shard_b});
+  ro.scrape_timeout_s = 0.0;  // every fan-out reply is late by definition
+  Router router(ro);
+  ASSERT_TRUE(router.start());
+
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  // Degraded, not failed: the reply arrives with the router's own rows
+  // and an honest staleness count instead of blocking or erroring.
+  EXPECT_EQ(stats->value("cluster_stale_shards"), 2.0);
+  EXPECT_TRUE(stats->has("router_submits_routed"));
+  EXPECT_FALSE(stats->has("server_jobs_submitted{shard=\"0\"}"));
+  // A scrape hiccup never charges the membership breaker: both shards
+  // stay in the ring and keep serving.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(router.live_shards().size(), 2u);
+  ASSERT_EQ(client.call(lowrank_fixed_request(1, 7)).status,
+            net::CallStatus::Ok);
+
+  router.stop();
+  shard_a.stop();
+  shard_b.stop();
+}
+
+TEST(ClusterRouter, DumpFanOutMergesFlightRecorders) {
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  Router router(router_over({&shard_a, &shard_b}));
+  ASSERT_TRUE(router.start());
+
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  ASSERT_EQ(client.call(lowrank_fixed_request(1, 9)).status,
+            net::CallStatus::Ok);
+
+  const auto dump = client.dump();
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_NE(dump->find("\"stale_shards\":0"), std::string::npos);
+  // Router postmortem + one section per shard.
+  std::size_t sources = 0, pos = 0;
+  while ((pos = dump->find("\"source\":", pos)) != std::string::npos) {
+    ++sources;
+    pos += 1;
+  }
+  EXPECT_EQ(sources, 3u);
+  // The routed job's lifecycle events are in there (the shards share
+  // this process's recorder), as is the Dump request itself.
+  EXPECT_NE(dump->find("\"kind\":\"job_accepted\""), std::string::npos);
+  EXPECT_NE(dump->find("\"kind\":\"job_completed\""), std::string::npos);
+  EXPECT_NE(dump->find("\"kind\":\"dump_requested\""), std::string::npos);
+
+  router.stop();
+  shard_a.stop();
+  shard_b.stop();
+}
+
+TEST(ClusterRouter, OneTraceIdSpansRouterAndShard) {
+  auto& tr = obs::Tracer::global();
+  tr.clear();
+  tr.enable();
+
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  Router router(router_over({&shard_a, &shard_b}));
+  ASSERT_TRUE(router.start());
+
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  const net::CallResult res = client.call(lowrank_fixed_request(1, 11));
+  ASSERT_EQ(res.status, net::CallStatus::Ok);
+  ASSERT_NE(res.trace_id, 0u);
+
+  router.stop();
+  shard_a.stop();
+  shard_b.stop();
+
+  // The client-minted id rides the forwarded Submit: the router's
+  // routing span and the shard's submit/exec spans all chain under it.
+  bool saw_route = false, saw_submit = false, saw_exec = false;
+  for (const auto& ev : tr.events()) {
+    if (ev.trace_id != res.trace_id) continue;
+    if (std::string(ev.name) == "router.route") saw_route = true;
+    if (std::string(ev.name) == "net.submit") saw_submit = true;
+    if (std::string(ev.name) == "worker.exec") saw_exec = true;
+  }
+  EXPECT_TRUE(saw_route);
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_exec);
+
+  tr.disable();
+  tr.clear();
 }
 
 TEST(ClusterRouter, RemoteShutdownDrainsWholeCluster) {

@@ -653,3 +653,72 @@ TEST(NetProtocol, EncodeHealthReplyCapsOversizedInput) {
   ASSERT_TRUE(dec.has_value());
   EXPECT_EQ(dec->devices.size(), kMaxHealthDevices);
 }
+
+// ---------------------------------------------------------------------
+// Dump / DumpReply (v5): flight-recorder postmortems over the wire.
+
+TEST(NetProtocol, DumpRequestIsEmptyFrame) {
+  const auto frame = encode_dump_request();
+  const Parsed p = parse(frame);
+  EXPECT_EQ(p.hdr.type, FrameType::Dump);
+  EXPECT_EQ(p.len, 0u);
+  EXPECT_TRUE(valid_frame_type(static_cast<std::uint8_t>(FrameType::Dump)));
+  EXPECT_TRUE(
+      valid_frame_type(static_cast<std::uint8_t>(FrameType::DumpReply)));
+  EXPECT_STREQ(frame_type_name(FrameType::Dump), "dump");
+  EXPECT_STREQ(frame_type_name(FrameType::DumpReply), "dump_reply");
+}
+
+TEST(NetProtocol, DumpReplyRoundTrip) {
+  const std::string json =
+      "{\"source\":\"shard-1\",\"pid\":7,\"events\":[\n"
+      "{\"ts\":1.5,\"kind\":\"job_accepted\",\"tag\":\"t\"}\n]}\n";
+  const auto frame = encode_dump_reply(json);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::DumpReply);
+  const auto dec = decode_dump_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, json);
+  // Empty dumps are legal (a fresh process has recorded nothing).
+  const auto empty = encode_dump_reply("");
+  const Parsed pe = parse(empty);
+  const auto de = decode_dump_reply(pe.payload, pe.len);
+  ASSERT_TRUE(de.has_value());
+  EXPECT_TRUE(de->empty());
+}
+
+TEST(NetProtocol, DumpReplyTruncationAndLengthLiesRejected) {
+  const auto frame = encode_dump_reply("{\"events\":[]}");
+  const Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_dump_reply(p.payload, n).has_value())
+        << "prefix length " << n;
+  std::vector<std::uint8_t> padded(p.payload, p.payload + p.len);
+  padded.push_back(0);
+  EXPECT_FALSE(decode_dump_reply(padded.data(), padded.size()).has_value());
+  // A length prefix beyond the cap is rejected before any allocation,
+  // even when the payload claims to back it.
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxDumpBytes + 1));
+  EXPECT_FALSE(
+      decode_dump_reply(w.bytes().data(), w.bytes().size()).has_value());
+  // And a cap-sized claim over a tiny payload fails the remaining-bytes
+  // check rather than allocating 8 MiB.
+  Writer w2;
+  w2.u32(static_cast<std::uint32_t>(kMaxDumpBytes));
+  w2.raw("abc", 3);
+  EXPECT_FALSE(
+      decode_dump_reply(w2.bytes().data(), w2.bytes().size()).has_value());
+}
+
+TEST(NetProtocol, EncodeDumpReplyCapsOversizedInput) {
+  // The encoder truncates a dump larger than the wire cap instead of
+  // emitting an undecodable frame; the prefix survives byte-for-byte.
+  const std::string big(kMaxDumpBytes + 4096, 'x');
+  const auto frame = encode_dump_reply(big);
+  const Parsed p = parse(frame);
+  const auto dec = decode_dump_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->size(), kMaxDumpBytes);
+  EXPECT_EQ(dec->compare(0, 64, big, 0, 64), 0);
+}

@@ -1,11 +1,14 @@
 // test_obs.cpp — observability subsystem: lock-light metrics registry
 // (counters / gauges / log-bucket histograms, drain-on-scrape shards),
 // Prometheus/JSON exposition, the span tracer, thread-local trace-id
-// propagation, and the BLAS kernel profiling hooks (DESIGN.md §9).
+// propagation, the BLAS kernel profiling hooks (DESIGN.md §9), the
+// flight recorder, and the SLO latency plane (DESIGN.md §14).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -13,6 +16,8 @@
 
 #include "la/blas3.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "test_util.hpp"
 
@@ -350,6 +355,229 @@ TEST(ObsKernelHooks, GemmRecordsCountersAndSpanWhenProfiling) {
   tr.disable();
   tr.clear();
   obs::set_profiling_enabled(was_profiling);
+}
+
+// ---------------------------------------------------- bucket exposition
+
+TEST(ObsSnapshot, FlattenBucketRowsAreCumulativeAndStableAcrossRegistries) {
+  // Two registries stand in for two shard processes: with a shared
+  // compile-time spec their flattened bucket-row *names* must be
+  // byte-identical, which is what lets the router merge histograms by
+  // exact string name (DESIGN.md §14).
+  obs::Registry a, b;
+  const obs::HistogramSpec spec{1.0, 2.0, 4};  // uppers 1, 2, 4, +Inf
+  obs::Histogram ha = a.histogram("lat_seconds", spec);
+  obs::Histogram hb = b.histogram("lat_seconds", spec);
+  ha.observe(0.5);
+  ha.observe(1.5);
+  ha.observe(100.0);
+  hb.observe(3.0);
+  const auto fa = a.scrape().flatten(/*include_buckets=*/true);
+  const auto fb = b.scrape().flatten(/*include_buckets=*/true);
+  auto names = [](const std::vector<std::pair<std::string, double>>& rows) {
+    std::vector<std::string> out;
+    for (const auto& [n, v] : rows)
+      if (n.find("_bucket") != std::string::npos) out.push_back(n);
+    return out;
+  };
+  EXPECT_EQ(names(fa), names(fb));
+  auto get = [&](const char* name) -> double {
+    for (const auto& [n, v] : fa)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing " << name;
+    return -1;
+  };
+  // Prometheus classic-histogram semantics: le-labeled rows are
+  // cumulative, the +Inf row equals _count.
+  EXPECT_EQ(get("lat_seconds_bucket{le=\"1\"}"), 1.0);
+  EXPECT_EQ(get("lat_seconds_bucket{le=\"2\"}"), 2.0);
+  EXPECT_EQ(get("lat_seconds_bucket{le=\"4\"}"), 2.0);
+  EXPECT_EQ(get("lat_seconds_bucket{le=\"+Inf\"}"), 3.0);
+  EXPECT_EQ(get("lat_seconds_count"), 3.0);
+  EXPECT_DOUBLE_EQ(get("lat_seconds_sum"), 102.0);
+  // Default flatten stays bucket-free (wire-size hygiene for the plain
+  // single-server scrape consumers that predate the cluster plane).
+  for (const auto& [n, v] : a.scrape().flatten())
+    EXPECT_EQ(n.find("_bucket"), std::string::npos) << n;
+}
+
+TEST(ObsSnapshot, FlattenKeepsLabeledHistogramBucketRowsDistinct) {
+  obs::Registry reg;
+  const obs::HistogramSpec spec{1.0, 2.0, 2};
+  reg.histogram("slo_seconds{kind=\"a\"}", spec).observe(0.5);
+  reg.histogram("slo_seconds{kind=\"b\"}", spec).observe(5.0);
+  const auto flat = reg.scrape().flatten(true);
+  auto get = [&](const char* name) -> double {
+    for (const auto& [n, v] : flat)
+      if (n == name) return v;
+    return -1;
+  };
+  // The le label merges into the existing label set, not a second {}.
+  EXPECT_EQ(get("slo_seconds_bucket{kind=\"a\",le=\"1\"}"), 1.0);
+  EXPECT_EQ(get("slo_seconds_bucket{kind=\"b\",le=\"1\"}"), 0.0);
+  EXPECT_EQ(get("slo_seconds_bucket{kind=\"b\",le=\"+Inf\"}"), 1.0);
+  EXPECT_EQ(get("slo_seconds_count{kind=\"a\"}"), 1.0);
+  EXPECT_EQ(get("slo_seconds_sum{kind=\"b\"}"), 5.0);
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(ObsRecorder, EventsRoundTripThroughSnapshot) {
+  auto& rec = obs::Recorder::global();
+  const std::uint64_t before = rec.events_recorded();
+  rec.record(obs::EventKind::JobAccepted, 42, 0xfeed, 3, 4, "rt/tag");
+  EXPECT_EQ(rec.events_recorded(), before + 1);
+  const auto events = rec.snapshot();
+  const obs::Event* mine = nullptr;
+  for (const auto& e : events)
+    if (e.job_id == 42 && std::string(e.tag) == "rt/tag") mine = &e;
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->kind, obs::EventKind::JobAccepted);
+  EXPECT_EQ(mine->trace_id, 0xfeedu);
+  EXPECT_EQ(mine->a, 3);
+  EXPECT_EQ(mine->b, 4);
+  EXPECT_GT(mine->ts, 0.0);
+  EXPECT_NE(mine->stamp, 0u);
+}
+
+TEST(ObsRecorder, WraparoundKeepsTheMostRecentEventsInOrder) {
+  auto& rec = obs::Recorder::global();
+  // All events from one thread land in one ring, so overrunning the
+  // whole recorder capacity from here is guaranteed to wrap that ring:
+  // the oldest events must vanish, the newest survive, in seq order.
+  const int n = static_cast<int>(obs::Recorder::capacity()) + 64;
+  for (int i = 0; i < n; ++i)
+    rec.record(obs::EventKind::JobCompleted, 1000, 0, i, 0, "wrap/t");
+  std::vector<const obs::Event*> mine;
+  const auto events = rec.snapshot();
+  for (const auto& e : events)
+    if (std::string(e.tag) == "wrap/t") mine.push_back(&e);
+  ASSERT_GT(mine.size(), 0u);
+  EXPECT_LT(mine.size(), static_cast<std::size_t>(n));  // wrapped
+  // The survivors are exactly the most recent window, contiguous and
+  // seq-ordered (snapshot sorts by ts then seq).
+  EXPECT_EQ(mine.back()->a, n - 1);
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i]->a, mine[i - 1]->a + 1);
+    EXPECT_GT(mine[i]->seq, mine[i - 1]->seq);
+  }
+}
+
+TEST(ObsRecorder, ConcurrentWritersAndSnapshotsStayConsistent) {
+  // The TSan contract: record() from many threads racing snapshot()
+  // must produce only whole events — a torn slot is skipped, never
+  // surfaced with a mangled kind or tag.
+  auto& rec = obs::Recorder::global();
+  constexpr int kWriters = 4, kPerWriter = 3000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_reads{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& e : rec.snapshot()) {
+        if (std::string(obs::event_kind_name(e.kind)) == "?")
+          bad_reads.fetch_add(1);
+        if (std::string(e.tag).rfind("cw/", 0) == 0 && e.trace_id != 0xabba)
+          bad_reads.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&rec, w] {
+      const std::string tag = "cw/" + std::to_string(w);
+      for (int i = 0; i < kPerWriter; ++i)
+        rec.record(obs::EventKind::CacheHit, std::uint64_t(i), 0xabba, w, i,
+                   tag);
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad_reads.load(), 0);
+}
+
+TEST(ObsRecorder, DumpJsonShapeAndFileRoundTrip) {
+  auto& rec = obs::Recorder::global();
+  rec.record(obs::EventKind::WatchdogFired, 7, 0, 1, 2, "dump/t");
+  const std::string json = rec.dump_json();
+  EXPECT_NE(json.find("\"source\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"watchdog_fired\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"dump/t\""), std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "/recorder_dump_test.json";
+  ASSERT_TRUE(rec.dump_to_file(path.c_str()));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string back;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) back.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(back, json.substr(0, back.size()));  // same prefix...
+  EXPECT_NE(back.find("watchdog_fired"), std::string::npos);
+}
+
+// ------------------------------------------------------------ SLO plane
+
+TEST(ObsSlo, SpecAndKindNamesAreTheClusterContract) {
+  const obs::HistogramSpec spec = obs::slo_latency_spec();
+  EXPECT_DOUBLE_EQ(spec.first_upper, 1e-4);
+  EXPECT_DOUBLE_EQ(spec.growth, std::sqrt(2.0));
+  EXPECT_EQ(spec.buckets, 40u);
+  EXPECT_STREQ(obs::slo_kind_name(0), "fixed_rank");
+  EXPECT_STREQ(obs::slo_kind_name(1), "adaptive");
+  EXPECT_STREQ(obs::slo_kind_name(2), "qrcp");
+  EXPECT_STREQ(obs::slo_kind_name(3), "rqrcp");
+  EXPECT_STREQ(obs::slo_kind_name(4), "rqrcp_adaptive");
+  EXPECT_STREQ(obs::slo_kind_name(99), "?");
+}
+
+TEST(ObsSlo, ObservePublishesQuantilesAndBurnRate) {
+  const double target_was = obs::slo_target_s();
+  const double objective_was = obs::slo_objective();
+  obs::Registry::global().reset();
+  obs::set_slo_target(/*target_s=*/0.01, /*objective=*/0.9);
+
+  // Kind 1 (adaptive): 8 fast successes, 2 over-target successes.
+  // Violating fraction 0.2 against a 0.1 budget → burn rate 2.
+  for (int i = 0; i < 8; ++i) obs::slo_observe(1, 0.001, true);
+  obs::slo_observe(1, 0.5, true);
+  obs::slo_observe(1, 0.5, true);
+  // A failure counts as a violation regardless of latency.
+  obs::slo_observe(0, 0.0001, false);
+  obs::slo_publish();
+
+  const auto flat = obs::Registry::global().scrape().flatten(true);
+  auto get = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : flat)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing " << name;
+    return -1;
+  };
+  EXPECT_EQ(get("slo_requests_total{kind=\"adaptive\"}"), 10.0);
+  EXPECT_EQ(get("slo_violations_total{kind=\"adaptive\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(get("slo_burn_rate{kind=\"adaptive\"}"), 2.0);
+  EXPECT_EQ(get("slo_requests_total{kind=\"fixed_rank\"}"), 1.0);
+  EXPECT_EQ(get("slo_violations_total{kind=\"fixed_rank\"}"), 1.0);
+  // The target itself is published so burn-rate math is reconstructible
+  // from a scrape alone.
+  EXPECT_DOUBLE_EQ(get("slo_target_seconds"), 0.01);
+  EXPECT_DOUBLE_EQ(get("slo_objective_ratio"), 0.9);
+  // p50 near 1ms (log-bucket resolution), p99 in the over-target tail.
+  const double p50 = get("slo_p50_seconds{kind=\"adaptive\"}");
+  const double p99 = get("slo_p99_seconds{kind=\"adaptive\"}");
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LT(p50, 0.01);
+  EXPECT_GT(p99, 0.1);
+  EXPECT_LE(p50, p99);
+  // The latency observations also land in the shared-ladder histogram.
+  EXPECT_EQ(get("slo_latency_seconds_count{kind=\"adaptive\"}"), 10.0);
+
+  obs::set_slo_target(target_was, objective_was);
+  obs::Registry::global().reset();
 }
 
 TEST(ObsKernelHooks, DisabledProfilingRecordsNothing) {
