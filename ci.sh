@@ -47,6 +47,16 @@
 #      and asserts zero lost / zero duplicated jobs, breaker-driven
 #      membership change, and the victim reported down in a Stats
 #      scrape through the router;
+#   6c. availability (DESIGN.md §15): a planned-drain run (Router::drain
+#      → CacheHandoff stream → ring re-point) asserting 0 lost / 0
+#      duplicated jobs and a successor post-drain result-cache hit-rate
+#      above 0.5 (warmth moved, not recomputed); a two-router SIGKILL
+#      run asserting clients fail over to the survivor and complete
+#      100% of jobs; a hot-key replication + hedging chaos run
+#      asserting first-result-wins cancellation never surfaces a
+#      duplicated client result and hedge traffic respects the budget;
+#      and a loadgen --drain-mid run pricing the drain-window p99 into
+#      BENCH_cluster_avail.json;
 #   7. memory safety: the wire-protocol, server, fault-plane, batched
 #      BLAS, zero-copy decode, and QRCP-engine suites rebuilt with
 #      -fsanitize=address,undefined (the `asan` preset), so
@@ -220,6 +230,50 @@ RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --shards 4 \
   --jobs 240 --threads 8 --spread 48 --cache 16 --m 768 --n 256 \
   --check-frac 0.05 --tmp build --postmortem build/postmortem.json
 ./build/examples/randla_postmortem build/postmortem.json --require-complete
+
+echo "== cluster drain: planned decommission with cache handoff =="
+# Planned drain (DESIGN.md §15): at ~40% of the run Router::drain()
+# orders the hottest shard to stop accepting, stream its result/sketch/
+# RQRCP cache entries to its ring successor (CacheHandoff frames), and
+# exit after finishing in-flight jobs; the ring is re-pointed only after
+# the DrainReply. The exit code demands 0 lost / 0 duplicated jobs, > 0
+# entries handed off, the victim out of the ring, and the successor's
+# post-drain result-cache hit-rate >= 0.5 — warmth provably moved
+# instead of being recomputed.
+RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --drain --shards 2 \
+  --jobs 160 --threads 6 --spread 12 --cache 32 --m 256 --n 128 \
+  --check-frac 0.1 --hit-floor 0.5 --tmp build \
+  --json build/BENCH_cluster_drain.json
+
+echo "== cluster chaos: SIGKILL one of two routers, clients fail over =="
+# Router redundancy: two router processes over one deterministic Philox
+# ring (identical config => identical placement, no coordination
+# needed). Router 0 is SIGKILLed at ~40%; every client parked on it
+# must fail over to the survivor via the breaker/retry path and the run
+# must complete 100% of jobs, with re-executions bounded by the
+# failover resubmissions that explain them.
+RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --routers 2 \
+  --shards 2 --jobs 160 --threads 6 --spread 12 --m 256 --n 128 \
+  --check-frac 0.1 --tmp build --json build/BENCH_cluster_routers.json
+
+echo "== cluster chaos: hot-key replication + hedging under shard kill =="
+# Replicated execution (spread 6 keeps every key hot past the decayed
+# threshold) plus latency hedging, under the same SIGKILL schedule: the
+# duplicate detector still demands zero unexplained double executions
+# (replica legs are tagged "/hedge" and cancelled first-result-wins),
+# and the victim's death rides the usual breaker/eviction assertions.
+RANDLA_NUM_THREADS=1 ./build/examples/randla_cluster --chaos --shards 3 \
+  --jobs 160 --threads 6 --spread 6 --m 256 --n 128 --check-frac 0.1 \
+  --replicate-threshold 0.5 --hedge --tmp build \
+  --json build/BENCH_cluster_hedge.json
+
+echo "== cluster availability: loadgen prices hedging + mid-run drain =="
+# The loadgen's availability row lands hedge wins/cancels/budget and the
+# drain-window p99 in BENCH_cluster_avail.json: the measured cost of the
+# availability layer next to the throughput it protects.
+./build/examples/randla_loadgen --cluster 2 --jobs 80 --threads 4 \
+  --m 128 --n 64 --spread 4 --replicate-threshold 1 --drain-mid \
+  --json build/BENCH_cluster_avail.json
 
 echo "== cluster observability: merged scrape equals per-shard sums =="
 # randla_loadgen forks real shard processes behind an in-process router

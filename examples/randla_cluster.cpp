@@ -30,6 +30,34 @@
 //     proven from the surviving shards' own telemetry dumps — and the
 //     router's Stats scrape must show the membership change.
 //
+//   * --chaos --routers N (N ≥ 2): same shards, but fronted by N router
+//     processes sharing one deterministic Philox ring (identical shard
+//     list + vnodes ⇒ identical placement, no coordination). Clients
+//     spread across the routers; at ~40% the parent SIGKILLs router 0
+//     and the orphaned clients fail over to a surviving router — the
+//     run must still complete 100% of jobs, with re-executions bounded
+//     by the failover resubmissions that explain them (a replay racing
+//     its still-in-flight first execution re-runs; the client still
+//     sees exactly one result). DESIGN.md §15 router redundancy.
+//
+//   * --drain: planned decommission (DESIGN.md §15). At ~40% of jobs
+//     the parent calls Router::drain() on the shard owning the most
+//     keys: the shard stops accepting, streams its result/sketch/RQRCP
+//     cache entries to its ring successor (CacheHandoff frames),
+//     finishes in-flight jobs and exits; the router re-points the
+//     keyshare only after the DrainReply. The run must lose 0 jobs,
+//     duplicate none, hand off > 0 cache entries, and the successor's
+//     post-drain result-cache hit-rate must clear --hit-floor — cache
+//     warmth provably survived the decommission.
+//
+// --replicate-threshold X arms hot-key replicated execution in the
+// router (keys above the decayed-rate threshold run on owner AND
+// successor, first result wins, loser cancelled); --hedge arms latency
+// hedging off the router's per-kind p99 gauges. Replica/hedge legs are
+// tagged "/hedge" and excluded from the duplicate detector the same way
+// peer fills are — they are intentional duplicates, cancelled or
+// discarded before the client ever sees a second result.
+//
 // Every shard child reports its ephemeral port over a pipe, serves
 // until the parent sends a Shutdown frame, then dumps one
 // "tag<TAB>status<TAB>cache" line per job trace for the parent's
@@ -40,23 +68,27 @@
 //                  [--workers W] [--queue Q] [--cache C] [--spread K]
 //                  [--m M] [--n N] [--check-frac F] [--seed S]
 //                  [--min-speedup X] [--peer-fill N] [--tmp DIR]
-//                  [--json PATH]
-//   randla_cluster --chaos [--shards S] [flags as above]
+//                  [--replicate-threshold X] [--hedge] [--json PATH]
+//   randla_cluster --chaos [--shards S] [--routers N] [flags as above]
+//   randla_cluster --drain [--shards S] [--hit-floor F] [flags as above]
 //
 // Exit code: nonzero on any lost job, duplicated execution, failed
-// residual check, missed speedup bound, or missing router metrics.
+// residual check, missed speedup bound, missed drain handoff or
+// hit-rate floor, or missing router metrics.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,6 +120,11 @@ struct Options {
   double check_frac = 0.1;
   double min_speedup = 0;    ///< 0 = record only
   int peer_fill = 0;         ///< router peer_fill_threshold
+  double replicate_threshold = 0;  ///< router hot-key replication (0 = off)
+  bool hedge = false;              ///< router latency hedging
+  int routers = 1;   ///< chaos: router processes over one shared ring
+  bool drain = false;      ///< planned-drain mode
+  double hit_floor = 0.2;  ///< drain: post-drain successor hit-rate bound
   std::uint64_t seed = 2026;
   bool chaos = false;
   std::string tmp = ".";
@@ -237,6 +274,8 @@ bool spawn_shard(const Options& opt, int shard_idx,
 // ---------------------------------------------------------------------
 // One measured run at a given shard count.
 
+enum class RunMode { Sweep, Chaos, Drain };
+
 struct RunResult {
   bool started = false;
   int ok = 0, lost = 0, duplicated = 0;
@@ -251,9 +290,70 @@ struct RunResult {
   bool victim_marked_down = false;  ///< chaos: scrape shows shard_up == 0
   std::uint32_t victim = 0;
   std::string postmortem;  ///< cluster-wide Dump merge (router view)
+  // Drain mode (DESIGN.md §15):
+  bool drain_ok = false;          ///< Router::drain round-trip succeeded
+  net::DrainSummary drain_sum;
+  std::uint32_t successor = 0;    ///< handoff target of the victim
+  double succ_hit_rate = -1;      ///< successor result-cache hit rate over
+                                  ///< the post-drain window (-1 = no scrape)
 };
 
-RunResult run_scale(const Options& opt, int nshards, bool chaos) {
+/// True when `tag` carries one of the intentional-duplicate suffixes the
+/// router appends to replica legs (peer fills, hedges/replicas).
+bool intentional_duplicate(const std::string& tag) {
+  for (const char* suf : {"/peerfill", "/hedge"}) {
+    const std::size_t n = std::strlen(suf);
+    if (tag.size() >= n && tag.compare(tag.size() - n, n, suf) == 0)
+      return true;
+  }
+  return false;
+}
+
+/// Cluster-wide duplicate detection from the shards' telemetry dumps: a
+/// tag that *executed* (Done with cache Miss/None) more than once
+/// anywhere ran twice for real. Replays served from a result cache show
+/// up as Result dispositions and never count; peer-fill and hedge legs
+/// are intentional duplicates and are tagged out of the population.
+int scan_duplicates(const std::vector<ShardProc>& shards) {
+  std::map<std::string, int> executed;
+  for (const ShardProc& sp : shards) {
+    if (sp.killed) continue;
+    std::FILE* f = std::fopen(sp.telemetry_path.c_str(), "r");
+    if (!f) {
+      std::fprintf(stderr, "cluster: missing telemetry %s\n",
+                   sp.telemetry_path.c_str());
+      continue;
+    }
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      std::string s(line);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+      const auto tab1 = s.find('\t');
+      const auto tab2 = tab1 == std::string::npos ? std::string::npos
+                                                  : s.find('\t', tab1 + 1);
+      if (tab2 == std::string::npos) continue;
+      const std::string tag = s.substr(0, tab1);
+      const std::string status = s.substr(tab1 + 1, tab2 - tab1 - 1);
+      const std::string cache = s.substr(tab2 + 1);
+      if (status != "done") continue;
+      if (cache != "miss" && cache != "none") continue;
+      if (intentional_duplicate(tag)) continue;
+      ++executed[tag];
+    }
+    std::fclose(f);
+  }
+  int duplicated = 0;
+  for (const auto& [tag, n] : executed)
+    if (n > 1) {
+      std::fprintf(stderr, "cluster: tag %s executed %d times\n", tag.c_str(),
+                   n);
+      ++duplicated;
+    }
+  return duplicated;
+}
+
+RunResult run_scale(const Options& opt, int nshards, RunMode mode) {
   RunResult rr;
   std::vector<ShardProc> shards(static_cast<std::size_t>(nshards));
   for (int s = 0; s < nshards; ++s) {
@@ -277,6 +377,8 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
     ro.shards.push_back(cluster::ShardEndpoint{"127.0.0.1", sp.port});
   ro.probe_interval_s = 0.1;
   ro.peer_fill_threshold = opt.peer_fill;
+  ro.replicate_threshold = opt.replicate_threshold;
+  ro.hedge = opt.hedge;
   cluster::Router router(ro);
   if (!router.start()) {
     std::fprintf(stderr, "cluster: router failed to start\n");
@@ -288,10 +390,11 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
   }
   rr.started = true;
 
-  // Chaos victim: the shard owning the most routing keys, computed from
-  // the same ring layout the router uses — killing it is guaranteed to
-  // orphan live keys.
-  if (chaos) {
+  // Chaos/drain victim: the shard owning the most routing keys, computed
+  // from the same ring layout the router uses — killing (or draining) it
+  // is guaranteed to move live keys. The drain handoff target is the
+  // victim's ring successor, the same expression the router evaluates.
+  if (mode != RunMode::Sweep && nshards >= 2) {
     cluster::HashRing ring(cluster::RingOptions{ro.vnodes});
     for (int s = 0; s < nshards; ++s)
       ring.add(static_cast<std::uint32_t>(s));
@@ -301,6 +404,7 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
     rr.victim = owned.rbegin()->first;
     for (const auto& [s, cnt] : owned)
       if (cnt > owned[rr.victim]) rr.victim = s;
+    rr.successor = *ring.successor(cluster::ring_point(rr.victim, 0));
   }
 
   struct Rec {
@@ -326,7 +430,7 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
     copt.host = "127.0.0.1";
     copt.port = router.port();
     copt.recv_timeout_s = 10;
-    copt.retry.max_attempts = chaos ? 12 : 6;
+    copt.retry.max_attempts = mode == RunMode::Sweep ? 6 : 12;
     copt.retry.max_busy_retries = 1000;  // throughput run: wait, don't fail
     copt.retry.busy_wait_cap_s = 0.25;
     copt.retry.backoff_seed = opt.seed * 1000 + std::uint64_t(widx);
@@ -360,10 +464,29 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
       }
     }
   };
+  // Successor result-cache scrape for the drain hit-rate window: the
+  // per-shard Stats verb, straight to the shard (not through the router).
+  auto scrape_result_cache = [&](std::uint32_t shard, double* hits,
+                                 double* misses) {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = shards[shard].port;
+    copt.recv_timeout_s = 5;
+    net::Client sc(copt);
+    if (!sc.connect()) return false;
+    const auto st = sc.stats();
+    if (!st) return false;
+    *hits = st->value("result_cache_hits");
+    *misses = st->value("result_cache_misses");
+    return true;
+  };
+
   std::vector<std::thread> pool;
   for (int t = 0; t < opt.threads; ++t) pool.emplace_back(worker, t);
 
-  if (chaos) {
+  double succ_hits0 = 0, succ_misses0 = 0;
+  bool succ_scrape0 = false;
+  if (mode == RunMode::Chaos) {
     // Let the cluster warm up, then kill the victim mid-run.
     const int trigger = std::max(1, (opt.jobs * 2) / 5);
     while (done_jobs.load() < trigger)
@@ -373,11 +496,42 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
                 rr.victim, int(v.pid), done_jobs.load());
     kill(v.pid, SIGKILL);
     v.killed = true;
+  } else if (mode == RunMode::Drain) {
+    // Let the victim's caches warm up, then decommission it live. The
+    // drain blocks here until the handoff's DrainReply — jobs keep
+    // flowing the whole time (the victim sheds new submits with Busy
+    // hints, which the clients' retry policy rides out).
+    const int trigger = std::max(1, (opt.jobs * 2) / 5);
+    while (done_jobs.load() < trigger)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    succ_scrape0 =
+        scrape_result_cache(rr.successor, &succ_hits0, &succ_misses0);
+    std::printf("cluster: draining shard %u → successor %u after %d jobs\n",
+                rr.victim, rr.successor, done_jobs.load());
+    rr.drain_ok = router.drain(rr.victim, &rr.drain_sum);
+    std::printf("cluster: drain %s — %llu entries / %llu bytes handed off, "
+                "%llu skipped, %llu in flight at reply\n",
+                rr.drain_ok ? "ok" : "FAILED",
+                (unsigned long long)rr.drain_sum.entries,
+                (unsigned long long)rr.drain_sum.bytes,
+                (unsigned long long)rr.drain_sum.skipped,
+                (unsigned long long)rr.drain_sum.inflight);
   }
   for (auto& t : pool) t.join();
   rr.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
                   .count();
+
+  // Post-drain window hit rate on the successor: every request in the
+  // victim's former keyshare now lands there, and the handed-off cache
+  // entries should serve them without re-execution.
+  if (mode == RunMode::Drain && succ_scrape0) {
+    double h1 = 0, m1 = 0;
+    if (scrape_result_cache(rr.successor, &h1, &m1)) {
+      const double dh = h1 - succ_hits0, dm = m1 - succ_misses0;
+      rr.succ_hit_rate = (dh + dm) > 0 ? dh / (dh + dm) : 0.0;
+    }
+  }
 
   // Router-side accounting: scrape over the wire (the same Stats verb a
   // monitoring client would use), then the in-process snapshot.
@@ -431,47 +585,7 @@ RunResult run_scale(const Options& opt, int nshards, bool chaos) {
     waitpid(sp.pid, &status, 0);
   }
 
-  // Duplicate detection across the surviving shards' telemetry: a tag
-  // that *executed* (Done with cache Miss/None) more than once anywhere
-  // in the cluster ran twice for real. Replays served from a result
-  // cache show up as Result dispositions and never count; peer fills
-  // are intentional duplicates and are tagged out of the population.
-  std::map<std::string, int> executed;
-  for (const ShardProc& sp : shards) {
-    if (sp.killed) continue;
-    std::FILE* f = std::fopen(sp.telemetry_path.c_str(), "r");
-    if (!f) {
-      std::fprintf(stderr, "cluster: missing telemetry %s\n",
-                   sp.telemetry_path.c_str());
-      continue;
-    }
-    char line[512];
-    while (std::fgets(line, sizeof line, f)) {
-      std::string s(line);
-      while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
-        s.pop_back();
-      const auto tab1 = s.find('\t');
-      const auto tab2 = tab1 == std::string::npos ? std::string::npos
-                                                  : s.find('\t', tab1 + 1);
-      if (tab2 == std::string::npos) continue;
-      const std::string tag = s.substr(0, tab1);
-      const std::string status = s.substr(tab1 + 1, tab2 - tab1 - 1);
-      const std::string cache = s.substr(tab2 + 1);
-      if (status != "done") continue;
-      if (cache != "miss" && cache != "none") continue;
-      if (tag.size() >= 9 &&
-          tag.compare(tag.size() - 9, 9, "/peerfill") == 0)
-        continue;
-      ++executed[tag];
-    }
-    std::fclose(f);
-  }
-  for (const auto& [tag, n] : executed)
-    if (n > 1) {
-      std::fprintf(stderr, "cluster: tag %s executed %d times\n", tag.c_str(),
-                   n);
-      ++rr.duplicated;
-    }
+  rr.duplicated = scan_duplicates(shards);
 
   std::vector<double> lat;
   for (const Rec& r : recs) {
@@ -500,13 +614,20 @@ void print_run(const char* label, const RunResult& rr) {
               (unsigned long long)rr.router.rerouted,
               (unsigned long long)rr.router.forward_errors,
               (unsigned long long)rr.router.membership_changes);
+  if (rr.router.hedges_fired || rr.router.hedge_budget_exhausted)
+    std::printf("%-10s hedges %llu (wins %llu cancels %llu "
+                "budget-exhausted %llu)\n",
+                "", (unsigned long long)rr.router.hedges_fired,
+                (unsigned long long)rr.router.hedge_wins,
+                (unsigned long long)rr.router.hedge_cancels,
+                (unsigned long long)rr.router.hedge_budget_exhausted);
 }
 
 int run_chaos(const Options& opt, int argc, char** argv) {
   std::printf("randla_cluster: chaos — %d shards, %d jobs, %d threads, "
               "spread %d\n",
               opt.shards, opt.jobs, opt.threads, opt.spread);
-  const RunResult rr = run_scale(opt, opt.shards, /*chaos=*/true);
+  const RunResult rr = run_scale(opt, opt.shards, RunMode::Chaos);
   if (!rr.started) return 1;
   print_run("chaos", rr);
   std::printf("residual:   %d sampled, %d failed\n", rr.checked,
@@ -550,6 +671,11 @@ int run_chaos(const Options& opt, int argc, char** argv) {
         .set("forward_errors", double(rr.router.forward_errors))
         .set("membership_changes", double(rr.router.membership_changes))
         .set("peer_fills", double(rr.router.peer_fills))
+        .set("hedges_fired", double(rr.router.hedges_fired))
+        .set("hedge_wins", double(rr.router.hedge_wins))
+        .set("hedge_cancels", double(rr.router.hedge_cancels))
+        .set("hedge_budget_exhausted",
+             double(rr.router.hedge_budget_exhausted))
         .set("throughput_jps", rr.throughput)
         .set("p99_ms", rr.p99_ms);
     if (!report.write()) return 1;
@@ -595,6 +721,415 @@ int run_chaos(const Options& opt, int argc, char** argv) {
                          "victim's shard_down event\n");
     bad = true;
   }
+  if (opt.hedge && opt.replicate_threshold <= 0) {
+    // Latency hedges are token-bucket bounded: refill ratio (default
+    // 0.05/submit) times routed submits, plus the burst the bucket can
+    // hold. Replication legs share the counter, so only check when
+    // hedging runs alone.
+    const double bound = 0.05 * double(rr.router.submits_routed) + 5.0;
+    if (double(rr.router.hedges_fired) > bound) {
+      std::fprintf(stderr, "FAIL: %llu hedges exceed budget bound %.0f\n",
+                   (unsigned long long)rr.router.hedges_fired, bound);
+      bad = true;
+    }
+  }
+  return bad ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// --drain: planned decommission with cache handoff (DESIGN.md §15).
+
+int run_drain(const Options& opt, int argc, char** argv) {
+  std::printf("randla_cluster: drain — %d shards, %d jobs, %d threads, "
+              "spread %d, cache %d/shard, hit floor %.2f\n",
+              opt.shards, opt.jobs, opt.threads, opt.spread, opt.cache,
+              opt.hit_floor);
+  const RunResult rr = run_scale(opt, opt.shards, RunMode::Drain);
+  if (!rr.started) return 1;
+  print_run("drain", rr);
+  std::printf("residual:   %d sampled, %d failed\n", rr.checked,
+              rr.check_failed);
+  std::printf("handoff:    shard %u → %u, %llu entries / %llu bytes "
+              "(%llu skipped), successor post-drain hit-rate %.2f\n",
+              rr.victim, rr.successor,
+              (unsigned long long)rr.drain_sum.entries,
+              (unsigned long long)rr.drain_sum.bytes,
+              (unsigned long long)rr.drain_sum.skipped, rr.succ_hit_rate);
+
+  bench::JsonReport report("cluster", argc, argv);
+  if (report.enabled()) {
+    report.row("drain")
+        .set("shards", double(opt.shards))
+        .set("jobs", double(opt.jobs))
+        .set("ok", double(rr.ok))
+        .set("lost", double(rr.lost))
+        .set("duplicated", double(rr.duplicated))
+        .set("victim", double(rr.victim))
+        .set("successor", double(rr.successor))
+        .set("handoff_entries", double(rr.drain_sum.entries))
+        .set("handoff_bytes", double(rr.drain_sum.bytes))
+        .set("handoff_skipped", double(rr.drain_sum.skipped))
+        .set("successor_hit_rate", rr.succ_hit_rate)
+        .set("hit_floor", opt.hit_floor)
+        .set("busy_retries", double(rr.busy_retries))
+        .set("throughput_jps", rr.throughput)
+        .set("p99_ms", rr.p99_ms);
+    if (!report.write()) return 1;
+  }
+
+  bool bad = false;
+  if (rr.lost > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs lost across the drain\n", rr.lost);
+    bad = true;
+  }
+  if (rr.duplicated > 0) {
+    std::fprintf(stderr, "FAIL: %d jobs executed more than once\n",
+                 rr.duplicated);
+    bad = true;
+  }
+  if (rr.check_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d residual checks failed\n", rr.check_failed);
+    bad = true;
+  }
+  if (!rr.drain_ok) {
+    std::fprintf(stderr, "FAIL: drain round-trip failed\n");
+    bad = true;
+  }
+  if (rr.drain_sum.entries == 0) {
+    std::fprintf(stderr, "FAIL: drain handed off zero cache entries\n");
+    bad = true;
+  }
+  if (rr.router.drains_completed != 1) {
+    std::fprintf(stderr, "FAIL: router recorded %llu completed drains\n",
+                 (unsigned long long)rr.router.drains_completed);
+    bad = true;
+  }
+  if (std::find(rr.live_end.begin(), rr.live_end.end(), rr.victim) !=
+      rr.live_end.end()) {
+    std::fprintf(stderr, "FAIL: drained shard %u still in the ring\n",
+                 rr.victim);
+    bad = true;
+  }
+  if (rr.succ_hit_rate < opt.hit_floor) {
+    std::fprintf(stderr,
+                 "FAIL: successor post-drain hit-rate %.2f below floor %.2f "
+                 "— cache warmth was lost\n",
+                 rr.succ_hit_rate, opt.hit_floor);
+    bad = true;
+  }
+  return bad ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// --chaos --routers N: redundant routers over one deterministic ring.
+
+/// Child body: one of N redundant routers over the same shard list.
+/// Identical options ⇒ identical Philox ring ⇒ identical placement, so
+/// the routers need no coordination. Reports its ephemeral port, serves
+/// until the parent closes the control pipe, stops gracefully. Never
+/// returns.
+[[noreturn]] void router_child(const Options& opt,
+                               const std::vector<std::uint16_t>& shard_ports,
+                               int idx, int port_fd, int ctl_fd) {
+  obs::Recorder::global().set_source("router-" + std::to_string(idx));
+  cluster::RouterOptions ro;
+  for (std::uint16_t p : shard_ports)
+    ro.shards.push_back(cluster::ShardEndpoint{"127.0.0.1", p});
+  ro.probe_interval_s = 0.1;
+  ro.peer_fill_threshold = opt.peer_fill;
+  ro.replicate_threshold = opt.replicate_threshold;
+  ro.hedge = opt.hedge;
+  cluster::Router router(ro);
+  if (!router.start()) _exit(3);
+  const std::uint16_t port = router.port();
+  if (write(port_fd, &port, sizeof port) != sizeof port) _exit(3);
+  ::close(port_fd);
+  char b = 0;
+  ssize_t r;
+  do {
+    r = read(ctl_fd, &b, 1);
+  } while (r < 0 && errno == EINTR);
+  router.stop();
+  _exit(0);
+}
+
+int run_router_chaos(const Options& opt, int argc, char** argv) {
+  const int nshards = opt.shards, nrouters = opt.routers;
+  std::printf("randla_cluster: router chaos — %d shards behind %d routers, "
+              "%d jobs, %d threads\n",
+              nshards, nrouters, opt.jobs, opt.threads);
+
+  std::vector<ShardProc> shards(static_cast<std::size_t>(nshards));
+  auto cleanup_shards = [&] {
+    for (auto& sp : shards)
+      if (sp.pid > 0) {
+        kill(sp.pid, SIGKILL);
+        waitpid(sp.pid, nullptr, 0);
+      }
+  };
+  for (int s = 0; s < nshards; ++s) {
+    const std::string path =
+        opt.tmp + "/cluster_rchaos_" + std::to_string(s) + ".telemetry";
+    std::remove(path.c_str());
+    if (!spawn_shard(opt, s, path, &shards[static_cast<std::size_t>(s)])) {
+      std::fprintf(stderr, "cluster: failed to spawn shard %d\n", s);
+      cleanup_shards();
+      return 1;
+    }
+  }
+  std::vector<std::uint16_t> shard_ports;
+  for (const ShardProc& sp : shards) shard_ports.push_back(sp.port);
+
+  struct RouterProc {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    int ctl_fd = -1;
+    bool killed = false;
+  };
+  std::vector<RouterProc> routers(static_cast<std::size_t>(nrouters));
+  auto cleanup_routers = [&] {
+    for (auto& rp : routers)
+      if (rp.pid > 0) {
+        if (rp.ctl_fd >= 0) ::close(rp.ctl_fd);
+        kill(rp.pid, SIGKILL);
+        waitpid(rp.pid, nullptr, 0);
+      }
+  };
+  for (int r = 0; r < nrouters; ++r) {
+    int pfd[2], cfd[2];
+    if (pipe(pfd) != 0 || pipe(cfd) != 0) {
+      cleanup_routers();
+      cleanup_shards();
+      return 1;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      cleanup_routers();
+      cleanup_shards();
+      return 1;
+    }
+    if (pid == 0) {
+      ::close(pfd[0]);
+      ::close(cfd[1]);
+      router_child(opt, shard_ports, r, pfd[1], cfd[0]);
+    }
+    ::close(pfd[1]);
+    ::close(cfd[0]);
+    RouterProc& rp = routers[static_cast<std::size_t>(r)];
+    rp.pid = pid;
+    rp.ctl_fd = cfd[1];
+    const bool got = read(pfd[0], &rp.port, sizeof rp.port) == sizeof rp.port;
+    ::close(pfd[0]);
+    if (!got || rp.port == 0) {
+      std::fprintf(stderr, "cluster: router %d failed to start\n", r);
+      cleanup_routers();
+      cleanup_shards();
+      return 1;
+    }
+  }
+  std::printf("cluster: routers ready on ports");
+  for (const RouterProc& rp : routers) std::printf(" :%u", unsigned(rp.port));
+  std::printf("\n");
+
+  struct Rec {
+    bool ok = false;
+    int busy = 0;
+    int reconnects = 0;
+    int failovers = 0;  ///< endpoint switches after a dead router
+    bool checked = false;
+    bool check_passed = true;
+    double latency_ms = 0;
+  };
+  std::vector<Rec> recs(static_cast<std::size_t>(opt.jobs));
+  std::atomic<int> next_job{0};
+  std::atomic<int> done_jobs{0};
+  std::atomic<int> check_counter{0};
+  const int check_period =
+      opt.check_frac > 0
+          ? std::max(1, static_cast<int>(std::lround(1.0 / opt.check_frac)))
+          : 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&](int widx) {
+    // Clients spread across the routers; when one dies mid-call the
+    // worker rotates to the next endpoint and resubmits the same
+    // idempotent request — the shard's result cache turns the replay
+    // into a hit, never a second execution.
+    int ep = widx % nrouters;
+    auto fresh = [&](int e) {
+      net::ClientOptions copt;
+      copt.host = "127.0.0.1";
+      copt.port = routers[static_cast<std::size_t>(e)].port;
+      copt.recv_timeout_s = 10;
+      copt.retry.max_attempts = 3;  // fail fast, then switch routers
+      copt.retry.max_busy_retries = 1000;
+      copt.retry.busy_wait_cap_s = 0.25;
+      copt.retry.backoff_seed = opt.seed * 1000 + std::uint64_t(widx);
+      return std::make_unique<net::Client>(copt);
+    };
+    std::unique_ptr<net::Client> client = fresh(ep);
+    for (;;) {
+      const int i = next_job.fetch_add(1);
+      if (i >= opt.jobs) return;
+      const net::JobRequest req = build_request(opt, i);
+      Rec& rec = recs[static_cast<std::size_t>(i)];
+      const auto start = std::chrono::steady_clock::now();
+      net::CallResult res;
+      for (int hop = 0; hop <= 2 * nrouters; ++hop) {
+        net::RetryInfo info;
+        res = client->call_with_retry(req, &info);
+        rec.busy += info.busy_retries;
+        rec.reconnects += info.reconnects;
+        if (res.status == net::CallStatus::Ok) break;
+        ep = (ep + 1) % nrouters;
+        client = fresh(ep);
+        ++rec.failovers;
+      }
+      rec.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      rec.ok = res.status == net::CallStatus::Ok &&
+               res.header.status == runtime::JobStatus::Done;
+      done_jobs.fetch_add(1);
+      if (!rec.ok) {
+        std::fprintf(stderr, "cluster: job %d lost: %s %s\n", i,
+                     net::call_status_name(res.status), res.detail.c_str());
+        continue;
+      }
+      if (check_period > 0 &&
+          check_counter.fetch_add(1) % check_period == 0) {
+        rec.checked = true;
+        rec.check_passed = verify_fixed_rank(req, res);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < opt.threads; ++t) pool.emplace_back(worker, t);
+
+  // Kill router 0 mid-run: every client parked on it must fail over to a
+  // survivor and finish its jobs there.
+  {
+    const int trigger = std::max(1, (opt.jobs * 2) / 5);
+    while (done_jobs.load() < trigger)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::printf("cluster: SIGKILL router 0 (pid %d) after %d jobs\n",
+                int(routers[0].pid), done_jobs.load());
+    kill(routers[0].pid, SIGKILL);
+    routers[0].killed = true;
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // A surviving router must still answer the observability plane.
+  bool survivor_scrape_ok = false;
+  for (const RouterProc& rp : routers) {
+    if (rp.killed) continue;
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = rp.port;
+    copt.recv_timeout_s = 5;
+    net::Client sc(copt);
+    if (!sc.connect()) continue;
+    if (const auto stats = sc.stats())
+      survivor_scrape_ok = stats->has("router_submits_routed") &&
+                           stats->has("cluster_shards_live");
+    break;
+  }
+
+  // Graceful stop for the survivors (control-pipe EOF), then reap all.
+  for (RouterProc& rp : routers) {
+    ::close(rp.ctl_fd);
+    rp.ctl_fd = -1;
+  }
+  for (RouterProc& rp : routers) waitpid(rp.pid, nullptr, 0);
+
+  // Drain the shards (all still alive) and reap; their telemetry feeds
+  // the duplicate detector.
+  for (const ShardProc& sp : shards) {
+    net::ClientOptions copt;
+    copt.host = "127.0.0.1";
+    copt.port = sp.port;
+    copt.recv_timeout_s = 5;
+    net::Client c(copt);
+    if (c.connect()) c.send_shutdown();
+  }
+  for (const ShardProc& sp : shards) waitpid(sp.pid, nullptr, 0);
+  const int duplicated = scan_duplicates(shards);
+
+  int ok = 0, lost = 0, checked = 0, check_failed = 0, failovers = 0;
+  long busy_retries = 0, reconnects = 0;
+  std::vector<double> lat;
+  for (const Rec& r : recs) {
+    r.ok ? ++ok : ++lost;
+    busy_retries += r.busy;
+    reconnects += r.reconnects;
+    failovers += r.failovers;
+    if (r.ok) lat.push_back(r.latency_ms);
+    if (r.checked) {
+      ++checked;
+      if (!r.check_passed) ++check_failed;
+    }
+  }
+  const double p99 = util::percentile(lat, 99);
+  const double throughput = wall_s > 0 ? double(ok) / wall_s : 0;
+  std::printf("router-chaos %4d ok %3d lost %3d dup  %7.1f jobs/s  "
+              "p99 %7.1fms  busy %4ld reconn %3ld failovers %d\n",
+              ok, lost, duplicated, throughput, p99, busy_retries,
+              reconnects, failovers);
+  std::printf("residual:   %d sampled, %d failed\n", checked, check_failed);
+
+  bench::JsonReport report("cluster", argc, argv);
+  if (report.enabled()) {
+    report.row("router_chaos")
+        .set("shards", double(nshards))
+        .set("routers", double(nrouters))
+        .set("jobs", double(opt.jobs))
+        .set("ok", double(ok))
+        .set("lost", double(lost))
+        .set("duplicated", double(duplicated))
+        .set("failovers", double(failovers))
+        .set("busy_retries", double(busy_retries))
+        .set("reconnects", double(reconnects))
+        .set("throughput_jps", throughput)
+        .set("p99_ms", p99);
+    if (!report.write()) return 1;
+  }
+
+  bool bad = false;
+  if (ok != opt.jobs) {
+    std::fprintf(stderr, "FAIL: only %d/%d jobs completed through the "
+                         "surviving router(s)\n",
+                 ok, opt.jobs);
+    bad = true;
+  }
+  if (duplicated > failovers) {
+    // A worker whose router died mid-call resubmits through a survivor;
+    // if the first execution was still in flight on the shard, the
+    // replay re-executes — at most one orphaned job per failover. The
+    // client still sees exactly one result. Anything beyond that bound
+    // is a genuine double execution.
+    std::fprintf(stderr,
+                 "FAIL: %d duplicated executions exceed the %d failover "
+                 "resubmissions that could explain them\n",
+                 duplicated, failovers);
+    bad = true;
+  }
+  if (check_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d residual checks failed\n", check_failed);
+    bad = true;
+  }
+  if (failovers == 0) {
+    std::fprintf(stderr, "FAIL: no client ever failed over — the kill "
+                         "exercised nothing\n");
+    bad = true;
+  }
+  if (!survivor_scrape_ok) {
+    std::fprintf(stderr, "FAIL: surviving router's Stats scrape missing "
+                         "router metrics\n");
+    bad = true;
+  }
   return bad ? 1 : 0;
 }
 
@@ -622,7 +1157,7 @@ int run_sweep(const Options& opt, int argc, char** argv) {
 
   std::vector<RunResult> results;
   for (int s : scales) {
-    RunResult rr = run_scale(opt, s, /*chaos=*/false);
+    RunResult rr = run_scale(opt, s, RunMode::Sweep);
     if (!rr.started) return 1;
     const std::string label = std::to_string(s) + " shard" +
                               (s == 1 ? "" : "s");
@@ -720,18 +1255,34 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--check-frac")) opt.check_frac = std::atof(need("--check-frac"));
     else if (!std::strcmp(argv[i], "--min-speedup")) opt.min_speedup = std::atof(need("--min-speedup"));
     else if (!std::strcmp(argv[i], "--peer-fill")) opt.peer_fill = std::atoi(need("--peer-fill"));
+    else if (!std::strcmp(argv[i], "--replicate-threshold")) opt.replicate_threshold = std::atof(need("--replicate-threshold"));
+    else if (!std::strcmp(argv[i], "--hedge")) opt.hedge = true;
+    else if (!std::strcmp(argv[i], "--routers")) opt.routers = std::atoi(need("--routers"));
+    else if (!std::strcmp(argv[i], "--hit-floor")) opt.hit_floor = std::atof(need("--hit-floor"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--tmp")) opt.tmp = need("--tmp");
     else if (!std::strcmp(argv[i], "--postmortem")) opt.postmortem = need("--postmortem");
     else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = true;
+    else if (!std::strcmp(argv[i], "--drain")) opt.drain = true;
     else if (!std::strcmp(argv[i], "--json")) { need("--json"); }  // JsonReport reads argv
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
-  if (opt.chaos && opt.shards < 2) {
-    std::fprintf(stderr, "cluster: --chaos needs at least 2 shards\n");
+  if ((opt.chaos || opt.drain) && opt.shards < 2) {
+    std::fprintf(stderr, "cluster: --chaos/--drain need at least 2 shards\n");
+    return 2;
+  }
+  if (opt.chaos && opt.drain) {
+    std::fprintf(stderr, "cluster: --chaos and --drain are exclusive\n");
+    return 2;
+  }
+  if (opt.routers > 1 && !opt.chaos) {
+    std::fprintf(stderr, "cluster: --routers N only applies to --chaos\n");
     return 2;
   }
   signal(SIGPIPE, SIG_IGN);
   obs::Recorder::global().set_source("router");
-  return opt.chaos ? run_chaos(opt, argc, argv) : run_sweep(opt, argc, argv);
+  if (opt.chaos && opt.routers > 1) return run_router_chaos(opt, argc, argv);
+  if (opt.chaos) return run_chaos(opt, argc, argv);
+  if (opt.drain) return run_drain(opt, argc, argv);
+  return run_sweep(opt, argc, argv);
 }

@@ -32,11 +32,19 @@
 // comparison is per-server).
 //   randla_loadgen --chaos SCHEDULE [--seed N] [--jobs N] [--threads T]
 //                  [--m M] [--n N] [--check-frac F] [--spread N]
-//   randla_loadgen --cluster N [--check-stats] [flags as above]
+//   randla_loadgen --cluster N [--check-stats] [--replicate-threshold X]
+//                  [--hedge] [--drain-mid] [flags as above]
 //
 // --cluster N hosts a self-contained cluster: N forked shard servers
 // behind an in-process cluster::Router, with all load driven through
-// the router endpoint. With --check-stats the run ends by scraping the
+// the router endpoint. --replicate-threshold / --hedge arm the router's
+// availability layer (DESIGN.md §15) and the summary + JSON report then
+// carry its cost: hedges fired / won / cancelled / budget-suppressed.
+// --drain-mid live-drains the hottest shard at ~40% of the run
+// (Router::drain → CacheHandoff → ring re-point) and reports the
+// latency p99 of jobs that completed inside the drain window — the
+// availability cost of a planned decommission — as its own summary
+// line and JSON row. With --check-stats the run ends by scraping the
 // router (whose Stats fan-out merges every shard, DESIGN.md §14) *and*
 // each shard directly, then cross-checks the merged cluster rows
 // against the per-shard sums: every mergeable row (counters, histogram
@@ -87,6 +95,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cluster/hash_ring.hpp"
 #include "cluster/router.hpp"
 #include "cluster/stats_merge.hpp"
 #include "fault/injector.hpp"
@@ -120,6 +129,9 @@ struct Options {
   bool send_shutdown = false;
   bool check_stats = false;
   int cluster = 0;  ///< >0: host this many forked shards + a router
+  double replicate_threshold = 0;  ///< cluster router hot-key replication
+  bool hedge = false;              ///< cluster router latency hedging
+  bool drain_mid = false;  ///< cluster: drain the hottest shard mid-run
   std::uint64_t seed = 2026;
   std::string chaos;  ///< fault schedule DSL; non-empty = chaos mode
 };
@@ -143,6 +155,7 @@ struct JobRecord {
   std::uint8_t kind = 0;  // runtime::JobKind wire value (index into kKindNames)
   int endpoint = 0;       // index into Options::ports
   double latency_ms = 0;
+  double end_s = 0;  // completion offset from run start (drain windowing)
   int busy_retries = 0;
   bool ok = false;
   bool checked = false;
@@ -687,6 +700,8 @@ bool start_cluster(const Options& opt, ClusterHost* host) {
   ro.port = 0;
   for (std::uint16_t p : host->shard_ports)
     ro.shards.push_back({"127.0.0.1", p});
+  ro.replicate_threshold = opt.replicate_threshold;
+  ro.hedge = opt.hedge;
   host->router = std::make_unique<cluster::Router>(ro);
   return host->router->start();
 }
@@ -823,6 +838,9 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--batch-hint")) opt.batch_hint = std::atoi(need("--batch-hint"));
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(need("--seed"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cluster")) opt.cluster = std::atoi(need("--cluster"));
+    else if (!std::strcmp(argv[i], "--replicate-threshold")) opt.replicate_threshold = std::atof(need("--replicate-threshold"));
+    else if (!std::strcmp(argv[i], "--hedge")) opt.hedge = true;
+    else if (!std::strcmp(argv[i], "--drain-mid")) opt.drain_mid = true;
     else if (!std::strcmp(argv[i], "--chaos")) opt.chaos = need("--chaos");
     else if (!std::strcmp(argv[i], "--json")) json_path = need("--json");
     else if (!std::strcmp(argv[i], "--expect-busy")) opt.expect_busy = true;
@@ -831,6 +849,15 @@ int main(int argc, char** argv) {
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
   if (!opt.chaos.empty()) return run_chaos(opt);  // hosts its own loopback
+  if (opt.drain_mid && opt.cluster < 2) {
+    std::fprintf(stderr, "loadgen: --drain-mid needs --cluster >= 2\n");
+    return 2;
+  }
+  if (opt.drain_mid && opt.check_stats) {
+    std::fprintf(stderr, "loadgen: --drain-mid retires a shard, which the "
+                         "strict per-shard cross-check cannot scrape\n");
+    return 2;
+  }
   ClusterHost cluster_host;
   if (opt.cluster > 0) {
     if (!opt.ports.empty()) {
@@ -885,6 +912,7 @@ int main(int argc, char** argv) {
 
   std::vector<JobRecord> records(static_cast<std::size_t>(opt.jobs));
   std::atomic<int> next_job{0};
+  std::atomic<int> done_jobs{0};
   std::atomic<int> transport_failures{0};
   std::atomic<int> check_counter{0};
   const int check_period =
@@ -937,6 +965,10 @@ int main(int argc, char** argv) {
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - start)
               .count();
+      rec.end_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      done_jobs.fetch_add(1);
       if (res.status != net::CallStatus::Ok ||
           res.header.status != runtime::JobStatus::Done) {
         std::fprintf(stderr, "loadgen: job %d failed: %s %s %s\n", i,
@@ -961,7 +993,46 @@ int main(int argc, char** argv) {
 
   std::vector<std::thread> threads;
   for (int t = 0; t < opt.threads; ++t) threads.emplace_back(worker, t);
+
+  // --drain-mid: once the caches are warm, live-drain the shard owning
+  // the most routing keys and time the window, so the report can price
+  // the decommission (DESIGN.md §15).
+  struct DrainOutcome {
+    bool attempted = false, ok = false;
+    std::uint32_t victim = 0;
+    double t0_s = 0, t1_s = 0;
+    net::DrainSummary sum;
+  } drain_out;
+  std::thread drainer;
+  if (opt.cluster > 1 && opt.drain_mid) {
+    drain_out.attempted = true;
+    drainer = std::thread([&] {
+      const int trigger = std::max(1, (opt.jobs * 2) / 5);
+      while (done_jobs.load() < trigger)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      // Victim = the shard owning the most routing keys, from the same
+      // deterministic ring the router evaluates.
+      cluster::HashRing ring;
+      for (int s = 0; s < opt.cluster; ++s)
+        ring.add(static_cast<std::uint32_t>(s));
+      std::map<std::uint32_t, int> owned;
+      for (int i = 0; i < opt.jobs; ++i)
+        owned[*ring.owner(cluster::routing_key(build_request(opt, i)))] += 1;
+      drain_out.victim = owned.begin()->first;
+      for (const auto& [s, cnt] : owned)
+        if (cnt > owned[drain_out.victim]) drain_out.victim = s;
+      drain_out.t0_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      drain_out.ok =
+          cluster_host.router->drain(drain_out.victim, &drain_out.sum);
+      drain_out.t1_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    });
+  }
   for (auto& t : threads) t.join();
+  if (drainer.joinable()) drainer.join();
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -1007,6 +1078,33 @@ int main(int argc, char** argv) {
   std::printf("latency ms:  p50 %.1f  p90 %.1f  p99 %.1f\n", p50, p90, p99);
   std::printf("backpressure: %d busy replies honored\n", busy_events);
   std::printf("residual:    %d sampled, %d failed\n", checked, check_failed);
+
+  // Availability-layer accounting (cluster mode): what the router spent
+  // on hedges/replication, and what a mid-run drain cost the tail.
+  cluster::RouterStats rstats{};
+  std::vector<double> drain_lat;
+  if (opt.cluster > 0 && cluster_host.router) {
+    rstats = cluster_host.router->stats();
+    if (opt.hedge || opt.replicate_threshold > 0 || rstats.hedges_fired)
+      std::printf("availability: %llu hedges fired (%llu wins, %llu cancels, "
+                  "%llu budget-suppressed)\n",
+                  (unsigned long long)rstats.hedges_fired,
+                  (unsigned long long)rstats.hedge_wins,
+                  (unsigned long long)rstats.hedge_cancels,
+                  (unsigned long long)rstats.hedge_budget_exhausted);
+    if (drain_out.attempted) {
+      for (const JobRecord& r : records)
+        if (r.ok && r.end_s >= drain_out.t0_s && r.end_s <= drain_out.t1_s)
+          drain_lat.push_back(r.latency_ms);
+      std::printf("drain:       shard %u %s in %.0fms — %llu entries / %llu "
+                  "bytes handed off, window p99 %.1fms over %zu jobs\n",
+                  drain_out.victim, drain_out.ok ? "drained" : "FAILED",
+                  (drain_out.t1_s - drain_out.t0_s) * 1e3,
+                  (unsigned long long)drain_out.sum.entries,
+                  (unsigned long long)drain_out.sum.bytes,
+                  util::percentile(drain_lat, 99), drain_lat.size());
+    }
+  }
   if (num_endpoints > 1) {
     // The partition of the whole-run aggregate: each endpoint's ok
     // count, throughput share of the same wall clock, Busy-retry burden,
@@ -1091,6 +1189,24 @@ int main(int argc, char** argv) {
           .set("mean_occupancy", batches > 0 ? bjobs / batches : 0.0)
           .set("batch_hint", double(opt.batch_hint));
     }
+    if (opt.cluster > 0) {
+      // The availability cost of the run, next to the throughput it
+      // bought: hedge traffic and the drain-window latency tail.
+      auto& row = report.row("availability");
+      row.set("hedges_fired", double(rstats.hedges_fired))
+          .set("hedge_wins", double(rstats.hedge_wins))
+          .set("hedge_cancels", double(rstats.hedge_cancels))
+          .set("hedge_budget_exhausted",
+               double(rstats.hedge_budget_exhausted))
+          .set("drains_completed", double(rstats.drains_completed))
+          .set("handoff_entries", double(rstats.handoff_entries));
+      if (drain_out.attempted)
+        row.set("drain_ok", double(drain_out.ok))
+            .set("drain_victim", double(drain_out.victim))
+            .set("drain_wall_ms", (drain_out.t1_s - drain_out.t0_s) * 1e3)
+            .set("drain_window_jobs", double(drain_lat.size()))
+            .set("drain_window_p99_ms", util::percentile(drain_lat, 99));
+    }
     // One row per job kind in the mix, labeled explicitly so report
     // consumers can filter on the "kind" field instead of row names
     // (which previously covered only the original three kinds).
@@ -1156,6 +1272,12 @@ int main(int argc, char** argv) {
   if (opt.max_p99_ms > 0 && p99 > opt.max_p99_ms) {
     std::fprintf(stderr, "FAIL: p99 %.1fms exceeds bound %.1fms\n", p99,
                  opt.max_p99_ms);
+    bad = true;
+  }
+  if (drain_out.attempted && (!drain_out.ok || drain_out.sum.entries == 0)) {
+    std::fprintf(stderr, "FAIL: mid-run drain %s (%llu entries handed off)\n",
+                 drain_out.ok ? "handed off nothing" : "failed",
+                 (unsigned long long)drain_out.sum.entries);
     bad = true;
   }
   if (opt.cluster > 0) {

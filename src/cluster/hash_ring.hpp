@@ -40,8 +40,13 @@ class HashRing {
  public:
   explicit HashRing(RingOptions opts = {}) : opts_(opts) {}
 
-  /// Idempotent; inserts `vnodes` points for the shard.
-  void add(std::uint32_t shard);
+  /// Idempotent; inserts `weight × vnodes` points for the shard (so a
+  /// weight-2 shard owns ~2× the keyspace of a weight-1 one — weighted
+  /// placement for heterogeneous shards). Weights are clamped to
+  /// [0.25, 8] and every shard keeps at least one point. The point set
+  /// is still a pure function of (shard, replica), so two routers
+  /// configured with the same weights agree without coordination.
+  void add(std::uint32_t shard, double weight = 1.0);
   /// Idempotent; removes exactly this shard's points (bounded remapping).
   void remove(std::uint32_t shard);
   bool contains(std::uint32_t shard) const;

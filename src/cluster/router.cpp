@@ -4,9 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -18,6 +20,7 @@
 
 #include "cluster/hash_ring.hpp"
 #include "cluster/stats_merge.hpp"
+#include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
@@ -43,6 +46,18 @@ constexpr int kMaxPlacementTries = 4;
 /// fill is a heuristic; unbounded exact counts are not worth the RAM).
 constexpr std::size_t kMaxHotKeys = 65536;
 
+/// Time constant of the hot-key rate decay: a key must sustain its
+/// submit rate on the ~10 s scale to stay replicated, so one burst does
+/// not pin it hot forever.
+constexpr double kHotDecayTauS = 10.0;
+
+/// Hedge token-bucket burst cap: at most this many hedges can fire
+/// back-to-back after a quiet stretch, regardless of accumulated credit.
+constexpr double kHedgeBurstCap = 5.0;
+
+/// Cadence of slo_publish() refreshes feeding the hedge p99 trigger.
+constexpr double kSloRefreshS = 0.2;
+
 }  // namespace
 
 struct Router::Impl {
@@ -65,8 +80,10 @@ struct Router::Impl {
   /// RouterStats mirror stays exact; these aggregate for /metrics).
   struct ObsCounters {
     obs::Counter routed, rerouted, forward_errors, peer_fills, probes_failed,
-        membership_changes, busy_relayed;
+        membership_changes, busy_relayed, hedges_fired, hedge_wins,
+        hedge_cancels, hedge_budget_exhausted;
     obs::Gauge shards_live;
+    obs::Gauge slo_p99[obs::kNumSloKinds];  ///< hedge trigger inputs
   } obs_;
 
   // --- downstream (client side) ---------------------------------------
@@ -75,6 +92,10 @@ struct Router::Impl {
     std::uint64_t key = 0;
     std::uint64_t request_id = 0;
     std::uint64_t trace_id = 0;
+    std::uint8_t kind = 0;  ///< wire JobKind (SLO bucket for hedging)
+    /// Pre-encoded "/hedge"-tagged copy when the key's decayed rate
+    /// crossed replicate_threshold at submit time (empty = no replica).
+    std::vector<std::uint8_t> replica_frame;
   };
   struct Down {
     int fd = -1;
@@ -130,6 +151,14 @@ struct Router::Impl {
     bool discard = false;    ///< swallow result frames (peer fill)
     int reroutes = 0;
     std::vector<std::uint8_t> frame;  ///< submit frame for (re)send
+    // Hedged-pair state (DESIGN.md §15): two legs linked by `partner`
+    // race for the same client; the first ResultHeader claims it and the
+    // loser is cancelled. Determinism makes either answer *the* answer.
+    std::uint64_t partner = 0;   ///< twin exchange id (0 = sole)
+    bool hedged_copy = false;    ///< this leg is the duplicate
+    bool hedge_checked = false;  ///< latency-hedge decision already made
+    std::uint8_t kind = 0;       ///< wire JobKind (SLO bucket)
+    double started = 0;          ///< loop time the submit was queued
   };
   std::map<std::uint64_t, Exchange> exchanges;
   std::uint64_t next_x_id = 1;
@@ -138,6 +167,7 @@ struct Router::Impl {
     ShardEndpoint ep;
     fault::CircuitBreaker breaker;
     bool in_ring = false;
+    bool drained = false;  ///< planned drain done: never readmit
     std::uint64_t submits = 0;
     std::uint64_t busy = 0;
     std::uint64_t failures = 0;
@@ -148,8 +178,24 @@ struct Router::Impl {
   std::vector<ShardState> shards;
   HashRing ring;
 
-  std::unordered_map<std::uint64_t, std::uint32_t> hot;  ///< key → submits
+  /// Decayed per-key submit rate (replication trigger) plus a monotone
+  /// count (peer-fill modulo).
+  struct HotKey {
+    double rate = 0;
+    double last = 0;
+    std::uint32_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, HotKey> hot;
   std::deque<std::uint64_t> failed_ups;  ///< worklist (no recursion)
+
+  /// Hedge budget: credited per routed submit, debited per hedge fired.
+  double hedge_tokens = 0;
+  double last_slo_refresh = 0;
+
+  /// Shards whose planned drain finished (DrainReply read by the control
+  /// thread); the loop consumes this and re-points the keyshare.
+  std::mutex ctl_mu;
+  std::vector<std::uint32_t> drained_pending;
 
   std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
 
@@ -161,7 +207,7 @@ struct Router::Impl {
       s.breaker = fault::CircuitBreaker(opts.breaker);
       s.in_ring = true;
       shards.push_back(std::move(s));
-      ring.add(static_cast<std::uint32_t>(i));
+      ring.add(static_cast<std::uint32_t>(i), weight_of(i));
     }
     auto& g = obs::Registry::global();
     obs_.routed =
@@ -180,6 +226,20 @@ struct Router::Impl {
         g.counter("cluster_busy_relayed_total", "shard Busy hints forwarded");
     obs_.shards_live = g.gauge("cluster_shards_live", "shards in the ring");
     obs_.shards_live.set(double(shards.size()));
+    obs_.hedges_fired = g.counter("cluster_hedges_fired_total",
+                                  "replica + latency hedge legs launched");
+    obs_.hedge_wins = g.counter("cluster_hedge_wins_total",
+                                "hedged legs that delivered the result");
+    obs_.hedge_cancels = g.counter("cluster_hedge_cancels_total",
+                                   "losing hedge legs sent a Cancel");
+    obs_.hedge_budget_exhausted =
+        g.counter("cluster_hedge_budget_exhausted_total",
+                  "latency hedges suppressed by the token bucket");
+    for (int k = 0; k < obs::kNumSloKinds; ++k)
+      obs_.slo_p99[k] = g.gauge(
+          std::string("slo_p99_seconds{kind=\"") + obs::slo_kind_name(k) +
+              "\"}",
+          "rolling p99 latency per job kind");
   }
 
   double now() const {
@@ -233,7 +293,18 @@ struct Router::Impl {
   void process_failed_ups();
   void handle_one_up_failure(std::uint64_t uid);
 
+  // Hedging / replication (DESIGN.md §15).
+  void start_replica(std::uint64_t primary_xid, std::vector<std::uint8_t> frame);
+  void cancel_leg(std::uint64_t xid);
+  void maybe_hedge(double t);
+  void cancel_discard_exchanges();
+
+  // Planned drain.
+  bool drain_shard(std::uint32_t shard, net::DrainSummary* out);
+  void retire_shard(std::uint32_t shard);
+
   // Membership.
+  double weight_of(std::size_t i) const;
   void shard_failure(std::uint32_t shard);
   void probe_ok(std::uint32_t shard);
   void maybe_probe(double t);
@@ -320,6 +391,57 @@ void Router::wait() {
   }
 }
 
+bool Router::drain(std::uint32_t shard, net::DrainSummary* summary) {
+  return impl_->drain_shard(shard, summary);
+}
+
+/// Planned drain, run on the caller's thread: the Drain round-trip is a
+/// blocking client exchange against the victim shard, and only its
+/// *outcome* crosses into the event loop (via drained_pending + wake
+/// byte). The successor is computed from the loop's last membership
+/// snapshot — placement is a pure function of (members, weights), so a
+/// locally rebuilt ring coincides with the loop's without touching it.
+bool Router::Impl::drain_shard(std::uint32_t shard, net::DrainSummary* out) {
+  if (!loop_alive.load() || shard >= shards.size()) return false;
+  HashRing local{RingOptions{opts.vnodes}};
+  {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    for (const ShardView& v : views_snapshot)
+      if (v.in_ring) local.add(v.shard, weight_of(v.shard));
+  }
+  if (!local.contains(shard)) return false;
+  net::DrainRequest d;
+  if (const auto succ = local.successor(ring_point(shard, 0))) {
+    d.host = shards[*succ].ep.host;
+    d.port = shards[*succ].ep.port;
+  }
+  // No successor (single-shard ring): the victim still drains, it just
+  // has nowhere to hand its warmth — d.port stays 0 and the shard skips
+  // the handoff stream.
+  net::ClientOptions co;
+  co.host = shards[shard].ep.host;
+  co.port = shards[shard].ep.port;
+  co.recv_timeout_s = 30;  // handoff streams whole caches; be patient
+  net::Client c(co);
+  if (!c.connect()) return false;
+  const auto sum = c.drain(d);
+  if (!sum) return false;
+  if (out) *out = *sum;
+  bump(&RouterStats::drains_completed);
+  bump(&RouterStats::handoff_entries, sum->entries);
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu);
+    drained_pending.push_back(shard);
+  }
+  std::lock_guard<std::mutex> lk(join_mu);
+  if (wake_w >= 0) {
+    const char b = 1;
+    ssize_t ignored = write(wake_w, &b, 1);
+    (void)ignored;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------
 // Event loop.
 
@@ -327,6 +449,16 @@ void Router::Impl::loop() {
   bool draining = false;
   double drain_start = 0;
   for (;;) {
+    // Planned drains completed by the control thread: re-point the
+    // keyshare now that the DrainReply proved the cache handoff done.
+    {
+      std::vector<std::uint32_t> done;
+      {
+        std::lock_guard<std::mutex> lk(ctl_mu);
+        done.swap(drained_pending);
+      }
+      for (const std::uint32_t shard : done) retire_shard(shard);
+    }
     if (stop_requested.load() && !draining) {
       draining = true;
       drain_start = now();
@@ -334,6 +466,10 @@ void Router::Impl::loop() {
         close(listen_fd);
         listen_fd = -1;
       }
+      // Detached duplicate work (peer fills, losing hedge legs) would
+      // otherwise hold the drain open and then be torn down as forward
+      // errors at the timeout; cancel it cleanly instead.
+      cancel_discard_exchanges();
     }
     if (draining) {
       bool pending_writes = false;
@@ -415,6 +551,13 @@ void Router::Impl::loop() {
 
     const double t = now();
     if (!draining) maybe_probe(t);
+    if (!draining && opts.hedge) {
+      if (t - last_slo_refresh > kSloRefreshS) {
+        obs::slo_publish();  // refresh the p99 gauges the trigger reads
+        last_slo_refresh = t;
+      }
+      maybe_hedge(t);
+    }
     check_fanouts(t);
 
     // Close flushed-poisoned and idle downstream conns.
@@ -620,14 +763,35 @@ void Router::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* frame,
   ps.key = routing_key(*req);
   ps.request_id = req->request_id;
   ps.trace_id = req->trace_id;
+  ps.kind = static_cast<std::uint8_t>(req->kind);
 
-  // Peer-fill bookkeeping: every `threshold`-th routed submit of a key
-  // re-warms the successor shard's caches with a duplicated request.
-  if (opts.peer_fill_threshold > 0) {
+  // Routed traffic earns hedge credit: the token bucket bounds latency
+  // hedges at ~hedge_budget_ratio of submits, burst-capped.
+  if (opts.hedge)
+    hedge_tokens = std::min(hedge_tokens + opts.hedge_budget_ratio,
+                            kHedgeBurstCap);
+
+  // Hot-key bookkeeping: a monotone count drives peer fill (every
+  // `threshold`-th submit re-warms the successor's caches) and a decayed
+  // rate drives replicated execution (a sustained-hot key runs on both
+  // owner and successor, first result wins).
+  if (opts.peer_fill_threshold > 0 || opts.replicate_threshold > 0) {
     if (hot.size() > kMaxHotKeys) hot.clear();
-    const std::uint32_t n = ++hot[ps.key];
-    if (n % static_cast<std::uint32_t>(opts.peer_fill_threshold) == 0)
+    HotKey& h = hot[ps.key];
+    const double t = now();
+    if (h.last > 0) h.rate *= std::exp(-(t - h.last) / kHotDecayTauS);
+    h.rate += 1.0;
+    h.last = t;
+    h.count += 1;
+    if (opts.peer_fill_threshold > 0 &&
+        h.count % static_cast<std::uint32_t>(opts.peer_fill_threshold) == 0)
       start_peer_fill(*req, ps.key);
+    if (opts.replicate_threshold > 0 && h.rate >= opts.replicate_threshold &&
+        ring.size() >= 2) {
+      net::JobRequest copy = *req;
+      copy.tag += "/hedge";  // telemetry marks the duplicate as intentional
+      ps.replica_frame = net::encode_submit(copy);
+    }
   }
 
   if (d.active_x != 0) {
@@ -667,6 +831,13 @@ net::StatsReply Router::Impl::local_stats() {
   m.emplace_back("router_peer_fills", double(st.peer_fills));
   m.emplace_back("router_probes_ok", double(st.probes_ok));
   m.emplace_back("router_probes_failed", double(st.probes_failed));
+  m.emplace_back("router_hedges_fired", double(st.hedges_fired));
+  m.emplace_back("router_hedge_wins", double(st.hedge_wins));
+  m.emplace_back("router_hedge_cancels", double(st.hedge_cancels));
+  m.emplace_back("router_hedge_budget_exhausted",
+                 double(st.hedge_budget_exhausted));
+  m.emplace_back("router_drains_completed", double(st.drains_completed));
+  m.emplace_back("router_handoff_entries", double(st.handoff_entries));
   m.emplace_back("cluster_membership_changes", double(st.membership_changes));
   m.emplace_back("cluster_shards_total", double(shards.size()));
   m.emplace_back("cluster_shards_live", double(ring.size()));
@@ -866,6 +1037,8 @@ void Router::Impl::start_exchange(std::uint64_t cid, PendingSubmit ps) {
   x.key = ps.key;
   x.request_id = ps.request_id;
   x.trace_id = ps.trace_id;
+  x.kind = ps.kind;
+  x.started = now();
   x.frame = std::move(ps.frame);
   exchanges.emplace(xid, std::move(x));
   downs[cid].active_x = xid;
@@ -877,6 +1050,137 @@ void Router::Impl::start_exchange(std::uint64_t cid, PendingSubmit ps) {
       downs[cid].active_x = 0;
       drop_down(cid);
       bump(&RouterStats::clients_dropped);
+    }
+    return;
+  }
+  if (!ps.replica_frame.empty())
+    start_replica(xid, std::move(ps.replica_frame));
+}
+
+/// Launch the duplicate leg of a hedged pair on the key's successor and
+/// link the two exchanges. Safe to skip silently: the primary is already
+/// placed, so a replica that cannot bind just means no hedge this time.
+void Router::Impl::start_replica(std::uint64_t primary_xid,
+                                 std::vector<std::uint8_t> frame) {
+  auto pit = exchanges.find(primary_xid);
+  if (pit == exchanges.end()) return;
+  const auto succ = ring.successor(pit->second.key);
+  if (!succ || *succ == pit->second.shard) return;
+  const std::uint64_t xid = next_x_id++;
+  Exchange x;
+  x.down = 0;
+  x.discard = true;  // until it wins the race, its frames are noise
+  x.hedged_copy = true;
+  x.partner = primary_xid;
+  x.key = pit->second.key;
+  x.request_id = pit->second.request_id;
+  x.trace_id = pit->second.trace_id;
+  x.kind = pit->second.kind;
+  x.started = now();
+  x.frame = std::move(frame);
+  exchanges.emplace(xid, std::move(x));
+  if (!bind_to_shard(xid, *succ)) {
+    exchanges.erase(xid);
+    return;
+  }
+  Exchange& p = exchanges[primary_xid];
+  p.partner = xid;
+  p.hedge_checked = true;  // a replicated pair never latency-hedges too
+  bump(&RouterStats::hedges_fired);
+  obs_.hedges_fired.inc();
+  obs::Recorder::global().record(
+      obs::EventKind::HedgeFired, exchanges[primary_xid].request_id,
+      exchanges[primary_xid].trace_id,
+      static_cast<std::int64_t>(exchanges[primary_xid].shard),
+      static_cast<std::int64_t>(*succ));
+}
+
+/// Cancel the losing leg of a hedged pair: advisory Cancel to its shard
+/// (the job may be dequeued before it runs), then let the leg drain as a
+/// pure discard — its terminal frame releases the upstream conn while
+/// keeping the conn frame-aligned.
+void Router::Impl::cancel_leg(std::uint64_t xid) {
+  auto it = exchanges.find(xid);
+  if (it == exchanges.end()) return;
+  Exchange& x = it->second;
+  x.partner = 0;
+  x.down = 0;
+  x.discard = true;
+  if (x.up != 0) {
+    auto uit = ups.find(x.up);
+    if (uit != ups.end()) {
+      Up& u = uit->second;
+      const auto frame = net::encode_cancel(x.request_id);
+      if (u.woff > 0) {
+        u.wbuf.erase(u.wbuf.begin(), u.wbuf.begin() + u.woff);
+        u.woff = 0;
+      }
+      u.wbuf.insert(u.wbuf.end(), frame.begin(), frame.end());
+    }
+  }
+  bump(&RouterStats::hedge_cancels);
+  obs_.hedge_cancels.inc();
+  obs::Recorder::global().record(obs::EventKind::HedgeCancelled, x.request_id,
+                                 x.trace_id,
+                                 static_cast<std::int64_t>(x.shard));
+}
+
+/// Latency hedging: a sole client-facing exchange whose owner has been
+/// silent past the kind's observed p99 gets one duplicate on the
+/// successor, paid for from the token bucket. One decision per exchange
+/// (hedge_checked), so a slow job is hedged at most once.
+void Router::Impl::maybe_hedge(double t) {
+  if (ring.size() < 2) return;
+  std::vector<std::uint64_t> due;
+  for (auto& [xid, x] : exchanges) {
+    if (x.down == 0 || x.discard || x.hedged_copy || x.partner != 0 ||
+        x.hedge_checked || x.forwarded)
+      continue;
+    const int kind = std::min<int>(x.kind, obs::kNumSloKinds - 1);
+    const double trigger =
+        std::max(obs_.slo_p99[kind].value(), opts.hedge_floor_s);
+    if (t - x.started < trigger) continue;
+    x.hedge_checked = true;
+    if (hedge_tokens < 1.0) {
+      bump(&RouterStats::hedge_budget_exhausted);
+      obs_.hedge_budget_exhausted.inc();
+      continue;
+    }
+    hedge_tokens -= 1.0;
+    due.push_back(xid);
+  }
+  for (const std::uint64_t xid : due) {
+    auto it = exchanges.find(xid);
+    if (it == exchanges.end()) continue;
+    auto req = net::decode_submit(it->second.frame.data() + net::kHeaderBytes,
+                                  it->second.frame.size() - net::kHeaderBytes);
+    if (!req) continue;  // we encoded it; cannot happen, but stay safe
+    req->tag += "/hedge";
+    start_replica(xid, net::encode_submit(*req));
+  }
+}
+
+/// Drain hygiene: detached duplicate legs (peer fills, cancelled hedge
+/// copies) only exist to warm caches — at router drain they are torn
+/// down outright so they neither hold the drain window open nor get
+/// miscounted as forward errors when their conns close under them.
+void Router::Impl::cancel_discard_exchanges() {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [xid, x] : exchanges)
+    if (x.discard && x.down == 0) doomed.push_back(xid);
+  for (const std::uint64_t xid : doomed) {
+    auto it = exchanges.find(xid);
+    if (it == exchanges.end()) continue;
+    Exchange& x = it->second;
+    if (x.partner != 0) {
+      auto pit = exchanges.find(x.partner);
+      if (pit != exchanges.end()) pit->second.partner = 0;
+    }
+    const std::uint64_t uid = x.up;
+    exchanges.erase(it);
+    if (uid != 0 && ups.count(uid)) {
+      ups[uid].x = 0;
+      close_up(uid);  // mid-exchange conn: not pool-reusable
     }
   }
 }
@@ -1088,6 +1392,48 @@ bool Router::Impl::handle_up_frame(std::uint64_t uid,
   if (xit == exchanges.end()) return false;
   Exchange& x = xit->second;
 
+  // Hedged pair (DESIGN.md §15): the first ResultHeader on either leg
+  // resolves the race. Determinism (Philox-seeded placement and
+  // execution) makes both replicas' answers bit-identical, so whichever
+  // leg answers first simply *is* the result; the loser gets a Cancel
+  // and drains as a discard. A Busy/Error on one leg while its twin
+  // still races is swallowed — the twin inherits the client.
+  if (x.partner != 0) {
+    const std::uint64_t pid = x.partner;
+    auto pit = exchanges.find(pid);
+    if (pit == exchanges.end()) {
+      x.partner = 0;
+    } else if (hdr.type == net::FrameType::ResultHeader) {
+      Exchange& p = pit->second;
+      if (x.hedged_copy) {
+        // The duplicate won: it inherits the client; the primary
+        // becomes the discard leg about to be cancelled.
+        x.down = p.down;
+        x.discard = p.discard;
+        if (x.down != 0 && downs.count(x.down)) downs[x.down].active_x = u.x;
+        p.down = 0;
+        p.discard = true;
+      }
+      x.partner = 0;
+      cancel_leg(pid);
+    } else if (hdr.type == net::FrameType::Busy ||
+               hdr.type == net::FrameType::Error) {
+      Exchange& p = pit->second;
+      if (hdr.type == net::FrameType::Busy) shards[u.shard].busy += 1;
+      if (!x.discard && x.down != 0) {
+        p.down = x.down;
+        p.discard = false;
+        if (downs.count(p.down)) downs[p.down].active_x = pid;
+        x.down = 0;
+        x.discard = true;
+      }
+      p.partner = 0;
+      x.partner = 0;
+      finish_exchange(u.x);
+      return true;
+    }
+  }
+
   switch (hdr.type) {
     case net::FrameType::ResultHeader:
     case net::FrameType::ResultChunk:
@@ -1101,6 +1447,12 @@ bool Router::Impl::handle_up_frame(std::uint64_t uid,
       // never observes a stats scrape missing it.
       if (!x.discard && x.down != 0) {
         bump(&RouterStats::results_relayed);
+        if (x.hedged_copy) {
+          bump(&RouterStats::hedge_wins);
+          obs_.hedge_wins.inc();
+        }
+        obs::slo_observe(std::min<int>(x.kind, obs::kNumSloKinds - 1),
+                         now() - x.started, /*ok=*/true);
         relay_down(x.down, frame, frame_len);
       }
       x.forwarded = true;
@@ -1123,6 +1475,8 @@ bool Router::Impl::handle_up_frame(std::uint64_t uid,
     case net::FrameType::Error:
       if (!x.discard && x.down != 0) {
         bump(&RouterStats::errors_relayed);
+        obs::slo_observe(std::min<int>(x.kind, obs::kNumSloKinds - 1),
+                         now() - x.started, /*ok=*/false);
         relay_down(x.down, frame, frame_len);
       }
       x.forwarded = true;
@@ -1228,7 +1582,35 @@ void Router::Impl::handle_one_up_failure(std::uint64_t uid) {
   obs_.forward_errors.inc();
   shard_failure(shard);
 
-  if (x.discard) {  // peer fill: nothing depends on it
+  if (x.partner != 0) {
+    // One leg of a hedged pair died; the pair absorbs the failure.
+    const std::uint64_t pid = x.partner;
+    auto pit = exchanges.find(pid);
+    x.partner = 0;
+    if (pit != exchanges.end()) {
+      Exchange& p = pit->second;
+      p.partner = 0;
+      if (x.down == 0 || x.discard) {
+        // The losing/detached leg died: the pair degrades to a sole leg.
+        finish_exchange(xid);
+        return;
+      }
+      if (!x.forwarded) {
+        // Client-facing leg died before relaying anything: the twin
+        // inherits the client seamlessly.
+        p.down = x.down;
+        p.discard = false;
+        if (downs.count(p.down)) downs[p.down].active_x = pid;
+        x.down = 0;
+        finish_exchange(xid);
+        return;
+      }
+      // Half-forwarded: fall through to the drop path (the twin keeps
+      // draining as a discard leg).
+    }
+  }
+
+  if (x.discard) {  // peer fill / losing hedge leg: nothing depends on it
     finish_exchange(xid);
     return;
   }
@@ -1255,6 +1637,31 @@ void Router::Impl::handle_one_up_failure(std::uint64_t uid) {
 
 // ---------------------------------------------------------------------
 // Membership.
+
+double Router::Impl::weight_of(std::size_t i) const {
+  if (i < opts.weights.size() && opts.weights[i] > 0) return opts.weights[i];
+  return 1.0;
+}
+
+/// Keyshare re-point after a completed planned drain: the shard leaves
+/// the ring for good (drained shards are never probed back in — the
+/// process is exiting) while its in-flight exchanges keep streaming,
+/// because the shard finishes those jobs before it goes.
+void Router::Impl::retire_shard(std::uint32_t shard) {
+  if (shard >= shards.size()) return;
+  ShardState& s = shards[shard];
+  s.drained = true;
+  if (!s.in_ring) return;
+  ring.remove(shard);
+  s.in_ring = false;
+  bump(&RouterStats::membership_changes);
+  obs_.membership_changes.inc();
+  obs_.shards_live.set(double(ring.size()));
+  obs::Recorder::global().record(obs::EventKind::ShardDrained, 0, 0, shard,
+                                 static_cast<std::int64_t>(ring.size()));
+  for (const std::uint64_t uid : std::vector<std::uint64_t>(s.idle))
+    close_up(uid);
+}
 
 void Router::Impl::shard_failure(std::uint32_t shard) {
   ShardState& s = shards[shard];
@@ -1283,8 +1690,8 @@ void Router::Impl::shard_failure(std::uint32_t shard) {
 void Router::Impl::probe_ok(std::uint32_t shard) {
   ShardState& s = shards[shard];
   s.breaker.record_success();
-  if (!s.in_ring) {
-    ring.add(shard);
+  if (!s.in_ring && !s.drained) {
+    ring.add(shard, weight_of(shard));
     s.in_ring = true;
     bump(&RouterStats::membership_changes);
     obs_.membership_changes.inc();
@@ -1297,6 +1704,7 @@ void Router::Impl::probe_ok(std::uint32_t shard) {
 void Router::Impl::maybe_probe(double t) {
   for (std::size_t i = 0; i < shards.size(); ++i) {
     ShardState& s = shards[i];
+    if (s.drained) continue;  // exiting on purpose; don't probe it back
     if (s.probing_uid != 0) {
       auto it = ups.find(s.probing_uid);
       if (it == ups.end()) {

@@ -38,6 +38,24 @@
 // successor shard with a "/peerfill" tag suffix and its result frames
 // discarded — failover for hot fingerprints then lands on a warm result
 // cache instead of a cold recompute.
+//
+// Availability layer (DESIGN.md §15):
+//  - Hot-key replicated execution: a key whose decayed submit rate
+//    crosses `replicate_threshold` is forwarded to BOTH the ring owner
+//    and its successor; the first ResultHeader claims the client and the
+//    loser is cancelled with the protocol v6 Cancel verb. Safe because
+//    placement and execution are deterministic (Philox-seeded): both
+//    replicas compute bit-identical factors, so whichever answers first
+//    is *the* answer.
+//  - Latency hedging: a non-replicated exchange whose owner has been
+//    silent past the kind's observed p99 (the router's own slo_*
+//    gauges) fires one hedge to the successor, bounded by a token
+//    bucket refilled at `hedge_budget_ratio` per routed submit so
+//    hedges never exceed that fraction of traffic.
+//  - Planned drain: Router::drain() orders a shard to stream its cache
+//    warmth to its ring successor (CacheHandoff frames), waits for the
+//    DrainReply, and only then re-points the keyshare — zero jobs and
+//    zero cache warmth lost.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +64,7 @@
 #include <vector>
 
 #include "fault/breaker.hpp"
+#include "net/protocol.hpp"
 
 namespace randla::cluster {
 
@@ -79,6 +98,23 @@ struct RouterOptions {
   /// Routed submits of one key before the next one is duplicated to the
   /// successor shard (0 disables peer fill).
   int peer_fill_threshold = 0;
+  /// Hot-key replicated execution: a key whose decayed submit rate
+  /// (exponential decay, ~10 s time constant) reaches this value is
+  /// executed on both owner and successor, first result wins (0 = off).
+  double replicate_threshold = 0;
+  /// Latency hedging: fire one hedge to the successor when the owner has
+  /// been silent past max(kind p99, hedge_floor_s).
+  bool hedge = false;
+  /// Token-bucket refill per routed submit; a hedge costs one token, so
+  /// hedge traffic is bounded at ~this fraction of submits.
+  double hedge_budget_ratio = 0.05;
+  /// Never hedge before this much elapsed time (guards cold-start p99=0).
+  double hedge_floor_s = 0.05;
+  /// Per-shard ring weights for heterogeneous shards (index = shard id;
+  /// missing/non-positive entries mean 1.0). A weight-2 shard owns ~2×
+  /// the keyspace. Both routers of a redundant pair must agree on these
+  /// for their pure-function rings to coincide.
+  std::vector<double> weights;
 };
 
 struct RouterStats {
@@ -97,6 +133,12 @@ struct RouterStats {
   std::uint64_t probes_ok = 0;
   std::uint64_t probes_failed = 0;
   std::uint64_t membership_changes = 0;  ///< ring evictions + readmissions
+  std::uint64_t hedges_fired = 0;        ///< replica + latency hedge legs
+  std::uint64_t hedge_wins = 0;          ///< hedged leg delivered the result
+  std::uint64_t hedge_cancels = 0;       ///< losing legs sent a Cancel
+  std::uint64_t hedge_budget_exhausted = 0;  ///< hedges suppressed by budget
+  std::uint64_t drains_completed = 0;    ///< planned drains (handoff done)
+  std::uint64_t handoff_entries = 0;     ///< cache entries moved by drains
 };
 
 /// Live routing state of one shard (Stats exposition + tests).
@@ -131,6 +173,14 @@ class Router {
   std::vector<ShardView> shard_views() const;
   /// Shard ids currently in the ring.
   std::vector<std::uint32_t> live_shards() const;
+
+  /// Planned drain of `shard` (DESIGN.md §15): order it to stream its
+  /// cache warmth to its ring successor, block until the DrainReply
+  /// proves the handoff complete, then re-point the keyshare away from
+  /// it (it finishes in-flight jobs and exits on its own). Callable from
+  /// any thread while the router runs; false when the shard id is
+  /// unknown, already out of the ring, or the drain round-trip fails.
+  bool drain(std::uint32_t shard, net::DrainSummary* summary = nullptr);
 
  private:
   struct Impl;

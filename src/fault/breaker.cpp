@@ -30,7 +30,28 @@ const char* breaker_state_name(BreakerState s) {
   return "?";
 }
 
+CircuitBreaker::CircuitBreaker(const CircuitBreaker& o) {
+  std::lock_guard<std::mutex> lk(o.mu_);
+  opts_ = o.opts_;
+  state_ = o.state_;
+  failures_ = o.failures_;
+  opened_at_s_ = o.opened_at_s_;
+  probe_inflight_ = o.probe_inflight_;
+}
+
+CircuitBreaker& CircuitBreaker::operator=(const CircuitBreaker& o) {
+  if (this == &o) return *this;
+  std::scoped_lock lk(mu_, o.mu_);
+  opts_ = o.opts_;
+  state_ = o.state_;
+  failures_ = o.failures_;
+  opened_at_s_ = o.opened_at_s_;
+  probe_inflight_ = o.probe_inflight_;
+  return *this;
+}
+
 bool CircuitBreaker::allow(double now_s) {
+  std::lock_guard<std::mutex> lk(mu_);
   switch (state_) {
     case BreakerState::Closed:
       return true;
@@ -42,7 +63,10 @@ bool CircuitBreaker::allow(double now_s) {
       [[fallthrough]];
     case BreakerState::HalfOpen:
       // One probe at a time: the first caller through gets to test the
-      // endpoint; the verdict arrives via record_success/failure.
+      // endpoint; the verdict arrives via record_success/failure. The
+      // check-and-claim happens under mu_, so concurrent callers racing
+      // into a HalfOpen breaker admit exactly one probe — the rest stay
+      // held back as if still Open.
       if (probe_inflight_) return false;
       probe_inflight_ = true;
       return true;
@@ -51,6 +75,7 @@ bool CircuitBreaker::allow(double now_s) {
 }
 
 void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lk(mu_);
   failures_ = 0;
   probe_inflight_ = false;
   if (state_ != BreakerState::Closed)
@@ -59,6 +84,7 @@ void CircuitBreaker::record_success() {
 }
 
 void CircuitBreaker::record_failure(double now_s) {
+  std::lock_guard<std::mutex> lk(mu_);
   probe_inflight_ = false;
   if (state_ == BreakerState::HalfOpen) {
     // Failed probe: straight back to Open, restart the cooldown.
@@ -75,7 +101,13 @@ void CircuitBreaker::record_failure(double now_s) {
   }
 }
 
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failures_;
+}
+
 BreakerState CircuitBreaker::state(double now_s) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (state_ == BreakerState::Open &&
       now_s - opened_at_s_ >= opts_.open_cooldown_s)
     return BreakerState::HalfOpen;
@@ -83,6 +115,7 @@ BreakerState CircuitBreaker::state(double now_s) const {
 }
 
 double CircuitBreaker::retry_in(double now_s) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (state_ != BreakerState::Open) return 0;
   return std::max(0.0, opts_.open_cooldown_s - (now_s - opened_at_s_));
 }

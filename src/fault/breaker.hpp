@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 namespace randla::fault {
 
@@ -31,11 +32,19 @@ struct BreakerOptions {
 enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
 const char* breaker_state_name(BreakerState s);
 
-/// Not thread-safe: one breaker per (client, endpoint), like net::Client
-/// itself. `now_s` is any monotonically nondecreasing clock in seconds.
+/// Thread-safe: callers may share one breaker across threads (the
+/// cluster router's per-shard breakers are consulted from probe and
+/// forward paths alike). All state sits behind one mutex, so a HalfOpen
+/// breaker admits exactly ONE concurrent probe — the old check-then-set
+/// on a plain bool let every racing caller through, stampeding a
+/// recovering endpoint. Copyable (net::Client re-options its breaker by
+/// assignment); copying snapshots the source's state, it does not share
+/// it. `now_s` is any monotonically nondecreasing clock in seconds.
 class CircuitBreaker {
  public:
   explicit CircuitBreaker(BreakerOptions opts = {}) : opts_(opts) {}
+  CircuitBreaker(const CircuitBreaker& o);
+  CircuitBreaker& operator=(const CircuitBreaker& o);
 
   /// May this call proceed? Open transitions to HalfOpen (and admits
   /// exactly one probe) once the cooldown has elapsed.
@@ -44,7 +53,7 @@ class CircuitBreaker {
   void record_failure(double now_s);
 
   BreakerState state(double now_s) const;
-  int consecutive_failures() const { return failures_; }
+  int consecutive_failures() const;
   /// Seconds until an Open breaker admits a probe (0 when not Open).
   double retry_in(double now_s) const;
 
@@ -52,6 +61,7 @@ class CircuitBreaker {
 
  private:
   BreakerOptions opts_;
+  mutable std::mutex mu_;
   BreakerState state_ = BreakerState::Closed;
   int failures_ = 0;
   double opened_at_s_ = 0;

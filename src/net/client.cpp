@@ -130,6 +130,26 @@ bool Client::send_shutdown() {
   return send_raw(frame.data(), frame.size());
 }
 
+std::optional<DrainSummary> Client::drain(const DrainRequest& d) {
+  const auto frame = encode_drain(d);
+  if (!send_raw(frame.data(), frame.size())) return std::nullopt;
+  // The reply lands only after the shard has streamed its caches to the
+  // successor, so this blocks for the whole handoff (bounded by the
+  // receive timeout per recv, not overall — handoffs make progress or
+  // die, they do not stall).
+  for (;;) {
+    FrameHeader hdr;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(&hdr, &payload)) return std::nullopt;
+    if (hdr.type == FrameType::Pong) continue;  // stale pipelined pong
+    if (hdr.type != FrameType::DrainReply) {
+      last_error_ = "expected drain_reply";
+      return std::nullopt;
+    }
+    return decode_drain_reply(payload.data(), payload.size());
+  }
+}
+
 double Client::mono_s() const {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())

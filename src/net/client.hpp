@@ -106,6 +106,11 @@ class Client {
   bool ping(std::uint64_t nonce = 1);
   /// Ask the server to drain and exit (needs allow_remote_shutdown).
   bool send_shutdown();
+  /// Planned drain (needs allow_remote_shutdown): the shard streams its
+  /// cache warmth to the named successor, answers with the handoff
+  /// accounting, then finishes in-flight jobs and exits. Blocks until
+  /// the DrainReply (i.e. until the handoff is complete).
+  std::optional<DrainSummary> drain(const DrainRequest& d);
 
   /// Test hook: write arbitrary bytes to the socket (adversarial frames).
   bool send_raw(const void* data, std::size_t n);

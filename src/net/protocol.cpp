@@ -44,6 +44,10 @@ const char* frame_type_name(FrameType t) {
     case FrameType::HealthReply: return "health_reply";
     case FrameType::Dump: return "dump";
     case FrameType::DumpReply: return "dump_reply";
+    case FrameType::Cancel: return "cancel";
+    case FrameType::Drain: return "drain";
+    case FrameType::CacheHandoff: return "cache_handoff";
+    case FrameType::DrainReply: return "drain_reply";
   }
   return "?";
 }
@@ -65,6 +69,10 @@ bool valid_frame_type(std::uint8_t t) {
     case FrameType::HealthReply:
     case FrameType::Dump:
     case FrameType::DumpReply:
+    case FrameType::Cancel:
+    case FrameType::Drain:
+    case FrameType::CacheHandoff:
+    case FrameType::DrainReply:
       return true;
   }
   return false;
@@ -685,6 +693,165 @@ std::optional<std::string> decode_dump_reply(const std::uint8_t* payload,
   std::string json = r.blob(n);
   if (!r.done()) return std::nullopt;
   return json;
+}
+
+// ---------------------------------------------------------------------
+// Cancel / Drain / CacheHandoff (v6, DESIGN.md §15)
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id) {
+  Writer w;
+  w.u64(request_id);
+  return encode_frame(FrameType::Cancel, w.bytes());
+}
+
+std::optional<std::uint64_t> decode_cancel(const std::uint8_t* payload,
+                                           std::size_t size) {
+  Reader r(payload, size);
+  const std::uint64_t id = r.u64();
+  if (!r.done()) return std::nullopt;
+  return id;
+}
+
+std::vector<std::uint8_t> encode_drain(const DrainRequest& d) {
+  Writer w;
+  w.str(d.host.substr(0, kMaxHostBytes));
+  w.u16(d.port);
+  return encode_frame(FrameType::Drain, w.bytes());
+}
+
+std::optional<DrainRequest> decode_drain(const std::uint8_t* payload,
+                                         std::size_t size) {
+  Reader r(payload, size);
+  DrainRequest d;
+  d.host = r.str(kMaxHostBytes);
+  d.port = r.u16();
+  if (!r.done()) return std::nullopt;
+  if (d.port != 0 && d.host.empty()) return std::nullopt;
+  return d;
+}
+
+std::vector<std::uint8_t> encode_drain_reply(const DrainSummary& s) {
+  Writer w;
+  w.u64(s.entries);
+  w.u64(s.bytes);
+  w.u64(s.skipped);
+  w.u32(s.inflight);
+  return encode_frame(FrameType::DrainReply, w.bytes());
+}
+
+std::optional<DrainSummary> decode_drain_reply(const std::uint8_t* payload,
+                                               std::size_t size) {
+  Reader r(payload, size);
+  DrainSummary s;
+  s.entries = r.u64();
+  s.bytes = r.u64();
+  s.skipped = r.u64();
+  s.inflight = r.u32();
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+std::vector<std::uint8_t> encode_cache_handoff(const CacheHandoffEntry& e) {
+  // Reject before building the frame: the caller skips (and counts) an
+  // entry that cannot fit rather than shipping an undecodable frame.
+  std::size_t payload = 8 * 4 + 4 * 7 + 4 + 1 + 1 + 1 + 1 + 1 + 1;
+  for (const auto& [name, m] : e.tensors)
+    payload += 2 + name.size() + 8 +
+               std::size_t(m.rows()) * std::size_t(m.cols()) * 8;
+  payload += 4 + e.perm.size() * 4 + 1 + e.scalars.size() * 8;
+  if (payload > kMaxFrameBytes || e.tensors.size() > kMaxHandoffTensors ||
+      e.scalars.size() > kMaxHandoffScalars)
+    return {};
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(e.cache_kind));
+  w.u64(e.fp_hi);
+  w.u64(e.fp_lo);
+  w.u64(e.seed);
+  w.u32(static_cast<std::uint32_t>(e.q));
+  w.u8(e.sampling);
+  w.u8(e.power_ortho);
+  w.u32(static_cast<std::uint32_t>(e.k));
+  w.u32(static_cast<std::uint32_t>(e.p));
+  w.u32(static_cast<std::uint32_t>(e.qrcp_block));
+  w.u32(static_cast<std::uint32_t>(e.block));
+  w.u32(static_cast<std::uint32_t>(e.oversample));
+  w.u32(static_cast<std::uint32_t>(e.max_rank));
+  w.u64(e.eps_bits);
+  w.u8(e.relative ? 1 : 0);
+  w.u8(e.want_q ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(e.tensors.size()));
+  for (const auto& [name, m] : e.tensors) {
+    w.str(name.substr(0, 16));
+    w.u32(static_cast<std::uint32_t>(m.rows()));
+    w.u32(static_cast<std::uint32_t>(m.cols()));
+    for (index_t j = 0; j < m.cols(); ++j)
+      for (index_t i = 0; i < m.rows(); ++i) w.f64(m(i, j));
+  }
+  w.u32(static_cast<std::uint32_t>(e.perm.size()));
+  for (index_t v : e.perm) w.u32(static_cast<std::uint32_t>(v));
+  w.u8(static_cast<std::uint8_t>(e.scalars.size()));
+  for (double v : e.scalars) w.f64(v);
+  return encode_frame(FrameType::CacheHandoff, w.bytes());
+}
+
+std::optional<CacheHandoffEntry> decode_cache_handoff(
+    const std::uint8_t* payload, std::size_t size) {
+  Reader r(payload, size);
+  CacheHandoffEntry e;
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() || kind > 2) return std::nullopt;
+  e.cache_kind = static_cast<HandoffKind>(kind);
+  e.fp_hi = r.u64();
+  e.fp_lo = r.u64();
+  e.seed = r.u64();
+  e.q = r.u32();
+  e.sampling = r.u8();
+  e.power_ortho = r.u8();
+  e.k = r.u32();
+  e.p = r.u32();
+  e.qrcp_block = r.u32();
+  e.block = r.u32();
+  e.oversample = r.u32();
+  e.max_rank = r.u32();
+  e.eps_bits = r.u64();
+  const std::uint8_t relative = r.u8();
+  const std::uint8_t want_q = r.u8();
+  if (!r.ok() || relative > 1 || want_q > 1) return std::nullopt;
+  e.relative = relative != 0;
+  e.want_q = want_q != 0;
+  const std::size_t ntens = r.u8();
+  if (!r.ok() || ntens > kMaxHandoffTensors) return std::nullopt;
+  for (std::size_t t = 0; t < ntens; ++t) {
+    std::string name = r.str(16);
+    const index_t rows = r.u32();
+    const index_t cols = r.u32();
+    if (!r.ok() || rows < 0 || rows > kMaxDim || cols < 0 || cols > kMaxDim)
+      return std::nullopt;
+    const std::uint64_t elems =
+        std::uint64_t(rows) * static_cast<std::uint64_t>(cols);
+    // Allocation guard: the announced dims must fit the bytes actually
+    // left in the frame, so a forged header costs nothing.
+    if (elems > kMaxTensorElems || elems * 8 > r.remaining())
+      return std::nullopt;
+    Matrix<double> m(rows > 0 ? rows : 0, cols > 0 ? cols : 0);
+    if (elems > 0 &&
+        !r.f64_array(m.data(), static_cast<std::size_t>(elems)))
+      return std::nullopt;
+    e.tensors.emplace_back(std::move(name), std::move(m));
+  }
+  const std::uint32_t plen = r.u32();
+  if (!r.ok() || plen > kMaxDim || std::size_t(plen) * 4 > r.remaining())
+    return std::nullopt;
+  e.perm.resize(plen);
+  for (std::uint32_t i = 0; i < plen; ++i)
+    e.perm[i] = static_cast<index_t>(r.u32());
+  const std::size_t nscal = r.u8();
+  if (!r.ok() || nscal > kMaxHandoffScalars || nscal * 8 != r.remaining())
+    return std::nullopt;
+  e.scalars.resize(nscal);
+  for (std::size_t i = 0; i < nscal; ++i) e.scalars[i] = r.f64();
+  if (!r.done()) return std::nullopt;
+  return e;
 }
 
 // ---------------------------------------------------------------------

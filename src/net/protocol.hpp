@@ -47,7 +47,10 @@ inline constexpr std::uint32_t kMagic = 0x31414C52u;  // "RLA1"
 /// v4: Rqrcp / RqrcpAdaptive job kinds (RQRCP engine, DESIGN.md §13).
 /// v5: Dump/DumpReply flight-recorder frames; StatsReply entry cap
 ///     raised for histogram bucket rows (DESIGN.md §14).
-inline constexpr std::uint8_t kVersion = 5;
+/// v6: Cancel (hedged-request loser), Drain/DrainReply (planned shard
+///     drain), CacheHandoff (cache-warmth streaming to the ring
+///     successor) and ErrorCode::Cancelled (DESIGN.md §15).
+inline constexpr std::uint8_t kVersion = 6;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (also the decoder's allocation budget).
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(1) << 26;  // 64 MiB
@@ -64,6 +67,13 @@ enum class FrameType : std::uint8_t {
   Stats = 4,     ///< scrape the server's live metrics (empty payload)
   HealthCheck = 5,  ///< probe serving state + device health (empty payload)
   Dump = 6,      ///< fetch the flight-recorder postmortem (empty payload)
+  Cancel = 7,    ///< advisory: the sender no longer wants this request's
+                 ///< result (hedged-request loser); the server answers the
+                 ///< request with Error(Cancelled) instead of streaming it
+  Drain = 8,     ///< planned drain: hand cache warmth to the named
+                 ///< successor, then stop accepting and exit (gated like
+                 ///< Shutdown behind allow_remote_shutdown)
+  CacheHandoff = 9,  ///< one serialized cache entry from a draining peer
   // server → client
   ResultHeader = 16,
   ResultChunk = 17,
@@ -74,6 +84,7 @@ enum class FrameType : std::uint8_t {
   StatsReply = 22,  ///< (name, f64) metric pairs answering Stats
   HealthReply = 23,
   DumpReply = 24,  ///< flight-recorder JSON answering Dump
+  DrainReply = 25,  ///< handoff accounting answering Drain
 };
 const char* frame_type_name(FrameType t);
 bool valid_frame_type(std::uint8_t t);
@@ -86,6 +97,7 @@ enum class ErrorCode : std::uint16_t {
   ServerFull = 4,    ///< connection cap reached
   ShuttingDown = 5,  ///< server draining, no new work
   Internal = 6,
+  Cancelled = 7,     ///< request dropped on the sender's Cancel (v6)
 };
 
 struct FrameHeader {
@@ -237,6 +249,53 @@ struct HealthReply {
 };
 
 // ---------------------------------------------------------------------
+// Planned drain + cache handoff (v6, DESIGN.md §15)
+
+/// Drain order: stream cache warmth to this successor, then stop
+/// accepting new work, finish in-flight jobs, and exit.
+struct DrainRequest {
+  std::string host;        ///< ring successor to hand the caches to
+  std::uint16_t port = 0;  ///< 0 = no successor: skip handoff, just drain
+};
+
+/// Handoff accounting answering a Drain.
+struct DrainSummary {
+  std::uint64_t entries = 0;        ///< cache entries streamed
+  std::uint64_t bytes = 0;          ///< handoff frame bytes sent
+  std::uint64_t skipped = 0;        ///< entries over the frame cap, dropped
+  std::uint32_t inflight = 0;       ///< jobs still finishing at reply time
+};
+
+/// Which scheduler cache a handed-off entry belongs to.
+enum class HandoffKind : std::uint8_t { Result = 0, Sketch = 1, Rqrcp = 2 };
+
+inline constexpr std::size_t kMaxHandoffTensors = 8;
+inline constexpr std::size_t kMaxHandoffScalars = 64;
+inline constexpr std::size_t kMaxHostBytes = 64;
+
+/// One serialized cache entry streamed shard → successor during a
+/// planned drain. The key block is a fixed union-style tuple (fields a
+/// kind does not use stay zero); the payload is a named-tensor list plus
+/// an optional permutation and a per-kind scalar vector whose layout is
+/// pinned by the encode/decode pair in protocol.cpp.
+struct CacheHandoffEntry {
+  HandoffKind cache_kind = HandoffKind::Result;
+  // --- key block ------------------------------------------------------
+  std::uint64_t fp_hi = 0, fp_lo = 0;  ///< matrix fingerprint
+  std::uint64_t seed = 0;
+  index_t q = 0;                        ///< power iterations (sketch plan)
+  std::uint8_t sampling = 0, power_ortho = 0;
+  index_t k = 0, p = 0, qrcp_block = 0;           ///< Result key tail
+  index_t block = 0, oversample = 0, max_rank = 0;  ///< Rqrcp key tail
+  std::uint64_t eps_bits = 0;
+  bool relative = false, want_q = false;
+  // --- payload --------------------------------------------------------
+  std::vector<std::pair<std::string, Matrix<double>>> tensors;
+  Permutation perm;  ///< empty for Sketch entries
+  std::vector<double> scalars;
+};
+
+// ---------------------------------------------------------------------
 // Encoding. Writers append; encode_* return a complete wire frame
 // (header + payload) ready for the socket.
 
@@ -279,6 +338,13 @@ std::vector<std::uint8_t> encode_health_reply(const HealthReply& h);
 std::vector<std::uint8_t> encode_dump_request();
 /// Truncates past kMaxDumpBytes (a partial postmortem beats none).
 std::vector<std::uint8_t> encode_dump_reply(std::string_view json);
+std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_drain(const DrainRequest& d);
+std::vector<std::uint8_t> encode_drain_reply(const DrainSummary& s);
+/// An entry whose frame would exceed kMaxFrameBytes encodes to an empty
+/// vector — the drain path skips it and counts it in DrainSummary::skipped
+/// rather than shipping an undecodable frame.
+std::vector<std::uint8_t> encode_cache_handoff(const CacheHandoffEntry& e);
 
 // ---------------------------------------------------------------------
 // Decoding. A Reader consumes a payload; any out-of-bounds or invalid
@@ -356,6 +422,14 @@ std::optional<HealthReply> decode_health_reply(const std::uint8_t* payload,
                                                std::size_t size);
 std::optional<std::string> decode_dump_reply(const std::uint8_t* payload,
                                              std::size_t size);
+std::optional<std::uint64_t> decode_cancel(const std::uint8_t* payload,
+                                           std::size_t size);
+std::optional<DrainRequest> decode_drain(const std::uint8_t* payload,
+                                         std::size_t size);
+std::optional<DrainSummary> decode_drain_reply(const std::uint8_t* payload,
+                                               std::size_t size);
+std::optional<CacheHandoffEntry> decode_cache_handoff(
+    const std::uint8_t* payload, std::size_t size);
 
 /// Materialize the matrix a spec describes (generator path; Inline specs
 /// return a copy of the payload). Throws std::invalid_argument on an

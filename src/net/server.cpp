@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
@@ -48,6 +49,223 @@ ortho::Scheme scheme_from_wire(std::uint8_t code) {
   }
 }
 
+// --- planned-drain cache handoff (DESIGN.md §15) ---------------------
+// Scalar layouts per HandoffKind — the entry_from_* / install_handoff
+// pair below is the single authority for them:
+//   Result: [l, phases×7, flops×6, qrcp_stats×5, cholqr_fallbacks] = 20
+//   Sketch: [phases×7, flops×6, cholqr_fallbacks]                  = 14
+//   Rqrcp:  [rank, blocks, resketches, truncated, times×4, flops×4] = 12
+
+void pack_phases(const rsvd::PhaseTimes& t, std::vector<double>& s) {
+  s.insert(s.end(), {t.prng, t.sampling, t.gemm_iter, t.orth_iter, t.qrcp,
+                     t.qr, t.comms});
+}
+
+void unpack_phases(const std::vector<double>& s, std::size_t& i,
+                   rsvd::PhaseTimes& t) {
+  t.prng = s[i++];
+  t.sampling = s[i++];
+  t.gemm_iter = s[i++];
+  t.orth_iter = s[i++];
+  t.qrcp = s[i++];
+  t.qr = s[i++];
+  t.comms = s[i++];
+}
+
+void pack_flops(const rsvd::PhaseFlops& f, std::vector<double>& s) {
+  s.insert(s.end(),
+           {f.prng, f.sampling, f.gemm_iter, f.orth_iter, f.qrcp, f.qr});
+}
+
+void unpack_flops(const std::vector<double>& s, std::size_t& i,
+                  rsvd::PhaseFlops& f) {
+  f.prng = s[i++];
+  f.sampling = s[i++];
+  f.gemm_iter = s[i++];
+  f.orth_iter = s[i++];
+  f.qrcp = s[i++];
+  f.qr = s[i++];
+}
+
+CacheHandoffEntry entry_from_result(const runtime::ResultKey& k,
+                                    const rsvd::FixedRankResult& v) {
+  CacheHandoffEntry e;
+  e.cache_kind = HandoffKind::Result;
+  e.fp_hi = k.plan.matrix.hi;
+  e.fp_lo = k.plan.matrix.lo;
+  e.seed = k.plan.seed;
+  e.q = k.plan.q;
+  e.sampling = k.plan.sampling;
+  e.power_ortho = k.plan.power_ortho;
+  e.k = k.k;
+  e.p = k.p;
+  e.qrcp_block = k.qrcp_block;
+  e.tensors.emplace_back("q", v.q);
+  e.tensors.emplace_back("r", v.r);
+  e.perm = v.perm;
+  e.scalars.push_back(double(v.l));
+  pack_phases(v.phases, e.scalars);
+  pack_flops(v.flops, e.scalars);
+  e.scalars.insert(e.scalars.end(),
+                   {double(v.qrcp_stats.columns_factored),
+                    double(v.qrcp_stats.norm_recomputes),
+                    double(v.qrcp_stats.panels), v.qrcp_stats.flops_blas2,
+                    v.qrcp_stats.flops_blas3, double(v.cholqr_fallbacks)});
+  return e;
+}
+
+CacheHandoffEntry entry_from_sketch(const runtime::SketchKey& k,
+                                    const runtime::SketchEntry& v) {
+  CacheHandoffEntry e;
+  e.cache_kind = HandoffKind::Sketch;
+  e.fp_hi = k.matrix.hi;
+  e.fp_lo = k.matrix.lo;
+  e.seed = k.seed;
+  e.q = k.q;
+  e.sampling = k.sampling;
+  e.power_ortho = k.power_ortho;
+  e.tensors.emplace_back("b", v.b);
+  pack_phases(v.phases, e.scalars);
+  pack_flops(v.flops, e.scalars);
+  e.scalars.push_back(double(v.cholqr_fallbacks));
+  return e;
+}
+
+CacheHandoffEntry entry_from_rqrcp(const runtime::RqrcpKey& k,
+                                   const qrcp::RqrcpResult<double>& v) {
+  CacheHandoffEntry e;
+  e.cache_kind = HandoffKind::Rqrcp;
+  e.fp_hi = k.matrix.hi;
+  e.fp_lo = k.matrix.lo;
+  e.seed = k.seed;
+  e.k = k.k;
+  e.block = k.block;
+  e.oversample = k.oversample;
+  e.eps_bits = k.eps_bits;
+  e.max_rank = k.max_rank;
+  e.relative = k.relative;
+  e.want_q = k.want_q;
+  e.tensors.emplace_back("r1", v.r1);
+  e.tensors.emplace_back("r2", v.r2);
+  Matrix<double> rd(static_cast<index_t>(v.rdiag.size()), 1);
+  std::copy(v.rdiag.begin(), v.rdiag.end(), rd.data());
+  e.tensors.emplace_back("rdiag", std::move(rd));
+  if (v.q.rows() > 0) e.tensors.emplace_back("q", v.q);
+  e.perm = v.perm;
+  const auto& st = v.stats;
+  e.scalars = {double(st.rank),     double(st.blocks),
+               double(st.resketches), st.truncated ? 1.0 : 0.0,
+               st.sketch_s,         st.panel_s,
+               st.update_s,         st.downdate_s,
+               st.flops_sketch,     st.flops_panel,
+               st.flops_update,     st.flops_downdate};
+  return e;
+}
+
+/// Install a decoded handoff entry into the scheduler's caches. False on
+/// a structurally wrong entry (tensor names/counts or scalar layout that
+/// do not match the kind) — the receiving server treats that as a
+/// protocol error, exactly like an undecodable frame.
+bool install_handoff(runtime::Scheduler& sched, CacheHandoffEntry& e) {
+  runtime::Fingerprint fp;
+  fp.hi = e.fp_hi;
+  fp.lo = e.fp_lo;
+  switch (e.cache_kind) {
+    case HandoffKind::Result: {
+      if (e.tensors.size() != 2 || e.tensors[0].first != "q" ||
+          e.tensors[1].first != "r" || e.scalars.size() != 20)
+        return false;
+      runtime::ResultKey key;
+      key.plan.matrix = fp;
+      key.plan.seed = e.seed;
+      key.plan.q = e.q;
+      key.plan.sampling = e.sampling;
+      key.plan.power_ortho = e.power_ortho;
+      key.k = e.k;
+      key.p = e.p;
+      key.qrcp_block = e.qrcp_block;
+      auto v = std::make_shared<rsvd::FixedRankResult>();
+      v->q = std::move(e.tensors[0].second);
+      v->r = std::move(e.tensors[1].second);
+      v->perm = std::move(e.perm);
+      const auto& s = e.scalars;
+      std::size_t i = 0;
+      v->l = static_cast<index_t>(s[i++]);
+      unpack_phases(s, i, v->phases);
+      unpack_flops(s, i, v->flops);
+      v->qrcp_stats.columns_factored = static_cast<index_t>(s[i++]);
+      v->qrcp_stats.norm_recomputes = static_cast<index_t>(s[i++]);
+      v->qrcp_stats.panels = static_cast<index_t>(s[i++]);
+      v->qrcp_stats.flops_blas2 = s[i++];
+      v->qrcp_stats.flops_blas3 = s[i++];
+      v->cholqr_fallbacks = static_cast<int>(s[i++]);
+      sched.install_result(key, std::move(v));
+      return true;
+    }
+    case HandoffKind::Sketch: {
+      if (e.tensors.size() != 1 || e.tensors[0].first != "b" ||
+          e.scalars.size() != 14)
+        return false;
+      runtime::SketchKey key;
+      key.matrix = fp;
+      key.seed = e.seed;
+      key.q = e.q;
+      key.sampling = e.sampling;
+      key.power_ortho = e.power_ortho;
+      auto v = std::make_shared<runtime::SketchEntry>();
+      v->b = std::move(e.tensors[0].second);
+      const auto& s = e.scalars;
+      std::size_t i = 0;
+      unpack_phases(s, i, v->phases);
+      unpack_flops(s, i, v->flops);
+      v->cholqr_fallbacks = static_cast<int>(s[i++]);
+      sched.install_sketch(key, std::move(v));
+      return true;
+    }
+    case HandoffKind::Rqrcp: {
+      if (e.tensors.size() < 3 || e.tensors.size() > 4 ||
+          e.tensors[0].first != "r1" || e.tensors[1].first != "r2" ||
+          e.tensors[2].first != "rdiag" || e.tensors[2].second.cols() != 1 ||
+          (e.tensors.size() == 4 && e.tensors[3].first != "q") ||
+          e.scalars.size() != 12)
+        return false;
+      runtime::RqrcpKey key;
+      key.matrix = fp;
+      key.seed = e.seed;
+      key.k = e.k;
+      key.block = e.block;
+      key.oversample = e.oversample;
+      key.eps_bits = e.eps_bits;
+      key.max_rank = e.max_rank;
+      key.relative = e.relative;
+      key.want_q = e.want_q;
+      auto v = std::make_shared<qrcp::RqrcpResult<double>>();
+      v->r1 = std::move(e.tensors[0].second);
+      v->r2 = std::move(e.tensors[1].second);
+      const Matrix<double>& rd = e.tensors[2].second;
+      v->rdiag.assign(rd.data(), rd.data() + rd.rows());
+      if (e.tensors.size() == 4) v->q = std::move(e.tensors[3].second);
+      v->perm = std::move(e.perm);
+      const auto& s = e.scalars;
+      v->stats.rank = static_cast<index_t>(s[0]);
+      v->stats.blocks = static_cast<index_t>(s[1]);
+      v->stats.resketches = static_cast<index_t>(s[2]);
+      v->stats.truncated = s[3] != 0;
+      v->stats.sketch_s = s[4];
+      v->stats.panel_s = s[5];
+      v->stats.update_s = s[6];
+      v->stats.downdate_s = s[7];
+      v->stats.flops_sketch = s[8];
+      v->stats.flops_panel = s[9];
+      v->stats.flops_update = s[10];
+      v->stats.flops_downdate = s[11];
+      sched.install_rqrcp(key, std::move(v));
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -71,9 +289,11 @@ struct Server::Impl {
   /// accounting; these aggregate across servers for /metrics).
   struct ObsCounters {
     obs::Counter connections, frames_submit, frames_ping, frames_shutdown,
-        frames_stats, frames_health, frames_dump, frames_other, busy,
+        frames_stats, frames_health, frames_dump, frames_cancel,
+        frames_drain, frames_handoff, frames_other, busy,
         bytes_in, bytes_out,
-        decode_errors, jobs_submitted, jobs_completed, results_dropped;
+        decode_errors, jobs_submitted, jobs_completed, results_dropped,
+        jobs_cancelled, handoff_in, handoff_out;
   } obs_;
 
   struct Conn {
@@ -93,8 +313,16 @@ struct Server::Impl {
     std::uint64_t request_id = 0;
     std::uint64_t trace_id = 0;
     std::shared_ptr<runtime::JobHandle> handle;
+    /// Peer sent a Cancel for this request (hedged-pair loser): answer
+    /// Error(Cancelled) instead of streaming the finished factors.
+    bool cancelled = false;
   };
   std::vector<InFlight> inflight;
+
+  /// Planned drain in progress (Drain frame received): new submits get
+  /// Busy — not a terminal error — so clients wait out the router's ring
+  /// re-point and land on the successor with its freshly warmed cache.
+  bool handoff_draining = false;
 
   /// Memoized generator-spec matrices (FIFO eviction): repeated specs
   /// share one FingerprintedMatrix, so re-generation and
@@ -115,6 +343,10 @@ struct Server::Impl {
     obs_.frames_stats = g.counter("net_frames_in_total{type=\"stats\"}");
     obs_.frames_health = g.counter("net_frames_in_total{type=\"health\"}");
     obs_.frames_dump = g.counter("net_frames_in_total{type=\"dump\"}");
+    obs_.frames_cancel = g.counter("net_frames_in_total{type=\"cancel\"}");
+    obs_.frames_drain = g.counter("net_frames_in_total{type=\"drain\"}");
+    obs_.frames_handoff =
+        g.counter("net_frames_in_total{type=\"cache_handoff\"}");
     obs_.frames_other = g.counter("net_frames_in_total{type=\"other\"}");
     obs_.busy = g.counter("net_busy_total", "submits shed with Busy frames");
     obs_.bytes_in = g.counter("net_bytes_in_total", "bytes read from peers");
@@ -127,6 +359,12 @@ struct Server::Impl {
         g.counter("net_jobs_completed_total", "results delivered to peers");
     obs_.results_dropped = g.counter("net_results_dropped_total",
                                      "results finished after peer left");
+    obs_.jobs_cancelled = g.counter("net_jobs_cancelled_total",
+                                    "jobs answered Error(Cancelled)");
+    obs_.handoff_in = g.counter("net_handoff_entries_in_total",
+                                "cache entries installed from a peer");
+    obs_.handoff_out = g.counter("net_handoff_entries_out_total",
+                                 "cache entries streamed to a successor");
   }
 
   double now() const {
@@ -153,6 +391,13 @@ struct Server::Impl {
   void handle_stats(std::uint64_t cid, std::size_t len);
   void handle_health(std::uint64_t cid, std::size_t len);
   void handle_dump(std::uint64_t cid, std::size_t len);
+  void handle_cancel(std::uint64_t cid, const std::uint8_t* payload,
+                     std::size_t len);
+  void handle_drain(std::uint64_t cid, const std::uint8_t* payload,
+                    std::size_t len);
+  void handle_cache_handoff(std::uint64_t cid, const std::uint8_t* payload,
+                            std::size_t len);
+  DrainSummary stream_handoff(const DrainRequest& d);
   runtime::MatrixHandle resolve_matrix(const MatrixSpec& spec);
   std::uint32_t retry_after_ms() const;
   void deliver_completions();
@@ -468,6 +713,18 @@ void Server::Impl::dispatch(std::uint64_t cid, FrameType type,
       obs_.frames_dump.inc();
       handle_dump(cid, len);
       return;
+    case FrameType::Cancel:
+      obs_.frames_cancel.inc();
+      handle_cancel(cid, payload, len);
+      return;
+    case FrameType::Drain:
+      obs_.frames_drain.inc();
+      handle_drain(cid, payload, len);
+      return;
+    case FrameType::CacheHandoff:
+      obs_.frames_handoff.inc();
+      handle_cache_handoff(cid, payload, len);
+      return;
     default:
       // A server→client frame type from a client: confused peer.
       obs_.frames_other.inc();
@@ -528,6 +785,20 @@ void Server::Impl::handle_submit(std::uint64_t cid, const std::uint8_t* payload,
   }
   // Covers matrix resolution + admission under the client's trace id.
   obs::Span span("net.submit", "net", req->trace_id);
+  if (handoff_draining) {
+    // Planned drain: the keyshare is moving to the successor. Busy (a
+    // retryable verdict) rather than ShuttingDown (terminal) — the
+    // client's retry loop waits out the ring re-point and the resubmit
+    // lands on the successor, warm from the handoff.
+    BusyReply b;
+    b.request_id = req->request_id;
+    b.queue_depth = static_cast<std::uint32_t>(sched.queue_depth());
+    b.retry_after_ms = 50;
+    queue_frame(c, encode_busy(b));
+    bump(&ServerStats::jobs_busy);
+    obs_.busy.inc();
+    return;
+  }
   if (stop_requested.load()) {
     queue_frame(c, encode_error(ErrorReply{req->request_id,
                                            ErrorCode::ShuttingDown,
@@ -660,6 +931,10 @@ void Server::Impl::handle_stats(std::uint64_t cid, std::size_t len) {
   m.emplace_back("server_jobs_busy", double(st.jobs_busy));
   m.emplace_back("server_jobs_completed", double(st.jobs_completed));
   m.emplace_back("server_results_dropped", double(st.results_dropped));
+  m.emplace_back("server_jobs_cancelled", double(st.jobs_cancelled));
+  m.emplace_back("server_drains", double(st.drains));
+  m.emplace_back("server_handoff_out", double(st.handoff_out));
+  m.emplace_back("server_handoff_in", double(st.handoff_in));
   m.emplace_back("server_bytes_in", double(st.bytes_in));
   m.emplace_back("server_bytes_out", double(st.bytes_out));
   // Scheduler + cache state behind this server.
@@ -742,6 +1017,139 @@ void Server::Impl::handle_health(std::uint64_t cid, std::size_t len) {
   queue_frame(c, encode_health_reply(h));
 }
 
+void Server::Impl::handle_cancel(std::uint64_t cid,
+                                 const std::uint8_t* payload,
+                                 std::size_t len) {
+  Conn& c = conns[cid];
+  const auto id = decode_cancel(payload, len);
+  if (!id) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(
+                       ErrorReply{0, ErrorCode::BadFrame, "bad cancel"}));
+    c.close_after_flush = true;
+    return;
+  }
+  for (auto& f : inflight) {
+    if (f.conn_id == cid && f.request_id == *id && !f.cancelled) {
+      f.cancelled = true;
+      bump(&ServerStats::jobs_cancelled);
+      obs_.jobs_cancelled.inc();
+      return;
+    }
+  }
+  // Unknown request id: the result already streamed (its frames may be
+  // in flight toward the peer right now). Cancellation is advisory —
+  // nothing to do, and no reply either way: the job's own terminal frame
+  // (result or Error(Cancelled)) is the only answer a Cancel ever gets.
+}
+
+void Server::Impl::handle_drain(std::uint64_t cid,
+                                const std::uint8_t* payload,
+                                std::size_t len) {
+  Conn& c = conns[cid];
+  const auto d = decode_drain(payload, len);
+  if (!d) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(
+                       ErrorReply{0, ErrorCode::BadFrame, "bad drain"}));
+    c.close_after_flush = true;
+    return;
+  }
+  if (!opts.allow_remote_shutdown) {
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadRequest,
+                                           "drain not allowed"}));
+    return;
+  }
+  bump(&ServerStats::drains);
+  // From this instant new submits are answered Busy (handle_submit):
+  // the caches are about to be photographed, and any job accepted now
+  // could finish after the handoff and strand its entry on a dying shard.
+  handoff_draining = true;
+  DrainSummary sum = stream_handoff(*d);
+  sum.inflight = static_cast<std::uint32_t>(inflight.size());
+  bump(&ServerStats::handoff_out, sum.entries);
+  obs_.handoff_out.add(double(sum.entries));
+  obs::Recorder::global().record(obs::EventKind::ShardDrained, 0, 0,
+                                 static_cast<std::int64_t>(d->port),
+                                 static_cast<std::int64_t>(sum.entries));
+  queue_frame(c, encode_drain_reply(sum));
+  // Enter the normal graceful stop: close the listener, finish in-flight
+  // jobs, flush (the DrainReply above goes out with them), exit. The
+  // router re-points the keyshare only after it reads the DrainReply, so
+  // handoff-completion strictly precedes ownership transfer.
+  stop_requested.store(true);
+}
+
+DrainSummary Server::Impl::stream_handoff(const DrainRequest& d) {
+  DrainSummary sum;
+  if (d.port == 0) return sum;  // no successor: just drain, warmth dies
+  ClientOptions copt;
+  copt.host = d.host;
+  copt.port = d.port;
+  copt.recv_timeout_s = 5;
+  Client peer(copt);
+  if (!peer.connect()) return sum;
+  bool alive = true;
+  const auto ship = [&](const CacheHandoffEntry& e) {
+    if (!alive) return;
+    const auto frame = encode_cache_handoff(e);
+    if (frame.empty()) {  // over the frame cap: drop, never ship junk
+      ++sum.skipped;
+      return;
+    }
+    if (!peer.send_raw(frame.data(), frame.size())) {
+      alive = false;
+      return;
+    }
+    ++sum.entries;
+    sum.bytes += frame.size();
+  };
+  // snapshot() is MRU-first; stream in reverse (oldest first) so the
+  // successor's LRU ends up in exactly the recency order ours had.
+  const auto rs = sched.export_results();
+  for (auto it = rs.rbegin(); it != rs.rend(); ++it)
+    ship(entry_from_result(it->first, *it->second));
+  const auto sk = sched.export_sketches();
+  for (auto it = sk.rbegin(); it != sk.rend(); ++it)
+    ship(entry_from_sketch(it->first, *it->second));
+  const auto rq = sched.export_rqrcps();
+  for (auto it = rq.rbegin(); it != rq.rend(); ++it)
+    ship(entry_from_rqrcp(it->first, *it->second));
+  // CacheHandoff frames carry no reply; a trailing Ping round-trip is
+  // the flush barrier — the successor processes frames in order, so its
+  // Pong proves every entry was installed before we report completion.
+  if (alive) peer.ping(0x6472616eu /* "dran" */);
+  return sum;
+}
+
+void Server::Impl::handle_cache_handoff(std::uint64_t cid,
+                                        const std::uint8_t* payload,
+                                        std::size_t len) {
+  Conn& c = conns[cid];
+  // Gated with remote shutdown: both let a peer rewrite server state.
+  if (!opts.allow_remote_shutdown) {
+    bump(&ServerStats::protocol_errors);
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadRequest,
+                                           "handoff not allowed"}));
+    c.close_after_flush = true;
+    return;
+  }
+  auto e = decode_cache_handoff(payload, len);
+  if (!e || !install_handoff(sched, *e)) {
+    bump(&ServerStats::protocol_errors);
+    obs_.decode_errors.inc();
+    queue_frame(c, encode_error(ErrorReply{0, ErrorCode::BadFrame,
+                                           "bad cache handoff"}));
+    c.close_after_flush = true;
+    return;
+  }
+  bump(&ServerStats::handoff_in);
+  obs_.handoff_in.inc();
+  // No reply frame: the sender's Ping barrier is the synchronization.
+}
+
 void Server::Impl::deliver_completions() {
   for (auto it = inflight.begin(); it != inflight.end();) {
     if (!it->handle->done()) {
@@ -753,6 +1161,15 @@ void Server::Impl::deliver_completions() {
     if (cit == conns.end()) {
       bump(&ServerStats::results_dropped);
       obs_.results_dropped.inc();
+    } else if (it->cancelled) {
+      // Hedged-pair loser: a typed terminal frame instead of the result
+      // stream keeps the connection frame-aligned for its next exchange.
+      queue_frame(cit->second,
+                  encode_error(ErrorReply{it->request_id,
+                                          ErrorCode::Cancelled,
+                                          "cancelled by peer"}));
+      cit->second.inflight -= 1;
+      if (!flush(cit->second)) drop_conn(it->conn_id);
     } else {
       obs::Span span("net.result", "net", it->trace_id);
       send_result(cit->second, it->request_id, outcome);

@@ -52,6 +52,10 @@ struct ServerStats {
   std::uint64_t jobs_busy = 0;         ///< shed with a Busy frame
   std::uint64_t jobs_completed = 0;    ///< results streamed back
   std::uint64_t results_dropped = 0;   ///< client vanished mid-job
+  std::uint64_t jobs_cancelled = 0;    ///< answered Error(Cancelled) (v6)
+  std::uint64_t drains = 0;            ///< planned Drain orders honored
+  std::uint64_t handoff_out = 0;       ///< cache entries streamed to successor
+  std::uint64_t handoff_in = 0;        ///< cache entries installed from a peer
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 };

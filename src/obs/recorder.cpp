@@ -284,6 +284,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::ShardDown: return "shard_down";
     case EventKind::ShardUp: return "shard_up";
     case EventKind::DumpRequested: return "dump_requested";
+    case EventKind::HedgeFired: return "hedge_fired";
+    case EventKind::HedgeCancelled: return "hedge_cancelled";
+    case EventKind::ShardDrained: return "shard_drained";
   }
   return "?";
 }

@@ -45,6 +45,9 @@ enum class EventKind : std::uint8_t {
   ShardDown = 16,         ///< a = shard index (router membership)
   ShardUp = 17,
   DumpRequested = 18,
+  HedgeFired = 19,        ///< a = owner shard, b = successor shard
+  HedgeCancelled = 20,    ///< a = losing shard (first-result-wins)
+  ShardDrained = 21,      ///< a = shard index, b = handoff entries
 };
 
 const char* event_kind_name(EventKind k);

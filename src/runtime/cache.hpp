@@ -20,6 +20,8 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/recorder.hpp"
 #include "qrcp/rqrcp.hpp"
@@ -82,6 +84,14 @@ class LruCache {
   std::size_t size() const {
     std::lock_guard<std::mutex> lk(mu_);
     return index_.size();
+  }
+
+  /// Every live entry in recency order (front = most recently used).
+  /// The planned-drain handoff streams this oldest-first so the
+  /// receiving LRU ends up warmest-last-inserted (DESIGN.md §15).
+  std::vector<std::pair<K, std::shared_ptr<const V>>> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {order_.begin(), order_.end()};
   }
 
   CacheStats stats() const {

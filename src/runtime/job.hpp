@@ -109,9 +109,11 @@ struct JobOutcome {
 /// Future-like handle: the scheduler fulfills it exactly once.
 class JobHandle {
  public:
-  explicit JobHandle(std::uint64_t id) { outcome_.trace.job_id = id; }
+  explicit JobHandle(std::uint64_t id) : id_(id) { outcome_.trace.job_id = id; }
 
-  std::uint64_t id() const { return outcome_.trace.job_id; }
+  // id_ lives outside outcome_ so this needs no lock against fulfill()'s
+  // move-assignment of the whole outcome.
+  std::uint64_t id() const { return id_; }
 
   bool done() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -129,7 +131,7 @@ class JobHandle {
   void fulfill(JobOutcome outcome) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      outcome.trace.job_id = outcome_.trace.job_id;
+      outcome.trace.job_id = id_;
       outcome_ = std::move(outcome);
       fulfilled_ = true;
     }
@@ -137,6 +139,7 @@ class JobHandle {
   }
 
  private:
+  const std::uint64_t id_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   bool fulfilled_ = false;

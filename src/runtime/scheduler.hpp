@@ -163,6 +163,30 @@ class Scheduler {
   Arena& arena() { return arena_; }
   BatchStats batch_stats() const;
 
+  // --- planned-drain cache handoff (DESIGN.md §15) --------------------
+  /// Snapshot every live cache entry (most-recently-used first) so a
+  /// draining shard can stream its warmth to the ring successor, and
+  /// install one entry shipped from a draining peer. Installs go through
+  /// the ordinary LRU put, so capacity and eviction accounting hold.
+  std::vector<std::pair<ResultKey, std::shared_ptr<const rsvd::FixedRankResult>>>
+  export_results() const { return results_.snapshot(); }
+  std::vector<std::pair<SketchKey, std::shared_ptr<const SketchEntry>>>
+  export_sketches() const { return sketches_.snapshot(); }
+  std::vector<std::pair<RqrcpKey, std::shared_ptr<const qrcp::RqrcpResult<double>>>>
+  export_rqrcps() const { return rqrcps_.snapshot(); }
+  void install_result(const ResultKey& k,
+                      std::shared_ptr<const rsvd::FixedRankResult> v) {
+    results_.put(k, std::move(v));
+  }
+  void install_sketch(const SketchKey& k,
+                      std::shared_ptr<const SketchEntry> v) {
+    sketches_.put(k, std::move(v));
+  }
+  void install_rqrcp(const RqrcpKey& k,
+                     std::shared_ptr<const qrcp::RqrcpResult<double>> v) {
+    rqrcps_.put(k, std::move(v));
+  }
+
   // --- fault plane ----------------------------------------------------
   /// Kill a device from outside (tests, ops tooling): it is marked
   /// unhealthy, its worker retires after handing any held job to the

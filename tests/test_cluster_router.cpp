@@ -23,6 +23,7 @@
 #include "la/permutation.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 using namespace randla;
@@ -294,8 +295,12 @@ TEST(ClusterRouter, PeerFillWarmsTheSuccessorShard) {
   // fill's result frames were discarded inside the router.
   EXPECT_EQ(stats.results_relayed, 6u);
   // With two shards the successor is the non-owner, so both saw work.
+  // The fill leg is asynchronous — the client's call can return before
+  // the successor has accepted the duplicate submit, so wait for it.
   EXPECT_GT(shard_a.stats().jobs_submitted, 0u);
-  EXPECT_GT(shard_b.stats().jobs_submitted, 0u);
+  EXPECT_TRUE(wait_until(
+      [&shard_b] { return shard_b.stats().jobs_submitted > 0; }, 5.0))
+      << "successor never saw the peer-fill submit";
 
   router.stop();
   shard_a.stop();
@@ -565,6 +570,154 @@ TEST(ClusterRouter, OneTraceIdSpansRouterAndShard) {
 
   tr.disable();
   tr.clear();
+}
+
+// ------------------------------------------- availability layer (§15)
+
+// Hot-key replicated execution: with replicate_threshold = 1 every
+// submit of the key runs on BOTH owner and successor. Both replicas may
+// reply; the client must see exactly one result, and exactly one Cancel
+// must go to the losing leg — verified via router stats, per-shard
+// scheduler telemetry, and the flight recorder.
+TEST(ClusterRouter, HedgedPairDeliversOneResultAndCancelsLoser) {
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  RouterOptions ro = router_over({&shard_a, &shard_b});
+  ro.replicate_threshold = 1.0;
+  Router router(ro);
+  ASSERT_TRUE(router.start());
+
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  const net::JobRequest req = lowrank_fixed_request(4242, 31);
+  const net::CallResult res = client.call(req);
+  ASSERT_EQ(res.status, net::CallStatus::Ok) << res.detail;
+  ASSERT_EQ(res.header.status, runtime::JobStatus::Done) << res.header.error;
+  ASSERT_EQ(res.tensors.size(), 2u);
+  EXPECT_LT(fixed_rank_residual(req, res), 1e-8);
+
+  // Both legs were submitted: the owner got the original tag, the
+  // successor the "/hedge" copy (determinism makes their answers
+  // bit-identical, so whichever wins is *the* answer).
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return shard_a.stats().jobs_submitted +
+                   shard_b.stats().jobs_submitted >= 2;
+      },
+      5.0));
+  EXPECT_GT(shard_a.stats().jobs_submitted, 0u);
+  EXPECT_GT(shard_b.stats().jobs_submitted, 0u);
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.results_relayed, 1u);  // exactly one client result
+  EXPECT_EQ(stats.hedges_fired, 1u);
+  EXPECT_EQ(stats.hedge_cancels, 1u);  // exactly one loser cancelled
+  EXPECT_EQ(stats.clients_dropped, 0u);
+  EXPECT_EQ(stats.forward_errors, 0u);
+
+  // The pair's lifecycle is in the flight recorder.
+  bool saw_fired = false, saw_cancelled = false;
+  for (const auto& ev : obs::Recorder::global().snapshot()) {
+    if (ev.job_id != req.request_id) continue;
+    if (ev.kind == obs::EventKind::HedgeFired) saw_fired = true;
+    if (ev.kind == obs::EventKind::HedgeCancelled) saw_cancelled = true;
+  }
+  EXPECT_TRUE(saw_fired);
+  EXPECT_TRUE(saw_cancelled);
+
+  router.stop();
+  shard_a.stop();
+  shard_b.stop();
+}
+
+// Planned drain: the victim streams its cache warmth to the ring
+// successor before the router re-points the keyshare — zero jobs lost,
+// and the hot key's next submit hits the successor's *warm* cache.
+TEST(ClusterRouter, PlannedDrainHandsOffCacheToSuccessor) {
+  runtime::Scheduler sched_a(small_sched()), sched_b(small_sched());
+  net::Server shard_a(sched_a, shard_opts()), shard_b(sched_b, shard_opts());
+  ASSERT_TRUE(shard_a.start());
+  ASSERT_TRUE(shard_b.start());
+  Router router(router_over({&shard_a, &shard_b}));
+  ASSERT_TRUE(router.start());
+
+  // Warm the victim (shard 0) with a key it owns.
+  const std::uint64_t seed = seed_owned_by(0, RouterOptions{}.vnodes);
+  net::Client client(client_for(router));
+  ASSERT_TRUE(client.connect());
+  const net::JobRequest req = lowrank_fixed_request(1, seed);
+  ASSERT_EQ(client.call(req).status, net::CallStatus::Ok);
+  ASSERT_EQ(shard_a.stats().jobs_submitted, 1u);
+  const std::uint64_t succ_hits_before = sched_b.result_cache_stats().hits;
+
+  net::DrainSummary sum;
+  ASSERT_TRUE(router.drain(0, &sum));
+  EXPECT_GT(sum.entries, 0u);  // at least the cached result moved
+  EXPECT_GT(sum.bytes, 0u);
+  EXPECT_EQ(sum.inflight, 0u);
+
+  // The victim finishes and exits on its own; the router re-points the
+  // keyshare only after the handoff proved complete.
+  EXPECT_TRUE(wait_until([&] { return !shard_a.running(); }, 5.0));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return router.live_shards() == std::vector<std::uint32_t>{1};
+      },
+      5.0));
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.drains_completed, 1u);
+  EXPECT_EQ(stats.handoff_entries, sum.entries);
+
+  // Same key again: served by the successor FROM CACHE (the handoff
+  // carried the warmth — no recompute, no lost work).
+  const net::CallResult res =
+      client.call_with_retry(lowrank_fixed_request(2, seed));
+  ASSERT_EQ(res.status, net::CallStatus::Ok) << res.detail;
+  ASSERT_EQ(res.header.status, runtime::JobStatus::Done);
+  EXPECT_GT(sched_b.result_cache_stats().hits, succ_hits_before);
+  EXPECT_GT(shard_b.stats().handoff_in, 0u);
+
+  // Drained shards are retired for good: no probe may readmit one (the
+  // process is gone; its endpoint may be reused by anything).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(router.live_shards(), std::vector<std::uint32_t>{1});
+
+  router.stop();
+  shard_b.stop();
+}
+
+// Weighted ring: heterogeneous shards get keyspace proportional to
+// weight, and two independently-built rings with the same config agree
+// point-for-point (router redundancy leans on this purity).
+TEST(HashRingWeights, WeightSkewsOwnershipDeterministically) {
+  RingOptions opts;
+  opts.vnodes = 64;
+  HashRing heavy(opts), mirror(opts);
+  heavy.add(0, 4.0);
+  heavy.add(1, 1.0);
+  mirror.add(0, 4.0);
+  mirror.add(1, 1.0);
+  std::size_t own0 = 0, own1 = 0;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    const std::uint64_t key = ring_point(i, 0x57e5);  // pseudo-random spread
+    const auto a = heavy.owner(key);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, mirror.owner(key).value());
+    (*a == 0 ? own0 : own1) += 1;
+  }
+  EXPECT_GT(own0, own1 * 2);  // ~4:1 in expectation; 2:1 is a safe floor
+  EXPECT_GT(own1, 0u);        // the light shard still owns a slice
+
+  // Extreme weights clamp to [0.25, 8]: every member keeps real arcs.
+  HashRing clamped(opts);
+  clamped.add(0, 1e9);
+  clamped.add(1, 1e-9);
+  std::size_t light = 0;
+  for (std::uint32_t i = 0; i < 4096; ++i)
+    if (clamped.owner(ring_point(i, 0x9a7)).value() == 1) ++light;
+  EXPECT_GT(light, 0u);
 }
 
 TEST(ClusterRouter, RemoteShutdownDrainsWholeCluster) {

@@ -4,8 +4,10 @@
 // (device failover requeue, watchdog cancellation of injected hangs).
 #include "test_util.hpp"
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/breaker.hpp"
@@ -147,6 +149,39 @@ TEST(Breaker, TransitionsWithSuppliedTime) {
   br.record_success();
   br.record_failure(3.2);
   EXPECT_EQ(br.state(3.2), BreakerState::Closed);
+}
+
+// Regression: HalfOpen admission is a check-and-claim under one lock, so
+// N threads racing allow() at the same instant get exactly ONE probe —
+// the unsynchronized check-then-set admitted every concurrent caller,
+// defeating the single-probe contract and hammering a recovering shard.
+TEST(Breaker, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  BreakerOptions bo;
+  bo.failure_threshold = 1;
+  bo.open_cooldown_s = 0.5;
+  CircuitBreaker br(bo);
+  br.record_failure(0.0);
+  ASSERT_EQ(br.state(0.0), BreakerState::Open);
+
+  constexpr int kThreads = 16;
+  for (int round = 0; round < 20; ++round) {
+    const double t = 1.0 + double(round);  // past cooldown each round
+    std::atomic<int> admitted{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+      threads.emplace_back([&, t] {
+        while (!go.load()) {
+        }
+        if (br.allow(t)) admitted.fetch_add(1);
+      });
+    go.store(true);
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(admitted.load(), 1) << "round " << round;
+    EXPECT_EQ(br.state(t), BreakerState::HalfOpen);
+    br.record_failure(t);  // probe fails: back to Open for the next round
+  }
 }
 
 TEST(Backoff, FullJitterBoundedAndDeterministic) {

@@ -722,3 +722,175 @@ TEST(NetProtocol, EncodeDumpReplyCapsOversizedInput) {
   EXPECT_EQ(dec->size(), kMaxDumpBytes);
   EXPECT_EQ(dec->compare(0, 64, big, 0, 64), 0);
 }
+
+// ---------------------------------------------------------------------
+// Cancel / Drain / CacheHandoff (v6): hedged requests and planned drain.
+
+TEST(NetProtocol, CancelRoundTrip) {
+  const auto frame = encode_cancel(0xCAFEBABEull);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::Cancel);
+  EXPECT_EQ(decode_cancel(p.payload, p.len).value(), 0xCAFEBABEull);
+  EXPECT_TRUE(valid_frame_type(static_cast<std::uint8_t>(FrameType::Cancel)));
+  EXPECT_STREQ(frame_type_name(FrameType::Cancel), "cancel");
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_cancel(p.payload, n).has_value());
+}
+
+TEST(NetProtocol, DrainRoundTrip) {
+  DrainRequest d;
+  d.host = "10.0.0.7";
+  d.port = 4511;
+  const auto frame = encode_drain(d);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::Drain);
+  const auto dec = decode_drain(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->host, "10.0.0.7");
+  EXPECT_EQ(dec->port, 4511);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_drain(p.payload, n).has_value());
+  // No-successor drains (port 0, empty host) are legal.
+  const auto bare = encode_drain(DrainRequest{});
+  const Parsed pb = parse(bare);
+  const auto db = decode_drain(pb.payload, pb.len);
+  ASSERT_TRUE(db.has_value());
+  EXPECT_TRUE(db->host.empty());
+  EXPECT_EQ(db->port, 0);
+}
+
+TEST(NetProtocol, DrainOversizedHostRejected) {
+  // The host rides as a u16-prefixed string capped at kMaxHostBytes.
+  Writer w;
+  const std::string long_host(kMaxHostBytes + 1, 'h');
+  w.str(long_host);
+  w.u16(80);
+  EXPECT_FALSE(decode_drain(w.bytes().data(), w.bytes().size()).has_value());
+}
+
+TEST(NetProtocol, DrainReplyRoundTrip) {
+  DrainSummary s;
+  s.entries = 41;
+  s.bytes = 1u << 20;
+  s.skipped = 2;
+  s.inflight = 3;
+  const auto frame = encode_drain_reply(s);
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::DrainReply);
+  const auto dec = decode_drain_reply(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->entries, 41u);
+  EXPECT_EQ(dec->bytes, 1u << 20);
+  EXPECT_EQ(dec->skipped, 2u);
+  EXPECT_EQ(dec->inflight, 3u);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_drain_reply(p.payload, n).has_value());
+}
+
+namespace {
+
+CacheHandoffEntry sample_handoff() {
+  CacheHandoffEntry e;
+  e.cache_kind = HandoffKind::Result;
+  e.fp_hi = 0x1111222233334444ull;
+  e.fp_lo = 0x5555666677778888ull;
+  e.seed = 99;
+  e.q = 2;
+  e.sampling = 1;
+  e.power_ortho = 2;
+  e.k = 8;
+  e.p = 4;
+  e.qrcp_block = 16;
+  Matrix<double> qm(6, 8), rm(8, 8);
+  for (index_t j = 0; j < 8; ++j) {
+    for (index_t i = 0; i < 6; ++i) qm(i, j) = double(i + 10 * j);
+    for (index_t i = 0; i < 8; ++i) rm(i, j) = double(i) - double(j);
+  }
+  e.tensors.emplace_back("q", std::move(qm));
+  e.tensors.emplace_back("r", std::move(rm));
+  e.perm = {3, 1, 0, 2};
+  e.scalars.assign(20, 0.25);
+  return e;
+}
+
+}  // namespace
+
+TEST(NetProtocol, CacheHandoffRoundTrip) {
+  const CacheHandoffEntry e = sample_handoff();
+  const auto frame = encode_cache_handoff(e);
+  ASSERT_FALSE(frame.empty());
+  const Parsed p = parse(frame);
+  ASSERT_EQ(p.hdr.type, FrameType::CacheHandoff);
+  const auto dec = decode_cache_handoff(p.payload, p.len);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->cache_kind, HandoffKind::Result);
+  EXPECT_EQ(dec->fp_hi, e.fp_hi);
+  EXPECT_EQ(dec->fp_lo, e.fp_lo);
+  EXPECT_EQ(dec->seed, 99u);
+  EXPECT_EQ(dec->q, 2);
+  EXPECT_EQ(dec->sampling, 1);
+  EXPECT_EQ(dec->power_ortho, 2);
+  EXPECT_EQ(dec->k, 8);
+  EXPECT_EQ(dec->p, 4);
+  EXPECT_EQ(dec->qrcp_block, 16);
+  ASSERT_EQ(dec->tensors.size(), 2u);
+  EXPECT_EQ(dec->tensors[0].first, "q");
+  ASSERT_EQ(dec->tensors[0].second.rows(), 6);
+  ASSERT_EQ(dec->tensors[0].second.cols(), 8);
+  EXPECT_DOUBLE_EQ(dec->tensors[0].second(5, 7), 75.0);
+  EXPECT_EQ(dec->tensors[1].first, "r");
+  EXPECT_DOUBLE_EQ(dec->tensors[1].second(7, 0), 7.0);
+  EXPECT_EQ(dec->perm, e.perm);
+  ASSERT_EQ(dec->scalars.size(), 20u);
+  EXPECT_DOUBLE_EQ(dec->scalars[19], 0.25);
+}
+
+TEST(NetProtocol, CacheHandoffTruncationFailsCleanly) {
+  const auto frame = encode_cache_handoff(sample_handoff());
+  const Parsed p = parse(frame);
+  for (std::size_t n = 0; n < p.len; ++n)
+    EXPECT_FALSE(decode_cache_handoff(p.payload, n).has_value())
+        << "prefix length " << n;
+  std::vector<std::uint8_t> padded(p.payload, p.payload + p.len);
+  padded.push_back(0);
+  EXPECT_FALSE(
+      decode_cache_handoff(padded.data(), padded.size()).has_value());
+}
+
+TEST(NetProtocol, CacheHandoffMutationNeverCrashes) {
+  const auto frame = encode_cache_handoff(sample_handoff());
+  const Parsed p = parse(frame);
+  std::vector<std::uint8_t> raw(p.payload, p.payload + p.len);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto mutated = raw;
+    mutated[i] ^= 0xA5;
+    (void)decode_cache_handoff(mutated.data(), mutated.size());
+  }
+}
+
+TEST(NetProtocol, CacheHandoffOversizedEntryEncodesEmpty) {
+  // An entry whose tensors would blow the frame cap is reported as
+  // unencodable (empty vector) so the drain path can skip + count it
+  // rather than emit an undecodable frame.
+  CacheHandoffEntry e = sample_handoff();
+  for (int i = 0; i < int(kMaxHandoffTensors) + 1; ++i)
+    e.tensors.emplace_back("t" + std::to_string(i), Matrix<double>(1, 1));
+  EXPECT_TRUE(encode_cache_handoff(e).empty());
+  CacheHandoffEntry s = sample_handoff();
+  s.scalars.assign(kMaxHandoffScalars + 1, 0.0);
+  EXPECT_TRUE(encode_cache_handoff(s).empty());
+}
+
+TEST(NetProtocol, V6FuzzedPayloadsNeverCrash) {
+  rng::Philox4x32 dice(321, 0xF06);
+  std::vector<std::uint8_t> buf;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = dice.next_u32() % 200;
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(dice.next_u32());
+    (void)decode_cancel(buf.data(), buf.size());
+    (void)decode_drain(buf.data(), buf.size());
+    (void)decode_drain_reply(buf.data(), buf.size());
+    (void)decode_cache_handoff(buf.data(), buf.size());
+  }
+}
